@@ -1,0 +1,242 @@
+package bristleblocks_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bristleblocks"
+)
+
+const apiTestChip = `
+chip apitest
+lambda 250
+
+microcode width 8
+field OP 0 4
+field SEL 4 2
+
+data width 4
+bus A 0 -1
+bus B 0 -1
+
+element io  ioport    io="OP=1" class=io
+element r   registers count=2 ld="OP=2 & SEL={i}" rd="OP=3 & SEL={i}"
+element alu alu       lda="OP=4" ldb="OP=5" rd="OP=6" op=add
+`
+
+func compileAPI(t *testing.T) *bristleblocks.Chip {
+	t.Helper()
+	spec, err := bristleblocks.ParseSpec(apiTestChip)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	chip, err := bristleblocks.Compile(spec, nil)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return chip
+}
+
+func TestPublicChipWorkflow(t *testing.T) {
+	chip := compileAPI(t)
+
+	if vs := bristleblocks.CheckDRC(chip); len(vs) != 0 {
+		t.Fatalf("DRC: %v", vs[0])
+	}
+	var cif bytes.Buffer
+	if err := bristleblocks.WriteCIF(&cif, chip); err != nil {
+		t.Fatalf("WriteCIF: %v", err)
+	}
+	if !strings.Contains(cif.String(), "DS") || !strings.Contains(cif.String(), "E") {
+		t.Error("CIF output missing structure")
+	}
+	ext, err := bristleblocks.ExtractNetlist(chip)
+	if err != nil {
+		t.Fatalf("ExtractNetlist: %v", err)
+	}
+	if ext.GlobalSignature(nil) != chip.Netlist.GlobalSignature(nil) {
+		t.Error("extracted netlist differs from declared")
+	}
+	if a := bristleblocks.AreaLambda(chip); a <= 0 {
+		t.Errorf("AreaLambda = %f", a)
+	}
+}
+
+func TestPublicSpecRoundTrip(t *testing.T) {
+	spec, err := bristleblocks.ParseSpec(apiTestChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := bristleblocks.FormatSpec(spec)
+	again, err := bristleblocks.ParseSpec(text)
+	if err != nil {
+		t.Fatalf("reparse formatted spec: %v\n%s", err, text)
+	}
+	if bristleblocks.FormatSpec(again) != text {
+		t.Error("FormatSpec not a fixed point after one round trip")
+	}
+}
+
+func TestPublicSimulationTrace(t *testing.T) {
+	chip := compileAPI(t)
+	machine, err := chip.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := machine.Run([]uint64{2, 3, 4, 6})
+	if len(trace) != 4 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	out := bristleblocks.FormatTrace(trace, []string{"A", "B"})
+	if !strings.Contains(out, "A") || !strings.Contains(out, "cycle") {
+		t.Errorf("trace format missing columns:\n%s", out)
+	}
+}
+
+const apiTestCell = `
+cell pulldown
+size 0 0 40 96
+box diff 16 8 24 88
+box diff 12 8 28 24
+box diff 12 72 28 88
+box metal 12 8 28 24
+box metal 12 72 28 88
+box contact 16 12 24 20
+box contact 16 76 24 84
+box poly 0 44 32 52
+label gnd 20 16 metal
+label out 20 80 metal
+label in 6 48 poly
+bristle in  W 48 poly 8 control net=in guard="OP=1" phase=1
+bristle gnd S 20 metal 16 ground net=gnd
+bristle out N 20 metal 16 abut net=out
+stretchy 64
+stretchx 36
+power 25
+tx enh in gnd out
+gate and out in
+endcell
+`
+
+func TestPublicCellWorkflow(t *testing.T) {
+	cells, err := bristleblocks.ParseCDL(apiTestCell)
+	if err != nil {
+		t.Fatalf("ParseCDL: %v", err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	c := cells[0]
+
+	if vs := bristleblocks.CheckCellDRC(c); len(vs) != 0 {
+		t.Fatalf("DRC: %v", vs[0])
+	}
+	ext, err := bristleblocks.ExtractCellNetlist(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Equal(c.Netlist) {
+		t.Fatalf("extraction mismatch: %s", ext.Diff(c.Netlist))
+	}
+
+	wBefore, hBefore := c.Size.W(), c.Size.H()
+	if err := bristleblocks.StretchCell(c, 9, 4, 16, 6); err != nil {
+		t.Fatalf("StretchCell: %v", err)
+	}
+	if c.Size.W() != wBefore+16 || c.Size.H() != hBefore+24 {
+		t.Errorf("stretch did not grow the cell: %v -> %v", wBefore, c.Size)
+	}
+	if vs := bristleblocks.CheckCellDRC(c); len(vs) != 0 {
+		t.Fatalf("DRC after stretch: %v", vs[0])
+	}
+	ext2, _ := bristleblocks.ExtractCellNetlist(c)
+	if !ext2.Equal(c.Netlist) {
+		t.Error("stretch changed the netlist")
+	}
+
+	var cif bytes.Buffer
+	if err := bristleblocks.WriteCellCIF(&cif, c); err != nil {
+		t.Fatal(err)
+	}
+	if cif.Len() == 0 {
+		t.Error("empty CIF")
+	}
+}
+
+func TestStretchCellNoLinesErrors(t *testing.T) {
+	cells, err := bristleblocks.ParseCDL(`
+cell rigid
+size 0 0 16 16
+box metal 0 0 16 16
+label m 8 8 metal
+endcell
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bristleblocks.StretchCell(cells[0], 2, 2, 0, 0); err == nil {
+		t.Error("stretching a cell with no stretch lines must fail")
+	}
+	if err := bristleblocks.StretchCell(cells[0], 0, 0, 2, 2); err == nil {
+		t.Error("vertical stretch with no lines must fail")
+	}
+}
+
+func TestCDLFormatParseFixedPoint(t *testing.T) {
+	cells, err := bristleblocks.ParseCDL(apiTestCell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := bristleblocks.FormatCDL(cells[0])
+	again, err := bristleblocks.ParseCDL(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if bristleblocks.FormatCDL(again[0]) != text {
+		t.Error("FormatCDL not a fixed point")
+	}
+}
+
+func TestPublicMicrocodeAssembler(t *testing.T) {
+	spec, err := bristleblocks.ParseSpec(apiTestChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words, err := bristleblocks.AssembleMicrocode(spec, `
+OP=2 SEL=1
+.repeat 2
+OP=3
+.end
+nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{2 | 1<<4, 3, 3, 0}
+	if len(words) != len(want) {
+		t.Fatalf("got %v", words)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Errorf("word %d = %#x want %#x", i, words[i], want[i])
+		}
+	}
+	if got := bristleblocks.DisassembleMicrocode(spec, words[0]); got != "OP=2 SEL=1" {
+		t.Errorf("disassembly %q", got)
+	}
+
+	// Assembled code runs on the compiled chip.
+	chip, err := bristleblocks.Compile(spec, &bristleblocks.Options{SkipPads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := chip.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(words)
+	if v := chip.Model("r1").(interface{ Value() uint64 }).Value(); v != 0xF {
+		t.Errorf("r1 = %x, want F (idle bus load)", v)
+	}
+}

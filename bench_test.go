@@ -1,0 +1,272 @@
+// Benchmarks: one testing.B per experiment in EXPERIMENTS.md. Each bench
+// regenerates its figure or table row; `go test -bench . -benchmem` is the
+// whole evaluation. Custom metrics report the experiment's headline number
+// alongside time/op (area ratios, wire-length ratios, term counts).
+package bristleblocks_test
+
+import (
+	"strings"
+	"testing"
+
+	"bristleblocks"
+	"bristleblocks/internal/baseline"
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/experiments"
+)
+
+func compileSuite(b *testing.B, idx int, opts *core.Options) *core.Chip {
+	b.Helper()
+	chip, err := core.Compile(experiments.SpecFor(experiments.Suite[idx]), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return chip
+}
+
+// BenchmarkF1BlockDiagram regenerates Figure 1 (the physical chip format).
+func BenchmarkF1BlockDiagram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.F1(); !strings.Contains(out, "DECODER") {
+			b.Fatal("block diagram missing decoder")
+		}
+	}
+}
+
+// BenchmarkF2LogicalDiagram regenerates Figure 2 (the logical chip format).
+func BenchmarkF2LogicalDiagram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.F2(); !strings.Contains(out, "upper bus") {
+			b.Fatal("logical diagram missing buses")
+		}
+	}
+}
+
+// BenchmarkF3GeneralitySweep regenerates Figure 3's coverage sweep: 30 chip
+// configurations compiled per iteration.
+func BenchmarkF3GeneralitySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.F3(); !strings.Contains(out, "coverage: 30/30") {
+			b.Fatal("coverage regressed")
+		}
+	}
+}
+
+// BenchmarkT1AreaVsHand regenerates the ±10% area claim; the ratio for the
+// largest in-regime chip is reported as a metric.
+func BenchmarkT1AreaVsHand(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		chip := compileSuite(b, 4, &core.Options{SkipPads: true}) // "large"
+		ratio = baseline.AreaRatio(chip)
+	}
+	b.ReportMetric(ratio, "area-ratio")
+	if ratio < 0.85 || ratio > 1.15 {
+		b.Fatalf("area ratio %.2f left the paper's band", ratio)
+	}
+}
+
+// BenchmarkCompileSmall and BenchmarkCompileLarge are the two ends of the
+// T2 compile-time claim (paper: 4 min vs 10-15 min on a PDP-10; the shape
+// is the ratio between them, roughly 2.5-3.75x).
+func BenchmarkCompileSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, 1, nil)
+	}
+}
+
+func BenchmarkCompileLarge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, 4, nil)
+	}
+}
+
+// BenchmarkCompileXL compiles the 32-bit chip beyond the paper's regime.
+func BenchmarkCompileXL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		compileSuite(b, 5, nil)
+	}
+}
+
+// BenchmarkT3Representations regenerates the completeness table: all seven
+// representations of one chip per iteration (the paper shipped five).
+func BenchmarkT3Representations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chip := compileSuite(b, 2, &core.Options{SkipPads: true})
+		if chip.Sticks == nil || chip.Netlist == nil || chip.Logic == nil ||
+			chip.Text == "" || chip.Block == "" {
+			b.Fatal("missing representation")
+		}
+		if _, err := chip.NewSim(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA1Stretch measures Pass 1's stretch machinery: the uniform-pitch
+// core assembly that replaces hand routing channels.
+func BenchmarkA1Stretch(b *testing.B) {
+	var channels float64
+	for i := 0; i < b.N; i++ {
+		chip := compileSuite(b, 4, &core.Options{SkipPads: true})
+		channels = float64(baseline.Hand(chip).Channels)
+	}
+	b.ReportMetric(channels, "hand-channels")
+	b.ReportMetric(0, "stretch-channels")
+}
+
+// BenchmarkA2RotoRouter measures Pass 3 with the rotation optimization and
+// reports the wire-length ratio against the unrotated assignment.
+func BenchmarkA2RotoRouter(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		chip := compileSuite(b, 2, nil)
+		ratio = float64(chip.Ring.NaiveLen) / float64(chip.Ring.EstimatedLen)
+	}
+	b.ReportMetric(ratio, "naive/roto")
+	if ratio < 1 {
+		b.Fatalf("Roto-Router made things worse: %.2f", ratio)
+	}
+}
+
+// BenchmarkA2RotoRouterOff is the ablation arm: rotation pinned to 0. The
+// single-layer router cannot close the ring without the rotation step, so
+// the interesting metric is routability (0), and the time is the cost of
+// exhausting the retry ladder.
+func BenchmarkA2RotoRouterOff(b *testing.B) {
+	var routable float64
+	for i := 0; i < b.N; i++ {
+		_, err := core.Compile(experiments.SpecFor(experiments.Suite[2]),
+			&core.Options{SkipRotoRouter: true})
+		if err == nil {
+			routable = 1
+		}
+	}
+	b.ReportMetric(routable, "routable")
+}
+
+// BenchmarkA3DecoderOpt measures Pass 2 with the text-array optimizer and
+// reports the PLA term reduction.
+func BenchmarkA3DecoderOpt(b *testing.B) {
+	var before, after float64
+	for i := 0; i < b.N; i++ {
+		chip, err := core.Compile(experiments.RedundantSpecFor(experiments.Suite[2]),
+			&core.Options{SkipPads: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before = float64(chip.Stats.DecoderOpt.TermsBefore)
+		after = float64(chip.Stats.DecoderOpt.TermsAfter)
+	}
+	b.ReportMetric(before, "terms-raw")
+	b.ReportMetric(after, "terms-opt")
+	if after >= before {
+		b.Fatal("optimizer had no effect")
+	}
+}
+
+// BenchmarkA3DecoderOptOff is the ablation arm: optimizer disabled.
+func BenchmarkA3DecoderOptOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(experiments.RedundantSpecFor(experiments.Suite[2]),
+			&core.Options{SkipPads: true, SkipOptimize: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkA4CondAssembly compiles the PROTOTYPE and production variants
+// and reports the reclaimed area fraction.
+func BenchmarkA4CondAssembly(b *testing.B) {
+	var saved float64
+	for i := 0; i < b.N; i++ {
+		spec := experiments.SpecFor(experiments.Suite[1])
+		spec.Elements[0].OnlyIf = "PROTOTYPE"
+		spec.Globals = map[string]bool{"PROTOTYPE": true}
+		proto, err := core.Compile(spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec2 := experiments.SpecFor(experiments.Suite[1])
+		spec2.Elements[0].OnlyIf = "PROTOTYPE"
+		spec2.Globals = map[string]bool{"PROTOTYPE": false}
+		prod, err := core.Compile(spec2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saved = 1 - float64(prod.Stats.ChipBounds.Area())/float64(proto.Stats.ChipBounds.Area())
+	}
+	b.ReportMetric(saved*100, "%area-reclaimed")
+}
+
+// BenchmarkA5Variants compiles the all-ones and mixed-value constant chips
+// and reports the column width saved by variant selection.
+func BenchmarkA5Variants(b *testing.B) {
+	widthOf := func(value string) float64 {
+		spec := experiments.SpecFor(experiments.Suite[1])
+		spec.Elements[4].Params["value"] = value
+		chip, err := core.Compile(spec, &core.Options{SkipPads: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, col := range chip.Columns() {
+			if col.Name == "k1" {
+				return float64(col.Width) / 4
+			}
+		}
+		b.Fatal("constant column not found")
+		return 0
+	}
+	var narrow, wide float64
+	for i := 0; i < b.N; i++ {
+		narrow = widthOf("15") // all ones
+		wide = widthOf("9")    // mixed
+	}
+	b.ReportMetric(narrow, "λ-all-ones")
+	b.ReportMetric(wide, "λ-mixed")
+}
+
+// BenchmarkDRCFullChip measures the design-rule checker over a complete
+// chip (core, decoder, pad ring) — the verification a user runs per cycle.
+func BenchmarkDRCFullChip(b *testing.B) {
+	chip := compileSuite(b, 2, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := bristleblocks.CheckDRC(chip); len(vs) != 0 {
+			b.Fatal(vs[0])
+		}
+	}
+}
+
+// BenchmarkExtractFullChip measures netlist extraction over a complete
+// chip: the independent Layout -> Transistors derivation.
+func BenchmarkExtractFullChip(b *testing.B) {
+	chip := compileSuite(b, 2, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bristleblocks.ExtractNetlist(chip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimFibonacci runs the microprocessor example's Fibonacci program
+// on a compiled chip's simulation representation.
+func BenchmarkSimFibonacci(b *testing.B) {
+	spec := experiments.SpecFor(experiments.Suite[2])
+	chip, err := core.Compile(spec, &core.Options{SkipPads: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		machine, err := chip.NewSim()
+		if err != nil {
+			b.Fatal(err)
+		}
+		program := make([]uint64, 64)
+		for j := range program {
+			program[j] = uint64(2 | (j%3)<<4) // exercise register loads
+		}
+		machine.Run(program)
+	}
+}

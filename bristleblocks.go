@@ -1,0 +1,215 @@
+// Package bristleblocks is a from-scratch reproduction of the Bristle
+// Blocks silicon compiler (Dave Johannsen, DAC 1979): a three-pass compiler
+// that turns a single-page chip description into a complete nMOS mask set
+// plus sticks, transistor, logic, text, simulation, and block-diagram
+// representations of the same chip.
+//
+// Quick start:
+//
+//	spec, err := bristleblocks.ParseSpec(descriptionText)
+//	chip, err := bristleblocks.Compile(spec, nil)
+//	err = bristleblocks.WriteCIF(w, chip)
+//	machine, err := chip.NewSim()
+//	machine.Run(microcode)
+//
+// The description language, cell library, and experiment harness are
+// documented in README.md and DESIGN.md.
+package bristleblocks
+
+import (
+	"fmt"
+	"io"
+
+	"bristleblocks/internal/cdl"
+	cellpkg "bristleblocks/internal/cell"
+	"bristleblocks/internal/cif"
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+	"bristleblocks/internal/plot"
+	simpkg "bristleblocks/internal/sim"
+	"bristleblocks/internal/stretch"
+	"bristleblocks/internal/transistor"
+	"bristleblocks/internal/ucode"
+)
+
+// Spec is a chip specification: the microcode format, data width, bus
+// list, core elements, and conditional-assembly globals.
+type Spec = core.Spec
+
+// ElementSpec names one core element and its parameters.
+type ElementSpec = core.ElementSpec
+
+// Options are the compiler switches (ablations and partial runs).
+type Options = core.Options
+
+// Chip is a compiled chip with all seven representations.
+type Chip = core.Chip
+
+// Compile runs the three-pass silicon compiler.
+func Compile(spec *Spec, opts *Options) (*Chip, error) {
+	return core.Compile(spec, opts)
+}
+
+// ParseSpec reads the single-page chip description language.
+func ParseSpec(src string) (*Spec, error) {
+	return desc.Parse(src)
+}
+
+// FormatSpec renders a Spec back to description text.
+func FormatSpec(spec *Spec) string {
+	return desc.Format(spec)
+}
+
+// WriteCIF emits the chip's Layout representation as Caltech Intermediate
+// Form, using the spec's physical lambda.
+func WriteCIF(w io.Writer, chip *Chip) error {
+	lambda := chip.Spec.LambdaCentimicrons
+	if lambda <= 0 {
+		lambda = cif.DefaultLambdaCentimicrons
+	}
+	return cif.Write(w, chip.Mask, lambda)
+}
+
+// CheckDRC verifies the compiled layout against the Mead & Conway lambda
+// rules and returns human-readable violations (empty = clean).
+func CheckDRC(chip *Chip) []string {
+	vs := drc.Check(chip.Mask, layer.MeadConway(), &drc.Options{MaxViolations: 50})
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// ExtractNetlist recovers the transistor netlist from the compiled mask
+// geometry (the Transistor representation derived independently from the
+// Layout representation).
+func ExtractNetlist(chip *Chip) (*transistor.Netlist, error) {
+	return transistor.Extract(chip.Mask)
+}
+
+// Trace is one simulated clock cycle's record.
+type Trace = simpkg.CycleState
+
+// FormatTrace renders a simulation trace as a table.
+func FormatTrace(trace []Trace, buses []string) string {
+	return simpkg.FormatTrace(trace, buses)
+}
+
+// WritePlot renders the chip's layout as a PNG check plot
+// (pixelsPerLambda <= 0 selects the default scale).
+func WritePlot(w io.Writer, chip *Chip, pixelsPerLambda int) error {
+	return plot.PNG(w, chip.Mask, &plot.Options{PixelsPerLambda: pixelsPerLambda})
+}
+
+// WriteCellPlot renders one cell's layout as a PNG check plot.
+func WriteCellPlot(w io.Writer, c *Cell, pixelsPerLambda int) error {
+	return plot.PNG(w, c.Layout, &plot.Options{PixelsPerLambda: pixelsPerLambda})
+}
+
+// AssembleMicrocode packs symbolic microcode ("OP=2 SEL=1" per line, with
+// nop and .repeat/.end blocks) into words for the spec's instruction
+// format.
+func AssembleMicrocode(spec *Spec, src string) ([]uint64, error) {
+	return ucode.Assemble(spec.Microcode, src)
+}
+
+// DisassembleMicrocode renders one microcode word as field assignments.
+func DisassembleMicrocode(spec *Spec, word uint64) string {
+	return ucode.Disassemble(spec.Microcode, word)
+}
+
+// AreaLambda returns the chip's bounding area in square lambda.
+func AreaLambda(chip *Chip) float64 {
+	a := chip.Stats.ChipBounds.Area()
+	return float64(a) / float64(geom.Lambda*geom.Lambda)
+}
+
+// ---- Cell-level workflow: "cells are stored in disk files and read in as
+// needed, to allow for the use of common cell libraries".
+
+// Cell is one procedural or library cell with its bristles, stretch lines,
+// and all seven representations.
+type Cell = cellpkg.Cell
+
+// ParseCDL reads cell definitions in the cell design language.
+func ParseCDL(src string) ([]*Cell, error) {
+	return cdl.Parse(src)
+}
+
+// FormatCDL renders a cell back to cell-design-language text.
+func FormatCDL(c *Cell) string {
+	return cdl.Format(c)
+}
+
+// StretchCell inserts dx lambda of width at the cell's declared x stretch
+// line nearest atX, and dy lambda of height at the y stretch line nearest
+// atY (the paper's "painless operation": geometry, wires, bristles and
+// sticks all follow). A zero delta skips that axis; it is an error to
+// stretch an axis for which the cell declares no stretch lines.
+func StretchCell(c *Cell, atX, dx, atY, dy int) error {
+	nearest := func(lines []geom.Coord, at geom.Coord) (geom.Coord, bool) {
+		if len(lines) == 0 {
+			return 0, false
+		}
+		best := lines[0]
+		for _, l := range lines[1:] {
+			if abs(l-at) < abs(best-at) {
+				best = l
+			}
+		}
+		return best, true
+	}
+	if dx != 0 {
+		at, ok := nearest(c.StretchX, geom.Coord(atX)*geom.Lambda)
+		if !ok {
+			return fmt.Errorf("cell %s declares no horizontal stretch lines", c.Name)
+		}
+		if err := stretch.X(c, []stretch.Insertion{{At: at, Delta: geom.Coord(dx) * geom.Lambda}}); err != nil {
+			return err
+		}
+	}
+	if dy != 0 {
+		at, ok := nearest(c.StretchY, geom.Coord(atY)*geom.Lambda)
+		if !ok {
+			return fmt.Errorf("cell %s declares no vertical stretch lines", c.Name)
+		}
+		if err := stretch.Y(c, []stretch.Insertion{{At: at, Delta: geom.Coord(dy) * geom.Lambda}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func abs(c geom.Coord) geom.Coord {
+	if c < 0 {
+		return -c
+	}
+	return c
+}
+
+// CheckCellDRC verifies one cell against the Mead & Conway lambda rules.
+func CheckCellDRC(c *Cell) []string {
+	flat := mask.NewCell(c.Name + "_drc")
+	flat.PlaceNamed(c.Name, c.Layout, geom.Identity)
+	vs := drc.Check(flat, layer.MeadConway(), &drc.Options{MaxViolations: 50})
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// ExtractCellNetlist recovers a cell's transistors from its mask geometry.
+func ExtractCellNetlist(c *Cell) (*transistor.Netlist, error) {
+	return transistor.Extract(c.Layout)
+}
+
+// WriteCellCIF emits one cell's layout as CIF.
+func WriteCellCIF(w io.Writer, c *Cell) error {
+	return cif.Write(w, c.Layout, cif.DefaultLambdaCentimicrons)
+}

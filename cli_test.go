@@ -1,0 +1,137 @@
+package bristleblocks_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/ binary into a temp dir and returns its path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestBristlecEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "bristlec")
+	dir := t.TempDir()
+	cif := filepath.Join(dir, "chip.cif")
+	plot := filepath.Join(dir, "chip.png")
+	reps := filepath.Join(dir, "reps")
+
+	out := runTool(t, bin,
+		"-o", cif, "-check", "-stats", "-reps", reps, "-plot", plot,
+		"-run", "examples/chips/adder4.uc", "examples/chips/adder4.bb")
+
+	for _, want := range []string{
+		"DRC clean", "extraction matches", "check plot ->",
+		"representations ->", "ran 10 instructions", "acc0", "0x5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, f := range []string{cif, plot,
+		filepath.Join(reps, "manual.txt"), filepath.Join(reps, "sticks.txt")} {
+		if fi, err := os.Stat(f); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty (%v)", f, err)
+		}
+	}
+}
+
+func TestBristlecPadsAndShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "bristlec")
+	out := runTool(t, bin,
+		"-o", filepath.Join(t.TempDir(), "s.cif"),
+		"-pads", "io=0xC8",
+		"-run", "examples/chips/shifter8.uc", "examples/chips/shifter8.bb")
+	if !strings.Contains(out, "r            0x19") {
+		t.Errorf("shift result missing (want r = 0xC8>>3 = 0x19):\n%s", out)
+	}
+}
+
+func TestBristlecRejectsBadInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "bristlec")
+	bad := filepath.Join(t.TempDir(), "bad.bb")
+	if err := os.WriteFile(bad, []byte("chip oops\nnonsense directive\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, bad).CombinedOutput()
+	if err == nil {
+		t.Fatalf("bad description accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown directive") {
+		t.Errorf("unhelpful error: %s", out)
+	}
+}
+
+func TestCellviewEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "cellview")
+
+	list := runTool(t, bin, "-list")
+	for _, want := range []string{"regbit", "dualregbit", "alubit", "ctlbuf"} {
+		if !strings.Contains(list, want) {
+			t.Errorf("-list missing %s:\n%s", want, list)
+		}
+	}
+
+	// Every listed cell must pass its own -check.
+	for _, name := range strings.Fields(list) {
+		out := runTool(t, bin, "-check", name)
+		if !strings.Contains(out, "DRC clean") || !strings.Contains(out, "extraction matches") {
+			t.Errorf("%s: check output:\n%s", name, out)
+		}
+	}
+
+	out := runTool(t, bin, "-rep", "cdl", "regbit")
+	if !strings.Contains(out, "cell reg") || !strings.Contains(out, "endcell") {
+		t.Errorf("cdl dump wrong:\n%s", out)
+	}
+}
+
+func TestBbexpList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "bbexp")
+	out := runTool(t, bin, "-list")
+	for _, id := range []string{"F1", "F2", "F3", "T1", "T2", "T3", "A1", "A2", "A3", "A4", "A5"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("-list missing %s:\n%s", id, out)
+		}
+	}
+	// One fast experiment end to end.
+	run := runTool(t, bin, "A5")
+	if !strings.Contains(run, "value=15") {
+		t.Errorf("A5 output:\n%s", run)
+	}
+}

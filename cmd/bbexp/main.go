@@ -1,0 +1,74 @@
+// Bbexp runs the experiment harness: it regenerates every figure and
+// quantitative claim from the paper's evaluation (F1-F3, T1-T3) plus the
+// ablations A1-A5 documented in DESIGN.md, and prints the tables that
+// EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	bbexp            # run everything
+//	bbexp T1 A2      # run a subset by id
+//	bbexp -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bristleblocks/internal/experiments"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func() string
+}
+
+var all = []experiment{
+	{"F1", "physical chip format (Figure 1)", experiments.F1},
+	{"F2", "logical chip format (Figure 2)", experiments.F2},
+	{"F3", "compiler-space coverage sweep (Figure 3)", experiments.F3},
+	{"T1", "compiled area vs hand layout (±10% claim)", experiments.T1},
+	{"T2", "compile time, small vs large chip", experiments.T2},
+	{"T3", "representation completeness", experiments.T3},
+	{"A1", "stretchable cells vs hand channels / fixed cells", experiments.A1},
+	{"A2", "Roto-Router pad rotation", experiments.A2},
+	{"A3", "decoder text-array optimization", experiments.A3},
+	{"A4", "conditional assembly (PROTOTYPE)", experiments.A4},
+	{"A5", "smart-cell variant selection", experiments.A5},
+}
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-4s %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[strings.ToUpper(a)] = true
+	}
+
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("==== %s: %s ====\n", e.id, e.desc)
+		start := time.Now()
+		fmt.Println(e.run())
+		fmt.Printf("(%s in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %v (try -list)\n", flag.Args())
+		os.Exit(1)
+	}
+}

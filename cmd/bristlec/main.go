@@ -1,0 +1,232 @@
+// Bristlec is the silicon compiler driver: it reads a chip description
+// (.bb), runs the three compiler passes, and writes the mask set plus any
+// requested representations — the paper's "one design cycle" workflow.
+//
+// Usage:
+//
+//	bristlec chip.bb                   # compile, write chip.cif
+//	bristlec -o out.cif chip.bb        # choose the CIF path
+//	bristlec -reps outdir chip.bb      # also write all representations
+//	bristlec -check chip.bb            # also run DRC and netlist extraction
+//	bristlec -stats chip.bb            # print the compilation statistics
+//	bristlec -nopads chip.bb           # stop after Pass 2 (core + decoder)
+//	bristlec -plot chip.png chip.bb    # PNG check plot of the mask set
+//	bristlec -run prog.uc chip.bb      # assemble microcode, run it on the
+//	                                   # simulation representation, print the
+//	                                   # trace and final register state
+//	bristlec -pads io=0xC8 -run ...    # preset input pads before the run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"bristleblocks"
+)
+
+func main() {
+	out := flag.String("o", "", "output CIF path (default: input with .cif)")
+	reps := flag.String("reps", "", "directory to write all representations into")
+	check := flag.Bool("check", false, "run DRC and compare extracted vs declared netlist")
+	stats := flag.Bool("stats", false, "print compilation statistics")
+	noPads := flag.Bool("nopads", false, "stop after Pass 2 (no pad ring)")
+	run := flag.String("run", "", "microcode source file to assemble and simulate")
+	plotPath := flag.String("plot", "", "write a PNG check plot of the chip to this path")
+	padsIn := flag.String("pads", "", "preset I/O element pads before -run, e.g. io=0xC8 (comma separated)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: bristlec [flags] chip.bb")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := bristleblocks.ParseSpec(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", in, err))
+	}
+	chip, err := bristleblocks.Compile(spec, &bristleblocks.Options{SkipPads: *noPads})
+	if err != nil {
+		fatal(fmt.Errorf("compile %s: %w", spec.Name, err))
+	}
+
+	cifPath := *out
+	if cifPath == "" {
+		cifPath = strings.TrimSuffix(in, filepath.Ext(in)) + ".cif"
+	}
+	f, err := os.Create(cifPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := bristleblocks.WriteCIF(f, chip); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d transistors, %d columns, %d pads -> %s\n",
+		spec.Name, chip.Stats.Transistors, chip.Stats.Columns, chip.Stats.PadCount, cifPath)
+
+	if *stats {
+		st := chip.Stats
+		fmt.Printf("  core    %dλ x %dλ\n", st.CoreBounds.W()/4, st.CoreBounds.H()/4)
+		fmt.Printf("  chip    %dλ x %dλ (%.0f square lambda)\n",
+			st.ChipBounds.W()/4, st.ChipBounds.H()/4, bristleblocks.AreaLambda(chip))
+		fmt.Printf("  controls %d, PLA terms %d, power %d µA\n", st.Controls, st.PLATerms, st.PowerUA)
+		fmt.Printf("  passes  core %s, control %s, pads %s (total %s)\n",
+			chip.Times.Core, chip.Times.Control, chip.Times.Pads, chip.Times.Total)
+	}
+
+	if *check {
+		if vs := bristleblocks.CheckDRC(chip); len(vs) != 0 {
+			fmt.Fprintf(os.Stderr, "DRC: %d violations\n", len(vs))
+			for _, v := range vs {
+				fmt.Fprintln(os.Stderr, " ", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("  DRC clean")
+		ext, err := bristleblocks.ExtractNetlist(chip)
+		if err != nil {
+			fatal(fmt.Errorf("extract: %w", err))
+		}
+		if ext.GlobalSignature(nil) != chip.Netlist.GlobalSignature(nil) {
+			fmt.Fprintln(os.Stderr, "extracted netlist differs from declared netlist")
+			os.Exit(1)
+		}
+		fmt.Printf("  extraction matches: %d transistors\n", len(ext.Txs))
+	}
+
+	if *reps != "" {
+		if err := writeReps(*reps, chip); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *plotPath != "" {
+		f, err := os.Create(*plotPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bristleblocks.WritePlot(f, chip, 0); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  check plot -> %s\n", *plotPath)
+	}
+
+	if *run != "" {
+		if err := runProgram(chip, spec, *run, *padsIn); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runProgram assembles a microcode source file and executes it on the
+// chip's Simulation representation.
+func runProgram(chip *bristleblocks.Chip, spec *bristleblocks.Spec, path, padsIn string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	program, err := bristleblocks.AssembleMicrocode(spec, string(src))
+	if err != nil {
+		return err
+	}
+	machine, err := chip.NewSim()
+	if err != nil {
+		return err
+	}
+	if err := presetPads(chip, padsIn); err != nil {
+		return err
+	}
+	trace := machine.Run(program)
+
+	var buses []string
+	if len(spec.Buses) > 0 {
+		for _, b := range spec.Buses {
+			buses = append(buses, b.Name)
+		}
+	} else {
+		buses = []string{"A", "B"}
+	}
+	fmt.Printf("ran %d instructions from %s\n\n", len(program), path)
+	fmt.Println("listing:")
+	for i, w := range program {
+		fmt.Printf("  %3d  %#06x  %s\n", i, w, bristleblocks.DisassembleMicrocode(spec, w))
+	}
+	fmt.Println()
+	fmt.Println(bristleblocks.FormatTrace(trace, buses))
+	fmt.Println("final element state:")
+	for _, col := range chip.Columns() {
+		if m, ok := chip.Model(col.Name).(interface{ Value() uint64 }); ok {
+			fmt.Printf("  %-12s %#x\n", col.Name, m.Value())
+		}
+	}
+	return nil
+}
+
+// presetPads applies "-pads name=value,name=value" to the I/O element
+// models before a run.
+func presetPads(chip *bristleblocks.Chip, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return fmt.Errorf("-pads entry %q is not name=value", kv)
+		}
+		v, err := strconv.ParseUint(val, 0, 64)
+		if err != nil {
+			return fmt.Errorf("-pads %s: bad value %q", name, val)
+		}
+		m, ok := chip.Model(name).(interface{ SetPads(uint64) })
+		if !ok {
+			return fmt.Errorf("-pads: element %q is not an I/O port", name)
+		}
+		m.SetPads(v)
+	}
+	return nil
+}
+
+func writeReps(dir string, chip *bristleblocks.Chip) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+	if err := write("sticks.txt", chip.Sticks.Render(16)); err != nil {
+		return err
+	}
+	if err := write("transistors.txt", chip.Netlist.String()+"\n"); err != nil {
+		return err
+	}
+	if err := write("logic.txt", chip.Logic.Render()); err != nil {
+		return err
+	}
+	if err := write("manual.txt", chip.Text); err != nil {
+		return err
+	}
+	if err := write("block.txt", chip.Block+"\n"+chip.Logical); err != nil {
+		return err
+	}
+	fmt.Printf("  representations -> %s/\n", dir)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bristlec:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,231 @@
+// Cellview inspects a library cell: it prints (or writes) every
+// representation the cell carries — layout (CIF), sticks, transistors,
+// logic, its text fragment, and its cell-design-language form — and can
+// verify the cell against the design rules and its own declared netlist.
+// This is the per-cell view of the paper's claim that "each cell contains
+// seven different representations".
+//
+// Usage:
+//
+//	cellview -list                 # names of all library cells
+//	cellview regbit                # print summary + sticks + logic
+//	cellview -rep cdl aluBit       # print one representation
+//	cellview -out dir regbit       # write every representation to files
+//	cellview -check regbit         # DRC + extraction consistency
+//	cellview -plot regbit.png regbit  # PNG check plot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"bristleblocks/internal/cdl"
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/celllib"
+	"bristleblocks/internal/cif"
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+	"bristleblocks/internal/plot"
+	"bristleblocks/internal/transistor"
+)
+
+// library enumerates every parameterized cell generator with standard
+// example arguments, so each can be instantiated and inspected by name.
+var library = map[string]func() (*cell.Cell, error){
+	"inverter": func() (*cell.Cell, error) { return celllib.Inverter("inv"), nil },
+	"passgate": func() (*cell.Cell, error) { return celllib.PassGate("pg"), nil },
+	"nand2":    func() (*cell.Cell, error) { return celllib.Nand2("nand"), nil },
+	"regbit": func() (*cell.Cell, error) {
+		return celllib.RegBit("reg", "A", "B", "ld", "OP=1", "rd", "OP=2")
+	},
+	"regbitb": func() (*cell.Cell, error) {
+		return celllib.RegBitB("regb", "A", "B", "ld", "OP=1", "rd", "OP=2")
+	},
+	"dualregbit": func() (*cell.Cell, error) {
+		return celllib.DualRegBit("dr", "A", "B", "ld", "OP=1", "rd", "OP=2")
+	},
+	"shiftbit": func() (*cell.Cell, error) {
+		return celllib.ShiftBit("sh", "A", "B", "ld", "OP=3", "rd", "OP=4")
+	},
+	"shiftbittop": func() (*cell.Cell, error) {
+		return celllib.ShiftBitTop("sht", "A", "B", "ld", "OP=3", "rd", "OP=4")
+	},
+	"alubit": func() (*cell.Cell, error) {
+		return celllib.AluBit("alu", "A", "B", "lda", "OP=5", "ldb", "OP=6", "rd", "OP=7")
+	},
+	"feedbit": func() (*cell.Cell, error) { return celllib.FeedBit("feed", 8) },
+	"constbit0": func() (*cell.Cell, error) {
+		return celllib.ConstBit("k", "A", "B", false, celllib.ConstWideWidth, "rd", "OP=8")
+	},
+	"constbit1": func() (*cell.Cell, error) {
+		return celllib.ConstBit("k", "A", "B", true, celllib.ConstNarrowWidth, "rd", "OP=8")
+	},
+	"buspre": func() (*cell.Cell, error) { return celllib.BusPre("pre", "A", "B") },
+	"ioportbit": func() (*cell.Cell, error) {
+		return celllib.IOPortBit("io", "A", "B", "pad0", "io", "ioen", "OP=9")
+	},
+	"xferbit": func() (*cell.Cell, error) { return celllib.XferBit("x", "A", "B", "x", "OP=10") },
+	"ctlbuf":  func() (*cell.Cell, error) { return celllib.CtlBuf("ld", 1) },
+}
+
+func main() {
+	list := flag.Bool("list", false, "list library cell names")
+	rep := flag.String("rep", "", "print one representation: layout|sticks|transistors|logic|text|cdl")
+	out := flag.String("out", "", "write every representation into this directory")
+	check := flag.Bool("check", false, "run DRC and extraction consistency on the cell")
+	plotPath := flag.String("plot", "", "write a PNG check plot of the cell to this path")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(library))
+		for n := range library {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cellview [flags] <cell> (see -list)")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	gen, ok := library[flag.Arg(0)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cellview: unknown cell %q (see -list)\n", flag.Arg(0))
+		os.Exit(1)
+	}
+	c, err := gen()
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *rep != "":
+		printRep(c, *rep)
+	case *out != "":
+		writeAll(c, *out)
+	default:
+		summary(c)
+	}
+
+	if *plotPath != "" {
+		f, err := os.Create(*plotPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plot.PNG(f, c.Layout, &plot.Options{PixelsPerLambda: 8}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("check plot -> %s\n", *plotPath)
+	}
+
+	if *check {
+		checkCell(c)
+	}
+}
+
+func summary(c *cell.Cell) {
+	fmt.Printf("%s: %dλ x %dλ, %d bristles, %d transistors, %d µA\n",
+		c.Name, c.Size.W()/4, c.Size.H()/4, len(c.Bristles), len(c.Netlist.Txs), c.PowerUA)
+	if c.Doc != "" {
+		fmt.Printf("\n%s\n", c.Doc)
+	}
+	fmt.Printf("\nbristles:\n")
+	for _, b := range c.Bristles {
+		fmt.Printf("  %-10s %-8s %-6s at %v\n", b.Net, b.Flavor, b.Side, b.Position(c.Size))
+	}
+	if c.Logic != nil {
+		fmt.Printf("\nlogic:\n%s\n", c.Logic.Render())
+	}
+}
+
+func printRep(c *cell.Cell, rep string) {
+	switch rep {
+	case "layout":
+		if err := cif.Write(os.Stdout, c.Layout, cif.DefaultLambdaCentimicrons); err != nil {
+			fatal(err)
+		}
+	case "sticks":
+		fmt.Print(c.Sticks.Render(8))
+	case "transistors":
+		fmt.Println(c.Netlist.String())
+	case "logic":
+		fmt.Print(c.Logic.Render())
+	case "text":
+		fmt.Println(c.Doc)
+		if c.SimNote != "" {
+			fmt.Println(c.SimNote)
+		}
+	case "cdl":
+		fmt.Print(cdl.Format(c))
+	default:
+		fmt.Fprintf(os.Stderr, "cellview: unknown representation %q\n", rep)
+		os.Exit(2)
+	}
+}
+
+func writeAll(c *cell.Cell, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, c.Name+".cif"))
+	if err != nil {
+		fatal(err)
+	}
+	if err := cif.Write(f, c.Layout, cif.DefaultLambdaCentimicrons); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	files := map[string]string{
+		"sticks.txt":      c.Sticks.Render(8),
+		"transistors.txt": c.Netlist.String() + "\n",
+		"logic.txt":       c.Logic.Render(),
+		"text.txt":        c.Doc + "\n" + c.SimNote + "\n",
+		"cell.cdl":        cdl.Format(c),
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("%s: representations written to %s/\n", c.Name, dir)
+}
+
+func checkCell(c *cell.Cell) {
+	flat := mask.NewCell(c.Name + "_flat")
+	flat.PlaceNamed(c.Name, c.Layout, geom.Identity)
+	if vs := drc.Check(flat, layer.MeadConway(), &drc.Options{MaxViolations: 10}); len(vs) != 0 {
+		fmt.Fprintf(os.Stderr, "DRC: %d violations\n", len(vs))
+		for _, v := range vs {
+			fmt.Fprintln(os.Stderr, " ", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("DRC clean")
+	ext, err := transistor.Extract(c.Layout)
+	if err != nil {
+		fatal(err)
+	}
+	if !ext.Equal(c.Netlist) {
+		fmt.Fprintln(os.Stderr, "extracted netlist differs from declared:")
+		fmt.Fprintln(os.Stderr, ext.Diff(c.Netlist))
+		os.Exit(1)
+	}
+	fmt.Printf("extraction matches: %d transistors\n", len(ext.Txs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cellview:", err)
+	os.Exit(1)
+}

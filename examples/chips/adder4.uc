@@ -1,0 +1,11 @@
+; Count on the adder4 chip: acc0 starts at 1, then four increments.
+; One microcode word is one two-phase clock cycle; a value must be on the
+; bus in the same word that latches it.
+
+K=1 LD=1 SEL=0         ; constant 1 on bus A; acc0 loads it
+K=1 X=1 LB=1           ; constant 1 bridged to bus B; ALU latches b=1
+
+.repeat 4
+RD=1 SEL=0 LA=1        ; acc0 drives bus A; ALU latches a
+AR=1 LD=1 SEL=0        ; ALU drives a+1; acc0 loads it
+.end

@@ -1,0 +1,14 @@
+; Shift the input pads right three times and present the result.
+; Run with: bristlec -pads io=0xC8 -run shifter8.uc shifter8.bb
+; (idle input pads read all-ones into the wired-AND bus, so set them)
+
+IO=1 LD=1             ; pads -> bus A; register latches the input
+.repeat 3
+RD=1 SL=1             ; register drives bus A; shifter latches
+SR=1 X=1 LD=1         ; shifted word on bus B, bridged to A; register loads
+.end
+RD=1 IO=1             ; register drives bus A; the I/O port connects.
+                      ; Note the wired-AND: the input pads still hold 0xC8,
+                      ; so the bus settles at 0x19 & 0xC8 = 0x08 — drive the
+                      ; pads to all-ones first when reading out (see the
+                      ; microproc example).

@@ -1,0 +1,117 @@
+// Representations: emit all seven representations of one chip to files —
+// "the representations span the entire range from the physical to the
+// conceptual aspects of the chip". Layout (CIF), Sticks, Transistors,
+// Logic, Text, Simulation (a trace), and Block.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bristleblocks"
+)
+
+const description = `
+chip repdemo
+lambda 250
+
+microcode width 8
+field OP 0 4
+field SEL 4 2
+
+data width 4
+bus A 0 -1
+bus B 0 -1
+
+element io  ioport    io="OP=1" class=io
+element r   registers count=2 ld="(OP=1 | OP=2) & SEL={i}" rd="OP=3 & SEL={i}"
+element alu alu       lda="OP=4" ldb="OP=5" rd="OP=6"
+`
+
+func main() {
+	outDir := "representations.out"
+	if len(os.Args) > 1 {
+		outDir = os.Args[1]
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	spec, err := bristleblocks.ParseSpec(description)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chip, err := bristleblocks.Compile(spec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	write := func(name, content string) {
+		path := filepath.Join(outDir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s %6d bytes\n", name, len(content))
+	}
+
+	fmt.Printf("writing the seven representations of %s to %s/\n", spec.Name, outDir)
+
+	// 1. Layout: the CIF mask set.
+	f, err := os.Create(filepath.Join(outDir, "layout.cif"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bristleblocks.WriteCIF(f, chip); err != nil {
+		log.Fatal(err)
+	}
+	fi, _ := f.Stat()
+	f.Close()
+	fmt.Printf("  %-20s %6d bytes\n", "layout.cif", fi.Size())
+
+	// 2. Sticks.
+	write("sticks.txt", chip.Sticks.Render(16))
+
+	// 3. Transistors.
+	write("transistors.txt", chip.Netlist.String()+"\n")
+
+	// 4. Logic.
+	write("logic.txt", chip.Logic.Render())
+
+	// 5. Text (the user's manual).
+	write("manual.txt", chip.Text)
+
+	// 6. Simulation: run a short program and save the trace.
+	machine, err := chip.NewSim()
+	if err != nil {
+		log.Fatal(err)
+	}
+	io := chip.Model("io").(interface{ SetPads(uint64) })
+	io.SetPads(0x9)
+	op := func(o, sel uint64) uint64 { return o | sel<<4 }
+	trace := machine.Run([]uint64{
+		op(1, 0), // pads -> bus A; r0 loads
+		op(3, 0), // r0 drives bus A
+		op(4, 0), // alu latches a
+		op(6, 0), // alu drives a+0
+	})
+	write("simulation.txt", bristleblocks.FormatTrace(trace, []string{"A", "B"}))
+
+	// 7. Block.
+	write("block.txt", chip.Block+"\n"+chip.Logical)
+
+	// Bonus: a PNG check plot of the mask set (the era's plotter output).
+	pf, err := os.Create(filepath.Join(outDir, "layout.png"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bristleblocks.WritePlot(pf, chip, 0); err != nil {
+		log.Fatal(err)
+	}
+	pi, _ := pf.Stat()
+	pf.Close()
+	fmt.Printf("  %-20s %6d bytes\n", "layout.png", pi.Size())
+
+	fmt.Println("done")
+}

@@ -1,0 +1,3 @@
+module bristleblocks
+
+go 1.22

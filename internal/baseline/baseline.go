@@ -1,0 +1,177 @@
+// Package baseline implements the comparison points for the experiments:
+// a hand-layout area estimator (the paper claims compiled chips land
+// within ±10 % of hand layout under the structured design methodology) and
+// the no-stretch alternatives Pass 1's design rationale argues against.
+package baseline
+
+import (
+	"bristleblocks/internal/celllib"
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/power"
+)
+
+// ChannelWidth is the width of the vertical routing channel a hand
+// designer inserts between two datapath columns whose pitches disagree:
+// room to jog two metal buses and two supply rails at 4λ wire / 4λ gap.
+const ChannelWidth = geom.Coord(24 * 4) // 24λ in quanta
+
+// HandEstimate models a careful hand layout of the same chip under the
+// structured design methodology: rails taper — column i's rails are sized
+// for the current they actually carry from the west-end feed (its own
+// demand plus everything downstream), not for the chip-wide worst case the
+// compiler's uniform pitch pays — and a routing channel is inserted at
+// every boundary where adjacent columns disagree on pitch, because the bus
+// and rail rows must jog there. This is exactly the "space and costly
+// routing needed if cell widths vary" trade the paper's stretchable cells
+// make: a little uniform-pitch area for zero channels.
+type HandEstimate struct {
+	// CoreArea is the estimated hand core area in square quanta.
+	CoreArea int64
+	// Channels is the number of routing channels inserted.
+	Channels int
+	// ChannelArea is the area they consume.
+	ChannelArea int64
+}
+
+// Hand computes the hand-layout estimate for a compiled chip.
+func Hand(chip *core.Chip) HandEstimate {
+	cols := chip.Columns()
+	w := chip.Spec.DataWidth
+
+	n := len(cols)
+	if n == 0 {
+		return HandEstimate{}
+	}
+	demands := make([]int, n)
+	for i, col := range cols {
+		demands[i] = col.PowerUA
+	}
+	// Rails tapered for a west-end feed: column i carries demand i..n-1,
+	// so the required pitch decreases monotonically to the east.
+	railWs := (&power.Budget{PerElementUA: demands}).RailWidths()
+
+	need := make([]geom.Coord, n) // minimum pitch column i needs
+	maxPitch := geom.Coord(0)
+	for i := range cols {
+		d := railWs[i] - geom.L(4)
+		if d < 0 {
+			d = 0
+		}
+		need[i] = geom.L(celllib.RowPitch) + 2*d
+		if need[i] > maxPitch {
+			maxPitch = need[i]
+		}
+	}
+
+	// The hand designer quantizes the taper: columns are grouped into
+	// contiguous plateaus of one pitch each (the max need within the
+	// plateau), with a routing channel between plateaus where the bus and
+	// rail rows jog. Choose the partition of minimum total area by dynamic
+	// programming over n <= a few dozen columns.
+	chanArea := int64(ChannelWidth) * int64(w) * int64(maxPitch)
+	groupArea := func(lo, hi int) int64 { // columns lo..hi as one plateau
+		p := geom.Coord(0)
+		var width int64
+		for i := lo; i <= hi; i++ {
+			if need[i] > p {
+				p = need[i]
+			}
+			width += int64(cols[i].Width)
+		}
+		return width * int64(w) * int64(p)
+	}
+	best := make([]int64, n+1) // best[i]: min area for columns 0..i-1
+	chans := make([]int, n+1)  // channels used by the best partition
+	for i := 1; i <= n; i++ {
+		best[i] = -1
+		for j := 0; j < i; j++ { // last plateau is columns j..i-1
+			a := best[j] + groupArea(j, i-1)
+			c := chans[j]
+			if j > 0 {
+				a += chanArea
+				c++
+			}
+			if best[i] < 0 || a < best[i] {
+				best[i], chans[i] = a, c
+			}
+		}
+	}
+
+	return HandEstimate{
+		CoreArea:    best[n],
+		Channels:    chans[n],
+		ChannelArea: int64(chans[n]) * chanArea,
+	}
+}
+
+// CompiledCoreArea is the actual compiled core area in square quanta.
+func CompiledCoreArea(chip *core.Chip) int64 {
+	return chip.Stats.CoreBounds.Area()
+}
+
+// AreaRatio returns compiled / hand estimate (the T1 metric; the paper
+// reports ±10 %).
+func AreaRatio(chip *core.Chip) float64 {
+	h := Hand(chip)
+	if h.CoreArea == 0 {
+		return 0
+	}
+	return float64(CompiledCoreArea(chip)) / float64(h.CoreArea)
+}
+
+// RedesignCounts replays an incremental design history over the chip's
+// columns and counts how many existing cells must be redesigned when each
+// new column arrives, under the fixed-width discipline the paper's
+// stretchable cells replace: "as future cells are designed, they must
+// either be forced to have the same width as current cells, or else all
+// of the cells must be redesigned to accommodate the wider cells."
+//
+// With stretchable cells the count is zero by construction.
+//
+// The replay is temporal: columns are added to the design one at a time.
+// Each addition raises the chip's total supply current, so the rail width
+// at the feed end — and with it the fixed row pitch every cell must share
+// — may grow ("as chips get larger, the power busses must get larger").
+// Every time the pitch grows, all distinct cell designs already in the
+// library are reworked to the new pitch.
+func RedesignCounts(chip *core.Chip) (fixed int, stretch int) {
+	cols := chip.Columns()
+	var demands []int
+	maxPitch := geom.Coord(0)
+	seen := map[string]bool{}
+	for i, col := range cols {
+		demands = append(demands, col.PowerUA)
+		b := &power.Budget{PerElementUA: demands}
+		d := b.UniformRailWidth() - geom.L(4)
+		if d < 0 {
+			d = 0
+		}
+		pitch := geom.L(celllib.RowPitch) + 2*d
+		if pitch > maxPitch {
+			if i > 0 {
+				fixed += len(seen) // every existing cell design is reworked
+			}
+			maxPitch = pitch
+		}
+		seen[col.Name] = true
+	}
+	return fixed, 0
+}
+
+// NaivePadWireLen and RotoPadWireLen expose the A2 comparison from the
+// compiled ring (Manhattan estimates recorded by the Roto-Router).
+func NaivePadWireLen(chip *core.Chip) geom.Coord {
+	if chip.Ring == nil {
+		return 0
+	}
+	return chip.Ring.NaiveLen
+}
+
+// RotoPadWireLen is the optimized-rotation estimate.
+func RotoPadWireLen(chip *core.Chip) geom.Coord {
+	if chip.Ring == nil {
+		return 0
+	}
+	return chip.Ring.EstimatedLen
+}

@@ -1,0 +1,71 @@
+package baseline
+
+import (
+	"testing"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/decoder"
+)
+
+func chipFor(t *testing.T, width int) *core.Chip {
+	t.Helper()
+	f, err := decoder.ParseFormat("width 8; OP 0 4; SEL 4 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &core.Spec{
+		Name: "b", Microcode: f, DataWidth: width,
+		Elements: []core.ElementSpec{
+			{Kind: "registers", Name: "r", Params: map[string]string{
+				"count": "2", "ld": "OP=1 & SEL={i}", "rd": "OP=2 & SEL={i}"}},
+			{Kind: "alu", Name: "alu", Params: map[string]string{
+				"lda": "OP=3", "ldb": "OP=4", "rd": "OP=5"}},
+		},
+	}
+	chip, err := core.Compile(spec, &core.Options{SkipPads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+func TestHandEstimatePositive(t *testing.T) {
+	chip := chipFor(t, 8)
+	h := Hand(chip)
+	if h.CoreArea <= 0 {
+		t.Fatalf("hand area = %d", h.CoreArea)
+	}
+	if CompiledCoreArea(chip) <= 0 {
+		t.Fatal("compiled area missing")
+	}
+}
+
+func TestAreaRatioNearOne(t *testing.T) {
+	// The headline T1 claim: compiled within ±10% of hand layout. Our
+	// small chips must land in a generous band around 1.
+	for _, w := range []int{4, 8, 16} {
+		chip := chipFor(t, w)
+		r := AreaRatio(chip)
+		if r < 0.85 || r > 1.25 {
+			t.Errorf("width %d: area ratio %.3f outside sanity band", w, r)
+		}
+	}
+}
+
+func TestRedesignCounts(t *testing.T) {
+	chip := chipFor(t, 8)
+	fixed, stretch := RedesignCounts(chip)
+	if stretch != 0 {
+		t.Errorf("stretchable redesigns = %d, want 0", stretch)
+	}
+	if fixed < 0 {
+		t.Errorf("fixed redesigns = %d", fixed)
+	}
+}
+
+func TestPadWireAccessorsWithoutRing(t *testing.T) {
+	chip := chipFor(t, 4)
+	if NaivePadWireLen(chip) != 0 || RotoPadWireLen(chip) != 0 {
+		t.Error("padless chip should report zero wire lengths")
+	}
+}

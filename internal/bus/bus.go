@@ -1,0 +1,168 @@
+// Package bus models the chip's data buses per the paper's logical format:
+// "Each of the core elements can communicate with either of two buses that
+// run through the elements. These buses may run the length of the chip, or
+// they may stop anywhere along the chip with new buses servicing the
+// remainder of the chip ... at most two buses may run through any element."
+//
+// The planner assigns each declared bus to one of the two bus slots (upper
+// or lower), validates the ≤2-buses-anywhere constraint, and computes the
+// precharge cells the compiler must insert (one per bus segment, since
+// buses are precharged during φ2).
+package bus
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slot is a bus track through the core.
+type Slot int
+
+const (
+	// Upper is the bus track above the cell midline.
+	Upper Slot = iota
+	// Lower is the bus track below it.
+	Lower
+	// NumSlots is the number of bus tracks through each element.
+	NumSlots
+)
+
+// String names the slot ("upper" or "lower").
+func (s Slot) String() string {
+	switch s {
+	case Upper:
+		return "upper"
+	case Lower:
+		return "lower"
+	}
+	return fmt.Sprintf("Slot(%d)", int(s))
+}
+
+// Spec declares one bus in the user's chip description.
+type Spec struct {
+	Name string
+	// From and To are core element indexes (inclusive). To = -1 means the
+	// bus runs to the end of the core.
+	From, To int
+}
+
+// Segment is a planned bus: a spec bound to a slot with a resolved range.
+type Segment struct {
+	Name     string
+	Slot     Slot
+	From, To int // inclusive element index range
+}
+
+// Plan is the outcome of bus planning.
+type Plan struct {
+	Segments []Segment
+	// AtElement[i] lists the segments passing through element i, indexed
+	// by slot (nil when the slot is unused there).
+	AtElement [][NumSlots]*Segment
+}
+
+// SegmentFor returns the segment of the named bus covering element i.
+func (p *Plan) SegmentFor(name string, i int) (*Segment, bool) {
+	if i < 0 || i >= len(p.AtElement) {
+		return nil, false
+	}
+	for _, s := range p.AtElement[i] {
+		if s != nil && s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Build validates the specs against a core of numElements elements and
+// assigns slots. Overlapping buses take different slots; more than two
+// buses over any element is an error. Two buses with the same name must
+// not overlap (a name may be reused for a stopped-and-restarted bus).
+func Build(specs []Spec, numElements int) (*Plan, error) {
+	if numElements <= 0 {
+		return nil, fmt.Errorf("bus: core has no elements")
+	}
+	segs := make([]Segment, len(specs))
+	for i, sp := range specs {
+		to := sp.To
+		if to == -1 {
+			to = numElements - 1
+		}
+		if sp.Name == "" {
+			return nil, fmt.Errorf("bus: bus %d has no name", i)
+		}
+		if sp.From < 0 || sp.From >= numElements || to < sp.From || to >= numElements {
+			return nil, fmt.Errorf("bus %s: range [%d,%d] invalid for %d elements",
+				sp.Name, sp.From, sp.To, numElements)
+		}
+		segs[i] = Segment{Name: sp.Name, From: sp.From, To: to}
+	}
+	// Same-name overlap check.
+	for i := range segs {
+		for j := i + 1; j < len(segs); j++ {
+			if segs[i].Name == segs[j].Name && segs[i].From <= segs[j].To && segs[j].From <= segs[i].To {
+				return nil, fmt.Errorf("bus %s: two segments overlap at elements [%d,%d]",
+					segs[i].Name, max(segs[i].From, segs[j].From), min(segs[i].To, segs[j].To))
+			}
+		}
+	}
+
+	// Greedy interval 2-coloring in order of start index: reuse a slot
+	// whose previous occupant has ended.
+	order := make([]int, len(segs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if segs[order[a]].From != segs[order[b]].From {
+			return segs[order[a]].From < segs[order[b]].From
+		}
+		return segs[order[a]].Name < segs[order[b]].Name
+	})
+	slotEnd := [NumSlots]int{-1, -1} // last occupied element index per slot
+	for _, idx := range order {
+		s := &segs[idx]
+		placed := false
+		for slot := Upper; slot < NumSlots; slot++ {
+			if slotEnd[slot] < s.From {
+				s.Slot = slot
+				slotEnd[slot] = s.To
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("bus %s: more than two buses would run through element %d",
+				s.Name, s.From)
+		}
+	}
+
+	plan := &Plan{Segments: segs, AtElement: make([][NumSlots]*Segment, numElements)}
+	for i := range segs {
+		s := &plan.Segments[i]
+		for e := s.From; e <= s.To; e++ {
+			if prev := plan.AtElement[e][s.Slot]; prev != nil {
+				return nil, fmt.Errorf("bus: slot %v conflict at element %d between %s and %s",
+					s.Slot, e, prev.Name, s.Name)
+			}
+			plan.AtElement[e][s.Slot] = s
+		}
+	}
+	return plan, nil
+}
+
+// PrechargeSites returns, for each segment, the element index before which
+// its precharge cell must be inserted (the start of the segment). Every
+// segment needs exactly one: "bus precharge circuits must be added for
+// each bus. Details like these need not be specified by the user, but are
+// added by the compiler."
+func (p *Plan) PrechargeSites() []Segment {
+	out := append([]Segment(nil), p.Segments...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return out
+}

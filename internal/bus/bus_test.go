@@ -1,0 +1,148 @@
+package bus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTwoFullLengthBuses(t *testing.T) {
+	p, err := Build([]Spec{{Name: "A", From: 0, To: -1}, {Name: "B", From: 0, To: -1}}, 5)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d", len(p.Segments))
+	}
+	if p.Segments[0].Slot == p.Segments[1].Slot {
+		t.Error("overlapping buses share a slot")
+	}
+	for e := 0; e < 5; e++ {
+		a, ok := p.SegmentFor("A", e)
+		if !ok || a.To != 4 {
+			t.Errorf("A missing at %d", e)
+		}
+		if _, ok := p.SegmentFor("B", e); !ok {
+			t.Errorf("B missing at %d", e)
+		}
+	}
+}
+
+func TestStoppedBusReusesSlot(t *testing.T) {
+	// A covers [0,2]; C covers [3,5]; B runs full length. A and C can share
+	// a slot.
+	p, err := Build([]Spec{
+		{Name: "A", From: 0, To: 2},
+		{Name: "B", From: 0, To: -1},
+		{Name: "C", From: 3, To: 5},
+	}, 6)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	var a, c *Segment
+	for i := range p.Segments {
+		switch p.Segments[i].Name {
+		case "A":
+			a = &p.Segments[i]
+		case "C":
+			c = &p.Segments[i]
+		}
+	}
+	if a.Slot != c.Slot {
+		t.Errorf("A slot %v, C slot %v: should reuse", a.Slot, c.Slot)
+	}
+}
+
+func TestThreeOverlappingBusesFail(t *testing.T) {
+	_, err := Build([]Spec{
+		{Name: "A", From: 0, To: -1},
+		{Name: "B", From: 0, To: -1},
+		{Name: "C", From: 2, To: 4},
+	}, 6)
+	if err == nil || !strings.Contains(err.Error(), "more than two buses") {
+		t.Errorf("want overlap error, got %v", err)
+	}
+}
+
+func TestSameNameOverlapFails(t *testing.T) {
+	_, err := Build([]Spec{
+		{Name: "A", From: 0, To: 3},
+		{Name: "A", From: 2, To: 5},
+	}, 6)
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("want same-name overlap error, got %v", err)
+	}
+}
+
+func TestSameNameDisjointOK(t *testing.T) {
+	p, err := Build([]Spec{
+		{Name: "A", From: 0, To: 2},
+		{Name: "A", From: 3, To: 5},
+	}, 6)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(p.Segments) != 2 {
+		t.Error("restarted bus should produce two segments")
+	}
+}
+
+func TestRangeValidation(t *testing.T) {
+	cases := []Spec{
+		{Name: "A", From: -1, To: 2},
+		{Name: "A", From: 0, To: 9},
+		{Name: "A", From: 3, To: 1},
+		{Name: "", From: 0, To: 1},
+	}
+	for _, sp := range cases {
+		if _, err := Build([]Spec{sp}, 4); err == nil {
+			t.Errorf("spec %+v should fail", sp)
+		}
+	}
+	if _, err := Build(nil, 0); err == nil {
+		t.Error("empty core should fail")
+	}
+}
+
+func TestPrechargeSites(t *testing.T) {
+	p, err := Build([]Spec{
+		{Name: "B", From: 0, To: -1},
+		{Name: "A", From: 0, To: 2},
+		{Name: "C", From: 3, To: 5},
+	}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := p.PrechargeSites()
+	if len(sites) != 3 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	// Ordered by start element.
+	if sites[0].From != 0 || sites[1].From != 0 || sites[2].From != 3 {
+		t.Errorf("site order wrong: %+v", sites)
+	}
+	if sites[2].Name != "C" {
+		t.Errorf("third site = %+v", sites[2])
+	}
+}
+
+func TestSlotString(t *testing.T) {
+	if Upper.String() != "upper" || Lower.String() != "lower" {
+		t.Error("slot names wrong")
+	}
+	if !strings.Contains(Slot(9).String(), "9") {
+		t.Error("unknown slot name wrong")
+	}
+}
+
+func TestSegmentForOutOfRange(t *testing.T) {
+	p, _ := Build([]Spec{{Name: "A", From: 0, To: -1}}, 3)
+	if _, ok := p.SegmentFor("A", -1); ok {
+		t.Error("negative index should miss")
+	}
+	if _, ok := p.SegmentFor("A", 3); ok {
+		t.Error("past-end index should miss")
+	}
+	if _, ok := p.SegmentFor("Z", 1); ok {
+		t.Error("unknown bus should miss")
+	}
+}

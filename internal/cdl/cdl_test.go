@@ -1,0 +1,119 @@
+package cdl
+
+import (
+	"testing"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/celllib"
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/transistor"
+)
+
+const sample = `
+# a pass transistor in the cell design language
+cell pass
+size 0 0 48 48
+box diff 0 20 48 28
+box poly 20 12 28 48
+label a 4 24 diff
+label b 44 24 diff
+label g 24 44 poly
+bristle a W 24 diff 8 abut net=a
+bristle b E 24 diff 8 abut net=b
+bristle g N 24 poly 8 abut net=g
+stretchx 8 40
+power 0
+tx enh g a b
+doc pass transistor: connects a to b while g is high
+blocklabel PASS switch
+endcell
+`
+
+func TestParseSample(t *testing.T) {
+	cells, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("parsed %d cells", len(cells))
+	}
+	c := cells[0]
+	if c.Name != "pass" || c.Size != geom.R(0, 0, 48, 48) {
+		t.Errorf("header wrong: %s %v", c.Name, c.Size)
+	}
+	if len(c.Layout.Boxes) != 2 || len(c.Bristles) != 3 {
+		t.Errorf("geometry wrong: %d boxes, %d bristles", len(c.Layout.Boxes), len(c.Bristles))
+	}
+	// The parsed cell passes the library invariants.
+	if vs := drc.Check(c.Layout, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("DRC: %v", vs)
+	}
+	got, err := transistor.Extract(c.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(c.Netlist) {
+		t.Fatalf("netlist mismatch:\n%s", c.Netlist.Diff(got))
+	}
+}
+
+// TestLibraryCellsRoundTrip exports procedural library cells to CDL and
+// reads them back: the library can live in disk files, as the paper
+// describes.
+func TestLibraryCellsRoundTrip(t *testing.T) {
+	reg, err := celllib.RegBit("regbit", "A", "B", "r.ld", "OP=1", "r.rd", "OP=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, orig := range []*cell.Cell{celllib.Inverter("inv"), celllib.PassGate("pg"), reg} {
+		text := Format(orig)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: re-Parse: %v\n%s", orig.Name, err, text)
+		}
+		if len(back) != 1 {
+			t.Fatalf("%s: got %d cells", orig.Name, len(back))
+		}
+		b := back[0]
+		if b.Size != orig.Size {
+			t.Errorf("%s: size %v vs %v", orig.Name, b.Size, orig.Size)
+		}
+		if len(b.Bristles) != len(orig.Bristles) {
+			t.Errorf("%s: bristles %d vs %d", orig.Name, len(b.Bristles), len(orig.Bristles))
+		}
+		if !b.Netlist.Equal(orig.Netlist) {
+			t.Errorf("%s: netlist mismatch:\n%s", orig.Name, orig.Netlist.Diff(b.Netlist))
+		}
+		if len(b.Layout.Boxes) != len(orig.Layout.Boxes) || len(b.Layout.Wires) != len(orig.Layout.Wires) {
+			t.Errorf("%s: geometry counts differ", orig.Name)
+		}
+		if Format(b) != text {
+			t.Errorf("%s: format not stable", orig.Name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"box diff 0 0 4 4",                                                  // outside a cell
+		"cell a\ncell b\nendcell",                                           // nested
+		"cell a\nsize 0 0 8 8\n",                                            // unterminated
+		"cell a\nendcell",                                                   // no size
+		"cell a\nsize 0 0 8 8\nbox bogus 0 0 4 4\nendcell",                  // bad layer
+		"cell a\nsize 0 0 8 8\nbox diff 0 0\nendcell",                       // short coords
+		"cell a\nsize 0 0 8 8\nwire metal 8 0 0\nendcell",                   // short wire
+		"cell a\nsize 0 0 8 8\nbristle x Q 4 poly 8 abut\nendcell",          // bad side
+		"cell a\nsize 0 0 8 8\nbristle x W 4 poly 8 funky\nendcell",         // bad flavor
+		"cell a\nsize 0 0 8 8\ntx foo a b c\nendcell",                       // bad tx kind
+		"cell a\nsize 0 0 8 8\ngate frob x y\nendcell",                      // bad gate
+		"cell a\nsize 0 0 8 8\nwhatever\nendcell",                           // unknown directive
+		"cell a\nsize 0 0 8 8\nbristle x W 4 poly 8 control net=x\nendcell", // control needs guard
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package cell defines the fundamental unit of the Bristle Blocks system:
+// the procedural cell. A cell bundles its mask geometry with its other
+// representations (sticks, transistors, logic, text, simulation notes,
+// block info), its stretch lines, its power demand, and — the system's
+// namesake — its bristles: typed connection points along the cell edges on
+// which the compiler builds every computable structure.
+package cell
+
+import (
+	"fmt"
+	"sort"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+	"bristleblocks/internal/mask"
+	"bristleblocks/internal/sticks"
+	"bristleblocks/internal/transistor"
+)
+
+// Side identifies the cell edge a bristle sits on.
+type Side uint8
+
+const (
+	// North is the top edge (y = Size.MaxY).
+	North Side = iota
+	// East is the right edge (x = Size.MaxX).
+	East
+	// South is the bottom edge (y = Size.MinY).
+	South
+	// West is the left edge (x = Size.MinX).
+	West
+)
+
+var sideNames = [...]string{"N", "E", "S", "W"}
+
+// String names the side (N, E, S, W).
+func (s Side) String() string {
+	if int(s) < len(sideNames) {
+		return sideNames[s]
+	}
+	return fmt.Sprintf("Side(%d)", uint8(s))
+}
+
+// Horizontal reports whether the side runs horizontally (North/South), in
+// which case bristle offsets are x positions; East/West offsets are y
+// positions.
+func (s Side) Horizontal() bool { return s == North || s == South }
+
+// Flavor is the connection-point type: it tells the compiler which pass is
+// responsible for hooking the bristle up and what to hook it to.
+type Flavor uint8
+
+const (
+	// BusTap connects to a data bus running through the core; the Net field
+	// names the bus.
+	BusTap Flavor = iota
+	// Control requests a decoder-driven control line; Guard holds the
+	// decode function over microcode fields and Phase its clock timing.
+	Control
+	// Power is a VDD supply connection.
+	Power
+	// Ground is a GND supply connection.
+	Ground
+	// Clock is a clock connection; Net is "phi1" or "phi2".
+	Clock
+	// PadReq requests a pad; PadClass selects the pad flavor and the pad
+	// pass places the pad and routes the wire.
+	PadReq
+	// Abut is a plain data connection that must line up with the abutting
+	// neighbor cell (inter-cell data, e.g. a carry chain).
+	Abut
+)
+
+var flavorNames = [...]string{"bus", "control", "power", "ground", "clock", "pad", "abut"}
+
+// String names the bristle flavor.
+func (f Flavor) String() string {
+	if int(f) < len(flavorNames) {
+		return flavorNames[f]
+	}
+	return fmt.Sprintf("Flavor(%d)", uint8(f))
+}
+
+// Bristle is one typed connection point on a cell edge.
+type Bristle struct {
+	Name   string
+	Side   Side
+	Offset geom.Coord // x for N/S sides, y for E/W sides (wire centerline)
+	Layer  layer.Layer
+	Width  geom.Coord
+	Flavor Flavor
+	Net    string // net name (bus name for BusTap, phi1/phi2 for Clock)
+	// Guard is the decode function for Control bristles, in the microcode
+	// guard expression language (see package decoder).
+	Guard string
+	// Phase is the clock phase (1 or 2) on which a Control signal must be
+	// valid.
+	Phase int
+	// PadClass selects the pad flavor for PadReq bristles: "input",
+	// "output", "vdd", "gnd", "phi1", "phi2".
+	PadClass string
+}
+
+// Position returns the bristle's location on the cell boundary given the
+// cell's abutment box.
+func (b Bristle) Position(size geom.Rect) geom.Point {
+	switch b.Side {
+	case North:
+		return geom.Pt(b.Offset, size.MaxY)
+	case South:
+		return geom.Pt(b.Offset, size.MinY)
+	case East:
+		return geom.Pt(size.MaxX, b.Offset)
+	default:
+		return geom.Pt(size.MinX, b.Offset)
+	}
+}
+
+// PowerRail describes a supply rail that the stretch engine may widen to
+// meet current-density requirements. Y is the rail centerline; Width its
+// drawn width. Rails run horizontally across the full cell.
+type PowerRail struct {
+	Net   string // "vdd" or "gnd"
+	Y     geom.Coord
+	Width geom.Coord
+}
+
+// Cell is one Bristle Blocks cell: geometry, bristles, stretchability, and
+// the cell's other representations.
+type Cell struct {
+	Name string
+	// Layout is the mask-level geometry. Stretchable cells must be leaves
+	// (no instances).
+	Layout *mask.Cell
+	// Size is the abutment box: the footprint neighbors see. Geometry may
+	// extend slightly beyond it (e.g. poly heads) by interface agreement.
+	Size geom.Rect
+	// Bristles are the connection points.
+	Bristles []Bristle
+	// StretchX are vertical cut lines (x positions) where horizontal
+	// stretch may be inserted; StretchY are horizontal cut lines (y
+	// positions) for vertical stretch.
+	StretchX, StretchY []geom.Coord
+	// Rails lists the power rails for widening.
+	Rails []PowerRail
+	// PowerUA is the cell's supply current demand in microamps, used to
+	// size rails along the core.
+	PowerUA int
+
+	// The remaining representations.
+	Sticks  *sticks.Diagram
+	Netlist *transistor.Netlist
+	Logic   *logic.Diagram
+	// Doc is the Text-level description fragment for the user's manual.
+	Doc string
+	// SimNote describes the cell's Simulation-level behaviour; the
+	// executable behaviour lives with the element that owns the cell.
+	SimNote string
+	// BlockLabel and BlockClass feed the Block-level chip diagram.
+	BlockLabel, BlockClass string
+}
+
+// New returns an empty cell with the given name and abutment box.
+func New(name string, size geom.Rect) *Cell {
+	return &Cell{
+		Name:   name,
+		Layout: mask.NewCell(name),
+		Size:   size,
+	}
+}
+
+// AddBristle appends a connection point.
+func (c *Cell) AddBristle(b Bristle) {
+	c.Bristles = append(c.Bristles, b)
+}
+
+// BristlesBy returns the cell's bristles with the given flavor, in edge
+// order (sorted by side then offset).
+func (c *Cell) BristlesBy(f Flavor) []Bristle {
+	var out []Bristle
+	for _, b := range c.Bristles {
+		if b.Flavor == f {
+			out = append(out, b)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Side != out[j].Side {
+			return out[i].Side < out[j].Side
+		}
+		return out[i].Offset < out[j].Offset
+	})
+	return out
+}
+
+// FindBristle returns the first bristle with the given name.
+func (c *Cell) FindBristle(name string) (Bristle, bool) {
+	for _, b := range c.Bristles {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Bristle{}, false
+}
+
+// Copy returns a deep copy of the cell (layout, bristles, stretch lines,
+// representations), suitable for independent stretching.
+func (c *Cell) Copy() *Cell {
+	out := &Cell{
+		Name:       c.Name,
+		Layout:     c.Layout.Copy(),
+		Size:       c.Size,
+		Bristles:   append([]Bristle(nil), c.Bristles...),
+		StretchX:   append([]geom.Coord(nil), c.StretchX...),
+		StretchY:   append([]geom.Coord(nil), c.StretchY...),
+		Rails:      append([]PowerRail(nil), c.Rails...),
+		PowerUA:    c.PowerUA,
+		Doc:        c.Doc,
+		SimNote:    c.SimNote,
+		BlockLabel: c.BlockLabel,
+		BlockClass: c.BlockClass,
+	}
+	if c.Sticks != nil {
+		out.Sticks = c.Sticks.Copy()
+	}
+	if c.Netlist != nil {
+		out.Netlist = c.Netlist.Copy()
+	}
+	if c.Logic != nil {
+		out.Logic = c.Logic.Copy()
+	}
+	return out
+}
+
+// Width and Height of the abutment box.
+func (c *Cell) Width() geom.Coord { return c.Size.W() }
+
+// Height is the abutment box height.
+func (c *Cell) Height() geom.Coord { return c.Size.H() }
+
+// Validate checks structural invariants: bristles lie on their edges within
+// the abutment box, stretch lines lie inside the box, and stretchable cells
+// are leaves.
+func (c *Cell) Validate() error {
+	if c.Layout == nil {
+		return fmt.Errorf("cell %s: nil layout", c.Name)
+	}
+	if c.Size.Empty() {
+		return fmt.Errorf("cell %s: empty abutment box", c.Name)
+	}
+	for _, b := range c.Bristles {
+		var lo, hi geom.Coord
+		if b.Side.Horizontal() {
+			lo, hi = c.Size.MinX, c.Size.MaxX
+		} else {
+			lo, hi = c.Size.MinY, c.Size.MaxY
+		}
+		if b.Offset < lo || b.Offset > hi {
+			return fmt.Errorf("cell %s: bristle %q offset %d outside edge [%d,%d]",
+				c.Name, b.Name, b.Offset, lo, hi)
+		}
+		if b.Flavor == Control && b.Guard == "" {
+			return fmt.Errorf("cell %s: control bristle %q has no guard", c.Name, b.Name)
+		}
+		if b.Flavor == PadReq && b.PadClass == "" {
+			return fmt.Errorf("cell %s: pad bristle %q has no pad class", c.Name, b.Name)
+		}
+	}
+	for _, x := range c.StretchX {
+		if x <= c.Size.MinX || x >= c.Size.MaxX {
+			return fmt.Errorf("cell %s: stretch-x line %d outside box", c.Name, x)
+		}
+	}
+	for _, y := range c.StretchY {
+		if y <= c.Size.MinY || y >= c.Size.MaxY {
+			return fmt.Errorf("cell %s: stretch-y line %d outside box", c.Name, y)
+		}
+	}
+	if (len(c.StretchX) > 0 || len(c.StretchY) > 0) && !c.Layout.IsLeaf() {
+		return fmt.Errorf("cell %s: stretchable cells must be leaves", c.Name)
+	}
+	return nil
+}

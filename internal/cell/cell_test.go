@@ -1,0 +1,161 @@
+package cell
+
+import (
+	"testing"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+	"bristleblocks/internal/sticks"
+	"bristleblocks/internal/transistor"
+)
+
+func TestSide(t *testing.T) {
+	if !North.Horizontal() || !South.Horizontal() {
+		t.Error("N/S should be horizontal")
+	}
+	if East.Horizontal() || West.Horizontal() {
+		t.Error("E/W should not be horizontal")
+	}
+	if North.String() != "N" || West.String() != "W" {
+		t.Error("side names wrong")
+	}
+}
+
+func TestBristlePosition(t *testing.T) {
+	size := geom.R(0, 0, 100, 40)
+	cases := []struct {
+		b    Bristle
+		want geom.Point
+	}{
+		{Bristle{Side: North, Offset: 30}, geom.Pt(30, 40)},
+		{Bristle{Side: South, Offset: 30}, geom.Pt(30, 0)},
+		{Bristle{Side: East, Offset: 12}, geom.Pt(100, 12)},
+		{Bristle{Side: West, Offset: 12}, geom.Pt(0, 12)},
+	}
+	for _, c := range cases {
+		if got := c.b.Position(size); got != c.want {
+			t.Errorf("%v position = %v, want %v", c.b.Side, got, c.want)
+		}
+	}
+}
+
+func TestBristlesByAndFind(t *testing.T) {
+	c := New("t", geom.R(0, 0, 100, 100))
+	c.AddBristle(Bristle{Name: "b2", Side: West, Offset: 40, Flavor: BusTap, Net: "B"})
+	c.AddBristle(Bristle{Name: "ctl", Side: North, Offset: 10, Flavor: Control, Guard: "OP=1"})
+	c.AddBristle(Bristle{Name: "b1", Side: West, Offset: 10, Flavor: BusTap, Net: "A"})
+
+	taps := c.BristlesBy(BusTap)
+	if len(taps) != 2 || taps[0].Name != "b1" || taps[1].Name != "b2" {
+		t.Errorf("BristlesBy order wrong: %+v", taps)
+	}
+	if b, ok := c.FindBristle("ctl"); !ok || b.Guard != "OP=1" {
+		t.Error("FindBristle failed")
+	}
+	if _, ok := c.FindBristle("nope"); ok {
+		t.Error("FindBristle should miss")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := New("g", geom.R(0, 0, 100, 40))
+	good.AddBristle(Bristle{Name: "a", Side: West, Offset: 20, Flavor: BusTap, Net: "A"})
+	good.StretchY = []geom.Coord{10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid cell rejected: %v", err)
+	}
+
+	offEdge := New("o", geom.R(0, 0, 100, 40))
+	offEdge.AddBristle(Bristle{Name: "a", Side: West, Offset: 50})
+	if err := offEdge.Validate(); err == nil {
+		t.Error("off-edge bristle should be rejected")
+	}
+
+	noGuard := New("n", geom.R(0, 0, 100, 40))
+	noGuard.AddBristle(Bristle{Name: "c", Side: North, Offset: 10, Flavor: Control})
+	if err := noGuard.Validate(); err == nil {
+		t.Error("control bristle without guard should be rejected")
+	}
+
+	noClass := New("p", geom.R(0, 0, 100, 40))
+	noClass.AddBristle(Bristle{Name: "p", Side: North, Offset: 10, Flavor: PadReq})
+	if err := noClass.Validate(); err == nil {
+		t.Error("pad bristle without class should be rejected")
+	}
+
+	badCut := New("s", geom.R(0, 0, 100, 40))
+	badCut.StretchY = []geom.Coord{40}
+	if err := badCut.Validate(); err == nil {
+		t.Error("stretch line on the boundary should be rejected")
+	}
+
+	empty := New("e", geom.Rect{})
+	if err := empty.Validate(); err == nil {
+		t.Error("empty abutment box should be rejected")
+	}
+
+	hier := New("h", geom.R(0, 0, 10, 10))
+	hier.Layout.Place(New("sub", geom.R(0, 0, 4, 4)).Layout, geom.Identity)
+	hier.StretchX = []geom.Coord{5}
+	if err := hier.Validate(); err == nil {
+		t.Error("stretchable non-leaf should be rejected")
+	}
+}
+
+func TestCopyIsolation(t *testing.T) {
+	c := New("c", geom.R(0, 0, 40, 40))
+	c.Layout.AddBox(layer.Diff, geom.R(0, 0, 8, 8))
+	c.AddBristle(Bristle{Name: "a", Side: West, Offset: 8})
+	c.StretchY = []geom.Coord{20}
+	c.Sticks = &sticks.Diagram{}
+	c.Sticks.AddSeg(layer.Metal, geom.Pt(0, 0), geom.Pt(40, 0))
+	c.Netlist = &transistor.Netlist{}
+	c.Netlist.AddEnh("g", "s", "d", 8, 8)
+	c.Logic = &logic.Diagram{}
+	c.Logic.AddGate(logic.Inv, "out", "in")
+	c.PowerUA = 100
+
+	cp := c.Copy()
+	cp.Bristles[0].Offset = 99
+	cp.StretchY[0] = 1
+	cp.Layout.Boxes[0].R = geom.R(0, 0, 1, 1)
+	cp.Sticks.Segs[0].A = geom.Pt(5, 5)
+	cp.Netlist.Txs[0].Gate = "x"
+	cp.Logic.Gates[0].Output = "y"
+
+	if c.Bristles[0].Offset != 8 || c.StretchY[0] != 20 {
+		t.Error("copy shares bristles/stretch lines")
+	}
+	if c.Layout.Boxes[0].R != geom.R(0, 0, 8, 8) {
+		t.Error("copy shares layout")
+	}
+	if c.Sticks.Segs[0].A != geom.Pt(0, 0) {
+		t.Error("copy shares sticks")
+	}
+	if c.Netlist.Txs[0].Gate != "g" {
+		t.Error("copy shares netlist")
+	}
+	if c.Logic.Gates[0].Output != "out" {
+		t.Error("copy shares logic")
+	}
+	if cp.PowerUA != 100 {
+		t.Error("power not copied")
+	}
+}
+
+func TestWidthHeight(t *testing.T) {
+	c := New("c", geom.R(5, 10, 45, 110))
+	if c.Width() != 40 || c.Height() != 100 {
+		t.Errorf("W,H = %d,%d", c.Width(), c.Height())
+	}
+}
+
+func TestFlavorAndSideStrings(t *testing.T) {
+	if BusTap.String() != "bus" || PadReq.String() != "pad" || Abut.String() != "abut" {
+		t.Error("flavor names wrong")
+	}
+	if Flavor(99).String() == "" || Side(99).String() == "" {
+		t.Error("out-of-range names should not be empty")
+	}
+}

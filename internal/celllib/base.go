@@ -1,0 +1,144 @@
+// Package celllib is the low-level cell library: the procedural cells the
+// compiler snaps together. Each generator is a little program (the paper's
+// procedural cells, versus static "database cells") that draws its layout,
+// declares its bristles and stretch lines, computes its power requirement,
+// and carries its sticks/transistor/logic/text representations.
+//
+// All geometry is Mead & Conway nMOS on the quarter-lambda grid and must
+// pass the package drc checker; every cell's declared netlist must match
+// extraction of its own layout (verified in tests).
+package celllib
+
+import (
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+	"bristleblocks/internal/sticks"
+	"bristleblocks/internal/transistor"
+)
+
+// L is shorthand for whole lambdas in quanta.
+func L(n int) geom.Coord { return geom.L(n) }
+
+// Inverter generates the standard nMOS inverter used throughout the
+// library and the decoder: enhancement pulldown, depletion pullup with
+// gate tied to the output. The cell is 14λ wide and 32λ tall with GND at
+// the bottom rail and VDD at the top rail.
+//
+// Bristles: in (west, poly), out (east, metal), plus power rails.
+func Inverter(name string) *cell.Cell {
+	c := cell.New(name, geom.R(L(-6), L(-2), L(8), L(30)))
+	lay := c.Layout
+
+	// Rails.
+	lay.AddBox(layer.Metal, geom.R(L(-6), L(-2), L(8), L(2)))  // GND
+	lay.AddBox(layer.Metal, geom.R(L(-6), L(26), L(8), L(30))) // VDD
+	lay.AddLabel("gnd", geom.Pt(L(-5), 0), layer.Metal)
+	lay.AddLabel("vdd", geom.Pt(L(-5), L(28)), layer.Metal)
+
+	// Diffusion: bottom head, strip, top head (one continuous column).
+	lay.AddBox(layer.Diff, geom.R(L(-1), L(-2), L(3), L(2)))  // bottom head
+	lay.AddBox(layer.Diff, geom.R(0, L(2), L(2), L(26)))      // strip
+	lay.AddBox(layer.Diff, geom.R(L(-1), L(26), L(3), L(30))) // top head
+	lay.AddBox(layer.Diff, geom.R(L(-1), L(12), L(3), L(16))) // output head
+
+	// Contacts: gnd, output, vdd.
+	lay.AddBox(layer.Contact, geom.R(0, L(-1), L(2), L(1)))
+	lay.AddBox(layer.Contact, geom.R(0, L(13), L(2), L(15)))
+	lay.AddBox(layer.Contact, geom.R(0, L(27), L(2), L(29)))
+
+	// Pulldown gate with input poly to the west edge.
+	lay.AddBox(layer.Poly, geom.R(L(-6), L(6), L(4), L(8)))
+	lay.AddLabel("in", geom.Pt(L(-5), L(7)), layer.Poly)
+
+	// Output metal pad over the mid head, reaching the east edge.
+	lay.AddBox(layer.Metal, geom.R(L(-1), L(12), L(8), L(16)))
+	lay.AddLabel("out", geom.Pt(L(7), L(14)), layer.Metal)
+
+	// Depletion pullup: gate poly, implant, and the gate-to-output tie
+	// (poly riser + pad + contact onto the output metal).
+	lay.AddBox(layer.Poly, geom.R(L(-2), L(20), L(4), L(22)))
+	lay.AddBox(layer.Implant, geom.R(L(-2), L(18), L(4), L(24)))
+	lay.AddBox(layer.Poly, geom.R(L(4), L(14), L(6), L(21)))
+	lay.AddBox(layer.Poly, geom.R(L(4), L(12), L(8), L(16)))
+	lay.AddBox(layer.Contact, geom.R(L(5), L(13), L(7), L(15)))
+
+	c.AddBristle(cell.Bristle{Name: "in", Side: cell.West, Offset: L(7), Layer: layer.Poly, Width: L(2), Flavor: cell.Abut, Net: "in"})
+	c.AddBristle(cell.Bristle{Name: "out", Side: cell.East, Offset: L(14), Layer: layer.Metal, Width: L(4), Flavor: cell.Abut, Net: "out"})
+	c.AddBristle(cell.Bristle{Name: "gnd", Side: cell.West, Offset: 0, Layer: layer.Metal, Width: L(4), Flavor: cell.Ground, Net: "gnd"})
+	c.AddBristle(cell.Bristle{Name: "vdd", Side: cell.West, Offset: L(28), Layer: layer.Metal, Width: L(4), Flavor: cell.Power, Net: "vdd"})
+	c.Rails = []cell.PowerRail{
+		{Net: "gnd", Y: 0, Width: L(4)},
+		{Net: "vdd", Y: L(28), Width: L(4)},
+	}
+	c.StretchY = []geom.Coord{L(4), L(10), L(17)}
+	c.PowerUA = 50
+
+	c.Netlist = &transistor.Netlist{}
+	c.Netlist.AddEnh("in", "gnd", "out", L(2), L(2))
+	c.Netlist.AddDep("out", "out", "vdd", L(2), L(2))
+
+	c.Logic = &logic.Diagram{Inputs: []string{"in"}, Outputs: []string{"out"}}
+	c.Logic.AddGate(logic.Inv, "out", "in")
+
+	c.Sticks = invSticks()
+	c.Doc = "inverter: out = !in (enhancement pulldown, depletion load)"
+	c.SimNote = "combinational: out follows !in within one phase"
+	c.BlockLabel, c.BlockClass = "INV", "logic"
+	return c
+}
+
+func invSticks() *sticks.Diagram {
+	d := &sticks.Diagram{}
+	d.AddSeg(layer.Metal, geom.Pt(L(-6), 0), geom.Pt(L(8), 0))         // gnd
+	d.AddSeg(layer.Metal, geom.Pt(L(-6), L(28)), geom.Pt(L(8), L(28))) // vdd
+	d.AddSeg(layer.Diff, geom.Pt(L(1), 0), geom.Pt(L(1), L(28)))       // strip
+	d.AddSeg(layer.Poly, geom.Pt(L(-6), L(7)), geom.Pt(L(1), L(7)))    // input
+	d.AddSeg(layer.Metal, geom.Pt(L(1), L(14)), geom.Pt(L(8), L(14)))  // output
+	d.AddDot("contact", geom.Pt(L(1), 0))
+	d.AddDot("enh", geom.Pt(L(1), L(7)))
+	d.AddDot("contact", geom.Pt(L(1), L(14)))
+	d.AddDot("dep", geom.Pt(L(1), L(21)))
+	d.AddDot("contact", geom.Pt(L(1), L(28)))
+	d.AddPin("in", geom.Pt(L(-6), L(7)))
+	d.AddPin("out", geom.Pt(L(8), L(14)))
+	return d
+}
+
+// PassGate generates a pass transistor: a horizontal diffusion path gated
+// by a vertical poly line. 12λ wide, 12λ tall; a/b terminals east/west on
+// diffusion, gate north on poly.
+func PassGate(name string) *cell.Cell {
+	c := cell.New(name, geom.R(0, 0, L(12), L(12)))
+	lay := c.Layout
+	lay.AddBox(layer.Diff, geom.R(0, L(5), L(12), L(7)))
+	lay.AddBox(layer.Poly, geom.R(L(5), L(3), L(7), L(12)))
+	lay.AddLabel("a", geom.Pt(L(1), L(6)), layer.Diff)
+	lay.AddLabel("b", geom.Pt(L(11), L(6)), layer.Diff)
+	lay.AddLabel("g", geom.Pt(L(6), L(11)), layer.Poly)
+
+	c.AddBristle(cell.Bristle{Name: "a", Side: cell.West, Offset: L(6), Layer: layer.Diff, Width: L(2), Flavor: cell.Abut, Net: "a"})
+	c.AddBristle(cell.Bristle{Name: "b", Side: cell.East, Offset: L(6), Layer: layer.Diff, Width: L(2), Flavor: cell.Abut, Net: "b"})
+	c.AddBristle(cell.Bristle{Name: "g", Side: cell.North, Offset: L(6), Layer: layer.Poly, Width: L(2), Flavor: cell.Abut, Net: "g"})
+	c.StretchX = []geom.Coord{L(2), L(10)}
+	c.PowerUA = 0
+
+	c.Netlist = &transistor.Netlist{}
+	c.Netlist.AddEnh("g", "a", "b", L(2), L(2))
+
+	c.Sticks = &sticks.Diagram{}
+	c.Sticks.AddSeg(layer.Diff, geom.Pt(0, L(6)), geom.Pt(L(12), L(6)))
+	c.Sticks.AddSeg(layer.Poly, geom.Pt(L(6), L(3)), geom.Pt(L(6), L(12)))
+	c.Sticks.AddDot("enh", geom.Pt(L(6), L(6)))
+
+	// At the logic level a pass transistor into a capacitive node is a
+	// dynamic latch: b follows a while g is high and holds otherwise.
+	c.Logic = &logic.Diagram{Inputs: []string{"a", "g"}, Outputs: []string{"b"}}
+	c.Logic.AddGate(logic.Latch, "b", "a", "g")
+
+	c.Doc = "pass transistor: connects a to b while g is high"
+	c.SimNote = "transmission gate"
+	c.BlockLabel, c.BlockClass = "PASS", "switch"
+	return c
+}

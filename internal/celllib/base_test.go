@@ -1,0 +1,68 @@
+package celllib
+
+import (
+	"testing"
+
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/stretch"
+	"bristleblocks/internal/transistor"
+)
+
+func TestInverterInvariants(t *testing.T) {
+	c := Inverter("inv")
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	vs := drc.Check(c.Layout, layer.MeadConway(), nil)
+	if len(vs) != 0 {
+		t.Fatalf("inverter DRC violations:\n%v", vs)
+	}
+	got, err := transistor.Extract(c.Layout)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if !got.Equal(c.Netlist) {
+		t.Fatalf("extracted netlist differs from declared:\n%s\nextracted:\n%s", c.Netlist.Diff(got), got)
+	}
+}
+
+func TestInverterStretchStaysClean(t *testing.T) {
+	for _, delta := range []int{1, 2, 5, 10} {
+		c := Inverter("inv")
+		ins := make([]stretch.Insertion, len(c.StretchY))
+		for i, at := range c.StretchY {
+			ins[i] = stretch.Insertion{At: at, Delta: L(delta)}
+		}
+		if err := stretch.Y(c, ins); err != nil {
+			t.Fatalf("stretch %d: %v", delta, err)
+		}
+		if vs := drc.Check(c.Layout, layer.MeadConway(), nil); len(vs) != 0 {
+			t.Errorf("stretch %dλ per cut: DRC violations:\n%v", delta, vs)
+		}
+		got, err := transistor.Extract(c.Layout)
+		if err != nil {
+			t.Fatalf("stretch %d: extract: %v", delta, err)
+		}
+		if !got.Equal(c.Netlist) {
+			t.Errorf("stretch %d changed the circuit:\n%s", delta, c.Netlist.Diff(got))
+		}
+	}
+}
+
+func TestPassGateInvariants(t *testing.T) {
+	c := PassGate("pg")
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if vs := drc.Check(c.Layout, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("pass gate DRC violations:\n%v", vs)
+	}
+	got, err := transistor.Extract(c.Layout)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if !got.Equal(c.Netlist) {
+		t.Fatalf("netlist mismatch:\n%s", c.Netlist.Diff(got))
+	}
+}

@@ -1,0 +1,144 @@
+package celllib
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+)
+
+// Control buffer interface constants (lambda from the cell bottom). The
+// buffer row sits between the decoder PLA (above) and the core (below):
+// the PLA output enters at the north edge, the clock-qualified inverted
+// signal leaves as a poly control line at the south edge. Two clock tracks
+// run in poly through the whole row; the track that does not gate this
+// buffer is carried across its sampling strip on a short metal bypass so
+// it creates no transistor.
+const (
+	// CtlBufWidth and CtlBufHeight are the cell dimensions in lambda.
+	CtlBufWidth, CtlBufHeight = 20, 72
+	// Phi1TrackLo/Hi and Phi2TrackLo/Hi are the clock track bands.
+	Phi1TrackLo, Phi1TrackHi = 52, 54
+	Phi2TrackLo, Phi2TrackHi = 46, 48
+	// CtlBufInX is the x offset where the PLA output column enters (north);
+	// CtlBufOutX is where the control line leaves (south).
+	CtlBufInX, CtlBufOutX = 8, 3
+)
+
+// CtlBuf generates a control buffer: the PLA output (active low) is
+// sampled through a pass transistor gated by φ1 or φ2, then inverted to
+// drive the control line — "control buffers to drive the control lines are
+// inserted along the edge of the core. The timing is also added to the
+// control signals by the buffers."
+//
+// ctlName is the control net; phase selects the sampling clock.
+func CtlBuf(ctlName string, phase int) (*cell.Cell, error) {
+	if phase != 1 && phase != 2 {
+		return nil, fmt.Errorf("celllib: control buffer phase %d", phase)
+	}
+	name := fmt.Sprintf("ctlbuf[%s]", ctlName)
+	k := NewComposer(name, geom.R(0, 0, L(CtlBufWidth), L(CtlBufHeight)))
+
+	// Rails.
+	k.Box(layer.Metal, geom.R(0, 0, L(CtlBufWidth), L(4)))
+	k.Box(layer.Metal, geom.R(0, L(28), L(CtlBufWidth), L(32)))
+	k.Label("gnd", geom.Pt(L(1), L(2)), layer.Metal)
+	k.Label("vdd", geom.Pt(L(1), L(30)), layer.Metal)
+	k.Cell().Rails = []cell.PowerRail{
+		{Net: "gnd", Y: L(2), Width: L(4)},
+		{Net: "vdd", Y: L(30), Width: L(4)},
+	}
+
+	// Driving inverter, input facing east, output on the west side.
+	inv := Inverter(name + "/inv")
+	if err := k.Stamp("inv", inv, geom.At(geom.MY, L(10), L(2)), map[string]string{
+		"in": "n", "out": ctlName, "gnd": "gnd", "vdd": "vdd",
+	}); err != nil {
+		return nil, err
+	}
+
+	// PLA output entry: metal column from the north edge down to a
+	// contact head at the top of the sampling strip.
+	k.Box(layer.Metal, geom.R(L(6), L(58), L(10), L(CtlBufHeight)))
+	k.Box(layer.Diff, geom.R(L(6), L(58), L(10), L(62)))
+	k.Contact(geom.Pt(L(8), L(60)))
+	k.Label("plaout", geom.Pt(L(8), L(70)), layer.Metal)
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(L(8), L(CtlBufHeight)), geom.Pt(L(8), L(60)))
+
+	// Sampling strip from the entry head down to the node head.
+	k.Box(layer.Diff, geom.R(L(7), L(40), L(9), L(58)))
+
+	// Clock tracks. The selected track runs in poly across the cell (it
+	// gates the strip); the other is bypassed in metal around the strip.
+	drawTrack := func(lo, hi int, selected bool, netName string) {
+		if selected {
+			k.Wire(layer.Poly, L(2), geom.Pt(0, L(lo+1)), geom.Pt(L(CtlBufWidth), L(lo+1)))
+			k.Label(netName, geom.Pt(L(1), L(lo+1)), layer.Poly)
+			k.Cell().Sticks.AddDot("enh", geom.Pt(L(8), L(lo+1)))
+			return
+		}
+		// West poly pad, metal bypass over the strip, east poly pad. The
+		// pads are 4λ tall to surround their contacts; the metal stays a
+		// lambda inside the cell so neighboring bypasses cannot short.
+		k.Box(layer.Poly, geom.R(0, L(lo-1), L(6), L(hi+1)))
+		k.Box(layer.Poly, geom.R(L(14), L(lo-1), L(CtlBufWidth), L(hi+1)))
+		k.Box(layer.Metal, geom.R(L(1), L(lo-1), L(18), L(hi+1)))
+		k.Box(layer.Contact, geom.R(L(2), L(lo), L(4), L(hi)))
+		k.Box(layer.Contact, geom.R(L(15), L(lo), L(17), L(hi)))
+		k.Label(netName, geom.Pt(L(1), L(lo+1)), layer.Poly)
+	}
+	drawTrack(Phi1TrackLo, Phi1TrackHi, phase == 1, "phi1")
+	drawTrack(Phi2TrackLo, Phi2TrackHi, phase == 2, "phi2")
+
+	// Sampled node: head, contact, metal jumper east, poly pad, and the
+	// poly drop to the inverter input.
+	k.Box(layer.Diff, geom.R(L(6), L(36), L(10), L(40)))
+	k.Contact(geom.Pt(L(8), L(38)))
+	k.Box(layer.Metal, geom.R(L(6), L(36), L(16), L(40)))
+	k.Box(layer.Poly, geom.R(L(12), L(36), L(16), L(40)))
+	k.Contact(geom.Pt(L(14), L(38)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(15), L(37)), geom.Pt(L(15), L(9)))
+	k.Label("n", geom.Pt(L(8), L(37)), layer.Diff)
+
+	// Control line output: poly pad on the inverter's output metal (with a
+	// small metal extension for the contact surround), then south to the
+	// core, keeping 2λ clear of the inverter's input poly.
+	k.Box(layer.Metal, geom.R(L(1), L(14), L(5), L(18)))
+	k.Box(layer.Poly, geom.R(L(1), L(14), L(5), L(18)))
+	k.Contact(geom.Pt(L(3), L(16)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(CtlBufOutX), L(14)), geom.Pt(L(CtlBufOutX), 0))
+	k.Label(ctlName, geom.Pt(L(CtlBufOutX), L(1)), layer.Poly)
+
+	// Bristles.
+	k.Bristle(cell.Bristle{Name: "plaout", Side: cell.North, Offset: L(CtlBufInX), Layer: layer.Metal, Width: L(4), Flavor: cell.Abut, Net: "plaout"})
+	k.Bristle(cell.Bristle{Name: ctlName, Side: cell.South, Offset: L(CtlBufOutX), Layer: layer.Poly, Width: L(2), Flavor: cell.Abut, Net: ctlName})
+	for _, side := range []cell.Side{cell.West, cell.East} {
+		k.Bristle(cell.Bristle{Name: fmt.Sprintf("gnd.%v", side), Side: side, Offset: L(2), Layer: layer.Metal, Width: L(4), Flavor: cell.Ground, Net: "gnd"})
+		k.Bristle(cell.Bristle{Name: fmt.Sprintf("vdd.%v", side), Side: side, Offset: L(30), Layer: layer.Metal, Width: L(4), Flavor: cell.Power, Net: "vdd"})
+		k.Bristle(cell.Bristle{Name: fmt.Sprintf("phi1.%v", side), Side: side, Offset: L(Phi1TrackLo + 1), Layer: layer.Poly, Width: L(2), Flavor: cell.Clock, Net: "phi1"})
+		k.Bristle(cell.Bristle{Name: fmt.Sprintf("phi2.%v", side), Side: side, Offset: L(Phi2TrackLo + 1), Layer: layer.Poly, Width: L(2), Flavor: cell.Clock, Net: "phi2"})
+	}
+
+	c := k.Cell()
+	phi := "phi1"
+	if phase == 2 {
+		phi = "phi2"
+	}
+	c.Netlist.AddEnh(phi, "plaout", "n", L(2), L(2))
+
+	c.Logic.Inputs = []string{"plaout", phi}
+	c.Logic.Outputs = []string{ctlName}
+	// The stamped inverter already contributed its INV ctl <- n gate.
+	c.Logic.AddGate(logic.Latch, "n", "plaout", phi)
+
+	c.PowerUA = 120
+	c.Doc = fmt.Sprintf("control buffer: samples the decoder output on φ%d and drives %s", phase, ctlName)
+	c.SimNote = "sample-and-hold with inversion; adds clock timing to the control"
+	c.BlockLabel, c.BlockClass = "CTL", "control"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

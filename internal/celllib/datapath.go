@@ -1,0 +1,184 @@
+package celllib
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+)
+
+// The standard bit-row interface every datapath cell obeys, so any two
+// elements plug together by abutment (the paper's "proper interface
+// standards eliminate intercell problems"). All values in lambda from the
+// row's bottom edge; cells are later stretched so their bus bristles land
+// on the chip-wide standard offsets.
+const (
+	// GndRailLo/Hi bound the ground rail.
+	GndRailLo, GndRailHi = 0, 4
+	// VddRailLo/Hi bound the supply rail.
+	VddRailLo, VddRailHi = 28, 32
+	// BusALo/Hi bound the bus A metal line; BusACenter is its bristle
+	// offset.
+	BusALo, BusAHi, BusACenter = 36, 40, 38
+	// BusBLo/Hi/Center give the bus B line.
+	BusBLo, BusBHi, BusBCenter = 44, 48, 46
+	// RowPitch is the minimum bit-row pitch.
+	RowPitch = 52
+	// StretchBelowBusA, StretchBetweenBuses, and StretchAboveBusB are the
+	// standard stretch lines every bit cell declares so FitY can align the
+	// buses and pitch.
+	StretchBelowBusA, StretchBetweenBuses, StretchAboveBusB = 34, 42, 50
+)
+
+// busUse says which buses a cell actually connects to (the others feed
+// through untouched).
+type busUse struct {
+	a, b bool
+}
+
+// bitFrame draws the standard furniture of a bit cell: power rails, the
+// two bus lines, labels, power-rail records, stretch lines, and the
+// standard edge bristles. Width is in lambda.
+func bitFrame(k *Composer, width int, use busUse, busAName, busBName string) {
+	w := L(width)
+	k.Box(layer.Metal, geom.R(0, L(GndRailLo), w, L(GndRailHi)))
+	k.Box(layer.Metal, geom.R(0, L(VddRailLo), w, L(VddRailHi)))
+	k.Box(layer.Metal, geom.R(0, L(BusALo), w, L(BusAHi)))
+	k.Box(layer.Metal, geom.R(0, L(BusBLo), w, L(BusBHi)))
+	k.Label("gnd", geom.Pt(L(1), L(2)), layer.Metal)
+	k.Label("vdd", geom.Pt(L(1), L(30)), layer.Metal)
+	k.Label(busAName, geom.Pt(L(1), L(BusACenter)), layer.Metal)
+	k.Label(busBName, geom.Pt(L(1), L(BusBCenter)), layer.Metal)
+
+	c := k.Cell()
+	c.Rails = []cell.PowerRail{
+		{Net: "gnd", Y: L(2), Width: L(4)},
+		{Net: "vdd", Y: L(30), Width: L(4)},
+	}
+	k.StretchY(L(StretchBelowBusA), L(StretchBetweenBuses), L(StretchAboveBusB))
+
+	for _, side := range []cell.Side{cell.West, cell.East} {
+		k.Bristle(cell.Bristle{Name: fmt.Sprintf("gnd.%v", side), Side: side, Offset: L(2), Layer: layer.Metal, Width: L(4), Flavor: cell.Ground, Net: "gnd"})
+		k.Bristle(cell.Bristle{Name: fmt.Sprintf("vdd.%v", side), Side: side, Offset: L(30), Layer: layer.Metal, Width: L(4), Flavor: cell.Power, Net: "vdd"})
+		k.Bristle(cell.Bristle{Name: fmt.Sprintf("busA.%v", side), Side: side, Offset: L(BusACenter), Layer: layer.Metal, Width: L(4), Flavor: cell.BusTap, Net: busAName})
+		k.Bristle(cell.Bristle{Name: fmt.Sprintf("busB.%v", side), Side: side, Offset: L(BusBCenter), Layer: layer.Metal, Width: L(4), Flavor: cell.BusTap, Net: busBName})
+	}
+
+	// Sticks for the frame.
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, L(2)), geom.Pt(w, L(2)))
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, L(30)), geom.Pt(w, L(30)))
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, L(BusACenter)), geom.Pt(w, L(BusACenter)))
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, L(BusBCenter)), geom.Pt(w, L(BusBCenter)))
+	_ = use
+}
+
+// busTap draws a contact from a bus line down into a diffusion head at
+// column x (in lambda), returning nothing; the head spans y [headLo,headLo+4].
+func busTapDown(k *Composer, busLo int, x int) {
+	k.Box(layer.Diff, geom.R(L(x-2), L(busLo), L(x+2), L(busLo+4)))
+	k.Contact(geom.Pt(L(x), L(busLo+2)))
+}
+
+// ctlLine runs a vertical poly control line through the cell's full height
+// at column x and declares the Control bristle on the north edge. Full
+// height matters: one control drives every bit row of its element, so
+// stacked cells must chain the line from the decoder down through the
+// whole column.
+func ctlLine(k *Composer, name, guard string, phase, x, top int) {
+	k.Wire(layer.Poly, L(2), geom.Pt(L(x), L(top)), geom.Pt(L(x), 0))
+	k.Label(name, geom.Pt(L(x), L(top-1)), layer.Poly)
+	k.Bristle(cell.Bristle{
+		Name: name, Side: cell.North, Offset: L(x), Layer: layer.Poly,
+		Width: L(2), Flavor: cell.Control, Net: name, Guard: guard, Phase: phase,
+	})
+}
+
+// RegBit generates one register bit: write from bus A under control "ld"
+// (φ1), read onto bus A under control "rd" (φ1). Storage is a dynamic node
+// with an inverting restorer; the read chain pulls the precharged bus low
+// through rd·!s, so the bus sees the stored value.
+//
+// ldGuard and rdGuard are the decode functions the owning element supplies
+// (the cell keeps them local — that is what bristles are for).
+func RegBit(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard string) (*cell.Cell, error) {
+	return regBitOn(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard, false)
+}
+
+// RegBitB is RegBit's bus B variant: it loads from and drives bus B, so a
+// chip can keep register banks on both buses (a two-operand function unit
+// then loads both operands in one cycle).
+func RegBitB(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard string) (*cell.Cell, error) {
+	return regBitOn(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard, true)
+}
+
+func regBitOn(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard string, onB bool) (*cell.Cell, error) {
+	const width = 48
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	use := busUse{a: true}
+	busNet := busAName
+	tapLo, stripTop := BusALo, 36
+	if onB {
+		use = busUse{b: true}
+		busNet = busBName
+		tapLo, stripTop = BusBLo, 44
+	}
+	bitFrame(k, width, use, busAName, busBName)
+
+	// Storage inverter (stamped mirrored so its input faces east).
+	inv := Inverter(name + "/inv")
+	if err := k.Stamp("inv", inv, geom.At(geom.MY, L(26), L(2)), map[string]string{
+		"in": "s", "out": "sb", "gnd": "gnd", "vdd": "vdd",
+	}); err != nil {
+		return nil, err
+	}
+
+	// Write path: bus -> T1(ld) -> storage node s -> inverter input.
+	busTapDown(k, tapLo, 40)                                    // bus contact head
+	k.Box(layer.Diff, geom.R(L(39), L(14), L(41), L(stripTop))) // write strip
+	k.Box(layer.Diff, geom.R(L(37), L(10), L(41), L(14)))       // storage head
+	k.Box(layer.Poly, geom.R(L(37), L(10), L(41), L(14)))       // buried pad
+	k.Box(layer.Buried, geom.R(L(37), L(10), L(41), L(14)))     // poly-diff tie
+	k.Cell().Sticks.AddDot("buried", geom.Pt(L(39), L(12)))
+	ctlLine(k, ldName, ldGuard, 1, 45, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(45), L(23)), geom.Pt(L(37), L(23))) // T1 gate bend
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(40), L(23)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(39), L(11)), geom.Pt(L(39), L(9)), geom.Pt(L(26), L(9))) // s to inverter input
+	k.Label("s", geom.Pt(L(40), L(15)), layer.Diff)
+
+	// Read path: bus -> T2(rd) -> x -> T3(!s) -> gnd.
+	busTapDown(k, tapLo, 10)
+	k.Box(layer.Diff, geom.R(L(9), L(4), L(11), L(stripTop))) // read strip
+	k.Box(layer.Diff, geom.R(L(8), L(0), L(12), L(4)))        // gnd head
+	k.Contact(geom.Pt(L(10), L(2)))
+	ctlLine(k, rdName, rdGuard, 1, 3, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(3), L(25)), geom.Pt(L(14), L(25))) // T2 gate bend
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(25)))
+	// T3 gate: poly from the inverter's output pad west across the strip.
+	k.Box(layer.Poly, geom.R(L(18), L(14), L(22), L(18))) // sb poly pad on inverter output metal
+	k.Contact(geom.Pt(L(20), L(16)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(19), L(16)), geom.Pt(L(8), L(16)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(16)))
+	k.Label("x", geom.Pt(L(10), L(21)), layer.Diff)
+
+	c := k.Cell()
+	c.Netlist.AddEnh(ldName, busNet, "s", L(2), L(2))
+	c.Netlist.AddEnh(rdName, busNet, "x", L(2), L(2))
+	c.Netlist.AddEnh("sb", "x", "gnd", L(2), L(2))
+
+	c.Logic.Inputs = []string{busNet, ldName, rdName}
+	c.Logic.Outputs = []string{"s"}
+	// The stamped inverter already contributed its INV sb <- s gate.
+	c.Logic.AddGate(logic.Latch, "s", busNet, ldName)
+	c.Logic.AddGate(logic.And, "pull", rdName, "sb")
+
+	c.PowerUA += 30
+	c.Doc = fmt.Sprintf("register bit: %s loads from %s, %s drives %s", ldName, busNet, rdName, busNet)
+	c.SimNote = "φ1: ld samples bus; rd pulls bus low when stored 0"
+	c.BlockLabel, c.BlockClass = "REG", "storage"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,202 @@
+package celllib
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+)
+
+// ShiftBit generates one bit of a shift element. It loads from bus A under
+// "ld" (like RegBit); under "rd" it drives bus B with the value stored in
+// the row ABOVE (the sb chain enters at the north edge and this row's own
+// sb leaves at the south edge), so a read shifts the word down one bit —
+// i.e. a shift-right by one on the bus.
+//
+// Abut bristles: "sbin" (north, x=20λ) and "sbout" (south, x=20λ); stacked
+// rows connect automatically.
+func ShiftBit(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard string) (*cell.Cell, error) {
+	return shiftBit(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard, false)
+}
+
+// ShiftBitTop is the top-row variant of ShiftBit: the shift chain ends
+// here, so there is no sbin input and the read pulldown is gated by rd
+// alone — a read shifts in zero at the top bit.
+func ShiftBitTop(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard string) (*cell.Cell, error) {
+	return shiftBit(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard, true)
+}
+
+func shiftBit(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard string, top bool) (*cell.Cell, error) {
+	const width = 48
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	bitFrame(k, width, busUse{a: true, b: true}, busAName, busBName)
+
+	// Storage inverter, input facing east.
+	inv := Inverter(name + "/inv")
+	if err := k.Stamp("inv", inv, geom.At(geom.MY, L(26), L(2)), map[string]string{
+		"in": "s", "out": "sb", "gnd": "gnd", "vdd": "vdd",
+	}); err != nil {
+		return nil, err
+	}
+
+	// Write path from bus A (same pattern as RegBit).
+	busTapDown(k, BusALo, 40)
+	k.Box(layer.Diff, geom.R(L(39), L(14), L(41), L(36)))
+	k.Box(layer.Diff, geom.R(L(37), L(10), L(41), L(14)))
+	k.Box(layer.Poly, geom.R(L(37), L(10), L(41), L(14)))
+	k.Box(layer.Buried, geom.R(L(37), L(10), L(41), L(14)))
+	k.Cell().Sticks.AddDot("buried", geom.Pt(L(39), L(12)))
+	ctlLine(k, ldName, ldGuard, 1, 45, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(45), L(23)), geom.Pt(L(37), L(23)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(40), L(23)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(39), L(11)), geom.Pt(L(39), L(9)), geom.Pt(L(26), L(9)))
+	k.Label("s", geom.Pt(L(40), L(15)), layer.Diff)
+
+	// Read path: bus B -> T2(rd) -> x -> T3(sbin from the row above) -> gnd.
+	busTapDown(k, BusBLo, 10)
+	k.Box(layer.Diff, geom.R(L(9), L(4), L(11), L(44))) // read strip up to bus B
+	k.Box(layer.Diff, geom.R(L(8), L(0), L(12), L(4)))  // gnd head
+	k.Contact(geom.Pt(L(10), L(2)))
+	ctlLine(k, rdName, rdGuard, 1, 3, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(3), L(26)), geom.Pt(L(12), L(26))) // T2 gate bend
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(26)))
+
+	if !top {
+		// sbin: enters at north x=18λ, jogs west above the VDD rail, drops
+		// to the T3 gate bend crossing the read strip.
+		k.Wire(layer.Poly, L(2),
+			geom.Pt(L(18), L(RowPitch)), geom.Pt(L(18), L(34)),
+			geom.Pt(L(16), L(34)), geom.Pt(L(16), L(21)),
+			geom.Pt(L(8), L(21)))
+		k.Label("sbin", geom.Pt(L(18), L(50)), layer.Poly)
+		k.Bristle(cell.Bristle{Name: "sbin", Side: cell.North, Offset: L(18), Layer: layer.Poly, Width: L(2), Flavor: cell.Abut, Net: "sbin"})
+		k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(21)))
+	}
+
+	// sbout: this row's sb leaves at the south edge at the same x=20λ.
+	k.Box(layer.Poly, geom.R(L(18), L(14), L(22), L(18))) // poly pad on inverter output
+	k.Contact(geom.Pt(L(20), L(16)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(18), L(17)), geom.Pt(L(18), 0))
+	k.Bristle(cell.Bristle{Name: "sbout", Side: cell.South, Offset: L(18), Layer: layer.Poly, Width: L(2), Flavor: cell.Abut, Net: "sb"})
+	k.Label("x", geom.Pt(L(10), L(23)), layer.Diff)
+
+	c := k.Cell()
+	c.Netlist.AddEnh(ldName, busAName, "s", L(2), L(2))
+	if top {
+		// Without the sbin gate the read strip connects straight through:
+		// one pulldown from bus B to ground gated by rd.
+		c.Netlist.AddEnh(rdName, busBName, "gnd", L(2), L(2))
+		c.Logic.Inputs = []string{busAName, ldName, rdName}
+		c.Logic.Outputs = []string{"s", "sb"}
+		// The stamped inverter already contributed its INV sb <- s gate.
+		c.Logic.AddGate(logic.Latch, "s", busAName, ldName)
+		c.Logic.AddGate(logic.Buf, "pullB", rdName)
+	} else {
+		c.Netlist.AddEnh(rdName, busBName, "x", L(2), L(2))
+		c.Netlist.AddEnh("sbin", "x", "gnd", L(2), L(2))
+		c.Logic.Inputs = []string{busAName, ldName, rdName, "sbin"}
+		c.Logic.Outputs = []string{"s", "sb"}
+		// The stamped inverter already contributed its INV sb <- s gate.
+		c.Logic.AddGate(logic.Latch, "s", busAName, ldName)
+		c.Logic.AddGate(logic.And, "pullB", rdName, "sbin")
+	}
+
+	c.PowerUA += 30
+	c.Doc = fmt.Sprintf("shift bit: %s loads from %s; %s drives %s with the bit above (shift down)", ldName, busAName, rdName, busBName)
+	c.SimNote = "φ1: ld samples bus A; rd drives bus B with neighbor's stored bit"
+	c.BlockLabel, c.BlockClass = "SHIFT", "storage"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// AluBit generates one function-unit bit: operand latches a (from bus A,
+// under "lda") and b (from bus B, under "ldb") feed a NAND; under "rd" the
+// cell drives bus A with a&b (the NAND output gates the pulldown, so the
+// precharged bus resolves to the AND). Word-level arithmetic is modeled at
+// the element level (see package core); this cell is the function-unit
+// slice the element instantiates.
+func AluBit(name, busAName, busBName, ldaName, ldaGuard, ldbName, ldbGuard, rdName, rdGuard string) (*cell.Cell, error) {
+	const width = 72
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	bitFrame(k, width, busUse{a: true, b: true}, busAName, busBName)
+
+	// NAND with inputs facing east.
+	nand := Nand2(name + "/nand")
+	if err := k.Stamp("nand", nand, geom.At(geom.MY, L(26), L(2)), map[string]string{
+		"in1": "a", "in2": "b", "out": "f", "gnd": "gnd", "vdd": "vdd",
+	}); err != nil {
+		return nil, err
+	}
+	// Stamped geometry (MY at 26, ty=2): in1 at (32,7), in2 at (32,13),
+	// out metal x∈[18,27], y∈[18,22].
+
+	// Operand a: bus A -> T(lda) -> buried pad -> poly to NAND in1.
+	busTapDown(k, BusALo, 40)
+	k.Box(layer.Diff, geom.R(L(39), L(10), L(41), L(36)))
+	k.Box(layer.Diff, geom.R(L(37), L(6), L(41), L(10)))
+	k.Box(layer.Poly, geom.R(L(37), L(6), L(41), L(10)))
+	k.Box(layer.Buried, geom.R(L(37), L(6), L(41), L(10)))
+	k.Cell().Sticks.AddDot("buried", geom.Pt(L(39), L(8)))
+	ctlLine(k, ldaName, ldaGuard, 1, 45, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(45), L(23)), geom.Pt(L(37), L(23)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(40), L(23)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(39), L(7)), geom.Pt(L(32), L(7)))
+	k.Label("a", geom.Pt(L(40), L(14)), layer.Diff)
+
+	// Operand b: bus B -> T(ldb) -> buried pad -> poly to NAND in2.
+	busTapDown(k, BusBLo, 56)
+	k.Box(layer.Diff, geom.R(L(55), L(15), L(57), L(44)))
+	k.Box(layer.Diff, geom.R(L(54), L(11), L(58), L(15)))
+	k.Contact(geom.Pt(L(56), L(13)))
+	k.Box(layer.Metal, geom.R(L(32), L(11), L(58), L(15))) // jumper over the a strip
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(L(35), L(13)), geom.Pt(L(56), L(13)))
+	k.Box(layer.Poly, geom.R(L(33), L(11), L(37), L(15)))
+	k.Contact(geom.Pt(L(35), L(13)))
+	ctlLine(k, ldbName, ldbGuard, 1, 69, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(69), L(25)), geom.Pt(L(53), L(25)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(56), L(25)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(34), L(13)), geom.Pt(L(32), L(13)))
+	k.Label("b", geom.Pt(L(56), L(19)), layer.Diff)
+
+	// Result drive: bus A -> T2(rd) -> x -> T3(f) -> gnd gives busA = !f = a&b.
+	busTapDown(k, BusALo, 10)
+	k.Box(layer.Diff, geom.R(L(9), L(4), L(11), L(36)))
+	k.Box(layer.Diff, geom.R(L(8), L(0), L(12), L(4)))
+	k.Contact(geom.Pt(L(10), L(2)))
+	ctlLine(k, rdName, rdGuard, 1, 3, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(3), L(25)), geom.Pt(L(14), L(25)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(25)))
+	// T3 gate from the NAND output: poly pad on f metal, wire west.
+	k.Box(layer.Poly, geom.R(L(18), L(18), L(22), L(22))) // pad on f metal
+	k.Contact(geom.Pt(L(20), L(20)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(19), L(16)), geom.Pt(L(8), L(16)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(19), L(20)), geom.Pt(L(19), L(16)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(16)))
+	k.Label("x", geom.Pt(L(10), L(21)), layer.Diff)
+
+	c := k.Cell()
+	c.Netlist.AddEnh(ldaName, busAName, "a", L(2), L(2))
+	c.Netlist.AddEnh(ldbName, busBName, "b", L(2), L(2))
+	c.Netlist.AddEnh(rdName, busAName, "x", L(2), L(2))
+	c.Netlist.AddEnh("f", "x", "gnd", L(2), L(2))
+
+	c.Logic.Inputs = []string{busAName, busBName, ldaName, ldbName, rdName}
+	c.Logic.Outputs = []string{"f"}
+	c.Logic.AddGate(logic.Latch, "a", busAName, ldaName)
+	c.Logic.AddGate(logic.Latch, "b", busBName, ldbName)
+	c.Logic.AddGate(logic.Nand, "f", "a", "b")
+	c.Logic.AddGate(logic.And, "pullA", rdName, "f")
+
+	c.PowerUA += 60
+	c.Doc = "function-unit bit: latches a and b from the buses, drives a&b back"
+	c.SimNote = "φ1 loads operands / drives result; φ2 evaluates"
+	c.BlockLabel, c.BlockClass = "ALU", "function"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

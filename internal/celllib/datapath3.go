@@ -1,0 +1,245 @@
+package celllib
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+)
+
+// FeedBit is a pure feedthrough: rails and buses pass through, nothing
+// else. Elements use it to pad columns (e.g. above an element that only
+// occupies some bit rows). Width is in lambda (minimum 8).
+func FeedBit(name string, width int) (*cell.Cell, error) {
+	if width < 8 {
+		return nil, fmt.Errorf("celllib: feedthrough width %dλ too small", width)
+	}
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	bitFrame(k, width, busUse{}, "busA", "busB")
+	c := k.Cell()
+	c.Doc = "feedthrough: buses and rails pass through"
+	c.SimNote = "no behaviour"
+	c.BlockLabel, c.BlockClass = "FEED", "wiring"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ConstBit drives a constant bit onto bus A when its control fires. A one
+// needs no transistor at all (the precharged bus already reads high); a
+// zero needs a single pulldown. This asymmetry is the cell-variant
+// selection the paper describes: the generator picks the minimum-area
+// layout for the value ("the possible layouts which fit within the
+// specified width can be judged to find the cell with minimum resulting
+// area").
+// ConstNarrowWidth and ConstWideWidth are the two constant-bit variants'
+// widths in lambda: ones ride the precharge and fit the narrow cell; a
+// zero needs a pulldown and the wide cell.
+const (
+	ConstNarrowWidth = 8
+	ConstWideWidth   = 16
+)
+
+// ConstBit generates one constant bit that drives bus A under control
+// "rd": a 1 bit floats the precharged bus (narrow variant), a 0 bit pulls
+// it low through the control (wide variant). Width selects the variant
+// frame; the const element passes ConstNarrowWidth for 1 bits when the
+// whole column allows it.
+func ConstBit(name, busAName, busBName string, value bool, width int, rdName, rdGuard string) (*cell.Cell, error) {
+	if width < ConstNarrowWidth {
+		return nil, fmt.Errorf("celllib: const width %dλ too small", width)
+	}
+	if !value && width < ConstWideWidth {
+		return nil, fmt.Errorf("celllib: const-zero needs %dλ, got %dλ", ConstWideWidth, width)
+	}
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	bitFrame(k, width, busUse{a: !value}, busAName, busBName)
+
+	if !value {
+		busTapDown(k, BusALo, 10)
+		k.Box(layer.Diff, geom.R(L(9), L(4), L(11), L(36)))
+		k.Box(layer.Diff, geom.R(L(8), L(0), L(12), L(4)))
+		k.Contact(geom.Pt(L(10), L(2)))
+		ctlLine(k, rdName, rdGuard, 1, 3, RowPitch)
+		k.Wire(layer.Poly, L(2), geom.Pt(L(3), L(25)), geom.Pt(L(14), L(25)))
+		k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(25)))
+	}
+
+	c := k.Cell()
+	if !value {
+		c.Netlist.AddEnh(rdName, busAName, "gnd", L(2), L(2))
+		c.Logic.Inputs = []string{rdName}
+		c.Logic.AddGate(logic.Buf, "pullA", rdName)
+	}
+	c.PowerUA += 5
+	c.Doc = fmt.Sprintf("constant bit %v driven onto %s under %s", value, busAName, rdName)
+	c.SimNote = "φ1: pulls the bus low for a zero; a one rides the precharge"
+	c.BlockLabel, c.BlockClass = "CONST", "source"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// BusPre is the bus precharge cell the compiler inserts at the head of
+// every bus segment ("bus precharge circuits must be added for each bus
+// ... added by the compiler"): pullups from VDD onto both buses gated by
+// the φ2 clock, honoring the temporal format (buses precharge during φ2).
+func BusPre(name, busAName, busBName string) (*cell.Cell, error) {
+	const width = 24
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	bitFrame(k, width, busUse{a: true, b: true}, busAName, busBName)
+
+	// Bus A pullup strip: VDD head, strip, bus A head.
+	k.Box(layer.Diff, geom.R(L(4), L(28), L(8), L(32)))
+	k.Contact(geom.Pt(L(6), L(30)))
+	k.Box(layer.Diff, geom.R(L(5), L(32), L(7), L(38)))
+	busTapDown(k, BusALo, 6)
+
+	// Bus B pullup strip crosses under bus A without contact.
+	k.Box(layer.Diff, geom.R(L(12), L(28), L(16), L(32)))
+	k.Contact(geom.Pt(L(14), L(30)))
+	k.Box(layer.Diff, geom.R(L(13), L(32), L(15), L(46)))
+	busTapDown(k, BusBLo, 14)
+
+	// φ2 clock gate crossing both strips.
+	k.Wire(layer.Poly, L(2), geom.Pt(L(20), L(RowPitch)), geom.Pt(L(20), 0))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(21), L(34)), geom.Pt(L(1), L(34)))
+	k.Label("phi2", geom.Pt(L(20), L(50)), layer.Poly)
+	k.Bristle(cell.Bristle{Name: "phi2", Side: cell.North, Offset: L(20), Layer: layer.Poly, Width: L(2), Flavor: cell.Clock, Net: "phi2"})
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(6), L(34)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(14), L(34)))
+
+	c := k.Cell()
+	c.Netlist.AddEnh("phi2", busAName, "vdd", L(2), L(2))
+	c.Netlist.AddEnh("phi2", busBName, "vdd", L(2), L(2))
+	c.Logic.Inputs = []string{"phi2"}
+	c.PowerUA += 80
+	c.Doc = fmt.Sprintf("bus precharge: pulls %s and %s to VDD during φ2", busAName, busBName)
+	c.SimNote = "φ2: precharges both buses high"
+	c.BlockLabel, c.BlockClass = "PRE", "clocking"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// IOPortBit connects bus A to a chip pad through an isolation pass
+// transistor gated by its control. The pad request is local data — the
+// cell just says "I need a pad of this class here"; Pass 3 places the pad
+// and routes the wire.
+//
+// The pad bristle is on the west edge; use MirrorX for an element at the
+// east end of the core.
+func IOPortBit(name, busAName, busBName, padNet, padClass, ioName, ioGuard string) (*cell.Cell, error) {
+	const width = 20
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	bitFrame(k, width, busUse{a: true}, busAName, busBName)
+
+	busTapDown(k, BusALo, 6)
+	k.Box(layer.Diff, geom.R(L(5), L(20), L(7), L(36)))
+	k.Box(layer.Diff, geom.R(L(4), L(16), L(8), L(20)))
+	k.Contact(geom.Pt(L(6), L(18)))
+	k.Box(layer.Metal, geom.R(0, L(16), L(9), L(20)))
+	k.Label(padNet, geom.Pt(L(1), L(18)), layer.Metal)
+	ctlLine(k, ioName, ioGuard, 1, 12, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(12), L(25)), geom.Pt(L(3), L(25)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(6), L(25)))
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, L(18)), geom.Pt(L(9), L(18)))
+
+	k.Bristle(cell.Bristle{
+		Name: padNet, Side: cell.West, Offset: L(18), Layer: layer.Metal,
+		Width: L(4), Flavor: cell.PadReq, Net: padNet, PadClass: padClass,
+	})
+
+	c := k.Cell()
+	c.Netlist.AddEnh(ioName, busAName, padNet, L(2), L(2))
+	c.Logic.Inputs = []string{ioName, padNet}
+	c.Logic.AddGate(logic.And, "connect", ioName, padNet)
+	c.PowerUA += 20
+	c.Doc = fmt.Sprintf("I/O bit: %s connects %s to pad %s (%s)", ioName, busAName, padNet, padClass)
+	c.SimNote = "φ1: io control connects the pad to the bus"
+	c.BlockLabel, c.BlockClass = "IO", "interface"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// MirrorX returns a horizontally mirrored copy of a leaf cell: geometry is
+// reflected about the cell's vertical midline, west/east bristles swap
+// sides, and north/south bristle offsets reflect. Used to flip I/O cells
+// to the east end of the core.
+func MirrorX(c *cell.Cell) *cell.Cell {
+	out := c.Copy()
+	shift := c.Size.MinX + c.Size.MaxX
+	t := geom.Transform{Orient: geom.MY, Offset: geom.Pt(shift, 0)}
+
+	lay := out.Layout
+	for i := range lay.Boxes {
+		lay.Boxes[i].R = t.ApplyRect(lay.Boxes[i].R)
+	}
+	for i := range lay.Wires {
+		for j := range lay.Wires[i].Path {
+			lay.Wires[i].Path[j] = t.Apply(lay.Wires[i].Path[j])
+		}
+	}
+	for i := range lay.Polys {
+		lay.Polys[i].Pts = lay.Polys[i].Pts.Transform(t)
+	}
+	for i := range lay.Labels {
+		lay.Labels[i].At = t.Apply(lay.Labels[i].At)
+	}
+	for i := range out.Bristles {
+		b := &out.Bristles[i]
+		switch b.Side {
+		case cell.West:
+			b.Side = cell.East
+		case cell.East:
+			b.Side = cell.West
+		default:
+			b.Offset = shift - b.Offset
+		}
+	}
+	for i := range out.StretchX {
+		out.StretchX[i] = shift - out.StretchX[i]
+	}
+	if out.Sticks != nil {
+		out.Sticks = out.Sticks.Transform(t)
+	}
+	out.Size = t.ApplyRect(out.Size)
+	return out
+}
+
+// XferBit joins bus A and bus B through a pass transistor gated by its
+// control: with both buses precharged, firing the control during φ1 makes
+// the pair compute their wired-AND, so a value driven on one bus appears
+// on the other — the compiler's bus bridge.
+func XferBit(name, busAName, busBName, xName, xGuard string) (*cell.Cell, error) {
+	const width = 16
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	bitFrame(k, width, busUse{a: true, b: true}, busAName, busBName)
+
+	busTapDown(k, BusALo, 6)
+	busTapDown(k, BusBLo, 6)
+	k.Box(layer.Diff, geom.R(L(5), L(40), L(7), L(44))) // joining strip
+	ctlLine(k, xName, xGuard, 1, 12, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(12), L(42)), geom.Pt(L(3), L(42)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(6), L(42)))
+
+	c := k.Cell()
+	c.Netlist.AddEnh(xName, busAName, busBName, L(2), L(2))
+	c.Logic.Inputs = []string{xName}
+	c.Logic.AddGate(logic.Buf, "join", xName)
+	c.PowerUA += 10
+	c.Doc = fmt.Sprintf("bus bridge: %s joins %s and %s (wired-AND transfer)", xName, busAName, busBName)
+	c.SimNote = "φ1: pass transistor joins the precharged buses"
+	c.BlockLabel, c.BlockClass = "XFER", "wiring"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,82 @@
+package celllib
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+)
+
+// DualRegBit generates one cross-bus register bit: write from bus A under
+// control "ld" (φ1), read onto bus B under control "rd" (φ1). This is the
+// pipeline latch the two-bus chip plan exists for — an element can consume
+// a result from one bus while the next operands travel on the other.
+//
+// Internally it is RegBit's storage (dynamic node + inverting restorer)
+// with the read chain retargeted at bus B: the precharged B line is pulled
+// low through rd·!s.
+func DualRegBit(name, busAName, busBName, ldName, ldGuard, rdName, rdGuard string) (*cell.Cell, error) {
+	const width = 48
+	k := NewComposer(name, geom.R(0, 0, L(width), L(RowPitch)))
+	bitFrame(k, width, busUse{a: true, b: true}, busAName, busBName)
+
+	// Storage inverter (stamped mirrored so its input faces east).
+	inv := Inverter(name + "/inv")
+	if err := k.Stamp("inv", inv, geom.At(geom.MY, L(26), L(2)), map[string]string{
+		"in": "s", "out": "sb", "gnd": "gnd", "vdd": "vdd",
+	}); err != nil {
+		return nil, err
+	}
+
+	// Write path: bus A -> T1(ld) -> storage node s -> inverter input.
+	busTapDown(k, BusALo, 40)
+	k.Box(layer.Diff, geom.R(L(39), L(14), L(41), L(BusALo))) // write strip
+	k.Box(layer.Diff, geom.R(L(37), L(10), L(41), L(14)))     // storage head
+	k.Box(layer.Poly, geom.R(L(37), L(10), L(41), L(14)))     // buried pad
+	k.Box(layer.Buried, geom.R(L(37), L(10), L(41), L(14)))   // poly-diff tie
+	k.Cell().Sticks.AddDot("buried", geom.Pt(L(39), L(12)))
+	ctlLine(k, ldName, ldGuard, 1, 45, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(45), L(23)), geom.Pt(L(37), L(23))) // T1 gate bend
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(40), L(23)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(39), L(11)), geom.Pt(L(39), L(9)), geom.Pt(L(26), L(9))) // s to inverter input
+	k.Label("s", geom.Pt(L(40), L(15)), layer.Diff)
+
+	// Read path: bus B -> T2(rd) -> x -> T3(!s) -> gnd. The strip runs the
+	// full way up to the B line, passing under the A line and vdd rail.
+	busTapDown(k, BusBLo, 10)
+	k.Box(layer.Diff, geom.R(L(9), L(4), L(11), L(BusBLo))) // read strip
+	k.Box(layer.Diff, geom.R(L(8), L(0), L(12), L(4)))      // gnd head
+	k.Contact(geom.Pt(L(10), L(2)))
+	ctlLine(k, rdName, rdGuard, 1, 3, RowPitch)
+	k.Wire(layer.Poly, L(2), geom.Pt(L(3), L(25)), geom.Pt(L(14), L(25))) // T2 gate bend
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(25)))
+	// T3 gate: poly from the inverter's output pad west across the strip.
+	k.Box(layer.Poly, geom.R(L(18), L(14), L(22), L(18)))
+	k.Contact(geom.Pt(L(20), L(16)))
+	k.Wire(layer.Poly, L(2), geom.Pt(L(19), L(16)), geom.Pt(L(8), L(16)))
+	k.Cell().Sticks.AddDot("enh", geom.Pt(L(10), L(16)))
+	k.Label("x", geom.Pt(L(10), L(21)), layer.Diff)
+
+	c := k.Cell()
+	c.Netlist.AddEnh(ldName, busAName, "s", L(2), L(2))
+	c.Netlist.AddEnh(rdName, busBName, "x", L(2), L(2))
+	c.Netlist.AddEnh("sb", "x", "gnd", L(2), L(2))
+
+	c.Logic.Inputs = []string{busAName, ldName, rdName}
+	c.Logic.Outputs = []string{"s"}
+	// The stamped inverter already contributed its INV sb <- s gate.
+	c.Logic.AddGate(logic.Latch, "s", busAName, ldName)
+	c.Logic.AddGate(logic.And, "pullB", rdName, "sb")
+
+	c.PowerUA += 30
+	c.Doc = fmt.Sprintf("pipeline register bit: %s loads from %s, %s drives %s",
+		ldName, busAName, rdName, busBName)
+	c.SimNote = "φ1: ld samples bus A; rd pulls bus B low when stored 0"
+	c.BlockLabel, c.BlockClass = "PIPE", "storage"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

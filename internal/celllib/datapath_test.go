@@ -1,0 +1,548 @@
+package celllib
+
+import (
+	"testing"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+	"bristleblocks/internal/stretch"
+	"bristleblocks/internal/transistor"
+)
+
+// verifyCell asserts the library invariants: structurally valid, DRC-clean,
+// and declared netlist == extracted netlist.
+func verifyCell(t *testing.T, c *cell.Cell) {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("%s: Validate: %v", c.Name, err)
+	}
+	if vs := drc.Check(c.Layout, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("%s: DRC violations:\n%v", c.Name, vs)
+	}
+	got, err := transistor.Extract(c.Layout)
+	if err != nil {
+		t.Fatalf("%s: Extract: %v", c.Name, err)
+	}
+	if !got.Equal(c.Netlist) {
+		t.Fatalf("%s: netlist mismatch:\n%sextracted:\n%s\ndeclared:\n%s",
+			c.Name, c.Netlist.Diff(got), got, c.Netlist)
+	}
+}
+
+func mustRegBit(t *testing.T) *cell.Cell {
+	t.Helper()
+	c, err := RegBit("regbit", "busA", "busB", "r0.ld", "OP=1", "r0.rd", "OP=2")
+	if err != nil {
+		t.Fatalf("RegBit: %v", err)
+	}
+	return c
+}
+
+func TestRegBitInvariants(t *testing.T) {
+	verifyCell(t, mustRegBit(t))
+}
+
+func TestRegBitInterface(t *testing.T) {
+	c := mustRegBit(t)
+	if c.Height() != L(RowPitch) {
+		t.Errorf("pitch = %d", c.Height())
+	}
+	// Standard bus bristles on both edges at the standard offsets.
+	for _, name := range []string{"busA.W", "busA.E", "busB.W", "busB.E"} {
+		b, ok := c.FindBristle(name)
+		if !ok {
+			t.Fatalf("bristle %s missing", name)
+		}
+		want := geom.Coord(L(BusACenter))
+		if name[3] == 'B' {
+			want = L(BusBCenter)
+		}
+		if b.Offset != want {
+			t.Errorf("%s offset = %d, want %d", name, b.Offset, want)
+		}
+	}
+	// Control bristles carry their guards.
+	ld, ok := c.FindBristle("r0.ld")
+	if !ok || ld.Guard != "OP=1" || ld.Phase != 1 || ld.Side != cell.North {
+		t.Errorf("ld bristle wrong: %+v", ld)
+	}
+	if len(c.BristlesBy(cell.Control)) != 2 {
+		t.Error("want 2 control bristles")
+	}
+}
+
+func TestRegBitStretchToPitch(t *testing.T) {
+	// Stretch the cell to a larger pitch with the standard bus targets, as
+	// the compiler does in Pass 1, and re-verify all invariants.
+	c := mustRegBit(t)
+	before, err := transistor.Extract(c.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = stretch.FitY(c, []stretch.Target{
+		{Bristle: "busA.W", At: L(BusACenter + 10)},
+		{Bristle: "busB.W", At: L(BusBCenter + 16)},
+	}, L(RowPitch+20))
+	if err != nil {
+		t.Fatalf("FitY: %v", err)
+	}
+	if c.Height() != L(RowPitch+20) {
+		t.Errorf("stretched pitch = %d", c.Height())
+	}
+	if vs := drc.Check(c.Layout, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("stretched regbit DRC violations:\n%v", vs)
+	}
+	after, err := transistor.Extract(c.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before) {
+		t.Errorf("stretch changed the circuit:\n%s", before.Diff(after))
+	}
+}
+
+func TestRegBitAbutsItself(t *testing.T) {
+	// Two regbits side by side (as an element places them in a row... or a
+	// register file two columns wide) must stay DRC-clean: the interface
+	// discipline at work.
+	c := mustRegBit(t)
+	row := cellPair(c, geom.Translate(c.Width(), 0))
+	if vs := drc.Check(row, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("abutted regbits DRC violations:\n%v", vs)
+	}
+	// Stacked vertically at the row pitch (bit 0 below bit 1).
+	col := cellPair(c, geom.Translate(0, L(RowPitch)))
+	if vs := drc.Check(col, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("stacked regbits DRC violations:\n%v", vs)
+	}
+}
+
+// cellPair builds a two-instance assembly of the same cell.
+func cellPair(c *cell.Cell, t2 geom.Transform) *mask.Cell {
+	m := mask.NewCell("pair")
+	m.Place(c.Layout, geom.Identity)
+	m.Place(c.Layout, t2)
+	return m
+}
+
+func TestShiftBitInvariants(t *testing.T) {
+	c, err := ShiftBit("shiftbit", "busA", "busB", "sh.ld", "OP=3", "sh.rd", "OP=4")
+	if err != nil {
+		t.Fatalf("ShiftBit: %v", err)
+	}
+	verifyCell(t, c)
+	// Shift chain bristles align when stacked.
+	in, ok1 := c.FindBristle("sbin")
+	out, ok2 := c.FindBristle("sbout")
+	if !ok1 || !ok2 || in.Offset != out.Offset {
+		t.Errorf("shift chain misaligned: in=%+v out=%+v", in, out)
+	}
+	col := cellPair(c, geom.Translate(0, L(RowPitch)))
+	if vs := drc.Check(col, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("stacked shiftbits DRC violations:\n%v", vs)
+	}
+	// The stacked pair's extraction must tie row 0's x-gate to row 1's sb.
+	nl, err := transistor.Extract(col)
+	if err != nil {
+		t.Fatalf("stacked extract: %v", err)
+	}
+	if len(nl.Txs) != 10 {
+		t.Errorf("stacked pair has %d transistors, want 10", len(nl.Txs))
+	}
+}
+
+func TestAluBitInvariants(t *testing.T) {
+	c, err := AluBit("alubit", "busA", "busB", "alu.lda", "OP=5", "alu.ldb", "OP=6", "alu.rd", "OP=7")
+	if err != nil {
+		t.Fatalf("AluBit: %v", err)
+	}
+	verifyCell(t, c)
+}
+
+func TestNand2Invariants(t *testing.T) {
+	verifyCell(t, Nand2("nand2"))
+}
+
+func TestFeedBit(t *testing.T) {
+	c, err := FeedBit("feed", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, c)
+	if _, err := FeedBit("tiny", 4); err == nil {
+		t.Error("too-narrow feedthrough should fail")
+	}
+}
+
+func TestConstBitVariants(t *testing.T) {
+	one, err := ConstBit("one", "busA", "busB", true, ConstNarrowWidth, "k.rd", "OP=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, one)
+	zero, err := ConstBit("zero", "busA", "busB", false, ConstWideWidth, "k.rd", "OP=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, zero)
+	// The paper's smart-cell point: the one-variant is smaller.
+	if one.Width() >= zero.Width() {
+		t.Errorf("constant-one should be narrower: %d vs %d", one.Width(), zero.Width())
+	}
+	if len(one.Netlist.Txs) != 0 || len(zero.Netlist.Txs) != 1 {
+		t.Error("variant transistor counts wrong")
+	}
+}
+
+func TestBusPre(t *testing.T) {
+	c, err := BusPre("pre", "busA", "busB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, c)
+	clk := c.BristlesBy(cell.Clock)
+	if len(clk) != 1 || clk[0].Net != "phi2" {
+		t.Errorf("clock bristle wrong: %+v", clk)
+	}
+}
+
+func TestIOPortBit(t *testing.T) {
+	c, err := IOPortBit("io", "busA", "busB", "pad3", "output", "io.en", "OP=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, c)
+	pads := c.BristlesBy(cell.PadReq)
+	if len(pads) != 1 || pads[0].PadClass != "output" || pads[0].Side != cell.West {
+		t.Errorf("pad bristle wrong: %+v", pads)
+	}
+}
+
+func TestMirrorX(t *testing.T) {
+	c, err := IOPortBit("io", "busA", "busB", "pad3", "input", "io.en", "OP=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MirrorX(c)
+	verifyCell(t, m)
+	// Pad bristle moved to the east; bus bristles still at standard offsets.
+	pads := m.BristlesBy(cell.PadReq)
+	if len(pads) != 1 || pads[0].Side != cell.East {
+		t.Errorf("mirrored pad bristle: %+v", pads)
+	}
+	if b, ok := m.FindBristle("busA.W"); !ok || b.Offset != L(BusACenter) {
+		t.Error("mirrored bus bristle offset wrong")
+	}
+	// Control bristle offset reflects about the midline.
+	orig, _ := c.FindBristle("io.en")
+	mir, _ := m.FindBristle("io.en")
+	if mir.Offset != c.Size.MinX+c.Size.MaxX-orig.Offset {
+		t.Errorf("mirrored control offset = %d", mir.Offset)
+	}
+	// Same bounding box.
+	if m.Size != c.Size {
+		t.Errorf("mirrored size = %v", m.Size)
+	}
+	// Netlist unchanged by mirroring.
+	if !m.Netlist.Equal(c.Netlist) {
+		t.Error("mirroring changed the netlist")
+	}
+}
+
+func TestCtlBuf(t *testing.T) {
+	for _, phase := range []int{1, 2} {
+		c, err := CtlBuf("alu.op", phase)
+		if err != nil {
+			t.Fatalf("CtlBuf phase %d: %v", phase, err)
+		}
+		verifyCell(t, c)
+		// The sampling transistor is gated by the selected clock.
+		want := "phi1"
+		if phase == 2 {
+			want = "phi2"
+		}
+		found := false
+		for _, tx := range c.Netlist.Txs {
+			if tx.Gate == want {
+				found = true
+			}
+			if tx.Gate == "phi1" && phase == 2 || tx.Gate == "phi2" && phase == 1 {
+				t.Errorf("phase %d buffer gated by wrong clock: %v", phase, tx)
+			}
+		}
+		if !found {
+			t.Errorf("phase %d buffer has no %s gate", phase, want)
+		}
+	}
+	if _, err := CtlBuf("x", 3); err == nil {
+		t.Error("bad phase should fail")
+	}
+}
+
+func TestCtlBufRowAbutment(t *testing.T) {
+	// Adjacent buffers of different phases share the clock tracks; the
+	// combined row must be clean and the tracks must remain continuous.
+	b1, err := CtlBuf("c1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := CtlBuf("c2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := mask.NewCell("row")
+	row.Place(b1.Layout, geom.Identity)
+	row.Place(b2.Layout, geom.Translate(b1.Width(), 0))
+	if vs := drc.Check(row, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("buffer row DRC violations:\n%v", vs)
+	}
+	nl, err := transistor.Extract(row)
+	if err != nil {
+		t.Fatalf("row extract: %v", err)
+	}
+	// 3 transistors per buffer; clock nets shared across the boundary.
+	if len(nl.Txs) != 6 {
+		t.Errorf("row has %d transistors, want 6", len(nl.Txs))
+	}
+	phi1Gates := 0
+	for _, tx := range nl.Txs {
+		if tx.Gate == "phi1" {
+			phi1Gates++
+		}
+	}
+	if phi1Gates != 1 {
+		t.Errorf("phi1 gates %d transistors, want 1", phi1Gates)
+	}
+}
+
+func TestPads(t *testing.T) {
+	for _, class := range PadClasses {
+		p, err := Pad("p_"+class, class)
+		if err != nil {
+			t.Fatalf("Pad(%s): %v", class, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("pad %s invalid: %v", class, err)
+		}
+		if vs := drc.Check(p.Layout, layer.MeadConway(), nil); len(vs) != 0 {
+			t.Fatalf("pad %s DRC violations:\n%v", class, vs)
+		}
+		b, ok := p.FindBristle("wire")
+		if !ok || b.Side != cell.South {
+			t.Errorf("pad %s wire bristle wrong: %+v", class, b)
+		}
+	}
+	if _, err := Pad("x", "bogus"); err == nil {
+		t.Error("unknown pad class should fail")
+	}
+}
+
+func TestShiftBitTop(t *testing.T) {
+	top, err := ShiftBitTop("shifttop", "busA", "busB", "sh.ld", "OP=3", "sh.rd", "OP=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, top)
+	if _, ok := top.FindBristle("sbin"); ok {
+		t.Error("top variant should have no sbin")
+	}
+	if _, ok := top.FindBristle("sbout"); !ok {
+		t.Error("top variant still exports sbout")
+	}
+	// A full column: body rows with the top variant capping it.
+	body, err := ShiftBit("shift", "busA", "busB", "sh.ld", "OP=3", "sh.rd", "OP=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := mask.NewCell("col")
+	col.Place(body.Layout, geom.Identity)
+	col.Place(body.Layout, geom.Translate(0, L(RowPitch)))
+	col.Place(top.Layout, geom.Translate(0, 2*L(RowPitch)))
+	if vs := drc.Check(col, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("capped column DRC violations:\n%v", vs)
+	}
+	nl, err := transistor.Extract(col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 transistors per body row + 4 in the top row.
+	if len(nl.Txs) != 14 {
+		t.Errorf("column has %d transistors, want 14", len(nl.Txs))
+	}
+}
+
+func TestConstBitWidthValidation(t *testing.T) {
+	if _, err := ConstBit("c", "busA", "busB", true, 4, "k.rd", "OP=1"); err == nil {
+		t.Error("too-narrow const should fail")
+	}
+	if _, err := ConstBit("c", "busA", "busB", false, ConstNarrowWidth, "k.rd", "OP=1"); err == nil {
+		t.Error("zero bit in narrow cell should fail")
+	}
+	wideOne, err := ConstBit("c", "busA", "busB", true, ConstWideWidth, "k.rd", "OP=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, wideOne)
+	if wideOne.Width() != L(ConstWideWidth) {
+		t.Error("wide one-bit width wrong")
+	}
+}
+
+func TestRegBitB(t *testing.T) {
+	c, err := RegBitB("regbitb", "busA", "busB", "rb.ld", "OP=1", "rb.rd", "OP=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, c)
+	// The netlist must reference bus B, not bus A.
+	for _, tx := range c.Netlist.Txs {
+		if tx.Source == "busA" || tx.Drain == "busA" || tx.Gate == "busA" {
+			t.Errorf("RegBitB touches bus A: %v", tx)
+		}
+	}
+}
+
+func TestXferBit(t *testing.T) {
+	c, err := XferBit("xfer", "busA", "busB", "x.en", "OP=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, c)
+	if len(c.Netlist.Txs) != 1 {
+		t.Errorf("xfer should be one transistor, got %d", len(c.Netlist.Txs))
+	}
+}
+
+func TestDualRegBitInvariants(t *testing.T) {
+	c, err := DualRegBit("dr", "A", "B", "ld", "OP=1", "rd", "OP=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyCell(t, c)
+}
+
+func TestDualRegBitCrossBusNetlist(t *testing.T) {
+	c, err := DualRegBit("dr", "A", "B", "ld", "OP=1", "rd", "OP=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The declared topology must connect ld's pass gate to bus A and the
+	// read chain to bus B — not the same bus.
+	var ldBus, rdBus string
+	for _, tx := range c.Netlist.Txs {
+		switch tx.Gate {
+		case "ld":
+			ldBus = tx.Source
+			if ldBus != "A" && ldBus != "s" {
+				ldBus = tx.Drain
+			}
+		case "rd":
+			rdBus = tx.Source
+			if rdBus != "B" && rdBus != "x" {
+				rdBus = tx.Drain
+			}
+		}
+	}
+	if ldBus == rdBus {
+		t.Fatalf("both paths touch the same bus (%s)", ldBus)
+	}
+}
+
+// TestDualRegBitStretchAndStack applies the compiler's Pass 1 treatment to
+// the pipeline register bit: stretch to a larger pitch with the standard
+// bus targets, then verify DRC, extraction stability, and self-abutment at
+// the stretched pitch.
+func TestDualRegBitStretchAndStack(t *testing.T) {
+	c, err := DualRegBit("dr", "A", "B", "ld", "OP=1", "rd", "OP=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := transistor.Extract(c.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = stretch.FitY(c, []stretch.Target{
+		{Bristle: "busA.W", At: L(BusACenter + 10)},
+		{Bristle: "busB.W", At: L(BusBCenter + 16)},
+	}, L(RowPitch+20))
+	if err != nil {
+		t.Fatalf("FitY: %v", err)
+	}
+	if vs := drc.Check(c.Layout, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("stretched dualreg DRC violations:\n%v", vs)
+	}
+	after, err := transistor.Extract(c.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Equal(before) {
+		t.Errorf("stretch changed the circuit:\n%s", before.Diff(after))
+	}
+	row := cellPair(c, geom.Translate(c.Width(), 0))
+	if vs := drc.Check(row, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("abutted dualregs DRC violations:\n%v", vs)
+	}
+	col := cellPair(c, geom.Translate(0, L(RowPitch+20)))
+	if vs := drc.Check(col, layer.MeadConway(), nil); len(vs) != 0 {
+		t.Fatalf("stacked dualregs DRC violations:\n%v", vs)
+	}
+}
+
+// TestAllBitCellsStretchToPitch sweeps several stretch amounts over every
+// standard bit cell: at each pitch the cell must stay DRC-clean and keep
+// its circuit — the "painless operation" property the compiler depends on.
+func TestAllBitCellsStretchToPitch(t *testing.T) {
+	makers := map[string]func() (*cell.Cell, error){
+		"regbit": func() (*cell.Cell, error) {
+			return RegBit("r", "A", "B", "ld", "OP=1", "rd", "OP=2")
+		},
+		"regbitb": func() (*cell.Cell, error) {
+			return RegBitB("r", "A", "B", "ld", "OP=1", "rd", "OP=2")
+		},
+		"dualregbit": func() (*cell.Cell, error) {
+			return DualRegBit("r", "A", "B", "ld", "OP=1", "rd", "OP=2")
+		},
+		"shiftbit": func() (*cell.Cell, error) {
+			return ShiftBit("s", "A", "B", "ld", "OP=1", "rd", "OP=2")
+		},
+		"alubit": func() (*cell.Cell, error) {
+			return AluBit("a", "A", "B", "la", "OP=1", "lb", "OP=2", "rd", "OP=3")
+		},
+		"xferbit": func() (*cell.Cell, error) { return XferBit("x", "A", "B", "x", "OP=1") },
+		"buspre":  func() (*cell.Cell, error) { return BusPre("p", "A", "B") },
+	}
+	for name, mk := range makers {
+		for _, extra := range []int{0, 4, 12, 30} {
+			c, err := mk()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			before, err := transistor.Extract(c.Layout)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// The compiler's own relation: pitch = RowPitch + 2*dRail and
+			// bus targets shift by 2*dRail, so targets shift by extra.
+			err = stretch.FitY(c, []stretch.Target{
+				{Bristle: "busA.W", At: L(BusACenter + extra)},
+				{Bristle: "busB.W", At: L(BusBCenter + extra)},
+			}, L(RowPitch+extra))
+			if err != nil {
+				t.Fatalf("%s at +%dλ: FitY: %v", name, extra, err)
+			}
+			if vs := drc.Check(c.Layout, layer.MeadConway(), &drc.Options{MaxViolations: 3}); len(vs) != 0 {
+				t.Fatalf("%s at +%dλ: DRC: %v", name, extra, vs[0])
+			}
+			after, err := transistor.Extract(c.Layout)
+			if err != nil {
+				t.Fatalf("%s at +%dλ: %v", name, extra, err)
+			}
+			if !after.Equal(before) {
+				t.Fatalf("%s at +%dλ: circuit changed", name, extra)
+			}
+		}
+	}
+}

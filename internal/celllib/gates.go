@@ -1,0 +1,93 @@
+package celllib
+
+import (
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+	"bristleblocks/internal/sticks"
+	"bristleblocks/internal/transistor"
+)
+
+// Nand2 generates a two-input NAND sized like Inverter (14λ x 32λ, same
+// rail positions) so the two tiles interchange in compositions: two series
+// enhancement pulldowns and a depletion load.
+//
+// Bristles: in1, in2 (west, poly), out (east, metal), power rails.
+func Nand2(name string) *cell.Cell {
+	c := cell.New(name, geom.R(L(-6), L(-2), L(8), L(30)))
+	lay := c.Layout
+
+	// Rails.
+	lay.AddBox(layer.Metal, geom.R(L(-6), L(-2), L(8), L(2)))
+	lay.AddBox(layer.Metal, geom.R(L(-6), L(26), L(8), L(30)))
+	lay.AddLabel("gnd", geom.Pt(L(-5), 0), layer.Metal)
+	lay.AddLabel("vdd", geom.Pt(L(-5), L(28)), layer.Metal)
+
+	// Diffusion column: bottom head, strip, output head, top head.
+	lay.AddBox(layer.Diff, geom.R(L(-1), L(-2), L(3), L(2)))
+	lay.AddBox(layer.Diff, geom.R(0, L(2), L(2), L(26)))
+	lay.AddBox(layer.Diff, geom.R(L(-1), L(16), L(3), L(20)))
+	lay.AddBox(layer.Diff, geom.R(L(-1), L(26), L(3), L(30)))
+
+	// Contacts: gnd, output, vdd.
+	lay.AddBox(layer.Contact, geom.R(0, L(-1), L(2), L(1)))
+	lay.AddBox(layer.Contact, geom.R(0, L(17), L(2), L(19)))
+	lay.AddBox(layer.Contact, geom.R(0, L(27), L(2), L(29)))
+
+	// Series pulldown gates.
+	lay.AddBox(layer.Poly, geom.R(L(-6), L(4), L(4), L(6)))
+	lay.AddLabel("in1", geom.Pt(L(-5), L(5)), layer.Poly)
+	lay.AddBox(layer.Poly, geom.R(L(-6), L(10), L(4), L(12)))
+	lay.AddLabel("in2", geom.Pt(L(-5), L(11)), layer.Poly)
+	lay.AddLabel("m", geom.Pt(L(1), L(8)), layer.Diff)
+
+	// Output metal.
+	lay.AddBox(layer.Metal, geom.R(L(-1), L(16), L(8), L(20)))
+	lay.AddLabel("out", geom.Pt(L(7), L(18)), layer.Metal)
+
+	// Depletion load with gate tied to output.
+	lay.AddBox(layer.Poly, geom.R(L(-2), L(24), L(4), L(26)))
+	lay.AddBox(layer.Implant, geom.R(L(-2), L(22), L(4), L(28)))
+	lay.AddBox(layer.Poly, geom.R(L(4), L(18), L(6), L(25)))
+	lay.AddBox(layer.Poly, geom.R(L(4), L(16), L(8), L(20)))
+	lay.AddBox(layer.Contact, geom.R(L(5), L(17), L(7), L(19)))
+
+	c.AddBristle(cell.Bristle{Name: "in1", Side: cell.West, Offset: L(5), Layer: layer.Poly, Width: L(2), Flavor: cell.Abut, Net: "in1"})
+	c.AddBristle(cell.Bristle{Name: "in2", Side: cell.West, Offset: L(11), Layer: layer.Poly, Width: L(2), Flavor: cell.Abut, Net: "in2"})
+	c.AddBristle(cell.Bristle{Name: "out", Side: cell.East, Offset: L(18), Layer: layer.Metal, Width: L(4), Flavor: cell.Abut, Net: "out"})
+	c.Rails = []cell.PowerRail{
+		{Net: "gnd", Y: 0, Width: L(4)},
+		{Net: "vdd", Y: L(28), Width: L(4)},
+	}
+	c.StretchY = []geom.Coord{L(8), L(14), L(21)}
+	c.PowerUA = 50
+
+	c.Netlist = &transistor.Netlist{}
+	c.Netlist.AddEnh("in1", "gnd", "m", L(2), L(2))
+	c.Netlist.AddEnh("in2", "m", "out", L(2), L(2))
+	c.Netlist.AddDep("out", "out", "vdd", L(2), L(2))
+
+	c.Logic = &logic.Diagram{Inputs: []string{"in1", "in2"}, Outputs: []string{"out"}}
+	c.Logic.AddGate(logic.Nand, "out", "in1", "in2")
+
+	d := &sticks.Diagram{}
+	d.AddSeg(layer.Metal, geom.Pt(L(-6), 0), geom.Pt(L(8), 0))
+	d.AddSeg(layer.Metal, geom.Pt(L(-6), L(28)), geom.Pt(L(8), L(28)))
+	d.AddSeg(layer.Diff, geom.Pt(L(1), 0), geom.Pt(L(1), L(28)))
+	d.AddSeg(layer.Poly, geom.Pt(L(-6), L(5)), geom.Pt(L(1), L(5)))
+	d.AddSeg(layer.Poly, geom.Pt(L(-6), L(11)), geom.Pt(L(1), L(11)))
+	d.AddSeg(layer.Metal, geom.Pt(L(1), L(18)), geom.Pt(L(8), L(18)))
+	d.AddDot("enh", geom.Pt(L(1), L(5)))
+	d.AddDot("enh", geom.Pt(L(1), L(11)))
+	d.AddDot("dep", geom.Pt(L(1), L(25)))
+	d.AddPin("in1", geom.Pt(L(-6), L(5)))
+	d.AddPin("in2", geom.Pt(L(-6), L(11)))
+	d.AddPin("out", geom.Pt(L(8), L(18)))
+	c.Sticks = d
+
+	c.Doc = "two-input NAND: out = !(in1 & in2)"
+	c.SimNote = "combinational"
+	c.BlockLabel, c.BlockClass = "NAND", "logic"
+	return c
+}

@@ -1,0 +1,69 @@
+package celllib
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+)
+
+// PadClasses lists the pad flavors the library provides. Input, output and
+// clock pads are electrically identical at this level (a bond pad with a
+// wire stub); supply pads get a double-width stub.
+var PadClasses = []string{"input", "output", "io", "phi1", "phi2", "vdd", "gnd"}
+
+// Pad dimensions in lambda. The bond pad must be large enough to bond:
+// 40λ ≈ 100 µm at the default 2.5 µm lambda.
+const (
+	PadWidth  = 48
+	PadHeight = 56
+	// PadWireX is the x offset of the wire stub on the south (chip-facing)
+	// edge.
+	PadWireX = 24
+)
+
+// Pad generates a bonding pad cell of the given class. The cell faces
+// south: its wire bristle is on the south edge and the pad pass orients
+// the cell so that edge faces the chip core.
+func Pad(name, class string) (*cell.Cell, error) {
+	ok := false
+	for _, c := range PadClasses {
+		if c == class {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("celllib: unknown pad class %q", class)
+	}
+	c := cell.New(name, geom.R(0, 0, L(PadWidth), L(PadHeight)))
+	lay := c.Layout
+
+	// Bond pad metal with the overglass cut inset 4λ.
+	lay.AddBox(layer.Metal, geom.R(L(4), L(12), L(44), L(52)))
+	lay.AddBox(layer.Glass, geom.R(L(8), L(16), L(40), L(48)))
+	lay.AddLabel(name, geom.Pt(L(24), L(32)), layer.Metal)
+
+	// Wire stub to the chip.
+	stubW := 4
+	if class == "vdd" || class == "gnd" {
+		stubW = 8
+	}
+	lay.AddBox(layer.Metal, geom.R(L(PadWireX-stubW/2), 0, L(PadWireX+stubW/2), L(12)))
+
+	c.AddBristle(cell.Bristle{
+		Name: "wire", Side: cell.South, Offset: L(PadWireX), Layer: layer.Metal,
+		Width: L(stubW), Flavor: cell.Abut, Net: name,
+	})
+
+	c.PowerUA = 0
+	c.Doc = fmt.Sprintf("%s pad", class)
+	c.SimNote = "bond pad"
+	c.BlockLabel, c.BlockClass = "PAD:"+class, "pad"
+
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,83 @@
+package cif
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+)
+
+// TestQuickRoundTrip: any randomly generated cell hierarchy survives a
+// write/parse cycle with its flattened geometry intact.
+func TestQuickRoundTrip(t *testing.T) {
+	type boxSpec struct {
+		L          uint8
+		X, Y, W, H int16
+	}
+	f := func(boxes []boxSpec, tx, ty int16, orient uint8) bool {
+		leaf := mask.NewCell("leaf")
+		n := 0
+		for _, b := range boxes {
+			w := geom.Coord(b.W%200) + 2
+			h := geom.Coord(b.H%200) + 2
+			// Even coordinates: CIF boxes encode center*2; odd sizes write
+			// as polygons, which also round-trip, so mix both.
+			r := geom.R(geom.Coord(b.X%500), geom.Coord(b.Y%500),
+				geom.Coord(b.X%500)+w, geom.Coord(b.Y%500)+h)
+			ls := layer.All()
+			leaf.AddBox(ls[int(b.L)%len(ls)], r)
+			n++
+		}
+		if n == 0 {
+			leaf.AddBox(layer.Metal, geom.R(0, 0, 8, 8))
+		}
+		top := mask.NewCell("top")
+		o := geom.Orient(orient % 8)
+		top.PlaceNamed("i0", leaf, geom.At(o, geom.Coord(tx%1000), geom.Coord(ty%1000)))
+
+		var buf bytes.Buffer
+		if err := Write(&buf, top, DefaultLambdaCentimicrons); err != nil {
+			t.Logf("write: %v", err)
+			return false
+		}
+		back, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("parse: %v\n%s", err, buf.String())
+			return false
+		}
+		want := rectSet(top)
+		got := rectSet(back.Top)
+		if want != got {
+			t.Logf("flat geometry differs:\nwant %s\ngot  %s", want, got)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rectSet canonicalizes a cell's flattened per-layer rectangle multiset.
+func rectSet(c *mask.Cell) string {
+	var sb bytes.Buffer
+	for _, l := range layer.All() {
+		rs := c.RectsOnLayer(l)
+		area := int64(0)
+		bb := geom.Rect{}
+		for i, r := range rs {
+			area += r.Area()
+			if i == 0 {
+				bb = r
+			} else {
+				bb = bb.Union(r)
+			}
+		}
+		fmt.Fprintf(&sb, "%s:%d:%v ", l.Name(), area, bb)
+	}
+	return sb.String()
+}

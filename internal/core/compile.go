@@ -1,0 +1,578 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bristleblocks/internal/bus"
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/celllib"
+	"bristleblocks/internal/decoder"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/logic"
+	"bristleblocks/internal/mask"
+	"bristleblocks/internal/pads"
+	"bristleblocks/internal/power"
+	"bristleblocks/internal/sim"
+	"bristleblocks/internal/sticks"
+	"bristleblocks/internal/stretch"
+	"bristleblocks/internal/transistor"
+)
+
+// Options tunes a compilation (the ablation switches feed EXPERIMENTS.md).
+type Options struct {
+	// SkipOptimize disables decoder optimization (A3).
+	SkipOptimize bool
+	// SkipRotoRouter pins pad rotation 0 (A2).
+	SkipRotoRouter bool
+	// EvenPads places the pads at the exact even division of the ring
+	// perimeter (the paper's user option) instead of pulled toward their
+	// connection points.
+	EvenPads bool
+	// SkipPads stops after Pass 2 (no pad ring), for core-level tests.
+	SkipPads bool
+	// Representations: when false (default) all representations are
+	// produced; set SkipExtraReps to produce only the layout (for the T2
+	// timing ablation).
+	SkipExtraReps bool
+}
+
+// PassTimes records wall-clock per compiler pass.
+type PassTimes struct {
+	Core, Control, Pads time.Duration
+	Total               time.Duration
+}
+
+// Stats summarizes the compiled chip.
+type Stats struct {
+	Pitch       geom.Coord
+	CoreBounds  geom.Rect
+	ChipBounds  geom.Rect
+	Columns     int
+	CellsPlaced int
+	Transistors int
+	Controls    int
+	PLATerms    int
+	PadCount    int
+	WireLen     geom.Coord
+	PowerUA     int
+	DecoderOpt  decoder.OptStats
+}
+
+// Chip is the compilation result carrying all representations.
+type Chip struct {
+	Spec    *Spec
+	Options Options
+
+	// Mask is the Layout representation: the full chip.
+	Mask *mask.Cell
+	// CoreMask is the core alone (pass 1's output).
+	CoreMask *mask.Cell
+	// Decoder is pass 2's result.
+	Decoder *decoder.Result
+	// Ring is pass 3's result (nil with SkipPads).
+	Ring *pads.Ring
+
+	// Sticks, Netlist, Logic, Text are the other representations.
+	Sticks  *sticks.Diagram
+	Netlist *transistor.Netlist
+	Logic   *logic.Diagram
+	Text    string
+
+	// Block and Logical are the Block-level diagrams (Figures 1 and 2).
+	Block   string
+	Logical string
+
+	Stats Stats
+	Times PassTimes
+
+	columns []*column
+	plan    *bus.Plan
+
+	gndTrunkAt, vddTrunkAt geom.Point
+}
+
+// Compile runs the three-pass silicon compiler on the specification.
+func Compile(spec *Spec, opts *Options) (*Chip, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	chip := &Chip{Spec: spec, Options: *opts}
+	t0 := time.Now()
+
+	// ---- Pass 1: core layout.
+	if err := chip.corePass(); err != nil {
+		return nil, fmt.Errorf("core pass: %w", err)
+	}
+	chip.Times.Core = time.Since(t0)
+
+	// ---- Pass 2: control design.
+	t1 := time.Now()
+	if err := chip.controlPass(); err != nil {
+		return nil, fmt.Errorf("control pass: %w", err)
+	}
+	chip.Times.Control = time.Since(t1)
+
+	// ---- Pass 3: pad layout.
+	t2 := time.Now()
+	if !opts.SkipPads {
+		if err := chip.padPass(); err != nil {
+			return nil, fmt.Errorf("pad pass: %w", err)
+		}
+	}
+	chip.Times.Pads = time.Since(t2)
+
+	// Remaining representations.
+	if !opts.SkipExtraReps {
+		chip.buildRepresentations()
+	}
+	chip.Times.Total = time.Since(t0)
+	chip.fillStats()
+	return chip, nil
+}
+
+// enabledElements applies conditional assembly to the element list.
+func (c *Chip) enabledElements() []ElementSpec {
+	var out []ElementSpec
+	for _, e := range c.Spec.Elements {
+		if e.enabled(c.Spec.Globals) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// corePass implements Pass 1: "after all of the elements vote on the
+// values of global parameters, each element is executed in turn, resulting
+// in a hierarchy of cells which implement the core of the chip", followed
+// by stretching every cell to the common pitch and aligned bus offsets.
+func (c *Chip) corePass() error {
+	spec := c.Spec
+	elems := c.enabledElements()
+	if len(elems) == 0 {
+		return fmt.Errorf("conditional assembly removed every element")
+	}
+
+	// Bus planning at element granularity.
+	plan, err := bus.Build(spec.busSpecs(), len(elems))
+	if err != nil {
+		return err
+	}
+	c.plan = plan
+
+	// Generate element columns.
+	var cols []*column
+	preSites := plan.PrechargeSites()
+	preIdx := 0
+	for i, e := range elems {
+		busA, busB := busNamesAt(plan, i)
+		ctx := &genCtx{
+			width: spec.DataWidth, busA: busA, busB: busB,
+			elemIdx: i, first: i == 0, last: i == len(elems)-1,
+		}
+		gen := elementKinds[e.Kind]
+		ecols, err := gen(&e, ctx)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, ecols...)
+		// Compiler-inserted precharge columns just after the segment-head
+		// element (anywhere inside the segment is electrically equivalent,
+		// and this keeps I/O elements on the core boundary).
+		for preIdx < len(preSites) && preSites[preIdx].From == i {
+			seg := preSites[preIdx]
+			pa, pb := busA, busB
+			if seg.Slot == bus.Upper {
+				pa = seg.Name
+			} else {
+				pb = seg.Name
+			}
+			pc, err := genBusPre(fmt.Sprintf("pre.%s.%d", seg.Name, i), pa, pb, spec.DataWidth, i)
+			if err != nil {
+				return err
+			}
+			cols = append(cols, pc)
+			preIdx++
+		}
+	}
+
+	// Voting on global parameters: the power budget sizes the rails; the
+	// pitch and standard bus offsets follow.
+	var colPower []int
+	for _, col := range cols {
+		p := 0
+		for _, cc := range col.cells {
+			p += cc.PowerUA
+		}
+		colPower = append(colPower, p)
+	}
+	budget := &power.Budget{PerElementUA: colPower}
+	if err := budget.Check(); err != nil {
+		return err
+	}
+	railW := budget.UniformRailWidth()
+	dRail := railW - geom.L(4) // extra width per rail beyond the drawn 4λ
+	if dRail < 0 {
+		dRail = 0
+	}
+	pitch := geom.L(celllib.RowPitch) + 2*dRail
+	busATarget := geom.L(celllib.BusACenter) + 2*dRail
+	busBTarget := geom.L(celllib.BusBCenter) + 2*dRail
+
+	// Stretch every distinct cell once: widen both rails, then pin the
+	// bus bristles to the chip-standard offsets and the pitch.
+	stretched := make(map[*cell.Cell]*cell.Cell)
+	for _, col := range cols {
+		for bi, cc := range col.cells {
+			sc, ok := stretched[cc]
+			if !ok {
+				sc = cc.Copy()
+				if dRail > 0 {
+					if err := stretch.WidenRail(sc, "gnd", dRail); err != nil {
+						return err
+					}
+					if err := stretch.WidenRail(sc, "vdd", dRail); err != nil {
+						return err
+					}
+				}
+				busABr := "busA.W"
+				busBBr := "busB.W"
+				if err := stretch.FitY(sc, []stretch.Target{
+					{Bristle: busABr, At: busATarget},
+					{Bristle: busBBr, At: busBTarget},
+				}, pitch); err != nil {
+					return err
+				}
+				stretched[cc] = sc
+			}
+			col.cells[bi] = sc
+		}
+	}
+
+	// Assemble the core: columns left to right, bit rows bottom-up.
+	coreMask := mask.NewCell(spec.Name + ".core")
+	x := geom.Coord(0)
+	for _, col := range cols {
+		w := col.cells[0].Width()
+		for _, cc := range col.cells {
+			if cc.Width() != w {
+				return fmt.Errorf("column %s has ragged cell widths", col.name)
+			}
+		}
+		col.x = x
+		for r, cc := range col.cells {
+			coreMask.PlaceNamed(fmt.Sprintf("%s.%d", col.name, r), cc.Layout,
+				geom.Translate(x-cc.Size.MinX, geom.Coord(r)*pitch-cc.Size.MinY))
+		}
+		x += w
+	}
+
+	c.columns = cols
+	c.CoreMask = coreMask
+	c.Stats.Pitch = pitch
+	c.Stats.PowerUA = budget.TotalUA()
+	c.Stats.CoreBounds = geom.R(0, 0, x, geom.Coord(spec.DataWidth)*pitch)
+	c.drawPowerTrunks()
+	return nil
+}
+
+// drawPowerTrunks runs a ground trunk along the core's west edge and a
+// supply trunk along its east edge, tying every bit row's rail together in
+// diffusion (so pad wires can cross them in metal). Each trunk ends in a
+// metal head that becomes the chip's single power connection point per
+// side.
+func (c *Chip) drawPowerTrunks() {
+	lay := c.CoreMask
+	pitch := c.Stats.Pitch
+	coreW := c.Stats.CoreBounds.MaxX
+	coreH := c.Stats.CoreBounds.MaxY
+	w := c.Spec.DataWidth
+
+	// Rail centerlines per row, from the first column's stretched cell.
+	first := c.columns[0].cells[0]
+	last := c.columns[len(c.columns)-1].cells[0]
+	railY := func(cc *cell.Cell, net string) geom.Coord {
+		for _, r := range cc.Rails {
+			if r.Net == net {
+				return r.Y - cc.Size.MinY
+			}
+		}
+		return geom.L(2)
+	}
+
+	drawTrunk := func(x0 geom.Coord, net string, railOff, ext, headX geom.Coord) geom.Point {
+		// The trunk reaches ext below the core, then a metal arm runs east
+		// along the south edge to the head at headX. Putting the heads on
+		// the south side, away from the corners, keeps them clear of the
+		// west-side element pads: a head placed on a top bit row would
+		// fight an I/O element's top bits for the same moat corridors.
+		lay.AddBox(layer.Diff, geom.R(x0, -ext, x0+geom.L(4), coreH))
+		for r := 0; r < w; r++ {
+			y := geom.Coord(r)*pitch + railOff
+			// Metal tab from the rail (at x=0) out over the strap, with a
+			// contact on the strap.
+			lay.AddBox(layer.Metal, geom.R(x0-geom.L(1), y-geom.L(2), geom.L(4), y+geom.L(2)))
+			lay.AddBox(layer.Contact, geom.R(x0+geom.L(1), y-geom.L(1), x0+geom.L(3), y+geom.L(1)))
+		}
+		// Metal arm from a contact on the trunk's south tip to the head.
+		// Metal crosses the other trunk's diffusion harmlessly.
+		hy := -ext + geom.L(2)
+		lay.AddBox(layer.Contact, geom.R(x0+geom.L(1), hy-geom.L(1), x0+geom.L(3), hy+geom.L(1)))
+		lay.AddBox(layer.Metal, geom.R(x0-geom.L(1), hy-geom.L(2), headX+geom.L(3), hy+geom.L(2)))
+		lay.AddLabel(net, geom.Pt(headX, hy), layer.Metal)
+		return geom.Pt(headX, hy)
+	}
+	gy := railY(first, "gnd")
+	vy := railY(first, "vdd")
+	_ = last
+	// Heads at one third and two thirds of the core width: away from the
+	// congested corners and far enough apart for two pad slots.
+	c.gndTrunkAt = drawTrunk(-geom.L(8), "gnd", gy, geom.L(8), coreW*2/3)
+	// The vdd trunk sits outboard of the gnd trunk; its metal tabs cross
+	// the gnd trunk's diffusion harmlessly, and its arm runs 12λ further
+	// south so the two arms keep 8λ of metal spacing.
+	c.vddTrunkAt = drawTrunk(-geom.L(18), "vdd", vy, geom.L(20), coreW/3)
+}
+
+// busNamesAt resolves the bus nets at an element position; unused slots get
+// a floating placeholder net.
+func busNamesAt(plan *bus.Plan, i int) (string, string) {
+	busA := fmt.Sprintf("ncA%d", i)
+	busB := fmt.Sprintf("ncB%d", i)
+	if s := plan.AtElement[i][bus.Upper]; s != nil {
+		busA = s.Name
+	}
+	if s := plan.AtElement[i][bus.Lower]; s != nil {
+		busB = s.Name
+	}
+	return busA, busB
+}
+
+// controlPass implements Pass 2: collect the control connection points
+// from the core, build the decoder above it, and join the control and
+// clock lines across the gap.
+func (c *Chip) controlPass() error {
+	spec := c.Spec
+	topRow := spec.DataWidth - 1
+	var specs []decoder.ControlSpec
+	ctlX := make(map[string]geom.Coord)
+	clockX := make(map[string][]geom.Coord)
+	for _, col := range c.columns {
+		specs = append(specs, col.controls...)
+		top := col.cells[topRow]
+		for _, b := range top.BristlesBy(cell.Control) {
+			ctlX[b.Net] = col.x + b.Offset - top.Size.MinX
+		}
+		for _, b := range top.BristlesBy(cell.Clock) {
+			clockX[b.Net] = append(clockX[b.Net], col.x+b.Offset-top.Size.MinX)
+		}
+	}
+	sort.SliceStable(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+
+	res, err := decoder.Build(spec.Microcode, specs, &decoder.Options{
+		SkipOptimize: c.Options.SkipOptimize,
+		CtlX:         ctlX,
+		ClockX:       clockX,
+	})
+	if err != nil {
+		return err
+	}
+	c.Decoder = res
+
+	// Chip assembly: decoder above the core with an 8λ gap; poly fillers
+	// join every control and clock line across the gap.
+	chipMask := mask.NewCell(spec.Name)
+	chipMask.PlaceNamed("core", c.CoreMask, geom.Identity)
+	coreTop := c.Stats.CoreBounds.MaxY
+	decoderY := coreTop + geom.L(8)
+	chipMask.PlaceNamed("decoder", res.Layout.Cell.Layout, geom.Translate(0, decoderY))
+	for _, x := range ctlX {
+		chipMask.AddWire(layer.Poly, geom.L(2), geom.Pt(x, coreTop-geom.L(1)), geom.Pt(x, decoderY+geom.L(1)))
+	}
+	for _, xs := range clockX {
+		for _, x := range xs {
+			chipMask.AddWire(layer.Poly, geom.L(2), geom.Pt(x, coreTop-geom.L(1)), geom.Pt(x, decoderY+geom.L(1)))
+		}
+	}
+	c.Mask = chipMask
+	c.Stats.Controls = len(specs)
+	c.Stats.PLATerms = len(res.Array.Terms)
+	c.Stats.DecoderOpt = res.Stats
+	return nil
+}
+
+// padPass implements Pass 3: collect every pad-needing connection point
+// (I/O bits, microcode inputs, clocks, power rails), hand them to the
+// Roto-Router, and place the resulting ring around the chip.
+func (c *Chip) padPass() error {
+	reqs := c.padRequests()
+	if len(reqs) == 0 {
+		return fmt.Errorf("chip has no pad connection points")
+	}
+	coreB := c.Stats.CoreBounds
+	decB := c.Decoder.Layout.Cell.Size.Translate(geom.Pt(0, coreB.MaxY+geom.L(8)))
+	bounds := coreB.Union(decB)
+	// The west power trunks live just outside the core and reach below it
+	// to their south-side heads; widen the blocked region so their
+	// geometry is inside it (the heads remain reachable through the
+	// approach band).
+	bounds.MinX -= geom.L(20)
+	bounds.MinY -= geom.L(22)
+	// The blocked region is the union box: with both power trunks on the
+	// flush west edge, no connection point lives in the core/decoder
+	// notch — except an east-side I/O port, which therefore requires the
+	// core to be at least as wide as the decoder.
+	if decB.MaxX > coreB.MaxX {
+		for _, rq := range reqs {
+			if rq.Outward == (geom.Pt(1, 0)) && rq.At.X <= coreB.MaxX && rq.At.Y < coreB.MaxY {
+				return fmt.Errorf("element with east-side pads needs a core at least as wide as the decoder (%dλ vs %dλ); place the I/O element first instead",
+					coreB.MaxX/4, decB.MaxX/4)
+			}
+		}
+	}
+	ring, err := pads.Build(bounds, reqs, &pads.Options{
+		SkipRotoRouter: c.Options.SkipRotoRouter,
+		EvenSpacing:    c.Options.EvenPads || c.Spec.EvenPads,
+		Obstacles:      []geom.Rect{bounds},
+	})
+	if err != nil {
+		return err
+	}
+	c.Ring = ring
+	c.Mask.PlaceNamed("pads", ring.Cell, geom.Identity)
+	c.Stats.PadCount = ring.PadCount
+	c.Stats.WireLen = ring.TotalWireLen
+	return nil
+}
+
+// padRequests assembles Pass 3's input.
+func (c *Chip) padRequests() []pads.Request {
+	var reqs []pads.Request
+	pitch := c.Stats.Pitch
+	coreB := c.Stats.CoreBounds
+	decoderY := coreB.MaxY + geom.L(8)
+	dec := c.Decoder.Layout.Cell
+
+	// Core I/O and power bristles.
+	for _, col := range c.columns {
+		for r, cc := range col.cells {
+			base := geom.Pt(col.x-cc.Size.MinX, geom.Coord(r)*pitch-cc.Size.MinY)
+			for _, b := range cc.BristlesBy(cell.PadReq) {
+				p := b.Position(cc.Size).Add(base)
+				out := geom.Pt(-1, 0)
+				if b.Side == cell.East {
+					out = geom.Pt(1, 0)
+				}
+				reqs = append(reqs, pads.Request{
+					Net: b.Net, Class: b.PadClass, At: p, Layer: b.Layer, Outward: out,
+				})
+			}
+		}
+		// Power feed per row on the column at the core's west and east
+		// edges only.
+	}
+	// Power: the trunks along the core edges collect every bit row's
+	// rails, so the chip needs just one gnd and one vdd connection point
+	// for the core (the decoder contributes its own below).
+	reqs = append(reqs,
+		pads.Request{Net: "gnd", Class: "gnd", At: c.gndTrunkAt, Layer: layer.Metal, Outward: geom.Pt(0, -1)},
+		pads.Request{Net: "vdd", Class: "vdd", At: c.vddTrunkAt, Layer: layer.Metal, Outward: geom.Pt(0, -1)},
+	)
+
+	// Decoder bristles: microcode inputs (north), clocks (east), power.
+	for _, b := range dec.Bristles {
+		p := b.Position(dec.Size).Add(geom.Pt(0, decoderY))
+		switch {
+		case b.Flavor == cell.PadReq:
+			out := geom.Pt(0, 1)
+			if b.Side == cell.East {
+				out = geom.Pt(1, 0)
+			}
+			reqs = append(reqs, pads.Request{Net: b.Net, Class: b.PadClass, At: p, Layer: b.Layer, Outward: out})
+		case b.Flavor == cell.Power:
+			out := outOf(b.Side)
+			reqs = append(reqs, pads.Request{Net: "vdd", Class: "vdd", At: p, Layer: b.Layer, Outward: out})
+		case b.Flavor == cell.Ground:
+			out := outOf(b.Side)
+			reqs = append(reqs, pads.Request{Net: "gnd", Class: "gnd", At: p, Layer: b.Layer, Outward: out})
+		}
+	}
+	return reqs
+}
+
+func outOf(s cell.Side) geom.Point {
+	switch s {
+	case cell.North:
+		return geom.Pt(0, 1)
+	case cell.South:
+		return geom.Pt(0, -1)
+	case cell.East:
+		return geom.Pt(1, 0)
+	default:
+		return geom.Pt(-1, 0)
+	}
+}
+
+// NewSim builds the Simulation representation: a fresh functional chip
+// with one bus per planned segment, the element behavioural models, and
+// the decoder's control function.
+func (c *Chip) NewSim() (*sim.Chip, error) {
+	ch := &sim.Chip{Decode: c.Decoder.Decode}
+	seen := make(map[string]bool)
+	for _, seg := range c.plan.Segments {
+		if seen[seg.Name] {
+			continue
+		}
+		seen[seg.Name] = true
+		b, err := sim.NewBus(seg.Name, c.Spec.DataWidth)
+		if err != nil {
+			return nil, err
+		}
+		ch.AddBus(b)
+	}
+	for _, col := range c.columns {
+		if col.model != nil {
+			if r, ok := col.model.(interface{ reset() }); ok {
+				r.reset()
+			}
+			ch.AddElement(col.model)
+		}
+	}
+	return ch, nil
+}
+
+// Model returns a column's behavioural model by element name (for test
+// benches and examples).
+func (c *Chip) Model(name string) sim.Element {
+	for _, col := range c.columns {
+		if col.name == name && col.model != nil {
+			return col.model
+		}
+	}
+	return nil
+}
+
+// ColumnInfo describes one compiled column for the baseline estimators.
+type ColumnInfo struct {
+	Name    string
+	Width   geom.Coord
+	PowerUA int
+}
+
+// Columns reports the compiled columns in core order.
+func (c *Chip) Columns() []ColumnInfo {
+	out := make([]ColumnInfo, len(c.columns))
+	for i, col := range c.columns {
+		p := 0
+		for _, cc := range col.cells {
+			p += cc.PowerUA
+		}
+		out[i] = ColumnInfo{Name: col.name, Width: col.cells[0].Width(), PowerUA: p}
+	}
+	return out
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bristleblocks/internal/decoder"
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/transistor"
+)
+
+// testSpec builds a small but complete chip: an I/O port, two registers,
+// an adder, a shifter, and a constant, on two full-length buses.
+//
+// Microcode: OP selects the operation; SEL selects a register.
+func testSpec(width int) *Spec {
+	f, _ := decoder.ParseFormat("width 8; OP 0 4; SEL 4 2; EN 6 1")
+	return &Spec{
+		Name:      "testchip",
+		Microcode: f,
+		DataWidth: width,
+		Elements: []ElementSpec{
+			{Kind: "ioport", Name: "io", Params: map[string]string{
+				"io": "OP=1", "class": "io",
+			}},
+			{Kind: "registers", Name: "r", Params: map[string]string{
+				"count": "2", "ld": "OP=2 & SEL={i}", "rd": "OP=3 & SEL={i}",
+			}},
+			{Kind: "alu", Name: "alu", Params: map[string]string{
+				"lda": "OP=4", "ldb": "OP=5", "rd": "OP=6", "op": "add",
+			}},
+			{Kind: "shifter", Name: "sh", Params: map[string]string{
+				"ld": "OP=7", "rd": "OP=8",
+			}},
+			{Kind: "const", Name: "k1", Params: map[string]string{
+				"value": "1", "rd": "OP=9",
+			}},
+		},
+	}
+}
+
+func compileTest(t *testing.T, spec *Spec, opts *Options) *Chip {
+	t.Helper()
+	chip, err := Compile(spec, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return chip
+}
+
+func TestCompileCoreOnly(t *testing.T) {
+	chip := compileTest(t, testSpec(4), &Options{SkipPads: true})
+	if chip.CoreMask == nil || chip.Mask == nil {
+		t.Fatal("masks missing")
+	}
+	// 1 io + 2 reg + 1 alu + 1 sh + 1 const + 2 buspre = 8 columns.
+	if chip.Stats.Columns != 8 {
+		t.Errorf("columns = %d, want 8", chip.Stats.Columns)
+	}
+	if chip.Stats.Pitch < geom.L(52) {
+		t.Errorf("pitch = %d", chip.Stats.Pitch)
+	}
+	if chip.Stats.Controls != 11 {
+		t.Errorf("controls = %d, want 11", chip.Stats.Controls)
+	}
+}
+
+func TestCompiledCoreDRC(t *testing.T) {
+	chip := compileTest(t, testSpec(4), &Options{SkipPads: true})
+	vs := drc.Check(chip.CoreMask, layer.MeadConway(), &drc.Options{MaxViolations: 10})
+	if len(vs) != 0 {
+		t.Fatalf("core DRC violations:\n%v", vs)
+	}
+}
+
+func TestCompiledChipDRCAndExtraction(t *testing.T) {
+	chip := compileTest(t, testSpec(4), &Options{SkipPads: true})
+	vs := drc.Check(chip.Mask, layer.MeadConway(), &drc.Options{MaxViolations: 10})
+	if len(vs) != 0 {
+		t.Fatalf("chip DRC violations:\n%v", vs)
+	}
+	got, err := transistor.Extract(chip.Mask)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	want := chip.Netlist
+	if len(got.Txs) != len(want.Txs) {
+		t.Fatalf("chip transistor count: declared %d, extracted %d", len(want.Txs), len(got.Txs))
+	}
+	// Shared cells cannot carry per-instance labels, so internal nets are
+	// compared up to renaming: the connectivity seen from the global nets
+	// (buses, controls, clocks, supplies) must match exactly.
+	globals := chip.globalNets()
+	if got.GlobalSignature(globals) != want.GlobalSignature(globals) {
+		a := strings.Split(want.GlobalSignature(globals), "\n")
+		b := strings.Split(got.GlobalSignature(globals), "\n")
+		n := 0
+		var diffs []string
+		for i := range a {
+			if i < len(b) && a[i] != b[i] && n < 12 {
+				diffs = append(diffs, "declared "+a[i]+" | extracted "+b[i])
+				n++
+			}
+		}
+		t.Fatalf("chip netlist global-connectivity mismatch:\n%s", strings.Join(diffs, "\n"))
+	}
+}
+
+func TestCompileWithPads(t *testing.T) {
+	chip := compileTest(t, testSpec(4), nil)
+	if chip.Ring == nil {
+		t.Fatal("no pad ring")
+	}
+	// 4 io pads + 7 micro inputs (OP+SEL+EN used bits) + phi1 + phi2 +
+	// vdd + gnd.
+	if chip.Stats.PadCount < 10 {
+		t.Errorf("pads = %d", chip.Stats.PadCount)
+	}
+	if !chip.Stats.ChipBounds.ContainsRect(chip.Stats.CoreBounds) {
+		t.Error("chip bounds do not contain the core")
+	}
+	if chip.Stats.WireLen <= 0 {
+		t.Error("no pad wire length")
+	}
+}
+
+func TestRepresentationsPresent(t *testing.T) {
+	chip := compileTest(t, testSpec(4), &Options{SkipPads: true})
+	if chip.Sticks == nil || len(chip.Sticks.Segs) == 0 {
+		t.Error("sticks representation empty")
+	}
+	if chip.Netlist == nil || len(chip.Netlist.Txs) == 0 {
+		t.Error("transistor representation empty")
+	}
+	if chip.Logic == nil || len(chip.Logic.Gates) == 0 {
+		t.Error("logic representation empty")
+	}
+	if !strings.Contains(chip.Text, "CHIP testchip") {
+		t.Errorf("text representation wrong:\n%s", chip.Text)
+	}
+	if !strings.Contains(chip.Block, "DECODER") {
+		t.Errorf("block diagram wrong:\n%s", chip.Block)
+	}
+	if !strings.Contains(chip.Logical, "bus") {
+		t.Errorf("logical diagram wrong:\n%s", chip.Logical)
+	}
+}
+
+// TestSimulatedProgram runs microcode on the compiled chip's Simulation
+// representation: a value enters through the I/O port while a register
+// loads, the ALU latches it twice and adds — "software can be written for
+// the chip to explore the feasibility of the design".
+func TestSimulatedProgram(t *testing.T) {
+	spec := testSpec(8)
+	// Pair drivers and receivers under shared OPs, like real microcode.
+	spec.Elements[1].Params["ld"] = "(OP=1 | OP=2) & SEL={i}" // registers load during the io op too
+	spec.Elements[2].Params["lda"] = "OP=3 & EN"              // alu latches a while a register drives
+	spec.Elements[2].Params["ldb"] = "OP=10"
+	chip := compileTest(t, spec, &Options{SkipPads: true})
+
+	machine, err := chip.NewSim()
+	if err != nil {
+		t.Fatalf("NewSim: %v", err)
+	}
+	io := chip.Model("io").(interface{ SetPads(uint64) })
+	io.SetPads(0x15)
+
+	op := func(o, sel uint64) uint64 { return o | sel<<4 }
+	en := uint64(1) << 6
+	machine.Run([]uint64{
+		op(1, 0),      // pads -> bus A; r0 loads (SEL=0)
+		op(3, 0) | en, // r0 drives bus A; alu latches operand a
+		op(3, 0) | en, // φ2 evaluates a+b (b is 0)
+		op(6, 0),      // alu drives its result onto bus A
+	})
+
+	r0 := chip.Model("r0").(interface{ Value() uint64 })
+	if r0.Value() != 0x15 {
+		t.Fatalf("r0 = %#x, want 0x15", r0.Value())
+	}
+	alu := chip.Model("alu").(interface{ Result() uint64 })
+	if alu.Result() != 0x15 {
+		t.Fatalf("alu result = %#x, want 0x15", alu.Result())
+	}
+
+	// A second sim starts from reset state.
+	m2, err := chip.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Step(0)
+	if r0.Value() != 0 {
+		t.Errorf("NewSim should reset models, r0 = %#x", r0.Value())
+	}
+}
+
+func TestConditionalAssembly(t *testing.T) {
+	spec := testSpec(4)
+	spec.Elements = append(spec.Elements, ElementSpec{
+		Kind: "registers", Name: "dbg",
+		Params: map[string]string{"ld": "OP=11", "rd": "OP=12"},
+		OnlyIf: "PROTOTYPE",
+	})
+	spec.Globals = map[string]bool{"PROTOTYPE": true}
+	proto := compileTest(t, spec, &Options{SkipPads: true})
+
+	spec2 := testSpec(4)
+	spec2.Elements = append(spec2.Elements, ElementSpec{
+		Kind: "registers", Name: "dbg",
+		Params: map[string]string{"ld": "OP=11", "rd": "OP=12"},
+		OnlyIf: "PROTOTYPE",
+	})
+	spec2.Globals = map[string]bool{"PROTOTYPE": false}
+	prod := compileTest(t, spec2, &Options{SkipPads: true})
+
+	if proto.Stats.Columns != prod.Stats.Columns+1 {
+		t.Errorf("prototype should have one extra column: %d vs %d",
+			proto.Stats.Columns, prod.Stats.Columns)
+	}
+	if proto.Stats.CoreBounds.Area() <= prod.Stats.CoreBounds.Area() {
+		t.Error("production chip should reclaim the debug area")
+	}
+}
+
+func TestCompileValidationErrors(t *testing.T) {
+	bad := testSpec(4)
+	bad.DataWidth = 0
+	if _, err := Compile(bad, nil); err == nil {
+		t.Error("zero width should fail")
+	}
+	bad2 := testSpec(4)
+	bad2.Elements[0].Kind = "bogus"
+	if _, err := Compile(bad2, nil); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	// ioport in the middle of the core.
+	bad3 := testSpec(4)
+	bad3.Elements[2], bad3.Elements[0] = bad3.Elements[0], bad3.Elements[2]
+	if _, err := Compile(bad3, nil); err == nil {
+		t.Error("interior ioport should fail")
+	}
+}
+
+// TestFullChipWithPadsDRC: the complete chip including the pad ring and
+// routed pad wires passes the design rules.
+func TestFullChipWithPadsDRC(t *testing.T) {
+	chip := compileTest(t, testSpec(4), nil)
+	vs := drc.Check(chip.Mask, layer.MeadConway(), &drc.Options{MaxViolations: 10})
+	if len(vs) != 0 {
+		t.Fatalf("full chip DRC violations:\n%v", vs)
+	}
+}

@@ -1,0 +1,565 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/celllib"
+	"bristleblocks/internal/decoder"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/sim"
+)
+
+// column is one physical column of the core: a stack of DataWidth bit
+// cells (bit 0 at the bottom), the control lines those cells need, and the
+// column's behavioral model.
+type column struct {
+	name    string
+	elemIdx int
+	// x is the column's west edge in core coordinates (set by the core
+	// pass during assembly).
+	x geom.Coord
+	// cells holds one cell per bit row, bottom-up. Entries may alias the
+	// same *cell.Cell when every row is identical (the compiler then emits
+	// one stretched cell placed W times).
+	cells    []*cell.Cell
+	controls []decoder.ControlSpec
+	model    sim.Element
+}
+
+// genCtx carries the chip-wide context element generators need.
+type genCtx struct {
+	width      int    // data word width
+	busA, busB string // bus net names through this element's position
+	elemIdx    int
+	first      bool // element is at the west end of the core
+	last       bool // element is at the east end
+}
+
+// generator produces the columns for one element.
+type generator func(e *ElementSpec, ctx *genCtx) ([]*column, error)
+
+// elementKinds registers the element library: these are the "data
+// processing elements, such as memories, shifters, and arithmetic-logic
+// units" of the paper's physical format.
+var elementKinds = map[string]generator{
+	"registers": genRegisters,
+	"dualreg":   genDualReg,
+	"alu":       genALU,
+	"shifter":   genShifter,
+	"const":     genConst,
+	"ioport":    genIOPort,
+	"xfer":      genXfer,
+}
+
+// subst replaces {i} in a guard template.
+func subst(tmpl string, i int) string {
+	return strings.ReplaceAll(tmpl, "{i}", strconv.Itoa(i))
+}
+
+// stack fills a column with the same cell in every row.
+func stack(width int, c *cell.Cell) []*cell.Cell {
+	out := make([]*cell.Cell, width)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+// ---- registers -------------------------------------------------------
+
+// regModel is the Simulation-level behaviour of one register column.
+type regModel struct {
+	name, busNet   string
+	ldName, rdName string
+	val, mask      uint64
+}
+
+func (m *regModel) Name() string { return m.name }
+func (m *regModel) Drive(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.rdName) {
+		ctx.Bus(m.busNet).Write(m.val)
+	}
+}
+func (m *regModel) Sample(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.ldName) {
+		m.val = ctx.Bus(m.busNet).Read() & m.mask
+	}
+}
+
+// Value exposes the stored word for tests and traces.
+func (m *regModel) Value() uint64 { return m.val }
+
+// Set preloads the stored word (test benches initializing machine state).
+func (m *regModel) Set(v uint64) { m.val = v & m.mask }
+
+// genRegisters builds count register columns. Parameters: count (default
+// 1), ld and rd guard templates with {i} for the register index.
+func genRegisters(e *ElementSpec, ctx *genCtx) ([]*column, error) {
+	count, err := e.IntParam("count", 1)
+	if err != nil {
+		return nil, err
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("element %s: count %d", e.Name, count)
+	}
+	ldT := e.Param("ld", "")
+	rdT := e.Param("rd", "")
+	if ldT == "" || rdT == "" {
+		return nil, fmt.Errorf("element %s: registers need ld and rd guard parameters", e.Name)
+	}
+	onB := e.Param("bus", "A") == "B"
+	busNet := ctx.busA
+	if onB {
+		busNet = ctx.busB
+	}
+	var cols []*column
+	for i := 0; i < count; i++ {
+		regName := e.Name
+		if count > 1 {
+			regName = fmt.Sprintf("%s%d", e.Name, i)
+		}
+		ldName, rdName := regName+".ld", regName+".rd"
+		ldG, rdG := subst(ldT, i), subst(rdT, i)
+		mk := celllib.RegBit
+		if onB {
+			mk = celllib.RegBitB
+		}
+		c, err := mk("regbit."+regName, ctx.busA, ctx.busB, ldName, ldG, rdName, rdG)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, &column{
+			name:    regName,
+			elemIdx: ctx.elemIdx,
+			cells:   stack(ctx.width, c),
+			controls: []decoder.ControlSpec{
+				{Name: ldName, Guard: ldG, Phase: 1},
+				{Name: rdName, Guard: rdG, Phase: 1},
+			},
+			model: &regModel{
+				name: regName, busNet: busNet,
+				ldName: ldName, rdName: rdName,
+				mask: maskBits(ctx.width),
+			},
+		})
+	}
+	return cols, nil
+}
+
+// dualRegModel: φ1 ld samples bus A; φ1 rd drives the stored word on bus B.
+type dualRegModel struct {
+	name             string
+	busANet, busBNet string
+	ldName, rdName   string
+	val, mask        uint64
+}
+
+func (m *dualRegModel) Name() string { return m.name }
+func (m *dualRegModel) Drive(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.rdName) {
+		ctx.Bus(m.busBNet).Write(m.val)
+	}
+}
+func (m *dualRegModel) Sample(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.ldName) {
+		m.val = ctx.Bus(m.busANet).Read() & m.mask
+	}
+}
+
+// Value exposes the stored word; Set preloads it (test benches).
+func (m *dualRegModel) Value() uint64 { return m.val }
+func (m *dualRegModel) Set(v uint64)  { m.val = v & m.mask }
+func (m *dualRegModel) reset()        { m.val = 0 }
+
+// genDualReg builds a cross-bus pipeline register: loads from bus A under
+// ld, drives bus B under rd. Parameters: count (default 1), ld and rd
+// guard templates with {i}.
+func genDualReg(e *ElementSpec, ctx *genCtx) ([]*column, error) {
+	count, err := e.IntParam("count", 1)
+	if err != nil {
+		return nil, err
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("element %s: count %d", e.Name, count)
+	}
+	ldT := e.Param("ld", "")
+	rdT := e.Param("rd", "")
+	if ldT == "" || rdT == "" {
+		return nil, fmt.Errorf("element %s: dualreg needs ld and rd guard parameters", e.Name)
+	}
+	var cols []*column
+	for i := 0; i < count; i++ {
+		regName := e.Name
+		if count > 1 {
+			regName = fmt.Sprintf("%s%d", e.Name, i)
+		}
+		ldName, rdName := regName+".ld", regName+".rd"
+		ldG, rdG := subst(ldT, i), subst(rdT, i)
+		c, err := celllib.DualRegBit("dualregbit."+regName, ctx.busA, ctx.busB, ldName, ldG, rdName, rdG)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, &column{
+			name:    regName,
+			elemIdx: ctx.elemIdx,
+			cells:   stack(ctx.width, c),
+			controls: []decoder.ControlSpec{
+				{Name: ldName, Guard: ldG, Phase: 1},
+				{Name: rdName, Guard: rdG, Phase: 1},
+			},
+			model: &dualRegModel{
+				name: regName, busANet: ctx.busA, busBNet: ctx.busB,
+				ldName: ldName, rdName: rdName,
+				mask: maskBits(ctx.width),
+			},
+		})
+	}
+	return cols, nil
+}
+
+func maskBits(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(w) - 1
+}
+
+// ---- alu --------------------------------------------------------------
+
+// aluModel latches operands from both buses during φ1, evaluates during
+// φ2 (the paper's precharged-logic phase), and drives the result during a
+// later φ1 under rd.
+type aluModel struct {
+	name               string
+	busANet, busBNet   string
+	ldaName, ldbName   string
+	rdName             string
+	op                 string
+	a, b, result, mask uint64
+}
+
+func (m *aluModel) Name() string { return m.name }
+func (m *aluModel) Drive(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.rdName) {
+		ctx.Bus(m.busANet).Write(m.result)
+	}
+}
+func (m *aluModel) Sample(ctx *sim.Ctx) {
+	switch ctx.Phase {
+	case 1:
+		if ctx.CtlBit(m.ldaName) {
+			m.a = ctx.Bus(m.busANet).Read() & m.mask
+		}
+		if ctx.CtlBit(m.ldbName) {
+			m.b = ctx.Bus(m.busBNet).Read() & m.mask
+		}
+	case 2:
+		switch m.op {
+		case "and":
+			m.result = m.a & m.b
+		case "or":
+			m.result = (m.a | m.b) & m.mask
+		case "xor":
+			m.result = (m.a ^ m.b) & m.mask
+		case "nand":
+			m.result = ^(m.a & m.b) & m.mask
+		default: // add
+			m.result = (m.a + m.b) & m.mask
+		}
+	}
+}
+
+// Result exposes the function unit's output for tests.
+func (m *aluModel) Result() uint64 { return m.result }
+
+// genALU builds a one-column function unit. Parameters: lda, ldb, rd
+// guards; op (add | and | or | xor | nand, default add). The bit-slice
+// layout is the celllib function-unit slice; word-level arithmetic (the
+// precharged carry chain) is modeled at this element level — see
+// DESIGN.md's idealizations.
+func genALU(e *ElementSpec, ctx *genCtx) ([]*column, error) {
+	lda, ldb, rd := e.Param("lda", ""), e.Param("ldb", ""), e.Param("rd", "")
+	if lda == "" || ldb == "" || rd == "" {
+		return nil, fmt.Errorf("element %s: alu needs lda, ldb and rd guard parameters", e.Name)
+	}
+	ldaN, ldbN, rdN := e.Name+".lda", e.Name+".ldb", e.Name+".rd"
+	c, err := celllib.AluBit("alubit."+e.Name, ctx.busA, ctx.busB, ldaN, lda, ldbN, ldb, rdN, rd)
+	if err != nil {
+		return nil, err
+	}
+	return []*column{{
+		name:    e.Name,
+		elemIdx: ctx.elemIdx,
+		cells:   stack(ctx.width, c),
+		controls: []decoder.ControlSpec{
+			{Name: ldaN, Guard: lda, Phase: 1},
+			{Name: ldbN, Guard: ldb, Phase: 1},
+			{Name: rdN, Guard: rd, Phase: 1},
+		},
+		model: &aluModel{
+			name: e.Name, busANet: ctx.busA, busBNet: ctx.busB,
+			ldaName: ldaN, ldbName: ldbN, rdName: rdN,
+			op: e.Param("op", "add"), mask: maskBits(ctx.width),
+		},
+	}}, nil
+}
+
+// ---- shifter -----------------------------------------------------------
+
+// shiftModel loads from bus A and drives bus B with the value shifted
+// right by one (each bit cell reads the stored bit of the row above; the
+// top row's chain is terminated, shifting in zero).
+type shiftModel struct {
+	name             string
+	busANet, busBNet string
+	ldName, rdName   string
+	val, mask        uint64
+}
+
+func (m *shiftModel) Name() string { return m.name }
+func (m *shiftModel) Drive(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.rdName) {
+		ctx.Bus(m.busBNet).Write((m.val >> 1) & m.mask)
+	}
+}
+func (m *shiftModel) Sample(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.ldName) {
+		m.val = ctx.Bus(m.busANet).Read() & m.mask
+	}
+}
+
+// Value exposes the latch for tests.
+func (m *shiftModel) Value() uint64 { return m.val }
+
+// genShifter builds a one-column shifter. Parameters: ld, rd guards.
+func genShifter(e *ElementSpec, ctx *genCtx) ([]*column, error) {
+	ld, rd := e.Param("ld", ""), e.Param("rd", "")
+	if ld == "" || rd == "" {
+		return nil, fmt.Errorf("element %s: shifter needs ld and rd guard parameters", e.Name)
+	}
+	ldN, rdN := e.Name+".ld", e.Name+".rd"
+	body, err := celllib.ShiftBit("shiftbit."+e.Name, ctx.busA, ctx.busB, ldN, ld, rdN, rd)
+	if err != nil {
+		return nil, err
+	}
+	top, err := celllib.ShiftBitTop("shiftbittop."+e.Name, ctx.busA, ctx.busB, ldN, ld, rdN, rd)
+	if err != nil {
+		return nil, err
+	}
+	cells := stack(ctx.width, body)
+	cells[ctx.width-1] = top
+	return []*column{{
+		name:    e.Name,
+		elemIdx: ctx.elemIdx,
+		cells:   cells,
+		controls: []decoder.ControlSpec{
+			{Name: ldN, Guard: ld, Phase: 1},
+			{Name: rdN, Guard: rd, Phase: 1},
+		},
+		model: &shiftModel{
+			name: e.Name, busANet: ctx.busA, busBNet: ctx.busB,
+			ldName: ldN, rdName: rdN, mask: maskBits(ctx.width),
+		},
+	}}, nil
+}
+
+// ---- const -------------------------------------------------------------
+
+type constModel struct {
+	name, busNet, rdName string
+	value                uint64
+}
+
+func (m *constModel) Name() string { return m.name }
+func (m *constModel) Drive(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.rdName) {
+		ctx.Bus(m.busNet).Write(m.value)
+	}
+}
+func (m *constModel) Sample(*sim.Ctx) {}
+
+// genConst builds a constant source column. Parameters: value (decimal),
+// rd guard. Bit cells pick the minimum-area variant per bit value — the
+// paper's smart-cell selection; the column width is the widest variant
+// needed.
+func genConst(e *ElementSpec, ctx *genCtx) ([]*column, error) {
+	rd := e.Param("rd", "")
+	if rd == "" {
+		return nil, fmt.Errorf("element %s: const needs an rd guard parameter", e.Name)
+	}
+	valStr := e.Param("value", "0")
+	value, err := strconv.ParseUint(valStr, 0, 64)
+	if err != nil {
+		return nil, fmt.Errorf("element %s: bad value %q", e.Name, valStr)
+	}
+	rdN := e.Name + ".rd"
+	// Variant selection: an all-ones constant needs no pulldowns anywhere
+	// and fits the narrow variant; any zero bit forces the wide one.
+	width := celllib.ConstNarrowWidth
+	for b := 0; b < ctx.width; b++ {
+		if value>>uint(b)&1 == 0 {
+			width = celllib.ConstWideWidth
+			break
+		}
+	}
+	cells := make([]*cell.Cell, ctx.width)
+	var one, zero *cell.Cell
+	for b := 0; b < ctx.width; b++ {
+		bit := value>>uint(b)&1 == 1
+		if bit {
+			if one == nil {
+				one, err = celllib.ConstBit("constbit1."+e.Name, ctx.busA, ctx.busB, true, width, rdN, rd)
+				if err != nil {
+					return nil, err
+				}
+			}
+			cells[b] = one
+		} else {
+			if zero == nil {
+				zero, err = celllib.ConstBit("constbit0."+e.Name, ctx.busA, ctx.busB, false, width, rdN, rd)
+				if err != nil {
+					return nil, err
+				}
+			}
+			cells[b] = zero
+		}
+	}
+	return []*column{{
+		name:    e.Name,
+		elemIdx: ctx.elemIdx,
+		cells:   cells,
+		controls: []decoder.ControlSpec{
+			{Name: rdN, Guard: rd, Phase: 1},
+		},
+		model: &constModel{name: e.Name, busNet: ctx.busA, rdName: rdN, value: value & maskBits(ctx.width)},
+	}}, nil
+}
+
+// ---- ioport ------------------------------------------------------------
+
+// ioModel connects the bus to chip pads: when the io control fires during
+// φ1, input pads drive the bus and the bus value appears on output pads.
+type ioModel struct {
+	name, busNet, ioName string
+	class                string
+	padIn, padOut, mask  uint64
+}
+
+func (m *ioModel) Name() string { return m.name }
+func (m *ioModel) Drive(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.ioName) && m.class != "output" {
+		ctx.Bus(m.busNet).Write(m.padIn & m.mask)
+	}
+}
+func (m *ioModel) Sample(ctx *sim.Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(m.ioName) {
+		m.padOut = ctx.Bus(m.busNet).Read() & m.mask
+	}
+}
+
+// SetPads drives the input pads (test bench side).
+func (m *ioModel) SetPads(v uint64) { m.padIn = v }
+
+// Pads reads the output pads.
+func (m *ioModel) Pads() uint64 { return m.padOut }
+
+// genIOPort builds an I/O column: one pad request per bit. Parameters: io
+// guard, class (input | output | io). The element must sit at the west or
+// east end of the core so its pad bristles face outward; the compiler
+// mirrors it at the east end.
+func genIOPort(e *ElementSpec, ctx *genCtx) ([]*column, error) {
+	io := e.Param("io", "")
+	if io == "" {
+		return nil, fmt.Errorf("element %s: ioport needs an io guard parameter", e.Name)
+	}
+	class := e.Param("class", "io")
+	if !ctx.first && !ctx.last {
+		return nil, fmt.Errorf("element %s: ioport must be the first or last core element", e.Name)
+	}
+	ioN := e.Name + ".io"
+	cells := make([]*cell.Cell, ctx.width)
+	for b := 0; b < ctx.width; b++ {
+		padNet := fmt.Sprintf("%s%d", e.Name, b)
+		c, err := celllib.IOPortBit("iobit."+padNet, ctx.busA, ctx.busB, padNet, class, ioN, io)
+		if err != nil {
+			return nil, err
+		}
+		if ctx.last && !ctx.first {
+			c = celllib.MirrorX(c)
+		}
+		cells[b] = c
+	}
+	return []*column{{
+		name:    e.Name,
+		elemIdx: ctx.elemIdx,
+		cells:   cells,
+		controls: []decoder.ControlSpec{
+			{Name: ioN, Guard: io, Phase: 1},
+		},
+		model: &ioModel{name: e.Name, busNet: ctx.busA, ioName: ioN, class: class, mask: maskBits(ctx.width)},
+	}}, nil
+}
+
+// ---- xfer ---------------------------------------------------------------
+
+// xferModel joins the two precharged buses: after every driver has pulled,
+// both buses resolve to their wired-AND.
+type xferModel struct {
+	name, busANet, busBNet, xName string
+}
+
+func (m *xferModel) Name() string    { return m.name }
+func (m *xferModel) Drive(*sim.Ctx)  {}
+func (m *xferModel) Sample(*sim.Ctx) {}
+func (m *xferModel) reset()          {}
+func (m *xferModel) Resolve(ctx *sim.Ctx) {
+	if ctx.Phase != 1 || !ctx.CtlBit(m.xName) {
+		return
+	}
+	a, b := ctx.Bus(m.busANet), ctx.Bus(m.busBNet)
+	and := a.Read() & b.Read()
+	a.Write(and)
+	b.Write(and)
+}
+
+// genXfer builds a bus bridge column. Parameter: x guard.
+func genXfer(e *ElementSpec, ctx *genCtx) ([]*column, error) {
+	x := e.Param("x", "")
+	if x == "" {
+		return nil, fmt.Errorf("element %s: xfer needs an x guard parameter", e.Name)
+	}
+	xN := e.Name + ".x"
+	c, err := celllib.XferBit("xferbit."+e.Name, ctx.busA, ctx.busB, xN, x)
+	if err != nil {
+		return nil, err
+	}
+	return []*column{{
+		name:    e.Name,
+		elemIdx: ctx.elemIdx,
+		cells:   stack(ctx.width, c),
+		controls: []decoder.ControlSpec{
+			{Name: xN, Guard: x, Phase: 1},
+		},
+		model: &xferModel{name: e.Name, busANet: ctx.busA, busBNet: ctx.busB, xName: xN},
+	}}, nil
+}
+
+// ---- bus precharge (compiler-inserted) ----------------------------------
+
+// genBusPre builds the precharge column the compiler inserts at the head
+// of each bus segment; it has no user-visible controls (the clock gates
+// it) and no behavioural model (sim.Bus handles precharge).
+func genBusPre(name, busA, busB string, width, elemIdx int) (*column, error) {
+	c, err := celllib.BusPre("buspre."+name, busA, busB)
+	if err != nil {
+		return nil, err
+	}
+	return &column{
+		name:    name,
+		elemIdx: elemIdx,
+		cells:   stack(width, c),
+	}, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bristleblocks/internal/decoder"
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/transistor"
+)
+
+// randomSpec builds a random valid chip: random width, a random mix of
+// elements with randomly chosen disjoint or overlapping guards. The OP
+// field has 16 values; guards draw from them so some chips share terms
+// (exercising the optimizer) and some do not.
+func randomSpec(r *rand.Rand) *Spec {
+	f, _ := decoder.ParseFormat("width 12; OP 0 4; SEL 4 3")
+	widths := []int{1, 2, 3, 4, 5, 8, 12, 16}
+	spec := &Spec{
+		Name:      "fuzz",
+		Microcode: f,
+		DataWidth: widths[r.Intn(len(widths))],
+	}
+	op := func() string { return fmt.Sprintf("OP=%d", 1+r.Intn(14)) }
+	guard := func() string {
+		switch r.Intn(4) {
+		case 0:
+			return op()
+		case 1:
+			return "(" + op() + " | " + op() + ")"
+		case 2:
+			return op() + " & SEL={i}"
+		default:
+			return "!" + op() + " & " + op()
+		}
+	}
+
+	// Always at least one register bank so the chip does something.
+	spec.Elements = append(spec.Elements, ElementSpec{
+		Kind: "registers", Name: "r",
+		Params: map[string]string{
+			"count": fmt.Sprint(1 + r.Intn(3)),
+			"ld":    guard(), "rd": guard(),
+		},
+	})
+	kinds := []string{"alu", "shifter", "const", "xfer", "dualreg", "registersB"}
+	n := r.Intn(4)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("e%d", i)
+		switch kinds[r.Intn(len(kinds))] {
+		case "alu":
+			ops := []string{"add", "and", "or", "xor", "nand"}
+			spec.Elements = append(spec.Elements, ElementSpec{
+				Kind: "alu", Name: name,
+				Params: map[string]string{
+					"lda": op(), "ldb": op(), "rd": op(),
+					"op": ops[r.Intn(len(ops))],
+				},
+			})
+		case "shifter":
+			spec.Elements = append(spec.Elements, ElementSpec{
+				Kind: "shifter", Name: name,
+				Params: map[string]string{"ld": op(), "rd": op()},
+			})
+		case "const":
+			spec.Elements = append(spec.Elements, ElementSpec{
+				Kind: "const", Name: name,
+				Params: map[string]string{
+					"value": fmt.Sprint(r.Intn(1 << min(spec.DataWidth, 8))),
+					"rd":    op(),
+				},
+			})
+		case "xfer":
+			spec.Elements = append(spec.Elements, ElementSpec{
+				Kind: "xfer", Name: name,
+				Params: map[string]string{"x": op()},
+			})
+		case "dualreg":
+			spec.Elements = append(spec.Elements, ElementSpec{
+				Kind: "dualreg", Name: name,
+				Params: map[string]string{"ld": op(), "rd": op()},
+			})
+		case "registersB":
+			spec.Elements = append(spec.Elements, ElementSpec{
+				Kind: "registers", Name: name,
+				Params: map[string]string{"bus": "B", "ld": op(), "rd": op()},
+			})
+		}
+	}
+	return spec
+}
+
+// TestRandomSpecsCompileClean is the whole-compiler property test: any
+// valid spec the generator produces must compile to a DRC-clean core whose
+// extracted netlist matches the declared one.
+func TestRandomSpecsCompileClean(t *testing.T) {
+	r := rand.New(rand.NewSource(1979))
+	for i := 0; i < 60; i++ {
+		spec := randomSpec(r)
+		chip, err := Compile(spec, &Options{SkipPads: true})
+		if err != nil {
+			t.Fatalf("case %d (%d elems, width %d): %v",
+				i, len(spec.Elements), spec.DataWidth, err)
+		}
+		if vs := drc.Check(chip.Mask, layer.MeadConway(), &drc.Options{MaxViolations: 3}); len(vs) != 0 {
+			t.Fatalf("case %d: DRC: %v", i, vs[0])
+		}
+		ext, err := transistor.Extract(chip.Mask)
+		if err != nil {
+			t.Fatalf("case %d: extract: %v", i, err)
+		}
+		if ext.GlobalSignature(nil) != chip.Netlist.GlobalSignature(nil) {
+			t.Fatalf("case %d: extraction mismatch", i)
+		}
+	}
+}
+
+// TestRandomSpecsWithPads closes the ring over a smaller random sample
+// (pad routing dominates the runtime).
+func TestRandomSpecsWithPads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pad routing is slow")
+	}
+	r := rand.New(rand.NewSource(310))
+	for i := 0; i < 8; i++ {
+		spec := randomSpec(r)
+		chip, err := Compile(spec, nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if vs := drc.Check(chip.Mask, layer.MeadConway(), &drc.Options{MaxViolations: 3}); len(vs) != 0 {
+			t.Fatalf("case %d: DRC with pads: %v", i, vs[0])
+		}
+	}
+}
+
+// TestRandomProgramsNeverPanic: random microcode on random chips must run
+// without panicking and keep registers within the word mask.
+func TestRandomProgramsNeverPanic(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		spec := randomSpec(r)
+		chip, err := Compile(spec, &Options{SkipPads: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := chip.NewSim()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog := make([]uint64, 40)
+		for j := range prog {
+			prog[j] = uint64(r.Intn(1 << 12))
+		}
+		m.Run(prog)
+		mask := maskBits(spec.DataWidth)
+		for _, col := range chip.Columns() {
+			mod := chip.Model(col.Name)
+			if v, ok := mod.(interface{ Value() uint64 }); ok {
+				if v.Value() & ^mask != 0 {
+					t.Fatalf("case %d: %s holds %x outside the %d-bit mask",
+						i, col.Name, v.Value(), spec.DataWidth)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package decoder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bristleblocks/internal/logic"
+)
+
+// ControlSpec is one control signal requirement collected from the core's
+// control bristles: a name, the decode function over microcode fields, and
+// the clock phase on which the signal must be valid.
+type ControlSpec struct {
+	Name  string
+	Guard string
+	Phase int
+}
+
+// Term is one row of the text array (the PLA personality matrix): a
+// product term over microcode bits plus the set of control outputs it
+// feeds.
+type Term struct {
+	In   Cube
+	Outs []bool
+}
+
+// Array is the text array Pass 2 builds: "an text array is constructed
+// which specifies the decode functions needed for each buffer".
+type Array struct {
+	Format   *Format
+	Controls []ControlSpec
+	Terms    []Term
+
+	guards []guardExpr
+}
+
+// BuildArray parses every control guard and assembles the unoptimized text
+// array, one group of terms per control.
+func BuildArray(f *Format, specs []ControlSpec) (*Array, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{Format: f, Controls: append([]ControlSpec(nil), specs...)}
+	seen := make(map[string]bool)
+	for i, sp := range specs {
+		if sp.Name == "" {
+			return nil, fmt.Errorf("control %d has no name", i)
+		}
+		if seen[sp.Name] {
+			return nil, fmt.Errorf("duplicate control %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if sp.Phase != 1 && sp.Phase != 2 {
+			return nil, fmt.Errorf("control %q: phase %d (want 1 or 2)", sp.Name, sp.Phase)
+		}
+		g, err := ParseGuard(sp.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("control %q: %w", sp.Name, err)
+		}
+		a.guards = append(a.guards, g)
+		cubes, err := guardSOP(g, f)
+		if err != nil {
+			return nil, fmt.Errorf("control %q: %w", sp.Name, err)
+		}
+		for _, c := range cubes {
+			outs := make([]bool, len(specs))
+			outs[i] = true
+			a.Terms = append(a.Terms, Term{In: c, Outs: outs})
+		}
+	}
+	return a, nil
+}
+
+// Eval computes the decoded value of control index i for a microcode word
+// using the text array (not the original guard — tests compare the two).
+func (a *Array) Eval(i int, micro uint64) bool {
+	for _, t := range a.Terms {
+		if t.Outs[i] && t.In.matches(micro) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalGuard computes the control value from the original guard expression.
+func (a *Array) EvalGuard(i int, micro uint64) (bool, error) {
+	return a.guards[i].eval(a.Format, micro)
+}
+
+// OptStats reports what optimization achieved.
+type OptStats struct {
+	TermsBefore, TermsAfter       int
+	LiteralsBefore, LiteralsAfter int
+	InputsBefore, InputsAfter     int
+}
+
+// Optimize improves the array: duplicate product terms are shared across
+// outputs, terms identical except in one input bit merge into a single
+// don't-care term, and terms feeding no output vanish. This is the
+// "generated and optimized the instruction decoder" step; A3 in
+// EXPERIMENTS.md measures its effect.
+func (a *Array) Optimize() OptStats {
+	st := OptStats{
+		TermsBefore:    len(a.Terms),
+		LiteralsBefore: a.literalCount(),
+		InputsBefore:   len(a.UsedInputs()),
+	}
+	changed := true
+	for changed {
+		changed = false
+		// 1. Share identical cubes.
+		byCube := make(map[string]int)
+		var kept []Term
+		for _, t := range a.Terms {
+			key := string(t.In)
+			if j, ok := byCube[key]; ok {
+				for k, v := range t.Outs {
+					if v {
+						kept[j].Outs[k] = true
+					}
+				}
+				changed = true
+				continue
+			}
+			byCube[key] = len(kept)
+			kept = append(kept, t)
+		}
+		a.Terms = kept
+
+		// 2. Merge distance-1 cubes with identical output sets.
+		for i := 0; i < len(a.Terms); i++ {
+			for j := i + 1; j < len(a.Terms); j++ {
+				if !sameOuts(a.Terms[i].Outs, a.Terms[j].Outs) {
+					continue
+				}
+				if m, ok := combine(a.Terms[i].In, a.Terms[j].In); ok {
+					a.Terms[i].In = m
+					a.Terms = append(a.Terms[:j], a.Terms[j+1:]...)
+					changed = true
+					j--
+				}
+			}
+		}
+
+		// 3. Drop output-less terms (can appear via user guards of "0").
+		var nonEmpty []Term
+		for _, t := range a.Terms {
+			any := false
+			for _, v := range t.Outs {
+				any = any || v
+			}
+			if any {
+				nonEmpty = append(nonEmpty, t)
+			} else {
+				changed = true
+			}
+		}
+		a.Terms = nonEmpty
+	}
+	a.sortTerms()
+	st.TermsAfter = len(a.Terms)
+	st.LiteralsAfter = a.literalCount()
+	st.InputsAfter = len(a.UsedInputs())
+	return st
+}
+
+// sortTerms puts the array in a canonical deterministic order.
+func (a *Array) sortTerms() {
+	sort.SliceStable(a.Terms, func(i, j int) bool {
+		return string(a.Terms[i].In) < string(a.Terms[j].In)
+	})
+}
+
+func (a *Array) literalCount() int {
+	n := 0
+	for _, t := range a.Terms {
+		for _, c := range t.In {
+			if c != '-' {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func sameOuts(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// combine merges two cubes differing in exactly one specified bit.
+func combine(a, b Cube) (Cube, bool) {
+	diff := -1
+	for i := range a {
+		if a[i] == b[i] {
+			continue
+		}
+		if a[i] == '-' || b[i] == '-' || diff != -1 {
+			return nil, false
+		}
+		diff = i
+	}
+	if diff == -1 { // identical (handled elsewhere, but merging is fine)
+		return a, true
+	}
+	out := append(Cube(nil), a...)
+	out[diff] = '-'
+	return out, true
+}
+
+// UsedInputs lists the microcode bit positions any term actually tests —
+// the PLA only needs input columns for these.
+func (a *Array) UsedInputs() []int {
+	used := make([]bool, a.Format.Width)
+	for _, t := range a.Terms {
+		for i, c := range t.In {
+			if c != '-' {
+				used[i] = true
+			}
+		}
+	}
+	var out []int
+	for i, u := range used {
+		if u {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TapeText linearizes the array for the two-tape Turing machine: for each
+// term, the input cube characters over the used input columns, then ':',
+// then '1'/'.' per output, then '|'; the array ends with '#'.
+func (a *Array) TapeText() string {
+	inputs := a.UsedInputs()
+	var sb strings.Builder
+	for _, t := range a.Terms {
+		for _, i := range inputs {
+			sb.WriteByte(t.In[i])
+		}
+		sb.WriteByte(':')
+		for _, v := range t.Outs {
+			if v {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('|')
+	}
+	sb.WriteByte('#')
+	return sb.String()
+}
+
+// Logic builds the Logic-level representation of the decoder: per-term AND
+// gates over microcode bit nets u<i> (with explicit inverters for
+// complemented literals) and per-control OR gates. Controls with no terms
+// become constant-0 buffers.
+func (a *Array) Logic() *logic.Diagram {
+	d := &logic.Diagram{}
+	inputs := a.UsedInputs()
+	invMade := make(map[int]bool)
+	for _, i := range inputs {
+		d.Inputs = append(d.Inputs, fmt.Sprintf("u%d", i))
+	}
+	termNets := make([]string, len(a.Terms))
+	for ti, t := range a.Terms {
+		var ins []string
+		for _, i := range inputs {
+			switch t.In[i] {
+			case '1':
+				ins = append(ins, fmt.Sprintf("u%d", i))
+			case '0':
+				inv := fmt.Sprintf("nu%d", i)
+				if !invMade[i] {
+					d.AddGate(logic.Inv, inv, fmt.Sprintf("u%d", i))
+					invMade[i] = true
+				}
+				ins = append(ins, inv)
+			}
+		}
+		net := fmt.Sprintf("t%d", ti)
+		termNets[ti] = net
+		if len(ins) == 0 {
+			d.AddGate(logic.Buf, net, "1")
+		} else {
+			d.AddGate(logic.And, net, ins...)
+		}
+	}
+	for ci, sp := range a.Controls {
+		var ins []string
+		for ti, t := range a.Terms {
+			if t.Outs[ci] {
+				ins = append(ins, termNets[ti])
+			}
+		}
+		switch len(ins) {
+		case 0:
+			d.AddGate(logic.Buf, sp.Name, "0")
+		case 1:
+			d.AddGate(logic.Buf, sp.Name, ins[0])
+		default:
+			d.AddGate(logic.Or, sp.Name, ins...)
+		}
+		d.Outputs = append(d.Outputs, sp.Name)
+	}
+	return d
+}

@@ -1,0 +1,108 @@
+package decoder
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/sim"
+)
+
+// Result is the complete output of Pass 2: the decoder layout, the
+// optimized text array, the simulation decoder, statistics, and the
+// Logic-level diagram of the decode functions.
+type Result struct {
+	Layout *Layout
+	Array  *Array
+	Stats  OptStats
+	// Decode drives simulation: control values per microcode word and
+	// phase (a control is active only in its declared phase).
+	Decode sim.Decoder
+}
+
+// Options tunes Pass 2.
+type Options struct {
+	// SkipOptimize leaves the text array unoptimized (the A3 ablation).
+	SkipOptimize bool
+	// CtlX gives the core's desired control-line x offsets on the
+	// decoder's south edge; missing controls drop straight down.
+	CtlX map[string]geom.Coord
+	// ClockX lists x offsets on the south edge where the clocks must be
+	// dropped (keys "phi1", "phi2") for the core's precharge cells.
+	ClockX map[string][]geom.Coord
+}
+
+// Build runs Pass 2: parse guards, build and optimize the text array, run
+// the two-tape Turing machine to produce silicon code, and lay out the
+// PLA, driver row, control buffers, and control channel.
+func Build(f *Format, specs []ControlSpec, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	a, err := BuildArray(f, specs)
+	if err != nil {
+		return nil, err
+	}
+	var stats OptStats
+	if opts.SkipOptimize {
+		stats = OptStats{
+			TermsBefore: len(a.Terms), TermsAfter: len(a.Terms),
+			LiteralsBefore: a.literalCount(), LiteralsAfter: a.literalCount(),
+			InputsBefore: len(a.UsedInputs()), InputsAfter: len(a.UsedInputs()),
+		}
+		a.sortTerms()
+	} else {
+		stats = a.Optimize()
+	}
+
+	ops, err := CompileSilicon(a)
+	if err != nil {
+		return nil, err
+	}
+	lay, err := buildLayout(a, ops, len(ops), opts.CtlX, opts.ClockX)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkChannelCollisions(a, lay, opts.CtlX); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Layout: lay, Array: a, Stats: stats}
+	res.Decode = func(micro uint64, phase int) map[string]bool {
+		out := make(map[string]bool, len(a.Controls))
+		for i, sp := range a.Controls {
+			out[sp.Name] = sp.Phase == phase && a.Eval(i, micro)
+		}
+		return out
+	}
+	return res, nil
+}
+
+// checkChannelCollisions rejects control targets whose channel drops would
+// overlap another control's drop (closer than poly spacing at the same x
+// span). The core pass spaces elements widely enough in practice; this is
+// a clear error instead of a silent short.
+func checkChannelCollisions(a *Array, lay *Layout, ctlX map[string]geom.Coord) error {
+	type drop struct {
+		name string
+		x    geom.Coord
+	}
+	var drops []drop
+	for _, sp := range a.Controls {
+		if x, ok := ctlX[sp.Name]; ok {
+			drops = append(drops, drop{sp.Name, x})
+		}
+	}
+	for i := 0; i < len(drops); i++ {
+		for j := i + 1; j < len(drops); j++ {
+			d := drops[i].x - drops[j].x
+			if d < 0 {
+				d = -d
+			}
+			if d < geom.L(5) {
+				return fmt.Errorf("decoder: control lines %q and %q are only %d quanta apart at the core edge (need 5λ)",
+					drops[i].name, drops[j].name, d)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package decoder
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"bristleblocks/internal/tm"
+)
+
+func fmt16(t *testing.T) *Format {
+	t.Helper()
+	f, err := ParseFormat("width 10; OP 0 3; SRC 3 3; DST 6 3; EN 9 1")
+	if err != nil {
+		t.Fatalf("ParseFormat: %v", err)
+	}
+	return f
+}
+
+func TestParseFormat(t *testing.T) {
+	f := fmt16(t)
+	if f.Width != 10 || len(f.Fields) != 4 {
+		t.Fatalf("format = %+v", f)
+	}
+	fd, ok := f.FieldByName("SRC")
+	if !ok || fd.Lo != 3 || fd.Width != 3 {
+		t.Errorf("SRC = %+v", fd)
+	}
+	if got := f.Extract(fd, 0b101_110_011); got != 0b110 {
+		t.Errorf("Extract = %b", got)
+	}
+}
+
+func TestParseFormatErrors(t *testing.T) {
+	cases := []string{
+		"OP 0 4",                  // no width
+		"width 0; OP 0 1",         // zero width
+		"width 80; OP 0 1",        // too wide
+		"width 8; OP 0 4; OP 4 4", // duplicate name
+		"width 8; OP 0 4; XX 2 4", // overlap
+		"width 8; OP 6 4",         // out of range
+		"width 8; OP x 4",         // bad number
+		"width 8; OP 0",           // short clause
+		"width x; OP 0 2",         // bad width
+	}
+	for _, src := range cases {
+		if _, err := ParseFormat(src); err == nil {
+			t.Errorf("ParseFormat(%q) should fail", src)
+		}
+	}
+}
+
+func TestGuardEval(t *testing.T) {
+	f := fmt16(t)
+	cases := []struct {
+		guard string
+		micro uint64
+		want  bool
+	}{
+		{"OP=3", 3, true},
+		{"OP=3", 4, false},
+		{"OP=3 & EN", 3, false},
+		{"OP=3 & EN", 3 | 1<<9, true},
+		{"OP=1 | OP=2", 2, true},
+		{"!(OP=0)", 0, false},
+		{"!(OP=0)", 5, true},
+		{"SRC[1]", 2 << 3, true},
+		{"SRC[1]", 1 << 3, false},
+		{"EN", 1 << 9, true},
+		{"1", 12345, true},
+		{"0", 12345, false},
+		{"(OP=1 | OP=2) & !EN", 1, true},
+		{"(OP=1 | OP=2) & !EN", 1 | 1<<9, false},
+	}
+	for _, c := range cases {
+		g, err := ParseGuard(c.guard)
+		if err != nil {
+			t.Fatalf("ParseGuard(%q): %v", c.guard, err)
+		}
+		got, err := g.eval(f, c.micro)
+		if err != nil {
+			t.Fatalf("eval(%q, %#x): %v", c.guard, c.micro, err)
+		}
+		if got != c.want {
+			t.Errorf("%q at %#x = %v, want %v", c.guard, c.micro, got, c.want)
+		}
+	}
+}
+
+func TestGuardParseErrors(t *testing.T) {
+	cases := []string{
+		"", "OP=", "OP==3", "(OP=1", "OP=1)", "OP[x]", "OP[1", "&",
+		"OP=1 &", "#$%",
+	}
+	for _, src := range cases {
+		if _, err := ParseGuard(src); err == nil {
+			t.Errorf("ParseGuard(%q) should fail", src)
+		}
+	}
+}
+
+func TestGuardSemanticErrors(t *testing.T) {
+	f := fmt16(t)
+	for _, src := range []string{"BOGUS=1", "OP=9", "OP[5]"} {
+		g, err := ParseGuard(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := guardSOP(g, f); err == nil {
+			t.Errorf("guardSOP(%q) should fail", src)
+		}
+	}
+}
+
+// TestSOPMatchesEval: the sum-of-products expansion must agree with direct
+// AST evaluation on every microcode word (exhaustive over 10 bits).
+func TestSOPMatchesEval(t *testing.T) {
+	f := fmt16(t)
+	guards := []string{
+		"OP=3", "OP=3 & EN", "OP=1 | OP=2", "!(OP=5)", "!(OP=5 & EN)",
+		"SRC[2] & !DST[0]", "(OP=1 | OP=2) & (SRC=3 | !EN)", "1", "0",
+		"!(OP=1 | SRC=2)",
+	}
+	for _, src := range guards {
+		g, err := ParseGuard(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cubes, err := guardSOP(g, f)
+		if err != nil {
+			t.Fatalf("guardSOP(%q): %v", src, err)
+		}
+		for micro := uint64(0); micro < 1<<10; micro++ {
+			want, _ := g.eval(f, micro)
+			got := false
+			for _, c := range cubes {
+				if c.matches(micro) {
+					got = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("%q: SOP disagrees with eval at %#x (sop=%v want=%v)", src, micro, got, want)
+			}
+		}
+	}
+}
+
+func testSpecs() []ControlSpec {
+	return []ControlSpec{
+		{Name: "r0.ld", Guard: "OP=1 & EN", Phase: 1},
+		{Name: "r0.rd", Guard: "OP=2 & EN", Phase: 1},
+		{Name: "alu.op", Guard: "OP=4 | OP=5", Phase: 2},
+		{Name: "alu.rd", Guard: "OP=5 & EN", Phase: 1},
+		{Name: "dup", Guard: "OP=1 & EN", Phase: 2}, // shares terms with r0.ld
+	}
+}
+
+func TestBuildArrayAndOptimize(t *testing.T) {
+	f := fmt16(t)
+	a, err := BuildArray(f, testSpecs())
+	if err != nil {
+		t.Fatalf("BuildArray: %v", err)
+	}
+	// Before optimization every control contributed its own cubes.
+	st := a.Optimize()
+	if st.TermsAfter >= st.TermsBefore {
+		t.Errorf("optimization did not shrink terms: %+v", st)
+	}
+	// Term sharing: r0.ld and dup have identical guards -> one shared term.
+	shared := 0
+	for _, tm := range a.Terms {
+		if tm.Outs[0] && tm.Outs[4] {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Errorf("expected one shared term for identical guards, got %d", shared)
+	}
+	// alu.op = OP=4 | OP=5 = OP[2] & !OP[1] merges to one cube "-01" style.
+	aluTerms := 0
+	for _, tm := range a.Terms {
+		if tm.Outs[2] {
+			aluTerms++
+		}
+	}
+	if aluTerms != 1 {
+		t.Errorf("OP=4|OP=5 should merge to one term, got %d", aluTerms)
+	}
+}
+
+// TestArrayEquivalence: after optimization the array must still compute
+// exactly the guard functions (exhaustive).
+func TestArrayEquivalence(t *testing.T) {
+	f := fmt16(t)
+	a, err := BuildArray(f, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Optimize()
+	for i := range a.Controls {
+		for micro := uint64(0); micro < 1<<10; micro++ {
+			want, err := a.EvalGuard(i, micro)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := a.Eval(i, micro); got != want {
+				t.Fatalf("control %s at %#x: array=%v guard=%v",
+					a.Controls[i].Name, micro, got, want)
+			}
+		}
+	}
+}
+
+// TestLogicMatchesArray: the Logic-level diagram must compute the same
+// functions as the array.
+func TestLogicMatchesArray(t *testing.T) {
+	f := fmt16(t)
+	a, err := BuildArray(f, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Optimize()
+	d := a.Logic()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("logic diagram invalid: %v", err)
+	}
+	checkMicro := func(micro uint64) bool {
+		in := make(map[string]bool)
+		for _, bit := range a.UsedInputs() {
+			in[nameU(bit)] = micro>>uint(bit)&1 == 1
+		}
+		vals, err := d.Eval(in, nil)
+		if err != nil {
+			return false
+		}
+		for i, sp := range a.Controls {
+			if vals[sp.Name] != a.Eval(i, micro) {
+				return false
+			}
+		}
+		return true
+	}
+	fquick := func(m uint16) bool { return checkMicro(uint64(m) & 0x3FF) }
+	if err := quick.Check(fquick, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func nameU(bit int) string { return fmt.Sprintf("u%d", bit) }
+
+func TestBuildArrayErrors(t *testing.T) {
+	f := fmt16(t)
+	cases := [][]ControlSpec{
+		{{Name: "", Guard: "OP=1", Phase: 1}},
+		{{Name: "a", Guard: "OP=1", Phase: 1}, {Name: "a", Guard: "OP=2", Phase: 1}},
+		{{Name: "a", Guard: "OP=1", Phase: 3}},
+		{{Name: "a", Guard: "BOGUS=1", Phase: 1}},
+		{{Name: "a", Guard: "((", Phase: 1}},
+	}
+	for i, specs := range cases {
+		if _, err := BuildArray(f, specs); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestTuringMachineTransduction(t *testing.T) {
+	f := fmt16(t)
+	a, err := BuildArray(f, testSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Optimize()
+	ops, err := CompileSilicon(a)
+	if err != nil {
+		t.Fatalf("CompileSilicon: %v", err)
+	}
+	grid, err := parseOps(ops)
+	if err != nil {
+		t.Fatalf("parseOps: %v", err)
+	}
+	if len(grid.rows) != len(a.Terms) {
+		t.Errorf("grid rows %d != terms %d", len(grid.rows), len(a.Terms))
+	}
+	if grid.andWidth != len(a.UsedInputs()) || grid.orWidth != len(a.Controls) {
+		t.Errorf("grid %dx%d", grid.andWidth, grid.orWidth)
+	}
+	// Each op row reproduces the cube and outputs.
+	inputs := a.UsedInputs()
+	for r, row := range grid.rows {
+		for i, bit := range inputs {
+			var want string
+			switch a.Terms[r].In[bit] {
+			case '0':
+				want = string(OpAnd0)
+			case '1':
+				want = string(OpAnd1)
+			default:
+				want = string(OpAndX)
+			}
+			if string(row[i]) != want {
+				t.Fatalf("row %d col %d: op %s want %s", r, i, row[i], want)
+			}
+		}
+		for k := range a.Controls {
+			want := OpOr0
+			if a.Terms[r].Outs[k] {
+				want = OpOr1
+			}
+			if row[grid.andWidth+k] != want {
+				t.Fatalf("row %d out %d: op %s want %s", r, k, row[grid.andWidth+k], want)
+			}
+		}
+	}
+}
+
+func TestTuringMachineRejectsGarbage(t *testing.T) {
+	// The machine rejects a malformed text array.
+	m := DecoderMachine()
+	t1 := tm.NewTape(m.Blank, tm.Symbols("01z:1|#"))
+	t2 := tm.NewTape(m.Blank, nil)
+	res, err := m.Run(t1, t2, 0)
+	if err != nil || res.Final != m.Reject {
+		t.Errorf("garbage tape: final=%v err=%v", res.Final, err)
+	}
+	if _, err := parseOps(nil); err == nil {
+		t.Error("empty op stream should fail (no end marker)")
+	}
+}
+
+func TestParseOpsErrors(t *testing.T) {
+	cases := [][]string{
+		{"o1", "row", "end"},                                              // OR before separator
+		{"a1", "row", "end"},                                              // row before separator
+		{"a1", "sep", "sep", "o1", "row", "end"},                          // double separator
+		{"a1", "sep", "a1", "row", "end"},                                 // AND after separator
+		{"a1", "sep", "o1", "end"},                                        // end inside a row
+		{"a1", "sep", "o1", "row", "a1", "a0", "sep", "o1", "row", "end"}, // ragged
+		{"zz", "end"},                                                     // unknown op
+		{"a1", "sep", "o1", "row"},                                        // missing end
+	}
+	for i, c := range cases {
+		var syms []tm.Symbol
+		for _, s := range c {
+			syms = append(syms, tm.Symbol(s))
+		}
+		if _, err := parseOps(syms); err == nil {
+			t.Errorf("case %d should fail: %v", i, c)
+		}
+	}
+}

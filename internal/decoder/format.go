@@ -1,0 +1,130 @@
+// Package decoder implements Pass 2 of the compiler: control design. It
+// models the microcode instruction format, parses the guard expressions on
+// control bristles into sum-of-products decode functions, builds and
+// optimizes the text array, programs the two-tape Turing machine that
+// transduces the array into silicon code, generates the PLA layout and
+// control-buffer row, and produces the simulation decoder and logic
+// diagram for the same functions.
+package decoder
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field is one named bit field of the microcode word.
+type Field struct {
+	Name string
+	// Lo is the field's least significant bit position in the word; Width
+	// its size in bits.
+	Lo, Width int
+}
+
+// Format describes the microcode instruction: its total width and the
+// decomposition into fields ("the first section states the microcode
+// instruction width and describes the decomposition of the microcode word
+// into various fields").
+type Format struct {
+	Width  int
+	Fields []Field
+}
+
+// Validate checks field sanity: names unique and nonempty, ranges within
+// the word, no overlaps.
+func (f *Format) Validate() error {
+	if f.Width < 1 || f.Width > 64 {
+		return fmt.Errorf("microcode width %d out of range 1..64", f.Width)
+	}
+	used := make([]string, f.Width)
+	seen := make(map[string]bool)
+	for _, fd := range f.Fields {
+		if fd.Name == "" {
+			return fmt.Errorf("unnamed microcode field")
+		}
+		if seen[fd.Name] {
+			return fmt.Errorf("duplicate microcode field %q", fd.Name)
+		}
+		seen[fd.Name] = true
+		if fd.Width < 1 || fd.Lo < 0 || fd.Lo+fd.Width > f.Width {
+			return fmt.Errorf("field %q range [%d,%d) outside %d-bit word",
+				fd.Name, fd.Lo, fd.Lo+fd.Width, f.Width)
+		}
+		for b := fd.Lo; b < fd.Lo+fd.Width; b++ {
+			if used[b] != "" {
+				return fmt.Errorf("fields %q and %q overlap at bit %d", used[b], fd.Name, b)
+			}
+			used[b] = fd.Name
+		}
+	}
+	return nil
+}
+
+// FieldByName finds a field.
+func (f *Format) FieldByName(name string) (Field, bool) {
+	for _, fd := range f.Fields {
+		if fd.Name == name {
+			return fd, true
+		}
+	}
+	return Field{}, false
+}
+
+// Extract reads the field's value from a microcode word.
+func (f *Format) Extract(fd Field, micro uint64) uint64 {
+	return (micro >> uint(fd.Lo)) & ((1 << uint(fd.Width)) - 1)
+}
+
+// ParseFormat reads a format description of the form
+//
+//	width 16; OP 0 4; SRC 4 3; DST 7 3; EN 10 1
+//
+// (semicolon- or newline-separated clauses: a "width N" clause plus
+// "NAME lo width" field clauses).
+func ParseFormat(src string) (*Format, error) {
+	f := &Format{}
+	clauses := splitClauses(src)
+	for _, cl := range clauses {
+		toks := strings.Fields(cl)
+		if len(toks) == 0 {
+			continue
+		}
+		switch {
+		case strings.EqualFold(toks[0], "width"):
+			if len(toks) != 2 {
+				return nil, fmt.Errorf("bad width clause %q", cl)
+			}
+			if _, err := fmt.Sscanf(toks[1], "%d", &f.Width); err != nil {
+				return nil, fmt.Errorf("bad width %q", toks[1])
+			}
+		default:
+			if len(toks) != 3 {
+				return nil, fmt.Errorf("bad field clause %q (want NAME lo width)", cl)
+			}
+			var lo, w int
+			if _, err := fmt.Sscanf(toks[1], "%d", &lo); err != nil {
+				return nil, fmt.Errorf("bad field lo %q", toks[1])
+			}
+			if _, err := fmt.Sscanf(toks[2], "%d", &w); err != nil {
+				return nil, fmt.Errorf("bad field width %q", toks[2])
+			}
+			f.Fields = append(f.Fields, Field{Name: toks[0], Lo: lo, Width: w})
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func splitClauses(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		for _, cl := range strings.Split(line, ";") {
+			cl = strings.TrimSpace(cl)
+			if cl != "" {
+				out = append(out, cl)
+			}
+		}
+	}
+	return out
+}

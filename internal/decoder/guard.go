@@ -1,0 +1,428 @@
+package decoder
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Guard expressions are the decode functions written on control bristles,
+// e.g. "OP=3 & EN" or "OP=1 | OP=2" or "!(SRC=0) & OP[2]".
+//
+// Grammar:
+//
+//	expr   := term ('|' term)*
+//	term   := factor ('&' factor)*
+//	factor := '!' factor | '(' expr ')' | atom
+//	atom   := FIELD '=' NUM       field equals value
+//	        | FIELD '[' NUM ']'   single bit of field
+//	        | FIELD               1-bit field shorthand (FIELD[0])
+//	        | '1' | '0'           constants
+type guardExpr interface {
+	eval(f *Format, micro uint64) (bool, error)
+	String() string
+}
+
+type gConst struct{ v bool }
+type gNot struct{ x guardExpr }
+type gAnd struct{ xs []guardExpr }
+type gOr struct{ xs []guardExpr }
+type gEq struct {
+	field string
+	val   uint64
+}
+type gBit struct {
+	field string
+	bit   int
+}
+
+func (g gConst) String() string {
+	if g.v {
+		return "1"
+	}
+	return "0"
+}
+func (g gNot) String() string { return "!" + g.x.String() }
+func (g gAnd) String() string { return "(" + joinExprs(g.xs, " & ") + ")" }
+func (g gOr) String() string  { return "(" + joinExprs(g.xs, " | ") + ")" }
+func (g gEq) String() string  { return fmt.Sprintf("%s=%d", g.field, g.val) }
+func (g gBit) String() string { return fmt.Sprintf("%s[%d]", g.field, g.bit) }
+
+func joinExprs(xs []guardExpr, sep string) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = x.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+func (g gConst) eval(*Format, uint64) (bool, error) { return g.v, nil }
+func (g gNot) eval(f *Format, m uint64) (bool, error) {
+	v, err := g.x.eval(f, m)
+	return !v, err
+}
+func (g gAnd) eval(f *Format, m uint64) (bool, error) {
+	for _, x := range g.xs {
+		v, err := x.eval(f, m)
+		if err != nil || !v {
+			return false, err
+		}
+	}
+	return true, nil
+}
+func (g gOr) eval(f *Format, m uint64) (bool, error) {
+	for _, x := range g.xs {
+		v, err := x.eval(f, m)
+		if err != nil || v {
+			return v, err
+		}
+	}
+	return false, nil
+}
+func (g gEq) eval(f *Format, m uint64) (bool, error) {
+	fd, ok := f.FieldByName(g.field)
+	if !ok {
+		return false, fmt.Errorf("unknown field %q", g.field)
+	}
+	if g.val >= 1<<uint(fd.Width) {
+		return false, fmt.Errorf("value %d does not fit field %q (%d bits)", g.val, g.field, fd.Width)
+	}
+	return f.Extract(fd, m) == g.val, nil
+}
+func (g gBit) eval(f *Format, m uint64) (bool, error) {
+	fd, ok := f.FieldByName(g.field)
+	if !ok {
+		return false, fmt.Errorf("unknown field %q", g.field)
+	}
+	if g.bit < 0 || g.bit >= fd.Width {
+		return false, fmt.Errorf("bit %d outside field %q (%d bits)", g.bit, g.field, fd.Width)
+	}
+	return m>>uint(fd.Lo+g.bit)&1 == 1, nil
+}
+
+type guardParser struct {
+	toks []string
+	pos  int
+}
+
+// ParseGuard parses a guard expression (the fields are resolved lazily at
+// evaluation/SOP time against a Format).
+func ParseGuard(src string) (guardExpr, error) {
+	toks, err := tokenizeGuard(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("empty guard")
+	}
+	p := &guardParser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("trailing input %q in guard", p.toks[p.pos])
+	}
+	return e, nil
+}
+
+func tokenizeGuard(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case strings.ContainsRune("!&|()[]=", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case isIdentChar(c):
+			j := i
+			for j < len(src) && (isIdentChar(src[j]) || src[j] >= '0' && src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("bad character %q in guard", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '.'
+}
+
+func (p *guardParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *guardParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *guardParser) parseExpr() (guardExpr, error) {
+	t, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	xs := []guardExpr{t}
+	for p.peek() == "|" {
+		p.next()
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, t)
+	}
+	if len(xs) == 1 {
+		return xs[0], nil
+	}
+	return gOr{xs}, nil
+}
+
+func (p *guardParser) parseTerm() (guardExpr, error) {
+	f, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	xs := []guardExpr{f}
+	for p.peek() == "&" {
+		p.next()
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, f)
+	}
+	if len(xs) == 1 {
+		return xs[0], nil
+	}
+	return gAnd{xs}, nil
+}
+
+func (p *guardParser) parseFactor() (guardExpr, error) {
+	switch t := p.peek(); {
+	case t == "!":
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return gNot{x}, nil
+	case t == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("missing ) in guard")
+		}
+		return e, nil
+	case t == "1":
+		p.next()
+		return gConst{true}, nil
+	case t == "0":
+		p.next()
+		return gConst{false}, nil
+	case t == "":
+		return nil, fmt.Errorf("unexpected end of guard")
+	case isIdentChar(t[0]):
+		return p.parseAtom()
+	default:
+		return nil, fmt.Errorf("unexpected token %q in guard", t)
+	}
+}
+
+func (p *guardParser) parseAtom() (guardExpr, error) {
+	name := p.next()
+	switch p.peek() {
+	case "=":
+		p.next()
+		v, err := strconv.ParseUint(p.next(), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %s=: %w", name, err)
+		}
+		return gEq{name, v}, nil
+	case "[":
+		p.next()
+		b, err := strconv.Atoi(p.next())
+		if err != nil {
+			return nil, fmt.Errorf("bad bit index for %s: %w", name, err)
+		}
+		if p.next() != "]" {
+			return nil, fmt.Errorf("missing ] after %s[%d", name, b)
+		}
+		return gBit{name, b}, nil
+	default:
+		// Bare field: shorthand for bit 0 of a 1-bit field.
+		return gBit{name, 0}, nil
+	}
+}
+
+// Cube is one product term over the microcode bits: each position is '0'
+// (complemented literal), '1' (true literal), or '-' (absent).
+type Cube []byte
+
+// String renders the cube as its 0/1/x character string.
+func (c Cube) String() string { return string(c) }
+
+// matches reports whether the microcode word satisfies the cube.
+func (c Cube) matches(micro uint64) bool {
+	for i, ch := range c {
+		bit := micro>>uint(i)&1 == 1
+		if ch == '1' && !bit || ch == '0' && bit {
+			return false
+		}
+	}
+	return true
+}
+
+// maxCubes bounds SOP expansion blow-up per guard.
+const maxCubes = 4096
+
+// SOP converts a guard to sum-of-products form over the microcode bits.
+func guardSOP(g guardExpr, f *Format) ([]Cube, error) {
+	// Verify field references first (eval against word 0 walks the tree).
+	if _, err := g.eval(f, 0); err != nil {
+		return nil, err
+	}
+	return sop(g, f, false)
+}
+
+func freshCube(width int) Cube {
+	c := make(Cube, width)
+	for i := range c {
+		c[i] = '-'
+	}
+	return c
+}
+
+// sop computes the SOP of g (or of !g when negate is set).
+func sop(g guardExpr, f *Format, negate bool) ([]Cube, error) {
+	switch e := g.(type) {
+	case gConst:
+		v := e.v != negate
+		if v {
+			return []Cube{freshCube(f.Width)}, nil
+		}
+		return nil, nil
+	case gNot:
+		return sop(e.x, f, !negate)
+	case gAnd:
+		if negate { // De Morgan: !(a&b) = !a | !b
+			return sopOr(e.xs, f, true)
+		}
+		return sopAnd(e.xs, f, false)
+	case gOr:
+		if negate {
+			return sopAnd(e.xs, f, true)
+		}
+		return sopOr(e.xs, f, false)
+	case gBit:
+		fd, _ := f.FieldByName(e.field)
+		c := freshCube(f.Width)
+		if negate {
+			c[fd.Lo+e.bit] = '0'
+		} else {
+			c[fd.Lo+e.bit] = '1'
+		}
+		return []Cube{c}, nil
+	case gEq:
+		fd, _ := f.FieldByName(e.field)
+		if !negate {
+			c := freshCube(f.Width)
+			for b := 0; b < fd.Width; b++ {
+				if e.val>>uint(b)&1 == 1 {
+					c[fd.Lo+b] = '1'
+				} else {
+					c[fd.Lo+b] = '0'
+				}
+			}
+			return []Cube{c}, nil
+		}
+		// !(F=v): at least one bit differs.
+		var out []Cube
+		for b := 0; b < fd.Width; b++ {
+			c := freshCube(f.Width)
+			if e.val>>uint(b)&1 == 1 {
+				c[fd.Lo+b] = '0'
+			} else {
+				c[fd.Lo+b] = '1'
+			}
+			out = append(out, c)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown guard node %T", g)
+	}
+}
+
+func sopOr(xs []guardExpr, f *Format, negateEach bool) ([]Cube, error) {
+	var out []Cube
+	for _, x := range xs {
+		cs, err := sop(x, f, negateEach)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+		if len(out) > maxCubes {
+			return nil, fmt.Errorf("guard expands to more than %d product terms", maxCubes)
+		}
+	}
+	return out, nil
+}
+
+func sopAnd(xs []guardExpr, f *Format, negateEach bool) ([]Cube, error) {
+	acc := []Cube{freshCube(f.Width)}
+	for _, x := range xs {
+		cs, err := sop(x, f, negateEach)
+		if err != nil {
+			return nil, err
+		}
+		var next []Cube
+		for _, a := range acc {
+			for _, b := range cs {
+				if m, ok := mergeCubes(a, b); ok {
+					next = append(next, m)
+				}
+			}
+			if len(next) > maxCubes {
+				return nil, fmt.Errorf("guard expands to more than %d product terms", maxCubes)
+			}
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+// mergeCubes intersects two cubes; ok is false when they conflict.
+func mergeCubes(a, b Cube) (Cube, bool) {
+	out := make(Cube, len(a))
+	for i := range a {
+		switch {
+		case a[i] == '-':
+			out[i] = b[i]
+		case b[i] == '-' || a[i] == b[i]:
+			out[i] = a[i]
+		default:
+			return nil, false
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,188 @@
+package decoder
+
+import (
+	"testing"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/transistor"
+)
+
+func buildTestDecoder(t *testing.T, opts *Options) *Result {
+	t.Helper()
+	f := fmt16(t)
+	res, err := Build(f, testSpecs(), opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return res
+}
+
+func TestDecoderLayoutDRC(t *testing.T) {
+	res := buildTestDecoder(t, nil)
+	vs := drc.Check(res.Layout.Cell.Layout, layer.MeadConway(), &drc.Options{MaxViolations: 12})
+	if len(vs) != 0 {
+		t.Fatalf("decoder DRC violations:\n%v", vs)
+	}
+}
+
+func TestDecoderExtractionMatchesDeclared(t *testing.T) {
+	res := buildTestDecoder(t, nil)
+	got, err := transistor.Extract(res.Layout.Cell.Layout)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	want := res.Layout.Cell.Netlist
+	if !got.Equal(want) {
+		t.Fatalf("decoder netlist mismatch:\n%s", want.Diff(got))
+	}
+}
+
+func TestDecoderBristles(t *testing.T) {
+	res := buildTestDecoder(t, nil)
+	c := res.Layout.Cell
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Microcode inputs become pad requests ("creating pad connections for
+	// the inputs to the decoder").
+	pads := c.BristlesBy(cell.PadReq)
+	inputPads := 0
+	for _, b := range pads {
+		if b.PadClass == "input" {
+			inputPads++
+		}
+	}
+	if inputPads != len(res.Array.UsedInputs()) {
+		t.Errorf("input pad bristles = %d, want %d", inputPads, len(res.Array.UsedInputs()))
+	}
+	// Clock pad requests for the buffer row.
+	clocks := map[string]bool{}
+	for _, b := range pads {
+		if b.PadClass == "phi1" || b.PadClass == "phi2" {
+			clocks[b.PadClass] = true
+		}
+	}
+	if !clocks["phi1"] || !clocks["phi2"] {
+		t.Error("clock pad requests missing")
+	}
+}
+
+func TestDecoderDecodeFunction(t *testing.T) {
+	res := buildTestDecoder(t, nil)
+	// OP=1, EN=1 fires r0.ld in phase 1 and dup in phase 2.
+	micro := uint64(1 | 1<<9)
+	c1 := res.Decode(micro, 1)
+	c2 := res.Decode(micro, 2)
+	if !c1["r0.ld"] || c1["dup"] {
+		t.Errorf("phase 1 decode wrong: %v", c1)
+	}
+	if c2["r0.ld"] || !c2["dup"] {
+		t.Errorf("phase 2 decode wrong: %v", c2)
+	}
+	if c1["r0.rd"] || c1["alu.rd"] {
+		t.Errorf("unselected controls active: %v", c1)
+	}
+}
+
+func TestDecoderCtlChannel(t *testing.T) {
+	ctlX := map[string]geom.Coord{
+		"r0.ld":  geom.L(30),
+		"r0.rd":  geom.L(80),
+		"alu.op": geom.L(140),
+		"alu.rd": geom.L(200),
+		"dup":    geom.L(260),
+	}
+	res := buildTestDecoder(t, &Options{CtlX: ctlX})
+	for name, want := range ctlX {
+		if got := res.Layout.CtlX[name]; got != want {
+			t.Errorf("ctl %s at %d, want %d", name, got, want)
+		}
+	}
+	vs := drc.Check(res.Layout.Cell.Layout, layer.MeadConway(), &drc.Options{MaxViolations: 12})
+	if len(vs) != 0 {
+		t.Fatalf("decoder-with-channel DRC violations:\n%v", vs)
+	}
+	got, err := transistor.Extract(res.Layout.Cell.Layout)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if !got.Equal(res.Layout.Cell.Netlist) {
+		t.Fatalf("channel broke the netlist:\n%s", res.Layout.Cell.Netlist.Diff(got))
+	}
+}
+
+func TestDecoderChannelCollisionRejected(t *testing.T) {
+	ctlX := map[string]geom.Coord{
+		"r0.ld": geom.L(30),
+		"r0.rd": geom.L(32), // 2λ apart: drops would short
+	}
+	f := fmt16(t)
+	if _, err := Build(f, testSpecs(), &Options{CtlX: ctlX}); err == nil {
+		t.Error("colliding control drops should be rejected")
+	}
+}
+
+func TestDecoderSkipOptimize(t *testing.T) {
+	raw := buildTestDecoder(t, &Options{SkipOptimize: true})
+	opt := buildTestDecoder(t, nil)
+	if len(raw.Array.Terms) <= len(opt.Array.Terms) {
+		t.Errorf("unoptimized decoder should have more terms: %d vs %d",
+			len(raw.Array.Terms), len(opt.Array.Terms))
+	}
+	if raw.Layout.Cell.Size.Area() <= opt.Layout.Cell.Size.Area() {
+		t.Errorf("unoptimized decoder should be larger: %d vs %d",
+			raw.Layout.Cell.Size.Area(), opt.Layout.Cell.Size.Area())
+	}
+	// Both decoders compute identical functions.
+	for micro := uint64(0); micro < 1<<10; micro += 7 {
+		for phase := 1; phase <= 2; phase++ {
+			a, b := raw.Decode(micro, phase), opt.Decode(micro, phase)
+			for k, v := range a {
+				if b[k] != v {
+					t.Fatalf("decoders disagree on %s at %#x phase %d", k, micro, phase)
+				}
+			}
+		}
+	}
+}
+
+func TestDecoderClockChannel(t *testing.T) {
+	f := fmt16(t)
+	res, err := Build(f, testSpecs(), &Options{
+		CtlX: map[string]geom.Coord{
+			"r0.ld": geom.L(30), "r0.rd": geom.L(80), "alu.op": geom.L(140),
+			"alu.rd": geom.L(200), "dup": geom.L(260),
+		},
+		ClockX: map[string][]geom.Coord{
+			"phi2": {geom.L(320), geom.L(400)},
+			"phi1": {geom.L(360)},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	vs := drc.Check(res.Layout.Cell.Layout, layer.MeadConway(), &drc.Options{MaxViolations: 12})
+	if len(vs) != 0 {
+		t.Fatalf("decoder-with-clocks DRC violations:\n%v", vs)
+	}
+	got, err := transistor.Extract(res.Layout.Cell.Layout)
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	if !got.Equal(res.Layout.Cell.Netlist) {
+		t.Fatalf("clock channel broke the netlist:\n%s", res.Layout.Cell.Netlist.Diff(got))
+	}
+	// The clock nets must reach the south edge: look for labels.
+	phi2Drops := 0
+	for _, lb := range res.Layout.Cell.Layout.FlatLabels() {
+		if lb.Text == "phi2" && lb.At.Y <= geom.L(2) {
+			phi2Drops++
+		}
+	}
+	if phi2Drops != 2 {
+		t.Errorf("phi2 south drops = %d, want 2", phi2Drops)
+	}
+}

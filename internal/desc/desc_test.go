@@ -1,0 +1,149 @@
+package desc
+
+import (
+	"strings"
+	"testing"
+
+	"bristleblocks/internal/core"
+)
+
+const sample = `
+# a small test chip
+chip counter
+lambda 250
+
+microcode width 8
+field OP 0 4     ; the operation
+field SEL 4 2
+field EN 6 1
+
+data width 8
+bus A 0 -1
+bus B 0 -1
+
+global PROTOTYPE true
+
+element io   ioport    io="OP=1" class=io
+element r    registers count=2 ld="OP=2 & SEL={i}" rd="OP=3 & SEL={i}"
+element alu  alu       lda="OP=4" ldb="OP=5" rd="OP=6" op=add
+element dbg  registers if=PROTOTYPE ld="OP=11" rd="OP=12"
+`
+
+func TestParse(t *testing.T) {
+	spec, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if spec.Name != "counter" || spec.DataWidth != 8 || spec.LambdaCentimicrons != 250 {
+		t.Errorf("header wrong: %+v", spec)
+	}
+	if spec.Microcode.Width != 8 || len(spec.Microcode.Fields) != 3 {
+		t.Errorf("microcode wrong: %+v", spec.Microcode)
+	}
+	if len(spec.Buses) != 2 || spec.Buses[0].Name != "A" || spec.Buses[0].To != -1 {
+		t.Errorf("buses wrong: %+v", spec.Buses)
+	}
+	if !spec.Globals["PROTOTYPE"] {
+		t.Error("global missing")
+	}
+	if len(spec.Elements) != 4 {
+		t.Fatalf("elements = %d", len(spec.Elements))
+	}
+	r := spec.Elements[1]
+	if r.Kind != "registers" || r.Params["ld"] != "OP=2 & SEL={i}" || r.Params["count"] != "2" {
+		t.Errorf("registers element wrong: %+v", r)
+	}
+	if spec.Elements[3].OnlyIf != "PROTOTYPE" {
+		t.Errorf("conditional element wrong: %+v", spec.Elements[3])
+	}
+}
+
+func TestParsedSpecCompiles(t *testing.T) {
+	spec, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := core.Compile(spec, &core.Options{SkipPads: true})
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if chip.Stats.Columns == 0 {
+		t.Error("no columns compiled")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	spec, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(spec)
+	spec2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-Parse: %v\n%s", err, text)
+	}
+	if Format(spec2) != text {
+		t.Errorf("round trip not stable:\n%s\nvs\n%s", text, Format(spec2))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,                                 // empty
+		`chip x`,                           // missing sections
+		`chip x` + "\nmicrocode width 8\n", // no data
+		`bogus directive`,                  // unknown
+		"chip x\nmicrocode width z",        // bad number
+		"chip x\nfield A x 2",              // bad field
+		"chip x\nbus A x 2",                // bad bus
+		"chip x\nglobal G maybe",           // bad bool
+		"chip x\nelement a",                // short element
+		"chip x\nelement a regs k",         // bad param
+		"chip x\nelement a regs k=\"unterminated",                                    // quote
+		"chip x\ndata width 8\nmicrocode width 8\nfield OP 0 4\nelement a bogus x=1", // unknown kind
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCommentHandling(t *testing.T) {
+	spec, err := Parse(strings.ReplaceAll(sample, `io="OP=1"`, `io="OP=1" # trailing`))
+	if err != nil {
+		t.Fatalf("Parse with comments: %v", err)
+	}
+	if spec.Elements[0].Params["io"] != "OP=1" {
+		t.Error("comment stripped wrong")
+	}
+}
+
+func TestPadsDirective(t *testing.T) {
+	spec, err := Parse(`
+chip p
+microcode width 4
+field OP 0 4
+data width 2
+pads even
+element r registers ld="OP=1" rd="OP=2"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.EvenPads {
+		t.Error("pads even not recorded")
+	}
+	// Round trip.
+	again, err := Parse(Format(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.EvenPads {
+		t.Error("pads even lost in round trip")
+	}
+	// Bad value rejected.
+	if _, err := Parse("chip p\npads diagonal\n"); err == nil {
+		t.Error("bad pads mode accepted")
+	}
+}

@@ -1,0 +1,396 @@
+// Package drc is the design-rule checker. It verifies flattened mask
+// geometry against the Mead & Conway lambda rules: minimum widths, minimum
+// spacings (including notches), poly/diffusion separation, transistor gate
+// and diffusion extensions, contact surrounds, and implant coverage of
+// depletion gates.
+//
+// The paper's interface discipline is what makes checking tractable:
+// "boundary conditions like these allow design rule checking to be
+// performed on individual cells as the cells are designed, rather than on
+// fully instantiated artwork". The library runs Check on every leaf cell
+// (at several stretch amounts) and on assembled chips.
+package drc
+
+import (
+	"fmt"
+	"sort"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+)
+
+// Violation is one design-rule failure.
+type Violation struct {
+	Rule   string
+	Layer  layer.Layer
+	At     geom.Rect
+	Detail string
+}
+
+// String renders the violation with its rule, layers, and location.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on %s at %v: %s", v.Rule, v.Layer, v.At, v.Detail)
+}
+
+// Options tunes a check run.
+type Options struct {
+	// MaxViolations stops the check after this many findings (0 = 1000).
+	MaxViolations int
+	// SkipLayers disables all checks on the given layers.
+	SkipLayers []layer.Layer
+}
+
+// Check verifies the flattened hierarchy under c against rules and returns
+// all violations found (up to the option cap).
+func Check(c *mask.Cell, rules *layer.Rules, opts *Options) []Violation {
+	if opts == nil {
+		opts = &Options{}
+	}
+	maxV := opts.MaxViolations
+	if maxV <= 0 {
+		maxV = 1000
+	}
+	skip := make(map[layer.Layer]bool)
+	for _, l := range opts.SkipLayers {
+		skip[l] = true
+	}
+
+	byLayer := make(map[layer.Layer][]geom.Rect)
+	c.Flatten(func(l layer.Layer, r geom.Rect) {
+		if !r.Empty() {
+			byLayer[l] = append(byLayer[l], r)
+		}
+	})
+
+	ck := &checker{rules: rules, byLayer: byLayer, max: maxV}
+
+	for l := layer.Layer(0); l < layer.NumLayers; l++ {
+		if skip[l] {
+			continue
+		}
+		ck.checkWidth(l)
+		ck.checkSpacing(l)
+	}
+	if !skip[layer.Poly] && !skip[layer.Diff] {
+		ck.checkPolyDiffSeparation()
+		ck.checkTransistors()
+	}
+	if !skip[layer.Contact] {
+		ck.checkContacts()
+	}
+	return ck.out
+}
+
+// Clean reports whether the layout has no violations.
+func Clean(c *mask.Cell, rules *layer.Rules) bool {
+	return len(Check(c, rules, &Options{MaxViolations: 1})) == 0
+}
+
+type checker struct {
+	rules   *layer.Rules
+	byLayer map[layer.Layer][]geom.Rect
+	out     []Violation
+	max     int
+}
+
+func (ck *checker) add(v Violation) {
+	if len(ck.out) < ck.max {
+		ck.out = append(ck.out, v)
+	}
+}
+
+func (ck *checker) full() bool { return len(ck.out) >= ck.max }
+
+// covered reports whether r is entirely covered by the union of rs.
+func covered(r geom.Rect, rs []geom.Rect) bool {
+	if r.Empty() {
+		return true
+	}
+	var parts []geom.Rect
+	for _, s := range rs {
+		if x := s.Intersect(r); !x.Empty() {
+			parts = append(parts, x)
+		}
+	}
+	return geom.UnionArea(parts) == r.Area()
+}
+
+// checkWidth flags geometry thinner than the layer's minimum width. A rect
+// thinner than the rule on one axis passes if inflating it to the rule on
+// that axis (centered) stays inside the layer's union — i.e. the drawn
+// shape is locally at least minWidth wide even though this fragment is
+// thin (polygon slab decomposition produces such fragments).
+func (ck *checker) checkWidth(l layer.Layer) {
+	w := ck.rules.MinWidth[l]
+	rects := ck.byLayer[l]
+	for _, r := range rects {
+		if ck.full() {
+			return
+		}
+		thinX := r.W() < w
+		thinY := r.H() < w
+		if !thinX && !thinY {
+			continue
+		}
+		grown := r
+		if thinX {
+			pad := w - r.W()
+			grown.MinX -= pad / 2
+			grown.MaxX += pad - pad/2
+		}
+		if thinY {
+			pad := w - r.H()
+			grown.MinY -= pad / 2
+			grown.MaxY += pad - pad/2
+		}
+		if !covered(grown, rects) {
+			ck.add(Violation{
+				Rule: "min-width", Layer: l, At: r,
+				Detail: fmt.Sprintf("feature %dx%d quanta, rule %d", r.W(), r.H(), w),
+			})
+		}
+	}
+}
+
+// checkSpacing flags pairs of same-layer rects separated by a positive gap
+// smaller than the rule (touching geometry merges and is fine). This also
+// catches notches inside a single net, matching the lambda rules. A pair
+// whose gap region is completely filled by other same-layer geometry (a
+// bridging rect) is not a violation — the drawn shape has no gap there.
+func (ck *checker) checkSpacing(l layer.Layer) {
+	s := ck.rules.MinSpace[l]
+	rects := append([]geom.Rect(nil), ck.byLayer[l]...)
+	sort.Slice(rects, func(i, j int) bool { return rects[i].MinX < rects[j].MinX })
+	for i := 0; i < len(rects); i++ {
+		if ck.full() {
+			return
+		}
+		for j := i + 1; j < len(rects); j++ {
+			if rects[j].MinX-rects[i].MaxX >= s {
+				break
+			}
+			sep := rects[i].Separation(rects[j])
+			if sep > 0 && sep < s {
+				if covered(gapRegion(rects[i], rects[j]), rects) {
+					continue
+				}
+				ck.add(Violation{
+					Rule: "min-space", Layer: l, At: rects[i].Union(rects[j]),
+					Detail: fmt.Sprintf("gap %d, rule %d", sep, s),
+				})
+			}
+		}
+	}
+}
+
+// gapRegion returns the empty space between two disjoint rects: the span
+// between their facing edges, limited to the overlap of their projections
+// (or the corner-to-corner region for diagonal pairs).
+func gapRegion(a, b geom.Rect) geom.Rect {
+	var g geom.Rect
+	switch {
+	case b.MinX >= a.MaxX:
+		g.MinX, g.MaxX = a.MaxX, b.MinX
+	case a.MinX >= b.MaxX:
+		g.MinX, g.MaxX = b.MaxX, a.MinX
+	default:
+		g.MinX = maxC(a.MinX, b.MinX)
+		g.MaxX = minC(a.MaxX, b.MaxX)
+	}
+	switch {
+	case b.MinY >= a.MaxY:
+		g.MinY, g.MaxY = a.MaxY, b.MinY
+	case a.MinY >= b.MaxY:
+		g.MinY, g.MaxY = b.MaxY, a.MinY
+	default:
+		g.MinY = maxC(a.MinY, b.MinY)
+		g.MaxY = minC(a.MaxY, b.MaxY)
+	}
+	return g
+}
+
+func maxC(a, b geom.Coord) geom.Coord {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minC(a, b geom.Coord) geom.Coord {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// checkPolyDiffSeparation flags unrelated poly within PolyDiffSpace of
+// diffusion (overlap is a transistor or buried contact and is handled by
+// checkTransistors).
+func (ck *checker) checkPolyDiffSeparation() {
+	rule := ck.rules.PolyDiffSpace
+	diff := ck.byLayer[layer.Diff]
+	for _, p := range ck.byLayer[layer.Poly] {
+		if ck.full() {
+			return
+		}
+		for _, d := range diff {
+			sep := p.Separation(d)
+			if sep > 0 && sep < rule && !p.Overlaps(d) {
+				ck.add(Violation{
+					Rule: "poly-diff-space", Layer: layer.Poly, At: p.Union(d),
+					Detail: fmt.Sprintf("gap %d, rule %d", sep, rule),
+				})
+			}
+		}
+	}
+}
+
+// gateRegions computes channel rectangles: poly over diff, excluding buried
+// contact areas.
+func (ck *checker) gateRegions() []geom.Rect {
+	var gates []geom.Rect
+	buried := ck.byLayer[layer.Buried]
+	for _, p := range ck.byLayer[layer.Poly] {
+		for _, d := range ck.byLayer[layer.Diff] {
+			g := p.Intersect(d)
+			if g.Empty() {
+				continue
+			}
+			gates = append(gates, subtract(g, buried)...)
+		}
+	}
+	return gates
+}
+
+// checkTransistors verifies gate extension (poly past the channel),
+// diffusion extension (source/drain past the channel), and implant
+// surround of depletion gates.
+func (ck *checker) checkTransistors() {
+	polys := ck.byLayer[layer.Poly]
+	diffs := ck.byLayer[layer.Diff]
+	implants := ck.byLayer[layer.Implant]
+	for _, g := range ck.gateRegions() {
+		if ck.full() {
+			return
+		}
+		// Channel direction: the sides where diffusion continues carry
+		// current; the perpendicular sides need poly overhang.
+		left := geom.Rect{MinX: g.MinX - 1, MinY: g.MinY, MaxX: g.MinX, MaxY: g.MaxY}
+		right := geom.Rect{MinX: g.MaxX, MinY: g.MinY, MaxX: g.MaxX + 1, MaxY: g.MaxY}
+		bottom := geom.Rect{MinX: g.MinX, MinY: g.MinY - 1, MaxX: g.MaxX, MaxY: g.MinY}
+		top := geom.Rect{MinX: g.MinX, MinY: g.MaxY, MaxX: g.MaxX, MaxY: g.MaxY + 1}
+		diffLR := covered(left, diffs) && covered(right, diffs)
+		diffTB := covered(bottom, diffs) && covered(top, diffs)
+
+		ext := ck.rules.GateExtension
+		dext := ck.rules.DiffGateExtension
+		switch {
+		case diffLR:
+			// Current flows in x; poly must overhang in y, diff extend in x.
+			if !covered(geom.Rect{MinX: g.MinX, MinY: g.MinY - ext, MaxX: g.MaxX, MaxY: g.MaxY + ext}, polys) {
+				ck.add(Violation{Rule: "gate-extension", Layer: layer.Poly, At: g,
+					Detail: fmt.Sprintf("poly must extend %d past channel", ext)})
+			}
+			if !covered(geom.Rect{MinX: g.MinX - dext, MinY: g.MinY, MaxX: g.MaxX + dext, MaxY: g.MaxY}, diffs) {
+				ck.add(Violation{Rule: "diff-extension", Layer: layer.Diff, At: g,
+					Detail: fmt.Sprintf("diffusion must extend %d past channel", dext)})
+			}
+		case diffTB:
+			if !covered(geom.Rect{MinX: g.MinX - ext, MinY: g.MinY, MaxX: g.MaxX + ext, MaxY: g.MaxY}, polys) {
+				ck.add(Violation{Rule: "gate-extension", Layer: layer.Poly, At: g,
+					Detail: fmt.Sprintf("poly must extend %d past channel", ext)})
+			}
+			if !covered(geom.Rect{MinX: g.MinX, MinY: g.MinY - dext, MaxX: g.MaxX, MaxY: g.MaxY + dext}, diffs) {
+				ck.add(Violation{Rule: "diff-extension", Layer: layer.Diff, At: g,
+					Detail: fmt.Sprintf("diffusion must extend %d past channel", dext)})
+			}
+		default:
+			ck.add(Violation{Rule: "malformed-gate", Layer: layer.Poly, At: g,
+				Detail: "channel has no opposing source/drain diffusion"})
+		}
+
+		// Depletion gates must be surrounded by implant.
+		touchesImplant := false
+		for _, im := range implants {
+			if im.Overlaps(g) {
+				touchesImplant = true
+				break
+			}
+		}
+		if touchesImplant {
+			want := g.Inset(-ck.rules.ImplantGateSurround)
+			if !covered(want, implants) {
+				ck.add(Violation{Rule: "implant-surround", Layer: layer.Implant, At: g,
+					Detail: fmt.Sprintf("implant must surround depletion gate by %d", ck.rules.ImplantGateSurround)})
+			}
+		}
+	}
+}
+
+// checkContacts verifies contact cuts connect metal to exactly the layers
+// below with the required surround on every connected layer.
+func (ck *checker) checkContacts() {
+	sur := ck.rules.ContactSurround
+	metal := ck.byLayer[layer.Metal]
+	poly := ck.byLayer[layer.Poly]
+	diff := ck.byLayer[layer.Diff]
+	for _, cut := range ck.byLayer[layer.Contact] {
+		if ck.full() {
+			return
+		}
+		want := cut.Inset(-sur)
+		if !covered(want, metal) {
+			ck.add(Violation{Rule: "contact-metal-surround", Layer: layer.Contact, At: cut,
+				Detail: fmt.Sprintf("metal must surround contact by %d", sur)})
+		}
+		onPoly := covered(want, poly)
+		onDiff := covered(want, diff)
+		if !onPoly && !onDiff {
+			ck.add(Violation{Rule: "contact-lands-nowhere", Layer: layer.Contact, At: cut,
+				Detail: "contact must be surrounded by poly or diffusion"})
+		}
+	}
+	// Buried contacts must lie entirely within both poly and diffusion (by
+	// library convention the buried cut exactly covers the poly∩diff
+	// overlap, so no channel ring is left around it).
+	for _, cut := range ck.byLayer[layer.Buried] {
+		if ck.full() {
+			return
+		}
+		if !covered(cut, poly) || !covered(cut, diff) {
+			ck.add(Violation{Rule: "buried-surround", Layer: layer.Buried, At: cut,
+				Detail: "buried contact must lie within poly and diffusion"})
+		}
+	}
+}
+
+// subtract returns r minus all cuts.
+func subtract(r geom.Rect, cuts []geom.Rect) []geom.Rect {
+	pieces := []geom.Rect{r}
+	for _, cut := range cuts {
+		var next []geom.Rect
+		for _, p := range pieces {
+			x := p.Intersect(cut)
+			if x.Empty() {
+				next = append(next, p)
+				continue
+			}
+			for _, cand := range []geom.Rect{
+				{MinX: p.MinX, MinY: p.MinY, MaxX: x.MinX, MaxY: p.MaxY},
+				{MinX: x.MaxX, MinY: p.MinY, MaxX: p.MaxX, MaxY: p.MaxY},
+				{MinX: x.MinX, MinY: p.MinY, MaxX: x.MaxX, MaxY: x.MinY},
+				{MinX: x.MinX, MinY: x.MaxY, MaxX: x.MaxX, MaxY: p.MaxY},
+			} {
+				if !cand.Empty() {
+					next = append(next, cand)
+				}
+			}
+		}
+		pieces = next
+		if len(pieces) == 0 {
+			break
+		}
+	}
+	return pieces
+}

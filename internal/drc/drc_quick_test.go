@@ -1,0 +1,90 @@
+package drc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+)
+
+// TestQuickSpacingSoundAndComplete: for any two legal-width metal rects at
+// a random horizontal gap, the checker flags the pair exactly when the gap
+// is positive and below the rule (touching rects merge into one shape; a
+// gap at or above the rule is legal).
+func TestQuickSpacingSoundAndComplete(t *testing.T) {
+	rules := layer.MeadConway()
+	minSpace := rules.MinSpace[layer.Metal]
+	f := func(gapSeed uint8, w1, w2, h uint8) bool {
+		gap := geom.Coord(gapSeed % 24) // 0..23 quanta (rule is 12)
+		a := geom.R(0, 0, geom.L(3)+geom.Coord(w1%8), geom.L(3)+geom.Coord(h%8))
+		bx := a.MaxX + gap
+		b := geom.R(bx, 0, bx+geom.L(3)+geom.Coord(w2%8), a.MaxY)
+
+		c := mask.NewCell("t")
+		c.AddBox(layer.Metal, a)
+		c.AddBox(layer.Metal, b)
+		vs := Check(c, rules, nil)
+		violated := len(vs) > 0
+		shouldViolate := gap > 0 && gap < minSpace
+		if violated != shouldViolate {
+			t.Logf("gap=%d violated=%v want %v (%v)", gap, violated, shouldViolate, vs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWidthSoundAndComplete: an isolated metal rect is flagged exactly
+// when one of its dimensions is below the width rule.
+func TestQuickWidthSoundAndComplete(t *testing.T) {
+	rules := layer.MeadConway()
+	minW := rules.MinWidth[layer.Metal]
+	f := func(w, h uint8) bool {
+		rw := geom.Coord(w%24) + 1
+		rh := geom.Coord(h%24) + 1
+		c := mask.NewCell("t")
+		c.AddBox(layer.Metal, geom.R(0, 0, rw, rh))
+		vs := Check(c, rules, nil)
+		violated := len(vs) > 0
+		shouldViolate := rw < minW || rh < minW
+		if violated != shouldViolate {
+			t.Logf("w=%d h=%d violated=%v want %v (%v)", rw, rh, violated, shouldViolate, vs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOverlapNeverSpacingViolation: overlapping or abutting same-net
+// shapes are one electrical shape; no spacing violation may fire no matter
+// how they overlap.
+func TestQuickOverlapNeverSpacingViolation(t *testing.T) {
+	rules := layer.MeadConway()
+	f := func(dx, dy uint8) bool {
+		a := geom.R(0, 0, geom.L(6), geom.L(6))
+		// Offset keeps the second rect overlapping or sharing an edge.
+		ox := geom.Coord(dx % uint8(geom.L(6)+1))
+		oy := geom.Coord(dy % uint8(geom.L(6)+1))
+		b := a.Translate(geom.Pt(ox, oy))
+		c := mask.NewCell("t")
+		c.AddBox(layer.Metal, a)
+		c.AddBox(layer.Metal, b)
+		vs := Check(c, rules, nil)
+		if len(vs) != 0 {
+			t.Logf("offset (%d,%d): %v", ox, oy, vs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+)
+
+func rules() *layer.Rules { return layer.MeadConway() }
+
+func violationRules(vs []Violation) string {
+	var names []string
+	for _, v := range vs {
+		names = append(names, v.Rule)
+	}
+	return strings.Join(names, ",")
+}
+
+func TestCleanEmptyCell(t *testing.T) {
+	c := mask.NewCell("empty")
+	if vs := Check(c, rules(), nil); len(vs) != 0 {
+		t.Errorf("empty cell has violations: %v", vs)
+	}
+	if !Clean(c, rules()) {
+		t.Error("Clean wrong")
+	}
+}
+
+func TestWidthViolation(t *testing.T) {
+	c := mask.NewCell("thin")
+	c.AddBox(layer.Metal, geom.R(0, 0, 8, 100)) // 2λ metal: rule is 3λ
+	vs := Check(c, rules(), nil)
+	if len(vs) != 1 || vs[0].Rule != "min-width" {
+		t.Errorf("want one min-width violation, got %v", vs)
+	}
+	// 3λ metal is fine.
+	c2 := mask.NewCell("ok")
+	c2.AddBox(layer.Metal, geom.R(0, 0, 12, 100))
+	if vs := Check(c2, rules(), nil); len(vs) != 0 {
+		t.Errorf("legal metal flagged: %v", vs)
+	}
+}
+
+func TestWidthFragmentsOfWideShapeAreFine(t *testing.T) {
+	// An L-shaped polygon's slab decomposition produces fragments, but the
+	// drawn shape is everywhere >= 3λ; no violation.
+	c := mask.NewCell("L")
+	if err := c.AddPoly(layer.Metal, geom.Polygon{
+		geom.Pt(0, 0), geom.Pt(48, 0), geom.Pt(48, 12), geom.Pt(12, 12),
+		geom.Pt(12, 48), geom.Pt(0, 48),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if vs := Check(c, rules(), nil); len(vs) != 0 {
+		t.Errorf("L-shape flagged: %v", vs)
+	}
+}
+
+func TestSpacingViolationAndNotch(t *testing.T) {
+	c := mask.NewCell("close")
+	c.AddBox(layer.Metal, geom.R(0, 0, 12, 12))
+	c.AddBox(layer.Metal, geom.R(16, 0, 28, 12)) // gap 4 = 1λ < 3λ
+	vs := Check(c, rules(), nil)
+	if len(vs) != 1 || vs[0].Rule != "min-space" {
+		t.Errorf("want min-space, got %v", vs)
+	}
+	// Touching boxes are one shape: no violation.
+	c2 := mask.NewCell("abut")
+	c2.AddBox(layer.Metal, geom.R(0, 0, 12, 12))
+	c2.AddBox(layer.Metal, geom.R(12, 0, 24, 12))
+	if vs := Check(c2, rules(), nil); len(vs) != 0 {
+		t.Errorf("abutting flagged: %v", vs)
+	}
+	// A notch inside one net is still illegal.
+	c3 := mask.NewCell("notch")
+	c3.AddBox(layer.Metal, geom.R(0, 0, 40, 12))
+	c3.AddBox(layer.Metal, geom.R(0, 12, 12, 40))
+	c3.AddBox(layer.Metal, geom.R(16, 12, 40, 40)) // 1λ notch between the arms
+	vs = Check(c3, rules(), nil)
+	found := false
+	for _, v := range vs {
+		if v.Rule == "min-space" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notch not flagged: %v", vs)
+	}
+	// Diagonal separation must satisfy the max-axis rule.
+	c4 := mask.NewCell("diag")
+	c4.AddBox(layer.Metal, geom.R(0, 0, 12, 12))
+	c4.AddBox(layer.Metal, geom.R(16, 16, 28, 28)) // dx=dy=4 -> sep 4 < 12
+	if vs := Check(c4, rules(), nil); len(vs) != 1 {
+		t.Errorf("diagonal spacing: %v", vs)
+	}
+}
+
+func TestPolyDiffSeparation(t *testing.T) {
+	c := mask.NewCell("pd")
+	c.AddBox(layer.Diff, geom.R(0, 0, 8, 40))
+	c.AddBox(layer.Poly, geom.R(10, 0, 18, 40)) // gap 2 < 1λ=4
+	vs := Check(c, rules(), nil)
+	if violationRules(vs) != "poly-diff-space" {
+		t.Errorf("got %v", vs)
+	}
+	c2 := mask.NewCell("ok")
+	c2.AddBox(layer.Diff, geom.R(0, 0, 8, 40))
+	c2.AddBox(layer.Poly, geom.R(12, 0, 20, 40)) // gap 4 = 1λ
+	if vs := Check(c2, rules(), nil); len(vs) != 0 {
+		t.Errorf("legal separation flagged: %v", vs)
+	}
+}
+
+// legalTransistor draws a fully legal enhancement transistor: horizontal
+// diff, vertical poly with 2λ overhang, diffusion continuing 2λ+ on both
+// sides.
+func legalTransistor(c *mask.Cell, x, y geom.Coord) {
+	c.AddBox(layer.Diff, geom.R(x, y, x+40, y+8))
+	c.AddBox(layer.Poly, geom.R(x+16, y-8, x+24, y+16))
+}
+
+func TestLegalTransistorPasses(t *testing.T) {
+	c := mask.NewCell("tx")
+	legalTransistor(c, 0, 0)
+	if vs := Check(c, rules(), nil); len(vs) != 0 {
+		t.Errorf("legal transistor flagged: %v", vs)
+	}
+}
+
+func TestGateExtensionViolation(t *testing.T) {
+	c := mask.NewCell("short-poly")
+	c.AddBox(layer.Diff, geom.R(0, 0, 40, 8))
+	c.AddBox(layer.Poly, geom.R(16, -4, 24, 12)) // only 1λ overhang
+	vs := Check(c, rules(), nil)
+	if !strings.Contains(violationRules(vs), "gate-extension") {
+		t.Errorf("got %v", vs)
+	}
+}
+
+func TestDiffExtensionViolation(t *testing.T) {
+	c := mask.NewCell("short-diff")
+	c.AddBox(layer.Diff, geom.R(12, 0, 28, 8)) // only 1λ of S/D on each side
+	c.AddBox(layer.Poly, geom.R(16, -8, 24, 16))
+	vs := Check(c, rules(), nil)
+	if !strings.Contains(violationRules(vs), "diff-extension") {
+		t.Errorf("got %v", vs)
+	}
+}
+
+func TestMalformedGate(t *testing.T) {
+	c := mask.NewCell("covered")
+	c.AddBox(layer.Diff, geom.R(0, 0, 8, 8))
+	c.AddBox(layer.Poly, geom.R(-8, -8, 16, 16)) // poly swallows the island
+	vs := Check(c, rules(), nil)
+	if !strings.Contains(violationRules(vs), "malformed-gate") {
+		t.Errorf("got %v", vs)
+	}
+}
+
+func TestImplantSurround(t *testing.T) {
+	c := mask.NewCell("dep")
+	legalTransistor(c, 0, 0)
+	c.AddBox(layer.Implant, geom.R(10, -14, 30, 14)) // full 1.5λ surround
+	if vs := Check(c, rules(), nil); len(vs) != 0 {
+		t.Errorf("legal depletion flagged: %v", vs)
+	}
+	c2 := mask.NewCell("dep-short")
+	legalTransistor(c2, 0, 0)
+	c2.AddBox(layer.Implant, geom.R(16, 0, 24, 8)) // no surround at all
+	vs := Check(c2, rules(), nil)
+	if !strings.Contains(violationRules(vs), "implant-surround") {
+		t.Errorf("got %v", vs)
+	}
+}
+
+func TestContactRules(t *testing.T) {
+	// Legal metal-to-diff contact: 2λ cut, 1λ surround on both layers.
+	c := mask.NewCell("ct")
+	c.AddBox(layer.Diff, geom.R(0, 0, 16, 16))
+	c.AddBox(layer.Metal, geom.R(0, 0, 16, 16))
+	c.AddBox(layer.Contact, geom.R(4, 4, 12, 12))
+	if vs := Check(c, rules(), nil); len(vs) != 0 {
+		t.Errorf("legal contact flagged: %v", vs)
+	}
+	// Contact with no landing layer.
+	c2 := mask.NewCell("float")
+	c2.AddBox(layer.Metal, geom.R(0, 0, 16, 16))
+	c2.AddBox(layer.Contact, geom.R(4, 4, 12, 12))
+	vs := Check(c2, rules(), nil)
+	if !strings.Contains(violationRules(vs), "contact-lands-nowhere") {
+		t.Errorf("got %v", vs)
+	}
+	// Contact hanging off the metal.
+	c3 := mask.NewCell("hang")
+	c3.AddBox(layer.Diff, geom.R(0, 0, 16, 16))
+	c3.AddBox(layer.Metal, geom.R(0, 0, 16, 12))
+	c3.AddBox(layer.Contact, geom.R(4, 4, 12, 12))
+	vs = Check(c3, rules(), nil)
+	if !strings.Contains(violationRules(vs), "contact-metal-surround") {
+		t.Errorf("got %v", vs)
+	}
+}
+
+func TestBuriedSurround(t *testing.T) {
+	// Legal: poly strip ends on a diffusion strip; the buried cut exactly
+	// covers the overlap, so there is no channel and both layers contain
+	// the cut.
+	c := mask.NewCell("buried")
+	c.AddBox(layer.Diff, geom.R(0, 0, 16, 40))
+	c.AddBox(layer.Poly, geom.R(0, 0, 40, 16))
+	c.AddBox(layer.Buried, geom.R(0, 0, 16, 16))
+	if vs := Check(c, rules(), nil); len(vs) != 0 {
+		t.Errorf("legal buried flagged: %v", vs)
+	}
+	// Illegal: the cut sticks out of the poly.
+	c2 := mask.NewCell("bad")
+	c2.AddBox(layer.Diff, geom.R(0, 0, 16, 40))
+	c2.AddBox(layer.Poly, geom.R(0, 0, 16, 16))
+	c2.AddBox(layer.Buried, geom.R(0, 0, 16, 24))
+	vs := Check(c2, rules(), nil)
+	if !strings.Contains(violationRules(vs), "buried-surround") {
+		t.Errorf("got %v", vs)
+	}
+}
+
+func TestMaxViolationsCap(t *testing.T) {
+	c := mask.NewCell("many")
+	for i := 0; i < 20; i++ {
+		c.AddBox(layer.Metal, geom.RectWH(geom.Coord(i)*100, 0, 4, 4)) // each too small
+	}
+	vs := Check(c, rules(), &Options{MaxViolations: 5})
+	if len(vs) != 5 {
+		t.Errorf("cap not applied: %d", len(vs))
+	}
+}
+
+func TestSkipLayers(t *testing.T) {
+	c := mask.NewCell("skip")
+	c.AddBox(layer.Metal, geom.R(0, 0, 4, 4))
+	vs := Check(c, rules(), &Options{SkipLayers: []layer.Layer{layer.Metal}})
+	if len(vs) != 0 {
+		t.Errorf("skipped layer still checked: %v", vs)
+	}
+}
+
+func TestHierarchicalCheck(t *testing.T) {
+	// Two legal cells placed too close create a spacing violation only
+	// visible after flattening.
+	leaf := mask.NewCell("leaf")
+	leaf.AddBox(layer.Metal, geom.R(0, 0, 12, 12))
+	top := mask.NewCell("top")
+	top.Place(leaf, geom.Translate(0, 0))
+	top.Place(leaf, geom.Translate(16, 0)) // 1λ apart
+	vs := Check(top, rules(), nil)
+	if violationRules(vs) != "min-space" {
+		t.Errorf("got %v", vs)
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/drc"
+	"bristleblocks/internal/layer"
+)
+
+// TestSuiteCompiles compiles every suite chip with the full pad ring and
+// checks it is DRC-clean: the experiment harness must never report numbers
+// from an illegal layout.
+func TestSuiteCompiles(t *testing.T) {
+	for _, sc := range Suite {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			chip, err := core.Compile(SpecFor(sc), nil)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if vs := drc.Check(chip.Mask, layer.MeadConway(), &drc.Options{MaxViolations: 5}); len(vs) != 0 {
+				t.Fatalf("DRC: %v", vs[0])
+			}
+			if chip.Stats.PadCount < sc.Width {
+				t.Fatalf("pad count %d < data width %d", chip.Stats.PadCount, sc.Width)
+			}
+		})
+	}
+}
+
+// TestRedundantSuiteCompiles covers the A3 guard forms.
+func TestRedundantSuiteCompiles(t *testing.T) {
+	for _, sc := range Suite[:4] {
+		if _, err := core.Compile(RedundantSpecFor(sc), &core.Options{SkipPads: true}); err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+	}
+}
+
+func TestExperimentOutputs(t *testing.T) {
+	checks := []struct {
+		name string
+		run  func() string
+		want []string
+	}{
+		{"F1", F1, []string{"Figure 1", "pad"}},
+		{"F2", F2, []string{"Figure 2"}},
+		{"F3", F3, []string{"coverage:", "yes"}},
+		{"T1", T1, []string{"ratio", "tiny"}},
+		{"T3", T3, []string{"simulation", "yes"}},
+		{"A1", A1, []string{"redesigns"}},
+		{"A2", A2, []string{"roto", "naive"}},
+		{"A3", A3, []string{"terms"}},
+		{"A4", A4, []string{"PROTOTYPE", "production"}},
+		{"A5", A5, []string{"value=15"}},
+	}
+	for _, c := range checks {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			out := c.run()
+			for _, w := range c.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("%s output missing %q:\n%s", c.name, w, out)
+				}
+			}
+		})
+	}
+}
+
+// TestF3FullCoverage pins the generality result: every configuration in the
+// sweep must compile.
+func TestF3FullCoverage(t *testing.T) {
+	out := F3()
+	if !strings.Contains(out, "coverage: 30/30") {
+		t.Fatalf("F3 coverage regressed:\n%s", out)
+	}
+}
+
+// TestA3OptimizerBites pins that the decoder optimizer actually reduces
+// terms on the redundant guard forms.
+func TestA3OptimizerBites(t *testing.T) {
+	for _, sc := range Suite[:2] {
+		raw, err := core.Compile(RedundantSpecFor(sc), &core.Options{SkipPads: true, SkipOptimize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := core.Compile(RedundantSpecFor(sc), &core.Options{SkipPads: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Stats.PLATerms >= raw.Stats.PLATerms {
+			t.Errorf("%s: optimizer did not reduce terms (%d -> %d)",
+				sc.Name, raw.Stats.PLATerms, opt.Stats.PLATerms)
+		}
+	}
+}

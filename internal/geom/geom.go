@@ -1,0 +1,203 @@
+// Package geom provides the integer Manhattan geometry substrate used by
+// every layer of the Bristle Blocks compiler: coordinates on a quarter-lambda
+// grid, points, rectangles, rectilinear polygons, and the eight Manhattan
+// orientations combined with translation into affine transforms.
+//
+// All coordinates are integral counts of quarter-lambda "quanta", so every
+// Mead–Conway design rule (which are multiples of lambda/2) is exactly
+// representable and geometry never suffers rounding drift under transform
+// composition.
+package geom
+
+import "fmt"
+
+// Coord is a signed distance or position in quarter-lambda quanta.
+type Coord int64
+
+// Lambda is the number of quanta per lambda. Design rules in package layer
+// are expressed in quanta; multiply lambda-denominated rules by Lambda.
+const Lambda Coord = 4
+
+// L converts a lambda count to quanta.
+func L(lambda int) Coord { return Coord(lambda) * Lambda }
+
+// HalfL converts a half-lambda count to quanta.
+func HalfL(half int) Coord { return Coord(half) * (Lambda / 2) }
+
+// InLambda reports c as a float number of lambda, for display.
+func InLambda(c Coord) float64 { return float64(c) / float64(Lambda) }
+
+// Point is a location on the quanta grid.
+type Point struct {
+	X, Y Coord
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y Coord) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) Coord {
+	return absC(p.X-q.X) + absC(p.Y-q.Y)
+}
+
+// String renders the point as "(x,y)".
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+func absC(c Coord) Coord {
+	if c < 0 {
+		return -c
+	}
+	return c
+}
+
+func minC(a, b Coord) Coord {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxC(a, b Coord) Coord {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Rect is an axis-aligned rectangle. A Rect is normalized when MinX <= MaxX
+// and MinY <= MaxY; an empty Rect has zero area. The zero Rect is empty.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY Coord
+}
+
+// R constructs a normalized Rect from any two opposite corners.
+func R(x0, y0, x1, y1 Coord) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// RectWH constructs a Rect from its lower-left corner and size.
+func RectWH(x, y, w, h Coord) Rect { return R(x, y, x+w, y+h) }
+
+// W returns the rectangle's width.
+func (r Rect) W() Coord { return r.MaxX - r.MinX }
+
+// H returns the rectangle's height.
+func (r Rect) H() Coord { return r.MaxY - r.MinY }
+
+// Empty reports whether r encloses no area.
+func (r Rect) Empty() bool { return r.MaxX <= r.MinX || r.MaxY <= r.MinY }
+
+// Area returns the enclosed area in square quanta.
+func (r Rect) Area() int64 {
+	if r.Empty() {
+		return 0
+	}
+	return int64(r.W()) * int64(r.H())
+}
+
+// Center returns the midpoint of r, rounded toward MinX/MinY.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Contains reports whether p lies inside or on the boundary of r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely within r (boundaries may touch).
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Overlaps reports whether r and s share interior area (touching edges do
+// not count as overlap).
+func (r Rect) Overlaps(s Rect) bool {
+	return r.MinX < s.MaxX && s.MinX < r.MaxX && r.MinY < s.MaxY && s.MinY < r.MaxY
+}
+
+// Touches reports whether r and s share at least an edge point (overlap or
+// abutment both count).
+func (r Rect) Touches(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Intersect returns the common area of r and s; the result is empty (but not
+// necessarily the zero Rect) when they do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		MinX: maxC(r.MinX, s.MinX),
+		MinY: maxC(r.MinY, s.MinY),
+		MaxX: minC(r.MaxX, s.MaxX),
+		MaxY: minC(r.MaxY, s.MaxY),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the bounding box of r and s, ignoring empties.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		MinX: minC(r.MinX, s.MinX),
+		MinY: minC(r.MinY, s.MinY),
+		MaxX: maxC(r.MaxX, s.MaxX),
+		MaxY: maxC(r.MaxY, s.MaxY),
+	}
+}
+
+// Inset shrinks r by d on every side (grow with negative d). The result is
+// normalized; over-insetting collapses to an empty rect at the center.
+func (r Rect) Inset(d Coord) Rect {
+	out := Rect{r.MinX + d, r.MinY + d, r.MaxX - d, r.MaxY - d}
+	if out.MinX > out.MaxX {
+		c := (r.MinX + r.MaxX) / 2
+		out.MinX, out.MaxX = c, c
+	}
+	if out.MinY > out.MaxY {
+		c := (r.MinY + r.MaxY) / 2
+		out.MinY, out.MaxY = c, c
+	}
+	return out
+}
+
+// Translate returns r moved by p.
+func (r Rect) Translate(p Point) Rect {
+	return Rect{r.MinX + p.X, r.MinY + p.Y, r.MaxX + p.X, r.MaxY + p.Y}
+}
+
+// Separation returns the minimum L-infinity style Manhattan gap between two
+// disjoint rectangles, measured as max(dx, dy) where dx and dy are the axis
+// gaps (zero when the projections overlap). For overlapping or touching
+// rects it returns 0. This matches the "Euclidean-free" spacing measure
+// used by lambda design rules, where diagonal separation must satisfy both
+// axis gaps.
+func (r Rect) Separation(s Rect) Coord {
+	dx := maxC(maxC(s.MinX-r.MaxX, r.MinX-s.MaxX), 0)
+	dy := maxC(maxC(s.MinY-r.MaxY, r.MinY-s.MaxY), 0)
+	return maxC(dx, dy)
+}
+
+// String renders the rect as "[minx,miny maxx,maxy]".
+func (r Rect) String() string {
+	return fmt.Sprintf("[%d,%d %d,%d]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}

@@ -1,0 +1,360 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambdaHelpers(t *testing.T) {
+	if L(3) != 12 {
+		t.Errorf("L(3) = %d, want 12", L(3))
+	}
+	if HalfL(3) != 6 {
+		t.Errorf("HalfL(3) = %d, want 6", HalfL(3))
+	}
+	if got := InLambda(L(5)); got != 5.0 {
+		t.Errorf("InLambda(L(5)) = %v, want 5", got)
+	}
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p, q := Pt(3, -4), Pt(1, 2)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(2, -6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Manhattan(q); got != 8 {
+		t.Errorf("Manhattan = %d, want 8", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(10, 20, 2, 4)
+	want := Rect{2, 4, 10, 20}
+	if r != want {
+		t.Errorf("R normalization = %v, want %v", r, want)
+	}
+	if r.W() != 8 || r.H() != 16 {
+		t.Errorf("W,H = %d,%d", r.W(), r.H())
+	}
+	if r.Area() != 128 {
+		t.Errorf("Area = %d", r.Area())
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	if !(Rect{}).Empty() {
+		t.Error("zero Rect should be empty")
+	}
+	if (R(0, 0, 1, 1)).Empty() {
+		t.Error("unit rect should not be empty")
+	}
+	if R(0, 0, 0, 5).Area() != 0 {
+		t.Error("degenerate rect should have zero area")
+	}
+}
+
+func TestRectPredicates(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	c := R(10, 0, 20, 10) // abuts a on the right edge
+	d := R(12, 12, 20, 20)
+
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a and b should overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("abutting rects should not overlap")
+	}
+	if !a.Touches(c) {
+		t.Error("abutting rects should touch")
+	}
+	if a.Touches(d) {
+		t.Error("a and d should not touch")
+	}
+	if !a.Contains(Pt(10, 10)) {
+		t.Error("boundary point should be contained")
+	}
+	if !a.ContainsRect(R(2, 2, 8, 8)) || a.ContainsRect(b) {
+		t.Error("ContainsRect wrong")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	if got := a.Intersect(b); got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Intersect(R(20, 20, 30, 30)); !got.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", got)
+	}
+	if got := a.Union(b); got != R(0, 0, 15, 15) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("Union with empty = %v", got)
+	}
+}
+
+func TestRectInset(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	if got := a.Inset(2); got != R(2, 2, 8, 8) {
+		t.Errorf("Inset(2) = %v", got)
+	}
+	if got := a.Inset(-3); got != R(-3, -3, 13, 13) {
+		t.Errorf("Inset(-3) = %v", got)
+	}
+	if got := a.Inset(7); !got.Empty() {
+		t.Errorf("over-inset should collapse, got %v", got)
+	}
+}
+
+func TestRectSeparation(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	cases := []struct {
+		b    Rect
+		want Coord
+	}{
+		{R(12, 0, 20, 10), 2},  // purely horizontal gap
+		{R(0, 13, 10, 20), 3},  // purely vertical gap
+		{R(14, 12, 20, 20), 4}, // diagonal: max(4, 2)
+		{R(5, 5, 8, 8), 0},     // overlapping
+		{R(10, 10, 20, 20), 0}, // corner touch
+	}
+	for _, c := range cases {
+		if got := a.Separation(c.b); got != c.want {
+			t.Errorf("Separation(%v) = %d, want %d", c.b, got, c.want)
+		}
+		if got := c.b.Separation(a); got != c.want {
+			t.Errorf("Separation symmetric (%v) = %d, want %d", c.b, got, c.want)
+		}
+	}
+}
+
+func TestOrientGroup(t *testing.T) {
+	// Composition stays in the group and inverses cancel.
+	for a := Orient(0); a < numOrients; a++ {
+		for b := Orient(0); b < numOrients; b++ {
+			_ = composeOrient(a, b) // must not panic
+		}
+		if got := composeOrient(a, a.Inverse()); got != R0 {
+			t.Errorf("%v composed with inverse = %v", a, got)
+		}
+	}
+}
+
+func TestOrientApply(t *testing.T) {
+	p := Pt(3, 1)
+	cases := map[Orient]Point{
+		R0:   Pt(3, 1),
+		R90:  Pt(-1, 3),
+		R180: Pt(-3, -1),
+		R270: Pt(1, -3),
+		MX:   Pt(3, -1),
+		MY:   Pt(-3, 1),
+	}
+	for o, want := range cases {
+		if got := o.Apply(p); got != want {
+			t.Errorf("%v.Apply(%v) = %v, want %v", o, p, got, want)
+		}
+	}
+}
+
+func TestOrientSwapsAxes(t *testing.T) {
+	for _, o := range []Orient{R90, R270, MX90, MY90} {
+		if !o.SwapsAxes() {
+			t.Errorf("%v should swap axes", o)
+		}
+	}
+	for _, o := range []Orient{R0, R180, MX, MY} {
+		if o.SwapsAxes() {
+			t.Errorf("%v should not swap axes", o)
+		}
+	}
+}
+
+func randTransform(r *rand.Rand) Transform {
+	return Transform{
+		Orient: Orient(r.Intn(int(numOrients))),
+		Offset: Pt(Coord(r.Intn(200)-100), Coord(r.Intn(200)-100)),
+	}
+}
+
+func TestTransformInverseProperty(t *testing.T) {
+	f := func(x, y int16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randTransform(r)
+		p := Pt(Coord(x), Coord(y))
+		return tr.Inverse().Apply(tr.Apply(p)) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformComposeProperty(t *testing.T) {
+	f := func(x, y int16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randTransform(r), randTransform(r)
+		p := Pt(Coord(x), Coord(y))
+		return a.Then(b).Apply(p) == b.Apply(a.Apply(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformRectAreaInvariant(t *testing.T) {
+	f := func(x0, y0 int16, w, h uint8, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randTransform(r)
+		rect := RectWH(Coord(x0), Coord(y0), Coord(w), Coord(h))
+		return tr.ApplyRect(rect).Area() == rect.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	good := Polygon{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	if err := good.Validate(); err != nil {
+		t.Errorf("square should validate: %v", err)
+	}
+	diagonal := Polygon{Pt(0, 0), Pt(10, 10), Pt(0, 10), Pt(0, 5)}
+	if err := diagonal.Validate(); err == nil {
+		t.Error("diagonal edge should fail validation")
+	}
+	short := Polygon{Pt(0, 0), Pt(10, 0), Pt(10, 10)}
+	if err := short.Validate(); err == nil {
+		t.Error("triangle should fail validation")
+	}
+	zero := Polygon{Pt(0, 0), Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	if err := zero.Validate(); err == nil {
+		t.Error("zero-length edge should fail validation")
+	}
+}
+
+func TestPolygonRectsSquare(t *testing.T) {
+	pg := Polygon{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	rects := pg.Rects()
+	if len(rects) != 1 || rects[0] != R(0, 0, 10, 10) {
+		t.Errorf("square decomposition = %v", rects)
+	}
+}
+
+func TestPolygonRectsL(t *testing.T) {
+	// L-shape: 20x10 base with a 10x10 tower on the left.
+	pg := Polygon{Pt(0, 0), Pt(20, 0), Pt(20, 10), Pt(10, 10), Pt(10, 20), Pt(0, 20)}
+	rects := pg.Rects()
+	var area int64
+	for _, r := range rects {
+		area += r.Area()
+	}
+	if area != 300 {
+		t.Errorf("L-shape area = %d, want 300 (rects %v)", area, rects)
+	}
+	if got := UnionArea(rects); got != 300 {
+		t.Errorf("L-shape union area = %d, want 300", got)
+	}
+	if got := pg.BBox(); got != R(0, 0, 20, 20) {
+		t.Errorf("BBox = %v", got)
+	}
+}
+
+func TestPolygonRectsDisjointSlabs(t *testing.T) {
+	// U-shape has two disjoint intervals in its upper slab.
+	pg := Polygon{
+		Pt(0, 0), Pt(30, 0), Pt(30, 20), Pt(20, 20),
+		Pt(20, 10), Pt(10, 10), Pt(10, 20), Pt(0, 20),
+	}
+	rects := pg.Rects()
+	if got := UnionArea(rects); got != 500 {
+		t.Errorf("U-shape area = %d, want 500 (rects %v)", got, rects)
+	}
+}
+
+func TestPolygonTransformAreaProperty(t *testing.T) {
+	pg := Polygon{Pt(0, 0), Pt(20, 0), Pt(20, 10), Pt(10, 10), Pt(10, 20), Pt(0, 20)}
+	base := UnionArea(pg.Rects())
+	for o := Orient(0); o < numOrients; o++ {
+		tr := Transform{o, Pt(7, -13)}
+		got := UnionArea(pg.Transform(tr).Rects())
+		if got != base {
+			t.Errorf("area after %v = %d, want %d", tr, got, base)
+		}
+	}
+}
+
+func TestUnionArea(t *testing.T) {
+	cases := []struct {
+		rects []Rect
+		want  int64
+	}{
+		{nil, 0},
+		{[]Rect{R(0, 0, 10, 10)}, 100},
+		{[]Rect{R(0, 0, 10, 10), R(0, 0, 10, 10)}, 100},                 // exact duplicate
+		{[]Rect{R(0, 0, 10, 10), R(5, 5, 15, 15)}, 175},                 // partial overlap
+		{[]Rect{R(0, 0, 10, 10), R(20, 20, 30, 30)}, 200},               // disjoint
+		{[]Rect{R(0, 0, 10, 10), R(10, 0, 20, 10)}, 200},                // abutting
+		{[]Rect{R(0, 0, 10, 10), R(2, 2, 8, 8)}, 100},                   // contained
+		{[]Rect{R(0, 0, 30, 2), R(0, 0, 2, 30), R(28, 0, 30, 30)}, 172}, // cross shapes
+	}
+	for i, c := range cases {
+		if got := UnionArea(c.rects); got != c.want {
+			t.Errorf("case %d: UnionArea = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestUnionAreaUpperBoundProperty(t *testing.T) {
+	// Union area never exceeds the sum of areas and never falls below the
+	// largest single rect.
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%12) + 1
+		rects := make([]Rect, count)
+		var sum, biggest int64
+		for i := range rects {
+			rects[i] = RectWH(Coord(r.Intn(100)), Coord(r.Intn(100)),
+				Coord(r.Intn(30)+1), Coord(r.Intn(30)+1))
+			sum += rects[i].Area()
+			if rects[i].Area() > biggest {
+				biggest = rects[i].Area()
+			}
+		}
+		u := UnionArea(rects)
+		return u <= sum && u >= biggest
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireRects(t *testing.T) {
+	// Single horizontal segment, width 4: a 10x4 rect around the centerline.
+	rs := WireRects([]Point{Pt(0, 0), Pt(10, 0)}, 4)
+	if len(rs) != 1 || rs[0] != R(-2, -2, 12, 2) {
+		t.Errorf("horizontal wire = %v", rs)
+	}
+	// L-bend covers both arms with a filled joint.
+	rs = WireRects([]Point{Pt(0, 0), Pt(10, 0), Pt(10, 10)}, 4)
+	if got := UnionArea(rs); got != (14*4 + 14*4 - 16) {
+		t.Errorf("L wire union area = %d", got)
+	}
+	// Degenerate single point gives a width-square pad.
+	rs = WireRects([]Point{Pt(5, 5)}, 4)
+	if len(rs) != 1 || rs[0].Area() != 16 {
+		t.Errorf("point wire = %v", rs)
+	}
+	if WireRects(nil, 4) != nil {
+		t.Error("nil path should give nil")
+	}
+	if WireRects([]Point{Pt(0, 0)}, 0) != nil {
+		t.Error("zero width should give nil")
+	}
+}

@@ -1,0 +1,226 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Polygon is a simple rectilinear polygon given as an ordered vertex list.
+// Consecutive vertices must differ in exactly one coordinate; the last
+// vertex connects back to the first. Orientation (CW/CCW) is immaterial.
+type Polygon []Point
+
+// Validate checks that the polygon is closed, rectilinear, and has at least
+// four vertices with no zero-length or collinear-duplicate edges.
+func (pg Polygon) Validate() error {
+	if len(pg) < 4 {
+		return fmt.Errorf("polygon has %d vertices, need at least 4", len(pg))
+	}
+	for i := range pg {
+		a, b := pg[i], pg[(i+1)%len(pg)]
+		dx, dy := a.X != b.X, a.Y != b.Y
+		if dx == dy { // both changed (diagonal) or neither (zero-length)
+			return fmt.Errorf("edge %d (%v -> %v) is not a nonzero Manhattan segment", i, a, b)
+		}
+	}
+	return nil
+}
+
+// BBox returns the polygon's bounding box.
+func (pg Polygon) BBox() Rect {
+	if len(pg) == 0 {
+		return Rect{}
+	}
+	r := Rect{pg[0].X, pg[0].Y, pg[0].X, pg[0].Y}
+	for _, p := range pg[1:] {
+		r.MinX = minC(r.MinX, p.X)
+		r.MinY = minC(r.MinY, p.Y)
+		r.MaxX = maxC(r.MaxX, p.X)
+		r.MaxY = maxC(r.MaxY, p.Y)
+	}
+	return r
+}
+
+// Transform returns the polygon mapped through t.
+func (pg Polygon) Transform(t Transform) Polygon {
+	out := make(Polygon, len(pg))
+	for i, p := range pg {
+		out[i] = t.Apply(p)
+	}
+	return out
+}
+
+// Rects decomposes the polygon into non-overlapping rectangles by horizontal
+// slab sweep: the plane is cut at every distinct vertex Y, and within each
+// slab the polygon's coverage is a set of X intervals obtained by parity
+// counting of the vertical edges crossing the slab.
+func (pg Polygon) Rects() []Rect {
+	if err := pg.Validate(); err != nil {
+		return nil
+	}
+	type vedge struct {
+		x      Coord
+		y0, y1 Coord
+	}
+	var edges []vedge
+	ys := make([]Coord, 0, len(pg))
+	for i := range pg {
+		a, b := pg[i], pg[(i+1)%len(pg)]
+		if a.X == b.X {
+			lo, hi := a.Y, b.Y
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			edges = append(edges, vedge{a.X, lo, hi})
+		}
+		ys = append(ys, a.Y)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	ys = dedupCoords(ys)
+
+	var out []Rect
+	for i := 0; i+1 < len(ys); i++ {
+		y0, y1 := ys[i], ys[i+1]
+		var xs []Coord
+		for _, e := range edges {
+			if e.y0 <= y0 && e.y1 >= y1 {
+				xs = append(xs, e.x)
+			}
+		}
+		sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+		for j := 0; j+1 < len(xs); j += 2 {
+			out = append(out, Rect{xs[j], y0, xs[j+1], y1})
+		}
+	}
+	return mergeVertically(out)
+}
+
+func dedupCoords(cs []Coord) []Coord {
+	out := cs[:0]
+	for i, c := range cs {
+		if i == 0 || c != out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// mergeVertically coalesces stacked rects with identical X extents, reducing
+// slab-decomposition fragmentation.
+func mergeVertically(rs []Rect) []Rect {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].MinX != rs[j].MinX {
+			return rs[i].MinX < rs[j].MinX
+		}
+		if rs[i].MaxX != rs[j].MaxX {
+			return rs[i].MaxX < rs[j].MaxX
+		}
+		return rs[i].MinY < rs[j].MinY
+	})
+	var out []Rect
+	for _, r := range rs {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.MinX == r.MinX && last.MaxX == r.MaxX && last.MaxY == r.MinY {
+				last.MaxY = r.MaxY
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// UnionArea computes the total area covered by the union of the given
+// rectangles (overlaps counted once) by a coordinate-compressed sweep over
+// X with an interval-coverage count along Y.
+func UnionArea(rects []Rect) int64 {
+	type event struct {
+		x      Coord
+		y0, y1 Coord
+		delta  int
+	}
+	var evs []event
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		evs = append(evs, event{r.MinX, r.MinY, r.MaxY, +1})
+		evs = append(evs, event{r.MaxX, r.MinY, r.MaxY, -1})
+	}
+	if len(evs) == 0 {
+		return 0
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].x < evs[j].x })
+
+	ys := make([]Coord, 0, len(evs)*2)
+	for _, e := range evs {
+		ys = append(ys, e.y0, e.y1)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	ys = dedupCoords(ys)
+	yIdx := make(map[Coord]int, len(ys))
+	for i, y := range ys {
+		yIdx[y] = i
+	}
+
+	cover := make([]int, len(ys)) // coverage count of segment [ys[i], ys[i+1])
+	var area int64
+	coveredLen := func() int64 {
+		var sum int64
+		for i := 0; i+1 < len(ys); i++ {
+			if cover[i] > 0 {
+				sum += int64(ys[i+1] - ys[i])
+			}
+		}
+		return sum
+	}
+	prevX := evs[0].x
+	i := 0
+	for i < len(evs) {
+		x := evs[i].x
+		area += coveredLen() * int64(x-prevX)
+		for i < len(evs) && evs[i].x == x {
+			e := evs[i]
+			for k := yIdx[e.y0]; k < yIdx[e.y1]; k++ {
+				cover[k] += e.delta
+			}
+			i++
+		}
+		prevX = x
+	}
+	return area
+}
+
+// WireRects expands a Manhattan wire path (centerline through the given
+// points) of the given width into rectangles, one per segment plus square
+// joints at interior corners. Width should be even for an exactly centered
+// wire; odd widths are biased half a quantum toward -X/-Y.
+func WireRects(path []Point, width Coord) []Rect {
+	if len(path) == 0 || width <= 0 {
+		return nil
+	}
+	h := width / 2
+	h2 := width - h
+	var out []Rect
+	if len(path) == 1 {
+		p := path[0]
+		return []Rect{{p.X - h, p.Y - h, p.X + h2, p.Y + h2}}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		switch {
+		case a.Y == b.Y: // horizontal
+			x0, x1 := minC(a.X, b.X), maxC(a.X, b.X)
+			out = append(out, Rect{x0 - h, a.Y - h, x1 + h2, a.Y + h2})
+		case a.X == b.X: // vertical
+			y0, y1 := minC(a.Y, b.Y), maxC(a.Y, b.Y)
+			out = append(out, Rect{a.X - h, y0 - h, a.X + h2, y1 + h2})
+		default:
+			// Non-Manhattan segment: cover with its bounding box so area
+			// accounting stays conservative; DRC flags these separately.
+			out = append(out, R(a.X, a.Y, b.X, b.Y).Inset(-h))
+		}
+	}
+	return out
+}

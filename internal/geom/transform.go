@@ -1,0 +1,143 @@
+package geom
+
+import "fmt"
+
+// Orient is one of the eight Manhattan orientations: the four rotations by
+// multiples of 90°, each optionally composed with a mirror about the Y axis
+// (applied before the rotation). This is the standard symmetry group of
+// mask layout (D4).
+type Orient uint8
+
+const (
+	// R0 is the identity orientation.
+	R0 Orient = iota
+	// R90 rotates counterclockwise by 90 degrees.
+	R90
+	// R180 rotates by 180 degrees.
+	R180
+	// R270 rotates counterclockwise by 270 degrees.
+	R270
+	// MX mirrors across the X axis (y -> -y).
+	MX
+	// MX90 mirrors across X then rotates 90 degrees CCW.
+	MX90
+	// MY mirrors across the Y axis (x -> -x).
+	MY
+	// MY90 mirrors across Y then rotates 90 degrees CCW.
+	MY90
+
+	numOrients = 8
+)
+
+var orientNames = [numOrients]string{"R0", "R90", "R180", "R270", "MX", "MX90", "MY", "MY90"}
+
+// String names the orientation (R0, R90, ..., MY90).
+func (o Orient) String() string {
+	if int(o) < len(orientNames) {
+		return orientNames[o]
+	}
+	return fmt.Sprintf("Orient(%d)", uint8(o))
+}
+
+// orientMatrix gives the 2x2 integer matrix {a,b,c,d} applying
+// x' = a*x + b*y ; y' = c*x + d*y for each orientation.
+var orientMatrix = [numOrients][4]Coord{
+	R0:   {1, 0, 0, 1},
+	R90:  {0, -1, 1, 0},
+	R180: {-1, 0, 0, -1},
+	R270: {0, 1, -1, 0},
+	MX:   {1, 0, 0, -1},
+	MX90: {0, 1, 1, 0},
+	MY:   {-1, 0, 0, 1},
+	MY90: {0, -1, -1, 0},
+}
+
+// Apply transforms a point by the orientation about the origin.
+func (o Orient) Apply(p Point) Point {
+	m := orientMatrix[o]
+	return Point{m[0]*p.X + m[1]*p.Y, m[2]*p.X + m[3]*p.Y}
+}
+
+// compose finds the orientation equivalent to applying a first, then b.
+func composeOrient(a, b Orient) Orient {
+	ma, mb := orientMatrix[a], orientMatrix[b]
+	// product mb*ma since b is applied after a.
+	p := [4]Coord{
+		mb[0]*ma[0] + mb[1]*ma[2], mb[0]*ma[1] + mb[1]*ma[3],
+		mb[2]*ma[0] + mb[3]*ma[2], mb[2]*ma[1] + mb[3]*ma[3],
+	}
+	for o, m := range orientMatrix {
+		if m == p {
+			return Orient(o)
+		}
+	}
+	panic("geom: orientation composition fell outside the group") // unreachable
+}
+
+// Inverse returns the orientation that undoes o.
+func (o Orient) Inverse() Orient {
+	for inv := Orient(0); inv < numOrients; inv++ {
+		if composeOrient(o, inv) == R0 {
+			return inv
+		}
+	}
+	panic("geom: orientation without inverse") // unreachable
+}
+
+// SwapsAxes reports whether o maps horizontal extents to vertical ones
+// (i.e. it includes an odd rotation).
+func (o Orient) SwapsAxes() bool {
+	m := orientMatrix[o]
+	return m[0] == 0
+}
+
+// Transform is an orientation about the origin followed by a translation:
+// p' = Orient(p) + Offset. Transforms compose associatively and every
+// transform has an exact integer inverse.
+type Transform struct {
+	Orient Orient
+	Offset Point
+}
+
+// Identity is the do-nothing transform.
+var Identity = Transform{}
+
+// Translate builds a pure translation.
+func Translate(x, y Coord) Transform { return Transform{R0, Point{x, y}} }
+
+// At builds a transform with the given orientation and offset.
+func At(o Orient, x, y Coord) Transform { return Transform{o, Point{x, y}} }
+
+// Apply maps a point through the transform.
+func (t Transform) Apply(p Point) Point {
+	return t.Orient.Apply(p).Add(t.Offset)
+}
+
+// ApplyRect maps a rectangle through the transform, renormalizing corners.
+func (t Transform) ApplyRect(r Rect) Rect {
+	a := t.Apply(Point{r.MinX, r.MinY})
+	b := t.Apply(Point{r.MaxX, r.MaxY})
+	return R(a.X, a.Y, b.X, b.Y)
+}
+
+// Then returns the transform equivalent to applying t first, then u.
+func (t Transform) Then(u Transform) Transform {
+	return Transform{
+		Orient: composeOrient(t.Orient, u.Orient),
+		Offset: u.Orient.Apply(t.Offset).Add(u.Offset),
+	}
+}
+
+// Inverse returns the transform that undoes t.
+func (t Transform) Inverse() Transform {
+	inv := t.Orient.Inverse()
+	return Transform{
+		Orient: inv,
+		Offset: inv.Apply(Point{-t.Offset.X, -t.Offset.Y}),
+	}
+}
+
+// String renders the transform as "ORIENT+(x,y)".
+func (t Transform) String() string {
+	return fmt.Sprintf("%s+%s", t.Orient, t.Offset)
+}

@@ -1,0 +1,151 @@
+// Package layer defines the nMOS mask layer set used by Bristle Blocks and
+// the Mead & Conway lambda design rules over those layers. This is the 1979
+// structured-design process the paper targets: diffusion, polysilicon, a
+// single metal layer, depletion implant, contact cuts, buried contacts, and
+// overglass.
+package layer
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/geom"
+)
+
+// Layer identifies one mask layer.
+type Layer uint8
+
+const (
+	// Diff is the diffusion (green) layer.
+	Diff Layer = iota
+	// Poly is the polysilicon (red) layer.
+	Poly
+	// Metal is the single metal (blue) layer.
+	Metal
+	// Implant is the depletion-mode implant (yellow) layer.
+	Implant
+	// Contact is the contact cut (black) layer connecting metal to poly or
+	// diffusion.
+	Contact
+	// Buried is the buried contact (brown) layer connecting poly directly to
+	// diffusion without metal.
+	Buried
+	// Glass is the overglass cut layer exposing pad metal for bonding.
+	Glass
+
+	// NumLayers counts the mask layers.
+	NumLayers
+)
+
+var layerInfo = [NumLayers]struct {
+	name string
+	cif  string
+}{
+	Diff:    {"diff", "ND"},
+	Poly:    {"poly", "NP"},
+	Metal:   {"metal", "NM"},
+	Implant: {"implant", "NI"},
+	Contact: {"contact", "NC"},
+	Buried:  {"buried", "NB"},
+	Glass:   {"glass", "NG"},
+}
+
+// Name returns the lowercase human name of the layer.
+func (l Layer) Name() string {
+	if l < NumLayers {
+		return layerInfo[l].name
+	}
+	return fmt.Sprintf("layer(%d)", uint8(l))
+}
+
+// CIF returns the Caltech Intermediate Form layer name (the standard nMOS
+// "N*" names from the Mead & Conway text).
+func (l Layer) CIF() string {
+	if l < NumLayers {
+		return layerInfo[l].cif
+	}
+	return "N?"
+}
+
+// String is the layer name.
+func (l Layer) String() string { return l.Name() }
+
+// ByCIF resolves a CIF layer name back to a Layer.
+func ByCIF(name string) (Layer, bool) {
+	for l := Layer(0); l < NumLayers; l++ {
+		if layerInfo[l].cif == name {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// All returns every mask layer in definition order.
+func All() []Layer {
+	out := make([]Layer, NumLayers)
+	for i := range out {
+		out[i] = Layer(i)
+	}
+	return out
+}
+
+// Conducting reports whether shapes on the layer carry signal (participate
+// in connectivity extraction).
+func (l Layer) Conducting() bool {
+	return l == Diff || l == Poly || l == Metal
+}
+
+// Rules holds the lambda design rules, expressed in quarter-lambda quanta
+// (see geom.Lambda). These are the classic Mead & Conway nMOS rules.
+type Rules struct {
+	// MinWidth is the minimum drawn width per layer.
+	MinWidth [NumLayers]geom.Coord
+	// MinSpace is the minimum same-layer spacing between electrically
+	// distinct shapes.
+	MinSpace [NumLayers]geom.Coord
+	// PolyDiffSpace is the minimum spacing between unrelated poly and
+	// diffusion edges (1 lambda).
+	PolyDiffSpace geom.Coord
+	// GateExtension is how far poly must extend past diffusion at a
+	// transistor gate (2 lambda).
+	GateExtension geom.Coord
+	// DiffGateExtension is how far diffusion must extend past the gate to
+	// form source/drain (2 lambda).
+	DiffGateExtension geom.Coord
+	// ContactSize is the drawn contact cut size (2 lambda square).
+	ContactSize geom.Coord
+	// ContactSurround is the required surround of contact cuts by the
+	// connected layers (1 lambda).
+	ContactSurround geom.Coord
+	// ImplantGateSurround is the required implant overlap of a depletion
+	// gate (1.5 lambda, representable exactly in quanta).
+	ImplantGateSurround geom.Coord
+}
+
+// MeadConway returns the standard nMOS rule set from "Introduction to VLSI
+// Systems" (1978), in quanta.
+func MeadConway() *Rules {
+	r := &Rules{
+		PolyDiffSpace:       geom.L(1),
+		GateExtension:       geom.L(2),
+		DiffGateExtension:   geom.L(2),
+		ContactSize:         geom.L(2),
+		ContactSurround:     geom.L(1),
+		ImplantGateSurround: geom.HalfL(3),
+	}
+	r.MinWidth[Diff] = geom.L(2)
+	r.MinWidth[Poly] = geom.L(2)
+	r.MinWidth[Metal] = geom.L(3)
+	r.MinWidth[Implant] = geom.L(2)
+	r.MinWidth[Contact] = geom.L(2)
+	r.MinWidth[Buried] = geom.L(2)
+	r.MinWidth[Glass] = geom.L(10)
+
+	r.MinSpace[Diff] = geom.L(3)
+	r.MinSpace[Poly] = geom.L(2)
+	r.MinSpace[Metal] = geom.L(3)
+	r.MinSpace[Implant] = geom.L(2)
+	r.MinSpace[Contact] = geom.L(2)
+	r.MinSpace[Buried] = geom.L(2)
+	r.MinSpace[Glass] = geom.L(10)
+	return r
+}

@@ -1,0 +1,90 @@
+package layer
+
+import (
+	"testing"
+
+	"bristleblocks/internal/geom"
+)
+
+func TestNamesAndCIF(t *testing.T) {
+	cases := []struct {
+		l    Layer
+		name string
+		cif  string
+	}{
+		{Diff, "diff", "ND"},
+		{Poly, "poly", "NP"},
+		{Metal, "metal", "NM"},
+		{Implant, "implant", "NI"},
+		{Contact, "contact", "NC"},
+		{Buried, "buried", "NB"},
+		{Glass, "glass", "NG"},
+	}
+	for _, c := range cases {
+		if c.l.Name() != c.name {
+			t.Errorf("%v.Name() = %q, want %q", c.l, c.l.Name(), c.name)
+		}
+		if c.l.CIF() != c.cif {
+			t.Errorf("%v.CIF() = %q, want %q", c.l, c.l.CIF(), c.cif)
+		}
+		back, ok := ByCIF(c.cif)
+		if !ok || back != c.l {
+			t.Errorf("ByCIF(%q) = %v,%v", c.cif, back, ok)
+		}
+	}
+	if _, ok := ByCIF("XX"); ok {
+		t.Error("ByCIF should reject unknown names")
+	}
+	if Layer(200).Name() == "" || Layer(200).CIF() != "N?" {
+		t.Error("out-of-range layer should degrade gracefully")
+	}
+}
+
+func TestAll(t *testing.T) {
+	all := All()
+	if len(all) != int(NumLayers) {
+		t.Fatalf("All() returned %d layers", len(all))
+	}
+	for i, l := range all {
+		if l != Layer(i) {
+			t.Errorf("All()[%d] = %v", i, l)
+		}
+	}
+}
+
+func TestConducting(t *testing.T) {
+	want := map[Layer]bool{
+		Diff: true, Poly: true, Metal: true,
+		Implant: false, Contact: false, Buried: false, Glass: false,
+	}
+	for l, w := range want {
+		if l.Conducting() != w {
+			t.Errorf("%v.Conducting() = %v, want %v", l, l.Conducting(), w)
+		}
+	}
+}
+
+func TestMeadConwayRules(t *testing.T) {
+	r := MeadConway()
+	if r.MinWidth[Diff] != geom.L(2) || r.MinWidth[Metal] != geom.L(3) {
+		t.Error("min widths wrong")
+	}
+	if r.MinSpace[Diff] != geom.L(3) || r.MinSpace[Poly] != geom.L(2) {
+		t.Error("min spacings wrong")
+	}
+	if r.GateExtension != geom.L(2) {
+		t.Error("gate extension wrong")
+	}
+	if r.ImplantGateSurround != geom.HalfL(3) {
+		t.Error("implant surround should be 1.5 lambda")
+	}
+	// Every layer must have a positive width and spacing rule.
+	for l := Layer(0); l < NumLayers; l++ {
+		if r.MinWidth[l] <= 0 {
+			t.Errorf("layer %v missing width rule", l)
+		}
+		if r.MinSpace[l] <= 0 {
+			t.Errorf("layer %v missing spacing rule", l)
+		}
+	}
+}

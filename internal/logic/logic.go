@@ -1,0 +1,269 @@
+// Package logic implements the Logic level of representation: a gate-level
+// view of the chip "in the TTL style", plus evaluation so logic diagrams can
+// be checked for equivalence against the circuits they describe.
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is a gate type.
+type Kind uint8
+
+const (
+	// Inv is an inverter.
+	Inv Kind = iota
+	// Buf is a non-inverting buffer.
+	Buf
+	// Nand is a NAND gate of any arity.
+	Nand
+	// Nor is a NOR gate of any arity.
+	Nor
+	// And is an AND gate of any arity.
+	And
+	// Or is an OR gate of any arity.
+	Or
+	// Xor is a two-input exclusive-or.
+	Xor
+	// Latch is a transparent latch: output follows input 0 while input 1
+	// (the enable) is high, and holds otherwise.
+	Latch
+)
+
+var kindNames = map[Kind]string{
+	Inv: "INV", Buf: "BUF", Nand: "NAND", Nor: "NOR",
+	And: "AND", Or: "OR", Xor: "XOR", Latch: "LATCH",
+}
+
+// String names the gate kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Gate is one logic element.
+type Gate struct {
+	Kind   Kind
+	Inputs []string
+	Output string
+}
+
+// Diagram is a gate-level netlist with declared external ports.
+type Diagram struct {
+	Gates   []Gate
+	Inputs  []string
+	Outputs []string
+}
+
+// AddGate appends a gate.
+func (d *Diagram) AddGate(k Kind, output string, inputs ...string) {
+	d.Gates = append(d.Gates, Gate{k, append([]string(nil), inputs...), output})
+}
+
+// Copy returns a deep copy.
+func (d *Diagram) Copy() *Diagram {
+	out := &Diagram{
+		Inputs:  append([]string(nil), d.Inputs...),
+		Outputs: append([]string(nil), d.Outputs...),
+	}
+	for _, g := range d.Gates {
+		out.Gates = append(out.Gates, Gate{g.Kind, append([]string(nil), g.Inputs...), g.Output})
+	}
+	return out
+}
+
+// Merge appends other's gates and ports (deduplicating ports).
+func (d *Diagram) Merge(other *Diagram) {
+	d.Gates = append(d.Gates, other.Gates...)
+	d.Inputs = dedupStrings(append(d.Inputs, other.Inputs...))
+	d.Outputs = dedupStrings(append(d.Outputs, other.Outputs...))
+}
+
+// Rename rewrites every net through the mapping.
+func (d *Diagram) Rename(m map[string]string) {
+	get := func(s string) string {
+		if r, ok := m[s]; ok {
+			return r
+		}
+		return s
+	}
+	for i := range d.Gates {
+		d.Gates[i].Output = get(d.Gates[i].Output)
+		for j := range d.Gates[i].Inputs {
+			d.Gates[i].Inputs[j] = get(d.Gates[i].Inputs[j])
+		}
+	}
+	for i := range d.Inputs {
+		d.Inputs[i] = get(d.Inputs[i])
+	}
+	for i := range d.Outputs {
+		d.Outputs[i] = get(d.Outputs[i])
+	}
+}
+
+func dedupStrings(ss []string) []string {
+	seen := make(map[string]bool, len(ss))
+	out := ss[:0]
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Validate checks that no net is driven by two gates and every gate input
+// is either an external input, a constant, or some gate's output.
+func (d *Diagram) Validate() error {
+	driven := make(map[string]bool)
+	for _, g := range d.Gates {
+		if driven[g.Output] {
+			return fmt.Errorf("net %q driven by multiple gates", g.Output)
+		}
+		driven[g.Output] = true
+	}
+	ext := make(map[string]bool)
+	for _, in := range d.Inputs {
+		ext[in] = true
+	}
+	for _, g := range d.Gates {
+		for _, in := range g.Inputs {
+			if !driven[in] && !ext[in] && in != "0" && in != "1" {
+				return fmt.Errorf("gate %v input %q is undriven", g.Kind, in)
+			}
+		}
+	}
+	for _, out := range d.Outputs {
+		if !driven[out] && !ext[out] {
+			return fmt.Errorf("output %q is undriven", out)
+		}
+	}
+	return nil
+}
+
+// Eval computes all net values given external input values, by relaxation
+// to a fixed point (correct for acyclic combinational logic; latches use
+// prev as their held state). Constants "0" and "1" are implicit. It returns
+// an error if the network does not settle (a combinational cycle).
+func (d *Diagram) Eval(inputs map[string]bool, prev map[string]bool) (map[string]bool, error) {
+	val := make(map[string]bool, len(inputs)+len(d.Gates))
+	known := make(map[string]bool, len(inputs)+len(d.Gates))
+	for k, v := range inputs {
+		val[k], known[k] = v, true
+	}
+	val["1"], known["1"] = true, true
+	val["0"], known["0"] = false, true
+
+	for pass := 0; pass <= len(d.Gates)+1; pass++ {
+		changed := false
+		for _, g := range d.Gates {
+			ins := make([]bool, len(g.Inputs))
+			ready := true
+			for i, in := range g.Inputs {
+				v, ok := val[in], known[in]
+				if !ok {
+					ready = false
+					break
+				}
+				ins[i] = v
+			}
+			if !ready {
+				continue
+			}
+			out, err := evalGate(g, ins, prev)
+			if err != nil {
+				return nil, err
+			}
+			if !known[g.Output] || val[g.Output] != out {
+				val[g.Output], known[g.Output] = out, true
+				changed = true
+			}
+		}
+		if !changed {
+			// Verify everything resolved.
+			for _, g := range d.Gates {
+				if !known[g.Output] {
+					return nil, fmt.Errorf("net %q never settled (combinational cycle?)", g.Output)
+				}
+			}
+			return val, nil
+		}
+	}
+	return nil, fmt.Errorf("logic network did not reach a fixed point")
+}
+
+func evalGate(g Gate, ins []bool, prev map[string]bool) (bool, error) {
+	switch g.Kind {
+	case Inv:
+		if len(ins) != 1 {
+			return false, fmt.Errorf("INV wants 1 input, got %d", len(ins))
+		}
+		return !ins[0], nil
+	case Buf:
+		if len(ins) != 1 {
+			return false, fmt.Errorf("BUF wants 1 input, got %d", len(ins))
+		}
+		return ins[0], nil
+	case Nand, And:
+		all := true
+		for _, v := range ins {
+			all = all && v
+		}
+		if g.Kind == Nand {
+			return !all, nil
+		}
+		return all, nil
+	case Nor, Or:
+		any := false
+		for _, v := range ins {
+			any = any || v
+		}
+		if g.Kind == Nor {
+			return !any, nil
+		}
+		return any, nil
+	case Xor:
+		if len(ins) != 2 {
+			return false, fmt.Errorf("XOR wants 2 inputs, got %d", len(ins))
+		}
+		return ins[0] != ins[1], nil
+	case Latch:
+		if len(ins) != 2 {
+			return false, fmt.Errorf("LATCH wants data,enable inputs, got %d", len(ins))
+		}
+		if ins[1] {
+			return ins[0], nil
+		}
+		if prev != nil {
+			return prev[g.Output], nil
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown gate kind %v", g.Kind)
+	}
+}
+
+// Render prints the diagram in a TTL-databook text style: ports first, then
+// one line per gate, topologically grouped by level where possible.
+func (d *Diagram) Render() string {
+	var sb strings.Builder
+	if len(d.Inputs) > 0 {
+		ins := append([]string(nil), d.Inputs...)
+		sort.Strings(ins)
+		fmt.Fprintf(&sb, "inputs:  %s\n", strings.Join(ins, " "))
+	}
+	if len(d.Outputs) > 0 {
+		outs := append([]string(nil), d.Outputs...)
+		sort.Strings(outs)
+		fmt.Fprintf(&sb, "outputs: %s\n", strings.Join(outs, " "))
+	}
+	for _, g := range d.Gates {
+		fmt.Fprintf(&sb, "  %-5s %-12s <- %s\n", g.Kind, g.Output, strings.Join(g.Inputs, ", "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,172 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalBasicGates(t *testing.T) {
+	d := &Diagram{Inputs: []string{"a", "b"}}
+	d.AddGate(Inv, "na", "a")
+	d.AddGate(Buf, "ba", "a")
+	d.AddGate(Nand, "nab", "a", "b")
+	d.AddGate(Nor, "rab", "a", "b")
+	d.AddGate(And, "aab", "a", "b")
+	d.AddGate(Or, "oab", "a", "b")
+	d.AddGate(Xor, "xab", "a", "b")
+	d.Outputs = []string{"na", "nab"}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, c := range []struct{ a, b bool }{{false, false}, {false, true}, {true, false}, {true, true}} {
+		v, err := d.Eval(map[string]bool{"a": c.a, "b": c.b}, nil)
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		if v["na"] != !c.a || v["ba"] != c.a {
+			t.Errorf("inv/buf wrong at %v", c)
+		}
+		if v["nab"] != !(c.a && c.b) || v["aab"] != (c.a && c.b) {
+			t.Errorf("nand/and wrong at %v", c)
+		}
+		if v["rab"] != !(c.a || c.b) || v["oab"] != (c.a || c.b) {
+			t.Errorf("nor/or wrong at %v", c)
+		}
+		if v["xab"] != (c.a != c.b) {
+			t.Errorf("xor wrong at %v", c)
+		}
+	}
+}
+
+func TestEvalChainedLogic(t *testing.T) {
+	// Full adder from two half adders; gates listed out of topological
+	// order on purpose to exercise relaxation.
+	d := &Diagram{Inputs: []string{"a", "b", "cin"}, Outputs: []string{"sum", "cout"}}
+	d.AddGate(Or, "cout", "c1", "c2")
+	d.AddGate(Xor, "sum", "s1", "cin")
+	d.AddGate(And, "c2", "s1", "cin")
+	d.AddGate(Xor, "s1", "a", "b")
+	d.AddGate(And, "c1", "a", "b")
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	f := func(a, b, cin bool) bool {
+		v, err := d.Eval(map[string]bool{"a": a, "b": b, "cin": cin}, nil)
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, x := range []bool{a, b, cin} {
+			if x {
+				n++
+			}
+		}
+		return v["sum"] == (n%2 == 1) && v["cout"] == (n >= 2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalConstants(t *testing.T) {
+	d := &Diagram{}
+	d.AddGate(And, "x", "1", "1")
+	d.AddGate(Or, "y", "0", "x")
+	v, err := d.Eval(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v["x"] || !v["y"] {
+		t.Error("constants wrong")
+	}
+}
+
+func TestLatchHold(t *testing.T) {
+	d := &Diagram{Inputs: []string{"d", "en"}}
+	d.AddGate(Latch, "q", "d", "en")
+	// Transparent when enabled.
+	v, err := d.Eval(map[string]bool{"d": true, "en": true}, nil)
+	if err != nil || !v["q"] {
+		t.Fatalf("latch transparent failed: %v %v", v, err)
+	}
+	// Holds previous value when disabled.
+	v2, err := d.Eval(map[string]bool{"d": false, "en": false}, v)
+	if err != nil || !v2["q"] {
+		t.Fatalf("latch hold failed: %v %v", v2, err)
+	}
+	// No prev state defaults to false.
+	v3, err := d.Eval(map[string]bool{"d": true, "en": false}, nil)
+	if err != nil || v3["q"] {
+		t.Fatalf("latch default failed: %v %v", v3, err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := &Diagram{}
+	d.AddGate(Inv, "x", "a")
+	if err := d.Validate(); err == nil {
+		t.Error("undriven input should fail")
+	}
+	d2 := &Diagram{Inputs: []string{"a"}}
+	d2.AddGate(Inv, "x", "a")
+	d2.AddGate(Buf, "x", "a")
+	if err := d2.Validate(); err == nil {
+		t.Error("double-driven net should fail")
+	}
+	d3 := &Diagram{Inputs: []string{"a"}, Outputs: []string{"z"}}
+	d3.AddGate(Inv, "x", "a")
+	if err := d3.Validate(); err == nil {
+		t.Error("undriven output should fail")
+	}
+}
+
+func TestEvalCycleDetected(t *testing.T) {
+	d := &Diagram{}
+	d.AddGate(Inv, "a", "b")
+	d.AddGate(Inv, "b", "a")
+	if _, err := d.Eval(nil, nil); err == nil {
+		t.Error("oscillating cycle should be detected")
+	}
+}
+
+func TestEvalArityErrors(t *testing.T) {
+	d := &Diagram{Inputs: []string{"a", "b", "c"}}
+	d.AddGate(Xor, "x", "a", "b", "c")
+	if _, err := d.Eval(map[string]bool{"a": true, "b": true, "c": true}, nil); err == nil {
+		t.Error("3-input XOR should error")
+	}
+}
+
+func TestRenameMergeCopy(t *testing.T) {
+	d := &Diagram{Inputs: []string{"a"}, Outputs: []string{"x"}}
+	d.AddGate(Inv, "x", "a")
+	cp := d.Copy()
+	cp.Rename(map[string]string{"a": "in", "x": "out"})
+	if d.Gates[0].Inputs[0] != "a" {
+		t.Error("Rename leaked into original")
+	}
+	if cp.Gates[0].Inputs[0] != "in" || cp.Outputs[0] != "out" {
+		t.Error("Rename incomplete")
+	}
+	d.Merge(cp)
+	if len(d.Gates) != 2 || len(d.Inputs) != 2 {
+		t.Errorf("Merge: %d gates, inputs %v", len(d.Gates), d.Inputs)
+	}
+	d.Merge(cp) // ports must not duplicate
+	if len(d.Inputs) != 2 {
+		t.Errorf("Merge duplicated ports: %v", d.Inputs)
+	}
+}
+
+func TestRender(t *testing.T) {
+	d := &Diagram{Inputs: []string{"b", "a"}, Outputs: []string{"x"}}
+	d.AddGate(Nand, "x", "a", "b")
+	out := d.Render()
+	if !strings.Contains(out, "inputs:  a b") {
+		t.Errorf("inputs line missing/unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, "NAND") || !strings.Contains(out, "<- a, b") {
+		t.Errorf("gate line wrong:\n%s", out)
+	}
+}

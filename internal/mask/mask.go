@@ -1,0 +1,295 @@
+// Package mask is the layout database: the Layout-level representation of a
+// chip. A mask cell holds geometric primitives (boxes, wires, polygons,
+// labels) on mask layers plus transformed references to other cells, exactly
+// the cell/instance hierarchy the paper describes ("cells may contain
+// geometrical primitives and references to other cells").
+package mask
+
+import (
+	"fmt"
+	"sort"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+)
+
+// Box is an axis-aligned rectangle on a mask layer.
+type Box struct {
+	Layer layer.Layer
+	R     geom.Rect
+}
+
+// Wire is a Manhattan path of the given width on a mask layer. The path is
+// the centerline; see geom.WireRects for its expansion to rectangles.
+type Wire struct {
+	Layer layer.Layer
+	Width geom.Coord
+	Path  []geom.Point
+}
+
+// Poly is a simple rectilinear polygon on a mask layer.
+type Poly struct {
+	Layer layer.Layer
+	Pts   geom.Polygon
+}
+
+// Label is a named point, used for net names and debugging; labels do not
+// print on masks.
+type Label struct {
+	Text  string
+	At    geom.Point
+	Layer layer.Layer
+}
+
+// Inst is a placed reference to another cell.
+type Inst struct {
+	Cell *Cell
+	T    geom.Transform
+	// Name optionally distinguishes multiple instances of the same cell.
+	Name string
+}
+
+// Cell is one node of the layout hierarchy.
+type Cell struct {
+	Name   string
+	Boxes  []Box
+	Wires  []Wire
+	Polys  []Poly
+	Labels []Label
+	Insts  []Inst
+}
+
+// NewCell returns an empty cell with the given name.
+func NewCell(name string) *Cell { return &Cell{Name: name} }
+
+// AddBox appends a box primitive; empty rects are ignored.
+func (c *Cell) AddBox(l layer.Layer, r geom.Rect) {
+	if r.Empty() {
+		return
+	}
+	c.Boxes = append(c.Boxes, Box{l, r})
+}
+
+// AddWire appends a wire primitive along path with the given width.
+func (c *Cell) AddWire(l layer.Layer, width geom.Coord, path ...geom.Point) {
+	if len(path) == 0 || width <= 0 {
+		return
+	}
+	cp := make([]geom.Point, len(path))
+	copy(cp, path)
+	c.Wires = append(c.Wires, Wire{l, width, cp})
+}
+
+// AddPoly appends a rectilinear polygon primitive.
+func (c *Cell) AddPoly(l layer.Layer, pts geom.Polygon) error {
+	if err := pts.Validate(); err != nil {
+		return fmt.Errorf("cell %s: %w", c.Name, err)
+	}
+	cp := make(geom.Polygon, len(pts))
+	copy(cp, pts)
+	c.Polys = append(c.Polys, Poly{l, cp})
+	return nil
+}
+
+// AddLabel appends a label.
+func (c *Cell) AddLabel(text string, at geom.Point, l layer.Layer) {
+	c.Labels = append(c.Labels, Label{text, at, l})
+}
+
+// Place adds an instance of sub at the given transform.
+func (c *Cell) Place(sub *Cell, t geom.Transform) *Inst {
+	c.Insts = append(c.Insts, Inst{Cell: sub, T: t})
+	return &c.Insts[len(c.Insts)-1]
+}
+
+// PlaceNamed adds a named instance of sub at the given transform.
+func (c *Cell) PlaceNamed(name string, sub *Cell, t geom.Transform) *Inst {
+	c.Insts = append(c.Insts, Inst{Cell: sub, T: t, Name: name})
+	return &c.Insts[len(c.Insts)-1]
+}
+
+// IsLeaf reports whether the cell contains no instances.
+func (c *Cell) IsLeaf() bool { return len(c.Insts) == 0 }
+
+// Copy returns a deep copy of the cell's primitives. Instances are copied
+// shallowly (they still reference the same subcells), which is what the
+// stretch engine needs: leaf geometry is private, hierarchy is shared.
+func (c *Cell) Copy() *Cell {
+	out := &Cell{Name: c.Name}
+	out.Boxes = append([]Box(nil), c.Boxes...)
+	out.Wires = make([]Wire, len(c.Wires))
+	for i, w := range c.Wires {
+		out.Wires[i] = Wire{w.Layer, w.Width, append([]geom.Point(nil), w.Path...)}
+	}
+	out.Polys = make([]Poly, len(c.Polys))
+	for i, p := range c.Polys {
+		out.Polys[i] = Poly{p.Layer, append(geom.Polygon(nil), p.Pts...)}
+	}
+	out.Labels = append([]Label(nil), c.Labels...)
+	out.Insts = append([]Inst(nil), c.Insts...)
+	return out
+}
+
+// localRects appends this cell's own primitive rectangles (no instances) to
+// visit, transformed through t.
+func (c *Cell) localRects(t geom.Transform, visit func(layer.Layer, geom.Rect)) {
+	for _, b := range c.Boxes {
+		visit(b.Layer, t.ApplyRect(b.R))
+	}
+	for _, w := range c.Wires {
+		for _, r := range geom.WireRects(w.Path, w.Width) {
+			visit(w.Layer, t.ApplyRect(r))
+		}
+	}
+	for _, p := range c.Polys {
+		for _, r := range p.Pts.Transform(t).Rects() {
+			visit(p.Layer, r)
+		}
+	}
+}
+
+// Flatten walks the full hierarchy under c, invoking visit for every
+// primitive rectangle in the coordinate space of c.
+func (c *Cell) Flatten(visit func(layer.Layer, geom.Rect)) {
+	c.flatten(geom.Identity, visit)
+}
+
+func (c *Cell) flatten(t geom.Transform, visit func(layer.Layer, geom.Rect)) {
+	c.localRects(t, visit)
+	for _, in := range c.Insts {
+		in.Cell.flatten(in.T.Then(t), visit)
+	}
+}
+
+// LBox is a layer-tagged rectangle produced by flattening.
+type LBox struct {
+	Layer layer.Layer
+	R     geom.Rect
+}
+
+// FlatRects flattens the hierarchy into a slice of layer-tagged rectangles.
+func (c *Cell) FlatRects() []LBox {
+	var out []LBox
+	c.Flatten(func(l layer.Layer, r geom.Rect) {
+		out = append(out, LBox{l, r})
+	})
+	return out
+}
+
+// BBox returns the bounding box of all geometry under c.
+func (c *Cell) BBox() geom.Rect {
+	var bb geom.Rect
+	c.Flatten(func(_ layer.Layer, r geom.Rect) {
+		bb = bb.Union(r)
+	})
+	return bb
+}
+
+// AreaByLayer computes the union area (overlaps counted once) of each layer
+// in the flattened cell, in square quanta.
+func (c *Cell) AreaByLayer() map[layer.Layer]int64 {
+	rects := make(map[layer.Layer][]geom.Rect)
+	c.Flatten(func(l layer.Layer, r geom.Rect) {
+		rects[l] = append(rects[l], r)
+	})
+	out := make(map[layer.Layer]int64, len(rects))
+	for l, rs := range rects {
+		out[l] = geom.UnionArea(rs)
+	}
+	return out
+}
+
+// Stats summarizes the size of a layout hierarchy.
+type Stats struct {
+	Cells      int // distinct cells
+	Insts      int // placed instances (flattened count)
+	FlatRects  int // primitive rectangles after flattening
+	LocalPrims int // primitives summed over distinct cells
+}
+
+// GatherStats computes Stats for the hierarchy rooted at c.
+func (c *Cell) GatherStats() Stats {
+	seen := make(map[*Cell]bool)
+	var s Stats
+	var walkDefs func(*Cell)
+	walkDefs = func(cc *Cell) {
+		if seen[cc] {
+			return
+		}
+		seen[cc] = true
+		s.Cells++
+		s.LocalPrims += len(cc.Boxes) + len(cc.Wires) + len(cc.Polys)
+		for _, in := range cc.Insts {
+			walkDefs(in.Cell)
+		}
+	}
+	walkDefs(c)
+	var countInsts func(*Cell)
+	countInsts = func(cc *Cell) {
+		for _, in := range cc.Insts {
+			s.Insts++
+			countInsts(in.Cell)
+		}
+	}
+	countInsts(c)
+	c.Flatten(func(layer.Layer, geom.Rect) { s.FlatRects++ })
+	return s
+}
+
+// CollectCells returns every distinct cell in the hierarchy rooted at c,
+// children before parents (a valid definition order for CIF emission),
+// with deterministic ordering among siblings.
+func (c *Cell) CollectCells() []*Cell {
+	var order []*Cell
+	seen := make(map[*Cell]bool)
+	var walk func(*Cell)
+	walk = func(cc *Cell) {
+		if seen[cc] {
+			return
+		}
+		seen[cc] = true
+		kids := append([]Inst(nil), cc.Insts...)
+		sort.SliceStable(kids, func(i, j int) bool { return kids[i].Cell.Name < kids[j].Cell.Name })
+		for _, in := range kids {
+			walk(in.Cell)
+		}
+		order = append(order, cc)
+	}
+	walk(c)
+	return order
+}
+
+// RectsOnLayer flattens and returns only the rectangles on the given layer.
+func (c *Cell) RectsOnLayer(l layer.Layer) []geom.Rect {
+	var out []geom.Rect
+	c.Flatten(func(ll layer.Layer, r geom.Rect) {
+		if ll == l {
+			out = append(out, r)
+		}
+	})
+	return out
+}
+
+// FlatLabel is a label carried into top-level coordinates by flattening.
+type FlatLabel struct {
+	Text  string
+	At    geom.Point
+	Layer layer.Layer
+}
+
+// FlatLabels collects every label in the hierarchy, transformed into the
+// coordinate space of c.
+func (c *Cell) FlatLabels() []FlatLabel {
+	var out []FlatLabel
+	var walk func(*Cell, geom.Transform)
+	walk = func(cc *Cell, t geom.Transform) {
+		for _, lb := range cc.Labels {
+			out = append(out, FlatLabel{lb.Text, t.Apply(lb.At), lb.Layer})
+		}
+		for _, in := range cc.Insts {
+			walk(in.Cell, in.T.Then(t))
+		}
+	}
+	walk(c, geom.Identity)
+	return out
+}

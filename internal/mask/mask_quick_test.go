@@ -1,0 +1,78 @@
+package mask
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+)
+
+// TestQuickFlattenPreservesArea: placing a leaf under any of the eight
+// orientations and any translation preserves its per-layer geometry area —
+// transforms are rigid.
+func TestQuickFlattenPreservesArea(t *testing.T) {
+	f := func(orient uint8, tx, ty int16, w, h uint8) bool {
+		leaf := NewCell("leaf")
+		rw := geom.Coord(w%40) + 4
+		rh := geom.Coord(h%40) + 4
+		leaf.AddBox(layer.Poly, geom.R(0, 0, rw, rh))
+		leaf.AddBox(layer.Metal, geom.R(8, 8, 8+rw, 8+rh))
+
+		top := NewCell("top")
+		top.PlaceNamed("i", leaf, geom.At(geom.Orient(orient%8), geom.Coord(tx), geom.Coord(ty)))
+
+		for _, l := range []layer.Layer{layer.Poly, layer.Metal} {
+			var leafA, topA int64
+			for _, r := range leaf.RectsOnLayer(l) {
+				leafA += r.Area()
+			}
+			for _, r := range top.RectsOnLayer(l) {
+				topA += r.Area()
+			}
+			if leafA != topA {
+				t.Logf("layer %s: leaf %d, flattened %d", l.Name(), leafA, topA)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBBoxTransformCommutes: the bbox of a transformed instance equals
+// the transform applied to the leaf's bbox.
+func TestQuickBBoxTransformCommutes(t *testing.T) {
+	f := func(orient uint8, tx, ty int16, w, h uint8) bool {
+		leaf := NewCell("leaf")
+		leaf.AddBox(layer.Diff, geom.R(2, 6, geom.Coord(w%50)+6, geom.Coord(h%50)+10))
+		tr := geom.At(geom.Orient(orient%8), geom.Coord(tx), geom.Coord(ty))
+		top := NewCell("top")
+		top.PlaceNamed("i", leaf, tr)
+		return top.BBox() == tr.ApplyRect(leaf.BBox())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDoubleMirrorIsIdentity: placing with MX twice (nested cells)
+// returns geometry to its original location.
+func TestQuickDoubleMirrorIsIdentity(t *testing.T) {
+	f := func(w, h uint8) bool {
+		leaf := NewCell("leaf")
+		box := geom.R(4, 4, geom.Coord(w%30)+8, geom.Coord(h%30)+8)
+		leaf.AddBox(layer.Metal, box)
+		mid := NewCell("mid")
+		mid.PlaceNamed("a", leaf, geom.At(geom.MX, 0, 0))
+		top := NewCell("top")
+		top.PlaceNamed("b", mid, geom.At(geom.MX, 0, 0))
+		rs := top.RectsOnLayer(layer.Metal)
+		return len(rs) == 1 && rs[0] == box
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

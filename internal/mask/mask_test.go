@@ -1,0 +1,175 @@
+package mask
+
+import (
+	"testing"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+)
+
+func unit(name string, l layer.Layer, w, h geom.Coord) *Cell {
+	c := NewCell(name)
+	c.AddBox(l, geom.RectWH(0, 0, w, h))
+	return c
+}
+
+func TestAddPrimitives(t *testing.T) {
+	c := NewCell("t")
+	c.AddBox(layer.Diff, geom.R(0, 0, 10, 10))
+	c.AddBox(layer.Diff, geom.Rect{}) // empty ignored
+	if len(c.Boxes) != 1 {
+		t.Fatalf("boxes = %d", len(c.Boxes))
+	}
+	c.AddWire(layer.Metal, 4, geom.Pt(0, 0), geom.Pt(20, 0))
+	c.AddWire(layer.Metal, 0, geom.Pt(0, 0)) // zero width ignored
+	c.AddWire(layer.Metal, 4)                // empty path ignored
+	if len(c.Wires) != 1 {
+		t.Fatalf("wires = %d", len(c.Wires))
+	}
+	if err := c.AddPoly(layer.Poly, geom.Polygon{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4)}); err != nil {
+		t.Fatalf("AddPoly: %v", err)
+	}
+	if err := c.AddPoly(layer.Poly, geom.Polygon{geom.Pt(0, 0), geom.Pt(4, 4), geom.Pt(0, 4), geom.Pt(0, 2)}); err == nil {
+		t.Error("diagonal polygon should be rejected")
+	}
+	c.AddLabel("vdd", geom.Pt(1, 1), layer.Metal)
+	if len(c.Labels) != 1 {
+		t.Error("label missing")
+	}
+}
+
+func TestFlattenHierarchy(t *testing.T) {
+	leaf := unit("leaf", layer.Diff, 10, 10)
+	mid := NewCell("mid")
+	mid.Place(leaf, geom.Translate(0, 0))
+	mid.Place(leaf, geom.Translate(20, 0))
+	top := NewCell("top")
+	top.Place(mid, geom.Translate(0, 0))
+	top.Place(mid, geom.At(geom.R180, 100, 100))
+
+	rects := top.FlatRects()
+	if len(rects) != 4 {
+		t.Fatalf("flat rects = %d, want 4", len(rects))
+	}
+	bb := top.BBox()
+	// Mid occupies [0,30)x[0,10); rotated copy at (100,100) occupies
+	// [70,100]x[90,100].
+	if bb != geom.R(0, 0, 100, 100) {
+		t.Errorf("bbox = %v", bb)
+	}
+	area := top.AreaByLayer()
+	if area[layer.Diff] != 400 {
+		t.Errorf("diff area = %d, want 400", area[layer.Diff])
+	}
+}
+
+func TestNestedTransformComposition(t *testing.T) {
+	leaf := NewCell("leaf")
+	leaf.AddBox(layer.Poly, geom.R(0, 0, 2, 6))
+	mid := NewCell("mid")
+	mid.Place(leaf, geom.At(geom.R90, 10, 0))
+	top := NewCell("top")
+	top.Place(mid, geom.At(geom.R90, 0, 0))
+
+	rects := top.FlatRects()
+	if len(rects) != 1 {
+		t.Fatalf("rects = %d", len(rects))
+	}
+	// leaf rect through R90+(10,0): (0,0)-(2,6) -> (4,0)-(10,2)... then R90
+	// again: total R180 + offset R90(10,0)=(0,10).
+	want := geom.Transform{Orient: geom.R180, Offset: geom.Pt(0, 10)}.ApplyRect(geom.R(0, 0, 2, 6))
+	if rects[0].R != want {
+		t.Errorf("composed rect = %v, want %v", rects[0].R, want)
+	}
+}
+
+func TestWireAndPolyFlatten(t *testing.T) {
+	c := NewCell("wp")
+	c.AddWire(layer.Metal, 4, geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10))
+	if err := c.AddPoly(layer.Diff, geom.Polygon{
+		geom.Pt(0, 20), geom.Pt(20, 20), geom.Pt(20, 30), geom.Pt(10, 30),
+		geom.Pt(10, 40), geom.Pt(0, 40),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	area := c.AreaByLayer()
+	if area[layer.Diff] != 300 {
+		t.Errorf("poly area = %d, want 300", area[layer.Diff])
+	}
+	if area[layer.Metal] != 14*4+14*4-16 {
+		t.Errorf("wire area = %d", area[layer.Metal])
+	}
+}
+
+func TestCopyIsolation(t *testing.T) {
+	orig := NewCell("o")
+	orig.AddBox(layer.Diff, geom.R(0, 0, 10, 10))
+	orig.AddWire(layer.Metal, 4, geom.Pt(0, 0), geom.Pt(10, 0))
+	cp := orig.Copy()
+	cp.Boxes[0].R = geom.R(0, 0, 99, 99)
+	cp.Wires[0].Path[0] = geom.Pt(5, 5)
+	if orig.Boxes[0].R != geom.R(0, 0, 10, 10) {
+		t.Error("copy shares box storage")
+	}
+	if orig.Wires[0].Path[0] != geom.Pt(0, 0) {
+		t.Error("copy shares wire path storage")
+	}
+}
+
+func TestGatherStats(t *testing.T) {
+	leaf := unit("leaf", layer.Diff, 10, 10)
+	mid := NewCell("mid")
+	mid.Place(leaf, geom.Translate(0, 0))
+	mid.Place(leaf, geom.Translate(20, 0))
+	top := NewCell("top")
+	top.Place(mid, geom.Translate(0, 0))
+	top.Place(mid, geom.Translate(0, 40))
+
+	s := top.GatherStats()
+	if s.Cells != 3 {
+		t.Errorf("cells = %d, want 3", s.Cells)
+	}
+	if s.Insts != 6 { // 2 mids + 2*2 leaves
+		t.Errorf("insts = %d, want 6", s.Insts)
+	}
+	if s.FlatRects != 4 {
+		t.Errorf("flat rects = %d, want 4", s.FlatRects)
+	}
+	if s.LocalPrims != 1 {
+		t.Errorf("local prims = %d, want 1", s.LocalPrims)
+	}
+}
+
+func TestCollectCellsOrder(t *testing.T) {
+	leaf := unit("leaf", layer.Diff, 4, 4)
+	mid := NewCell("mid")
+	mid.Place(leaf, geom.Identity)
+	top := NewCell("top")
+	top.Place(mid, geom.Identity)
+	top.Place(leaf, geom.Translate(50, 0))
+
+	order := top.CollectCells()
+	pos := make(map[string]int)
+	for i, c := range order {
+		pos[c.Name] = i
+	}
+	if len(order) != 3 {
+		t.Fatalf("collected %d cells", len(order))
+	}
+	if !(pos["leaf"] < pos["mid"] && pos["mid"] < pos["top"]) {
+		t.Errorf("definition order wrong: %v", pos)
+	}
+}
+
+func TestRectsOnLayer(t *testing.T) {
+	c := NewCell("c")
+	c.AddBox(layer.Diff, geom.R(0, 0, 4, 4))
+	c.AddBox(layer.Metal, geom.R(0, 0, 6, 6))
+	c.AddBox(layer.Diff, geom.R(10, 0, 14, 4))
+	if got := len(c.RectsOnLayer(layer.Diff)); got != 2 {
+		t.Errorf("diff rects = %d", got)
+	}
+	if got := len(c.RectsOnLayer(layer.Glass)); got != 0 {
+		t.Errorf("glass rects = %d", got)
+	}
+}

@@ -1,0 +1,143 @@
+// Package plot renders mask layouts to raster images — the reproduction's
+// stand-in for the era's check plots: every Caltech design cycle ended at
+// a plotter, and a downstream user wants to see the chip without hunting
+// for a CIF viewer.
+//
+// Layers draw in process order with translucent blending, so a transistor
+// reads as the familiar overlap of green diffusion under red polysilicon,
+// with blue metal and black contacts above.
+package plot
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+)
+
+// layerColor gives each mask layer its conventional check-plot color.
+func layerColor(l layer.Layer) (color.NRGBA, bool) {
+	switch l {
+	case layer.Diff:
+		return color.NRGBA{0x2e, 0xa0, 0x4e, 0xff}, true // green
+	case layer.Implant:
+		return color.NRGBA{0xd0, 0xc0, 0x30, 0xff}, true // yellow
+	case layer.Buried:
+		return color.NRGBA{0x8b, 0x5a, 0x2b, 0xff}, true // brown
+	case layer.Poly:
+		return color.NRGBA{0xc0, 0x30, 0x30, 0xff}, true // red
+	case layer.Metal:
+		return color.NRGBA{0x30, 0x60, 0xc0, 0xff}, true // blue
+	case layer.Contact:
+		return color.NRGBA{0x10, 0x10, 0x10, 0xff}, true // near-black
+	case layer.Glass:
+		return color.NRGBA{0x80, 0x80, 0x80, 0xff}, true // gray
+	default:
+		return color.NRGBA{}, false
+	}
+}
+
+// drawOrder is the bottom-up process order for blending.
+var drawOrder = []layer.Layer{
+	layer.Diff, layer.Implant, layer.Buried,
+	layer.Poly, layer.Metal, layer.Contact, layer.Glass,
+}
+
+// Options tunes the rendering.
+type Options struct {
+	// PixelsPerLambda scales the image (default 2; clamped to 1..16).
+	PixelsPerLambda int
+	// MaxPixels caps the image dimensions (default 4096 per side); the
+	// scale shrinks to fit.
+	MaxPixels int
+}
+
+// Image renders the cell's flattened geometry to an image.
+func Image(c *mask.Cell, opts *Options) (*image.NRGBA, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	ppl := opts.PixelsPerLambda
+	if ppl <= 0 {
+		ppl = 2
+	}
+	if ppl > 16 {
+		ppl = 16
+	}
+	maxPx := opts.MaxPixels
+	if maxPx <= 0 {
+		maxPx = 4096
+	}
+
+	bb := c.BBox()
+	if bb.Empty() {
+		return nil, fmt.Errorf("plot: cell %s has no geometry", c.Name)
+	}
+	wl := int(geom.InLambda(bb.W())) + 2 // 1λ margin each side
+	hl := int(geom.InLambda(bb.H())) + 2
+	for ppl > 1 && (wl*ppl > maxPx || hl*ppl > maxPx) {
+		ppl--
+	}
+	wPx, hPx := wl*ppl, hl*ppl
+	if wPx > maxPx || hPx > maxPx {
+		return nil, fmt.Errorf("plot: cell %s is %dλ x %dλ, too large for %d px", c.Name, wl, hl, maxPx)
+	}
+
+	img := image.NewNRGBA(image.Rect(0, 0, wPx, hPx))
+	// White background.
+	for i := range img.Pix {
+		img.Pix[i] = 0xff
+	}
+
+	// Map quanta to pixels: x right, y UP (mask convention), with margin.
+	toPx := func(q geom.Coord, min geom.Coord) int {
+		return int(float64(q-min)/float64(geom.Lambda)*float64(ppl)) + ppl
+	}
+	for _, l := range drawOrder {
+		col, ok := layerColor(l)
+		if !ok {
+			continue
+		}
+		for _, r := range c.RectsOnLayer(l) {
+			x0, x1 := toPx(r.MinX, bb.MinX), toPx(r.MaxX, bb.MinX)
+			y0, y1 := toPx(r.MinY, bb.MinY), toPx(r.MaxY, bb.MinY)
+			for y := y0; y < y1; y++ {
+				py := hPx - 1 - y // flip to raster orientation
+				for x := x0; x < x1; x++ {
+					blend(img, x, py, col)
+				}
+			}
+		}
+	}
+	return img, nil
+}
+
+// blend mixes the layer color 60/40 over the existing pixel so stacked
+// layers stay distinguishable.
+func blend(img *image.NRGBA, x, y int, c color.NRGBA) {
+	if !(image.Point{X: x, Y: y}.In(img.Rect)) {
+		return
+	}
+	i := img.PixOffset(x, y)
+	mix := func(old, new uint8) uint8 {
+		return uint8((int(old)*2 + int(new)*3) / 5)
+	}
+	img.Pix[i+0] = mix(img.Pix[i+0], c.R)
+	img.Pix[i+1] = mix(img.Pix[i+1], c.G)
+	img.Pix[i+2] = mix(img.Pix[i+2], c.B)
+	img.Pix[i+3] = 0xff
+}
+
+// PNG renders the cell and writes it as a PNG image.
+func PNG(w io.Writer, c *mask.Cell, opts *Options) error {
+	img, err := Image(c, opts)
+	if err != nil {
+		return err
+	}
+	return png.Encode(w, img)
+}

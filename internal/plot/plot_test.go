@@ -1,0 +1,107 @@
+package plot
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+)
+
+func testCell() *mask.Cell {
+	c := mask.NewCell("t")
+	c.AddBox(layer.Diff, geom.R(0, 0, geom.L(10), geom.L(10)))
+	c.AddBox(layer.Poly, geom.R(geom.L(4), geom.L(4), geom.L(6), geom.L(14)))
+	return c
+}
+
+func TestImageDimensions(t *testing.T) {
+	img, err := Image(testCell(), &Options{PixelsPerLambda: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10λ wide + 2λ margin at 3 px/λ.
+	if img.Rect.Dx() != 36 {
+		t.Errorf("width %d, want 36", img.Rect.Dx())
+	}
+	if img.Rect.Dy() != 48 { // 14λ tall + 2λ margin
+		t.Errorf("height %d, want 48", img.Rect.Dy())
+	}
+}
+
+func TestPixelColors(t *testing.T) {
+	img, err := Image(testCell(), &Options{PixelsPerLambda: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := img.Rect.Dy()
+	at := func(lx, ly int) (r, g, b uint8) {
+		x := lx*2 + 2 + 1 // center-ish of the lambda cell
+		y := h - 1 - (ly*2 + 2 + 1)
+		i := img.PixOffset(x, y)
+		return img.Pix[i], img.Pix[i+1], img.Pix[i+2]
+	}
+	// (2,2)λ: diffusion only — green dominant.
+	r, g, b := at(2, 2)
+	if g <= r || g <= b {
+		t.Errorf("diff pixel not green: %d,%d,%d", r, g, b)
+	}
+	// (5,12)λ: poly only — red dominant.
+	r, g, b = at(5, 12)
+	if r <= g || r <= b {
+		t.Errorf("poly pixel not red: %d,%d,%d", r, g, b)
+	}
+	// (5,5)λ: poly over diff — red strongest, but darker green than pure
+	// background (the blend keeps both visible).
+	r, g, b = at(5, 5)
+	if r <= b {
+		t.Errorf("gate pixel lost its poly tint: %d,%d,%d", r, g, b)
+	}
+	// Margin pixel stays white.
+	i := img.PixOffset(0, 0)
+	if img.Pix[i] != 0xff || img.Pix[i+1] != 0xff || img.Pix[i+2] != 0xff {
+		t.Error("margin not white")
+	}
+}
+
+func TestPNGEncodes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PNG(&buf, testCell(), nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := png.DecodeConfig(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("not a PNG: %v", err)
+	}
+	if cfg.Width == 0 || cfg.Height == 0 {
+		t.Error("degenerate PNG")
+	}
+}
+
+func TestEmptyCellRejected(t *testing.T) {
+	if _, err := Image(mask.NewCell("empty"), nil); err == nil {
+		t.Error("empty cell accepted")
+	}
+}
+
+func TestScaleShrinksToFit(t *testing.T) {
+	c := mask.NewCell("big")
+	c.AddBox(layer.Metal, geom.R(0, 0, geom.L(3000), geom.L(12)))
+	img, err := Image(c, &Options{PixelsPerLambda: 8, MaxPixels: 3100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Rect.Dx() > 3100 {
+		t.Errorf("image %d px exceeds cap", img.Rect.Dx())
+	}
+}
+
+func TestTooLargeRejected(t *testing.T) {
+	c := mask.NewCell("huge")
+	c.AddBox(layer.Metal, geom.R(0, 0, geom.L(9000), geom.L(12)))
+	if _, err := Image(c, &Options{MaxPixels: 4096}); err == nil {
+		t.Error("over-cap cell accepted at minimum scale")
+	}
+}

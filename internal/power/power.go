@@ -1,0 +1,111 @@
+// Package power performs the power accounting the paper assigns to
+// procedural cells ("these cells may also ... compute their power
+// requirements") and sizes supply rails so the compiler can stretch them:
+// "the cells can also be stretched to allow the power lines to expand as
+// power demands increase".
+package power
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/geom"
+)
+
+// DefaultMaxUAPerLambda is the electromigration-style current limit used
+// to size metal rails: microamps per lambda of rail width. The classic
+// aluminum limit is about 1 mA/µm; at λ = 2.5 µm that is 2.5 mA/λ, derated
+// here for margin.
+const DefaultMaxUAPerLambda = 1000
+
+// Budget accumulates per-element supply current along the core.
+type Budget struct {
+	// PerElementUA is each core element's current demand in µA, in core
+	// order (left to right).
+	PerElementUA []int
+	// MaxUAPerLambda is the rail current limit; 0 selects the default.
+	MaxUAPerLambda int
+	// MinRailWidth is the narrowest permitted rail (typically the metal
+	// minimum width); 0 selects 3λ.
+	MinRailWidth geom.Coord
+}
+
+func (b *Budget) limit() int {
+	if b.MaxUAPerLambda > 0 {
+		return b.MaxUAPerLambda
+	}
+	return DefaultMaxUAPerLambda
+}
+
+func (b *Budget) minWidth() geom.Coord {
+	if b.MinRailWidth > 0 {
+		return b.MinRailWidth
+	}
+	return geom.L(3)
+}
+
+// TotalUA is the chip's total core supply current.
+func (b *Budget) TotalUA() int {
+	t := 0
+	for _, ua := range b.PerElementUA {
+		t += ua
+	}
+	return t
+}
+
+// Cumulative returns the current each element's rail section must carry
+// when the supply is fed from the left end of the core: element i carries
+// the demand of elements i..n-1.
+func (b *Budget) Cumulative() []int {
+	n := len(b.PerElementUA)
+	out := make([]int, n)
+	sum := 0
+	for i := n - 1; i >= 0; i-- {
+		sum += b.PerElementUA[i]
+		out[i] = sum
+	}
+	return out
+}
+
+// WidthFor converts a current into a rail width: enough lambdas to carry
+// it at the configured limit, never below the minimum, rounded up to whole
+// lambdas.
+func (b *Budget) WidthFor(ua int) geom.Coord {
+	if ua < 0 {
+		ua = 0
+	}
+	lim := b.limit()
+	lambdas := (ua + lim - 1) / lim
+	w := geom.L(lambdas)
+	if w < b.minWidth() {
+		w = b.minWidth()
+	}
+	return w
+}
+
+// RailWidths returns the rail width required at each element position for
+// a left-fed supply. The compiler takes the maximum when all cells share a
+// uniform rail, or stretches per element when they do not.
+func (b *Budget) RailWidths() []geom.Coord {
+	cum := b.Cumulative()
+	out := make([]geom.Coord, len(cum))
+	for i, ua := range cum {
+		out[i] = b.WidthFor(ua)
+	}
+	return out
+}
+
+// UniformRailWidth is the single width that suffices everywhere (the width
+// at the feed end).
+func (b *Budget) UniformRailWidth() geom.Coord {
+	return b.WidthFor(b.TotalUA())
+}
+
+// Check validates the budget.
+func (b *Budget) Check() error {
+	for i, ua := range b.PerElementUA {
+		if ua < 0 {
+			return fmt.Errorf("power: element %d has negative demand %d µA", i, ua)
+		}
+	}
+	return nil
+}

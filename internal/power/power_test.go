@@ -1,0 +1,89 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bristleblocks/internal/geom"
+)
+
+func TestTotalsAndCumulative(t *testing.T) {
+	b := &Budget{PerElementUA: []int{100, 200, 300}}
+	if b.TotalUA() != 600 {
+		t.Errorf("total = %d", b.TotalUA())
+	}
+	cum := b.Cumulative()
+	want := []int{600, 500, 300}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Errorf("cumulative = %v, want %v", cum, want)
+			break
+		}
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	b := &Budget{MaxUAPerLambda: 1000}
+	if w := b.WidthFor(500); w != geom.L(3) {
+		t.Errorf("small current should clamp to min 3λ, got %d", w)
+	}
+	if w := b.WidthFor(3000); w != geom.L(3) {
+		t.Errorf("3000µA at 1000µA/λ = 3λ, got %d", w)
+	}
+	if w := b.WidthFor(3001); w != geom.L(4) {
+		t.Errorf("3001µA should round up to 4λ, got %d", w)
+	}
+	if w := b.WidthFor(-5); w != geom.L(3) {
+		t.Errorf("negative clamps to min, got %d", w)
+	}
+	b2 := &Budget{MinRailWidth: geom.L(5)}
+	if w := b2.WidthFor(0); w != geom.L(5) {
+		t.Errorf("custom min width, got %d", w)
+	}
+}
+
+func TestRailWidthsMonotone(t *testing.T) {
+	// With a left feed, rail widths never increase to the right.
+	f := func(demands []uint8) bool {
+		per := make([]int, len(demands))
+		for i, d := range demands {
+			per[i] = int(d) * 50
+		}
+		b := &Budget{PerElementUA: per}
+		ws := b.RailWidths()
+		for i := 1; i < len(ws); i++ {
+			if ws[i] > ws[i-1] {
+				return false
+			}
+		}
+		if len(ws) > 0 && ws[0] != b.UniformRailWidth() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := (&Budget{PerElementUA: []int{1, 2}}).Check(); err != nil {
+		t.Errorf("valid budget rejected: %v", err)
+	}
+	if err := (&Budget{PerElementUA: []int{1, -2}}).Check(); err == nil {
+		t.Error("negative demand should fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	b := &Budget{}
+	if b.limit() != DefaultMaxUAPerLambda {
+		t.Error("default limit wrong")
+	}
+	if b.minWidth() != geom.L(3) {
+		t.Error("default min width wrong")
+	}
+	if len(b.RailWidths()) != 0 || b.TotalUA() != 0 {
+		t.Error("empty budget behavior wrong")
+	}
+}

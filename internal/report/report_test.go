@@ -1,0 +1,55 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlignment(t *testing.T) {
+	tbl := New("demo", "name", "n")
+	tbl.Row("a", 1)
+	tbl.Row("longer", 100)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[1] != "name    n  " {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+	if lines[2] != "------  ---" {
+		t.Errorf("separator wrong: %q", lines[2])
+	}
+	// All rows render with identical width.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[1]) {
+			t.Errorf("ragged line %q (want width %d)", l, len(lines[1]))
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tbl := New("", "x")
+	tbl.Row(1.23456)
+	if !strings.Contains(tbl.String(), "1.23") {
+		t.Errorf("float not rounded to 2 places:\n%s", tbl.String())
+	}
+	if strings.Contains(tbl.String(), "1.234") {
+		t.Errorf("float shows too many places:\n%s", tbl.String())
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tbl := New("", "h")
+	tbl.Row("v")
+	if strings.HasPrefix(tbl.String(), "\n") {
+		t.Error("empty title produced a leading blank line")
+	}
+}
+
+func TestExtraCellsIgnored(t *testing.T) {
+	tbl := New("t", "only")
+	tbl.Row("a", "overflow")
+	// Must not panic; the overflow cell has no header to align against.
+	_ = tbl.String()
+}

@@ -1,0 +1,284 @@
+// Package route provides the wire routers used by Pass 3: a grid-based Lee
+// maze router that finds Manhattan paths around obstacles, used to "add
+// wires between the pads and the connection points".
+package route
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/geom"
+)
+
+// Router is a Lee (wavefront) maze router over a uniform grid. Each grid
+// cell is either free, or owned by a net; a route for net N may pass
+// through free cells and cells already owned by N (so multi-terminal nets
+// merge naturally), and blocks the cells it uses.
+type Router struct {
+	region geom.Rect
+	pitch  geom.Coord
+	nx, ny int
+	owner  []string // "" = free
+}
+
+// New creates a router over the region with the given grid pitch. The
+// pitch should be at least wire width + spacing (8λ for 4λ metal at 3λ
+// spacing, rounded up for margin).
+func New(region geom.Rect, pitch geom.Coord) (*Router, error) {
+	if pitch <= 0 {
+		return nil, fmt.Errorf("route: non-positive pitch %d", pitch)
+	}
+	if region.Empty() {
+		return nil, fmt.Errorf("route: empty region")
+	}
+	nx := int((region.W() + pitch - 1) / pitch)
+	ny := int((region.H() + pitch - 1) / pitch)
+	return &Router{
+		region: region,
+		pitch:  pitch,
+		nx:     nx,
+		ny:     ny,
+		owner:  make([]string, nx*ny),
+	}, nil
+}
+
+// GridSize returns the router's grid dimensions.
+func (r *Router) GridSize() (nx, ny int) { return r.nx, r.ny }
+
+func (r *Router) idx(cx, cy int) int { return cy*r.nx + cx }
+
+func (r *Router) inBounds(cx, cy int) bool {
+	return cx >= 0 && cx < r.nx && cy >= 0 && cy < r.ny
+}
+
+// cellOf maps a point to its grid cell (clamped to bounds).
+func (r *Router) cellOf(p geom.Point) (int, int) {
+	cx := int((p.X - r.region.MinX) / r.pitch)
+	cy := int((p.Y - r.region.MinY) / r.pitch)
+	if cx < 0 {
+		cx = 0
+	}
+	if cx >= r.nx {
+		cx = r.nx - 1
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cy >= r.ny {
+		cy = r.ny - 1
+	}
+	return cx, cy
+}
+
+// center returns the center point of a grid cell.
+func (r *Router) center(cx, cy int) geom.Point {
+	return geom.Pt(
+		r.region.MinX+geom.Coord(cx)*r.pitch+r.pitch/2,
+		r.region.MinY+geom.Coord(cy)*r.pitch+r.pitch/2,
+	)
+}
+
+// Block marks every grid cell overlapping rect as owned by net (use a
+// unique name like "obstacle" for hard obstacles).
+func (r *Router) Block(rect geom.Rect, net string) {
+	lo := rect.Intersect(r.region)
+	if lo.Empty() && !r.region.Overlaps(rect) {
+		return
+	}
+	cx0, cy0 := r.cellOf(geom.Pt(rect.MinX, rect.MinY))
+	cx1, cy1 := r.cellOf(geom.Pt(rect.MaxX-1, rect.MaxY-1))
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			r.owner[r.idx(cx, cy)] = net
+		}
+	}
+}
+
+// Owner reports the net occupying the cell containing p ("" = free).
+func (r *Router) Owner(p geom.Point) string {
+	cx, cy := r.cellOf(p)
+	return r.owner[r.idx(cx, cy)]
+}
+
+// Route finds a Manhattan path for net from one point to another,
+// traveling through free cells and cells already owned by the net. On
+// success the path's cells become owned by the net and the simplified
+// corner-point path (starting at from, ending at to) is returned.
+func (r *Router) Route(net string, from, to geom.Point) ([]geom.Point, error) {
+	if net == "" {
+		return nil, fmt.Errorf("route: empty net name")
+	}
+	sx, sy := r.cellOf(from)
+	tx, ty := r.cellOf(to)
+	passable := func(cx, cy int) bool {
+		o := r.owner[r.idx(cx, cy)]
+		return o == "" || o == net
+	}
+	if !passable(sx, sy) {
+		return nil, fmt.Errorf("route: %s start %v is blocked by %q", net, from, r.owner[r.idx(sx, sy)])
+	}
+	if !passable(tx, ty) {
+		return nil, fmt.Errorf("route: %s target %v is blocked by %q", net, to, r.owner[r.idx(tx, ty)])
+	}
+
+	// Lee wavefront (BFS).
+	prev := make([]int32, r.nx*r.ny)
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	start := r.idx(sx, sy)
+	goal := r.idx(tx, ty)
+	prev[start] = -1
+	queue := []int{start}
+	found := start == goal
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		cx, cy := cur%r.nx, cur/r.nx
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx2, ny2 := cx+d[0], cy+d[1]
+			if !r.inBounds(nx2, ny2) || !passable(nx2, ny2) {
+				continue
+			}
+			ni := r.idx(nx2, ny2)
+			if prev[ni] != -2 {
+				continue
+			}
+			prev[ni] = int32(cur)
+			if ni == goal {
+				found = true
+				break
+			}
+			queue = append(queue, ni)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("route: no path for %s from %v to %v", net, from, to)
+	}
+
+	// Walk back, claiming cells.
+	var cells []int
+	for i := goal; i != -1; i = int(prev[i]) {
+		cells = append(cells, i)
+		if prev[i] == -2 {
+			break
+		}
+	}
+	for _, i := range cells {
+		r.owner[i] = net
+	}
+
+	// Build the point path: to ... grid centers ... from, then reverse.
+	pts := make([]geom.Point, 0, len(cells)+2)
+	pts = append(pts, to)
+	for _, i := range cells {
+		pts = append(pts, r.center(i%r.nx, i/r.nx))
+	}
+	pts = append(pts, from)
+	reverse(pts)
+	return simplify(pts), nil
+}
+
+func reverse(p []geom.Point) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// simplify removes collinear interior points and zero-length steps, and
+// inserts an elbow where consecutive points are not axis-aligned (the
+// off-grid endpoints), keeping the path Manhattan.
+func simplify(pts []geom.Point) []geom.Point {
+	if len(pts) == 0 {
+		return pts
+	}
+	// Make strictly Manhattan: insert elbows for diagonal jumps.
+	man := []geom.Point{pts[0]}
+	for _, p := range pts[1:] {
+		last := man[len(man)-1]
+		if p == last {
+			continue
+		}
+		if p.X != last.X && p.Y != last.Y {
+			man = append(man, geom.Pt(p.X, last.Y))
+		}
+		man = append(man, p)
+	}
+	// Drop collinear interior points.
+	out := []geom.Point{man[0]}
+	for i := 1; i < len(man); i++ {
+		if i+1 < len(man) {
+			a, b, c := out[len(out)-1], man[i], man[i+1]
+			if (a.X == b.X && b.X == c.X) || (a.Y == b.Y && b.Y == c.Y) {
+				continue
+			}
+		}
+		out = append(out, man[i])
+	}
+	return out
+}
+
+// Claim marks every FREE grid cell overlapping rect as owned by net;
+// cells already owned (by any net) are left alone. Routers call this with
+// each drawn wire segment inflated by the spacing rule, so that actual
+// geometry — including off-grid endpoints poking past cell boundaries —
+// keeps other nets at legal distance.
+func (r *Router) Claim(rect geom.Rect, net string) {
+	cx0, cy0 := r.cellOf(geom.Pt(rect.MinX, rect.MinY))
+	cx1, cy1 := r.cellOf(geom.Pt(rect.MaxX-1, rect.MaxY-1))
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			if r.owner[r.idx(cx, cy)] == "" {
+				r.owner[r.idx(cx, cy)] = net
+			}
+		}
+	}
+}
+
+// NearestOwned returns the center of the claimed cell of the given net
+// nearest to p (for branching a multi-terminal net from its existing
+// trunk); ok is false when the net owns nothing.
+func (r *Router) NearestOwned(net string, p geom.Point) (geom.Point, bool) {
+	best := geom.Point{}
+	bestD := geom.Coord(-1)
+	for cy := 0; cy < r.ny; cy++ {
+		for cx := 0; cx < r.nx; cx++ {
+			if r.owner[r.idx(cx, cy)] != net {
+				continue
+			}
+			c := r.center(cx, cy)
+			d := c.Manhattan(p)
+			if bestD < 0 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+	}
+	return best, bestD >= 0
+}
+
+// PathLength returns the Manhattan length of a point path.
+func PathLength(pts []geom.Point) geom.Coord {
+	var sum geom.Coord
+	for i := 0; i+1 < len(pts); i++ {
+		sum += pts[i].Manhattan(pts[i+1])
+	}
+	return sum
+}
+
+// DumpOwners prints a coarse ASCII map of cell ownership (debugging aid).
+func (r *Router) DumpOwners() {
+	for cy := r.ny - 1; cy >= 0; cy -= 2 {
+		row := make([]byte, 0, r.nx)
+		for cx := 0; cx < r.nx; cx++ {
+			o := r.owner[r.idx(cx, cy)]
+			switch {
+			case o == "":
+				row = append(row, '.')
+			case o == "core!":
+				row = append(row, '#')
+			default:
+				row = append(row, o[len(o)-1])
+			}
+		}
+		fmt.Println(string(row))
+	}
+}

@@ -1,0 +1,278 @@
+// Package sim implements the Simulation level of representation: a
+// functional simulator for the compiled chip honoring the paper's temporal
+// format — a two-phase non-overlapping clock where buses are precharged
+// during φ2 and conditionally pulled low during φ1 (data transfer), while
+// data processing elements operate during φ2.
+//
+// "The Simulation level can be used to logically simulate the chip, so
+// that software can be written for the chip to explore the feasibility of
+// the design." Run drives microcode programs and records a trace.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bus is a precharged data bus. Bits are precharged high at the start of a
+// cycle; during φ1 any element may pull individual bits low. A read sees
+// the wired-AND of all pulls. The logical convention is true data: writing
+// a word pulls low the bits that are zero, so an undriven bus reads as all
+// ones (exactly what precharge gives on silicon).
+type Bus struct {
+	Name  string
+	Width int
+
+	pulled  []bool
+	drivers int
+}
+
+// NewBus creates a bus of the given width (1..64 bits).
+func NewBus(name string, width int) (*Bus, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("sim: bus %s width %d out of range 1..64", name, width)
+	}
+	return &Bus{Name: name, Width: width, pulled: make([]bool, width)}, nil
+}
+
+// Precharge returns every bit to the high state and forgets drivers.
+func (b *Bus) Precharge() {
+	for i := range b.pulled {
+		b.pulled[i] = false
+	}
+	b.drivers = 0
+}
+
+// PullLow discharges bit i.
+func (b *Bus) PullLow(i int) {
+	if i >= 0 && i < b.Width {
+		b.pulled[i] = true
+	}
+}
+
+// Write drives a word onto the bus by pulling low every zero bit (LSB
+// first). Multiple writers wire-AND.
+func (b *Bus) Write(word uint64) {
+	b.drivers++
+	for i := 0; i < b.Width; i++ {
+		if word&(1<<uint(i)) == 0 {
+			b.pulled[i] = true
+		}
+	}
+}
+
+// Bit reads bit i (true = high).
+func (b *Bus) Bit(i int) bool {
+	if i < 0 || i >= b.Width {
+		return true
+	}
+	return !b.pulled[i]
+}
+
+// Read returns the bus word (LSB first). An undriven bus reads as all ones.
+func (b *Bus) Read() uint64 {
+	var w uint64
+	for i := 0; i < b.Width; i++ {
+		if !b.pulled[i] {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// Drivers reports how many Write calls occurred since the last precharge
+// (diagnostic; wire-AND makes multiple writers legal but usually
+// unintended).
+func (b *Bus) Drivers() int { return b.drivers }
+
+// Ctx is the per-phase context handed to elements.
+type Ctx struct {
+	// Phase is 1 (bus transfer) or 2 (element operation).
+	Phase int
+	// Cycle counts clock cycles from 0.
+	Cycle int
+	// Micro is the current microcode word.
+	Micro uint64
+	// Ctl exposes the control lines derived by the instruction decoder for
+	// this phase; absent lines read false.
+	Ctl map[string]bool
+	// Buses gives access to the chip's buses by name.
+	Buses map[string]*Bus
+}
+
+// CtlBit reads a control line.
+func (c *Ctx) CtlBit(name string) bool { return c.Ctl[name] }
+
+// Bus returns the named bus, or nil.
+func (c *Ctx) Bus(name string) *Bus { return c.Buses[name] }
+
+// Element is the behavioral model of one core element. During each phase
+// the simulator first calls Drive on every element (assert bus pulls /
+// outputs), then Sample on every element (read buses, update state), so
+// results never depend on element order.
+type Element interface {
+	Name() string
+	Drive(ctx *Ctx)
+	Sample(ctx *Ctx)
+}
+
+// Resolver is an optional Element extension that runs between the Drive
+// and Sample stages of each phase — for models like the bus bridge whose
+// effect depends on every driver's contribution (wired-AND of two buses).
+type Resolver interface {
+	Resolve(ctx *Ctx)
+}
+
+// Decoder turns a microcode word into control line values for a phase.
+// The decoder package supplies an implementation for compiled chips.
+type Decoder func(micro uint64, phase int) map[string]bool
+
+// Chip is a simulatable machine: buses, elements, and a decoder.
+type Chip struct {
+	Buses    []*Bus
+	Elements []Element
+	Decode   Decoder
+
+	cycle int
+}
+
+// AddBus appends a bus.
+func (ch *Chip) AddBus(b *Bus) { ch.Buses = append(ch.Buses, b) }
+
+// AddElement appends an element.
+func (ch *Chip) AddElement(e Element) { ch.Elements = append(ch.Elements, e) }
+
+// BusByName finds a bus.
+func (ch *Chip) BusByName(name string) *Bus {
+	for _, b := range ch.Buses {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+func (ch *Chip) busMap() map[string]*Bus {
+	m := make(map[string]*Bus, len(ch.Buses))
+	for _, b := range ch.Buses {
+		m[b.Name] = b
+	}
+	return m
+}
+
+// CycleState is the trace record of one clock cycle.
+type CycleState struct {
+	Cycle int
+	Micro uint64
+	// BusPhi1 holds each bus's settled value at the end of φ1 (the
+	// transfer the cycle performed).
+	BusPhi1 map[string]uint64
+	// Ctl1 and Ctl2 are the decoded control lines for each phase.
+	Ctl1, Ctl2 map[string]bool
+}
+
+// Step runs one full clock cycle with the given microcode word.
+func (ch *Chip) Step(micro uint64) CycleState {
+	buses := ch.busMap()
+	decode := ch.Decode
+	if decode == nil {
+		decode = func(uint64, int) map[string]bool { return nil }
+	}
+
+	// φ1: buses were precharged during the previous φ2; elements transfer
+	// data over them now.
+	ctl1 := decode(micro, 1)
+	for _, b := range ch.Buses {
+		b.Precharge()
+	}
+	ctx := &Ctx{Phase: 1, Cycle: ch.cycle, Micro: micro, Ctl: ctl1, Buses: buses}
+	for _, e := range ch.Elements {
+		e.Drive(ctx)
+	}
+	for _, e := range ch.Elements {
+		if r, ok := e.(Resolver); ok {
+			r.Resolve(ctx)
+		}
+	}
+	for _, e := range ch.Elements {
+		e.Sample(ctx)
+	}
+	snapshot := make(map[string]uint64, len(ch.Buses))
+	for _, b := range ch.Buses {
+		snapshot[b.Name] = b.Read()
+	}
+
+	// φ2: buses precharge; elements compute internally.
+	ctl2 := decode(micro, 2)
+	ctx2 := &Ctx{Phase: 2, Cycle: ch.cycle, Micro: micro, Ctl: ctl2, Buses: buses}
+	for _, e := range ch.Elements {
+		e.Drive(ctx2)
+	}
+	for _, e := range ch.Elements {
+		if r, ok := e.(Resolver); ok {
+			r.Resolve(ctx2)
+		}
+	}
+	for _, e := range ch.Elements {
+		e.Sample(ctx2)
+	}
+
+	st := CycleState{Cycle: ch.cycle, Micro: micro, BusPhi1: snapshot, Ctl1: ctl1, Ctl2: ctl2}
+	ch.cycle++
+	return st
+}
+
+// Run executes a microcode program, one word per cycle, and returns the
+// trace.
+func (ch *Chip) Run(program []uint64) []CycleState {
+	out := make([]CycleState, 0, len(program))
+	for _, w := range program {
+		out = append(out, ch.Step(w))
+	}
+	return out
+}
+
+// FormatTrace renders a trace as a fixed-width table for human reading.
+func FormatTrace(trace []CycleState, buses []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-18s", "cycle", "microcode")
+	for _, b := range buses {
+		fmt.Fprintf(&sb, " %-12s", b)
+	}
+	fmt.Fprintf(&sb, " %s", "active controls")
+	sb.WriteByte('\n')
+	for _, st := range trace {
+		fmt.Fprintf(&sb, "%-6d %#-18x", st.Cycle, st.Micro)
+		for _, b := range buses {
+			fmt.Fprintf(&sb, " %#-12x", st.BusPhi1[b])
+		}
+		fmt.Fprintf(&sb, " %s", activeControls(st))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// activeControls lists the cycle's asserted control lines, φ1 first, φ2
+// marked with a "/2" suffix.
+func activeControls(st CycleState) string {
+	var names []string
+	for n, v := range st.Ctl1 {
+		if v {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var names2 []string
+	for n, v := range st.Ctl2 {
+		if v {
+			names2 = append(names2, n+"/2")
+		}
+	}
+	sort.Strings(names2)
+	all := append(names, names2...)
+	if len(all) == 0 {
+		return "-"
+	}
+	return strings.Join(all, " ")
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBusBasics(t *testing.T) {
+	b, err := NewBus("A", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Read() != 0xFF {
+		t.Errorf("precharged bus reads %#x, want 0xFF", b.Read())
+	}
+	b.Write(0xA5)
+	if b.Read() != 0xA5 {
+		t.Errorf("read %#x, want 0xA5", b.Read())
+	}
+	if b.Drivers() != 1 {
+		t.Errorf("drivers = %d", b.Drivers())
+	}
+	// Wire-AND of two writers.
+	b.Write(0x0F)
+	if b.Read() != 0x05 {
+		t.Errorf("wire-AND read %#x, want 0x05", b.Read())
+	}
+	b.Precharge()
+	if b.Read() != 0xFF || b.Drivers() != 0 {
+		t.Error("precharge did not reset")
+	}
+	b.PullLow(0)
+	if b.Bit(0) || !b.Bit(1) {
+		t.Error("PullLow/Bit wrong")
+	}
+	if !b.Bit(-1) || !b.Bit(100) {
+		t.Error("out-of-range Bit should read high")
+	}
+}
+
+func TestBusWidthValidation(t *testing.T) {
+	if _, err := NewBus("x", 0); err == nil {
+		t.Error("width 0 should fail")
+	}
+	if _, err := NewBus("x", 65); err == nil {
+		t.Error("width 65 should fail")
+	}
+	if _, err := NewBus("x", 64); err != nil {
+		t.Error("width 64 should be fine")
+	}
+}
+
+func TestBusWriteReadRoundTrip(t *testing.T) {
+	f := func(w uint16) bool {
+		b, _ := NewBus("A", 16)
+		b.Write(uint64(w))
+		return b.Read() == uint64(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// reg is a test element: a register that writes its value to the bus when
+// ctl "rd" is set and loads from the bus when ctl "wr" is set, both in φ1.
+type reg struct {
+	name string
+	val  uint64
+}
+
+func (r *reg) Name() string { return r.name }
+func (r *reg) Drive(ctx *Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(r.name+".rd") {
+		ctx.Bus("A").Write(r.val)
+	}
+}
+func (r *reg) Sample(ctx *Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(r.name+".wr") {
+		r.val = ctx.Bus("A").Read()
+	}
+}
+
+// adder latches the bus in φ1 and accumulates in φ2.
+type adder struct {
+	in, acc uint64
+	mask    uint64
+}
+
+func (a *adder) Name() string { return "adder" }
+func (a *adder) Drive(ctx *Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit("acc.rd") {
+		ctx.Bus("A").Write(a.acc)
+	}
+}
+func (a *adder) Sample(ctx *Ctx) {
+	switch ctx.Phase {
+	case 1:
+		if ctx.CtlBit("acc.in") {
+			a.in = ctx.Bus("A").Read()
+		}
+	case 2:
+		if ctx.CtlBit("acc.add") {
+			a.acc = (a.acc + a.in) & a.mask
+		}
+	}
+}
+
+func TestChipTransferOrderIndependent(t *testing.T) {
+	// r1 drives, r2 samples — regardless of element registration order.
+	for _, flip := range []bool{false, true} {
+		bus, _ := NewBus("A", 8)
+		r1 := &reg{name: "r1", val: 0x3C}
+		r2 := &reg{name: "r2", val: 0}
+		ch := &Chip{}
+		ch.AddBus(bus)
+		if flip {
+			ch.AddElement(r2)
+			ch.AddElement(r1)
+		} else {
+			ch.AddElement(r1)
+			ch.AddElement(r2)
+		}
+		ch.Decode = func(micro uint64, phase int) map[string]bool {
+			return map[string]bool{"r1.rd": true, "r2.wr": true}
+		}
+		st := ch.Step(0)
+		if r2.val != 0x3C {
+			t.Errorf("flip=%v: transfer failed, r2 = %#x", flip, r2.val)
+		}
+		if st.BusPhi1["A"] != 0x3C {
+			t.Errorf("flip=%v: trace bus = %#x", flip, st.BusPhi1["A"])
+		}
+	}
+}
+
+func TestChipAccumulatorProgram(t *testing.T) {
+	// Microcode bit 0: r1.rd, bit 1: acc.in, bit 2: acc.add, bit 3: acc.rd,
+	// bit 4: r2.wr.
+	bus, _ := NewBus("A", 8)
+	r1 := &reg{name: "r1", val: 5}
+	r2 := &reg{name: "r2"}
+	acc := &adder{mask: 0xFF}
+	ch := &Chip{}
+	ch.AddBus(bus)
+	ch.AddElement(r1)
+	ch.AddElement(r2)
+	ch.AddElement(acc)
+	ch.Decode = func(micro uint64, phase int) map[string]bool {
+		return map[string]bool{
+			"r1.rd":   micro&1 != 0,
+			"acc.in":  micro&2 != 0,
+			"acc.add": micro&4 != 0,
+			"acc.rd":  micro&8 != 0,
+			"r2.wr":   micro&16 != 0,
+		}
+	}
+	// Add r1 into acc three times, then store acc to r2.
+	prog := []uint64{1 | 2 | 4, 1 | 2 | 4, 1 | 2 | 4, 8 | 16}
+	trace := ch.Run(prog)
+	if acc.acc != 15 {
+		t.Errorf("acc = %d, want 15", acc.acc)
+	}
+	if r2.val != 15 {
+		t.Errorf("r2 = %d, want 15", r2.val)
+	}
+	if len(trace) != 4 || trace[3].Cycle != 3 {
+		t.Errorf("trace wrong: %+v", trace)
+	}
+}
+
+func TestUndrivenBusReadsOnes(t *testing.T) {
+	bus, _ := NewBus("A", 8)
+	r2 := &reg{name: "r2"}
+	ch := &Chip{}
+	ch.AddBus(bus)
+	ch.AddElement(r2)
+	ch.Decode = func(uint64, int) map[string]bool {
+		return map[string]bool{"r2.wr": true}
+	}
+	ch.Step(0)
+	if r2.val != 0xFF {
+		t.Errorf("undriven bus load = %#x, want 0xFF (precharge)", r2.val)
+	}
+}
+
+func TestNilDecoder(t *testing.T) {
+	bus, _ := NewBus("A", 4)
+	ch := &Chip{}
+	ch.AddBus(bus)
+	ch.AddElement(&reg{name: "r"})
+	st := ch.Step(7) // must not panic
+	if st.Micro != 7 {
+		t.Errorf("micro = %d", st.Micro)
+	}
+}
+
+func TestBusByName(t *testing.T) {
+	a, _ := NewBus("A", 4)
+	b, _ := NewBus("B", 4)
+	ch := &Chip{}
+	ch.AddBus(a)
+	ch.AddBus(b)
+	if ch.BusByName("B") != b || ch.BusByName("C") != nil {
+		t.Error("BusByName wrong")
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	bus, _ := NewBus("A", 8)
+	r1 := &reg{name: "r1", val: 0x42}
+	ch := &Chip{}
+	ch.AddBus(bus)
+	ch.AddElement(r1)
+	ch.Decode = func(uint64, int) map[string]bool { return map[string]bool{"r1.rd": true} }
+	trace := ch.Run([]uint64{0, 1})
+	out := FormatTrace(trace, []string{"A"})
+	if !strings.Contains(out, "cycle") || !strings.Contains(out, "0x42") {
+		t.Errorf("trace format:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Errorf("trace lines:\n%s", out)
+	}
+}

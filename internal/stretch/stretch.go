@@ -1,0 +1,286 @@
+// Package stretch implements the stretchable-cell engine, the paper's
+// answer to the uniform-pitch problem: "each of the cells are designed with
+// places to stretch ... each cell is stretched (a painless operation) to
+// fit all other cells".
+//
+// A stretch is modeled as a monotone deformation of one axis: inserting
+// delta at cut line a maps every coordinate v to
+//
+//	f(v) = v + Σ {delta_i : a_i <= v}
+//
+// applied uniformly to boxes (both edges independently, so geometry
+// crossing a cut widens and geometry beyond it translates), wire and
+// polygon vertices, labels, bristle offsets, power rails, stick diagrams,
+// and the abutment box. Because every coordinate maps through the same
+// function, connectivity is preserved exactly.
+package stretch
+
+import (
+	"fmt"
+	"sort"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+)
+
+// Insertion requests delta of extra space at the cut line At (a coordinate
+// on the stretched axis, in the cell's current coordinates).
+type Insertion struct {
+	At    geom.Coord
+	Delta geom.Coord
+}
+
+// deform is the monotone mapping for a set of insertions.
+type deform struct {
+	cuts []Insertion // sorted by At
+}
+
+func newDeform(ins []Insertion) (*deform, error) {
+	cuts := append([]Insertion(nil), ins...)
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].At < cuts[j].At })
+	for _, c := range cuts {
+		if c.Delta < 0 {
+			return nil, fmt.Errorf("stretch: negative delta %d at %d", c.Delta, c.At)
+		}
+	}
+	return &deform{cuts}, nil
+}
+
+func (d *deform) apply(v geom.Coord) geom.Coord {
+	out := v
+	for _, c := range d.cuts {
+		if c.At <= v {
+			out += c.Delta
+		} else {
+			break
+		}
+	}
+	return out
+}
+
+// Y stretches the cell vertically by the given insertions. The cell must be
+// a leaf (geometry only); every representation that carries coordinates is
+// deformed consistently.
+func Y(c *cell.Cell, ins []Insertion) error { return stretchAxis(c, ins, false) }
+
+// X stretches the cell horizontally by the given insertions.
+func X(c *cell.Cell, ins []Insertion) error { return stretchAxis(c, ins, true) }
+
+func stretchAxis(c *cell.Cell, ins []Insertion, horizontal bool) error {
+	if len(ins) == 0 {
+		return nil
+	}
+	if !c.Layout.IsLeaf() {
+		return fmt.Errorf("stretch: cell %s is not a leaf", c.Name)
+	}
+	d, err := newDeform(ins)
+	if err != nil {
+		return err
+	}
+	for _, cut := range d.cuts {
+		lo, hi := c.Size.MinY, c.Size.MaxY
+		if horizontal {
+			lo, hi = c.Size.MinX, c.Size.MaxX
+		}
+		if cut.At <= lo || cut.At > hi {
+			return fmt.Errorf("stretch: cell %s cut %d outside (%d,%d]", c.Name, cut.At, lo, hi)
+		}
+	}
+
+	mapPt := func(p geom.Point) geom.Point {
+		if horizontal {
+			return geom.Pt(d.apply(p.X), p.Y)
+		}
+		return geom.Pt(p.X, d.apply(p.Y))
+	}
+	mapRect := func(r geom.Rect) geom.Rect {
+		if horizontal {
+			return geom.Rect{MinX: d.apply(r.MinX), MinY: r.MinY, MaxX: d.apply(r.MaxX), MaxY: r.MaxY}
+		}
+		return geom.Rect{MinX: r.MinX, MinY: d.apply(r.MinY), MaxX: r.MaxX, MaxY: d.apply(r.MaxY)}
+	}
+
+	lay := c.Layout
+	for i := range lay.Boxes {
+		lay.Boxes[i].R = mapRect(lay.Boxes[i].R)
+	}
+	for i := range lay.Wires {
+		for j := range lay.Wires[i].Path {
+			lay.Wires[i].Path[j] = mapPt(lay.Wires[i].Path[j])
+		}
+	}
+	for i := range lay.Polys {
+		for j := range lay.Polys[i].Pts {
+			lay.Polys[i].Pts[j] = mapPt(lay.Polys[i].Pts[j])
+		}
+	}
+	for i := range lay.Labels {
+		lay.Labels[i].At = mapPt(lay.Labels[i].At)
+	}
+
+	for i := range c.Bristles {
+		b := &c.Bristles[i]
+		// N/S bristle offsets are x positions (move under X stretch);
+		// E/W offsets are y positions (move under Y stretch).
+		if b.Side.Horizontal() == horizontal {
+			b.Offset = d.apply(b.Offset)
+		}
+	}
+
+	if horizontal {
+		for i := range c.StretchX {
+			c.StretchX[i] = d.apply(c.StretchX[i])
+		}
+	} else {
+		for i := range c.StretchY {
+			c.StretchY[i] = d.apply(c.StretchY[i])
+		}
+		for i := range c.Rails {
+			r := &c.Rails[i]
+			lo := d.apply(r.Y - r.Width/2)
+			hi := d.apply(r.Y + (r.Width - r.Width/2))
+			r.Width = hi - lo
+			r.Y = (lo + hi) / 2
+		}
+	}
+
+	if c.Sticks != nil {
+		for i := range c.Sticks.Segs {
+			c.Sticks.Segs[i].A = mapPt(c.Sticks.Segs[i].A)
+			c.Sticks.Segs[i].B = mapPt(c.Sticks.Segs[i].B)
+		}
+		for i := range c.Sticks.Dots {
+			c.Sticks.Dots[i].At = mapPt(c.Sticks.Dots[i].At)
+		}
+		for i := range c.Sticks.Pins {
+			c.Sticks.Pins[i].At = mapPt(c.Sticks.Pins[i].At)
+		}
+	}
+
+	c.Size = mapRect(c.Size)
+	return nil
+}
+
+// WidenRail grows the named power rail by delta by inserting space at the
+// rail centerline. The rail is inherently stretchable; no declared stretch
+// line is needed. This is the paper's "cells can also be stretched to allow
+// the power lines to expand as power demands increase".
+func WidenRail(c *cell.Cell, net string, delta geom.Coord) error {
+	if delta == 0 {
+		return nil
+	}
+	if delta < 0 {
+		return fmt.Errorf("stretch: cannot shrink rail %s by %d", net, delta)
+	}
+	for i := range c.Rails {
+		if c.Rails[i].Net == net {
+			return Y(c, []Insertion{{At: c.Rails[i].Y, Delta: delta}})
+		}
+	}
+	return fmt.Errorf("stretch: cell %s has no rail %q", c.Name, net)
+}
+
+// Target pins a named bristle to a destination offset on its edge.
+type Target struct {
+	Bristle string
+	At      geom.Coord
+}
+
+// FitY stretches the cell vertically so that each named bristle lands at
+// its target offset and the abutment box's top edge lands at finalTop. The
+// required space in each inter-target gap is inserted at a declared
+// StretchY line inside that gap; it is an error if a gap needs space but
+// declares no stretch line, or if the cell is already too large to fit
+// (negative required space), which is the compiler's signal that the
+// element must supply a different cell variant.
+func FitY(c *cell.Cell, targets []Target, finalTop geom.Coord) error {
+	return fitAxis(c, targets, finalTop, false)
+}
+
+// FitX is FitY's horizontal counterpart: bristles on N/S edges are pinned
+// to x offsets and the right edge lands at finalRight.
+func FitX(c *cell.Cell, targets []Target, finalRight geom.Coord) error {
+	return fitAxis(c, targets, finalRight, true)
+}
+
+func fitAxis(c *cell.Cell, targets []Target, finalEdge geom.Coord, horizontal bool) error {
+	type pair struct {
+		name     string
+		cur, tgt geom.Coord
+	}
+	pairs := make([]pair, 0, len(targets)+1)
+	for _, t := range targets {
+		b, ok := c.FindBristle(t.Bristle)
+		if !ok {
+			return fmt.Errorf("stretch: cell %s has no bristle %q", c.Name, t.Bristle)
+		}
+		if b.Side.Horizontal() != horizontal {
+			return fmt.Errorf("stretch: target %q is on the wrong axis's edge", t.Bristle)
+		}
+		pairs = append(pairs, pair{t.Bristle, b.Offset, t.At})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].cur < pairs[j].cur })
+
+	var lo, hi geom.Coord
+	var cuts []geom.Coord
+	if horizontal {
+		lo, hi = c.Size.MinX, c.Size.MaxX
+		cuts = append(cuts, c.StretchX...)
+		pairs = append(pairs, pair{"(right edge)", hi, finalEdge})
+	} else {
+		lo, hi = c.Size.MinY, c.Size.MaxY
+		cuts = append(cuts, c.StretchY...)
+		pairs = append(pairs, pair{"(top edge)", hi, finalEdge})
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	var ins []Insertion
+	prevCur, prevTgt := lo, lo
+	for i, p := range pairs {
+		if i > 0 && p.cur == pairs[i-1].cur && p.tgt != pairs[i-1].tgt {
+			return fmt.Errorf("stretch: cell %s bristles %q and %q coincide but want different targets",
+				c.Name, pairs[i-1].name, p.name)
+		}
+		need := (p.tgt - prevTgt) - (p.cur - prevCur)
+		if need < 0 {
+			return fmt.Errorf("stretch: cell %s: %q at %d cannot reach %d (cell too large by %d)",
+				c.Name, p.name, p.cur, p.tgt, -need)
+		}
+		if need > 0 {
+			cut, ok := cutIn(cuts, prevCur, p.cur)
+			if !ok {
+				return fmt.Errorf("stretch: cell %s needs %d of space between %d and %d but has no stretch line there",
+					c.Name, need, prevCur, p.cur)
+			}
+			ins = append(ins, Insertion{At: cut, Delta: need})
+		}
+		prevCur, prevTgt = p.cur, p.tgt
+	}
+	if horizontal {
+		return X(c, ins)
+	}
+	return Y(c, ins)
+}
+
+// cutIn finds a declared cut line in (lo, hi], preferring the one closest
+// to the middle of the gap (stretch space lands mid-gap, away from the
+// features being pinned).
+func cutIn(cuts []geom.Coord, lo, hi geom.Coord) (geom.Coord, bool) {
+	best, found := geom.Coord(0), false
+	mid := (lo + hi) / 2
+	for _, cut := range cuts {
+		if cut > lo && cut <= hi {
+			if !found || abs(cut-mid) < abs(best-mid) {
+				best, found = cut, true
+			}
+		}
+	}
+	return best, found
+}
+
+func abs(c geom.Coord) geom.Coord {
+	if c < 0 {
+		return -c
+	}
+	return c
+}

@@ -1,0 +1,298 @@
+package stretch
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+	"bristleblocks/internal/sticks"
+	"bristleblocks/internal/transistor"
+)
+
+// testCell builds a stretchable cell: a 40x80 box with a crossing metal
+// wire, a bristle on each vertical edge, stretch lines, and power rails at
+// top and bottom.
+func testCell() *cell.Cell {
+	c := cell.New("t", geom.R(0, 0, 40, 80))
+	c.Layout.AddBox(layer.Diff, geom.R(8, 8, 16, 72))                 // tall box crossing cuts
+	c.Layout.AddBox(layer.Poly, geom.R(0, 30, 40, 34))                // horizontal strip below cut
+	c.Layout.AddWire(layer.Metal, 4, geom.Pt(20, 0), geom.Pt(20, 80)) // crossing wire
+	c.Layout.AddBox(layer.Metal, geom.R(0, 0, 40, 8))                 // gnd rail
+	c.Layout.AddBox(layer.Metal, geom.R(0, 72, 40, 80))               // vdd rail
+	c.Layout.AddLabel("mid", geom.Pt(20, 40), layer.Metal)
+	c.AddBristle(cell.Bristle{Name: "busA", Side: cell.West, Offset: 24, Flavor: cell.BusTap, Net: "A", Layer: layer.Metal, Width: 4})
+	c.AddBristle(cell.Bristle{Name: "busB", Side: cell.West, Offset: 56, Flavor: cell.BusTap, Net: "B", Layer: layer.Metal, Width: 4})
+	c.AddBristle(cell.Bristle{Name: "ctl", Side: cell.North, Offset: 20, Flavor: cell.Control, Guard: "OP=1", Phase: 2})
+	c.StretchY = []geom.Coord{20, 40, 66}
+	c.StretchX = []geom.Coord{10, 30}
+	c.Rails = []cell.PowerRail{
+		{Net: "gnd", Y: 4, Width: 8},
+		{Net: "vdd", Y: 76, Width: 8},
+	}
+	c.Sticks = &sticks.Diagram{}
+	c.Sticks.AddSeg(layer.Metal, geom.Pt(20, 0), geom.Pt(20, 80))
+	c.Sticks.AddPin("busA", geom.Pt(0, 24))
+	return c
+}
+
+func TestStretchYBasics(t *testing.T) {
+	c := testCell()
+	if err := Y(c, []Insertion{{At: 40, Delta: 12}}); err != nil {
+		t.Fatalf("Y: %v", err)
+	}
+	if c.Size != geom.R(0, 0, 40, 92) {
+		t.Errorf("size = %v", c.Size)
+	}
+	// Box crossing the cut widens.
+	if c.Layout.Boxes[0].R != geom.R(8, 8, 16, 84) {
+		t.Errorf("crossing box = %v", c.Layout.Boxes[0].R)
+	}
+	// Strip below the cut is untouched.
+	if c.Layout.Boxes[1].R != geom.R(0, 30, 40, 34) {
+		t.Errorf("low strip = %v", c.Layout.Boxes[1].R)
+	}
+	// Wire elongates.
+	if p := c.Layout.Wires[0].Path[1]; p != geom.Pt(20, 92) {
+		t.Errorf("wire end = %v", p)
+	}
+	// Rails: vdd (above cut) translates, gnd stays, widths unchanged.
+	if c.Rails[0].Y != 4 || c.Rails[0].Width != 8 {
+		t.Errorf("gnd rail = %+v", c.Rails[0])
+	}
+	if c.Rails[1].Y != 88 || c.Rails[1].Width != 8 {
+		t.Errorf("vdd rail = %+v", c.Rails[1])
+	}
+	// Bristles: busA below stays, busB above moves; N-side offset is x, unmoved.
+	if b, _ := c.FindBristle("busA"); b.Offset != 24 {
+		t.Errorf("busA offset = %d", b.Offset)
+	}
+	if b, _ := c.FindBristle("busB"); b.Offset != 68 {
+		t.Errorf("busB offset = %d", b.Offset)
+	}
+	if b, _ := c.FindBristle("ctl"); b.Offset != 20 {
+		t.Errorf("ctl offset = %d", b.Offset)
+	}
+	// Stretch lines remap.
+	if c.StretchY[0] != 20 || c.StretchY[1] != 52 || c.StretchY[2] != 78 {
+		t.Errorf("stretch lines = %v", c.StretchY)
+	}
+	// Label above the cut moves.
+	if c.Layout.Labels[0].At != geom.Pt(20, 52) {
+		t.Errorf("label = %v", c.Layout.Labels[0].At)
+	}
+	// Sticks follow.
+	if c.Sticks.Segs[0].B != geom.Pt(20, 92) {
+		t.Errorf("stick = %v", c.Sticks.Segs[0].B)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("stretched cell invalid: %v", err)
+	}
+}
+
+func TestStretchXMovesNorthBristles(t *testing.T) {
+	c := testCell()
+	if err := X(c, []Insertion{{At: 10, Delta: 8}}); err != nil {
+		t.Fatalf("X: %v", err)
+	}
+	if c.Size.W() != 48 {
+		t.Errorf("width = %d", c.Size.W())
+	}
+	if b, _ := c.FindBristle("ctl"); b.Offset != 28 {
+		t.Errorf("ctl offset = %d", b.Offset)
+	}
+	if b, _ := c.FindBristle("busA"); b.Offset != 24 {
+		t.Errorf("busA should not move under X: %d", b.Offset)
+	}
+	if c.StretchX[0] != 18 || c.StretchX[1] != 38 {
+		t.Errorf("stretch-x lines = %v", c.StretchX)
+	}
+}
+
+func TestStretchErrors(t *testing.T) {
+	c := testCell()
+	if err := Y(c, []Insertion{{At: 40, Delta: -4}}); err == nil {
+		t.Error("negative delta should fail")
+	}
+	if err := Y(c, []Insertion{{At: -10, Delta: 4}}); err == nil {
+		t.Error("cut below the box should fail")
+	}
+	if err := Y(c, []Insertion{{At: 200, Delta: 4}}); err == nil {
+		t.Error("cut above the box should fail")
+	}
+	hier := cell.New("h", geom.R(0, 0, 10, 10))
+	hier.Layout.Place(mask.NewCell("sub"), geom.Identity)
+	if err := Y(hier, []Insertion{{At: 5, Delta: 4}}); err == nil {
+		t.Error("non-leaf stretch should fail")
+	}
+	if err := Y(c, nil); err != nil {
+		t.Errorf("empty insertion list should be a no-op: %v", err)
+	}
+}
+
+func TestWidenRail(t *testing.T) {
+	c := testCell()
+	h := c.Height()
+	if err := WidenRail(c, "vdd", 8); err != nil {
+		t.Fatalf("WidenRail: %v", err)
+	}
+	if c.Rails[1].Width != 16 {
+		t.Errorf("vdd width = %d", c.Rails[1].Width)
+	}
+	if c.Height() != h+8 {
+		t.Errorf("height = %d", c.Height())
+	}
+	// The vdd metal box grew with it.
+	if c.Layout.Boxes[3].R.H() != 16 {
+		t.Errorf("vdd box = %v", c.Layout.Boxes[3].R)
+	}
+	if err := WidenRail(c, "vss", 4); err == nil {
+		t.Error("unknown rail should fail")
+	}
+	if err := WidenRail(c, "vdd", -4); err == nil {
+		t.Error("negative widen should fail")
+	}
+	if err := WidenRail(c, "vdd", 0); err != nil {
+		t.Error("zero widen should be a no-op")
+	}
+}
+
+func TestFitY(t *testing.T) {
+	c := testCell()
+	err := FitY(c, []Target{{"busA", 32}, {"busB", 72}}, 104)
+	if err != nil {
+		t.Fatalf("FitY: %v", err)
+	}
+	if b, _ := c.FindBristle("busA"); b.Offset != 32 {
+		t.Errorf("busA = %d", b.Offset)
+	}
+	if b, _ := c.FindBristle("busB"); b.Offset != 72 {
+		t.Errorf("busB = %d", b.Offset)
+	}
+	if c.Size.MaxY != 104 {
+		t.Errorf("top = %d", c.Size.MaxY)
+	}
+}
+
+func TestFitYNoOpWhenAlreadyAligned(t *testing.T) {
+	c := testCell()
+	if err := FitY(c, []Target{{"busA", 24}, {"busB", 56}}, 80); err != nil {
+		t.Fatalf("FitY: %v", err)
+	}
+	if c.Height() != 80 {
+		t.Errorf("height changed: %d", c.Height())
+	}
+}
+
+func TestFitYErrors(t *testing.T) {
+	c := testCell()
+	if err := FitY(c, []Target{{"nope", 10}}, 100); err == nil {
+		t.Error("unknown bristle should fail")
+	}
+	if err := FitY(c, []Target{{"ctl", 10}}, 100); err == nil {
+		t.Error("N-side bristle should fail FitY")
+	}
+	if err := FitY(c, []Target{{"busA", 10}}, 100); err == nil {
+		t.Error("target below current offset should fail (cell too large)")
+	}
+	// Gap without a stretch line: busA at 24 needs space in (0,24] but the
+	// only cuts are 20,40,66 — 20 qualifies. Remove it to force the error.
+	c2 := testCell()
+	c2.StretchY = []geom.Coord{40, 66}
+	err := FitY(c2, []Target{{"busA", 40}}, 120)
+	if err == nil || !strings.Contains(err.Error(), "no stretch line") {
+		t.Errorf("missing stretch line error, got %v", err)
+	}
+}
+
+func TestFitX(t *testing.T) {
+	c := testCell()
+	if err := FitX(c, []Target{{"ctl", 36}}, 60); err != nil {
+		t.Fatalf("FitX: %v", err)
+	}
+	if b, _ := c.FindBristle("ctl"); b.Offset != 36 {
+		t.Errorf("ctl = %d", b.Offset)
+	}
+	if c.Size.MaxX != 60 {
+		t.Errorf("right = %d", c.Size.MaxX)
+	}
+	if err := FitX(c, []Target{{"busA", 10}}, 70); err == nil {
+		t.Error("W-side bristle should fail FitX")
+	}
+}
+
+// TestStretchPreservesNetlist is the central stretch invariant: stretching
+// is "painless" — the extracted circuit is unchanged.
+func TestStretchPreservesNetlist(t *testing.T) {
+	c := cell.New("inv", geom.R(-16, -8, 24, 104))
+	lay := c.Layout
+	lay.AddBox(layer.Diff, geom.R(0, 0, 8, 96))
+	lay.AddBox(layer.Metal, geom.R(-16, -8, 24, 4))
+	lay.AddBox(layer.Contact, geom.R(0, -4, 8, 4))
+	lay.AddLabel("gnd", geom.Pt(-10, -2), layer.Metal)
+	lay.AddBox(layer.Poly, geom.R(-8, 16, 16, 24))
+	lay.AddLabel("in", geom.Pt(-6, 20), layer.Poly)
+	lay.AddBox(layer.Metal, geom.R(-4, 38, 24, 50))
+	lay.AddBox(layer.Contact, geom.R(0, 40, 8, 48))
+	lay.AddLabel("out", geom.Pt(20, 44), layer.Metal)
+	lay.AddBox(layer.Poly, geom.R(-8, 64, 16, 72))
+	lay.AddBox(layer.Poly, geom.R(16, 44, 24, 72))
+	lay.AddBox(layer.Contact, geom.R(16, 42, 24, 50))
+	lay.AddBox(layer.Implant, geom.R(-10, 62, 18, 74))
+	lay.AddBox(layer.Metal, geom.R(-16, 92, 24, 104))
+	lay.AddBox(layer.Contact, geom.R(0, 88, 8, 96))
+	lay.AddLabel("vdd", geom.Pt(-10, 100), layer.Metal)
+
+	before, err := transistor.Extract(lay)
+	if err != nil {
+		t.Fatalf("extract before: %v", err)
+	}
+
+	f := func(seed int64) bool {
+		cc := c.Copy()
+		r := rand.New(rand.NewSource(seed))
+		// Stretch at 1-3 random cuts in safe gaps (between features: use
+		// y in {8..14, 26..36, 52..60, 76..86} and x cuts right of 24).
+		gaps := [][2]geom.Coord{{8, 14}, {26, 36}, {52, 60}, {76, 86}}
+		var ins []Insertion
+		for _, g := range gaps {
+			if r.Intn(2) == 0 {
+				at := g[0] + geom.Coord(r.Intn(int(g[1]-g[0])))
+				ins = append(ins, Insertion{At: at, Delta: geom.Coord(r.Intn(5)) * 4})
+			}
+		}
+		if err := Y(cc, ins); err != nil {
+			return false
+		}
+		after, err := transistor.Extract(cc.Layout)
+		if err != nil {
+			return false
+		}
+		return after.Equal(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStretchAreaGrowth checks the area accounting of a stretch: the
+// bounding-box area grows by exactly width * total delta.
+func TestStretchAreaGrowth(t *testing.T) {
+	f := func(d1, d2 uint8) bool {
+		c := testCell()
+		delta := geom.Coord(d1%16)*4 + 4
+		delta2 := geom.Coord(d2%16) * 4
+		before := c.Size.Area()
+		if err := Y(c, []Insertion{{At: 20, Delta: delta}, {At: 66, Delta: delta2}}); err != nil {
+			return false
+		}
+		return c.Size.Area() == before+int64(c.Size.W())*int64(delta+delta2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

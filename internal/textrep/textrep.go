@@ -1,0 +1,153 @@
+// Package textrep implements the Text representation: "a hierarchically
+// organized description of the chip", "similar to a user's manual for the
+// chip" (paper, section on representations). A document is a tree of
+// sections holding prose, key-value facts, and small tables; the renderer
+// numbers the sections and indents the hierarchy, so the same tree can
+// describe a whole chip, one core element, or a single cell.
+package textrep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Doc is the root of a manual.
+type Doc struct {
+	Title    string
+	Sections []*Section
+}
+
+// Section is one hierarchy level: prose, facts, a table, and subsections.
+type Section struct {
+	Heading  string
+	Prose    []string
+	Facts    []Fact
+	Table    *Table
+	Children []*Section
+}
+
+// Fact is one labelled value line.
+type Fact struct {
+	Label string
+	Value string
+}
+
+// Table is a small aligned table inside a section.
+type Table struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns an empty document.
+func New(title string) *Doc { return &Doc{Title: title} }
+
+// Section appends and returns a new top-level section.
+func (d *Doc) Section(heading string) *Section {
+	s := &Section{Heading: heading}
+	d.Sections = append(d.Sections, s)
+	return s
+}
+
+// Section appends and returns a new subsection.
+func (s *Section) Section(heading string) *Section {
+	c := &Section{Heading: heading}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Text appends a prose paragraph.
+func (s *Section) Text(format string, args ...any) *Section {
+	s.Prose = append(s.Prose, fmt.Sprintf(format, args...))
+	return s
+}
+
+// Fact appends one labelled value.
+func (s *Section) Fact(label, format string, args ...any) *Section {
+	s.Facts = append(s.Facts, Fact{Label: label, Value: fmt.Sprintf(format, args...)})
+	return s
+}
+
+// NewTable starts the section's table.
+func (s *Section) NewTable(headers ...string) *Table {
+	s.Table = &Table{Headers: headers}
+	return s.Table
+}
+
+// Row appends one table row; cells are stringified with %v.
+func (t *Table) Row(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render produces the manual text: numbered headings, indented bodies.
+func (d *Doc) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", d.Title, strings.Repeat("=", len(d.Title)))
+	for i, s := range d.Sections {
+		s.render(&sb, fmt.Sprintf("%d", i+1), 0)
+	}
+	return sb.String()
+}
+
+func (s *Section) render(sb *strings.Builder, num string, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "\n%s%s %s\n", ind, num, s.Heading)
+	body := strings.Repeat("  ", depth+1)
+	if len(s.Facts) > 0 {
+		w := 0
+		for _, f := range s.Facts {
+			if len(f.Label) > w {
+				w = len(f.Label)
+			}
+		}
+		for _, f := range s.Facts {
+			fmt.Fprintf(sb, "%s%-*s  %s\n", body, w, f.Label, f.Value)
+		}
+	}
+	for _, p := range s.Prose {
+		fmt.Fprintf(sb, "%s%s\n", body, p)
+	}
+	if s.Table != nil {
+		s.Table.render(sb, body)
+	}
+	for i, c := range s.Children {
+		c.render(sb, fmt.Sprintf("%s.%d", num, i+1), depth+1)
+	}
+}
+
+func (t *Table) render(sb *strings.Builder, ind string) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		sb.WriteString(ind)
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(sb, "%-*s  ", widths[i], c)
+			} else {
+				sb.WriteString(c + "  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	dashes := make([]string, len(t.Headers))
+	for i := range dashes {
+		dashes[i] = strings.Repeat("-", widths[i])
+	}
+	line(dashes)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}

@@ -1,0 +1,70 @@
+package textrep
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderNumbering(t *testing.T) {
+	d := New("CHIP demo")
+	a := d.Section("Overview")
+	a.Text("a small chip")
+	b := d.Section("Elements")
+	b.Section("registers").Fact("count", "%d", 2)
+	b.Section("alu").Fact("op", "add")
+
+	out := d.Render()
+	for _, want := range []string{"CHIP demo", "1 Overview", "2 Elements", "2.1 registers", "2.2 alu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Hierarchy: subsection numbering nests under its parent's number.
+	if strings.Index(out, "2 Elements") > strings.Index(out, "2.1 registers") {
+		t.Error("subsection rendered before parent")
+	}
+}
+
+func TestFactsAlign(t *testing.T) {
+	d := New("t")
+	s := d.Section("s")
+	s.Fact("a", "1")
+	s.Fact("longer", "2")
+	out := d.Render()
+	if !strings.Contains(out, "a       1") {
+		t.Errorf("facts not aligned to widest label:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	d := New("t")
+	tab := d.Section("s").NewTable("name", "width")
+	tab.Row("x", 100)
+	tab.Row("longname", 2)
+	out := d.Render()
+	if !strings.Contains(out, "name      width") {
+		t.Errorf("header not padded to widest cell:\n%s", out)
+	}
+	if !strings.Contains(out, "--------  -----") {
+		t.Errorf("separator missing:\n%s", out)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	d := New("t")
+	s := d.Section("a")
+	for i := 0; i < 4; i++ {
+		s = s.Section("child")
+	}
+	out := d.Render()
+	if !strings.Contains(out, "1.1.1.1.1 child") {
+		t.Errorf("deep numbering broken:\n%s", out)
+	}
+}
+
+func TestEmptyDoc(t *testing.T) {
+	out := New("empty").Render()
+	if !strings.HasPrefix(out, "empty\n=====\n") {
+		t.Errorf("title underline wrong:\n%q", out)
+	}
+}

@@ -1,0 +1,373 @@
+package transistor
+
+import (
+	"fmt"
+	"sort"
+
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/mask"
+)
+
+// Extract recovers a transistor netlist from mask geometry. It flattens the
+// layout, finds channels at poly-over-diffusion crossings (excluding buried
+// contacts), splits diffusion at channels, assembles nets with a union-find
+// over touching conductors (merged across layers at contact and buried
+// cuts), and names nets from layout labels. Unlabeled nets get stable
+// synthetic names n1, n2, ... ordered by position.
+func Extract(c *mask.Cell) (*Netlist, error) {
+	var diff, poly, metal, implant, contact, buried []geom.Rect
+	c.Flatten(func(l layer.Layer, r geom.Rect) {
+		if r.Empty() {
+			return
+		}
+		switch l {
+		case layer.Diff:
+			diff = append(diff, r)
+		case layer.Poly:
+			poly = append(poly, r)
+		case layer.Metal:
+			metal = append(metal, r)
+		case layer.Implant:
+			implant = append(implant, r)
+		case layer.Contact:
+			contact = append(contact, r)
+		case layer.Buried:
+			buried = append(buried, r)
+		}
+	})
+
+	// 1. Channel candidates: poly ∩ diff, minus buried-contact regions.
+	type gateRect struct {
+		r       geom.Rect
+		polyIdx int
+	}
+	var gateRects []gateRect
+	for pi, p := range poly {
+		for _, d := range diff {
+			g := p.Intersect(d)
+			if g.Empty() {
+				continue
+			}
+			for _, piece := range subtractMany(g, buried) {
+				gateRects = append(gateRects, gateRect{piece, pi})
+			}
+		}
+	}
+	// Merge touching gate rects into gate regions.
+	gateUF := newUnionFind(len(gateRects))
+	for i := 0; i < len(gateRects); i++ {
+		for j := i + 1; j < len(gateRects); j++ {
+			if gateRects[i].r.Touches(gateRects[j].r) {
+				gateUF.union(i, j)
+			}
+		}
+	}
+	gateGroups := make(map[int][]int)
+	for i := range gateRects {
+		root := gateUF.find(i)
+		gateGroups[root] = append(gateGroups[root], i)
+	}
+
+	// 2. Diffusion conductors: diff minus all channel regions.
+	allGateRects := make([]geom.Rect, len(gateRects))
+	for i, g := range gateRects {
+		allGateRects[i] = g.r
+	}
+	var diffFrags []geom.Rect
+	for _, d := range diff {
+		diffFrags = append(diffFrags, subtractMany(d, allGateRects)...)
+	}
+
+	// 3. Conductor node table: diff fragments, poly rects, metal rects.
+	type node struct {
+		layer layer.Layer
+		r     geom.Rect
+	}
+	var nodes []node
+	diffBase := 0
+	for _, r := range diffFrags {
+		nodes = append(nodes, node{layer.Diff, r})
+	}
+	polyBase := len(nodes)
+	for _, r := range poly {
+		nodes = append(nodes, node{layer.Poly, r})
+	}
+	metalBase := len(nodes)
+	for _, r := range metal {
+		nodes = append(nodes, node{layer.Metal, r})
+	}
+
+	uf := newUnionFind(len(nodes))
+	// Same-layer touching conductors merge. Band sweep keeps this close to
+	// linear for real layouts.
+	unionTouching := func(base, count int) {
+		idx := make([]int, count)
+		for i := range idx {
+			idx[i] = base + i
+		}
+		sort.Slice(idx, func(a, b int) bool { return nodes[idx[a]].r.MinX < nodes[idx[b]].r.MinX })
+		for a := 0; a < len(idx); a++ {
+			ra := nodes[idx[a]].r
+			for b := a + 1; b < len(idx); b++ {
+				rb := nodes[idx[b]].r
+				if rb.MinX > ra.MaxX {
+					break
+				}
+				if ra.Touches(rb) {
+					uf.union(idx[a], idx[b])
+				}
+			}
+		}
+	}
+	unionTouching(diffBase, len(diffFrags))
+	unionTouching(polyBase, len(poly))
+	unionTouching(metalBase, len(metal))
+
+	// Cross-layer merges at cuts.
+	overlapNodes := func(cut geom.Rect, base, count int) []int {
+		var out []int
+		for i := 0; i < count; i++ {
+			if nodes[base+i].r.Overlaps(cut) {
+				out = append(out, base+i)
+			}
+		}
+		return out
+	}
+	for _, cut := range contact {
+		var hit []int
+		hit = append(hit, overlapNodes(cut, metalBase, len(metal))...)
+		hit = append(hit, overlapNodes(cut, polyBase, len(poly))...)
+		hit = append(hit, overlapNodes(cut, diffBase, len(diffFrags))...)
+		for i := 1; i < len(hit); i++ {
+			uf.union(hit[0], hit[i])
+		}
+	}
+	for _, cut := range buried {
+		var hit []int
+		hit = append(hit, overlapNodes(cut, polyBase, len(poly))...)
+		hit = append(hit, overlapNodes(cut, diffBase, len(diffFrags))...)
+		for i := 1; i < len(hit); i++ {
+			uf.union(hit[0], hit[i])
+		}
+	}
+
+	// 4. Net naming from labels.
+	names := make(map[int]string) // union-find root -> name
+	var nameConflicts []string
+	for _, lb := range c.FlatLabels() {
+		if !lb.Layer.Conducting() {
+			continue
+		}
+		base, count := 0, 0
+		switch lb.Layer {
+		case layer.Diff:
+			base, count = diffBase, len(diffFrags)
+		case layer.Poly:
+			base, count = polyBase, len(poly)
+		case layer.Metal:
+			base, count = metalBase, len(metal)
+		}
+		for i := 0; i < count; i++ {
+			if nodes[base+i].r.Contains(geom.Pt(lb.At.X, lb.At.Y)) {
+				root := uf.find(base + i)
+				if prev, ok := names[root]; ok && prev != lb.Text {
+					// Two different names on one net: keep the smaller,
+					// report the alias.
+					if lb.Text < prev {
+						names[root] = lb.Text
+					}
+					nameConflicts = append(nameConflicts, fmt.Sprintf("%s=%s", prev, lb.Text))
+				} else {
+					names[root] = lb.Text
+				}
+				break
+			}
+		}
+	}
+	_ = nameConflicts // aliases are tolerated: cells may label a net on two layers
+
+	// Synthetic names for unnamed nets, ordered by net position for
+	// determinism.
+	type rootPos struct {
+		root int
+		at   geom.Point
+	}
+	seen := make(map[int]geom.Point)
+	for i, nd := range nodes {
+		root := uf.find(i)
+		p := geom.Pt(nd.r.MinX, nd.r.MinY)
+		if old, ok := seen[root]; !ok || p.Y < old.Y || (p.Y == old.Y && p.X < old.X) {
+			seen[root] = p
+		}
+	}
+	var unnamed []rootPos
+	for root, p := range seen {
+		if _, ok := names[root]; !ok {
+			unnamed = append(unnamed, rootPos{root, p})
+		}
+	}
+	sort.Slice(unnamed, func(i, j int) bool {
+		if unnamed[i].at.Y != unnamed[j].at.Y {
+			return unnamed[i].at.Y < unnamed[j].at.Y
+		}
+		if unnamed[i].at.X != unnamed[j].at.X {
+			return unnamed[i].at.X < unnamed[j].at.X
+		}
+		return unnamed[i].root < unnamed[j].root
+	})
+	for i, rp := range unnamed {
+		names[rp.root] = fmt.Sprintf("n%d", i+1)
+	}
+	netOf := func(nodeIdx int) string { return names[uf.find(nodeIdx)] }
+
+	// 5. Assemble transistors from gate groups.
+	out := &Netlist{}
+	roots := make([]int, 0, len(gateGroups))
+	for root := range gateGroups {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for _, root := range roots {
+		group := gateGroups[root]
+		var region geom.Rect
+		for _, gi := range group {
+			region = region.Union(gateRects[gi].r)
+		}
+		// Gate net: the poly node of the first contributing rect.
+		gateNet := netOf(polyBase + gateRects[group[0]].polyIdx)
+
+		// Terminal discovery: diff fragments abutting the channel on each side.
+		sideNets := [4]map[string]bool{} // left, right, bottom, top
+		for s := range sideNets {
+			sideNets[s] = make(map[string]bool)
+		}
+		for _, gi := range group {
+			g := gateRects[gi].r
+			for fi := 0; fi < len(diffFrags); fi++ {
+				f := nodes[diffBase+fi].r
+				if !f.Touches(g) || f.Overlaps(g) {
+					continue
+				}
+				yOverlap := min(f.MaxY, g.MaxY) > max(f.MinY, g.MinY)
+				xOverlap := min(f.MaxX, g.MaxX) > max(f.MinX, g.MinX)
+				switch {
+				case f.MaxX == g.MinX && yOverlap:
+					sideNets[0][netOf(diffBase+fi)] = true
+				case f.MinX == g.MaxX && yOverlap:
+					sideNets[1][netOf(diffBase+fi)] = true
+				case f.MaxY == g.MinY && xOverlap:
+					sideNets[2][netOf(diffBase+fi)] = true
+				case f.MinY == g.MaxY && xOverlap:
+					sideNets[3][netOf(diffBase+fi)] = true
+				}
+			}
+		}
+		pickOne := func(m map[string]bool) string {
+			best := ""
+			for k := range m {
+				if best == "" || k < best {
+					best = k
+				}
+			}
+			return best
+		}
+		var src, drn string
+		var w, l geom.Coord
+		horiz := len(sideNets[0]) > 0 && len(sideNets[1]) > 0
+		vert := len(sideNets[2]) > 0 && len(sideNets[3]) > 0
+		switch {
+		case horiz:
+			src, drn = pickOne(sideNets[0]), pickOne(sideNets[1])
+			l, w = region.W(), region.H()
+		case vert:
+			src, drn = pickOne(sideNets[2]), pickOne(sideNets[3])
+			l, w = region.H(), region.W()
+		default:
+			return nil, fmt.Errorf("transistor at %v has no opposing diffusion terminals", region)
+		}
+
+		kind := Enh
+		for _, imp := range implant {
+			if imp.Overlaps(region) {
+				kind = Dep
+				break
+			}
+		}
+		out.Add(Tx{
+			Kind: kind, Gate: gateNet, Source: src, Drain: drn,
+			W: w, L: l, At: region.Center(),
+		})
+	}
+	return out, nil
+}
+
+// subtractMany returns the parts of r not covered by any cut rectangle.
+func subtractMany(r geom.Rect, cuts []geom.Rect) []geom.Rect {
+	pieces := []geom.Rect{r}
+	for _, cut := range cuts {
+		var next []geom.Rect
+		for _, p := range pieces {
+			next = append(next, subtractOne(p, cut)...)
+		}
+		pieces = next
+		if len(pieces) == 0 {
+			break
+		}
+	}
+	return pieces
+}
+
+// subtractOne returns r minus cut as up to four rectangles.
+func subtractOne(r, cut geom.Rect) []geom.Rect {
+	x := r.Intersect(cut)
+	if x.Empty() {
+		return []geom.Rect{r}
+	}
+	var out []geom.Rect
+	appendNonEmpty := func(p geom.Rect) {
+		if !p.Empty() {
+			out = append(out, p)
+		}
+	}
+	appendNonEmpty(geom.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: x.MinX, MaxY: r.MaxY}) // left slab
+	appendNonEmpty(geom.Rect{MinX: x.MaxX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}) // right slab
+	appendNonEmpty(geom.Rect{MinX: x.MinX, MinY: r.MinY, MaxX: x.MaxX, MaxY: x.MinY}) // bottom
+	appendNonEmpty(geom.Rect{MinX: x.MinX, MinY: x.MaxY, MaxX: x.MaxX, MaxY: r.MaxY}) // top
+	return out
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

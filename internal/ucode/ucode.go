@@ -1,0 +1,156 @@
+// Package ucode implements a small symbolic microcode assembler: the
+// paper's workflow has the systems designer running "simulations for each
+// of his or her experimental configurations", which means writing
+// microcode against the chip's declared instruction format. The assembler
+// turns field assignments into packed words, so programs are written in
+// the same vocabulary as the chip description's guards.
+//
+// Source format, one instruction per line:
+//
+//	; comments run to end of line (# works too)
+//	OP=2 SEL=1          ; assign fields; unassigned fields are 0
+//	OP=3                ; values may be decimal, 0x.., 0b..
+//	nop                 ; all-zero word
+//	.repeat 3           ; repeat the following block...
+//	  OP=4
+//	  OP=6
+//	.end                ; ...three times
+package ucode
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bristleblocks/internal/decoder"
+)
+
+// Assemble packs source lines into microcode words for the given format.
+func Assemble(f *decoder.Format, src string) ([]uint64, error) {
+	if f == nil {
+		return nil, fmt.Errorf("ucode: no instruction format")
+	}
+	fields := make(map[string]decoder.Field, len(f.Fields))
+	for _, fd := range f.Fields {
+		fields[fd.Name] = fd
+	}
+
+	var out []uint64
+	type repeatFrame struct {
+		count int
+		start int // index into out where the block began
+	}
+	var stack []repeatFrame
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		toks := strings.Fields(line)
+
+		switch strings.ToLower(toks[0]) {
+		case "nop":
+			if len(toks) != 1 {
+				return nil, fmt.Errorf("ucode line %d: nop takes no operands", lineNo+1)
+			}
+			out = append(out, 0)
+			continue
+		case ".repeat":
+			if len(toks) != 2 {
+				return nil, fmt.Errorf("ucode line %d: .repeat wants a count", lineNo+1)
+			}
+			n, err := strconv.Atoi(toks[1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("ucode line %d: bad repeat count %q", lineNo+1, toks[1])
+			}
+			stack = append(stack, repeatFrame{count: n, start: len(out)})
+			continue
+		case ".end":
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("ucode line %d: .end without .repeat", lineNo+1)
+			}
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			block := append([]uint64(nil), out[fr.start:]...)
+			for i := 1; i < fr.count; i++ {
+				out = append(out, block...)
+			}
+			continue
+		}
+
+		var word uint64
+		assigned := map[string]bool{}
+		for _, tok := range toks {
+			name, val, ok := strings.Cut(tok, "=")
+			if !ok {
+				return nil, fmt.Errorf("ucode line %d: %q is not FIELD=VALUE", lineNo+1, tok)
+			}
+			fd, ok := fields[name]
+			if !ok {
+				return nil, fmt.Errorf("ucode line %d: unknown field %q", lineNo+1, name)
+			}
+			if assigned[name] {
+				return nil, fmt.Errorf("ucode line %d: field %q assigned twice", lineNo+1, name)
+			}
+			assigned[name] = true
+			v, err := parseValue(val)
+			if err != nil {
+				return nil, fmt.Errorf("ucode line %d: %w", lineNo+1, err)
+			}
+			if fd.Width < 64 && v >= 1<<uint(fd.Width) {
+				return nil, fmt.Errorf("ucode line %d: value %d does not fit %d-bit field %s",
+					lineNo+1, v, fd.Width, name)
+			}
+			word |= v << uint(fd.Lo)
+		}
+		out = append(out, word)
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("ucode: %d unclosed .repeat block(s)", len(stack))
+	}
+	return out, nil
+}
+
+func parseValue(s string) (uint64, error) {
+	base := 10
+	digits := s
+	switch {
+	case strings.HasPrefix(s, "0x"), strings.HasPrefix(s, "0X"):
+		base, digits = 16, s[2:]
+	case strings.HasPrefix(s, "0b"), strings.HasPrefix(s, "0B"):
+		base, digits = 2, s[2:]
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	return v, nil
+}
+
+// Disassemble renders one word as field assignments (zero fields omitted;
+// an all-zero word prints as "nop").
+func Disassemble(f *decoder.Format, word uint64) string {
+	var parts []string
+	for _, fd := range f.Fields {
+		v := (word >> uint(fd.Lo)) & maskOf(fd.Width)
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", fd.Name, v))
+		}
+	}
+	if len(parts) == 0 {
+		return "nop"
+	}
+	return strings.Join(parts, " ")
+}
+
+func maskOf(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(w)) - 1
+}

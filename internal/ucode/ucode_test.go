@@ -1,0 +1,146 @@
+package ucode
+
+import (
+	"strings"
+	"testing"
+
+	"bristleblocks/internal/decoder"
+)
+
+func fmtFor(t *testing.T) *decoder.Format {
+	t.Helper()
+	f, err := decoder.ParseFormat("width 12; OP 0 4; SEL 4 3; EN 7 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAssembleBasic(t *testing.T) {
+	f := fmtFor(t)
+	words, err := Assemble(f, `
+; init
+OP=2 SEL=1
+OP=3
+nop
+EN=1 OP=0xF
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{2 | 1<<4, 3, 0, 1<<7 | 0xF}
+	if len(words) != len(want) {
+		t.Fatalf("got %d words", len(words))
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Errorf("word %d = %#x, want %#x", i, words[i], want[i])
+		}
+	}
+}
+
+func TestAssembleRepeat(t *testing.T) {
+	f := fmtFor(t)
+	words, err := Assemble(f, `
+OP=1
+.repeat 3
+OP=4
+OP=6
+.end
+OP=9
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 4, 6, 4, 6, 4, 6, 9}
+	if len(words) != len(want) {
+		t.Fatalf("got %v", words)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Errorf("word %d = %d, want %d", i, words[i], want[i])
+		}
+	}
+}
+
+func TestAssembleNestedRepeat(t *testing.T) {
+	f := fmtFor(t)
+	words, err := Assemble(f, `
+.repeat 2
+OP=1
+.repeat 2
+OP=2
+.end
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 2, 1, 2, 2}
+	if len(words) != len(want) {
+		t.Fatalf("got %v, want %v", words, want)
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("got %v, want %v", words, want)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	f := fmtFor(t)
+	cases := []struct{ src, want string }{
+		{"BADFIELD=1", "unknown field"},
+		{"OP", "not FIELD=VALUE"},
+		{"OP=99", "does not fit"},
+		{"OP=1 OP=2", "assigned twice"},
+		{"OP=zz", "bad value"},
+		{".repeat x", "bad repeat count"},
+		{".end", ".end without .repeat"},
+		{".repeat 2\nOP=1", "unclosed"},
+		{"nop extra", "takes no operands"},
+	}
+	for _, tc := range cases {
+		if _, err := Assemble(f, tc.src); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("src %q: want error containing %q, got %v", tc.src, tc.want, err)
+		}
+	}
+	if _, err := Assemble(nil, "OP=1"); err == nil {
+		t.Error("nil format accepted")
+	}
+}
+
+func TestBinaryValues(t *testing.T) {
+	f := fmtFor(t)
+	words, err := Assemble(f, "OP=0b1010")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != 0b1010 {
+		t.Errorf("got %#x", words[0])
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	f := fmtFor(t)
+	if got := Disassemble(f, 2|1<<4); got != "OP=2 SEL=1" {
+		t.Errorf("got %q", got)
+	}
+	if got := Disassemble(f, 0); got != "nop" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	f := fmtFor(t)
+	for word := uint64(0); word < 1<<8; word += 7 {
+		src := Disassemble(f, word)
+		back, err := Assemble(f, src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if len(back) != 1 || back[0] != word {
+			t.Fatalf("%#x -> %q -> %v", word, src, back)
+		}
+	}
+}
