@@ -5,13 +5,18 @@
 package bristleblocks_test
 
 import (
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"bristleblocks"
 	"bristleblocks/internal/baseline"
+	"bristleblocks/internal/cache"
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/experiments"
+	"bristleblocks/internal/server"
 )
 
 func compileSuite(b *testing.B, idx int, opts *core.Options) *core.Chip {
@@ -223,6 +228,69 @@ func BenchmarkA5Variants(b *testing.B) {
 	}
 	b.ReportMetric(narrow, "λ-all-ones")
 	b.ReportMetric(wide, "λ-mixed")
+}
+
+// BenchmarkCompileCachedHit is the serving path's hot case: the
+// CompileLarge spec re-requested through a warm content-addressed cache.
+// Compare with BenchmarkCompileLarge for the hit/miss ratio the daemon
+// banks on (the acceptance bar is >= 10x).
+func BenchmarkCompileCachedHit(b *testing.B) {
+	c, err := cache.New(0, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := experiments.SpecFor(experiments.Suite[4])
+	if _, _, err := c.Compile(ctx, spec, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, cached, err := c.Compile(ctx, spec, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !cached || len(res.CIF) == 0 {
+			b.Fatal("cache miss on the warm path")
+		}
+	}
+}
+
+// BenchmarkServerThroughput drives an in-process compile daemon with
+// parallel clients re-posting the same description: the millions-of-users
+// shape, where almost every request is a cache hit served without a
+// worker slot.
+func BenchmarkServerThroughput(b *testing.B) {
+	s, err := server.New(server.Config{QueueDepth: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	}()
+	spec := bristleblocks.FormatSpec(experiments.SpecFor(experiments.Suite[1]))
+	// Prime the cache so the measured loop is the serving path, not the
+	// first cold compile.
+	resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(spec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(spec))
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
 }
 
 // BenchmarkDRCFullChip measures the design-rule checker over a complete

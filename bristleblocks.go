@@ -17,6 +17,7 @@
 package bristleblocks
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -54,6 +55,14 @@ func Compile(spec *Spec, opts *Options) (*Chip, error) {
 	return core.Compile(spec, opts)
 }
 
+// CompileCtx runs the three-pass silicon compiler under a context: a
+// canceled or timed-out context stops the compilation between passes and
+// inside Pass 1's per-column loop (the serving path in internal/server
+// relies on this to reclaim workers from abandoned requests).
+func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
+	return core.CompileCtx(ctx, spec, opts)
+}
+
 // ParseSpec reads the single-page chip description language.
 func ParseSpec(src string) (*Spec, error) {
 	return desc.Parse(src)
@@ -77,7 +86,13 @@ func WriteCIF(w io.Writer, chip *Chip) error {
 // CheckDRC verifies the compiled layout against the Mead & Conway lambda
 // rules and returns human-readable violations (empty = clean).
 func CheckDRC(chip *Chip) []string {
-	vs := drc.Check(chip.Mask, layer.MeadConway(), &drc.Options{MaxViolations: 50})
+	return checkMaskDRC(chip.Mask)
+}
+
+// checkMaskDRC runs the lambda-rule checker over one mask cell and formats
+// the violations (shared by the chip- and cell-level entry points).
+func checkMaskDRC(m *mask.Cell) []string {
+	vs := drc.Check(m, layer.MeadConway(), &drc.Options{MaxViolations: 50})
 	out := make([]string, len(vs))
 	for i, v := range vs {
 		out[i] = v.String()
@@ -196,12 +211,7 @@ func abs(c geom.Coord) geom.Coord {
 func CheckCellDRC(c *Cell) []string {
 	flat := mask.NewCell(c.Name + "_drc")
 	flat.PlaceNamed(c.Name, c.Layout, geom.Identity)
-	vs := drc.Check(flat, layer.MeadConway(), &drc.Options{MaxViolations: 50})
-	out := make([]string, len(vs))
-	for i, v := range vs {
-		out[i] = v.String()
-	}
-	return out
+	return checkMaskDRC(flat)
 }
 
 // ExtractCellNetlist recovers a cell's transistors from its mask geometry.
@@ -209,7 +219,12 @@ func ExtractCellNetlist(c *Cell) (*transistor.Netlist, error) {
 	return transistor.Extract(c.Layout)
 }
 
-// WriteCellCIF emits one cell's layout as CIF.
+// WriteCellCIF emits one cell's layout as CIF, honoring the cell's
+// declared physical lambda the same way WriteCIF honors the spec's.
 func WriteCellCIF(w io.Writer, c *Cell) error {
-	return cif.Write(w, c.Layout, cif.DefaultLambdaCentimicrons)
+	lambda := c.LambdaCentimicrons
+	if lambda <= 0 {
+		lambda = cif.DefaultLambdaCentimicrons
+	}
+	return cif.Write(w, c.Layout, lambda)
 }

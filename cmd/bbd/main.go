@@ -1,0 +1,92 @@
+// Bbd is the Bristle Blocks compile daemon: the silicon compiler as a
+// service. It answers POST /compile with chip statistics and any requested
+// representations, serving repeated compiles of the same description from
+// a content-addressed cache instead of re-running the three passes.
+//
+// Usage:
+//
+//	bbd                                  # serve on :8723
+//	bbd -addr :9000 -pool 8              # custom listen address, 8 workers
+//	bbd -cache-dir /var/cache/bbd        # persistent compile cache
+//	bbd -cache-mb 64 -timeout 30s        # memory budget and per-request deadline
+//
+// Endpoints:
+//
+//	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skiproto=1&evenpads=1&skipreps=1]
+//	GET  /healthz
+//	GET  /debug/vars
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, queued and
+// in-flight compiles finish, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bristleblocks/internal/cache"
+	"bristleblocks/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8723", "listen address")
+	pool := flag.Int("pool", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "request queue depth (0 = 4x pool)")
+	cacheMB := flag.Int64("cache-mb", 256, "in-memory compile cache budget in MiB")
+	cacheDir := flag.String("cache-dir", "", "directory for the persistent compile cache (empty = memory only)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request compile deadline")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: bbd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	c, err := cache.New(*cacheMB<<20, *cacheDir)
+	if err != nil {
+		log.Fatalf("bbd: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		Cache:      c,
+		Workers:    *pool,
+		QueueDepth: *queue,
+		Timeout:    *timeout,
+	})
+	if err != nil {
+		log.Fatalf("bbd: %v", err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("bbd: serving on %s (pool=%d, cache=%dMiB, dir=%q, timeout=%v)",
+		*addr, srv.Workers(), *cacheMB, *cacheDir, *timeout)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("bbd: %v", err)
+	case s := <-sig:
+		log.Printf("bbd: %v — draining (budget %v)", s, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("bbd: http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Fatalf("bbd: %v", err)
+	}
+	log.Print("bbd: drained cleanly")
+}

@@ -1,0 +1,219 @@
+// Package cache is the compile-as-a-service cache: a content-addressed
+// store of finished compilations keyed by the canonical form of the input.
+// The paper's compiler ran each design as a fresh batch job; a service
+// compiling the same one-page description for many users should pay for
+// the three passes once. The key hashes (FormatSpec(spec), Options,
+// compiler version), so any textual difference in the canonical spec — and
+// only a real difference — misses, and a compiler upgrade invalidates
+// everything at once.
+//
+// The cache is two layers: a size-bounded in-memory LRU (hit/miss/eviction
+// counters for the serving metrics) over an optional on-disk layer that
+// survives daemon restarts. A disk hit is promoted into memory.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+)
+
+// Key returns the content address for one compilation: a hex SHA-256 over
+// the canonical spec text, the option switches, and the compiler version.
+// It relies on desc.Format being canonical (same Spec ⇒ same text), which
+// the spec round-trip tests pin down.
+func Key(spec *core.Spec, opts *core.Options) string {
+	if opts == nil {
+		opts = &core.Options{}
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00", core.Version)
+	fmt.Fprintf(h, "opts:%t,%t,%t,%t,%t\x00", opts.SkipOptimize, opts.SkipRotoRouter,
+		opts.EvenPads, opts.SkipPads, opts.SkipExtraReps)
+	h.Write([]byte(desc.Format(spec)))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Result is one cached compilation: the chip statistics plus the
+// representations a compile service returns (CIF mask set and the
+// text/block/logical views). It is the JSON schema of the disk layer, so
+// field changes must bump core.Version.
+type Result struct {
+	Key     string     `json:"key"`
+	Chip    string     `json:"chip"`
+	Stats   core.Stats `json:"stats"`
+	TimesUS TimesUS    `json:"times_us"`
+	CIF     []byte     `json:"cif,omitempty"`
+	Text    string     `json:"text,omitempty"`
+	Block   string     `json:"block,omitempty"`
+	Logical string     `json:"logical,omitempty"`
+}
+
+// TimesUS records the original compile's per-pass wall-clock in
+// microseconds (duration-free so the JSON is stable and readable).
+type TimesUS struct {
+	Core, Control, Pads, Total int64
+}
+
+// cost is the entry's size charge against the LRU byte budget.
+func (r *Result) cost() int64 {
+	return int64(len(r.CIF) + len(r.Text) + len(r.Block) + len(r.Logical) + len(r.Chip) + len(r.Key) + 256)
+}
+
+// Counters is a snapshot of the cache's activity.
+type Counters struct {
+	Hits, Misses, Evictions int64
+	DiskHits                int64
+	Entries                 int
+	Bytes                   int64
+}
+
+// Cache is the two-layer compile cache. The zero value is not usable; use
+// New.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	lru      *list.List // front = most recent; values are *entry
+	byKey    map[string]*list.Element
+
+	disk *diskStore // nil when no directory is configured
+
+	hits, misses, evictions, diskHits atomic.Int64
+}
+
+type entry struct {
+	key string
+	res *Result
+}
+
+// New returns a cache bounded to maxBytes of result payload in memory
+// (maxBytes <= 0 selects 256 MiB). dir, when non-empty, enables the
+// on-disk layer rooted there (created if needed).
+func New(maxBytes int64, dir string) (*Cache, error) {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	c := &Cache{
+		maxBytes: maxBytes,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+	if dir != "" {
+		ds, err := newDiskStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = ds
+	}
+	return c, nil
+}
+
+// Get looks the key up in memory, then on disk. A disk hit is promoted
+// into the memory layer. The returned Result is shared — callers must not
+// mutate it.
+func (c *Cache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		res := el.Value.(*entry).res
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if c.disk != nil {
+		if res, ok := c.disk.get(key); ok {
+			c.hits.Add(1)
+			c.diskHits.Add(1)
+			c.insert(key, res)
+			return res, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores a result under key in both layers.
+func (c *Cache) Put(key string, res *Result) {
+	c.insert(key, res)
+	if c.disk != nil {
+		c.disk.put(key, res) // best effort; disk errors don't fail the compile
+	}
+}
+
+func (c *Cache) insert(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		old := el.Value.(*entry)
+		c.bytes += res.cost() - old.res.cost()
+		old.res = res
+		c.lru.MoveToFront(el)
+	} else {
+		c.byKey[key] = c.lru.PushFront(&entry{key: key, res: res})
+		c.bytes += res.cost()
+	}
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.byKey, e.key)
+		c.bytes -= e.res.cost()
+		c.evictions.Add(1)
+	}
+}
+
+// Counters snapshots the activity counters.
+func (c *Cache) Counters() Counters {
+	c.mu.Lock()
+	entries, bytes := c.lru.Len(), c.bytes
+	c.mu.Unlock()
+	return Counters{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// HitRatio reports hits/(hits+misses), 0 before any traffic.
+func (c *Cache) HitRatio() float64 {
+	h, m := float64(c.hits.Load()), float64(c.misses.Load())
+	if h+m == 0 {
+		return 0
+	}
+	return h / (h + m)
+}
+
+// Compile is the read-through path the daemon serves from: on a hit the
+// three passes are skipped entirely; on a miss it runs core.CompileCtx,
+// renders the storable representations, and fills both layers. The bool
+// reports whether the result came from the cache.
+func (c *Cache) Compile(ctx context.Context, spec *core.Spec, opts *core.Options) (*Result, bool, error) {
+	key := Key(spec, opts)
+	if res, ok := c.Get(key); ok {
+		return res, true, nil
+	}
+	chip, err := core.CompileCtx(ctx, spec, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := Render(chip)
+	if err != nil {
+		return nil, false, err
+	}
+	res.Key = key
+	c.Put(key, res)
+	return res, false, nil
+}

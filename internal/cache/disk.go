@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// diskStore is the persistent cache layer: one JSON file per key, written
+// atomically (temp file + rename) so a crashed daemon never leaves a
+// half-written entry that a restart would serve.
+type diskStore struct {
+	dir string
+}
+
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache dir: %w", err)
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+func (d *diskStore) path(key string) (string, bool) {
+	// Keys are hex SHA-256; anything else is refused rather than used as a
+	// path component.
+	if len(key) != 64 || strings.IndexFunc(key, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) >= 0 {
+		return "", false
+	}
+	return filepath.Join(d.dir, key+".json"), true
+}
+
+func (d *diskStore) get(key string) (*Result, bool) {
+	p, ok := d.path(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil || res.Key != key {
+		// Corrupt or mismatched entry: drop it so it cannot be served again.
+		os.Remove(p)
+		return nil, false
+	}
+	return &res, true
+}
+
+func (d *diskStore) put(key string, res *Result) error {
+	p, ok := d.path(key)
+	if !ok {
+		return fmt.Errorf("cache: invalid key %q", key)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}

@@ -1,0 +1,37 @@
+package cache
+
+import (
+	"bytes"
+
+	"bristleblocks/internal/cif"
+	"bristleblocks/internal/core"
+)
+
+// Render turns a compiled chip into the storable Result: CIF at the spec's
+// physical lambda plus the text, block, and logical representations. The
+// mask hierarchy itself is not stored — CIF is the canonical serialized
+// form of the Layout representation.
+func Render(chip *core.Chip) (*Result, error) {
+	lambda := chip.Spec.LambdaCentimicrons
+	if lambda <= 0 {
+		lambda = cif.DefaultLambdaCentimicrons
+	}
+	var buf bytes.Buffer
+	if err := cif.Write(&buf, chip.Mask, lambda); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Chip:  chip.Spec.Name,
+		Stats: chip.Stats,
+		TimesUS: TimesUS{
+			Core:    chip.Times.Core.Microseconds(),
+			Control: chip.Times.Control.Microseconds(),
+			Pads:    chip.Times.Pads.Microseconds(),
+			Total:   chip.Times.Total.Microseconds(),
+		},
+		CIF:     buf.Bytes(),
+		Text:    chip.Text,
+		Block:   chip.Block,
+		Logical: chip.Logical,
+	}, nil
+}

@@ -243,6 +243,12 @@ func applyCellLine(c *cell.Cell, toks []string) error {
 			return fmt.Errorf("bad power %q", tok(toks, 1))
 		}
 		c.PowerUA = n
+	case "lambda":
+		n, err := strconv.Atoi(tok(toks, 1))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad lambda %q", tok(toks, 1))
+		}
+		c.LambdaCentimicrons = n
 	case "tx":
 		if len(toks) != 5 {
 			return fmt.Errorf("tx wants enh|dep GATE SRC DRN")
@@ -391,6 +397,9 @@ func Format(c *cell.Cell) string {
 	}
 	if c.PowerUA != 0 {
 		fmt.Fprintf(&sb, "power %d\n", c.PowerUA)
+	}
+	if c.LambdaCentimicrons != 0 {
+		fmt.Fprintf(&sb, "lambda %d\n", c.LambdaCentimicrons)
 	}
 	if c.Netlist != nil {
 		for _, t := range c.Netlist.Txs {

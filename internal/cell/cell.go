@@ -147,6 +147,10 @@ type Cell struct {
 	// PowerUA is the cell's supply current demand in microamps, used to
 	// size rails along the core.
 	PowerUA int
+	// LambdaCentimicrons overrides the physical lambda when the cell is
+	// written as standalone CIF (0 = the CIF default); library cells drawn
+	// for a finer process carry their lambda with them.
+	LambdaCentimicrons int
 
 	// The remaining representations.
 	Sticks  *sticks.Diagram
@@ -207,18 +211,19 @@ func (c *Cell) FindBristle(name string) (Bristle, bool) {
 // representations), suitable for independent stretching.
 func (c *Cell) Copy() *Cell {
 	out := &Cell{
-		Name:       c.Name,
-		Layout:     c.Layout.Copy(),
-		Size:       c.Size,
-		Bristles:   append([]Bristle(nil), c.Bristles...),
-		StretchX:   append([]geom.Coord(nil), c.StretchX...),
-		StretchY:   append([]geom.Coord(nil), c.StretchY...),
-		Rails:      append([]PowerRail(nil), c.Rails...),
-		PowerUA:    c.PowerUA,
-		Doc:        c.Doc,
-		SimNote:    c.SimNote,
-		BlockLabel: c.BlockLabel,
-		BlockClass: c.BlockClass,
+		Name:               c.Name,
+		Layout:             c.Layout.Copy(),
+		Size:               c.Size,
+		Bristles:           append([]Bristle(nil), c.Bristles...),
+		StretchX:           append([]geom.Coord(nil), c.StretchX...),
+		StretchY:           append([]geom.Coord(nil), c.StretchY...),
+		Rails:              append([]PowerRail(nil), c.Rails...),
+		PowerUA:            c.PowerUA,
+		LambdaCentimicrons: c.LambdaCentimicrons,
+		Doc:                c.Doc,
+		SimNote:            c.SimNote,
+		BlockLabel:         c.BlockLabel,
+		BlockClass:         c.BlockClass,
 	}
 	if c.Sticks != nil {
 		out.Sticks = c.Sticks.Copy()

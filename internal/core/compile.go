@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -94,10 +95,25 @@ type Chip struct {
 	gndTrunkAt, vddTrunkAt geom.Point
 }
 
+// Version identifies the compiler for content-addressed caching: any
+// change that can alter the compiled output for the same (spec, options)
+// pair must bump it, or cache layers will serve stale results.
+const Version = "bristleblocks-1"
+
 // Compile runs the three-pass silicon compiler on the specification.
 func Compile(spec *Spec, opts *Options) (*Chip, error) {
+	return CompileCtx(context.Background(), spec, opts)
+}
+
+// CompileCtx is Compile with cancellation: the context is checked between
+// passes and inside Pass 1's per-column loops, so a canceled or timed-out
+// caller gets its worker back without waiting for all three passes.
+func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -106,12 +122,15 @@ func Compile(spec *Spec, opts *Options) (*Chip, error) {
 	t0 := time.Now()
 
 	// ---- Pass 1: core layout.
-	if err := chip.corePass(); err != nil {
+	if err := chip.corePass(ctx); err != nil {
 		return nil, fmt.Errorf("core pass: %w", err)
 	}
 	chip.Times.Core = time.Since(t0)
 
 	// ---- Pass 2: control design.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
 	t1 := time.Now()
 	if err := chip.controlPass(); err != nil {
 		return nil, fmt.Errorf("control pass: %w", err)
@@ -119,6 +138,9 @@ func Compile(spec *Spec, opts *Options) (*Chip, error) {
 	chip.Times.Control = time.Since(t1)
 
 	// ---- Pass 3: pad layout.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
 	t2 := time.Now()
 	if !opts.SkipPads {
 		if err := chip.padPass(); err != nil {
@@ -128,6 +150,9 @@ func Compile(spec *Spec, opts *Options) (*Chip, error) {
 	chip.Times.Pads = time.Since(t2)
 
 	// Remaining representations.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
 	if !opts.SkipExtraReps {
 		chip.buildRepresentations()
 	}
@@ -151,7 +176,7 @@ func (c *Chip) enabledElements() []ElementSpec {
 // values of global parameters, each element is executed in turn, resulting
 // in a hierarchy of cells which implement the core of the chip", followed
 // by stretching every cell to the common pitch and aligned bus offsets.
-func (c *Chip) corePass() error {
+func (c *Chip) corePass(ctx context.Context) error {
 	spec := c.Spec
 	elems := c.enabledElements()
 	if len(elems) == 0 {
@@ -170,6 +195,11 @@ func (c *Chip) corePass() error {
 	preSites := plan.PrechargeSites()
 	preIdx := 0
 	for i, e := range elems {
+		// A canceled request must stop burning its worker mid-pass: element
+		// generation dominates Pass 1, so check once per element column.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		busA, busB := busNamesAt(plan, i)
 		ctx := &genCtx{
 			width: spec.DataWidth, busA: busA, busB: busB,
@@ -228,6 +258,9 @@ func (c *Chip) corePass() error {
 	// bus bristles to the chip-standard offsets and the pitch.
 	stretched := make(map[*cell.Cell]*cell.Cell)
 	for _, col := range cols {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for bi, cc := range col.cells {
 			sc, ok := stretched[cc]
 			if !ok {

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"bristleblocks/internal/cache"
+)
+
+// metrics is one server's expvar set. The vars live in a per-server
+// expvar.Map rather than the process-global registry so tests (and a
+// process embedding several servers) never collide on Publish; /debug/vars
+// renders the map, which serializes to the standard expvar JSON shape.
+type metrics struct {
+	vars *expvar.Map
+
+	requests      *expvar.Int
+	inFlight      *expvar.Int
+	compiles      *expvar.Int
+	cacheServed   *expvar.Int
+	rejected      *expvar.Int
+	timeouts      *expvar.Int
+	badSpecs      *expvar.Int
+	compileErrors *expvar.Int
+
+	passCore    *histogram
+	passControl *histogram
+	passPads    *histogram
+	request     *histogram
+}
+
+func newMetrics(s *Server) *metrics {
+	m := &metrics{
+		vars:          new(expvar.Map).Init(),
+		requests:      new(expvar.Int),
+		inFlight:      new(expvar.Int),
+		compiles:      new(expvar.Int),
+		cacheServed:   new(expvar.Int),
+		rejected:      new(expvar.Int),
+		timeouts:      new(expvar.Int),
+		badSpecs:      new(expvar.Int),
+		compileErrors: new(expvar.Int),
+		passCore:      newHistogram(),
+		passControl:   newHistogram(),
+		passPads:      newHistogram(),
+		request:       newHistogram(),
+	}
+	m.vars.Set("requests", m.requests)
+	m.vars.Set("in_flight", m.inFlight)
+	m.vars.Set("compiles", m.compiles)
+	m.vars.Set("cache_served", m.cacheServed)
+	m.vars.Set("rejected_queue_full", m.rejected)
+	m.vars.Set("timeouts", m.timeouts)
+	m.vars.Set("bad_specs", m.badSpecs)
+	m.vars.Set("compile_errors", m.compileErrors)
+	m.vars.Set("queue_depth", expvar.Func(func() any { return len(s.jobs) }))
+	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(s.jobs) }))
+	m.vars.Set("workers", expvar.Func(func() any { return s.cfg.Workers }))
+	m.vars.Set("cache", expvar.Func(func() any {
+		c := s.cache.Counters()
+		return map[string]any{
+			"hits":      c.Hits,
+			"misses":    c.Misses,
+			"evictions": c.Evictions,
+			"disk_hits": c.DiskHits,
+			"entries":   c.Entries,
+			"bytes":     c.Bytes,
+			"hit_ratio": s.cache.HitRatio(),
+		}
+	}))
+	m.vars.Set("latency_ms_pass_core", m.passCore)
+	m.vars.Set("latency_ms_pass_control", m.passControl)
+	m.vars.Set("latency_ms_pass_pads", m.passPads)
+	m.vars.Set("latency_ms_request", m.request)
+	return m
+}
+
+// observePasses records a cold compile's per-pass wall-clock.
+func (m *metrics) observePasses(t cache.TimesUS) {
+	m.passCore.observe(float64(t.Core) / 1e3)
+	m.passControl.observe(float64(t.Control) / 1e3)
+	m.passPads.observe(float64(t.Pads) / 1e3)
+}
+
+// observeRequest records end-to-end request latency (hits and misses).
+func (m *metrics) observeRequest(d time.Duration) {
+	m.request.observe(float64(d.Microseconds()) / 1e3)
+}
+
+// histogram is a fixed-bucket latency histogram implementing expvar.Var.
+// Buckets are cumulative-style upper bounds in milliseconds, chosen to
+// straddle the paper's regime (ms-scale compiles) up to the timeout.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last = overflow
+	total  atomic.Int64
+	sumUS  atomic.Int64 // sum in microseconds to keep integer atomics
+}
+
+func newHistogram() *histogram {
+	bounds := []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000}
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(ms float64) {
+	i := 0
+	for i < len(h.bounds) && ms > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	h.sumUS.Add(int64(ms * 1e3))
+}
+
+// String renders the histogram as JSON (the expvar.Var contract).
+func (h *histogram) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `{"count":%d,"sum_ms":%.3f,"buckets":{`, h.total.Load(), float64(h.sumUS.Load())/1e3)
+	for i, b := range h.bounds {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `"le_%g":%d`, b, h.counts[i].Load())
+	}
+	fmt.Fprintf(&sb, `,"inf":%d}}`, h.counts[len(h.bounds)].Load())
+	return sb.String()
+}

@@ -1,0 +1,362 @@
+// Package server is the compile-as-a-service daemon core: an HTTP layer
+// over the three-pass compiler with a content-addressed cache in front and
+// a bounded worker pool behind. The paper's "one design cycle" becomes a
+// POST: spec text in, JSON chip statistics and requested representations
+// out. Load shedding is explicit — a full queue answers 503 instead of
+// accepting unbounded work — and every request carries a deadline that
+// core.CompileCtx honors mid-pass, so abandoned requests hand their worker
+// back promptly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"bristleblocks/internal/cache"
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Cache is the compile cache (nil = a fresh default in-memory cache).
+	Cache *cache.Cache
+	// Workers bounds concurrent compiles (<=0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker (<=0 = 4x workers).
+	QueueDepth int
+	// Timeout is the per-request compile deadline (<=0 = 60s).
+	Timeout time.Duration
+	// MaxSpecBytes bounds the request body (<=0 = 1 MiB; the language is a
+	// "single page" description, so even 1 MiB is generous).
+	MaxSpecBytes int64
+
+	// beforeCompile runs in the worker between claiming a job and compiling
+	// it. Tests use it to hold a worker busy deterministically — real specs
+	// compile in milliseconds, far too fast to occupy a pool on cue.
+	beforeCompile func(context.Context)
+}
+
+// Server is the compile service. Create with New, serve via Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	jobs  chan *job
+
+	workerWG sync.WaitGroup
+	stateMu  sync.RWMutex // guards closed vs. sends on jobs
+	closed   bool
+
+	metrics *metrics
+}
+
+type job struct {
+	ctx  context.Context
+	spec *core.Spec
+	opts *core.Options
+	done chan jobResult
+}
+
+type jobResult struct {
+	res    *cache.Result
+	cached bool
+	err    error
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.MaxSpecBytes <= 0 {
+		cfg.MaxSpecBytes = 1 << 20
+	}
+	if cfg.Cache == nil {
+		c, err := cache.New(0, "")
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cache = c
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		jobs:  make(chan *job, cfg.QueueDepth),
+	}
+	s.metrics = newMetrics(s)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.jobs {
+		// A request that timed out while queued is dropped here rather
+		// than compiled for nobody.
+		if j.ctx.Err() != nil {
+			j.done <- jobResult{err: j.ctx.Err()}
+			continue
+		}
+		s.metrics.inFlight.Add(1)
+		if s.cfg.beforeCompile != nil {
+			s.cfg.beforeCompile(j.ctx)
+		}
+		res, cached, err := s.cache.Compile(j.ctx, j.spec, j.opts)
+		s.metrics.inFlight.Add(-1)
+		if err == nil {
+			if cached {
+				s.metrics.cacheServed.Add(1)
+			} else {
+				s.metrics.compiles.Add(1)
+				s.metrics.observePasses(res.TimesUS)
+			}
+		}
+		j.done <- jobResult{res: res, cached: cached, err: err}
+	}
+}
+
+// Handler returns the daemon's HTTP routes: POST /compile, GET /healthz,
+// and GET /debug/vars.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	return mux
+}
+
+// Shutdown stops accepting work, then waits (bounded by ctx) for the queue
+// to drain and every in-flight compile to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stateMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobs)
+	}
+	s.stateMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("shutdown: %w", ctx.Err())
+	}
+}
+
+// submit enqueues a job unless the server is draining or the queue is
+// full. The read lock makes the closed-check-then-send atomic against
+// Shutdown's close of the channel.
+func (s *Server) submit(j *job) error {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	if s.closed {
+		return errDraining
+	}
+	select {
+	case s.jobs <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+var (
+	errDraining  = fmt.Errorf("server is shutting down")
+	errQueueFull = fmt.Errorf("compile queue is full")
+)
+
+// CompileResponse is the /compile reply. Representations appear only when
+// requested via ?reps=.
+type CompileResponse struct {
+	Chip    string        `json:"chip"`
+	Key     string        `json:"key"`
+	Cached  bool          `json:"cached"`
+	Stats   core.Stats    `json:"stats"`
+	TimesUS cache.TimesUS `json:"times_us"`
+	CIF     string        `json:"cif,omitempty"`
+	Text    string        `json:"text,omitempty"`
+	Block   string        `json:"block,omitempty"`
+	Logical string        `json:"logical,omitempty"`
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a chip description to /compile")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSpecBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxSpecBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", s.cfg.MaxSpecBytes)
+		return
+	}
+	spec, err := desc.Parse(string(body))
+	if err != nil {
+		s.metrics.badSpecs.Add(1)
+		httpError(w, http.StatusBadRequest, "parse spec: %v", err)
+		return
+	}
+	opts, reps, err := parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+
+	// Cache hits are answered on the handler goroutine: a lookup does not
+	// deserve a worker slot or a place in the queue.
+	var out jobResult
+	if res, ok := s.cache.Get(cache.Key(spec, opts)); ok {
+		s.metrics.cacheServed.Add(1)
+		out = jobResult{res: res, cached: true}
+	} else {
+		j := &job{ctx: ctx, spec: spec, opts: opts, done: make(chan jobResult, 1)}
+		if err := s.submit(j); err != nil {
+			s.metrics.rejected.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		select {
+		case out = <-j.done:
+		case <-ctx.Done():
+			// The worker (or the queue scan) observes the same context and
+			// abandons the compile; nobody blocks on the buffered done chan.
+			out = jobResult{err: ctx.Err()}
+		}
+	}
+	if out.err != nil {
+		switch {
+		case ctx.Err() != nil && r.Context().Err() == nil:
+			s.metrics.timeouts.Add(1)
+			httpError(w, http.StatusGatewayTimeout, "compile exceeded %v", s.cfg.Timeout)
+		case ctx.Err() != nil:
+			// Client went away; the status is a formality.
+			httpError(w, http.StatusRequestTimeout, "request canceled")
+		default:
+			s.metrics.compileErrors.Add(1)
+			httpError(w, http.StatusUnprocessableEntity, "compile: %v", out.err)
+		}
+		return
+	}
+
+	resp := &CompileResponse{
+		Chip:    out.res.Chip,
+		Key:     out.res.Key,
+		Cached:  out.cached,
+		Stats:   out.res.Stats,
+		TimesUS: out.res.TimesUS,
+	}
+	if reps["cif"] {
+		resp.CIF = string(out.res.CIF)
+	}
+	if reps["text"] {
+		resp.Text = out.res.Text
+	}
+	if reps["block"] {
+		resp.Block = out.res.Block
+	}
+	if reps["logical"] {
+		resp.Logical = out.res.Logical
+	}
+	s.metrics.observeRequest(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// parseQuery reads the option switches and representation list from the
+// request URL.
+func parseQuery(r *http.Request) (*core.Options, map[string]bool, error) {
+	q := r.URL.Query()
+	opts := &core.Options{}
+	for name, dst := range map[string]*bool{
+		"nopads":   &opts.SkipPads,
+		"skipopt":  &opts.SkipOptimize,
+		"skiproto": &opts.SkipRotoRouter,
+		"evenpads": &opts.EvenPads,
+		"skipreps": &opts.SkipExtraReps,
+	} {
+		switch v := q.Get(name); v {
+		case "", "0", "false":
+		case "1", "true":
+			*dst = true
+		default:
+			return nil, nil, fmt.Errorf("option %s=%q is not a boolean", name, v)
+		}
+	}
+	reps := make(map[string]bool)
+	if rq := q.Get("reps"); rq != "" {
+		for _, name := range strings.Split(rq, ",") {
+			switch name {
+			case "cif", "text", "block", "logical":
+				reps[name] = true
+			case "all":
+				reps["cif"], reps["text"], reps["block"], reps["logical"] = true, true, true, true
+			default:
+				return nil, nil, fmt.Errorf("unknown representation %q (want cif, text, block, logical, all)", name)
+			}
+		}
+	}
+	return opts, reps, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.stateMu.RLock()
+	closed := s.closed
+	s.stateMu.RUnlock()
+	if closed {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, s.metrics.vars.String())
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// QueueLen reports the requests currently waiting for a worker (tests and
+// metrics).
+func (s *Server) QueueLen() int { return len(s.jobs) }
+
+// Workers reports the resolved worker-pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// InFlight reports compiles currently occupying a worker.
+func (s *Server) InFlight() int64 { return s.metrics.inFlight.Value() }

@@ -1,0 +1,69 @@
+package bristleblocks_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bristleblocks"
+	"bristleblocks/internal/experiments"
+)
+
+// TestSpecRoundTrip pins ParseSpec → FormatSpec → ParseSpec as a fixed
+// point for every shipped chip description. The compile cache keys on
+// FormatSpec's output, so canonicality here is load-bearing: two
+// descriptions of the same chip must hash identically.
+func TestSpecRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("examples", "chips", "*.bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example chip descriptions found")
+	}
+	for _, file := range files {
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := bristleblocks.ParseSpec(string(src))
+			if err != nil {
+				t.Fatalf("ParseSpec: %v", err)
+			}
+			text := bristleblocks.FormatSpec(spec)
+			spec2, err := bristleblocks.ParseSpec(text)
+			if err != nil {
+				t.Fatalf("reparsing formatted spec: %v\n%s", err, text)
+			}
+			if !reflect.DeepEqual(spec, spec2) {
+				t.Errorf("round trip changed the spec:\nfirst:  %+v\nsecond: %+v", spec, spec2)
+			}
+			// Formatting must itself be a fixed point, or cache keys drift
+			// between a parsed-from-file spec and its reformatted twin.
+			if text2 := bristleblocks.FormatSpec(spec2); text2 != text {
+				t.Errorf("FormatSpec is not canonical:\n%q\nvs\n%q", text, text2)
+			}
+		})
+	}
+}
+
+// TestSuiteSpecRoundTrip covers the programmatically built benchmark
+// specs, which exercise bus lists and element parameters the example
+// files may not.
+func TestSuiteSpecRoundTrip(t *testing.T) {
+	for _, sc := range experiments.Suite {
+		t.Run(sc.Name, func(t *testing.T) {
+			spec := experiments.SpecFor(sc)
+			text := bristleblocks.FormatSpec(spec)
+			spec2, err := bristleblocks.ParseSpec(text)
+			if err != nil {
+				t.Fatalf("reparsing formatted spec: %v\n%s", err, text)
+			}
+			if text2 := bristleblocks.FormatSpec(spec2); text2 != text {
+				t.Errorf("FormatSpec is not canonical:\n%q\nvs\n%q", text, text2)
+			}
+		})
+	}
+}

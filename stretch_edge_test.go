@@ -1,0 +1,156 @@
+package bristleblocks_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bristleblocks"
+)
+
+// tieCell has one metal strip covering x ∈ [0,16] quanta and stretch
+// lines at 8 and 24 on both axes: a stretch routed to line 8 widens the
+// strip, one routed to 24 only moves the far edge of the cell. That
+// asymmetry makes the chosen line observable from the geometry.
+const tieCell = `
+cell tie
+size 0 0 32 32
+box metal 0 0 16 32
+label m 8 16 metal
+stretchx 8 24
+stretchy 8 24
+endcell
+`
+
+func parseTieCell(t *testing.T) *bristleblocks.Cell {
+	t.Helper()
+	cells, err := bristleblocks.ParseCDL(tieCell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells[0]
+}
+
+// TestStretchCellTieBreak: atX=4λ (16 quanta) is exactly between the
+// lines at 8 and 24; the nearest-line search must deterministically keep
+// the first declared line, so the strip widens.
+func TestStretchCellTieBreak(t *testing.T) {
+	c := parseTieCell(t)
+	if err := bristleblocks.StretchCell(c, 4, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Layout.Boxes[0].R.MaxX; got != 20 {
+		t.Errorf("tied stretch went to the far line: box MaxX = %d, want 20", got)
+	}
+	if got := c.Size.MaxX; got != 36 {
+		t.Errorf("size MaxX = %d, want 36", got)
+	}
+}
+
+// TestStretchCellNearestLine: a point clearly nearer the far line must
+// select it and leave the strip untouched.
+func TestStretchCellNearestLine(t *testing.T) {
+	c := parseTieCell(t)
+	if err := bristleblocks.StretchCell(c, 7, 1, 0, 0); err != nil { // 28 quanta: nearer 24
+		t.Fatal(err)
+	}
+	if got := c.Layout.Boxes[0].R.MaxX; got != 16 {
+		t.Errorf("stretch at far line widened the strip: box MaxX = %d, want 16", got)
+	}
+	if got := c.Size.MaxX; got != 36 {
+		t.Errorf("size MaxX = %d, want 36", got)
+	}
+}
+
+// TestStretchCellZeroDelta: a zero delta skips its axis entirely — even
+// on a cell with no stretch lines at all it must not error or move
+// anything.
+func TestStretchCellZeroDelta(t *testing.T) {
+	c := parseTieCell(t)
+	before := c.Size
+	if err := bristleblocks.StretchCell(c, 4, 0, 4, 0); err != nil {
+		t.Fatalf("all-zero stretch errored: %v", err)
+	}
+	if c.Size != before {
+		t.Errorf("all-zero stretch moved the abutment box: %v -> %v", before, c.Size)
+	}
+
+	rigid, err := bristleblocks.ParseCDL("cell r\nsize 0 0 16 16\nbox metal 0 0 16 16\nlabel m 8 8 metal\nendcell\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bristleblocks.StretchCell(rigid[0], 0, 0, 0, 0); err != nil {
+		t.Errorf("zero-delta stretch of a rigid cell errored: %v", err)
+	}
+}
+
+// TestStretchCellAxisErrors: a nonzero delta on an axis without stretch
+// lines is an error naming that axis, and the cell is left untouched when
+// the failing axis comes first.
+func TestStretchCellAxisErrors(t *testing.T) {
+	cells, err := bristleblocks.ParseCDL("cell yonly\nsize 0 0 16 32\nbox metal 0 0 16 32\nlabel m 8 8 metal\nstretchy 16\nendcell\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	err = bristleblocks.StretchCell(c, 2, 2, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "horizontal") {
+		t.Errorf("x stretch of y-only cell: err = %v, want horizontal-lines error", err)
+	}
+	if c.Size.MaxX != 16 {
+		t.Errorf("failed stretch moved the cell: %v", c.Size)
+	}
+	// The y axis still works after the x failure path.
+	if err := bristleblocks.StretchCell(c, 0, 0, 4, 2); err != nil {
+		t.Errorf("y stretch after x error: %v", err)
+	}
+	if c.Size.MaxY != 40 {
+		t.Errorf("size MaxY = %d, want 40", c.Size.MaxY)
+	}
+
+	cells, err = bristleblocks.ParseCDL("cell xonly\nsize 0 0 32 16\nbox metal 0 0 32 16\nlabel m 8 8 metal\nstretchx 16\nendcell\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = bristleblocks.StretchCell(cells[0], 0, 0, 2, 2)
+	if err == nil || !strings.Contains(err.Error(), "vertical") {
+		t.Errorf("y stretch of x-only cell: err = %v, want vertical-lines error", err)
+	}
+}
+
+// TestWriteCellCIFLambdaOverride: a cell carrying its own physical lambda
+// must be written at that scale, mirroring WriteCIF's handling of
+// Spec.LambdaCentimicrons.
+func TestWriteCellCIFLambdaOverride(t *testing.T) {
+	base := "cell c\nsize 0 0 16 16\nbox metal 0 0 16 16\nlabel m 8 8 metal\n"
+	def, err := bristleblocks.ParseCDL(base + "endcell\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := bristleblocks.ParseCDL(base + "lambda 100\nendcell\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fine[0].LambdaCentimicrons != 100 {
+		t.Fatalf("lambda directive not parsed: %+v", fine[0].LambdaCentimicrons)
+	}
+	var defOut, fineOut bytes.Buffer
+	if err := bristleblocks.WriteCellCIF(&defOut, def[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bristleblocks.WriteCellCIF(&fineOut, fine[0]); err != nil {
+		t.Fatal(err)
+	}
+	if defOut.String() == fineOut.String() {
+		t.Error("lambda override did not change the CIF scale")
+	}
+	// The override survives the CDL round trip, so library files keep
+	// their process.
+	reparsed, err := bristleblocks.ParseCDL(bristleblocks.FormatCDL(fine[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed[0].LambdaCentimicrons != 100 {
+		t.Error("lambda directive lost in FormatCDL round trip")
+	}
+}
