@@ -230,6 +230,39 @@ func BenchmarkA5Variants(b *testing.B) {
 	b.ReportMetric(wide, "λ-mixed")
 }
 
+// benchCorePass runs Pass 1 alone over every spec in examples/chips plus
+// the two largest suite chips (the examples are paper-scale; the suite
+// chips give the fan-out enough columns to chew on), at the given pool
+// width.
+func benchCorePass(b *testing.B, parallelism int) {
+	b.Helper()
+	var specs []*core.Spec
+	for _, spec := range chipsSpecs(b) {
+		specs = append(specs, spec)
+	}
+	specs = append(specs, experiments.SpecFor(experiments.Suite[4]), experiments.SpecFor(experiments.Suite[5]))
+	opts := &core.Options{Parallelism: parallelism}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			if _, err := core.CoreOnly(ctx, spec, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCorePassSerial is the baseline arm: Pass 1 with the fan-out
+// pinned to one worker.
+func BenchmarkCorePassSerial(b *testing.B) { benchCorePass(b, 1) }
+
+// BenchmarkCorePassParallel is the tentpole's headline number: Pass 1 on a
+// GOMAXPROCS-wide pool. Compare against BenchmarkCorePassSerial — on a
+// multi-core machine the fan-out (element generation) and fan-in (cell
+// stretching) stages scale with cores, and the ratio is the speedup.
+func BenchmarkCorePassParallel(b *testing.B) { benchCorePass(b, 0) }
+
 // BenchmarkCompileCachedHit is the serving path's hot case: the
 // CompileLarge spec re-requested through a warm content-addressed cache.
 // Compare with BenchmarkCompileLarge for the hit/miss ratio the daemon

@@ -9,12 +9,18 @@
 //	bbd -addr :9000 -pool 8              # custom listen address, 8 workers
 //	bbd -cache-dir /var/cache/bbd        # persistent compile cache
 //	bbd -cache-mb 64 -timeout 30s        # memory budget and per-request deadline
+//	bbd -j 4                             # Pass 1 fan-out width per compile
 //
 // Endpoints:
 //
-//	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skiproto=1&evenpads=1&skipreps=1]
+//	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skiproto=1&evenpads=1&skipreps=1][&trace=1]
 //	GET  /healthz
 //	GET  /debug/vars
+//
+// With trace=1 the response carries a "trace" array: one span per pass,
+// per element generation, and per cell stretch (a cache hit is a single
+// cache.lookup span). /debug/vars exports the same signal in aggregate as
+// the latency_ms_gen_element histogram.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // in-flight compiles finish, then the process exits.
@@ -44,6 +50,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory for the persistent compile cache (empty = memory only)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request compile deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	jobs := flag.Int("j", 1, "Pass 1 fan-out width per compile (0 = GOMAXPROCS; 1 serves throughput, the worker pool is the concurrency)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: bbd [flags]")
@@ -56,10 +63,11 @@ func main() {
 		log.Fatalf("bbd: %v", err)
 	}
 	srv, err := server.New(server.Config{
-		Cache:      c,
-		Workers:    *pool,
-		QueueDepth: *queue,
-		Timeout:    *timeout,
+		Cache:       c,
+		Workers:     *pool,
+		QueueDepth:  *queue,
+		Timeout:     *timeout,
+		Parallelism: *jobs,
 	})
 	if err != nil {
 		log.Fatalf("bbd: %v", err)

@@ -15,9 +15,12 @@
 //	                                   # simulation representation, print the
 //	                                   # trace and final register state
 //	bristlec -pads io=0xC8 -run ...    # preset input pads before the run
+//	bristlec -j 8 chip.bb              # Pass 1 fan-out on 8 workers
+//	bristlec -trace chip.bb            # print per-pass/per-element spans
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +29,7 @@ import (
 	"strings"
 
 	"bristleblocks"
+	"bristleblocks/internal/trace"
 )
 
 func main() {
@@ -37,6 +41,8 @@ func main() {
 	run := flag.String("run", "", "microcode source file to assemble and simulate")
 	plotPath := flag.String("plot", "", "write a PNG check plot of the chip to this path")
 	padsIn := flag.String("pads", "", "preset I/O element pads before -run, e.g. io=0xC8 (comma separated)")
+	jobs := flag.Int("j", 0, "Pass 1 worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	showTrace := flag.Bool("trace", false, "print the compile trace (per-pass and per-element spans)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -53,7 +59,16 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("%s: %w", in, err))
 	}
-	chip, err := bristleblocks.Compile(spec, &bristleblocks.Options{SkipPads: *noPads})
+	ctx := context.Background()
+	var tr *trace.Trace
+	if *showTrace {
+		tr = trace.New()
+		ctx = trace.WithTrace(ctx, tr)
+	}
+	chip, err := bristleblocks.CompileCtx(ctx, spec, &bristleblocks.Options{
+		SkipPads:    *noPads,
+		Parallelism: *jobs,
+	})
 	if err != nil {
 		fatal(fmt.Errorf("compile %s: %w", spec.Name, err))
 	}
@@ -74,6 +89,10 @@ func main() {
 	}
 	fmt.Printf("%s: %d transistors, %d columns, %d pads -> %s\n",
 		spec.Name, chip.Stats.Transistors, chip.Stats.Columns, chip.Stats.PadCount, cifPath)
+
+	if *showTrace {
+		fmt.Print(tr.String())
+	}
 
 	if *stats {
 		st := chip.Stats

@@ -20,15 +20,20 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/desc"
+	"bristleblocks/internal/trace"
 )
 
 // Key returns the content address for one compilation: a hex SHA-256 over
 // the canonical spec text, the option switches, and the compiler version.
 // It relies on desc.Format being canonical (same Spec ⇒ same text), which
-// the spec round-trip tests pin down.
+// the spec round-trip tests pin down. Options.Parallelism is deliberately
+// left out of the hash: Pass 1's fan-out is output-invariant (the
+// determinism tests pin byte-identical CIF at every pool size), so a
+// serial and a parallel compile of the same spec must share one entry.
 func Key(spec *core.Spec, opts *core.Options) string {
 	if opts == nil {
 		opts = &core.Options{}
@@ -199,17 +204,23 @@ func (c *Cache) HitRatio() float64 {
 // Compile is the read-through path the daemon serves from: on a hit the
 // three passes are skipped entirely; on a miss it runs core.CompileCtx,
 // renders the storable representations, and fills both layers. The bool
-// reports whether the result came from the cache.
+// reports whether the result came from the cache. A trace.Trace on the
+// context records the lookup (with its hit/miss outcome) ahead of any
+// compile spans.
 func (c *Cache) Compile(ctx context.Context, spec *core.Spec, opts *core.Options) (*Result, bool, error) {
+	tr := trace.FromContext(ctx)
 	key := Key(spec, opts)
-	if res, ok := c.Get(key); ok {
+	t0 := time.Now()
+	res, ok := c.Get(key)
+	tr.Lookup(time.Since(t0), ok)
+	if ok {
 		return res, true, nil
 	}
 	chip, err := core.CompileCtx(ctx, spec, opts)
 	if err != nil {
 		return nil, false, err
 	}
-	res, err := Render(chip)
+	res, err = Render(chip)
 	if err != nil {
 		return nil, false, err
 	}

@@ -19,6 +19,7 @@ import (
 	"bristleblocks/internal/sim"
 	"bristleblocks/internal/sticks"
 	"bristleblocks/internal/stretch"
+	"bristleblocks/internal/trace"
 	"bristleblocks/internal/transistor"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// produced; set SkipExtraReps to produce only the layout (for the T2
 	// timing ablation).
 	SkipExtraReps bool
+	// Parallelism bounds Pass 1's fan-out worker pool: 0 (the default)
+	// selects GOMAXPROCS, 1 runs the serial path. The compiled chip is
+	// byte-identical at every setting — the fan-in reassembles in column
+	// order — so this knob is deliberately excluded from the compile
+	// cache key.
+	Parallelism int
 }
 
 // PassTimes records wall-clock per compiler pass.
@@ -106,8 +113,10 @@ func Compile(spec *Spec, opts *Options) (*Chip, error) {
 }
 
 // CompileCtx is Compile with cancellation: the context is checked between
-// passes and inside Pass 1's per-column loops, so a canceled or timed-out
-// caller gets its worker back without waiting for all three passes.
+// passes and inside Pass 1's fan-out, so a canceled or timed-out caller
+// gets its worker back without waiting for all three passes. A
+// trace.Trace attached to the context receives one span per pass, per
+// element generation, and per cell stretch.
 func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	if opts == nil {
 		opts = &Options{}
@@ -119,12 +128,15 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 		return nil, err
 	}
 	chip := &Chip{Spec: spec, Options: *opts}
+	tr := trace.FromContext(ctx)
 	t0 := time.Now()
 
 	// ---- Pass 1: core layout.
+	endCore := tr.Begin("pass.core", trace.PassCore, trace.Coordinator)
 	if err := chip.corePass(ctx); err != nil {
 		return nil, fmt.Errorf("core pass: %w", err)
 	}
+	endCore()
 	chip.Times.Core = time.Since(t0)
 
 	// ---- Pass 2: control design.
@@ -132,9 +144,11 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	t1 := time.Now()
+	endControl := tr.Begin("pass.control", trace.PassControl, trace.Coordinator)
 	if err := chip.controlPass(); err != nil {
 		return nil, fmt.Errorf("control pass: %w", err)
 	}
+	endControl()
 	chip.Times.Control = time.Since(t1)
 
 	// ---- Pass 3: pad layout.
@@ -143,9 +157,11 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	}
 	t2 := time.Now()
 	if !opts.SkipPads {
+		endPads := tr.Begin("pass.pads", trace.PassPads, trace.Coordinator)
 		if err := chip.padPass(); err != nil {
 			return nil, fmt.Errorf("pad pass: %w", err)
 		}
+		endPads()
 	}
 	chip.Times.Pads = time.Since(t2)
 
@@ -154,10 +170,30 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	if !opts.SkipExtraReps {
+		endReps := tr.Begin("pass.representations", trace.PassReps, trace.Coordinator)
 		chip.buildRepresentations()
+		endReps()
 	}
 	chip.Times.Total = time.Since(t0)
 	chip.fillStats()
+	return chip, nil
+}
+
+// CoreOnly runs Pass 1 alone and returns the chip with its core layout,
+// columns, pitch, and power statistics filled in — the seam the Pass 1
+// benchmarks measure, also useful for pitch and power estimation without
+// paying for the decoder and pad ring.
+func CoreOnly(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	chip := &Chip{Spec: spec, Options: *opts}
+	if err := chip.corePass(ctx); err != nil {
+		return nil, fmt.Errorf("core pass: %w", err)
+	}
 	return chip, nil
 }
 
@@ -176,8 +212,26 @@ func (c *Chip) enabledElements() []ElementSpec {
 // values of global parameters, each element is executed in turn, resulting
 // in a hierarchy of cells which implement the core of the chip", followed
 // by stretching every cell to the common pitch and aligned bus offsets.
+//
+// The pass is structured as fan-out / barrier / fan-in, exploiting the
+// embarrassingly parallel shape the paper describes:
+//
+//   - fan-out: each element generates its columns (and the precharge
+//     columns heading its bus segments) independently, on a bounded
+//     worker pool that honors context cancellation;
+//   - barrier: the elements "vote on the values of global parameters" —
+//     the accumulated power budget sizes the rails, which fixes the
+//     common pitch and the chip-standard bus offsets;
+//   - fan-in: every distinct cell is stretched to that pitch (again on
+//     the pool — cells are independent copies), then the core is
+//     assembled serially in column order.
+//
+// Because the fan-out writes results into per-element slots and the
+// fan-in reassembles in column order, the compiled core is byte-identical
+// to the serial (Parallelism=1) run at any pool size.
 func (c *Chip) corePass(ctx context.Context) error {
 	spec := c.Spec
+	tr := trace.FromContext(ctx)
 	elems := c.enabledElements()
 	if len(elems) == 0 {
 		return fmt.Errorf("conditional assembly removed every element")
@@ -190,32 +244,35 @@ func (c *Chip) corePass(ctx context.Context) error {
 	}
 	c.plan = plan
 
-	// Generate element columns.
-	var cols []*column
+	// Precharge columns go just after their segment-head element (anywhere
+	// inside the segment is electrically equivalent, and this keeps I/O
+	// elements on the core boundary); index the sites by element so each
+	// fan-out task can generate its own.
 	preSites := plan.PrechargeSites()
-	preIdx := 0
-	for i, e := range elems {
-		// A canceled request must stop burning its worker mid-pass: element
-		// generation dominates Pass 1, so check once per element column.
-		if err := ctx.Err(); err != nil {
-			return err
-		}
+	preByElem := make(map[int][]bus.Segment, len(preSites))
+	for _, seg := range preSites {
+		preByElem[seg.From] = append(preByElem[seg.From], seg)
+	}
+
+	// ---- Fan-out: generate every element's columns concurrently. Each
+	// task owns slot i of perElem, so the barrier can concatenate in
+	// element order and reproduce the serial column sequence exactly.
+	workers := poolSize(c.Options.Parallelism, len(elems))
+	perElem := make([][]*column, len(elems))
+	err = runIndexed(ctx, workers, len(elems), func(worker, i int) error {
+		e := elems[i]
+		defer tr.Begin("gen."+e.Name, trace.PassCore, worker)()
 		busA, busB := busNamesAt(plan, i)
-		ctx := &genCtx{
+		gctx := &genCtx{
 			width: spec.DataWidth, busA: busA, busB: busB,
 			elemIdx: i, first: i == 0, last: i == len(elems)-1,
 		}
 		gen := elementKinds[e.Kind]
-		ecols, err := gen(&e, ctx)
+		ecols, err := gen(&e, gctx)
 		if err != nil {
-			return err
+			return fmt.Errorf("element %d (%s): %w", i, e.Name, err)
 		}
-		cols = append(cols, ecols...)
-		// Compiler-inserted precharge columns just after the segment-head
-		// element (anywhere inside the segment is electrically equivalent,
-		// and this keeps I/O elements on the core boundary).
-		for preIdx < len(preSites) && preSites[preIdx].From == i {
-			seg := preSites[preIdx]
+		for _, seg := range preByElem[i] {
 			pa, pb := busA, busB
 			if seg.Slot == bus.Upper {
 				pa = seg.Name
@@ -224,15 +281,25 @@ func (c *Chip) corePass(ctx context.Context) error {
 			}
 			pc, err := genBusPre(fmt.Sprintf("pre.%s.%d", seg.Name, i), pa, pb, spec.DataWidth, i)
 			if err != nil {
-				return err
+				return fmt.Errorf("element %d (%s): precharge %s: %w", i, e.Name, seg.Name, err)
 			}
-			cols = append(cols, pc)
-			preIdx++
+			ecols = append(ecols, pc)
 		}
+		perElem[i] = ecols
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var cols []*column
+	for _, ecols := range perElem {
+		cols = append(cols, ecols...)
 	}
 
-	// Voting on global parameters: the power budget sizes the rails; the
-	// pitch and standard bus offsets follow.
+	// ---- Barrier: voting on global parameters. The power budget
+	// accumulated over every column sizes the rails; the pitch and
+	// standard bus offsets follow. This needs all columns, so it sits
+	// between the fan-out and the fan-in.
 	var colPower []int
 	for _, col := range cols {
 		p := 0
@@ -254,47 +321,65 @@ func (c *Chip) corePass(ctx context.Context) error {
 	busATarget := geom.L(celllib.BusACenter) + 2*dRail
 	busBTarget := geom.L(celllib.BusBCenter) + 2*dRail
 
-	// Stretch every distinct cell once: widen both rails, then pin the
-	// bus bristles to the chip-standard offsets and the pitch.
-	stretched := make(map[*cell.Cell]*cell.Cell)
-	for _, col := range cols {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		for bi, cc := range col.cells {
-			sc, ok := stretched[cc]
-			if !ok {
-				sc = cc.Copy()
-				if dRail > 0 {
-					if err := stretch.WidenRail(sc, "gnd", dRail); err != nil {
-						return err
-					}
-					if err := stretch.WidenRail(sc, "vdd", dRail); err != nil {
-						return err
-					}
-				}
-				busABr := "busA.W"
-				busBBr := "busB.W"
-				if err := stretch.FitY(sc, []stretch.Target{
-					{Bristle: busABr, At: busATarget},
-					{Bristle: busBBr, At: busBTarget},
-				}, pitch); err != nil {
-					return err
-				}
-				stretched[cc] = sc
+	// ---- Fan-in: stretch every distinct cell once — widen both rails,
+	// then pin the bus bristles to the chip-standard offsets and the
+	// pitch. Distinct cells are collected in column order, stretched
+	// concurrently (each task works on its own Copy), and mapped back in
+	// column order, so the stretched map is identical to the serial run's.
+	type distinctCell struct {
+		cc      *cell.Cell
+		colName string // first referencing column, for error context
+		colIdx  int
+	}
+	var uniq []distinctCell
+	seen := make(map[*cell.Cell]int)
+	for ci, col := range cols {
+		for _, cc := range col.cells {
+			if _, ok := seen[cc]; !ok {
+				seen[cc] = len(uniq)
+				uniq = append(uniq, distinctCell{cc: cc, colName: col.name, colIdx: ci})
 			}
-			col.cells[bi] = sc
+		}
+	}
+	stretchedOf := make([]*cell.Cell, len(uniq))
+	err = runIndexed(ctx, workers, len(uniq), func(worker, i int) error {
+		u := uniq[i]
+		defer tr.Begin("stretch."+u.cc.Name, trace.PassCore, worker)()
+		sc := u.cc.Copy()
+		if dRail > 0 {
+			if err := stretch.WidenRail(sc, "gnd", dRail); err != nil {
+				return fmt.Errorf("column %d (%s): %w", u.colIdx, u.colName, err)
+			}
+			if err := stretch.WidenRail(sc, "vdd", dRail); err != nil {
+				return fmt.Errorf("column %d (%s): %w", u.colIdx, u.colName, err)
+			}
+		}
+		if err := stretch.FitY(sc, []stretch.Target{
+			{Bristle: "busA.W", At: busATarget},
+			{Bristle: "busB.W", At: busBTarget},
+		}, pitch); err != nil {
+			return fmt.Errorf("column %d (%s): %w", u.colIdx, u.colName, err)
+		}
+		stretchedOf[i] = sc
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, col := range cols {
+		for bi, cc := range col.cells {
+			col.cells[bi] = stretchedOf[seen[cc]]
 		}
 	}
 
 	// Assemble the core: columns left to right, bit rows bottom-up.
 	coreMask := mask.NewCell(spec.Name + ".core")
 	x := geom.Coord(0)
-	for _, col := range cols {
+	for ci, col := range cols {
 		w := col.cells[0].Width()
 		for _, cc := range col.cells {
 			if cc.Width() != w {
-				return fmt.Errorf("column %s has ragged cell widths", col.name)
+				return fmt.Errorf("column %d (%s) has ragged cell widths", ci, col.name)
 			}
 		}
 		col.x = x
@@ -372,6 +457,17 @@ func (c *Chip) drawPowerTrunks() {
 	c.vddTrunkAt = drawTrunk(-geom.L(18), "vdd", vy, geom.L(20), coreW/3)
 }
 
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// iteration wherever the order reaches geometry.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // busNamesAt resolves the bus nets at an element position; unused slots get
 // a floating placeholder net.
 func busNamesAt(plan *bus.Plan, i int) (string, string) {
@@ -424,11 +520,15 @@ func (c *Chip) controlPass() error {
 	coreTop := c.Stats.CoreBounds.MaxY
 	decoderY := coreTop + geom.L(8)
 	chipMask.PlaceNamed("decoder", res.Layout.Cell.Layout, geom.Translate(0, decoderY))
-	for _, x := range ctlX {
+	// The fillers are drawn in sorted-key order: map iteration order would
+	// otherwise leak into the mask's geometry order and break the
+	// byte-identical guarantee the determinism tests pin down.
+	for _, name := range sortedKeys(ctlX) {
+		x := ctlX[name]
 		chipMask.AddWire(layer.Poly, geom.L(2), geom.Pt(x, coreTop-geom.L(1)), geom.Pt(x, decoderY+geom.L(1)))
 	}
-	for _, xs := range clockX {
-		for _, x := range xs {
+	for _, name := range sortedKeys(clockX) {
+		for _, x := range clockX[name] {
 			chipMask.AddWire(layer.Poly, geom.L(2), geom.Pt(x, coreTop-geom.L(1)), geom.Pt(x, decoderY+geom.L(1)))
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bristleblocks/internal/cache"
+	"bristleblocks/internal/trace"
 )
 
 // metrics is one server's expvar set. The vars live in a per-server
@@ -29,6 +30,7 @@ type metrics struct {
 	passCore    *histogram
 	passControl *histogram
 	passPads    *histogram
+	genElement  *histogram
 	request     *histogram
 }
 
@@ -46,6 +48,7 @@ func newMetrics(s *Server) *metrics {
 		passCore:      newHistogram(),
 		passControl:   newHistogram(),
 		passPads:      newHistogram(),
+		genElement:    newHistogram(),
 		request:       newHistogram(),
 	}
 	m.vars.Set("requests", m.requests)
@@ -74,8 +77,20 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("latency_ms_pass_core", m.passCore)
 	m.vars.Set("latency_ms_pass_control", m.passControl)
 	m.vars.Set("latency_ms_pass_pads", m.passPads)
+	m.vars.Set("latency_ms_gen_element", m.genElement)
 	m.vars.Set("latency_ms_request", m.request)
 	return m
+}
+
+// observeSpans exports a cold compile's trace into the histograms: every
+// Pass 1 element-generation span feeds the per-element latency
+// distribution, the fan-out hot loop the pipeline was parallelized around.
+func (m *metrics) observeSpans(spans []trace.Span) {
+	for _, s := range spans {
+		if s.Pass == trace.PassCore && strings.HasPrefix(s.Name, "gen.") {
+			m.genElement.observe(float64(s.DurUS) / 1e3)
+		}
+	}
 }
 
 // observePasses records a cold compile's per-pass wall-clock.

@@ -22,6 +22,7 @@ import (
 	"bristleblocks/internal/cache"
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/desc"
+	"bristleblocks/internal/trace"
 )
 
 // Config sizes the service.
@@ -37,6 +38,12 @@ type Config struct {
 	// MaxSpecBytes bounds the request body (<=0 = 1 MiB; the language is a
 	// "single page" description, so even 1 MiB is generous).
 	MaxSpecBytes int64
+	// Parallelism is Pass 1's fan-out width per compile (0 = GOMAXPROCS,
+	// 1 = serial). A loaded daemon already runs Workers compiles
+	// concurrently, so bbd defaults this to 1 and lets the worker pool be
+	// the parallelism; set it higher when the daemon mostly sees one
+	// large compile at a time.
+	Parallelism int
 
 	// beforeCompile runs in the worker between claiming a job and compiling
 	// it. Tests use it to hold a worker busy deterministically — real specs
@@ -118,7 +125,17 @@ func (s *Server) worker() {
 		if s.cfg.beforeCompile != nil {
 			s.cfg.beforeCompile(j.ctx)
 		}
-		res, cached, err := s.cache.Compile(j.ctx, j.spec, j.opts)
+		// Every cold compile is traced — the spans feed the per-element
+		// histogram whether or not the client asked to see them. The
+		// handler attaches the client's collector when ?trace=1; otherwise
+		// the worker brings its own.
+		ctx := j.ctx
+		tr := trace.FromContext(ctx)
+		if tr == nil {
+			tr = trace.New()
+			ctx = trace.WithTrace(ctx, tr)
+		}
+		res, cached, err := s.cache.Compile(ctx, j.spec, j.opts)
 		s.metrics.inFlight.Add(-1)
 		if err == nil {
 			if cached {
@@ -126,6 +143,7 @@ func (s *Server) worker() {
 			} else {
 				s.metrics.compiles.Add(1)
 				s.metrics.observePasses(res.TimesUS)
+				s.metrics.observeSpans(tr.Spans())
 			}
 		}
 		j.done <- jobResult{res: res, cached: cached, err: err}
@@ -188,7 +206,8 @@ var (
 )
 
 // CompileResponse is the /compile reply. Representations appear only when
-// requested via ?reps=.
+// requested via ?reps=; Trace appears only with ?trace=1 and describes
+// this request's work (a cache hit traces as a single lookup span).
 type CompileResponse struct {
 	Chip    string        `json:"chip"`
 	Key     string        `json:"key"`
@@ -199,6 +218,7 @@ type CompileResponse struct {
 	Text    string        `json:"text,omitempty"`
 	Block   string        `json:"block,omitempty"`
 	Logical string        `json:"logical,omitempty"`
+	Trace   []trace.Span  `json:"trace,omitempty"`
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -223,19 +243,27 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parse spec: %v", err)
 		return
 	}
-	opts, reps, err := parseQuery(r)
+	opts, reps, wantTrace, err := parseQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	opts.Parallelism = s.cfg.Parallelism
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
+	var tr *trace.Trace
+	if wantTrace {
+		tr = trace.New()
+		ctx = trace.WithTrace(ctx, tr)
+	}
 
 	// Cache hits are answered on the handler goroutine: a lookup does not
 	// deserve a worker slot or a place in the queue.
 	var out jobResult
+	t0 := time.Now()
 	if res, ok := s.cache.Get(cache.Key(spec, opts)); ok {
+		tr.Lookup(time.Since(t0), true)
 		s.metrics.cacheServed.Add(1)
 		out = jobResult{res: res, cached: true}
 	} else {
@@ -287,29 +315,34 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if reps["logical"] {
 		resp.Logical = out.res.Logical
 	}
+	if wantTrace {
+		resp.Trace = tr.Spans()
+	}
 	s.metrics.observeRequest(time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
-// parseQuery reads the option switches and representation list from the
-// request URL.
-func parseQuery(r *http.Request) (*core.Options, map[string]bool, error) {
+// parseQuery reads the option switches, representation list, and trace
+// request from the request URL.
+func parseQuery(r *http.Request) (*core.Options, map[string]bool, bool, error) {
 	q := r.URL.Query()
 	opts := &core.Options{}
+	var wantTrace bool
 	for name, dst := range map[string]*bool{
 		"nopads":   &opts.SkipPads,
 		"skipopt":  &opts.SkipOptimize,
 		"skiproto": &opts.SkipRotoRouter,
 		"evenpads": &opts.EvenPads,
 		"skipreps": &opts.SkipExtraReps,
+		"trace":    &wantTrace,
 	} {
 		switch v := q.Get(name); v {
 		case "", "0", "false":
 		case "1", "true":
 			*dst = true
 		default:
-			return nil, nil, fmt.Errorf("option %s=%q is not a boolean", name, v)
+			return nil, nil, false, fmt.Errorf("option %s=%q is not a boolean", name, v)
 		}
 	}
 	reps := make(map[string]bool)
@@ -321,11 +354,11 @@ func parseQuery(r *http.Request) (*core.Options, map[string]bool, error) {
 			case "all":
 				reps["cif"], reps["text"], reps["block"], reps["logical"] = true, true, true, true
 			default:
-				return nil, nil, fmt.Errorf("unknown representation %q (want cif, text, block, logical, all)", name)
+				return nil, nil, false, fmt.Errorf("unknown representation %q (want cif, text, block, logical, all)", name)
 			}
 		}
 	}
-	return opts, reps, nil
+	return opts, reps, wantTrace, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

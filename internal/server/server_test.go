@@ -384,3 +384,78 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached in time")
 }
+
+// TestCompileTraceParam: ?trace=1 returns the request's spans — a cold
+// compile shows the cache miss plus per-pass and per-element spans; a warm
+// re-request shows the single lookup hit. Untraced requests carry none.
+func TestCompileTraceParam(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := specText(1)
+
+	resp, cr := postSpec(t, ts.URL+"/compile?trace=1", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if cr.Cached {
+		t.Fatal("first compile claimed a cache hit")
+	}
+	var sawMiss, sawPass, sawGen bool
+	for _, s := range cr.Trace {
+		switch {
+		case s.Name == "cache.lookup" && !s.Hit:
+			sawMiss = true
+		case s.Name == "pass.core":
+			sawPass = true
+		case strings.HasPrefix(s.Name, "gen."):
+			sawGen = true
+		}
+	}
+	if !sawMiss || !sawPass || !sawGen {
+		t.Fatalf("cold trace incomplete (miss=%v pass=%v gen=%v): %+v", sawMiss, sawPass, sawGen, cr.Trace)
+	}
+
+	resp, cr = postSpec(t, ts.URL+"/compile?trace=1", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !cr.Cached {
+		t.Fatal("identical spec missed the cache")
+	}
+	if len(cr.Trace) != 1 || cr.Trace[0].Name != "cache.lookup" || !cr.Trace[0].Hit {
+		t.Fatalf("warm trace = %+v, want a single lookup hit", cr.Trace)
+	}
+
+	resp, cr = postSpec(t, ts.URL+"/compile", spec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(cr.Trace) != 0 {
+		t.Fatalf("untraced request returned %d spans", len(cr.Trace))
+	}
+
+	if resp, _ := postSpec(t, ts.URL+"/compile?trace=2", spec); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trace=2 status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestGenElementHistogram: cold compiles feed the per-element generation
+// histogram exported on /debug/vars.
+func TestGenElementHistogram(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	if resp, _ := postSpec(t, ts.URL+"/compile", specText(2)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(s.metrics.vars.String()), &vars); err != nil {
+		t.Fatal(err)
+	}
+	var hist struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(vars["latency_ms_gen_element"], &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Count == 0 {
+		t.Fatal("latency_ms_gen_element recorded no element generations")
+	}
+}

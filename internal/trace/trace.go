@@ -1,0 +1,172 @@
+// Package trace records compile spans: one timed interval per pass, per
+// element generation, and per cell stretch, tagged with the worker that ran
+// it and whether the compile cache answered. The paper's compiler reported
+// one wall-clock number per design ("about four minutes for a small
+// chip"); a parallel service needs to see *where* a compile spent its time
+// — which element dominated the fan-out, how wide the pool actually ran,
+// whether the request ever reached the compiler at all.
+//
+// A Trace travels in a context.Context, so the three passes and the cache
+// record into it without signature changes along the call chain. Every
+// method is safe on a nil *Trace (recording is free when nobody asked for
+// it) and safe for concurrent use (Pass 1's fan-out records from many
+// goroutines).
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one timed interval of a compile. Durations are microseconds so
+// the JSON form is stable, integer, and readable next to cache.TimesUS.
+type Span struct {
+	// Name identifies the work: "pass.core", "gen.acc0", "stretch.regbit.acc0",
+	// "cache.lookup", ...
+	Name string `json:"name"`
+	// Pass is the pipeline stage the span belongs to: "core", "control",
+	// "pads", "reps", or "cache".
+	Pass string `json:"pass"`
+	// Worker is the fan-out pool slot that ran the span, or -1 for work on
+	// the coordinating goroutine.
+	Worker int `json:"worker"`
+	// StartUS is the span's start offset from the trace origin.
+	StartUS int64 `json:"start_us"`
+	// DurUS is the span's duration.
+	DurUS int64 `json:"dur_us"`
+	// Hit marks a cache.lookup span that was answered from the cache.
+	Hit bool `json:"hit,omitempty"`
+}
+
+// Pipeline stage names for Span.Pass.
+const (
+	PassCore    = "core"
+	PassControl = "control"
+	PassPads    = "pads"
+	PassReps    = "reps"
+	PassCache   = "cache"
+)
+
+// Coordinator is the Worker id for spans recorded outside the fan-out pool.
+const Coordinator = -1
+
+// Trace is a concurrency-safe span collector. The zero value is not
+// usable; call New. A nil *Trace discards everything at no cost.
+type Trace struct {
+	t0 time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// New starts an empty trace with its origin at now.
+func New() *Trace {
+	return &Trace{t0: time.Now()}
+}
+
+// Begin opens a span and returns the function that closes it:
+//
+//	defer tr.Begin("gen.acc", trace.PassCore, worker)()
+//
+// Safe on a nil receiver (both calls become no-ops).
+func (t *Trace) Begin(name, pass string, worker int) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Since(t.t0)
+	return func() {
+		t.add(Span{
+			Name:    name,
+			Pass:    pass,
+			Worker:  worker,
+			StartUS: start.Microseconds(),
+			DurUS:   (time.Since(t.t0) - start).Microseconds(),
+		})
+	}
+}
+
+// Lookup records a compile-cache probe and whether it hit.
+func (t *Trace) Lookup(d time.Duration, hit bool) {
+	if t == nil {
+		return
+	}
+	t.add(Span{
+		Name:    "cache.lookup",
+		Pass:    PassCache,
+		Worker:  Coordinator,
+		StartUS: (time.Since(t.t0) - d).Microseconds(),
+		DurUS:   d.Microseconds(),
+		Hit:     hit,
+	})
+}
+
+func (t *Trace) add(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans ordered by start time (ties
+// broken by name, so concurrent workers render stably). Nil-safe.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartUS != out[j].StartUS {
+			return out[i].StartUS < out[j].StartUS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// String renders the trace as an aligned table for terminal output (the
+// bristlec -trace flag).
+func (t *Trace) String() string {
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return "trace: no spans recorded\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("  start(µs)    dur(µs)  worker  pass     span\n")
+	for _, s := range spans {
+		w := fmt.Sprintf("%d", s.Worker)
+		if s.Worker == Coordinator {
+			w = "-"
+		}
+		note := ""
+		if s.Pass == PassCache {
+			if s.Hit {
+				note = "  (hit)"
+			} else {
+				note = "  (miss)"
+			}
+		}
+		fmt.Fprintf(&sb, "  %9d  %9d  %6s  %-7s  %s%s\n", s.StartUS, s.DurUS, w, s.Pass, s.Name, note)
+	}
+	return sb.String()
+}
+
+// ctxKey is the context key type for a *Trace (unexported, collision-free).
+type ctxKey struct{}
+
+// WithTrace attaches the collector to the context for the compile passes
+// and the cache to record into.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the attached collector, or nil (every method of
+// which is a no-op) when the context carries none.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTraceIsFree: every method no-ops on a nil collector — the
+// compiler records unconditionally, so this is the untraced fast path.
+func TestNilTraceIsFree(t *testing.T) {
+	var tr *Trace
+	tr.Begin("gen.x", PassCore, 0)()
+	tr.Lookup(time.Millisecond, true)
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil trace returned spans: %v", got)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context returned a trace")
+	}
+}
+
+// TestRoundTrip: spans survive the context, record worker and hit data,
+// and come back sorted by start offset.
+func TestRoundTrip(t *testing.T) {
+	tr := New()
+	ctx := WithTrace(context.Background(), tr)
+	got := FromContext(ctx)
+	if got != tr {
+		t.Fatal("context did not carry the trace")
+	}
+	end := got.Begin("pass.core", PassCore, Coordinator)
+	got.Begin("gen.alu", PassCore, 2)()
+	end()
+	got.Lookup(time.Millisecond, false)
+
+	spans := got.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartUS < spans[i-1].StartUS {
+			t.Fatal("spans not sorted by start")
+		}
+	}
+	s := got.String()
+	for _, want := range []string{"pass.core", "gen.alu", "cache.lookup", "(miss)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestConcurrentRecording: many goroutines recording into one trace (the
+// fan-out shape) lose nothing and stay race-clean.
+func TestConcurrentRecording(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Begin("gen.x", PassCore, w)()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("got %d spans, want 800", got)
+	}
+}

@@ -1,0 +1,101 @@
+// Pkgdoclint fails when a package lacks a doc comment. `go doc` on any
+// package of this repo should open with a synopsis of what the package is
+// for; CI runs this lint over ./internal/... and ./... so a new package
+// cannot land undocumented.
+//
+// Usage:
+//
+//	go run ./tools/pkgdoclint ./internal/... [./more/patterns...]
+//
+// A package passes when at least one of its non-test files carries a doc
+// comment attached to the package clause. Exit status 1 lists every
+// offender.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := packageDirs(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pkgdoclint:", err)
+		os.Exit(2)
+	}
+	var bad []string
+	for _, dir := range dirs {
+		ok, name, err := hasPackageDoc(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pkgdoclint:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: package %s has no doc comment", dir, name))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, b)
+		}
+		fmt.Fprintf(os.Stderr, "pkgdoclint: %d undocumented package(s)\n", len(bad))
+		os.Exit(1)
+	}
+}
+
+// packageDirs resolves the go package patterns to directories via the go
+// tool, so build constraints and module boundaries behave exactly as `go
+// build` sees them.
+func packageDirs(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}"}, patterns...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list: %s", strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, err
+	}
+	var dirs []string
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if line != "" {
+			dirs = append(dirs, line)
+		}
+	}
+	return dirs, nil
+}
+
+// hasPackageDoc reports whether any non-test Go file in dir attaches a doc
+// comment to its package clause, and the package's name.
+func hasPackageDoc(dir string) (bool, string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return false, "", err
+	}
+	fset := token.NewFileSet()
+	name := ""
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, "", fmt.Errorf("%s: %w", f, err)
+		}
+		name = af.Name.Name
+		if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+			return true, name, nil
+		}
+	}
+	return false, name, nil
+}
