@@ -165,8 +165,19 @@ func FormatCDL(c *Cell) string {
 // line nearest atX, and dy lambda of height at the y stretch line nearest
 // atY (the paper's "painless operation": geometry, wires, bristles and
 // sticks all follow). A zero delta skips that axis; it is an error to
-// stretch an axis for which the cell declares no stretch lines.
+// stretch an axis for which the cell declares no stretch lines, to
+// stretch a cell with a degenerate (empty) extent, or to shrink a cell
+// to zero or negative size.
 func StretchCell(c *Cell, atX, dx, atY, dy int) error {
+	if (dx != 0 || dy != 0) && c.Size.Empty() {
+		return fmt.Errorf("cell %s has a degenerate extent %v; nothing to stretch", c.Name, c.Size)
+	}
+	if d := geom.Coord(dx) * geom.Lambda; dx < 0 && c.Size.W()+d <= 0 {
+		return fmt.Errorf("stretching cell %s by %dλ in x would collapse its %d-quantum width", c.Name, dx, c.Size.W())
+	}
+	if d := geom.Coord(dy) * geom.Lambda; dy < 0 && c.Size.H()+d <= 0 {
+		return fmt.Errorf("stretching cell %s by %dλ in y would collapse its %d-quantum height", c.Name, dy, c.Size.H())
+	}
 	nearest := func(lines []geom.Coord, at geom.Coord) (geom.Coord, bool) {
 		if len(lines) == 0 {
 			return 0, false

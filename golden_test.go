@@ -1,0 +1,102 @@
+package bristleblocks_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bristleblocks"
+)
+
+// Golden-file tests: every spec under examples/chips compiles and its CIF,
+// sticks diagram, and compilation report must match the checked-in goldens
+// under testdata/golden/<chip>/. Regenerate after an intentional output
+// change with:
+//
+//	go test -run TestGolden -update
+//
+// and review the golden diff like any other code change.
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+func goldenReport(chip *bristleblocks.Chip) string {
+	s := chip.Stats
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "chip        %s\n", chip.Spec.Name)
+	fmt.Fprintf(&sb, "pitch       %d\n", s.Pitch)
+	fmt.Fprintf(&sb, "core        %v\n", s.CoreBounds)
+	fmt.Fprintf(&sb, "bounds      %v\n", s.ChipBounds)
+	fmt.Fprintf(&sb, "columns     %d\n", s.Columns)
+	fmt.Fprintf(&sb, "cells       %d\n", s.CellsPlaced)
+	fmt.Fprintf(&sb, "transistors %d\n", s.Transistors)
+	fmt.Fprintf(&sb, "controls    %d\n", s.Controls)
+	fmt.Fprintf(&sb, "pla terms   %d\n", s.PLATerms)
+	fmt.Fprintf(&sb, "pads        %d\n", s.PadCount)
+	fmt.Fprintf(&sb, "wire len    %d\n", s.WireLen)
+	fmt.Fprintf(&sb, "power uA    %d\n", s.PowerUA)
+	fmt.Fprintf(&sb, "area        %.1f sq lambda\n", bristleblocks.AreaLambda(chip))
+	return sb.String()
+}
+
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden missing (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first differing line, not a byte offset.
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("%s: line %d differs\n got: %q\nwant: %q", path, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("%s: output differs in length: got %d lines, want %d", path, len(gl), len(wl))
+}
+
+func TestGoldenExamples(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("examples", "chips", "*.bb"))
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no example specs found: %v", err)
+	}
+	for _, specPath := range specs {
+		name := strings.TrimSuffix(filepath.Base(specPath), ".bb")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(specPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := bristleblocks.ParseSpec(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			chip, err := bristleblocks.Compile(spec, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cif bytes.Buffer
+			if err := bristleblocks.WriteCIF(&cif, chip); err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Join("testdata", "golden", name)
+			checkGolden(t, filepath.Join(dir, "chip.cif"), cif.String())
+			checkGolden(t, filepath.Join(dir, "sticks.txt"), chip.Sticks.Render(16))
+			checkGolden(t, filepath.Join(dir, "report.txt"), goldenReport(chip))
+		})
+	}
+}

@@ -78,6 +78,10 @@ func Parse(src string) ([]*cell.Cell, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 		}
+		if len(toks) == 0 {
+			// e.g. a line holding only an empty quoted string
+			return nil, fmt.Errorf("line %d: no directive", lineNo+1)
+		}
 		if toks[0] == "cell" {
 			if cur != nil {
 				return nil, fmt.Errorf("line %d: nested cell", lineNo+1)

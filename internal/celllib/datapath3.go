@@ -127,6 +127,70 @@ func BusPre(name, busAName, busBName string) (*cell.Cell, error) {
 	return c, nil
 }
 
+// BusBreakWidth is the segment-break cell's width in lambda.
+const BusBreakWidth = 10
+
+// BusBreak is the bus segment boundary cell the compiler inserts between
+// two elements on different bus segments: rails pass through, but each
+// broken bus line stops in a stub on either side of a gap, so the two
+// segments stay electrically separate in the mask just as they are in the
+// transistor, logic, and simulation representations. An unbroken slot's
+// line feeds through whole.
+func BusBreak(name string, busAW, busAE, busBW, busBE string) (*cell.Cell, error) {
+	w := L(BusBreakWidth)
+	k := NewComposer(name, geom.R(0, 0, w, L(RowPitch)))
+
+	k.Box(layer.Metal, geom.R(0, L(GndRailLo), w, L(GndRailHi)))
+	k.Box(layer.Metal, geom.R(0, L(VddRailLo), w, L(VddRailHi)))
+	k.Label("gnd", geom.Pt(L(1), L(2)), layer.Metal)
+	k.Label("vdd", geom.Pt(L(1), L(30)), layer.Metal)
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, L(2)), geom.Pt(w, L(2)))
+	k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, L(30)), geom.Pt(w, L(30)))
+
+	bus := func(lo, center int, west, east string) {
+		cy := geom.Coord(L(center))
+		if west == east {
+			k.Box(layer.Metal, geom.R(0, L(lo), w, L(lo+4)))
+			k.Label(west, geom.Pt(L(1), cy), layer.Metal)
+			k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, cy), geom.Pt(w, cy))
+			return
+		}
+		// 3λ stubs with a 4λ gap: the segments abut the neighbours' lines
+		// but never each other.
+		k.Box(layer.Metal, geom.R(0, L(lo), L(3), L(lo+4)))
+		k.Box(layer.Metal, geom.R(w-L(3), L(lo), w, L(lo+4)))
+		k.Label(west, geom.Pt(L(1), cy), layer.Metal)
+		k.Label(east, geom.Pt(w-L(1), cy), layer.Metal)
+		k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(0, cy), geom.Pt(L(3), cy))
+		k.Cell().Sticks.AddSeg(layer.Metal, geom.Pt(w-L(3), cy), geom.Pt(w, cy))
+	}
+	bus(BusALo, BusACenter, busAW, busAE)
+	bus(BusBLo, BusBCenter, busBW, busBE)
+
+	c := k.Cell()
+	c.Rails = []cell.PowerRail{
+		{Net: "gnd", Y: L(2), Width: L(4)},
+		{Net: "vdd", Y: L(30), Width: L(4)},
+	}
+	k.StretchY(L(StretchBelowBusA), L(StretchBetweenBuses), L(StretchAboveBusB))
+	k.Bristle(cell.Bristle{Name: "gnd.W", Side: cell.West, Offset: L(2), Layer: layer.Metal, Width: L(4), Flavor: cell.Ground, Net: "gnd"})
+	k.Bristle(cell.Bristle{Name: "gnd.E", Side: cell.East, Offset: L(2), Layer: layer.Metal, Width: L(4), Flavor: cell.Ground, Net: "gnd"})
+	k.Bristle(cell.Bristle{Name: "vdd.W", Side: cell.West, Offset: L(30), Layer: layer.Metal, Width: L(4), Flavor: cell.Power, Net: "vdd"})
+	k.Bristle(cell.Bristle{Name: "vdd.E", Side: cell.East, Offset: L(30), Layer: layer.Metal, Width: L(4), Flavor: cell.Power, Net: "vdd"})
+	k.Bristle(cell.Bristle{Name: "busA.W", Side: cell.West, Offset: L(BusACenter), Layer: layer.Metal, Width: L(4), Flavor: cell.BusTap, Net: busAW})
+	k.Bristle(cell.Bristle{Name: "busA.E", Side: cell.East, Offset: L(BusACenter), Layer: layer.Metal, Width: L(4), Flavor: cell.BusTap, Net: busAE})
+	k.Bristle(cell.Bristle{Name: "busB.W", Side: cell.West, Offset: L(BusBCenter), Layer: layer.Metal, Width: L(4), Flavor: cell.BusTap, Net: busBW})
+	k.Bristle(cell.Bristle{Name: "busB.E", Side: cell.East, Offset: L(BusBCenter), Layer: layer.Metal, Width: L(4), Flavor: cell.BusTap, Net: busBE})
+
+	c.Doc = "bus segment boundary: rails feed through, broken bus lines stop at the gap"
+	c.SimNote = "no behaviour"
+	c.BlockLabel, c.BlockClass = "BRK", "wiring"
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // IOPortBit connects bus A to a chip pad through an isolation pass
 // transistor gated by its control. The pad request is local data — the
 // cell just says "I need a pad of this class here"; Pass 3 places the pad

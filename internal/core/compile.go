@@ -105,7 +105,7 @@ type Chip struct {
 // Version identifies the compiler for content-addressed caching: any
 // change that can alter the compiled output for the same (spec, options)
 // pair must bump it, or cache layers will serve stale results.
-const Version = "bristleblocks-1"
+const Version = "bristleblocks-2"
 
 // Compile runs the three-pass silicon compiler on the specification.
 func Compile(spec *Spec, opts *Options) (*Chip, error) {
@@ -271,6 +271,19 @@ func (c *Chip) corePass(ctx context.Context) error {
 		ecols, err := gen(&e, gctx)
 		if err != nil {
 			return fmt.Errorf("element %d (%s): %w", i, e.Name, err)
+		}
+		// Segment boundary: when either bus slot changes segments between
+		// the previous element and this one, a break column keeps the
+		// abutting bus lines electrically separate.
+		if i > 0 {
+			prevA, prevB := busNamesAt(plan, i-1)
+			if prevA != busA || prevB != busB {
+				brk, err := genBusBreak(prevA, busA, prevB, busB, spec.DataWidth, i)
+				if err != nil {
+					return fmt.Errorf("element %d (%s): bus break: %w", i, e.Name, err)
+				}
+				ecols = append([]*column{brk}, ecols...)
+			}
 		}
 		for _, seg := range preByElem[i] {
 			pa, pb := busA, busB

@@ -563,3 +563,19 @@ func genBusPre(name, busA, busB string, width, elemIdx int) (*column, error) {
 		cells:   stack(width, c),
 	}, nil
 }
+
+// genBusBreak builds the segment-boundary column inserted before element
+// elemIdx when a bus slot changes segments there: without it, abutting bus
+// lines would short two segments the other representations keep separate.
+func genBusBreak(busAW, busAE, busBW, busBE string, width, elemIdx int) (*column, error) {
+	name := fmt.Sprintf("brk.%d", elemIdx)
+	c, err := celllib.BusBreak("busbrk."+name, busAW, busAE, busBW, busBE)
+	if err != nil {
+		return nil, err
+	}
+	return &column{
+		name:    name,
+		elemIdx: elemIdx,
+		cells:   stack(width, c),
+	}, nil
+}

@@ -243,7 +243,7 @@ func buildLayout(a *Array, ops []tm.Symbol, steps int, ctlX map[string]geom.Coor
 		// Column metal from the buffer row to just under the pullup head.
 		lay.AddBox(layer.Metal, geom.R(ox-l(2), g.bufY+l(celllib.CtlBufHeight), ox+l(2), g.topY-l(2)))
 		lay.AddLabel(outNet(k), geom.Pt(ox, g.planesY-l(1)), layer.Metal)
-		c.Sticks.AddSeg(layer.Metal, geom.Pt(ox, g.bufY), geom.Pt(ox, g.topY))
+		c.Sticks.AddSeg(layer.Metal, geom.Pt(ox, g.bufY+l(celllib.CtlBufHeight)), geom.Pt(ox, g.topY-l(2)))
 		// Pullup: diffusion from a contact on the column top, through the
 		// shared depletion gate, to a contact on the top rail.
 		lay.AddBox(layer.Diff, geom.R(ox-l(2), g.topY-l(6), ox+l(2), g.topY-l(2)))
@@ -398,16 +398,66 @@ func buildLayoutLower(a *Array, c *cell.Cell, g *plaGeom, inputs []int, ctlX map
 	// constrained: when control j's destination drop runs close to control
 	// i's source drop, j takes a lower track so i's source never passes
 	// j's contact pad.
+	// Every control's source drop crosses the tracks above its own on the
+	// way down from the buffer row, and those tracks carry 4λ poly contact
+	// pads: the clock pads on the top tracks, and every control's
+	// destination pad. A drop landing within 4λ of any pad would short
+	// poly to poly, so such a drop jogs sideways just below the buffer row
+	// to a clear x before descending. With every source clear of every
+	// pad, no track-order constraints arise and any assignment works.
+	var pads []geom.Coord
+	if len(clockX["phi2"]) > 0 {
+		pads = append(pads, append([]geom.Coord{l(6)}, clockX["phi2"]...)...)
+	}
+	if len(clockX["phi1"]) > 0 {
+		pads = append(pads, append([]geom.Coord{l(12)}, clockX["phi1"]...)...)
+	}
+	for _, sp := range a.Controls {
+		if x, ok := ctlX[sp.Name]; ok {
+			pads = append(pads, x)
+		}
+	}
+	nearPad := func(x geom.Coord) bool {
+		for _, p := range pads {
+			d := x - p
+			if d < 0 {
+				d = -d
+			}
+			if d < l(4) {
+				return true
+			}
+		}
+		return false
+	}
+
 	names := make([]string, len(a.Controls))
+	topOf := make(map[string]geom.Coord, len(a.Controls))
 	srcOf := make(map[string]geom.Coord, len(a.Controls))
 	dstOf := make(map[string]geom.Coord, len(a.Controls))
 	for k, sp := range a.Controls {
 		names[k] = sp.Name
-		srcOf[sp.Name] = g.outX(k) - l(celllib.CtlBufInX) + l(celllib.CtlBufOutX)
+		top := g.outX(k) - l(celllib.CtlBufInX) + l(celllib.CtlBufOutX)
+		topOf[sp.Name] = top
+		src := top
+		if nearPad(src) {
+			src = 0
+			// Buffer outputs repeat on a 24λ grid, so a jog of up to 8λ
+			// cannot reach a neighbour's drop.
+			for _, d := range []geom.Coord{l(4), -l(4), l(6), -l(6), l(8), -l(8)} {
+				if !nearPad(top + d) {
+					src = top + d
+					break
+				}
+			}
+			if src == 0 {
+				return nil, fmt.Errorf("decoder: control %s's channel drop cannot clear the contact pads", sp.Name)
+			}
+		}
+		srcOf[sp.Name] = src
 		if x, ok := ctlX[sp.Name]; ok {
 			dstOf[sp.Name] = x
 		} else {
-			dstOf[sp.Name] = srcOf[sp.Name]
+			dstOf[sp.Name] = src
 		}
 	}
 	sort.Strings(names)
@@ -421,7 +471,7 @@ func buildLayoutLower(a *Array, c *cell.Cell, g *plaGeom, inputs []int, ctlX map
 	}
 	for _, sp := range a.Controls {
 		ty := l(6) + geom.Coord(trackOf[sp.Name])*l(chanTrackPitch)
-		routeChannel(lay, srcOf[sp.Name], g.bufY, dstOf[sp.Name], ty, sp.Name)
+		routeChannel(lay, topOf[sp.Name], srcOf[sp.Name], g.bufY, dstOf[sp.Name], ty, sp.Name)
 		out.CtlX[sp.Name] = dstOf[sp.Name]
 	}
 
@@ -462,7 +512,10 @@ func buildLayoutLower(a *Array, c *cell.Cell, g *plaGeom, inputs []int, ctlX map
 
 // channelTrackOrder topologically orders the channel tracks (index 0 =
 // lowest) under the constraint "j below i when j's destination drop is
-// within 5λ of i's source drop"; a constraint cycle is a compile error.
+// within 4λ of i's source drop"; a constraint cycle is a compile error.
+// Source drops are jogged clear of every destination pad by at least 4λ
+// before this runs, so in practice no constraints (and no cycles) arise;
+// the ordering remains as defense in depth.
 func channelTrackOrder(names []string, srcOf, dstOf map[string]geom.Coord) ([]string, error) {
 	below := make(map[string][]string) // i -> js that must be below i
 	indeg := make(map[string]int)
@@ -474,7 +527,7 @@ func channelTrackOrder(names []string, srcOf, dstOf map[string]geom.Coord) ([]st
 		if d < 0 {
 			d = -d
 		}
-		return d < geom.L(5)
+		return d < geom.L(4)
 	}
 	for _, i := range names {
 		for _, j := range names {
@@ -547,17 +600,27 @@ func clockChannel(lay *mask.Cell, srcX, trackTopY, ty geom.Coord, dsts []geom.Co
 	}
 }
 
-// routeChannel drops a control from the buffer output (poly at srcX,
+// routeChannel drops a control from the buffer output (poly at topX,
 // bufY) to track y=ty, runs a metal track to dstX, and drops poly to the
-// south edge.
-func routeChannel(lay *mask.Cell, srcX, bufY, dstX, ty geom.Coord, name string) {
-	if srcX == dstX {
+// south edge. When the descent would cross a clock pad, srcX differs from
+// topX and the drop jogs sideways just below the buffer row first.
+func routeChannel(lay *mask.Cell, topX, srcX, bufY, dstX, ty geom.Coord, name string) {
+	if topX == srcX && srcX == dstX {
 		lay.AddWire(layer.Poly, l(2), geom.Pt(srcX, bufY), geom.Pt(srcX, 0))
 		lay.AddLabel(name, geom.Pt(srcX, l(1)), layer.Poly)
 		return
 	}
-	// Poly drop from the buffer to the track.
-	lay.AddWire(layer.Poly, l(2), geom.Pt(srcX, bufY), geom.Pt(srcX, ty))
+	// Poly drop from the buffer to the track, jogging at bufY-4λ if the
+	// straight descent is blocked.
+	if topX == srcX {
+		lay.AddWire(layer.Poly, l(2), geom.Pt(srcX, bufY), geom.Pt(srcX, ty))
+	} else {
+		lay.AddWire(layer.Poly, l(2),
+			geom.Pt(topX, bufY),
+			geom.Pt(topX, bufY-l(4)),
+			geom.Pt(srcX, bufY-l(4)),
+			geom.Pt(srcX, ty))
+	}
 	// Contact pads at both ends of the metal track.
 	for _, x := range []geom.Coord{srcX, dstX} {
 		lay.AddBox(layer.Poly, geom.R(x-l(2), ty-l(2), x+l(2), ty+l(2)))

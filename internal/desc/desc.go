@@ -56,6 +56,10 @@ func Parse(src string) (*core.Spec, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 		}
+		if len(toks) == 0 {
+			// e.g. a line holding only an empty quoted string
+			return nil, fmt.Errorf("line %d: no directive", lineNo+1)
+		}
 		if err := applyLine(spec, toks, &sawMicro, &sawData); err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 		}
@@ -81,6 +85,9 @@ func applyLine(spec *core.Spec, toks []string, sawMicro, sawData *bool) error {
 		if len(toks) != 2 {
 			return fmt.Errorf("chip wants a name")
 		}
+		if err := ident("chip name", toks[1]); err != nil {
+			return err
+		}
 		spec.Name = toks[1]
 	case "lambda":
 		n, err := atoiTok(toks, 1)
@@ -101,6 +108,9 @@ func applyLine(spec *core.Spec, toks []string, sawMicro, sawData *bool) error {
 	case "field":
 		if len(toks) != 4 {
 			return fmt.Errorf("field wants NAME lo width")
+		}
+		if err := ident("field name", toks[1]); err != nil {
+			return err
 		}
 		lo, err1 := strconv.Atoi(toks[2])
 		w, err2 := strconv.Atoi(toks[3])
@@ -123,6 +133,9 @@ func applyLine(spec *core.Spec, toks []string, sawMicro, sawData *bool) error {
 		if len(toks) != 4 {
 			return fmt.Errorf("bus wants NAME from to")
 		}
+		if err := ident("bus name", toks[1]); err != nil {
+			return err
+		}
 		from, err1 := strconv.Atoi(toks[2])
 		to, err2 := strconv.Atoi(toks[3])
 		if err1 != nil || err2 != nil {
@@ -138,6 +151,9 @@ func applyLine(spec *core.Spec, toks []string, sawMicro, sawData *bool) error {
 		if len(toks) != 3 {
 			return fmt.Errorf("global wants NAME true|false")
 		}
+		if err := ident("global name", toks[1]); err != nil {
+			return err
+		}
 		v, err := strconv.ParseBool(toks[2])
 		if err != nil {
 			return fmt.Errorf("bad global value %q", toks[2])
@@ -147,13 +163,25 @@ func applyLine(spec *core.Spec, toks []string, sawMicro, sawData *bool) error {
 		if len(toks) < 3 {
 			return fmt.Errorf("element wants NAME KIND [key=value...]")
 		}
+		if err := ident("element name", toks[1]); err != nil {
+			return err
+		}
+		if err := ident("element kind", toks[2]); err != nil {
+			return err
+		}
 		e := core.ElementSpec{Name: toks[1], Kind: toks[2], Params: make(map[string]string)}
 		for _, kv := range toks[3:] {
 			k, v, ok := strings.Cut(kv, "=")
 			if !ok {
 				return fmt.Errorf("element parameter %q is not key=value", kv)
 			}
+			if err := ident("parameter key", k); err != nil {
+				return err
+			}
 			if k == "if" {
+				if err := ident("if condition", v); err != nil {
+					return err
+				}
 				e.OnlyIf = v
 			} else {
 				e.Params[k] = v
@@ -162,6 +190,17 @@ func applyLine(spec *core.Spec, toks []string, sawMicro, sawData *bool) error {
 		spec.Elements = append(spec.Elements, e)
 	default:
 		return fmt.Errorf("unknown directive %q", toks[0])
+	}
+	return nil
+}
+
+// ident rejects names that would not survive a Format -> Parse round trip:
+// tokenize strips quotes and splits on whitespace, and Parse strips
+// unquoted comments, so identifiers must be non-empty words free of
+// whitespace and comment characters.
+func ident(what, s string) error {
+	if s == "" || strings.ContainsAny(s, " \t#;") {
+		return fmt.Errorf("%s %q must be a non-empty word", what, s)
 	}
 	return nil
 }
@@ -272,8 +311,11 @@ func Format(spec *core.Spec) string {
 		}
 		for _, k := range keys {
 			v := e.Params[k]
-			if strings.ContainsAny(v, " \t") {
-				fmt.Fprintf(&sb, " %s=%q", k, v)
+			if strings.ContainsAny(v, " \t#;") {
+				// Plain quotes, not %q: tokenize has no escape sequences,
+				// so backslashes must pass through literally. Quotes also
+				// shield comment characters from the line scanner.
+				fmt.Fprintf(&sb, " %s=\"%s\"", k, v)
 			} else {
 				fmt.Fprintf(&sb, " %s=%s", k, v)
 			}

@@ -1,0 +1,46 @@
+package desc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseSpec feeds arbitrary text into the chip-description parser.
+// The parser must never panic, and any text it accepts must survive a
+// Format -> Parse -> Format round trip unchanged: Format is the canonical
+// rendering, so re-parsing it must converge in one step.
+//
+// Seed corpus: testdata/corpus/desc/* (the example chips plus crafted
+// edge cases), added verbatim.
+func FuzzParseSpec(f *testing.F) {
+	dir := filepath.Join("..", "..", "testdata", "corpus", "desc")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("seed corpus missing: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		spec, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out := Format(spec)
+		re, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Format produced unparseable text: %v\n%s", err, out)
+		}
+		if got := Format(re); got != out {
+			t.Fatalf("round trip did not converge:\n%s\nvs\n%s", out, got)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package invariant
+
+import (
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+	"bristleblocks/internal/server"
+	"bristleblocks/internal/specgen"
+)
+
+// The property-based harness: generate specs, cross-check every chip's
+// representations, and diff every compile path. CI runs it wide
+// (-invariant.n=200 -invariant.jobs=1,4,8); the defaults keep an ordinary
+// `go test` fast. A failure names the generator seed, which reproduces the
+// spec exactly (specgen.FromSeed).
+var (
+	flagN    = flag.Int("invariant.n", 25, "generated specs per harness test")
+	flagJobs = flag.String("invariant.jobs", "1,4", "comma-separated Pass 1 pool sizes to diff")
+	flagSeed = flag.Int64("invariant.seed", 1979, "first generator seed")
+)
+
+func harnessJobs(t *testing.T) []int {
+	t.Helper()
+	var jobs []int
+	for _, f := range strings.Split(*flagJobs, ",") {
+		j, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || j < 1 {
+			t.Fatalf("-invariant.jobs: bad entry %q", f)
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs
+}
+
+// TestHarnessInvariants runs the cross-representation verifier over the
+// generated spec family.
+func TestHarnessInvariants(t *testing.T) {
+	bad := 0
+	for i := 0; i < *flagN; i++ {
+		seed := *flagSeed + int64(i)
+		spec := specgen.FromSeed(seed, nil)
+		chip, err := core.Compile(spec, &core.Options{SkipPads: true})
+		if err != nil {
+			t.Errorf("seed %d (%s): compile: %v", seed, spec.Name, err)
+			bad++
+			continue
+		}
+		if vs := Check(chip, &Options{Seed: seed}); len(vs) > 0 {
+			bad++
+			for _, v := range vs {
+				t.Errorf("seed %d (%s): %s", seed, spec.Name, v)
+			}
+		}
+	}
+	t.Logf("invariants: %d specs checked (first seed %d), %d with discrepancies", *flagN, *flagSeed, bad)
+}
+
+// TestHarnessDifferential diffs serial vs parallel vs cached compiles over
+// the generated spec family.
+func TestHarnessDifferential(t *testing.T) {
+	jobs := harnessJobs(t)
+	cacheDir := t.TempDir()
+	bad := 0
+	for i := 0; i < *flagN; i++ {
+		seed := *flagSeed + int64(i)
+		spec := specgen.FromSeed(seed, nil)
+		if vs := Differential(spec, &core.Options{SkipPads: true}, jobs, cacheDir); len(vs) > 0 {
+			bad++
+			for _, v := range vs {
+				t.Errorf("seed %d (%s): %s", seed, spec.Name, v)
+			}
+		}
+	}
+	t.Logf("differential: %d specs diffed at jobs=%v (first seed %d), %d with diffs", *flagN, jobs, *flagSeed, bad)
+}
+
+// TestHarnessDaemon is the bristlec-vs-bbd leg: the daemon's HTTP answer
+// for a spec must match a direct in-process compile byte for byte.
+func TestHarnessDaemon(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	n := *flagN
+	for i := 0; i < n; i++ {
+		seed := *flagSeed + int64(i)
+		spec := specgen.FromSeed(seed, nil)
+
+		opts := &core.Options{SkipPads: true, Parallelism: 1}
+		chip, want, err := RenderOutputs(spec, opts)
+		if err != nil {
+			t.Fatalf("seed %d (%s): local compile: %v", seed, spec.Name, err)
+		}
+
+		resp, err := http.Post(ts.URL+"/compile?nopads=1&reps=all", "text/plain",
+			strings.NewReader(desc.Format(spec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cr server.CompileResponse
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d (%s): daemon returned %d", seed, spec.Name, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+
+		if cr.CIF != want.CIF {
+			t.Errorf("seed %d (%s): daemon CIF differs from the local compile's", seed, spec.Name)
+		}
+		if cr.Text != chip.Text {
+			t.Errorf("seed %d (%s): daemon text representation differs", seed, spec.Name)
+		}
+		if cr.Block != chip.Block {
+			t.Errorf("seed %d (%s): daemon block diagram differs", seed, spec.Name)
+		}
+		if cr.Logical != chip.Logical {
+			t.Errorf("seed %d (%s): daemon logical diagram differs", seed, spec.Name)
+		}
+		if cr.Stats != chip.Stats {
+			t.Errorf("seed %d (%s): daemon stats differ: %+v vs %+v", seed, spec.Name, cr.Stats, chip.Stats)
+		}
+		if cr.Chip != spec.Name {
+			t.Errorf("seed %d: daemon says chip %q, spec says %q", seed, cr.Chip, spec.Name)
+		}
+	}
+	t.Logf("daemon: %d specs compared over HTTP (first seed %d)", n, *flagSeed)
+}
+

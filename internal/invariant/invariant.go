@@ -1,0 +1,296 @@
+// Package invariant is the cross-representation verifier: it takes one
+// compiled chip and checks that the seven representations describe the
+// same hardware — the paper's central claim, turned into an executable
+// oracle. The checks are deliberately redundant with the compiler (each
+// re-derives a fact from one representation and confronts another with
+// it):
+//
+//   - the transistor netlist extracted from the mask layout matches the
+//     declared Transistor representation;
+//   - every sticks segment lies inside drawn layout geometry on its layer
+//     (the sticks diagram is a topology-preserving abstraction of the
+//     mask, so a stick with no metal under it is a lie);
+//   - the power report equals the sum of the per-column votes that sized
+//     the rails;
+//   - every stretched core cell shares the final pitch and the
+//     chip-standard bus offsets;
+//   - evaluating the decoder's Logic representation agrees with the
+//     Simulation representation's control trace on generated microcode
+//     vectors.
+//
+// Check returns human-readable discrepancies (empty = consistent); the
+// differential harness in this package's tests runs it over specgen's
+// generated chips.
+package invariant
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/layer"
+	"bristleblocks/internal/sticks"
+	"bristleblocks/internal/transistor"
+)
+
+// Options tunes a check run.
+type Options struct {
+	// SimVectors is the number of random microcode words driven through
+	// the logic-vs-simulation comparison (<=0 selects 32).
+	SimVectors int
+	// Seed feeds the vector generator (0 selects 1); the same seed
+	// reproduces the same vectors.
+	Seed int64
+}
+
+func (o *Options) vectors() int {
+	if o == nil || o.SimVectors <= 0 {
+		return 32
+	}
+	return o.SimVectors
+}
+
+func (o *Options) seed() int64 {
+	if o == nil || o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Check cross-checks a compiled chip's representations and returns every
+// discrepancy found. The chip must come from a full-representation compile
+// (no SkipExtraReps); pads are optional.
+func Check(chip *core.Chip, opts *Options) []string {
+	var vs []string
+	if chip.Netlist == nil || chip.Sticks == nil || chip.Logic == nil {
+		return []string{"chip was compiled without its extra representations (SkipExtraReps); nothing to cross-check"}
+	}
+	vs = append(vs, checkNetlist(chip)...)
+	vs = append(vs, checkSticks(chip)...)
+	vs = append(vs, checkPower(chip)...)
+	vs = append(vs, checkPitch(chip)...)
+	vs = append(vs, checkLogicSim(chip, opts)...)
+	return vs
+}
+
+// checkNetlist re-derives the Transistor representation from the Layout
+// representation (mask extraction) and compares it with the declared
+// netlist at global-net granularity: the transistor population — kind,
+// size, and connectivity to the shared nets (supplies, clocks, buses,
+// controls, pads) — must agree exactly.
+func checkNetlist(chip *core.Chip) []string {
+	ext, err := transistor.Extract(chip.Mask)
+	if err != nil {
+		return []string{fmt.Sprintf("netlist: extraction from layout failed: %v", err)}
+	}
+	var vs []string
+	if len(ext.Txs) != len(chip.Netlist.Txs) {
+		vs = append(vs, fmt.Sprintf("netlist: layout extraction found %d transistors, declared netlist has %d",
+			len(ext.Txs), len(chip.Netlist.Txs)))
+	}
+	keep := chip.GlobalNets()
+	if got, want := ext.GlobalSignature(keep), chip.Netlist.GlobalSignature(keep); got != want {
+		vs = append(vs, "netlist: extracted and declared netlists differ on the global-net signature")
+	}
+	return vs
+}
+
+// checkSticks verifies that every segment of the Sticks representation is
+// covered by drawn mask geometry on the same layer. The converse is not an
+// invariant — power trunks and compiler-inserted fillers carry no sticks —
+// but a stick over bare silicon means the two representations diverged.
+func checkSticks(chip *core.Chip) []string {
+	rects := make(map[layer.Layer][]geom.Rect)
+	chip.Mask.Flatten(func(l layer.Layer, r geom.Rect) {
+		if !r.Empty() {
+			rects[l] = append(rects[l], r)
+		}
+	})
+	var vs []string
+	bad := 0
+	for _, seg := range chip.Sticks.Segs {
+		if covered(seg, rects[seg.Layer]) {
+			continue
+		}
+		bad++
+		if bad <= 5 {
+			vs = append(vs, fmt.Sprintf("sticks: %v segment %v-%v has no layout geometry under it",
+				seg.Layer, seg.A, seg.B))
+		}
+	}
+	if bad > 5 {
+		vs = append(vs, fmt.Sprintf("sticks: ... and %d more uncovered segments", bad-5))
+	}
+	return vs
+}
+
+// covered reports whether the Manhattan segment lies entirely inside the
+// union of rects (closed bounds: a centerline on a geometry edge counts).
+func covered(seg sticks.Seg, rects []geom.Rect) bool {
+	a, b := seg.A, seg.B
+	switch {
+	case a.Y == b.Y:
+		lo, hi := a.X, b.X
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return spanCovered(lo, hi, a.Y, rects, true)
+	case a.X == b.X:
+		lo, hi := a.Y, b.Y
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return spanCovered(lo, hi, a.X, rects, false)
+	default:
+		return false // non-Manhattan sticks are themselves a violation
+	}
+}
+
+// spanCovered checks that [lo,hi] at the given cross coordinate is covered
+// by the union of the rects' intersections with that line.
+func spanCovered(lo, hi, cross geom.Coord, rects []geom.Rect, horizontal bool) bool {
+	type iv struct{ lo, hi geom.Coord }
+	var ivs []iv
+	for _, r := range rects {
+		var clo, chi, rlo, rhi geom.Coord
+		if horizontal {
+			clo, chi, rlo, rhi = r.MinY, r.MaxY, r.MinX, r.MaxX
+		} else {
+			clo, chi, rlo, rhi = r.MinX, r.MaxX, r.MinY, r.MaxY
+		}
+		if cross < clo || cross > chi || rhi < lo || rlo > hi {
+			continue
+		}
+		s, e := rlo, rhi
+		if s < lo {
+			s = lo
+		}
+		if e > hi {
+			e = hi
+		}
+		ivs = append(ivs, iv{s, e})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	at := lo
+	for _, v := range ivs {
+		if v.lo > at {
+			return false
+		}
+		if v.hi > at {
+			at = v.hi
+		}
+		if at >= hi {
+			return true
+		}
+	}
+	return at >= hi
+}
+
+// checkPower verifies the power report: the chip-level supply total must
+// equal the sum of the per-column votes (the "elements vote on the values
+// of global parameters" barrier), and every vote must be non-negative.
+func checkPower(chip *core.Chip) []string {
+	var vs []string
+	sum := 0
+	for _, col := range chip.Columns() {
+		if col.PowerUA < 0 {
+			vs = append(vs, fmt.Sprintf("power: column %s votes a negative current (%d µA)", col.Name, col.PowerUA))
+		}
+		sum += col.PowerUA
+	}
+	if sum != chip.Stats.PowerUA {
+		vs = append(vs, fmt.Sprintf("power: report says %d µA, per-column votes sum to %d µA",
+			chip.Stats.PowerUA, sum))
+	}
+	return vs
+}
+
+// checkPitch verifies the stretch fan-in's postcondition: every placed
+// core cell was stretched to the common pitch, and the bus bristles sit at
+// the same chip-standard offsets in every cell (otherwise abutting columns
+// would misalign their bus wires).
+func checkPitch(chip *core.Chip) []string {
+	var vs []string
+	pitch := chip.Stats.Pitch
+	busAt := make(map[string]geom.Coord)
+	for _, pc := range chip.PlacedCells() {
+		if h := pc.Cell.Height(); h != pitch {
+			vs = append(vs, fmt.Sprintf("pitch: cell %s at column %s row %d is %dλ/4 tall, pitch is %dλ/4",
+				pc.Cell.Name, pc.Column, pc.Row, h, pitch))
+			continue
+		}
+		for _, name := range []string{"busA.W", "busB.W"} {
+			b, ok := pc.Cell.FindBristle(name)
+			if !ok {
+				continue
+			}
+			// Compare in core coordinates so cells with different MinY
+			// agree on the absolute wire track.
+			off := b.Offset - pc.Cell.Size.MinY
+			if prev, ok := busAt[name]; !ok {
+				busAt[name] = off
+			} else if prev != off {
+				vs = append(vs, fmt.Sprintf("pitch: cell %s at column %s puts %s at offset %d, other cells at %d",
+					pc.Cell.Name, pc.Column, name, off, prev))
+			}
+		}
+	}
+	if len(vs) > 8 {
+		vs = append(vs[:8], fmt.Sprintf("pitch: ... and %d more misaligned cells", len(vs)-8))
+	}
+	return vs
+}
+
+// checkLogicSim drives random microcode vectors through two independent
+// derivations of the control function: gate-level evaluation of the
+// decoder's Logic representation, and the Simulation representation's
+// per-phase control trace. Both descend from the same PLA, by different
+// code paths (explicit gates vs. direct term evaluation), so a mismatch
+// means one representation lies about the chip's control behaviour.
+func checkLogicSim(chip *core.Chip, opts *Options) []string {
+	if chip.Decoder == nil {
+		return []string{"logic-sim: chip has no decoder (core-only compile?)"}
+	}
+	m, err := chip.NewSim()
+	if err != nil {
+		return []string{fmt.Sprintf("logic-sim: building simulation: %v", err)}
+	}
+	arr := chip.Decoder.Array
+	d := arr.Logic()
+	if err := d.Validate(); err != nil {
+		return []string{fmt.Sprintf("logic-sim: decoder logic diagram invalid: %v", err)}
+	}
+	r := rand.New(rand.NewSource(opts.seed()))
+	width := chip.Spec.Microcode.Width
+	var vs []string
+	for i := 0; i < opts.vectors(); i++ {
+		micro := r.Uint64()
+		if width < 64 {
+			micro &= 1<<uint(width) - 1
+		}
+		in := make(map[string]bool)
+		for _, bit := range arr.UsedInputs() {
+			in[fmt.Sprintf("u%d", bit)] = micro>>uint(bit)&1 == 1
+		}
+		vals, err := d.Eval(in, nil)
+		if err != nil {
+			return append(vs, fmt.Sprintf("logic-sim: evaluating logic rep on %#x: %v", micro, err))
+		}
+		st := m.Step(micro)
+		for _, sp := range arr.Controls {
+			want1 := sp.Phase == 1 && vals[sp.Name]
+			want2 := sp.Phase == 2 && vals[sp.Name]
+			if st.Ctl1[sp.Name] != want1 || st.Ctl2[sp.Name] != want2 {
+				vs = append(vs, fmt.Sprintf(
+					"logic-sim: micro %#x control %s: logic rep says φ1=%v φ2=%v, simulation says φ1=%v φ2=%v",
+					micro, sp.Name, want1, want2, st.Ctl1[sp.Name], st.Ctl2[sp.Name]))
+				if len(vs) >= 5 {
+					return vs
+				}
+			}
+		}
+	}
+	return vs
+}

@@ -1,0 +1,96 @@
+package invariant
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+	"bristleblocks/internal/specgen"
+)
+
+// compileExample parses and compiles one checked-in example spec.
+func compileExample(t *testing.T, name string, opts *core.Options) *core.Chip {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "chips", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := desc.Parse(string(data))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	chip, err := core.Compile(spec, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return chip
+}
+
+// TestExamplesConsistent: the checked-in example chips must pass every
+// cross-representation check, with and without the pad ring.
+func TestExamplesConsistent(t *testing.T) {
+	for _, name := range []string{"adder4.bb", "shifter8.bb"} {
+		for _, opts := range []*core.Options{{SkipPads: true}, nil} {
+			label := name + "/pads"
+			if opts != nil {
+				label = name + "/nopads"
+			}
+			t.Run(label, func(t *testing.T) {
+				if opts == nil && testing.Short() {
+					t.Skip("pad routing is slow")
+				}
+				chip := compileExample(t, name, opts)
+				for _, v := range Check(chip, nil) {
+					t.Errorf("%s", v)
+				}
+			})
+		}
+	}
+}
+
+// TestSkipExtraRepsRejected: Check refuses a chip compiled without its
+// extra representations instead of silently passing it.
+func TestSkipExtraRepsRejected(t *testing.T) {
+	chip := compileExample(t, "adder4.bb", &core.Options{SkipPads: true, SkipExtraReps: true})
+	if vs := Check(chip, nil); len(vs) != 1 {
+		t.Fatalf("want the single SkipExtraReps refusal, got %v", vs)
+	}
+}
+
+// TestGeneratedConsistent: a batch of generated specs passes the checks.
+// This is a fast subset of the full harness (see harness_test.go).
+func TestGeneratedConsistent(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		spec := specgen.FromSeed(seed, nil)
+		chip, err := core.Compile(spec, &core.Options{SkipPads: true})
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, spec.Name, err)
+		}
+		for _, v := range Check(chip, &Options{Seed: seed + 1}) {
+			t.Errorf("seed %d (%s): %s", seed, spec.Name, v)
+		}
+	}
+}
+
+// TestDifferentialExamples: the example chips produce identical bytes
+// along every compile path.
+func TestDifferentialExamples(t *testing.T) {
+	for _, name := range []string{"adder4.bb", "shifter8.bb"} {
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("..", "..", "examples", "chips", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := desc.Parse(string(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := &core.Options{SkipPads: true}
+			for _, v := range Differential(spec, opts, []int{1, 4}, t.TempDir()) {
+				t.Errorf("%s", v)
+			}
+		})
+	}
+}

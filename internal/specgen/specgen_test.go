@@ -1,0 +1,111 @@
+package specgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+)
+
+// TestDeterministic: a seed fully identifies a spec — the property that
+// lets a failing harness case reproduce from its seed alone.
+func TestDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := desc.Format(FromSeed(seed, nil))
+		b := desc.Format(FromSeed(seed, nil))
+		if a != b {
+			t.Fatalf("seed %d: two generations differ:\n%s\nvs\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestValidRoundTrip: every generated spec passes Validate and survives
+// the description-language round trip unchanged (Format is canonical, so
+// Format ∘ Parse ∘ Format must be the identity on generated specs).
+func TestValidRoundTrip(t *testing.T) {
+	for _, cfg := range []*Config{nil, {ForPads: true}} {
+		for seed := int64(0); seed < 150; seed++ {
+			spec := FromSeed(seed, cfg)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("seed %d: invalid spec: %v", seed, err)
+			}
+			txt := desc.Format(spec)
+			re, err := desc.Parse(txt)
+			if err != nil {
+				t.Fatalf("seed %d: generated spec does not parse: %v\n%s", seed, err, txt)
+			}
+			if got := desc.Format(re); got != txt {
+				t.Fatalf("seed %d: round trip changed the spec:\n%s\nvs\n%s", seed, txt, got)
+			}
+		}
+	}
+}
+
+// TestGeneratedSpecsCompile: the generator's validity contract is semantic,
+// not just syntactic — every spec must survive the three passes it targets.
+func TestGeneratedSpecsCompile(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		spec := FromSeed(seed, nil)
+		if _, err := core.Compile(spec, &core.Options{SkipPads: true}); err != nil {
+			t.Fatalf("seed %d (%s): %v\n%s", seed, spec.Name, err, desc.Format(spec))
+		}
+	}
+}
+
+// TestGeneratedSpecsCompileWithPads: ForPads specs close the full ring.
+// Pad routing dominates the runtime, so the sample is small and skipped
+// under -short.
+func TestGeneratedSpecsCompileWithPads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pad routing is slow")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		spec := FromSeed(seed, &Config{ForPads: true})
+		if _, err := core.Compile(spec, nil); err != nil {
+			t.Fatalf("seed %d (%s): %v\n%s", seed, spec.Name, err, desc.Format(spec))
+		}
+	}
+}
+
+// TestVariety guards against the generator silently degenerating: across a
+// modest seed range it must still exercise every axis of variation it
+// advertises (bus segmentations, pad flavors, guards, lambda overrides,
+// several data widths and element kinds).
+func TestVariety(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var buses, ioports, globals, lambdas int
+	widths := map[int]bool{}
+	kinds := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		spec := Generate(r, nil)
+		if len(spec.Buses) > 0 {
+			buses++
+		}
+		if len(spec.Globals) > 0 {
+			globals++
+		}
+		if spec.LambdaCentimicrons > 0 {
+			lambdas++
+		}
+		widths[spec.DataWidth] = true
+		for _, e := range spec.Elements {
+			kinds[e.Kind] = true
+			if e.Kind == "ioport" {
+				ioports++
+			}
+		}
+	}
+	if buses < 50 || ioports < 20 || globals < 20 || lambdas < 20 {
+		t.Fatalf("variety collapsed: buses=%d ioports=%d globals=%d lambdas=%d",
+			buses, ioports, globals, lambdas)
+	}
+	if len(widths) < 5 {
+		t.Fatalf("only %d distinct data widths generated", len(widths))
+	}
+	for _, k := range []string{"registers", "dualreg", "alu", "shifter", "const", "ioport", "xfer"} {
+		if !kinds[k] {
+			t.Fatalf("element kind %q never generated", k)
+		}
+	}
+}

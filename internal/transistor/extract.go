@@ -3,6 +3,7 @@ package transistor
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"bristleblocks/internal/geom"
 	"bristleblocks/internal/layer"
@@ -172,9 +173,11 @@ func Extract(c *mask.Cell) (*Netlist, error) {
 			if nodes[base+i].r.Contains(geom.Pt(lb.At.X, lb.At.Y)) {
 				root := uf.find(base + i)
 				if prev, ok := names[root]; ok && prev != lb.Text {
-					// Two different names on one net: keep the smaller,
-					// report the alias.
-					if lb.Text < prev {
+					// Two different names on one net: keep the less
+					// qualified (instance renames add "inst." prefixes, so
+					// fewer dots = more global), break ties lexicographically,
+					// and report the alias.
+					if preferNetName(lb.Text, prev) {
 						names[root] = lb.Text
 					}
 					nameConflicts = append(nameConflicts, fmt.Sprintf("%s=%s", prev, lb.Text))
@@ -370,4 +373,16 @@ func (uf *unionFind) union(a, b int) {
 	if uf.rank[ra] == uf.rank[rb] {
 		uf.rank[ra]++
 	}
+}
+
+// preferNetName reports whether name a should win over b when both label
+// one net. Instance renames qualify names with "inst." prefixes, so the
+// name with fewer dots is the more global alias; ties break
+// lexicographically for determinism.
+func preferNetName(a, b string) bool {
+	da, db := strings.Count(a, "."), strings.Count(b, ".")
+	if da != db {
+		return da < db
+	}
+	return a < b
 }

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"bristleblocks"
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/geom"
 )
 
 // tieCell has one metal strip covering x ∈ [0,16] quanta and stretch
@@ -152,5 +154,71 @@ func TestWriteCellCIFLambdaOverride(t *testing.T) {
 	}
 	if reparsed[0].LambdaCentimicrons != 100 {
 		t.Error("lambda directive lost in FormatCDL round trip")
+	}
+}
+
+// TestStretchCellDegenerateExtent: a zero-width cell (impossible to enter
+// via CDL, which rejects empty sizes, but constructible through the API)
+// must be refused with an error instead of producing degenerate geometry.
+func TestStretchCellDegenerateExtent(t *testing.T) {
+	thin := cell.New("thin", geom.R(0, 0, 0, 32))
+	thin.StretchX = []geom.Coord{0}
+	err := bristleblocks.StretchCell(thin, 0, 1, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "degenerate") {
+		t.Errorf("x stretch of zero-width cell: err = %v, want degenerate-extent error", err)
+	}
+	flat := cell.New("flat", geom.R(0, 0, 32, 0))
+	flat.StretchY = []geom.Coord{0}
+	err = bristleblocks.StretchCell(flat, 0, 0, 0, 1)
+	if err == nil || !strings.Contains(err.Error(), "degenerate") {
+		t.Errorf("y stretch of zero-height cell: err = %v, want degenerate-extent error", err)
+	}
+	// A zero delta still skips the axis entirely, degenerate or not.
+	if err := bristleblocks.StretchCell(thin, 0, 0, 0, 0); err != nil {
+		t.Errorf("all-zero stretch of degenerate cell errored: %v", err)
+	}
+}
+
+// TestStretchCellSingleLine: with exactly one declared stretch line,
+// every atX routes to it — including points far outside the cell — and
+// the geometry on each side of the line moves as a unit.
+func TestStretchCellSingleLine(t *testing.T) {
+	src := "cell one\nsize 0 0 32 16\nbox metal 0 0 12 16\nbox metal 20 0 32 16\nlabel m 8 8 metal\nlabel n 24 8 metal\nstretchx 16\nendcell\n"
+	for _, atX := range []int{-100, 0, 4, 100} {
+		cells, err := bristleblocks.ParseCDL(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := cells[0]
+		if err := bristleblocks.StretchCell(c, atX, 2, 0, 0); err != nil {
+			t.Fatalf("atX=%d: %v", atX, err)
+		}
+		if got := c.Size.MaxX; got != 40 {
+			t.Errorf("atX=%d: size MaxX = %d, want 40", atX, got)
+		}
+		// The west strip stays put; the east strip moves by the full 2λ.
+		if got := c.Layout.Boxes[0].R.MaxX; got != 12 {
+			t.Errorf("atX=%d: west strip MaxX = %d, want 12", atX, got)
+		}
+		if got := c.Layout.Boxes[1].R.MinX; got != 28 {
+			t.Errorf("atX=%d: east strip MinX = %d, want 28", atX, got)
+		}
+	}
+}
+
+// TestStretchCellCollapseGuard: a negative delta larger than the cell
+// itself must error out instead of emitting inside-out geometry.
+func TestStretchCellCollapseGuard(t *testing.T) {
+	c := parseTieCell(t) // 32 x 32 quanta = 8λ x 8λ
+	err := bristleblocks.StretchCell(c, 4, -8, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "collapse") {
+		t.Errorf("x collapse: err = %v, want collapse error", err)
+	}
+	err = bristleblocks.StretchCell(c, 0, 0, 4, -10)
+	if err == nil || !strings.Contains(err.Error(), "collapse") {
+		t.Errorf("y collapse: err = %v, want collapse error", err)
+	}
+	if c.Size != (geom.Rect{MinX: 0, MinY: 0, MaxX: 32, MaxY: 32}) {
+		t.Errorf("refused stretches still moved the cell: %v", c.Size)
 	}
 }

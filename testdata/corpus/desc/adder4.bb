@@ -1,0 +1,25 @@
+# A 4-bit accumulator chip with horizontal microcode: each control gets
+# its own enable bit so several controls can fire in one word.
+chip adder4
+lambda 250
+
+microcode width 10
+field IO  0 1    ; I/O port connect
+field LD  1 1    ; accumulator load
+field RD  2 1    ; accumulator drive
+field SEL 3 2    ; accumulator select
+field LA  5 1    ; ALU latch operand a (bus A)
+field LB  6 1    ; ALU latch operand b (bus B)
+field AR  7 1    ; ALU drive result (bus A)
+field K   8 1    ; constant 1 drive (bus A)
+field X   9 1    ; bridge bus A <-> bus B
+
+data width 4
+bus A 0 -1
+bus B 0 -1
+
+element io  ioport    io="IO" class=io
+element acc registers count=2 ld="LD & SEL={i}" rd="RD & SEL={i}"
+element alu alu       lda="LA" ldb="LB" rd="AR" op=add
+element k1  const     value=1 rd="K"
+element x   xfer      x="X"

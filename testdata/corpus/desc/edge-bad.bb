@@ -1,0 +1,4 @@
+chip bad
+data width 0
+bus A 5 2
+element nosuch mystery

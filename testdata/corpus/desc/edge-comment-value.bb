@@ -1,0 +1,4 @@
+chip 0
+microcode width 1
+data width 1
+element 0 registers 0"=#"

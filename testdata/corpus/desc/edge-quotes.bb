@@ -1,0 +1,14 @@
+# quoting, comments and conditionals in one spec
+chip edge
+lambda 300
+microcode width 6
+field OP 0 4     ; semicolon comment
+field SEL 4 2
+data width 2
+bus A 0 1
+bus B 2 -1
+global PROTOTYPE true
+global DEBUG false
+element io ioport io="OP=1" class=io
+element r registers count=3 ld="OP=2 & SEL={i}" rd="OP=3 & SEL={i}"
+element dbg registers if=DEBUG ld="OP=11" rd="OP=12"

@@ -1,0 +1,4 @@
+chip 00
+microcode width 1
+data width 1
+element 00 registers " ="

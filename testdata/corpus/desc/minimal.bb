@@ -1,0 +1,7 @@
+chip tiny
+microcode width 2
+field OP 0 2
+data width 1
+bus A 0 -1
+element io ioport io="OP=1" class=io
+element r registers ld="OP=2" rd="OP=3"

@@ -1,0 +1,20 @@
+# An 8-bit shifting datapath with a bus bridge and horizontal microcode.
+chip shifter8
+lambda 250
+
+microcode width 8
+field IO 0 1    ; I/O port connect
+field LD 1 1    ; register load (bus A)
+field RD 2 1    ; register drive (bus A)
+field SL 3 1    ; shifter load (bus A)
+field SR 4 1    ; shifter drive shifted word (bus B)
+field X  5 1    ; bridge bus A <-> bus B
+
+data width 8
+bus A 0 -1
+bus B 0 -1
+
+element io ioport    io="IO" class=io
+element r  registers ld="LD" rd="RD"
+element sh shifter   ld="SL" rd="SR"
+element x  xfer      x="X"
