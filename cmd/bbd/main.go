@@ -10,17 +10,30 @@
 //	bbd -cache-dir /var/cache/bbd        # persistent compile cache
 //	bbd -cache-mb 64 -timeout 30s        # memory budget and per-request deadline
 //	bbd -j 4                             # Pass 1 fan-out width per compile
+//	bbd -admin-addr :8724                # operator surface on its own port
+//	bbd -log-level debug -log-json       # structured log stream as JSON
+//	bbd -flight-n 512                    # flight recorder keeps 512 compiles
 //
 // Endpoints:
 //
-//	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skiproto=1&evenpads=1&skipreps=1][&trace=1]
+//	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skiproto=1&evenpads=1&skipreps=1][&trace=1|chrome]
 //	GET  /healthz
-//	GET  /debug/vars
+//	GET  /metrics                  Prometheus text format
+//	GET  /debug/vars               expvar JSON (histograms carry p50/p95/p99)
+//	GET  /debug/compiles           flight recorder: last N compiles, newest first
+//	GET  /debug/compiles/{id}      one compile's full span tree (?format=chrome)
+//	GET  /debug/pprof/             net/http/pprof profiler
 //
 // With trace=1 the response carries a "trace" array: one span per pass,
 // per element generation, and per cell stretch (a cache hit is a single
-// cache.lookup span). /debug/vars exports the same signal in aggregate as
-// the latency_ms_gen_element histogram.
+// cache.lookup span); trace=chrome returns the same tree as Chrome
+// trace_event JSON ready for Perfetto. Every response carries an
+// X-Request-Id header that keys into the flight recorder and the log
+// stream.
+//
+// By default the admin endpoints share the serving port; -admin-addr moves
+// them to a second listener so the serving port can face untrusted clients
+// while the profiler stays on a firewalled one.
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // in-flight compiles finish, then the process exits.
@@ -31,10 +44,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +58,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8723", "listen address")
+	adminAddr := flag.String("admin-addr", "", "separate listen address for the operator surface (metrics, flight recorder, pprof); empty = share -addr")
 	pool := flag.Int("pool", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "request queue depth (0 = 4x pool)")
 	cacheMB := flag.Int64("cache-mb", 256, "in-memory compile cache budget in MiB")
@@ -51,6 +66,9 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request compile deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 	jobs := flag.Int("j", 1, "Pass 1 fan-out width per compile (0 = GOMAXPROCS; 1 serves throughput, the worker pool is the concurrency)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit the log stream as JSON lines instead of logfmt-style text")
+	flightN := flag.Int("flight-n", 0, "flight recorder size: last N compiles kept with span trees (0 = 128)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: bbd [flags]")
@@ -58,43 +76,90 @@ func main() {
 		os.Exit(2)
 	}
 
+	logger, err := newLogger(*logLevel, *logJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bbd:", err)
+		os.Exit(2)
+	}
+
 	c, err := cache.New(*cacheMB<<20, *cacheDir)
 	if err != nil {
-		log.Fatalf("bbd: %v", err)
+		logger.Error("cache init failed", "err", err)
+		os.Exit(1)
 	}
 	srv, err := server.New(server.Config{
-		Cache:       c,
-		Workers:     *pool,
-		QueueDepth:  *queue,
-		Timeout:     *timeout,
-		Parallelism: *jobs,
+		Cache:              c,
+		Workers:            *pool,
+		QueueDepth:         *queue,
+		Timeout:            *timeout,
+		Parallelism:        *jobs,
+		Logger:             logger,
+		FlightRecorderSize: *flightN,
 	})
 	if err != nil {
-		log.Fatalf("bbd: %v", err)
+		logger.Error("server init failed", "err", err)
+		os.Exit(1)
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("bbd: serving on %s (pool=%d, cache=%dMiB, dir=%q, timeout=%v)",
-		*addr, srv.Workers(), *cacheMB, *cacheDir, *timeout)
+	var admin *http.Server
+	if *adminAddr != "" {
+		admin = &http.Server{Addr: *adminAddr, Handler: srv.AdminHandler()}
+		go func() { errc <- admin.ListenAndServe() }()
+	}
+	logger.Info("serving",
+		"addr", *addr, "admin_addr", *adminAddr,
+		"pool", srv.Workers(), "cache_mb", *cacheMB, "cache_dir", *cacheDir,
+		"timeout", *timeout, "log_level", *logLevel)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("bbd: %v", err)
+		logger.Error("listener failed", "err", err)
+		os.Exit(1)
 	case s := <-sig:
-		log.Printf("bbd: %v — draining (budget %v)", s, *drain)
+		logger.Info("draining", "signal", s.String(), "budget", *drain)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("bbd: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
+	}
+	if admin != nil {
+		if err := admin.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Warn("admin shutdown", "err", err)
+		}
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Fatalf("bbd: %v", err)
+		logger.Error("drain failed", "err", err)
+		os.Exit(1)
 	}
-	log.Print("bbd: drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// newLogger builds the daemon's slog stream on stderr at the requested
+// level, as text or JSON lines.
+func newLogger(level string, asJSON bool) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level %q wants debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
 }

@@ -17,6 +17,9 @@
 //	bristlec -pads io=0xC8 -run ...    # preset input pads before the run
 //	bristlec -j 8 chip.bb              # Pass 1 fan-out on 8 workers
 //	bristlec -trace chip.bb            # print per-pass/per-element spans
+//	bristlec -trace-out trace.json ... # write the compile trace as Chrome
+//	                                   # trace_event JSON (open in Perfetto
+//	                                   # or chrome://tracing)
 package main
 
 import (
@@ -43,6 +46,7 @@ func main() {
 	padsIn := flag.String("pads", "", "preset I/O element pads before -run, e.g. io=0xC8 (comma separated)")
 	jobs := flag.Int("j", 0, "Pass 1 worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	showTrace := flag.Bool("trace", false, "print the compile trace (per-pass and per-element spans)")
+	traceOut := flag.String("trace-out", "", "write the compile trace as Chrome trace_event JSON to this path")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -61,7 +65,7 @@ func main() {
 	}
 	ctx := context.Background()
 	var tr *trace.Trace
-	if *showTrace {
+	if *showTrace || *traceOut != "" {
 		tr = trace.New()
 		ctx = trace.WithTrace(ctx, tr)
 	}
@@ -92,6 +96,19 @@ func main() {
 
 	if *showTrace {
 		fmt.Print(tr.String())
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChrome(f, tr.Spans()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  trace -> %s (load in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 
 	if *stats {

@@ -212,7 +212,7 @@ func (c *Cache) Compile(ctx context.Context, spec *core.Spec, opts *core.Options
 	key := Key(spec, opts)
 	t0 := time.Now()
 	res, ok := c.Get(key)
-	tr.Lookup(time.Since(t0), ok)
+	tr.Lookup(trace.SpanFromContext(ctx), time.Since(t0), ok)
 	if ok {
 		return res, true, nil
 	}

@@ -4,7 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
+
+	"bristleblocks/internal/obs"
 
 	"bristleblocks/internal/bus"
 	"bristleblocks/internal/cell"
@@ -67,6 +71,16 @@ type Stats struct {
 	WireLen     geom.Coord
 	PowerUA     int
 	DecoderOpt  decoder.OptStats
+
+	// Per-pass build counters: what the compiler actually did, exported as
+	// compiler-core gauges on the daemon's /metrics endpoint. All are
+	// deterministic for a given (spec, options) pair at every Parallelism.
+	CellsGenerated        int // distinct cell designs emitted by Pass 1's fan-out
+	StretchesApplied      int // distinct cells whose geometry the pitch fit actually moved
+	StretchDistanceLambda int // total λ of stretch inserted across all distinct cells
+	BusBreaks             int // isolation columns inserted at bus segment boundaries
+	ControlJoins          int // poly fillers joining core control/clock lines to the decoder
+	PadRequests           int // connection points handed to Pass 3's Roto-Router
 }
 
 // Chip is the compilation result carrying all representations.
@@ -105,7 +119,7 @@ type Chip struct {
 // Version identifies the compiler for content-addressed caching: any
 // change that can alter the compiled output for the same (spec, options)
 // pair must bump it, or cache layers will serve stale results.
-const Version = "bristleblocks-2"
+const Version = "bristleblocks-3"
 
 // Compile runs the three-pass silicon compiler on the specification.
 func Compile(spec *Spec, opts *Options) (*Chip, error) {
@@ -129,27 +143,51 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	}
 	chip := &Chip{Spec: spec, Options: *opts}
 	tr := trace.FromContext(ctx)
+	log := obs.Logger(ctx)
 	t0 := time.Now()
 
+	// The root span covers the whole compile; pass spans hang under it so
+	// the exported tree reads compile → pass.core → gen.*/stretch.*. Pass
+	// spans end before their error check, so a failed compile's flight
+	// record still shows where the time went.
+	root := tr.StartSpan(nil, "compile", trace.PassCompile, trace.Coordinator).
+		Attr("chip", spec.Name)
+	defer root.End()
+
 	// ---- Pass 1: core layout.
-	endCore := tr.Begin("pass.core", trace.PassCore, trace.Coordinator)
-	if err := chip.corePass(ctx); err != nil {
+	coreSpan := tr.StartSpan(root, "pass.core", trace.PassCore, trace.Coordinator)
+	err := chip.corePass(trace.WithSpan(ctx, coreSpan))
+	coreSpan.Attr("columns", strconv.Itoa(len(chip.columns)))
+	coreSpan.End()
+	if err != nil {
 		return nil, fmt.Errorf("core pass: %w", err)
 	}
-	endCore()
 	chip.Times.Core = time.Since(t0)
+	log.Debug("core pass complete", "pass", "core",
+		"columns", len(chip.columns),
+		"cells_generated", chip.Stats.CellsGenerated,
+		"bus_breaks", chip.Stats.BusBreaks,
+		"pitch_lambda", geom.InLambda(chip.Stats.Pitch),
+		"dur", chip.Times.Core)
 
 	// ---- Pass 2: control design.
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	t1 := time.Now()
-	endControl := tr.Begin("pass.control", trace.PassControl, trace.Coordinator)
-	if err := chip.controlPass(); err != nil {
+	ctlSpan := tr.StartSpan(root, "pass.control", trace.PassControl, trace.Coordinator)
+	err = chip.controlPass(ctx)
+	ctlSpan.Attr("pla_terms", strconv.Itoa(chip.Stats.PLATerms))
+	ctlSpan.End()
+	if err != nil {
 		return nil, fmt.Errorf("control pass: %w", err)
 	}
-	endControl()
 	chip.Times.Control = time.Since(t1)
+	log.Debug("control pass complete", "pass", "control",
+		"controls", chip.Stats.Controls,
+		"pla_terms", chip.Stats.PLATerms,
+		"control_joins", chip.Stats.ControlJoins,
+		"dur", chip.Times.Control)
 
 	// ---- Pass 3: pad layout.
 	if err := ctx.Err(); err != nil {
@@ -157,11 +195,18 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	}
 	t2 := time.Now()
 	if !opts.SkipPads {
-		endPads := tr.Begin("pass.pads", trace.PassPads, trace.Coordinator)
-		if err := chip.padPass(); err != nil {
+		padSpan := tr.StartSpan(root, "pass.pads", trace.PassPads, trace.Coordinator)
+		err = chip.padPass(ctx)
+		padSpan.Attr("pad_requests", strconv.Itoa(chip.Stats.PadRequests))
+		padSpan.End()
+		if err != nil {
 			return nil, fmt.Errorf("pad pass: %w", err)
 		}
-		endPads()
+		log.Debug("pad pass complete", "pass", "pads",
+			"pads", chip.Stats.PadCount,
+			"pad_requests", chip.Stats.PadRequests,
+			"wire_lambda", geom.InLambda(chip.Stats.WireLen),
+			"dur", time.Since(t2))
 	}
 	chip.Times.Pads = time.Since(t2)
 
@@ -170,9 +215,9 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	if !opts.SkipExtraReps {
-		endReps := tr.Begin("pass.representations", trace.PassReps, trace.Coordinator)
+		repsSpan := tr.StartSpan(root, "pass.representations", trace.PassReps, trace.Coordinator)
 		chip.buildRepresentations()
-		endReps()
+		repsSpan.End()
 	}
 	chip.Times.Total = time.Since(t0)
 	chip.fillStats()
@@ -232,6 +277,7 @@ func (c *Chip) enabledElements() []ElementSpec {
 func (c *Chip) corePass(ctx context.Context) error {
 	spec := c.Spec
 	tr := trace.FromContext(ctx)
+	passSpan := trace.SpanFromContext(ctx)
 	elems := c.enabledElements()
 	if len(elems) == 0 {
 		return fmt.Errorf("conditional assembly removed every element")
@@ -261,7 +307,9 @@ func (c *Chip) corePass(ctx context.Context) error {
 	perElem := make([][]*column, len(elems))
 	err = runIndexed(ctx, workers, len(elems), func(worker, i int) error {
 		e := elems[i]
-		defer tr.Begin("gen."+e.Name, trace.PassCore, worker)()
+		sp := tr.StartSpan(passSpan, "gen."+e.Name, trace.PassCore, worker).
+			Attr("kind", e.Kind)
+		defer sp.End()
 		busA, busB := busNamesAt(plan, i)
 		gctx := &genCtx{
 			width: spec.DataWidth, busA: busA, busB: busB,
@@ -355,9 +403,15 @@ func (c *Chip) corePass(ctx context.Context) error {
 		}
 	}
 	stretchedOf := make([]*cell.Cell, len(uniq))
+	// deltas[i] is the Y growth FitY and the rail widening inserted into
+	// distinct cell i; each fan-out task owns its slot, and the serial sum
+	// below is order-independent, so the stat is deterministic at every
+	// pool width.
+	deltas := make([]geom.Coord, len(uniq))
 	err = runIndexed(ctx, workers, len(uniq), func(worker, i int) error {
 		u := uniq[i]
-		defer tr.Begin("stretch."+u.cc.Name, trace.PassCore, worker)()
+		sp := tr.StartSpan(passSpan, "stretch."+u.cc.Name, trace.PassCore, worker)
+		defer sp.End()
 		sc := u.cc.Copy()
 		if dRail > 0 {
 			if err := stretch.WidenRail(sc, "gnd", dRail); err != nil {
@@ -373,11 +427,33 @@ func (c *Chip) corePass(ctx context.Context) error {
 		}, pitch); err != nil {
 			return fmt.Errorf("column %d (%s): %w", u.colIdx, u.colName, err)
 		}
+		deltas[i] = sc.Size.H() - u.cc.Size.H()
+		sp.Attr("delta_lambda", strconv.FormatFloat(geom.InLambda(deltas[i]), 'g', -1, 64))
 		stretchedOf[i] = sc
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	c.Stats.CellsGenerated = len(uniq)
+	var stretchDist geom.Coord
+	for _, d := range deltas {
+		if d != 0 {
+			c.Stats.StretchesApplied++
+			stretchDist += d
+		}
+	}
+	c.Stats.StretchDistanceLambda = int(geom.InLambda(stretchDist))
+	for _, col := range cols {
+		if strings.HasPrefix(col.name, "brk.") {
+			c.Stats.BusBreaks++
+		}
+	}
+	if dRail > 0 {
+		obs.Logger(ctx).Warn("power-dense core: rails widened beyond the drawn width",
+			"pass", "core",
+			"rail_extra_lambda", geom.InLambda(dRail),
+			"power_ua", budget.TotalUA())
 	}
 	for _, col := range cols {
 		for bi, cc := range col.cells {
@@ -498,7 +574,7 @@ func busNamesAt(plan *bus.Plan, i int) (string, string) {
 // controlPass implements Pass 2: collect the control connection points
 // from the core, build the decoder above it, and join the control and
 // clock lines across the gap.
-func (c *Chip) controlPass() error {
+func (c *Chip) controlPass(ctx context.Context) error {
 	spec := c.Spec
 	topRow := spec.DataWidth - 1
 	var specs []decoder.ControlSpec
@@ -549,16 +625,29 @@ func (c *Chip) controlPass() error {
 	c.Stats.Controls = len(specs)
 	c.Stats.PLATerms = len(res.Array.Terms)
 	c.Stats.DecoderOpt = res.Stats
+	c.Stats.ControlJoins = len(ctlX)
+	for _, xs := range clockX {
+		c.Stats.ControlJoins += len(xs)
+	}
+	if !c.Options.SkipOptimize && res.Stats.TermsBefore > 0 && res.Stats.TermsAfter == res.Stats.TermsBefore {
+		obs.Logger(ctx).Warn("decoder optimizer eliminated no PLA terms",
+			"pass", "control", "terms", res.Stats.TermsBefore)
+	}
 	return nil
 }
 
 // padPass implements Pass 3: collect every pad-needing connection point
 // (I/O bits, microcode inputs, clocks, power rails), hand them to the
 // Roto-Router, and place the resulting ring around the chip.
-func (c *Chip) padPass() error {
+func (c *Chip) padPass(ctx context.Context) error {
 	reqs := c.padRequests()
+	c.Stats.PadRequests = len(reqs)
 	if len(reqs) == 0 {
 		return fmt.Errorf("chip has no pad connection points")
+	}
+	if c.Options.SkipRotoRouter {
+		obs.Logger(ctx).Warn("Roto-Router disabled: pad rotation pinned to 0",
+			"pass", "pads", "requests", len(reqs))
 	}
 	coreB := c.Stats.CoreBounds
 	decB := c.Decoder.Layout.Cell.Size.Translate(geom.Pt(0, coreB.MaxY+geom.L(8)))

@@ -1,0 +1,78 @@
+package flightrec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bristleblocks/internal/trace"
+)
+
+func TestRingOverwritesOldestFirst(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Add(Record{ID: fmt.Sprintf("req%d", i), Outcome: OutcomeOK})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	recs := r.Records()
+	for i, want := range []string{"req9", "req8", "req7", "req6"} {
+		if recs[i].ID != want {
+			t.Fatalf("records[%d] = %s, want %s (newest first)", i, recs[i].ID, want)
+		}
+	}
+	if recs[0].Seq != 10 {
+		t.Fatalf("newest Seq = %d, want 10", recs[0].Seq)
+	}
+	if _, ok := r.Get("req2"); ok {
+		t.Fatal("req2 survived the overwrite")
+	}
+	got, ok := r.Get("req7")
+	if !ok || got.Seq != 8 {
+		t.Fatalf("Get(req7) = %+v,%v", got, ok)
+	}
+}
+
+func TestRecordKeepsSpanTree(t *testing.T) {
+	tr := trace.New()
+	root := tr.StartSpan(nil, "compile", trace.PassCompile, trace.Coordinator)
+	tr.StartSpan(root, "pass.core", trace.PassCore, trace.Coordinator).End()
+	root.End()
+
+	r := New(0) // default capacity
+	r.Add(Record{ID: "x", Outcome: OutcomeError, Error: "core pass: boom", Spans: tr.Spans()})
+	rec, ok := r.Get("x")
+	if !ok {
+		t.Fatal("record lost")
+	}
+	if len(rec.Spans) != 2 || rec.Spans[0].Name != "compile" {
+		t.Fatalf("span tree mangled: %+v", rec.Spans)
+	}
+	if rec.Spans[1].Parent != rec.Spans[0].ID {
+		t.Fatal("hierarchy lost in the record")
+	}
+}
+
+func TestConcurrentAddAndRead(t *testing.T) {
+	r := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(Record{ID: fmt.Sprintf("w%d-%d", w, i)})
+				r.Records()
+				r.Get("w0-0")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+}

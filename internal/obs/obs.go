@@ -1,0 +1,82 @@
+// Package obs carries per-request observability identity through the
+// compile pipeline: a request ID minted at the HTTP edge and a structured
+// logger bound to it, both traveling in the context so pass-level warnings
+// deep inside the compiler come out correlated with the request that
+// triggered them. The paper's compiler printed to a terminal for one
+// designer; a daemon interleaving many compiles needs every line to say
+// whose compile it was.
+//
+// Both accessors are total: a context without a logger yields a discard
+// logger (logging from library code never panics and never forces setup),
+// and a context without an ID yields "".
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+)
+
+// NewRequestID mints a short unique request identifier: 8 random bytes,
+// hex-encoded (16 chars — wide enough to never collide inside one flight
+// recorder window, short enough to read in a log line). If the system
+// randomness source fails it falls back to a process-local counter rather
+// than failing the request.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("req-%016x", fallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var fallback atomic.Uint64
+
+type ridKey struct{}
+type logKey struct{}
+
+// WithRequestID stamps the context with the compile request's identifier.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID returns the context's request identifier, or "" outside a
+// request (CLI compiles, tests).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// WithLogger attaches a structured logger for the compile passes to emit
+// through. The daemon binds request_id (and chip, once parsed) before
+// attaching, so a pass-level warning needs no knowledge of the transport.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, logKey{}, l)
+}
+
+// Logger returns the context's logger, or a discard logger when none is
+// attached — callers log unconditionally and pay nothing outside the
+// daemon.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(logKey{}).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return discard
+}
+
+// NopLogger returns the shared discard logger: attribute-compatible with a
+// real one, writes nothing, filters every level before formatting.
+func NopLogger() *slog.Logger { return discard }
+
+var discard = slog.New(slog.NewTextHandler(discardWriter{}, &slog.HandlerOptions{
+	// Above any real level: every record is filtered before formatting,
+	// so the discard path costs an Enabled check and nothing else.
+	Level: slog.Level(127),
+}))
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"testing"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("empty context has request id %q", got)
+	}
+	id := NewRequestID()
+	if len(id) != 16 {
+		t.Fatalf("request id %q is not 16 hex chars", id)
+	}
+	if id2 := NewRequestID(); id2 == id {
+		t.Fatalf("two request ids collided: %q", id)
+	}
+	ctx = WithRequestID(ctx, id)
+	if got := RequestID(ctx); got != id {
+		t.Fatalf("round trip: got %q, want %q", got, id)
+	}
+}
+
+func TestLoggerDefaultsToDiscard(t *testing.T) {
+	l := Logger(context.Background())
+	if l == nil {
+		t.Fatal("Logger returned nil")
+	}
+	// Must not panic, must not write anywhere observable.
+	l.Warn("into the void", "k", "v")
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("discard logger claims to be enabled at Error")
+	}
+}
+
+func TestLoggerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := slog.New(slog.NewTextHandler(&buf, nil)).With("request_id", "abc123")
+	ctx := WithLogger(context.Background(), l)
+	Logger(ctx).Info("pass complete", "pass", "core")
+	out := buf.String()
+	for _, want := range []string{"request_id=abc123", "pass=core", "pass complete"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("log line missing %q:\n%s", want, out)
+		}
+	}
+}

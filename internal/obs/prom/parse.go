@@ -1,0 +1,179 @@
+package prom
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Page is a parsed exposition page: the samples plus the TYPE declared per
+// family.
+type Page struct {
+	Samples []Sample
+	Types   map[string]string // family name -> counter|gauge|histogram|...
+}
+
+// Get returns the first unlabeled sample value for name.
+func (p *Page) Get(name string) (float64, bool) {
+	for _, s := range p.Samples {
+		if s.Name == name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Parse reads a Prometheus text exposition page, enforcing the grammar the
+// scrape path enforces: comment lines are HELP/TYPE, every sample line is
+// `name[{labels}] value [timestamp]` with a parseable float value, and
+// every sample's family has a TYPE. It exists so tests and the CI smoke
+// scraper validate /metrics with the writer's inverse rather than a
+// substring check.
+func Parse(r io.Reader) (*Page, error) {
+	page := &Page{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: comment is neither HELP nor TYPE: %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE wants `# TYPE name kind`: %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				page.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if familyOf(s.Name, page.Types) == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, s.Name)
+		}
+		page.Samples = append(page.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(page.Samples) == 0 {
+		return nil, fmt.Errorf("page has no samples")
+	}
+	return page, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		s.Name = strings.TrimSpace(rest[:i])
+		for _, pair := range splitLabels(rest[i+1 : j]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return s, fmt.Errorf("bad label %q", pair)
+			}
+			uq, err := strconv.Unquote(strings.TrimSpace(v))
+			if err != nil {
+				return s, fmt.Errorf("label %s value %q is not quoted: %v", k, v, err)
+			}
+			s.Labels[strings.TrimSpace(k)] = uq
+		}
+		rest = rest[j+1:]
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		s.Name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q wants `value [timestamp]`", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("sample %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	inQ := false
+	last := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inQ = !inQ
+			}
+		case ',':
+			if !inQ {
+				out = append(out, s[last:i])
+				last = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[last:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("nan", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyOf maps a sample name to its declared family: exact match, or the
+// histogram/summary suffixes _bucket/_sum/_count stripped.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name {
+			if _, ok := types[base]; ok {
+				return base
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,110 @@
+package prom
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWriteParseRoundTrip: the writer's page re-reads through the parser
+// with every value intact — the property the /metrics endpoint is built
+// on.
+func TestWriteParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Counter("bbd_requests_total", "Total /compile requests.", 42)
+	w.Gauge("bbd_queue_depth", "Requests waiting for a worker.", 3)
+	w.GaugeVec("bbd_core_pitch_lambda", "Row pitch of the last compile.", "chip", map[string]float64{"adder4": 14.5})
+	w.CounterVec("bbd_pass_seconds_total", "Cumulative per-pass wall clock.", "pass", map[string]float64{
+		"core": 1.25, "control": 0.5, "pads": 0.75,
+	})
+	w.Histogram("bbd_request_latency_ms", "End-to-end request latency.",
+		[]float64{1, 5, 10}, []int64{2, 3, 0, 1}, 27.5)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	page, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("writer output does not parse: %v\n%s", err, buf.String())
+	}
+	if v, ok := page.Get("bbd_requests_total"); !ok || v != 42 {
+		t.Fatalf("bbd_requests_total = %v,%v", v, ok)
+	}
+	if page.Types["bbd_request_latency_ms"] != "histogram" {
+		t.Fatalf("histogram TYPE lost: %v", page.Types)
+	}
+
+	// Histogram exposition: cumulative buckets, +Inf closes at _count.
+	wantBuckets := map[string]float64{"1": 2, "5": 5, "10": 5, "+Inf": 6}
+	seen := 0
+	for _, s := range page.Samples {
+		if s.Name != "bbd_request_latency_ms_bucket" {
+			continue
+		}
+		seen++
+		want, ok := wantBuckets[s.Labels["le"]]
+		if !ok || s.Value != want {
+			t.Fatalf("bucket le=%q = %g, want %g", s.Labels["le"], s.Value, want)
+		}
+	}
+	if seen != 4 {
+		t.Fatalf("got %d buckets, want 4", seen)
+	}
+	if v, _ := page.Get("bbd_request_latency_ms_count"); v != 6 {
+		t.Fatalf("_count = %g, want 6", v)
+	}
+	if v, _ := page.Get("bbd_request_latency_ms_sum"); v != 27.5 {
+		t.Fatalf("_sum = %g, want 27.5", v)
+	}
+
+	// Vector samples carry their labels through.
+	found := false
+	for _, s := range page.Samples {
+		if s.Name == "bbd_pass_seconds_total" && s.Labels["pass"] == "control" {
+			found = s.Value == 0.5
+		}
+	}
+	if !found {
+		t.Fatal("pass=control sample lost")
+	}
+}
+
+func TestSpecialValues(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Gauge("g_inf", "inf", math.Inf(1))
+	w.Gauge("g_nan", "nan", math.NaN())
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "g_inf +Inf") {
+		t.Fatalf("no +Inf rendering:\n%s", buf.String())
+	}
+	page, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := page.Get("g_inf"); !math.IsInf(v, 1) {
+		t.Fatalf("g_inf = %v", v)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",                               // no samples
+		"just words\n",                   // sample without value
+		"x 1\n",                          // sample without TYPE
+		"# TYPE x wat\nx 1\n",            // unknown kind
+		"# TYPE x gauge\nx notanum\n",    // bad value
+		"# TYPE x gauge\nx{a=\"b} 1\n",   // unbalanced quote swallows value
+		"# random comment\nx 1\n",        // malformed comment
+		"# TYPE x gauge\nx{a=b} 1\n",     // unquoted label value
+		"# TYPE x gauge\nx 1 2 3 4 5six", // trailing garbage
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("parsed garbage %q", bad)
+		}
+	}
+}

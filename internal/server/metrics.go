@@ -3,18 +3,24 @@ package server
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"bristleblocks/internal/cache"
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/obs/prom"
 	"bristleblocks/internal/trace"
 )
 
 // metrics is one server's expvar set. The vars live in a per-server
 // expvar.Map rather than the process-global registry so tests (and a
 // process embedding several servers) never collide on Publish; /debug/vars
-// renders the map, which serializes to the standard expvar JSON shape.
+// renders the map, which serializes to the standard expvar JSON shape. The
+// same counters render in Prometheus text format on GET /metrics via
+// writeProm.
 type metrics struct {
 	vars *expvar.Map
 
@@ -27,6 +33,21 @@ type metrics struct {
 	badSpecs      *expvar.Int
 	compileErrors *expvar.Int
 
+	// Compiler-core build counters, accumulated over cold compiles: what
+	// the compiler built, not just how long it took.
+	coreCells       *expvar.Int
+	coreStretches   *expvar.Int
+	coreStretchDist *expvar.Int
+	coreBusBreaks   *expvar.Int
+	// Last-cold-compile gauges.
+	plaTermsLast *expvar.Int
+	pitchLast    *expvar.Float
+	// Per-pass wall-clock rollups in microseconds (counter semantics: total
+	// compile time spent per pass since start).
+	passUSCore    *expvar.Int
+	passUSControl *expvar.Int
+	passUSPads    *expvar.Int
+
 	passCore    *histogram
 	passControl *histogram
 	passPads    *histogram
@@ -36,20 +57,29 @@ type metrics struct {
 
 func newMetrics(s *Server) *metrics {
 	m := &metrics{
-		vars:          new(expvar.Map).Init(),
-		requests:      new(expvar.Int),
-		inFlight:      new(expvar.Int),
-		compiles:      new(expvar.Int),
-		cacheServed:   new(expvar.Int),
-		rejected:      new(expvar.Int),
-		timeouts:      new(expvar.Int),
-		badSpecs:      new(expvar.Int),
-		compileErrors: new(expvar.Int),
-		passCore:      newHistogram(),
-		passControl:   newHistogram(),
-		passPads:      newHistogram(),
-		genElement:    newHistogram(),
-		request:       newHistogram(),
+		vars:            new(expvar.Map).Init(),
+		requests:        new(expvar.Int),
+		inFlight:        new(expvar.Int),
+		compiles:        new(expvar.Int),
+		cacheServed:     new(expvar.Int),
+		rejected:        new(expvar.Int),
+		timeouts:        new(expvar.Int),
+		badSpecs:        new(expvar.Int),
+		compileErrors:   new(expvar.Int),
+		coreCells:       new(expvar.Int),
+		coreStretches:   new(expvar.Int),
+		coreStretchDist: new(expvar.Int),
+		coreBusBreaks:   new(expvar.Int),
+		plaTermsLast:    new(expvar.Int),
+		pitchLast:       new(expvar.Float),
+		passUSCore:      new(expvar.Int),
+		passUSControl:   new(expvar.Int),
+		passUSPads:      new(expvar.Int),
+		passCore:        newHistogram(),
+		passControl:     newHistogram(),
+		passPads:        newHistogram(),
+		genElement:      newHistogram(),
+		request:         newHistogram(),
 	}
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("in_flight", m.inFlight)
@@ -59,9 +89,19 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("timeouts", m.timeouts)
 	m.vars.Set("bad_specs", m.badSpecs)
 	m.vars.Set("compile_errors", m.compileErrors)
+	m.vars.Set("core_cells_generated", m.coreCells)
+	m.vars.Set("core_stretches_applied", m.coreStretches)
+	m.vars.Set("core_stretch_distance_lambda", m.coreStretchDist)
+	m.vars.Set("core_bus_breaks", m.coreBusBreaks)
+	m.vars.Set("core_pla_terms_last", m.plaTermsLast)
+	m.vars.Set("core_pitch_lambda_last", m.pitchLast)
+	m.vars.Set("pass_us_core", m.passUSCore)
+	m.vars.Set("pass_us_control", m.passUSControl)
+	m.vars.Set("pass_us_pads", m.passUSPads)
 	m.vars.Set("queue_depth", expvar.Func(func() any { return len(s.jobs) }))
 	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(s.jobs) }))
 	m.vars.Set("workers", expvar.Func(func() any { return s.cfg.Workers }))
+	m.vars.Set("flight_recorded", expvar.Func(func() any { return s.flight.Total() }))
 	m.vars.Set("cache", expvar.Func(func() any {
 		c := s.cache.Counters()
 		return map[string]any{
@@ -98,11 +138,88 @@ func (m *metrics) observePasses(t cache.TimesUS) {
 	m.passCore.observe(float64(t.Core) / 1e3)
 	m.passControl.observe(float64(t.Control) / 1e3)
 	m.passPads.observe(float64(t.Pads) / 1e3)
+	m.passUSCore.Add(t.Core)
+	m.passUSControl.Add(t.Control)
+	m.passUSPads.Add(t.Pads)
 }
 
-// observeRequest records end-to-end request latency (hits and misses).
+// observeStats accumulates a cold compile's build counters and refreshes
+// the last-compile gauges.
+func (m *metrics) observeStats(st core.Stats) {
+	m.coreCells.Add(int64(st.CellsGenerated))
+	m.coreStretches.Add(int64(st.StretchesApplied))
+	m.coreStretchDist.Add(int64(st.StretchDistanceLambda))
+	m.coreBusBreaks.Add(int64(st.BusBreaks))
+	m.plaTermsLast.Set(int64(st.PLATerms))
+	m.pitchLast.Set(geom.InLambda(st.Pitch))
+}
+
+// observeRequest records end-to-end request latency. Every terminal path
+// reports here — served, rejected, shed, and failed requests alike — so
+// the histogram shows the latency clients saw, not just the flattering
+// subset (a 503 answered in 50µs and a hit answered in 2ms are both
+// facts about the service).
 func (m *metrics) observeRequest(d time.Duration) {
 	m.request.observe(float64(d.Microseconds()) / 1e3)
+}
+
+// writeProm renders the whole metric set as one Prometheus text exposition
+// page for GET /metrics.
+func (m *metrics) writeProm(w io.Writer, s *Server) error {
+	p := prom.NewWriter(w)
+	p.Counter("bbd_requests_total", "Compile requests received (all terminal outcomes).", float64(m.requests.Value()))
+	p.Counter("bbd_compiles_total", "Cold compiles that ran the three passes.", float64(m.compiles.Value()))
+	p.Counter("bbd_cache_served_total", "Requests answered from the compile cache.", float64(m.cacheServed.Value()))
+	p.Counter("bbd_rejected_total", "Requests shed with 503 because the queue was full or draining.", float64(m.rejected.Value()))
+	p.Counter("bbd_timeouts_total", "Requests that exceeded the compile deadline.", float64(m.timeouts.Value()))
+	p.Counter("bbd_bad_specs_total", "Requests whose chip description failed to parse.", float64(m.badSpecs.Value()))
+	p.Counter("bbd_compile_errors_total", "Compiles that failed inside the three passes.", float64(m.compileErrors.Value()))
+
+	p.Gauge("bbd_in_flight", "Compiles currently occupying a worker.", float64(m.inFlight.Value()))
+	p.Gauge("bbd_queue_depth", "Requests waiting for a worker.", float64(len(s.jobs)))
+	p.Gauge("bbd_queue_capacity", "Bound on requests waiting for a worker.", float64(cap(s.jobs)))
+	p.Gauge("bbd_workers", "Worker pool size.", float64(s.cfg.Workers))
+
+	c := s.cache.Counters()
+	p.Counter("bbd_cache_hits_total", "Compile cache hits (memory or disk).", float64(c.Hits))
+	p.Counter("bbd_cache_misses_total", "Compile cache misses.", float64(c.Misses))
+	p.Counter("bbd_cache_evictions_total", "Results evicted from the in-memory cache layer.", float64(c.Evictions))
+	p.Counter("bbd_cache_disk_hits_total", "Lookups answered by the disk layer.", float64(c.DiskHits))
+	p.Gauge("bbd_cache_entries", "Results resident in the in-memory cache layer.", float64(c.Entries))
+	p.Gauge("bbd_cache_bytes", "Bytes charged against the in-memory cache budget.", float64(c.Bytes))
+	p.Gauge("bbd_cache_hit_ratio", "hits/(hits+misses) since start.", s.cache.HitRatio())
+
+	// Compiler-core gauges: what the compiler built.
+	p.Counter("bbd_core_cells_generated_total", "Distinct cell designs generated by Pass 1 across cold compiles.", float64(m.coreCells.Value()))
+	p.Counter("bbd_core_stretches_total", "Cells whose geometry the pitch fit moved, across cold compiles.", float64(m.coreStretches.Value()))
+	p.Counter("bbd_core_stretch_distance_lambda_total", "Total lambda of stretch inserted across cold compiles.", float64(m.coreStretchDist.Value()))
+	p.Counter("bbd_core_bus_breaks_total", "Bus isolation columns inserted across cold compiles.", float64(m.coreBusBreaks.Value()))
+	p.Gauge("bbd_core_pla_terms", "PLA terms of the most recent cold compile.", float64(m.plaTermsLast.Value()))
+	p.Gauge("bbd_core_pitch_lambda", "Row pitch (lambda) of the most recent cold compile.", m.pitchLast.Value())
+
+	// Per-pass span rollups: cumulative seconds of compile time per pass.
+	p.CounterVec("bbd_pass_seconds_total", "Cumulative wall-clock spent per compiler pass.", "pass", map[string]float64{
+		"core":    float64(m.passUSCore.Value()) / 1e6,
+		"control": float64(m.passUSControl.Value()) / 1e6,
+		"pads":    float64(m.passUSPads.Value()) / 1e6,
+	})
+
+	p.Gauge("bbd_flight_recorded_total", "Compiles recorded by the flight recorder (including overwritten).", float64(s.flight.Total()))
+
+	for _, h := range []struct {
+		name, help string
+		h          *histogram
+	}{
+		{"bbd_pass_core_latency_ms", "Pass 1 (core layout) latency per cold compile.", m.passCore},
+		{"bbd_pass_control_latency_ms", "Pass 2 (control design) latency per cold compile.", m.passControl},
+		{"bbd_pass_pads_latency_ms", "Pass 3 (pad layout) latency per cold compile.", m.passPads},
+		{"bbd_gen_element_latency_ms", "Per-element generation latency inside Pass 1's fan-out.", m.genElement},
+		{"bbd_request_latency_ms", "End-to-end request latency, every terminal outcome.", m.request},
+	} {
+		counts, _, sumMS := h.h.snapshot()
+		p.Histogram(h.name, h.help, h.h.bounds, counts, sumMS)
+	}
+	return p.Err()
 }
 
 // histogram is a fixed-bucket latency histogram implementing expvar.Var.
@@ -130,10 +247,54 @@ func (h *histogram) observe(ms float64) {
 	h.sumUS.Add(int64(ms * 1e3))
 }
 
-// String renders the histogram as JSON (the expvar.Var contract).
+// snapshot copies the per-bucket counts (non-cumulative, overflow last),
+// the total observation count, and the sum in milliseconds.
+func (h *histogram) snapshot() (counts []int64, total int64, sumMS float64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.total.Load(), float64(h.sumUS.Load()) / 1e3
+}
+
+// percentile estimates the q-quantile (0 < q < 1) from the bucket counts
+// with linear interpolation inside the covering bucket — the same estimate
+// Prometheus's histogram_quantile makes. The overflow bucket clamps to the
+// final bound (there is no upper edge to interpolate toward). Returns 0
+// with no observations.
+func (h *histogram) percentile(q float64) float64 {
+	counts, total, _ := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := float64(0)
+	for i, n := range counts {
+		prev := cum
+		cum += float64(n)
+		if cum < rank || n == 0 {
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-prev)/float64(n)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// String renders the histogram as JSON (the expvar.Var contract),
+// including interpolated p50/p95/p99 summary fields so a /debug/vars
+// scrape answers "how slow" without the reader summing buckets.
 func (h *histogram) String() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, `{"count":%d,"sum_ms":%.3f,"buckets":{`, h.total.Load(), float64(h.sumUS.Load())/1e3)
+	fmt.Fprintf(&sb, `{"count":%d,"sum_ms":%.3f,"p50":%.3f,"p95":%.3f,"p99":%.3f,"buckets":{`,
+		h.total.Load(), float64(h.sumUS.Load())/1e3,
+		h.percentile(0.50), h.percentile(0.95), h.percentile(0.99))
 	for i, b := range h.bounds {
 		if i > 0 {
 			sb.WriteByte(',')

@@ -9,11 +9,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strings"
 	"sync"
@@ -22,6 +25,8 @@ import (
 	"bristleblocks/internal/cache"
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/desc"
+	"bristleblocks/internal/obs"
+	"bristleblocks/internal/obs/flightrec"
 	"bristleblocks/internal/trace"
 )
 
@@ -44,6 +49,15 @@ type Config struct {
 	// the parallelism; set it higher when the daemon mostly sees one
 	// large compile at a time.
 	Parallelism int
+	// Logger receives the daemon's structured log stream (nil = discard).
+	// Every compile request logs with a request_id attribute, and the same
+	// logger — bound to that id — rides the context into pass-level
+	// warnings inside the compiler.
+	Logger *slog.Logger
+	// FlightRecorderSize bounds the flight recorder's ring buffer: the
+	// last N compiles (cold, failed, timed out) kept with their full span
+	// trees for /debug/compiles (<=0 = 128).
+	FlightRecorderSize int
 
 	// beforeCompile runs in the worker between claiming a job and compiling
 	// it. Tests use it to hold a worker busy deterministically — real specs
@@ -54,9 +68,11 @@ type Config struct {
 // Server is the compile service. Create with New, serve via Handler, stop
 // with Shutdown.
 type Server struct {
-	cfg   Config
-	cache *cache.Cache
-	jobs  chan *job
+	cfg    Config
+	cache  *cache.Cache
+	jobs   chan *job
+	logger *slog.Logger
+	flight *flightrec.Recorder
 
 	workerWG sync.WaitGroup
 	stateMu  sync.RWMutex // guards closed vs. sends on jobs
@@ -100,9 +116,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.Cache = c
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: cfg.Cache,
-		jobs:  make(chan *job, cfg.QueueDepth),
+		cfg:    cfg,
+		cache:  cfg.Cache,
+		jobs:   make(chan *job, cfg.QueueDepth),
+		logger: cfg.Logger,
+		flight: flightrec.New(cfg.FlightRecorderSize),
+	}
+	if s.logger == nil {
+		s.logger = obs.NopLogger()
 	}
 	s.metrics = newMetrics(s)
 	for i := 0; i < cfg.Workers; i++ {
@@ -144,20 +165,49 @@ func (s *Server) worker() {
 				s.metrics.compiles.Add(1)
 				s.metrics.observePasses(res.TimesUS)
 				s.metrics.observeSpans(tr.Spans())
+				s.metrics.observeStats(res.Stats)
 			}
 		}
 		j.done <- jobResult{res: res, cached: cached, err: err}
 	}
 }
 
-// Handler returns the daemon's HTTP routes: POST /compile, GET /healthz,
-// and GET /debug/vars.
+// Handler returns the daemon's HTTP routes: POST /compile and GET /healthz
+// for the serving path, plus every admin route (metrics, flight recorder,
+// pprof) so a single-port deployment exposes everything. Deployments that
+// want the admin surface on a separate, firewalled listener serve
+// AdminHandler there instead.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	s.registerAdmin(mux)
 	return mux
+}
+
+// AdminHandler returns only the operator surface: GET /metrics
+// (Prometheus text format), GET /debug/vars (expvar JSON), GET
+// /debug/compiles and /debug/compiles/{id} (flight recorder), and the
+// net/http/pprof profiler under /debug/pprof/.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	s.registerAdmin(mux)
+	return mux
+}
+
+func (s *Server) registerAdmin(mux *http.ServeMux) {
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	mux.HandleFunc("/debug/compiles", s.handleFlightList)
+	mux.HandleFunc("/debug/compiles/", s.handleFlightGet)
+	// The pprof handlers are registered explicitly rather than through the
+	// package's init-time DefaultServeMux wiring, so they exist only on
+	// muxes that asked for them.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // Shutdown stops accepting work, then waits (bounded by ctx) for the queue
@@ -207,18 +257,22 @@ var (
 
 // CompileResponse is the /compile reply. Representations appear only when
 // requested via ?reps=; Trace appears only with ?trace=1 and describes
-// this request's work (a cache hit traces as a single lookup span).
+// this request's work (a cache hit traces as a single lookup span);
+// TraceEvents appears only with ?trace=chrome and is the same tree in
+// Chrome trace_event format, ready to save and open in Perfetto.
 type CompileResponse struct {
-	Chip    string        `json:"chip"`
-	Key     string        `json:"key"`
-	Cached  bool          `json:"cached"`
-	Stats   core.Stats    `json:"stats"`
-	TimesUS cache.TimesUS `json:"times_us"`
-	CIF     string        `json:"cif,omitempty"`
-	Text    string        `json:"text,omitempty"`
-	Block   string        `json:"block,omitempty"`
-	Logical string        `json:"logical,omitempty"`
-	Trace   []trace.Span  `json:"trace,omitempty"`
+	RequestID   string          `json:"request_id"`
+	Chip        string          `json:"chip"`
+	Key         string          `json:"key"`
+	Cached      bool            `json:"cached"`
+	Stats       core.Stats      `json:"stats"`
+	TimesUS     cache.TimesUS   `json:"times_us"`
+	CIF         string          `json:"cif,omitempty"`
+	Text        string          `json:"text,omitempty"`
+	Block       string          `json:"block,omitempty"`
+	Logical     string          `json:"logical,omitempty"`
+	Trace       []trace.Span    `json:"trace,omitempty"`
+	TraceEvents json.RawMessage `json:"trace_events,omitempty"`
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -228,6 +282,14 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a chip description to /compile")
 		return
 	}
+	// Every terminal outcome below — bad spec, shed, timeout, error,
+	// served — reports into the request latency histogram.
+	defer func() { s.metrics.observeRequest(time.Since(start)) }()
+
+	reqID := obs.NewRequestID()
+	w.Header().Set("X-Request-Id", reqID)
+	log := s.logger.With("request_id", reqID)
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxSpecBytes+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -240,10 +302,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	spec, err := desc.Parse(string(body))
 	if err != nil {
 		s.metrics.badSpecs.Add(1)
+		log.Warn("spec rejected", "err", err)
 		httpError(w, http.StatusBadRequest, "parse spec: %v", err)
 		return
 	}
-	opts, reps, wantTrace, err := parseQuery(r)
+	log = log.With("chip", spec.Name)
+	opts, reps, traceMode, err := parseQuery(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -252,24 +316,29 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	var tr *trace.Trace
-	if wantTrace {
-		tr = trace.New()
-		ctx = trace.WithTrace(ctx, tr)
-	}
+	ctx = obs.WithRequestID(ctx, reqID)
+	ctx = obs.WithLogger(ctx, log)
+	// Every request that reaches the compiler is traced — not just the
+	// ones that asked — because the flight recorder keeps the span tree
+	// for post-hoc debugging of requests nobody knew would be interesting.
+	tr := trace.New()
+	ctx = trace.WithTrace(ctx, tr)
 
 	// Cache hits are answered on the handler goroutine: a lookup does not
-	// deserve a worker slot or a place in the queue.
+	// deserve a worker slot, a place in the queue, or a flight record.
+	key := cache.Key(spec, opts)
 	var out jobResult
 	t0 := time.Now()
-	if res, ok := s.cache.Get(cache.Key(spec, opts)); ok {
-		tr.Lookup(time.Since(t0), true)
+	if res, ok := s.cache.Get(key); ok {
+		tr.Lookup(nil, time.Since(t0), true)
 		s.metrics.cacheServed.Add(1)
 		out = jobResult{res: res, cached: true}
+		log.Debug("served from cache", "key", key, "dur", time.Since(start))
 	} else {
 		j := &job{ctx: ctx, spec: spec, opts: opts, done: make(chan jobResult, 1)}
 		if err := s.submit(j); err != nil {
 			s.metrics.rejected.Add(1)
+			log.Warn("request shed", "err", err, "queue_depth", len(s.jobs))
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
@@ -280,28 +349,41 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			// abandons the compile; nobody blocks on the buffered done chan.
 			out = jobResult{err: ctx.Err()}
 		}
+		s.recordFlight(flightrec.Record{
+			ID:       reqID,
+			Start:    start,
+			Chip:     spec.Name,
+			SpecHash: key,
+			Options:  fmt.Sprintf("%+v", *opts),
+			DurUS:    time.Since(start).Microseconds(),
+			Spans:    tr.Spans(),
+		}, out.err, ctx, r)
 	}
 	if out.err != nil {
 		switch {
 		case ctx.Err() != nil && r.Context().Err() == nil:
 			s.metrics.timeouts.Add(1)
+			log.Warn("compile timed out", "key", key, "timeout", s.cfg.Timeout)
 			httpError(w, http.StatusGatewayTimeout, "compile exceeded %v", s.cfg.Timeout)
 		case ctx.Err() != nil:
 			// Client went away; the status is a formality.
+			log.Info("request canceled by client", "key", key)
 			httpError(w, http.StatusRequestTimeout, "request canceled")
 		default:
 			s.metrics.compileErrors.Add(1)
+			log.Warn("compile failed", "key", key, "err", out.err)
 			httpError(w, http.StatusUnprocessableEntity, "compile: %v", out.err)
 		}
 		return
 	}
 
 	resp := &CompileResponse{
-		Chip:    out.res.Chip,
-		Key:     out.res.Key,
-		Cached:  out.cached,
-		Stats:   out.res.Stats,
-		TimesUS: out.res.TimesUS,
+		RequestID: reqID,
+		Chip:      out.res.Chip,
+		Key:       out.res.Key,
+		Cached:    out.cached,
+		Stats:     out.res.Stats,
+		TimesUS:   out.res.TimesUS,
 	}
 	if reps["cif"] {
 		resp.CIF = string(out.res.CIF)
@@ -315,35 +397,84 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if reps["logical"] {
 		resp.Logical = out.res.Logical
 	}
-	if wantTrace {
+	switch traceMode {
+	case traceSpans:
 		resp.Trace = tr.Spans()
+	case traceChrome:
+		var buf bytes.Buffer
+		if err := trace.WriteChrome(&buf, tr.Spans()); err == nil {
+			resp.TraceEvents = json.RawMessage(buf.Bytes())
+		}
 	}
-	s.metrics.observeRequest(time.Since(start))
+	if !out.cached {
+		log.Info("compiled", "key", out.res.Key,
+			"transistors", out.res.Stats.Transistors,
+			"cells", out.res.Stats.CellsGenerated,
+			"pla_terms", out.res.Stats.PLATerms,
+			"dur", time.Since(start))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
 }
 
+// recordFlight classifies how a compile that reached the worker pool ended
+// and files it in the flight recorder.
+func (s *Server) recordFlight(rec flightrec.Record, compileErr error, ctx context.Context, r *http.Request) {
+	switch {
+	case compileErr == nil:
+		rec.Outcome = flightrec.OutcomeOK
+	case ctx.Err() != nil && r.Context().Err() == nil:
+		rec.Outcome = flightrec.OutcomeTimeout
+		rec.Error = compileErr.Error()
+	case ctx.Err() != nil:
+		rec.Outcome = flightrec.OutcomeCanceled
+		rec.Error = compileErr.Error()
+	default:
+		rec.Outcome = flightrec.OutcomeError
+		rec.Error = compileErr.Error()
+	}
+	s.flight.Add(rec)
+}
+
+// traceMode selects what the response carries back from the request's
+// span tree.
+type traceMode int
+
+const (
+	traceOff    traceMode = iota
+	traceSpans            // ?trace=1 — the span array
+	traceChrome           // ?trace=chrome — Chrome trace_event JSON for Perfetto
+)
+
 // parseQuery reads the option switches, representation list, and trace
 // request from the request URL.
-func parseQuery(r *http.Request) (*core.Options, map[string]bool, bool, error) {
+func parseQuery(r *http.Request) (*core.Options, map[string]bool, traceMode, error) {
 	q := r.URL.Query()
 	opts := &core.Options{}
-	var wantTrace bool
 	for name, dst := range map[string]*bool{
 		"nopads":   &opts.SkipPads,
 		"skipopt":  &opts.SkipOptimize,
 		"skiproto": &opts.SkipRotoRouter,
 		"evenpads": &opts.EvenPads,
 		"skipreps": &opts.SkipExtraReps,
-		"trace":    &wantTrace,
 	} {
 		switch v := q.Get(name); v {
 		case "", "0", "false":
 		case "1", "true":
 			*dst = true
 		default:
-			return nil, nil, false, fmt.Errorf("option %s=%q is not a boolean", name, v)
+			return nil, nil, traceOff, fmt.Errorf("option %s=%q is not a boolean", name, v)
 		}
+	}
+	mode := traceOff
+	switch v := q.Get("trace"); v {
+	case "", "0", "false":
+	case "1", "true":
+		mode = traceSpans
+	case "chrome":
+		mode = traceChrome
+	default:
+		return nil, nil, traceOff, fmt.Errorf("option trace=%q wants 0, 1, or chrome", v)
 	}
 	reps := make(map[string]bool)
 	if rq := q.Get("reps"); rq != "" {
@@ -354,11 +485,11 @@ func parseQuery(r *http.Request) (*core.Options, map[string]bool, bool, error) {
 			case "all":
 				reps["cif"], reps["text"], reps["block"], reps["logical"] = true, true, true, true
 			default:
-				return nil, nil, false, fmt.Errorf("unknown representation %q (want cif, text, block, logical, all)", name)
+				return nil, nil, traceOff, fmt.Errorf("unknown representation %q (want cif, text, block, logical, all)", name)
 			}
 		}
 	}
-	return opts, reps, wantTrace, nil
+	return opts, reps, mode, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -376,6 +507,71 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	fmt.Fprintln(w, s.metrics.vars.String())
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.writeProm(w, s); err != nil {
+		s.logger.Warn("metrics render failed", "err", err)
+	}
+}
+
+// flightSummary is one /debug/compiles list entry: the record minus its
+// span tree, which /debug/compiles/{id} serves in full.
+type flightSummary struct {
+	ID       string    `json:"id"`
+	Seq      uint64    `json:"seq"`
+	Start    time.Time `json:"start"`
+	Chip     string    `json:"chip,omitempty"`
+	SpecHash string    `json:"spec_hash,omitempty"`
+	Options  string    `json:"options,omitempty"`
+	Outcome  string    `json:"outcome"`
+	Error    string    `json:"error,omitempty"`
+	DurUS    int64     `json:"dur_us"`
+	Spans    int       `json:"spans"`
+}
+
+// handleFlightList serves GET /debug/compiles: the retained compile
+// records, newest first, without their span trees.
+func (s *Server) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	recs := s.flight.Records()
+	out := make([]flightSummary, len(recs))
+	for i, rec := range recs {
+		out[i] = flightSummary{
+			ID: rec.ID, Seq: rec.Seq, Start: rec.Start,
+			Chip: rec.Chip, SpecHash: rec.SpecHash, Options: rec.Options,
+			Outcome: rec.Outcome, Error: rec.Error, DurUS: rec.DurUS,
+			Spans: len(rec.Spans),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleFlightGet serves GET /debug/compiles/{id}: one record with its
+// full span tree, the post-hoc replay of where that compile spent its
+// time. Append ?format=chrome for the tree in Chrome trace_event JSON.
+func (s *Server) handleFlightGet(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/compiles/")
+	if id == "" {
+		s.handleFlightList(w, r)
+		return
+	}
+	rec, ok := s.flight.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no flight record %q (the ring keeps the last %d compiles)", id, s.flight.Cap())
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteChrome(w, rec.Spans); err != nil {
+			s.logger.Warn("flight record chrome export failed", "err", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rec)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format's traceEvents
+// array. Only the "X" (complete) and "M" (metadata) phases are emitted.
+// Timestamps and durations are microseconds, the format's native unit, so
+// Span offsets map through unchanged.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON Object Format variant of the trace_event file: the
+// array wrapped with displayTimeUnit, which Perfetto and chrome://tracing
+// both accept.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders spans in the Chrome trace_event JSON format, one
+// complete ("X") event per span on the track of the worker that ran it,
+// plus metadata events naming the process and tracks. The output loads
+// directly into Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChrome(w io.Writer, spans []Span) error {
+	events := []chromeEvent{{
+		Name: "process_name", Phase: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "bristleblocks compile"},
+	}}
+
+	tids := map[int]bool{}
+	for _, s := range spans {
+		tids[chromeTID(s.Worker)] = true
+	}
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		name := "coordinator"
+		if tid != 0 {
+			name = fmt.Sprintf("worker %d", tid-1)
+		}
+		events = append(events,
+			chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+				Args: map[string]any{"name": name}},
+			// sort_index keeps the coordinator track on top regardless of
+			// the viewer's default ordering.
+			chromeEvent{Name: "thread_sort_index", Phase: "M", PID: 1, TID: tid,
+				Args: map[string]any{"sort_index": tid}})
+	}
+
+	for _, s := range spans {
+		args := map[string]any{"id": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		ev := chromeEvent{
+			Name:  s.Name,
+			Cat:   s.Pass,
+			Phase: "X",
+			PID:   1,
+			TID:   chromeTID(s.Worker),
+			TS:    s.StartUS,
+			Dur:   s.DurUS,
+			Args:  args,
+		}
+		// The viewers drop zero-duration complete events from the track;
+		// clamp to 1µs so every recorded span stays visible.
+		if ev.Dur == 0 {
+			ev.Dur = 1
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// chromeTID maps a Span worker id onto a trace_event thread id: the
+// coordinator (-1) becomes track 0, pool worker n becomes track n+1 (tids
+// must be non-negative in the format).
+func chromeTID(worker int) int {
+	if worker == Coordinator {
+		return 0
+	}
+	return worker + 1
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteChromeSchema validates the exporter against the Chrome
+// trace_event JSON Object Format: a traceEvents array whose entries carry
+// the required name/ph/pid/tid keys, "X" (complete) events with
+// non-negative µs timestamps and positive durations, and args that keep
+// the span ids so the hierarchy survives the export. This is the
+// acceptance gate for `bristlec -trace-out` loading in Perfetto.
+func TestWriteChromeSchema(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan(nil, "compile", PassCompile, Coordinator)
+	core := tr.StartSpan(root, "pass.core", PassCore, Coordinator)
+	tr.StartSpan(core, "gen.acc", PassCore, 0).Attr("kind", "registers").End()
+	tr.StartSpan(core, "stretch.regbit", PassCore, 1).Attr("delta_lambda", "3").End()
+	core.End()
+	tr.Lookup(root, 0, false)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+
+	var file struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if file.DisplayTimeUnit != "ms" && file.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q, want ms or ns", file.DisplayTimeUnit)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no traceEvents")
+	}
+
+	complete := 0
+	sawParentArg := false
+	for i, ev := range file.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing required key %q: %v", i, key, ev)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			// Metadata events name the process and threads.
+		case "X":
+			complete++
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				t.Fatalf("event %d has bad ts %v", i, ev["ts"])
+			}
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur <= 0 {
+				t.Fatalf("event %d has bad dur %v (complete events need one)", i, ev["dur"])
+			}
+			tid, ok := ev["tid"].(float64)
+			if !ok || tid < 0 {
+				t.Fatalf("event %d has negative tid %v", i, ev["tid"])
+			}
+			args, ok := ev["args"].(map[string]any)
+			if !ok {
+				t.Fatalf("event %d has no args", i)
+			}
+			if _, ok := args["id"]; !ok {
+				t.Fatalf("event %d args missing span id: %v", i, args)
+			}
+			if _, ok := args["parent"]; ok {
+				sawParentArg = true
+			}
+			if name, _ := ev["name"].(string); name == "gen.acc" && args["kind"] != "registers" {
+				t.Fatalf("gen.acc lost its kind attribute: %v", args)
+			}
+		default:
+			t.Fatalf("event %d has unexpected phase %q", i, ph)
+		}
+	}
+	if complete != 5 {
+		t.Fatalf("got %d complete events, want 5 (one per span)", complete)
+	}
+	if !sawParentArg {
+		t.Fatal("no complete event carried a parent arg — hierarchy lost in export")
+	}
+}

@@ -1,0 +1,183 @@
+// Benchjson runs the repo's headline benchmarks through testing.Benchmark
+// and writes the results as one JSON document, so a PR can commit a
+// machine-readable performance snapshot (BENCH_PR4.json) instead of pasting
+// `go test -bench` output into a description. The numbers answer three
+// questions about the serving story: how long a compile takes cold (small
+// and large), how much faster the warm cache path is, and what the Pass 1
+// fan-out buys over serial.
+//
+// Usage:
+//
+//	go run ./tools/benchjson                # write BENCH_PR4.json
+//	go run ./tools/benchjson -o bench.json  # choose the output path
+//	go run ./tools/benchjson -benchtime 2s  # run each arm longer
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bristleblocks/internal/cache"
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/experiments"
+)
+
+// result is one benchmark arm's summary.
+type result struct {
+	// N is the iteration count testing.Benchmark settled on.
+	N int `json:"n"`
+	// NSPerOp is wall-clock per iteration in nanoseconds.
+	NSPerOp int64 `json:"ns_per_op"`
+	// MSPerOp is the same number in milliseconds, for human readers.
+	MSPerOp float64 `json:"ms_per_op"`
+	// AllocsPerOp and BytesPerOp are the allocation profile.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// report is the whole document.
+type report struct {
+	// Host context the numbers were taken under.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+
+	// Benchmarks holds each arm keyed by name.
+	Benchmarks map[string]result `json:"benchmarks"`
+
+	// Derived headline ratios.
+	// CachedHitSpeedup is compile_large / cached_hit_large: what the
+	// content-addressed cache saves on a repeat request.
+	CachedHitSpeedup float64 `json:"cached_hit_speedup"`
+	// CachedHitPerSec is warm-path throughput for one client goroutine.
+	CachedHitPerSec float64 `json:"cached_hit_per_sec"`
+	// CorePassParallelSpeedup is core_pass_serial / core_pass_parallel:
+	// what the Pass 1 fan-out buys on this machine.
+	CorePassParallelSpeedup float64 `json:"core_pass_parallel_speedup"`
+}
+
+func main() {
+	// testing.Benchmark reads the test.benchtime flag, which only exists
+	// after testing.Init registers the testing flag set.
+	testing.Init()
+	out := flag.String("o", "BENCH_PR4.json", "output path for the JSON report")
+	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark arm")
+	flag.Parse()
+	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
+		fatal(err)
+	}
+
+	ctx := context.Background()
+	small := experiments.SpecFor(experiments.Suite[1])
+	large := experiments.SpecFor(experiments.Suite[4])
+	xl := experiments.SpecFor(experiments.Suite[5])
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: map[string]result{},
+	}
+	run := func(name string, fn func(b *testing.B)) result {
+		fmt.Fprintf(os.Stderr, "benchjson: %s...\n", name)
+		r := testing.Benchmark(fn)
+		res := result{
+			N:           r.N,
+			NSPerOp:     r.NsPerOp(),
+			MSPerOp:     float64(r.NsPerOp()) / 1e6,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks[name] = res
+		return res
+	}
+
+	// Cold compile latency, both ends of the paper's size regime.
+	run("compile_small", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compile(small, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cold := run("compile_large", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compile(large, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Warm cache path: the same large spec re-requested through a primed
+	// content-addressed cache.
+	c, err := cache.New(0, "")
+	if err != nil {
+		fatal(err)
+	}
+	if _, _, err := c.Compile(ctx, large, nil); err != nil {
+		fatal(err)
+	}
+	hit := run("cached_hit_large", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, cached, err := c.Compile(ctx, large, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !cached {
+				b.Fatal("cache miss on the warm path")
+			}
+		}
+	})
+
+	// Pass 1 alone, serial vs full fan-out, over the two largest chips.
+	corePass := func(parallelism int) func(b *testing.B) {
+		opts := &core.Options{Parallelism: parallelism}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, spec := range []*core.Spec{large, xl} {
+					if _, err := core.CoreOnly(ctx, spec, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	serial := run("core_pass_serial", corePass(1))
+	par := run("core_pass_parallel", corePass(0))
+
+	if hit.NSPerOp > 0 {
+		rep.CachedHitSpeedup = float64(cold.NSPerOp) / float64(hit.NSPerOp)
+		rep.CachedHitPerSec = 1e9 / float64(hit.NSPerOp)
+	}
+	if par.NSPerOp > 0 {
+		rep.CorePassParallelSpeedup = float64(serial.NSPerOp) / float64(par.NSPerOp)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx -> %s\n",
+		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,257 @@
+// Obssmoke is the observability smoke checker CI runs against a live bbd:
+// it boots the daemon binary, compiles an example chip through it, then
+// scrapes and validates every operator surface — /metrics parses as
+// Prometheus text format with the compiler-core gauges populated,
+// /debug/vars is JSON with percentile fields on the histograms,
+// /debug/compiles holds the compile's flight record with a complete span
+// tree, and /debug/pprof/profile serves a CPU profile. A daemon whose
+// dashboards would be blank fails here, before it ships.
+//
+// Usage:
+//
+//	go build -o /tmp/bbd ./cmd/bbd
+//	go run ./tools/obssmoke -bbd /tmp/bbd -spec examples/chips/adder4.bb
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"bristleblocks/internal/obs/flightrec"
+	"bristleblocks/internal/obs/prom"
+	"bristleblocks/internal/trace"
+)
+
+func main() {
+	bbd := flag.String("bbd", "", "path to the built bbd binary (required)")
+	specPath := flag.String("spec", "examples/chips/adder4.bb", "chip description to compile through the daemon")
+	addr := flag.String("addr", "127.0.0.1:8729", "address the daemon listens on for the check")
+	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon to become healthy")
+	flag.Parse()
+	if *bbd == "" {
+		fatal(fmt.Errorf("-bbd is required (build with `go build -o /tmp/bbd ./cmd/bbd`)"))
+	}
+	spec, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	cmd := exec.Command(*bbd, "-addr", *addr, "-log-level", "debug", "-log-json")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatal(fmt.Errorf("starting %s: %w", *bbd, err))
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+	base := "http://" + *addr
+
+	if err := waitHealthy(base, *wait); err != nil {
+		fatal(err)
+	}
+	step("daemon healthy at %s", base)
+
+	// Compile the example chip cold; the response must carry a request ID
+	// that keys into the flight recorder.
+	resp, err := http.Post(base+"/compile?trace=chrome", "text/plain", strings.NewReader(string(spec)))
+	if err != nil {
+		fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("compile: status %d: %s", resp.StatusCode, body))
+	}
+	var compile struct {
+		RequestID   string          `json:"request_id"`
+		Chip        string          `json:"chip"`
+		Cached      bool            `json:"cached"`
+		TraceEvents json.RawMessage `json:"trace_events"`
+	}
+	if err := json.Unmarshal(body, &compile); err != nil {
+		fatal(fmt.Errorf("compile response is not JSON: %w", err))
+	}
+	if compile.RequestID == "" {
+		fatal(fmt.Errorf("compile response has no request_id"))
+	}
+	if len(compile.TraceEvents) == 0 {
+		fatal(fmt.Errorf("trace=chrome response has no trace_events"))
+	}
+	step("compiled %s cold (request %s)", compile.Chip, compile.RequestID)
+
+	// /metrics parses as Prometheus exposition and the compiler-core
+	// gauges reflect the compile that just ran.
+	page, err := scrapeProm(base + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range []string{
+		"bbd_requests_total", "bbd_compiles_total",
+		"bbd_core_cells_generated_total", "bbd_core_pitch_lambda",
+	} {
+		if v, ok := page.Get(name); !ok || v <= 0 {
+			fatal(fmt.Errorf("/metrics %s = %v,%v (want > 0 after a cold compile)", name, v, ok))
+		}
+	}
+	if page.Types["bbd_request_latency_ms"] != "histogram" {
+		fatal(fmt.Errorf("/metrics bbd_request_latency_ms type = %q", page.Types["bbd_request_latency_ms"]))
+	}
+	step("/metrics parses: %d samples, %d families", len(page.Samples), len(page.Types))
+
+	// /debug/vars is JSON and its histograms carry percentile summaries.
+	vars, err := getJSON[map[string]any](base + "/debug/vars")
+	if err != nil {
+		fatal(err)
+	}
+	hist, ok := vars["latency_ms_request"].(map[string]any)
+	if !ok {
+		fatal(fmt.Errorf("/debug/vars latency_ms_request is %T", vars["latency_ms_request"]))
+	}
+	for _, key := range []string{"p50", "p95", "p99"} {
+		if _, ok := hist[key]; !ok {
+			fatal(fmt.Errorf("/debug/vars histogram missing %q", key))
+		}
+	}
+	step("/debug/vars histograms carry percentiles")
+
+	// The flight recorder holds the compile with a complete span tree.
+	recs, err := getJSON[[]map[string]any](base + "/debug/compiles")
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) == 0 {
+		fatal(fmt.Errorf("/debug/compiles is empty after a cold compile"))
+	}
+	rec, err := getJSON[flightrec.Record](base + "/debug/compiles/" + compile.RequestID)
+	if err != nil {
+		fatal(err)
+	}
+	if err := checkSpanTree(rec.Spans); err != nil {
+		fatal(fmt.Errorf("flight record %s: %w", compile.RequestID, err))
+	}
+	step("flight record has a complete span tree (%d spans)", len(rec.Spans))
+
+	// The profiler answers with an actual CPU profile.
+	presp, err := http.Get(base + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		fatal(err)
+	}
+	profile, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK || len(profile) == 0 {
+		fatal(fmt.Errorf("/debug/pprof/profile: status %d, %d bytes", presp.StatusCode, len(profile)))
+	}
+	step("/debug/pprof/profile served %d bytes", len(profile))
+
+	fmt.Println("obssmoke: ok")
+}
+
+// checkSpanTree asserts the record's spans form a complete tree: exactly
+// one "compile" root (the cache lookup that preceded it is its own
+// root-level span), every parent ID resolves, and the three passes hang
+// off the compile root.
+func checkSpanTree(spans []trace.Span) error {
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans")
+	}
+	byID := map[int64]trace.Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	compileRoots := 0
+	for _, s := range spans {
+		if s.Parent == 0 {
+			if s.Name == "compile" {
+				compileRoots++
+			}
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			return fmt.Errorf("span %q has dangling parent %d", s.Name, s.Parent)
+		}
+	}
+	if compileRoots != 1 {
+		return fmt.Errorf("%d compile roots, want 1", compileRoots)
+	}
+	for _, pass := range []string{"pass.core", "pass.control", "pass.pads"} {
+		found := false
+		for _, s := range spans {
+			if s.Name == pass && byID[s.Parent].Name == "compile" {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("no %s span under the root", pass)
+		}
+	}
+	return nil
+}
+
+func waitHealthy(base string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon not healthy at %s within %v", base, budget)
+}
+
+func scrapeProm(url string) (*prom.Page, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("%s: content type %q", url, ct)
+	}
+	page, err := prom.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return page, nil
+}
+
+func getJSON[T any](url string) (T, error) {
+	var out T
+	resp, err := http.Get(url)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("%s: %w", url, err)
+	}
+	return out, nil
+}
+
+func step(format string, args ...any) {
+	fmt.Printf("obssmoke: "+format+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "obssmoke: FAIL:", err)
+	os.Exit(1)
+}
