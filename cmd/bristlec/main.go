@@ -44,7 +44,7 @@ func main() {
 	run := flag.String("run", "", "microcode source file to assemble and simulate")
 	plotPath := flag.String("plot", "", "write a PNG check plot of the chip to this path")
 	padsIn := flag.String("pads", "", "preset I/O element pads before -run, e.g. io=0xC8 (comma separated)")
-	jobs := flag.Int("j", 0, "Pass 1 worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	jobs := flag.Int("j", 0, "worker pool size for Pass 1's element fan-out and Pass 3's speculative routing (0 = GOMAXPROCS, 1 = serial; output is identical at every width)")
 	showTrace := flag.Bool("trace", false, "print the compile trace (per-pass and per-element spans)")
 	traceOut := flag.String("trace-out", "", "write the compile trace as Chrome trace_event JSON to this path")
 	flag.Parse()

@@ -1,9 +1,13 @@
-// Determinism tests: Pass 1's parallel fan-out must be invisible in the
-// output. Every spec in examples/chips is compiled serially
-// (Parallelism=1) and on a wide pool, and the CIF mask set, sticks
-// diagram, and statistics report are required to be byte-identical — the
-// property that lets the compile cache share one entry across pool sizes
-// and lets a bug report reproduce exactly regardless of the machine.
+// Determinism tests: the parallel fan-outs — Pass 1's per-column
+// pipeline and Pass 3's speculative net routing (wave snapshots, commit
+// in routing order, moat×strategy attempts raced to the lowest-index
+// winner) — must be invisible in the output. Every spec in
+// examples/chips is compiled serially (Parallelism=1) and on a wide
+// pool, and the CIF mask set, sticks diagram, and statistics report
+// (including the route conflict/retry counters) are required to be
+// byte-identical — the property that lets the compile cache share one
+// entry across pool sizes and lets a bug report reproduce exactly
+// regardless of the machine.
 package bristleblocks_test
 
 import (
@@ -62,7 +66,7 @@ func TestParallelCompileDeterministic(t *testing.T) {
 	for name, spec := range chipsSpecs(t) {
 		t.Run(name, func(t *testing.T) {
 			wantCIF, wantSticks, wantReport := renderOutputs(t, spec, 1)
-			for _, par := range []int{0, 2, 8, 2 * runtime.NumCPU()} {
+			for _, par := range []int{0, 2, 4, 8, 2 * runtime.NumCPU()} {
 				cif, sticks, report := renderOutputs(t, spec, par)
 				if cif != wantCIF {
 					t.Fatalf("parallelism %d: CIF differs from serial", par)

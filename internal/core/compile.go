@@ -43,9 +43,11 @@ type Options struct {
 	// produced; set SkipExtraReps to produce only the layout (for the T2
 	// timing ablation).
 	SkipExtraReps bool
-	// Parallelism bounds Pass 1's fan-out worker pool: 0 (the default)
-	// selects GOMAXPROCS, 1 runs the serial path. The compiled chip is
-	// byte-identical at every setting — the fan-in reassembles in column
+	// Parallelism bounds the worker pools of Pass 1's element fan-out and
+	// Pass 3's speculative net routing: 0 (the default) selects
+	// GOMAXPROCS, 1 runs the serial paths. The compiled chip is
+	// byte-identical at every setting — Pass 1's fan-in reassembles in
+	// column order, and Pass 3 commits speculative routes in routing
 	// order — so this knob is deliberately excluded from the compile
 	// cache key.
 	Parallelism int
@@ -81,6 +83,15 @@ type Stats struct {
 	BusBreaks             int // isolation columns inserted at bus segment boundaries
 	ControlJoins          int // poly fillers joining core control/clock lines to the decoder
 	PadRequests           int // connection points handed to Pass 3's Roto-Router
+
+	// Pass 3 routing counters (pads.RouteStats): the speculative routing
+	// pipeline runs at every Parallelism, so these too are deterministic
+	// for a given (spec, options) pair at every pool size.
+	RouteNets          int64 // routing units committed across all rip-up attempts
+	RouteConflicts     int64 // speculative routes invalidated by an earlier commit
+	RouteRetries       int64 // serial re-routes that repaired discarded speculation
+	RouteCellsExpanded int64 // cells the committed searches expanded
+	RouteFrontierPeak  int64 // widest frontier any committed search reached
 }
 
 // Chip is the compilation result carrying all representations.
@@ -119,7 +130,7 @@ type Chip struct {
 // Version identifies the compiler for content-addressed caching: any
 // change that can alter the compiled output for the same (spec, options)
 // pair must bump it, or cache layers will serve stale results.
-const Version = "bristleblocks-3"
+const Version = "bristleblocks-5"
 
 // Compile runs the three-pass silicon compiler on the specification.
 func Compile(spec *Spec, opts *Options) (*Chip, error) {
@@ -196,8 +207,12 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	t2 := time.Now()
 	if !opts.SkipPads {
 		padSpan := tr.StartSpan(root, "pass.pads", trace.PassPads, trace.Coordinator)
-		err = chip.padPass(ctx)
-		padSpan.Attr("pad_requests", strconv.Itoa(chip.Stats.PadRequests))
+		err = chip.padPass(trace.WithSpan(ctx, padSpan))
+		padSpan.Attr("pad_requests", strconv.Itoa(chip.Stats.PadRequests)).
+			Attr("route_nets", strconv.FormatInt(chip.Stats.RouteNets, 10)).
+			Attr("route_conflicts", strconv.FormatInt(chip.Stats.RouteConflicts, 10)).
+			Attr("route_retries", strconv.FormatInt(chip.Stats.RouteRetries, 10)).
+			Attr("route_cells_expanded", strconv.FormatInt(chip.Stats.RouteCellsExpanded, 10))
 		padSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("pad pass: %w", err)
@@ -670,10 +685,11 @@ func (c *Chip) padPass(ctx context.Context) error {
 			}
 		}
 	}
-	ring, err := pads.Build(bounds, reqs, &pads.Options{
+	ring, err := pads.BuildCtx(ctx, bounds, reqs, &pads.Options{
 		SkipRotoRouter: c.Options.SkipRotoRouter,
 		EvenSpacing:    c.Options.EvenPads || c.Spec.EvenPads,
 		Obstacles:      []geom.Rect{bounds},
+		Parallelism:    c.Options.Parallelism,
 	})
 	if err != nil {
 		return err
@@ -682,6 +698,11 @@ func (c *Chip) padPass(ctx context.Context) error {
 	c.Mask.PlaceNamed("pads", ring.Cell, geom.Identity)
 	c.Stats.PadCount = ring.PadCount
 	c.Stats.WireLen = ring.TotalWireLen
+	c.Stats.RouteNets = ring.RouteStats.Nets
+	c.Stats.RouteConflicts = ring.RouteStats.Conflicts
+	c.Stats.RouteRetries = ring.RouteStats.Retries
+	c.Stats.RouteCellsExpanded = ring.RouteStats.CellsExpanded
+	c.Stats.RouteFrontierPeak = ring.RouteStats.FrontierPeak
 	return nil
 }
 

@@ -2,95 +2,18 @@ package core
 
 import (
 	"context"
-	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"bristleblocks/internal/pool"
 )
 
-// poolSize resolves the Options.Parallelism knob: <=0 selects GOMAXPROCS,
-// and the pool never exceeds the number of work items.
+// poolSize and runIndexed delegate to the shared internal/pool package
+// (Pass 3's speculative routing uses the same scheduler from the pads
+// package, which cannot import core).
+
 func poolSize(parallelism, items int) int {
-	p := parallelism
-	if p <= 0 {
-		p = runtime.GOMAXPROCS(0)
-	}
-	if p > items {
-		p = items
-	}
-	if p < 1 {
-		p = 1
-	}
-	return p
+	return pool.Size(parallelism, items)
 }
 
-// runIndexed runs fn(worker, i) for every i in [0, n) on a pool of at most
-// workers goroutines, pulling indices in ascending order.
-//
-// Error behaviour matches the serial loop exactly: indices are dispatched
-// in order and dispatch stops at the first failure, so every index below a
-// failing one has already been dispatched and allowed to finish — the
-// lowest-index error is therefore the same error the serial loop would
-// have returned, and runIndexed returns that one. Context cancellation
-// stops dispatch the same way and reports ctx.Err() if no task error
-// outranks it.
 func runIndexed(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
-	if n == 0 {
-		return nil
-	}
-	workers = poolSize(workers, n)
-	if workers == 1 {
-		// The serial path stays a plain loop: no goroutines to schedule,
-		// nothing for the race detector to interleave, and the behaviour
-		// the parallel path is specified against.
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fn(0, i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-
-	var (
-		next    atomic.Int64 // next index to claim
-		failed  atomic.Bool  // stops further dispatch
-		errs    = make([]error, n)
-		wg      sync.WaitGroup
-		ctxDone = ctx.Done()
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				if failed.Load() {
-					return
-				}
-				select {
-				case <-ctxDone:
-					failed.Store(true)
-					return
-				default:
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(worker, i); err != nil {
-					errs[i] = err
-					failed.Store(true)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return ctx.Err()
+	return pool.RunIndexed(ctx, workers, n, fn)
 }

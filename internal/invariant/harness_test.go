@@ -21,9 +21,10 @@ import (
 // `go test` fast. A failure names the generator seed, which reproduces the
 // spec exactly (specgen.FromSeed).
 var (
-	flagN    = flag.Int("invariant.n", 25, "generated specs per harness test")
-	flagJobs = flag.String("invariant.jobs", "1,4", "comma-separated Pass 1 pool sizes to diff")
-	flagSeed = flag.Int64("invariant.seed", 1979, "first generator seed")
+	flagN     = flag.Int("invariant.n", 25, "generated specs per harness test")
+	flagPadsN = flag.Int("invariant.padsn", 10, "generated specs for the pads-enabled differential")
+	flagJobs  = flag.String("invariant.jobs", "1,4", "comma-separated pool sizes to diff (Passes 1 and 3)")
+	flagSeed  = flag.Int64("invariant.seed", 1979, "first generator seed")
 )
 
 func harnessJobs(t *testing.T) []int {
@@ -79,6 +80,27 @@ func TestHarnessDifferential(t *testing.T) {
 		}
 	}
 	t.Logf("differential: %d specs diffed at jobs=%v (first seed %d), %d with diffs", *flagN, jobs, *flagSeed, bad)
+}
+
+// TestHarnessPadsDifferential is the Pass 3 leg: pads-enabled compiles of
+// ForPads specs must be byte-identical across pool sizes — the router's
+// speculative net fan-out, wave snapshots, and moat×strategy racing all
+// have to be invisible in the mask set and the statistics.
+func TestHarnessPadsDifferential(t *testing.T) {
+	jobs := harnessJobs(t)
+	cacheDir := t.TempDir()
+	bad := 0
+	for i := 0; i < *flagPadsN; i++ {
+		seed := *flagSeed + int64(i)
+		spec := specgen.FromSeed(seed, &specgen.Config{ForPads: true})
+		if vs := Differential(spec, &core.Options{}, jobs, cacheDir); len(vs) > 0 {
+			bad++
+			for _, v := range vs {
+				t.Errorf("seed %d (%s): %s", seed, spec.Name, v)
+			}
+		}
+	}
+	t.Logf("pads differential: %d specs diffed at jobs=%v (first seed %d), %d with diffs", *flagPadsN, jobs, *flagSeed, bad)
 }
 
 // TestHarnessDaemon is the bristlec-vs-bbd leg: the daemon's HTTP answer
@@ -137,4 +159,3 @@ func TestHarnessDaemon(t *testing.T) {
 	}
 	t.Logf("daemon: %d specs compared over HTTP (first seed %d)", n, *flagSeed)
 }
-

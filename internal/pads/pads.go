@@ -11,16 +11,23 @@
 package pads
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"bristleblocks/internal/celllib"
 	"bristleblocks/internal/geom"
 	"bristleblocks/internal/layer"
 	"bristleblocks/internal/mask"
+	"bristleblocks/internal/pool"
 	"bristleblocks/internal/route"
+	"bristleblocks/internal/trace"
 )
 
 // debugRoute enables routing diagnostics in tests.
@@ -30,6 +37,22 @@ var debugDump = false
 
 // claimCorridors toggles corridor pre-claiming (experiment knob).
 var claimCorridors = true
+
+// seedMode forces the seed configuration — Lee wavefront search and the
+// pure serial route loop with no speculation — so benchmarks can measure
+// the A* + fan-out rework against the behavior it replaced.
+var seedMode = false
+
+// routeWave is the number of routing units speculated per wave. A
+// constant (never derived from Options.Parallelism): the wave boundaries
+// shape the committed wires, and they must be identical at every pool
+// size for Pass 3's output to be parallelism-invariant. Small enough that
+// intra-wave collisions stay rare in a crowded moat, large enough to keep
+// a full pool busy.
+const routeWave = 16
+
+// SetSeedMode toggles the seed-baseline configuration (benchmark knob).
+func SetSeedMode(on bool) { seedMode = on }
 
 // DebugRoute toggles routing diagnostics (test helper).
 func DebugRoute(on bool) { debugRoute = on }
@@ -79,6 +102,48 @@ type Ring struct {
 	Bounds geom.Rect
 	// PadCount is the number of pads placed.
 	PadCount int
+	// RouteStats aggregates the routing work across every rip-up attempt
+	// of the build (deterministic for a given input at every Parallelism).
+	RouteStats RouteStats
+}
+
+// RouteStats counts Pass 3's routing work. The speculative pipeline runs
+// at every Options.Parallelism — a single worker just drains it serially —
+// so every counter is a pure function of the input, and the determinism
+// tests may compare them across pool sizes.
+type RouteStats struct {
+	// Nets is the number of routing units committed (one unit = one pad's
+	// net with all its branch targets), including units of failed rip-up
+	// attempts that committed before the failure.
+	Nets int64
+	// Conflicts counts speculative routes invalidated by an earlier unit's
+	// commit; Retries counts the serial re-routes that repaired them (a
+	// discarded speculative result always re-routes on the live grid).
+	Conflicts int64
+	Retries   int64
+	// CellsExpanded and FrontierPeak summarize the committed searches (see
+	// route.SearchStats); discarded speculative work is not counted.
+	CellsExpanded int64
+	FrontierPeak  int64
+}
+
+// add merges o into s (FrontierPeak by max).
+func (s *RouteStats) add(o route.SearchStats) {
+	s.CellsExpanded += o.CellsExpanded
+	if o.FrontierPeak > s.FrontierPeak {
+		s.FrontierPeak = o.FrontierPeak
+	}
+}
+
+// merge folds another attempt's stats into s (FrontierPeak by max).
+func (s *RouteStats) merge(o RouteStats) {
+	s.Nets += o.Nets
+	s.Conflicts += o.Conflicts
+	s.Retries += o.Retries
+	s.CellsExpanded += o.CellsExpanded
+	if o.FrontierPeak > s.FrontierPeak {
+		s.FrontierPeak = o.FrontierPeak
+	}
 }
 
 // Options tunes the pad pass.
@@ -98,6 +163,9 @@ type Options struct {
 	// blocks of different widths), while the ring is still sized around
 	// the bounds passed to Build. Requests should carry Outward hints.
 	Obstacles []geom.Rect
+	// Parallelism bounds the speculative routing pool (<=0 = GOMAXPROCS).
+	// Output is byte-identical at every value.
+	Parallelism int
 }
 
 // placed pairs a request with its assigned slot.
@@ -120,6 +188,13 @@ type slot struct {
 // length minimization is still the Roto-Router's job; the moat only sets
 // how many routing tracks exist).
 func Build(coreBounds geom.Rect, reqs []Request, opts *Options) (*Ring, error) {
+	return BuildCtx(context.Background(), coreBounds, reqs, opts)
+}
+
+// BuildCtx is Build with cancellation and tracing: the context is checked
+// between rip-up attempts and inside the speculative routing fan-out, and
+// a trace.Trace on the context receives one span per routed net.
+func BuildCtx(ctx context.Context, coreBounds geom.Rect, reqs []Request, opts *Options) (*Ring, error) {
 	if opts == nil {
 		opts = &Options{}
 	}
@@ -132,29 +207,127 @@ func Build(coreBounds geom.Rect, reqs []Request, opts *Options) (*Ring, error) {
 		// half a dozen 14λ routing tracks.
 		moat = geom.L(140)
 	}
-	var lastErr error
-	for attempt := 0; attempt < 6; attempt++ {
-		for strategy := 0; strategy < 3; strategy++ {
-			if debugRoute {
-				fmt.Printf("== moat %d strategy %d\n", moat, strategy)
-				debugDump = true
-			}
-			ring, err := buildAttemptStrategy(coreBounds, reqs, opts, moat, strategy)
-			if err == nil {
-				return ring, nil
-			}
-			lastErr = err
-		}
-		moat += moat / 2
+
+	// The (moat, strategy) grid in priority order: all three strategies at
+	// each moat, the moat widening by half when a whole row congests.
+	type combo struct {
+		moat     geom.Coord
+		strategy int
 	}
-	return nil, lastErr
+	var combos []combo
+	for attempt, m := 0, moat; attempt < 6; attempt, m = attempt+1, m+m/2 {
+		for strategy := 0; strategy < 3; strategy++ {
+			combos = append(combos, combo{m, strategy})
+		}
+	}
+
+	// Combos are independent (each builds its own ring from scratch), so
+	// they run speculatively on a bounded pool. The result is the
+	// lowest-index combo that succeeds — exactly what trying them one by
+	// one would return — and the accumulated RouteStats cover exactly the
+	// combos a serial loop would have run (index ≤ winner); combos past
+	// the winner are cancelled and their stats discarded. Dispatch order,
+	// the winner rule and the stats merge are all index-driven, so output
+	// and stats are identical at every Parallelism (at one worker the loop
+	// below IS the serial loop: it stops dispatching past the first
+	// success).
+	type comboOut struct {
+		ring *Ring
+		err  error
+		rs   RouteStats
+	}
+	n := len(combos)
+	outs := make([]*comboOut, n)
+	jctx := make([]context.Context, n)
+	jcancel := make([]context.CancelFunc, n)
+	for j := range combos {
+		jctx[j], jcancel[j] = context.WithCancel(ctx)
+	}
+	defer func() {
+		for _, c := range jcancel {
+			c()
+		}
+	}()
+	var (
+		next   = int32(1) // combo 0 runs inline below
+		winner = int32(n)
+		wg     sync.WaitGroup
+	)
+	runCombo := func(j int) *comboOut {
+		if debugRoute {
+			fmt.Printf("== moat %d strategy %d\n", combos[j].moat, combos[j].strategy)
+			debugDump = true
+		}
+		out := &comboOut{}
+		out.ring, out.err = buildAttemptStrategy(jctx[j], coreBounds, reqs, opts, combos[j].moat, combos[j].strategy, &out.rs)
+		outs[j] = out
+		return out
+	}
+	// Combo 0 runs first, alone: in the common case it succeeds, the other
+	// combos never start, and the pool's whole width was available to its
+	// internal wave speculation. Only a combo-0 failure fans the rest of
+	// the grid out to race — a failure means the ladder is hard, and
+	// overlapping the surviving combos is where racing actually pays.
+	if runCombo(0).err != nil && n > 1 {
+		workers := pool.Size(opts.Parallelism, n-1)
+		if seedMode {
+			workers = 1
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(atomic.AddInt32(&next, 1)) - 1
+					if j >= n || int32(j) > atomic.LoadInt32(&winner) {
+						return
+					}
+					out := runCombo(j)
+					if out.err == nil {
+						for {
+							cur := atomic.LoadInt32(&winner)
+							if int32(j) >= cur || atomic.CompareAndSwapInt32(&winner, cur, int32(j)) {
+								break
+							}
+						}
+						// Combos past the best success so far can no longer
+						// win; stop them mid-flight.
+						for k := int(atomic.LoadInt32(&winner)) + 1; k < n; k++ {
+							jcancel[k]()
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var rs RouteStats
+	for j := 0; j < n; j++ {
+		out := outs[j]
+		if out == nil {
+			break
+		}
+		rs.merge(out.rs)
+		if out.err == nil {
+			out.ring.RouteStats = rs
+			return out.ring, nil
+		}
+	}
+	if last := outs[n-1]; last != nil {
+		return nil, last.err
+	}
+	return nil, fmt.Errorf("pads: no routing attempt ran")
 }
 
 func buildAttempt(coreBounds geom.Rect, reqs []Request, opts *Options, moat geom.Coord) (*Ring, error) {
-	return buildAttemptStrategy(coreBounds, reqs, opts, moat, 0)
+	var rs RouteStats
+	return buildAttemptStrategy(context.Background(), coreBounds, reqs, opts, moat, 0, &rs)
 }
 
-func buildAttemptStrategy(coreBounds geom.Rect, reqs []Request, opts *Options, moat geom.Coord, strategy int) (*Ring, error) {
+func buildAttemptStrategy(ctx context.Context, coreBounds geom.Rect, reqs []Request, opts *Options, moat geom.Coord, strategy int, rs *RouteStats) (*Ring, error) {
 
 	// Shared nets collapse to one pad each; the extra connection points
 	// are wired to the same pad net afterwards.
@@ -231,11 +404,20 @@ func buildAttemptStrategy(coreBounds geom.Rect, reqs []Request, opts *Options, m
 	band := geom.L(16)
 	var wires []Wire
 	var lastErr error
+	var rcache *route.Router // recycled across the ladder's attempts
 	fails := make(map[int]int)
 	order := baseOrder
 	rng := rand.New(rand.NewSource(int64(strategy)*7919 + 17))
 	for attempt := 0; attempt <= 3*len(placements); attempt++ {
-		wires, lastErr = routeAll(bounds, coreBounds, band, placements, order, extra, opts.Obstacles, cutAngle, hasCut)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Speculation pays on the first attempt of a ladder; once an
+		// attempt has failed, later attempts tend to fail early too, and
+		// speculating whole waves ahead of an early failure is pure waste —
+		// the retries run serially (attempt numbers are deterministic, so
+		// this costs nothing in parallelism-invariance).
+		wires, lastErr = routeAll(ctx, bounds, coreBounds, band, placements, order, extra, opts, cutAngle, hasCut, rs, &rcache, attempt == 0)
 		if lastErr == nil {
 			break
 		}
@@ -289,17 +471,53 @@ type routeErr struct {
 func (e *routeErr) Error() string { return e.err.Error() }
 
 // routeAll routes every wire in the given order over a fresh router.
-func routeAll(bounds, coreBounds geom.Rect, band geom.Coord, placements []placed, order []int, extra map[string][]Request, extraObstacles []geom.Rect, cutAngle float64, hasCut bool) ([]Wire, error) {
+//
+// The serial contract is the spec: conceptually each unit (one placement
+// and all its branch targets) routes in `order` against the grid state its
+// predecessors left behind. The implementation speculates: after the
+// static setup every unit routes concurrently against a Clone of that
+// common snapshot while recording its read/write Footprint, then the
+// commit loop walks `order` and, per unit, either proves the speculative
+// result is exactly what the serial order would have produced (no read of
+// a free cell was invalidated by an earlier commit, no committed foreign
+// segment entered the region the unit geometry-checked) and replays its
+// writes — or discards it and re-routes the unit serially on the live
+// grid, which is the seed code path. Ownership is monotone during the
+// phase (cells only go free→owned), so rejections can never be
+// invalidated, only acceptances — that is what makes read-validation
+// sufficient. A conflict budget degrades the whole tail to the seed
+// serial order on pathological specs. Output is therefore byte-identical
+// to the serial router at every Parallelism, and because the speculation
+// itself also runs at every Parallelism (a single worker drains it
+// serially), the conflict/retry counters are deterministic too.
+func routeAll(ctx context.Context, bounds, coreBounds geom.Rect, band geom.Coord, placements []placed, order []int, extra map[string][]Request, opts *Options, cutAngle float64, hasCut bool, rs *RouteStats, rcache **route.Router, speculate bool) ([]Wire, error) {
+	extraObstacles := opts.Obstacles
 	maxD := bounds.W()
 	if bounds.H() > maxD {
 		maxD = bounds.H()
 	}
 	// 14λ pitch: even a wire pinned to one edge of its cell (off-grid
 	// endpoints) keeps 3λ of metal spacing from a wire centered in the
-	// neighboring cell.
-	router, err := route.New(bounds.Inset(-geom.L(4)), geom.L(14))
-	if err != nil {
-		return nil, err
+	// neighboring cell. The router is recycled across the ladder's
+	// attempts (same bounds every time); seedMode rebuilds it per attempt
+	// like the seed did.
+	var router *route.Router
+	if !seedMode && *rcache != nil {
+		router = *rcache
+		router.Reset()
+	} else {
+		var err error
+		router, err = route.New(bounds.Inset(-geom.L(4)), geom.L(14))
+		if err != nil {
+			return nil, err
+		}
+		router.EnableJournal()
+		if !seedMode {
+			*rcache = router
+		}
+	}
+	if seedMode {
+		router.SetAlgorithm(route.Lee)
 	}
 	// The core plus a reserved band around it is an obstacle: routed wires
 	// stay out of the band, and each connection point is reached by a
@@ -375,45 +593,268 @@ func routeAll(bounds, coreBounds geom.Rect, band geom.Coord, placements []placed
 		}
 	}
 
+	// ---- Speculative fan-out in waves.
+	//
+	// Units route in fixed waves of routeWave: each wave snapshots the
+	// master grid (all earlier commits included), routes its units in
+	// parallel against private clones of that snapshot, then commits them
+	// in routing order. A speculative result commits iff it cannot collide
+	// with anything committed after its snapshot: no cell its wires claimed
+	// was claimed by an intra-wave predecessor (write-collision via the
+	// journal), and its wires' true geometry keeps metal spacing from every
+	// segment committed since the snapshot. Either check failing — or the
+	// unit having failed outright against the snapshot — sends the unit to
+	// the serial path, which re-routes it live exactly like the seed loop.
+	//
+	// The wave size is a constant and the commit order is the routing
+	// order, so the whole pipeline — snapshots, speculation inputs, commit
+	// decisions — is identical at every Parallelism and the output is
+	// byte-identical to the -j 1 run.
+	master := router
+	master.EnableJournal()
 	var segments []netSeg
+	tr := trace.FromContext(ctx)
+	parent := trace.SpanFromContext(ctx)
+
+	// Units that share a net name with an earlier unit stay on the serial
+	// path: they branch from their trunk via NearestOwned, which reads the
+	// net's own cells — the one read the footprint deliberately does not
+	// record (see route.NearestOwned).
+	firstOfNet := make(map[string]int, len(order))
+	forced := make([]bool, len(order))
+	for k, i := range order {
+		net := placements[i].req.Net
+		if _, dup := firstOfNet[net]; dup {
+			forced[k] = true
+		} else {
+			firstOfNet[net] = k
+		}
+	}
+
+	type unitOut struct {
+		wires []Wire
+		segs  []netSeg // segments the unit appended past its snapshot
+		fp    route.Footprint
+		stats route.SearchStats
+		err   error
+	}
+	conflictBudget := len(order)/2 + 2
+	fellBack := false
 	var wires []Wire
-	for _, i := range order {
-		p := placements[i]
-		targets := append([]Request{p.req}, extra[p.req.Net]...)
-		for bi, tgt := range targets {
-			from := p.s.stub
-			if bi > 0 {
-				// Branch a multi-terminal net from the nearest point of
-				// its existing trunk, so branches share geometry instead
-				// of running sub-spacing parallels.
-				if np, ok := router.NearestOwned(p.req.Net, tgt.At); ok {
-					from = np
+	// The speculation width: -j resolved against the wave size, then
+	// clamped to 2×GOMAXPROCS. Routing is CPU-bound, so workers beyond the
+	// processors available contribute no throughput — they only add live
+	// grid clones for the cache and the collector to churn through. The
+	// clamp changes scheduling only; the commit protocol makes the output
+	// identical at every width.
+	specWidth := pool.Size(opts.Parallelism, routeWave)
+	if lim := 2 * runtime.GOMAXPROCS(0); specWidth > lim {
+		specWidth = lim
+	}
+	// Per-worker clone buffers, reused wave to wave: a speculative unit
+	// costs one owner-grid memcpy instead of a full router allocation
+	// (owner grid, name tables, search scratch — the allocator dominated
+	// the parallel arm before this).
+	clones := make([]*route.Router, specWidth)
+	for base := 0; base < len(order); base += routeWave {
+		lim := base + routeWave
+		if lim > len(order) {
+			lim = len(order)
+		}
+		outs := make([]*unitOut, lim-base)
+		snapSeq := master.Seq()
+		// Full-slice so concurrent appends by clones cannot share backing.
+		snapSegs := segments[:len(segments):len(segments)]
+		if speculate && !seedMode && !fellBack {
+			// Returning the unit's own routing error stops dispatch past
+			// the first failure — the commit loop re-routes the failed unit
+			// (and the rest of its wave) serially on the live grid, where
+			// intra-wave predecessors' claims may make it succeed.
+			//
+			// firstFail lets in-flight workers bail out too: everything past
+			// the lowest failed index is discarded below at every pool
+			// width, so skipping those units loses nothing and saves a wide
+			// pool from routing a wave tail the commit loop will throw away.
+			firstFail := int32(lim - base)
+			_ = pool.RunIndexed(ctx, specWidth, lim-base, func(worker, j int) error {
+				k := base + j
+				if forced[k] || int32(j) > atomic.LoadInt32(&firstFail) {
+					return nil
+				}
+				p := placements[order[k]]
+				span := tr.StartSpan(parent, "route."+p.req.Net, trace.PassPads, worker)
+				out := &unitOut{}
+				clone := master.CloneInto(clones[worker])
+				clones[worker] = clone
+				clone.SetRecorder(&out.fp)
+				u := &unitCtx{router: clone, segs: snapSegs}
+				out.wires, out.err = routeUnit(u, p, extra, coreBounds, band, maxD)
+				out.segs = u.segs[len(snapSegs):]
+				out.stats = clone.Stats()
+				span.Attr("net", p.req.Net).
+					Attr("cells_expanded", strconv.FormatInt(out.stats.CellsExpanded, 10)).
+					Attr("speculative", "true")
+				span.End()
+				outs[j] = out
+				if out.err != nil {
+					for {
+						cur := atomic.LoadInt32(&firstFail)
+						if int32(j) >= cur || atomic.CompareAndSwapInt32(&firstFail, cur, int32(j)) {
+							break
+						}
+					}
+				}
+				return out.err
+			})
+			// Speculative results past the first failure may or may not
+			// exist depending on pool size — drop them all,
+			// deterministically: the rest of the wave routes serially at
+			// every Parallelism.
+			for j := range outs {
+				if outs[j] != nil && outs[j].err != nil {
+					for j2 := j + 1; j2 < len(outs); j2++ {
+						outs[j2] = nil
+					}
+					break
 				}
 			}
-			pts, err := routeToTarget(router, p.req.Net, from, tgt, coreBounds, band, maxD, segments)
-			if err != nil && from != p.s.stub {
-				// The nearest trunk point may be walled in; retry from
-				// the pad stub itself.
-				pts, err = routeToTarget(router, p.req.Net, p.s.stub, tgt, coreBounds, band, maxD, segments)
+		}
+
+		// In-order commit of the wave.
+		for k := base; k < lim; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			i := order[k]
+			p := placements[i]
+			out := outs[k-base]
+			if out != nil && !fellBack && out.err == nil {
+				conflict := master.ConflictSince(&out.fp, snapSeq)
+				if !conflict {
+					// 2λ half-width + 3λ spacing vs segments already
+					// inflated by 2λ — the same gate routeToTarget applies
+					// while routing, re-run against the segments this
+					// unit's snapshot did not include.
+				recheck:
+					for _, w := range out.wires {
+						for s := 0; s+1 < len(w.Path); s++ {
+							r := geom.R(w.Path[s].X, w.Path[s].Y, w.Path[s+1].X, w.Path[s+1].Y).Inset(-geom.L(5))
+							for _, sg := range segments[len(snapSegs):] {
+								if sg.net != p.req.Net && sg.r.Overlaps(r) {
+									conflict = true
+									break recheck
+								}
+							}
+						}
+					}
+				}
+				if !conflict {
+					master.BumpSeq()
+					master.Apply(&out.fp, p.req.Net)
+					master.AddStats(out.stats)
+					segments = append(segments, out.segs...)
+					wires = append(wires, out.wires...)
+					rs.Nets++
+					continue
+				}
+				rs.Conflicts++
+				conflictBudget--
+				if conflictBudget <= 0 {
+					// Pathological spec: stop validating speculation and
+					// let the whole tail degrade to the seed serial order.
+					fellBack = true
+				}
+			}
+			// Serial (re-)route on the live grid — the seed code path.
+			master.BumpSeq()
+			span := tr.StartSpan(parent, "route."+p.req.Net, trace.PassPads, trace.Coordinator)
+			before := master.Stats()
+			u := &unitCtx{router: master, segs: segments}
+			uw, err := routeUnit(u, p, extra, coreBounds, band, maxD)
+			delta := master.Stats()
+			delta.CellsExpanded -= before.CellsExpanded
+			retried := out != nil
+			span.Attr("net", p.req.Net).
+				Attr("cells_expanded", strconv.FormatInt(delta.CellsExpanded, 10)).
+				Attr("retry", strconv.FormatBool(retried))
+			span.End()
+			if retried {
+				rs.Retries++
 			}
 			if err != nil {
+				rs.add(master.Stats())
 				return nil, &routeErr{idx: i, err: err}
 			}
-			for s := 0; s+1 < len(pts); s++ {
-				segments = append(segments, netSeg{net: p.req.Net,
-					r: geom.R(pts[s].X, pts[s].Y, pts[s+1].X, pts[s+1].Y).Inset(-geom.L(2))})
-			}
-			// Claim the wire's true geometry (slightly inflated) so BFS
-			// steers later wires away; exact spacing is enforced by the
-			// geometric gates above, so the claims stay tight to keep
-			// narrow regions (e.g. the core/decoder notch) routable.
-			for s := 0; s+1 < len(pts); s++ {
-				seg := geom.R(pts[s].X, pts[s].Y, pts[s+1].X, pts[s+1].Y).Inset(-geom.L(3))
-				router.Claim(seg, p.req.Net)
-			}
-			wires = append(wires, Wire{Net: p.req.Net, Path: pts, Len: route.PathLength(pts), target: tgt,
-				outward: outwardFor(tgt, coreBounds)})
+			segments = u.segs
+			wires = append(wires, uw...)
+			rs.Nets++
 		}
+	}
+	rs.add(master.Stats())
+	return wires, nil
+}
+
+// unitCtx is the state one routing unit works against: a router (the live
+// master on the serial path, a private Clone during speculation) and the
+// drawn-segment list it reads for geometry checks and appends to.
+type unitCtx struct {
+	router *route.Router
+	segs   []netSeg
+}
+
+// foreignSegClash reports whether r overlaps another net's drawn segment.
+// A speculative unit sees only the segments that existed at its snapshot
+// (none, for Pass 3's fan-out); the commit loop re-applies this gate to
+// the unit's final wire geometry against every segment committed since.
+func (u *unitCtx) foreignSegClash(net string, r geom.Rect) bool {
+	for _, s := range u.segs {
+		if s.net != net && s.r.Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// routeUnit routes one placement's net — the trunk from its pad stub plus
+// a branch per extra target — appending drawn segments to u.segs. This is
+// the body the serial loop always had; it now runs against a unitCtx so
+// speculation and the serial path share every decision.
+func routeUnit(u *unitCtx, p placed, extra map[string][]Request, coreBounds geom.Rect, band, maxD geom.Coord) ([]Wire, error) {
+	var wires []Wire
+	targets := append([]Request{p.req}, extra[p.req.Net]...)
+	for bi, tgt := range targets {
+		from := p.s.stub
+		if bi > 0 {
+			// Branch a multi-terminal net from the nearest point of
+			// its existing trunk, so branches share geometry instead
+			// of running sub-spacing parallels.
+			if np, ok := u.router.NearestOwned(p.req.Net, tgt.At); ok {
+				from = np
+			}
+		}
+		pts, err := routeToTarget(u, p.req.Net, from, tgt, coreBounds, band, maxD)
+		if err != nil && from != p.s.stub {
+			// The nearest trunk point may be walled in; retry from
+			// the pad stub itself.
+			pts, err = routeToTarget(u, p.req.Net, p.s.stub, tgt, coreBounds, band, maxD)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s+1 < len(pts); s++ {
+			u.segs = append(u.segs, netSeg{net: p.req.Net,
+				r: geom.R(pts[s].X, pts[s].Y, pts[s+1].X, pts[s+1].Y).Inset(-geom.L(2))})
+		}
+		// Claim the wire's true geometry (slightly inflated) so the search
+		// steers later wires away; exact spacing is enforced by the
+		// geometric gates above, so the claims stay tight to keep
+		// narrow regions (e.g. the core/decoder notch) routable.
+		for s := 0; s+1 < len(pts); s++ {
+			seg := geom.R(pts[s].X, pts[s].Y, pts[s+1].X, pts[s+1].Y).Inset(-geom.L(3))
+			u.router.Claim(seg, p.req.Net)
+		}
+		wires = append(wires, Wire{Net: p.req.Net, Path: pts, Len: route.PathLength(pts), target: tgt,
+			outward: outwardFor(tgt, coreBounds)})
 	}
 	return wires, nil
 }
@@ -448,7 +889,8 @@ type netSeg struct {
 // band to the connection point. The leg is validated against the actual
 // geometry of every previously drawn wire, so it never crosses or crowds
 // another net.
-func routeToTarget(router *route.Router, net string, from geom.Point, tgt Request, core geom.Rect, band, maxD geom.Coord, segments []netSeg) ([]geom.Point, error) {
+func routeToTarget(u *unitCtx, net string, from geom.Point, tgt Request, core geom.Rect, band, maxD geom.Coord) ([]geom.Point, error) {
+	router := u.router
 	to := tgt.At
 	dir := tgt.Outward
 	if dir == (geom.Point{}) {
@@ -468,14 +910,7 @@ func routeToTarget(router *route.Router, net string, from geom.Point, tgt Reques
 		// The leg's true geometry must keep metal spacing from every
 		// other net's drawn wire (2λ half-width + 3λ spacing).
 		leg := geom.R(to.X, to.Y, ap.X, ap.Y).Inset(-geom.L(5))
-		legOK := true
-		for _, s := range segments {
-			if s.net != net && s.r.Overlaps(leg) {
-				legOK = false
-				break
-			}
-		}
-		if !legOK {
+		if u.foreignSegClash(net, leg) {
 			if debugRoute {
 				fmt.Printf("  d=%d ap=%v leg blocked\n", d, ap)
 			}
@@ -498,12 +933,7 @@ func routeToTarget(router *route.Router, net string, from geom.Point, tgt Reques
 		clash := false
 		for si := 0; si+1 < len(pts) && !clash; si++ {
 			r := geom.R(pts[si].X, pts[si].Y, pts[si+1].X, pts[si+1].Y).Inset(-geom.L(5))
-			for _, sg := range segments {
-				if sg.net != net && sg.r.Overlaps(r) {
-					clash = true
-					break
-				}
-			}
+			clash = u.foreignSegClash(net, r)
 		}
 		if clash {
 			if debugRoute {
@@ -513,7 +943,7 @@ func routeToTarget(router *route.Router, net string, from geom.Point, tgt Reques
 		}
 		// Claim the leg corridor so later wires keep clear of it.
 		router.Claim(geom.R(to.X, to.Y, ap.X, ap.Y).Inset(-geom.L(3)), net)
-		return noShortJogs(append(pts, to), net, segments), nil
+		return noShortJogs(append(pts, to), net, u), nil
 	}
 	return nil, fmt.Errorf("pads: no free approach to %s at %v", net, to)
 }
@@ -616,15 +1046,10 @@ func routingOrder(placements []placed, center geom.Point, strategy int) ([]int, 
 // leave reentrant slots narrower than the spacing rule between their
 // nearly-parallel arms. Endpoints never move; slides stay within half a
 // routing cell, so the path remains inside its claimed cells.
-func noShortJogs(pts []geom.Point, net string, segments []netSeg) []geom.Point {
+func noShortJogs(pts []geom.Point, net string, u *unitCtx) []geom.Point {
 	safe := func(p, q geom.Point) bool {
 		r := geom.R(p.X, p.Y, q.X, q.Y).Inset(-geom.L(5))
-		for _, s := range segments {
-			if s.net != net && s.r.Overlaps(r) {
-				return false
-			}
-		}
-		return true
+		return !u.foreignSegClash(net, r)
 	}
 	pts = canonPath(pts)
 	for iter := 0; iter < 24; iter++ {

@@ -1,0 +1,289 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bristleblocks/internal/geom"
+)
+
+// leeOracle is an independent breadth-first reference: it computes the
+// optimal cell-step distance from (sx,sy) to (tx,ty) for a net that may
+// pass free cells and its own, reading the owner grid directly. It shares
+// no code with the A* engine, so an A* bug cannot hide in its own oracle.
+func leeOracle(r *Router, net string, sx, sy, tx, ty int) (int, bool) {
+	id := r.ids[net] // freeCell when the net was never interned
+	dist := make([]int, r.nx*r.ny)
+	for i := range dist {
+		dist[i] = -1
+	}
+	start, goal := r.idx(sx, sy), r.idx(tx, ty)
+	if o := r.owner[start]; o != freeCell && o != id {
+		return 0, false
+	}
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if c == goal {
+			return dist[c], true
+		}
+		cx, cy := c%r.nx, c/r.nx
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nx2, ny2 := cx+d[0], cy+d[1]
+			if !r.inBounds(nx2, ny2) {
+				continue
+			}
+			n := r.idx(nx2, ny2)
+			if dist[n] >= 0 {
+				continue
+			}
+			if o := r.owner[n]; o != freeCell && o != id {
+				continue
+			}
+			dist[n] = dist[c] + 1
+			queue = append(queue, n)
+		}
+	}
+	return 0, false
+}
+
+// TestRouteMatchesLeeOracle routes random terminal pairs across seeded
+// random obstacle fields and checks every returned path against the
+// reference: in bounds, Manhattan-contiguous, clear of obstacles, and
+// exactly Lee-optimal in length (A* with a consistent heuristic must
+// never return a longer path, and it cannot return a shorter one).
+func TestRouteMatchesLeeOracle(t *testing.T) {
+	const pitch = geom.Coord(32)
+	region := geom.R(0, 0, 24*pitch, 24*pitch)
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			r := mustRouter(t, region, pitch)
+			for i := 0; i < 10; i++ {
+				x := geom.Coord(rng.Intn(22)) * pitch
+				y := geom.Coord(rng.Intn(22)) * pitch
+				w := geom.Coord(1+rng.Intn(6)) * pitch
+				h := geom.Coord(1+rng.Intn(6)) * pitch
+				r.Block(geom.R(x, y, x+w, y+h), "obs")
+			}
+			for pair := 0; pair < 24; pair++ {
+				net := fmt.Sprintf("n%d", pair)
+				fx, fy := rng.Intn(24), rng.Intn(24)
+				tx, ty := rng.Intn(24), rng.Intn(24)
+				from := r.center(fx, fy)
+				to := r.center(tx, ty)
+				if o := r.Owner(from); o != "" {
+					continue // start inside an obstacle or an earlier net
+				}
+				if o := r.Owner(to); o != "" {
+					continue
+				}
+				// Oracle first: Route claims cells on success and would
+				// change the answer.
+				optimal, reachable := leeOracle(r, net, fx, fy, tx, ty)
+				pts, err := r.Route(net, from, to)
+				if !reachable {
+					if err == nil {
+						t.Fatalf("pair %d: oracle says unreachable, Route found %v", pair, pts)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("pair %d: oracle says reachable in %d steps, Route failed: %v", pair, optimal, err)
+				}
+				checkManhattan(t, pts, from, to)
+				for _, p := range pts {
+					if !region.Contains(p) {
+						t.Fatalf("pair %d: point %v out of bounds", pair, p)
+					}
+					if o := r.Owner(p); o != net {
+						t.Fatalf("pair %d: path point %v owned by %q, want %q", pair, p, o, net)
+					}
+				}
+				if got, want := PathLength(pts), geom.Coord(optimal)*pitch; got != want {
+					t.Fatalf("pair %d: path length %d, Lee-optimal is %d", pair, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLeeAlgorithmMatchesOracle runs the same battery against the Lee
+// reference Algorithm — the seed behavior the differential benchmarks
+// compare against must itself be optimal.
+func TestLeeAlgorithmMatchesOracle(t *testing.T) {
+	const pitch = geom.Coord(32)
+	rng := rand.New(rand.NewSource(99))
+	r := mustRouter(t, geom.R(0, 0, 24*pitch, 24*pitch), pitch)
+	r.SetAlgorithm(Lee)
+	for i := 0; i < 8; i++ {
+		x := geom.Coord(rng.Intn(20)) * pitch
+		y := geom.Coord(rng.Intn(20)) * pitch
+		r.Block(geom.R(x, y, x+4*pitch, y+2*pitch), "obs")
+	}
+	for pair := 0; pair < 16; pair++ {
+		net := fmt.Sprintf("n%d", pair)
+		fx, fy := rng.Intn(24), rng.Intn(24)
+		tx, ty := rng.Intn(24), rng.Intn(24)
+		from, to := r.center(fx, fy), r.center(tx, ty)
+		if r.Owner(from) != "" || r.Owner(to) != "" {
+			continue
+		}
+		optimal, reachable := leeOracle(r, net, fx, fy, tx, ty)
+		pts, err := r.Route(net, from, to)
+		if reachable != (err == nil) {
+			t.Fatalf("pair %d: oracle reachable=%v, Route err=%v", pair, reachable, err)
+		}
+		if err == nil {
+			if got, want := PathLength(pts), geom.Coord(optimal)*pitch; got != want {
+				t.Fatalf("pair %d: Lee path length %d, optimal %d", pair, got, want)
+			}
+		}
+	}
+}
+
+// TestOwnerSemantics pins the ownership contract the speculative commit
+// protocol depends on: the empty net is the free cell and never an owner
+// (Block("") and Claim("") are no-ops), nets that share a name prefix are
+// distinct owners (interning compares whole names, never prefixes), a net
+// may re-enter its own cells, and other nets may not.
+func TestOwnerSemantics(t *testing.T) {
+	r := mustRouter(t, geom.R(0, 0, geom.L(100), geom.L(100)), geom.L(10))
+	probe := geom.Pt(geom.L(5), geom.L(5))
+
+	r.Block(geom.R(0, 0, geom.L(10), geom.L(10)), "")
+	if got := r.Owner(probe); got != "" {
+		t.Fatalf(`Block("") claimed a cell: owner %q`, got)
+	}
+	r.Claim(geom.R(0, 0, geom.L(10), geom.L(10)), "")
+	if got := r.Owner(probe); got != "" {
+		t.Fatalf(`Claim("") claimed a cell: owner %q`, got)
+	}
+
+	// Prefix-sharing nets are distinct owners in both directions.
+	r.Block(geom.R(0, 0, geom.L(10), geom.L(10)), "n")
+	r.Block(geom.R(geom.L(20), 0, geom.L(30), geom.L(10)), "n1")
+	if got := r.Owner(probe); got != "n" {
+		t.Fatalf("owner %q, want n", got)
+	}
+	if got := r.Owner(geom.Pt(geom.L(25), geom.L(5))); got != "n1" {
+		t.Fatalf("owner %q, want n1", got)
+	}
+	r.Claim(geom.R(0, 0, geom.L(30), geom.L(10)), "n1")
+	if got := r.Owner(probe); got != "n" {
+		t.Fatalf(`Claim("n1") stole an "n" cell`)
+	}
+
+	// Blocking with a net leaves its own cells its own; a later Block by
+	// another net does not steal them either (Block overwrites, so this
+	// pins that routeAll only ever Blocks disjoint setup geometry — but
+	// Claim, the commit-phase write, must skip every owned cell).
+	r.Claim(geom.R(0, geom.L(20), geom.L(10), geom.L(30)), "a")
+	r.Claim(geom.R(0, geom.L(20), geom.L(10), geom.L(30)), "b")
+	if got := r.Owner(geom.Pt(geom.L(5), geom.L(25))); got != "a" {
+		t.Fatalf("commit-phase Claim stole a cell: owner %q, want a", got)
+	}
+}
+
+// TestResetReusesRouter pins Reset: the grid is all-free again, stats are
+// zeroed, and a rerun of the same route gives the same path.
+func TestResetReusesRouter(t *testing.T) {
+	r := mustRouter(t, geom.R(0, 0, 800, 800), 32)
+	r.Block(geom.R(380, 0, 420, 700), "wall")
+	first, err := r.Route("n1", geom.Pt(48, 400), geom.Pt(752, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reset()
+	if got := r.Stats(); got != (SearchStats{}) {
+		t.Fatalf("stats survive Reset: %+v", got)
+	}
+	if got := r.Owner(geom.Pt(400, 100)); got != "" {
+		t.Fatalf("wall survives Reset: owner %q", got)
+	}
+	r.Block(geom.R(380, 0, 420, 700), "wall")
+	second, err := r.Route("n1", geom.Pt(48, 400), geom.Pt(752, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("route after Reset differs: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("route after Reset differs at %d: %v vs %v", i, first, second)
+		}
+	}
+}
+
+// TestSnapshotCommitRace hammers one speculation/commit cycle from 32
+// goroutines under the race detector: every worker clones the master,
+// routes its own net against the snapshot and records a footprint; the
+// commit loop then validates and applies them in index order. The master
+// is only ever read during the parallel phase and only written in the
+// serial phase — the shape Pass 3's fan-out relies on.
+func TestSnapshotCommitRace(t *testing.T) {
+	const workers = 32
+	pitch := geom.Coord(16)
+	master := mustRouter(t, geom.R(0, 0, 64*pitch, 64*pitch), pitch)
+	master.Block(geom.R(20*pitch, 20*pitch, 44*pitch, 44*pitch), "core")
+	master.EnableJournal()
+	snap := master.Seq()
+
+	type result struct {
+		fp  Footprint
+		err error
+		net string
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			net := fmt.Sprintf("n%d", w)
+			clone := master.Clone()
+			clone.SetRecorder(&results[w].fp)
+			// Distinct rows around the core, with some deliberate overlap
+			// between neighbors so commits genuinely conflict.
+			y := geom.Coord(1+(w/2))*pitch + pitch/2
+			_, err := clone.Route(net, geom.Pt(pitch/2, y), geom.Pt(63*pitch+pitch/2, y))
+			results[w].err = err
+			results[w].net = net
+		}()
+	}
+	wg.Wait()
+
+	committed := 0
+	for w := 0; w < workers; w++ {
+		if results[w].err != nil {
+			continue
+		}
+		if master.ConflictSince(&results[w].fp, snap) {
+			continue
+		}
+		master.BumpSeq()
+		master.Apply(&results[w].fp, results[w].net)
+		committed++
+		// Every applied cell must now belong to the committing net.
+		for _, i := range results[w].fp.Writes {
+			if o := master.names[master.owner[i]]; o != results[w].net {
+				t.Fatalf("worker %d: applied cell %d owned by %q", w, i, o)
+			}
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no speculative route committed")
+	}
+	// Paired workers routed the same row: exactly one of each pair can
+	// have committed without conflict.
+	if committed > workers/2 {
+		t.Fatalf("%d commits, want at most %d (pairs share a row)", committed, workers/2)
+	}
+}

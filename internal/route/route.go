@@ -1,6 +1,21 @@
-// Package route provides the wire routers used by Pass 3: a grid-based Lee
+// Package route provides the wire routers used by Pass 3: a grid-based
 // maze router that finds Manhattan paths around obstacles, used to "add
 // wires between the pads and the connection points".
+//
+// The search is A*-directed (Manhattan-distance heuristic over a bucketed
+// two-FIFO frontier, see astar.go) with the original Lee wavefront kept as
+// a reference Algorithm. Net names are interned to small integer ids so
+// the owner grid is a []netID — cloning a router for speculative routing
+// is a memcpy, and ownership tests never compare strings.
+//
+// For Pass 3's parallel fan-out the router exposes a snapshot/commit
+// protocol: Clone gives a worker a private copy of the grid, SetRecorder
+// captures the worker's write Footprint, and on the master router
+// EnableJournal + ConflictSince + Apply let the commit loop detect whether
+// a speculative route collides with an earlier commit and, if not, replay
+// its writes. Ownership is monotone during that phase — cells only ever
+// go free→owned, never owned→free or owned→other — which is what makes
+// write-collision validation sound (see docs/ARCHITECTURE.md).
 package route
 
 import (
@@ -9,15 +24,92 @@ import (
 	"bristleblocks/internal/geom"
 )
 
-// Router is a Lee (wavefront) maze router over a uniform grid. Each grid
-// cell is either free, or owned by a net; a route for net N may pass
-// through free cells and cells already owned by N (so multi-terminal nets
-// merge naturally), and blocks the cells it uses.
+// Algorithm selects the search strategy used by Route.
+type Algorithm int
+
+const (
+	// AStar is the default: best-first search directed by the Manhattan
+	// distance to the target. Expands a fraction of the cells Lee does on
+	// open fields and returns paths of identical (optimal) length.
+	AStar Algorithm = iota
+	// Lee is the reference breadth-first wavefront (a zero heuristic) —
+	// the seed behavior, kept for differential tests and benchmarks.
+	Lee
+)
+
+// netID is an interned net name; 0 is the free cell.
+type netID int32
+
+const freeCell netID = 0
+
+// Footprint records the cells a speculative routing unit claimed (path
+// cells and inflated wire claims). The commit loop validates it with
+// ConflictSince: a write cell that changed owner after the snapshot means
+// the unit's wire collides with an earlier commit and must re-route.
+// Reads need no tracking — ownership is monotone during the commit phase
+// (cells only go free→owned), so a cell observed OWNED can never change,
+// and a cell observed free that an earlier commit then claimed either
+// shows up in this unit's writes (collision, caught here) or only steered
+// its search (legal either way; the geometry is re-checked at commit
+// against the segments committed since the snapshot).
+type Footprint struct {
+	Writes []int32
+}
+
+// SearchStats counts the work the router's searches did. CellsExpanded is
+// the number of cells closed (popped and expanded) across all searches;
+// FrontierPeak is the largest frontier any single search reached.
+type SearchStats struct {
+	Searches      int64
+	Failures      int64
+	CellsExpanded int64
+	FrontierPeak  int64
+}
+
+// Add merges o into s (FrontierPeak by max, the counters by sum).
+func (s *SearchStats) Add(o SearchStats) {
+	s.Searches += o.Searches
+	s.Failures += o.Failures
+	s.CellsExpanded += o.CellsExpanded
+	if o.FrontierPeak > s.FrontierPeak {
+		s.FrontierPeak = o.FrontierPeak
+	}
+}
+
+// Router is a maze router over a uniform grid. Each grid cell is either
+// free, or owned by a net; a route for net N may pass through free cells
+// and cells already owned by N (so multi-terminal nets merge naturally),
+// and blocks the cells it uses. A Router is not safe for concurrent use;
+// parallel callers work on Clones.
 type Router struct {
 	region geom.Rect
 	pitch  geom.Coord
 	nx, ny int
-	owner  []string // "" = free
+	owner  []netID
+
+	names []string         // names[id] = net name; names[0] = ""
+	ids   map[string]netID // inverse of names
+	// shared marks names/ids as borrowed from the router this one was
+	// cloned from; intern copies them before its first insert. Clones may
+	// share one table concurrently because the fan-out protocol never
+	// overlaps a parent mutation with a clone read: the master is idle
+	// while its clones route, and the clones are dead before the commit
+	// loop writes the master.
+	shared bool
+
+	alg Algorithm
+
+	// journal[i] is the Seq at which cell i last changed owner (0 = during
+	// setup, before EnableJournal). Only the master router of a speculative
+	// fan-out journals; clones leave it nil.
+	journal []int32
+	seq     int32
+
+	rec *Footprint // nil when not recording
+
+	sc *scratch // reusable search buffers, allocated on first Route
+
+	stats SearchStats
 }
 
 // New creates a router over the region with the given grid pitch. The
@@ -37,12 +129,168 @@ func New(region geom.Rect, pitch geom.Coord) (*Router, error) {
 		pitch:  pitch,
 		nx:     nx,
 		ny:     ny,
-		owner:  make([]string, nx*ny),
+		owner:  make([]netID, nx*ny),
+		names:  []string{""},
+		ids:    map[string]netID{"": freeCell},
 	}, nil
+}
+
+// SetAlgorithm selects the search strategy (default AStar).
+func (r *Router) SetAlgorithm(a Algorithm) { r.alg = a }
+
+// Reset returns the router to an all-free grid, keeping its allocations —
+// owner and journal arrays, search scratch, interned net names — for the
+// next attempt. A rip-up ladder re-routes the same placement dozens of
+// times; rebuilding the router each attempt made the allocator, not the
+// search, the bottleneck.
+func (r *Router) Reset() {
+	clear(r.owner)
+	clear(r.journal)
+	r.seq = 0
+	r.stats = SearchStats{}
+	r.rec = nil
+	if r.sc != nil {
+		r.sc.floodOK = false
+	}
 }
 
 // GridSize returns the router's grid dimensions.
 func (r *Router) GridSize() (nx, ny int) { return r.nx, r.ny }
+
+// Stats returns the accumulated search statistics.
+func (r *Router) Stats() SearchStats { return r.stats }
+
+// AddStats merges a clone's search statistics into the router's own (the
+// commit loop calls this in deterministic unit order).
+func (r *Router) AddStats(s SearchStats) { r.stats.Add(s) }
+
+// Clone returns a private copy of the grid for speculative routing: same
+// region, pitch, algorithm and interned nets, its own owner array (a
+// single memcpy), fresh statistics, no journal and no recorder. The net
+// name tables are shared copy-on-write — a clone routing an already-known
+// net (the usual case; its terminals were claimed on the master) never
+// touches them.
+func (r *Router) Clone() *Router {
+	return &Router{
+		region: r.region,
+		pitch:  r.pitch,
+		nx:     r.nx,
+		ny:     r.ny,
+		owner:  append([]netID(nil), r.owner...),
+		names:  r.names,
+		ids:    r.ids,
+		shared: true,
+		alg:    r.alg,
+	}
+}
+
+// CloneInto is Clone reusing dst's buffers — owner array and search
+// scratch — so a worker that routes many speculative units allocates one
+// clone, not one per unit. dst must be a previous CloneInto/Clone result
+// (never a journaling master); a nil or grid-mismatched dst falls back to
+// a fresh Clone.
+func (r *Router) CloneInto(dst *Router) *Router {
+	if dst == nil || dst.nx != r.nx || dst.ny != r.ny || dst.journal != nil {
+		return r.Clone()
+	}
+	dst.region, dst.pitch, dst.alg = r.region, r.pitch, r.alg
+	copy(dst.owner, r.owner)
+	dst.names = r.names
+	dst.ids = r.ids
+	dst.shared = true
+	dst.seq = 0
+	dst.stats = SearchStats{}
+	dst.rec = nil
+	if dst.sc != nil {
+		dst.sc.floodOK = false
+	}
+	return dst
+}
+
+// SetRecorder directs the router to record the cells it writes into fp
+// (nil stops recording). Workers set this on their Clone so the commit
+// loop can check the route for collisions against later commits.
+func (r *Router) SetRecorder(fp *Footprint) { r.rec = fp }
+
+// EnableJournal starts journalling owner changes on the master router so
+// ConflictSince can answer "did any of these cells change since sequence
+// point s?".
+func (r *Router) EnableJournal() {
+	if r.journal == nil {
+		r.journal = make([]int32, r.nx*r.ny)
+	}
+}
+
+// Seq returns the current commit sequence number (the snapshot point a
+// speculative unit validates against).
+func (r *Router) Seq() int32 { return r.seq }
+
+// BumpSeq advances the commit sequence; the commit loop calls it once per
+// unit so that unit's writes are distinguishable from earlier ones.
+func (r *Router) BumpSeq() int32 { r.seq++; return r.seq }
+
+// ConflictSince reports whether any cell in the footprint's write set
+// changed owner after sequence point since — i.e. an earlier commit
+// claimed a cell this unit's wire also needs. Requires EnableJournal.
+func (r *Router) ConflictSince(fp *Footprint, since int32) bool {
+	for _, i := range fp.Writes {
+		if r.journal[i] > since {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply replays a validated speculative unit's writes onto the master
+// grid. Sound only after ConflictSince returned false: a clone only ever
+// writes cells that were free or owned by its own net at the snapshot
+// (searches cannot enter foreign cells and Claim skips owned ones), and no
+// conflict means no commit has touched those cells since — so on the
+// master each written cell is still free or already this net's.
+func (r *Router) Apply(fp *Footprint, net string) {
+	id := r.intern(net)
+	for _, i := range fp.Writes {
+		r.setOwner(int(i), id)
+	}
+}
+
+// intern maps a net name to its id, allocating one on first sight. A
+// router still sharing its tables with its clone parent copies them
+// before the first insert (see Router.shared).
+func (r *Router) intern(net string) netID {
+	if id, ok := r.ids[net]; ok {
+		return id
+	}
+	if r.shared {
+		ids := make(map[string]netID, len(r.ids)+1)
+		for k, v := range r.ids {
+			ids[k] = v
+		}
+		r.ids = ids
+		r.names = append([]string(nil), r.names...)
+		r.shared = false
+	}
+	id := netID(len(r.names))
+	r.names = append(r.names, net)
+	r.ids[net] = id
+	return id
+}
+
+// setOwner is the single owner-write path: it stamps the journal and the
+// recorder, so speculation never misses a write, and invalidates the
+// failed-flood cache, whose reachability answer assumed a frozen grid.
+func (r *Router) setOwner(i int, id netID) {
+	r.owner[i] = id
+	if r.journal != nil {
+		r.journal[i] = r.seq
+	}
+	if r.rec != nil {
+		r.rec.Writes = append(r.rec.Writes, int32(i))
+	}
+	if r.sc != nil {
+		r.sc.floodOK = false
+	}
+}
 
 func (r *Router) idx(cx, cy int) int { return cy*r.nx + cx }
 
@@ -78,17 +326,23 @@ func (r *Router) center(cx, cy int) geom.Point {
 }
 
 // Block marks every grid cell overlapping rect as owned by net (use a
-// unique name like "obstacle" for hard obstacles).
+// unique name like "obstacle" for hard obstacles). Blocking with the
+// empty net is a no-op: "" is the free cell, and silently un-owning cells
+// would let later routes cut through claimed territory.
 func (r *Router) Block(rect geom.Rect, net string) {
+	if net == "" {
+		return
+	}
 	lo := rect.Intersect(r.region)
 	if lo.Empty() && !r.region.Overlaps(rect) {
 		return
 	}
+	id := r.intern(net)
 	cx0, cy0 := r.cellOf(geom.Pt(rect.MinX, rect.MinY))
 	cx1, cy1 := r.cellOf(geom.Pt(rect.MaxX-1, rect.MaxY-1))
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
-			r.owner[r.idx(cx, cy)] = net
+			r.setOwner(r.idx(cx, cy), id)
 		}
 	}
 }
@@ -96,139 +350,28 @@ func (r *Router) Block(rect geom.Rect, net string) {
 // Owner reports the net occupying the cell containing p ("" = free).
 func (r *Router) Owner(p geom.Point) string {
 	cx, cy := r.cellOf(p)
-	return r.owner[r.idx(cx, cy)]
-}
-
-// Route finds a Manhattan path for net from one point to another,
-// traveling through free cells and cells already owned by the net. On
-// success the path's cells become owned by the net and the simplified
-// corner-point path (starting at from, ending at to) is returned.
-func (r *Router) Route(net string, from, to geom.Point) ([]geom.Point, error) {
-	if net == "" {
-		return nil, fmt.Errorf("route: empty net name")
-	}
-	sx, sy := r.cellOf(from)
-	tx, ty := r.cellOf(to)
-	passable := func(cx, cy int) bool {
-		o := r.owner[r.idx(cx, cy)]
-		return o == "" || o == net
-	}
-	if !passable(sx, sy) {
-		return nil, fmt.Errorf("route: %s start %v is blocked by %q", net, from, r.owner[r.idx(sx, sy)])
-	}
-	if !passable(tx, ty) {
-		return nil, fmt.Errorf("route: %s target %v is blocked by %q", net, to, r.owner[r.idx(tx, ty)])
-	}
-
-	// Lee wavefront (BFS).
-	prev := make([]int32, r.nx*r.ny)
-	for i := range prev {
-		prev[i] = -2 // unvisited
-	}
-	start := r.idx(sx, sy)
-	goal := r.idx(tx, ty)
-	prev[start] = -1
-	queue := []int{start}
-	found := start == goal
-	for len(queue) > 0 && !found {
-		cur := queue[0]
-		queue = queue[1:]
-		cx, cy := cur%r.nx, cur/r.nx
-		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
-			nx2, ny2 := cx+d[0], cy+d[1]
-			if !r.inBounds(nx2, ny2) || !passable(nx2, ny2) {
-				continue
-			}
-			ni := r.idx(nx2, ny2)
-			if prev[ni] != -2 {
-				continue
-			}
-			prev[ni] = int32(cur)
-			if ni == goal {
-				found = true
-				break
-			}
-			queue = append(queue, ni)
-		}
-	}
-	if !found {
-		return nil, fmt.Errorf("route: no path for %s from %v to %v", net, from, to)
-	}
-
-	// Walk back, claiming cells.
-	var cells []int
-	for i := goal; i != -1; i = int(prev[i]) {
-		cells = append(cells, i)
-		if prev[i] == -2 {
-			break
-		}
-	}
-	for _, i := range cells {
-		r.owner[i] = net
-	}
-
-	// Build the point path: to ... grid centers ... from, then reverse.
-	pts := make([]geom.Point, 0, len(cells)+2)
-	pts = append(pts, to)
-	for _, i := range cells {
-		pts = append(pts, r.center(i%r.nx, i/r.nx))
-	}
-	pts = append(pts, from)
-	reverse(pts)
-	return simplify(pts), nil
-}
-
-func reverse(p []geom.Point) {
-	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
-		p[i], p[j] = p[j], p[i]
-	}
-}
-
-// simplify removes collinear interior points and zero-length steps, and
-// inserts an elbow where consecutive points are not axis-aligned (the
-// off-grid endpoints), keeping the path Manhattan.
-func simplify(pts []geom.Point) []geom.Point {
-	if len(pts) == 0 {
-		return pts
-	}
-	// Make strictly Manhattan: insert elbows for diagonal jumps.
-	man := []geom.Point{pts[0]}
-	for _, p := range pts[1:] {
-		last := man[len(man)-1]
-		if p == last {
-			continue
-		}
-		if p.X != last.X && p.Y != last.Y {
-			man = append(man, geom.Pt(p.X, last.Y))
-		}
-		man = append(man, p)
-	}
-	// Drop collinear interior points.
-	out := []geom.Point{man[0]}
-	for i := 1; i < len(man); i++ {
-		if i+1 < len(man) {
-			a, b, c := out[len(out)-1], man[i], man[i+1]
-			if (a.X == b.X && b.X == c.X) || (a.Y == b.Y && b.Y == c.Y) {
-				continue
-			}
-		}
-		out = append(out, man[i])
-	}
-	return out
+	i := r.idx(cx, cy)
+	return r.names[r.owner[i]]
 }
 
 // Claim marks every FREE grid cell overlapping rect as owned by net;
 // cells already owned (by any net) are left alone. Routers call this with
 // each drawn wire segment inflated by the spacing rule, so that actual
 // geometry — including off-grid endpoints poking past cell boundaries —
-// keeps other nets at legal distance.
+// keeps other nets at legal distance. Claiming for the empty net is a
+// no-op.
 func (r *Router) Claim(rect geom.Rect, net string) {
+	if net == "" {
+		return
+	}
+	id := r.intern(net)
 	cx0, cy0 := r.cellOf(geom.Pt(rect.MinX, rect.MinY))
 	cx1, cy1 := r.cellOf(geom.Pt(rect.MaxX-1, rect.MaxY-1))
 	for cy := cy0; cy <= cy1; cy++ {
 		for cx := cx0; cx <= cx1; cx++ {
-			if r.owner[r.idx(cx, cy)] == "" {
-				r.owner[r.idx(cx, cy)] = net
+			i := r.idx(cx, cy)
+			if r.owner[i] == freeCell {
+				r.setOwner(i, id)
 			}
 		}
 	}
@@ -237,12 +380,22 @@ func (r *Router) Claim(rect geom.Rect, net string) {
 // NearestOwned returns the center of the claimed cell of the given net
 // nearest to p (for branching a multi-terminal net from its existing
 // trunk); ok is false when the net owns nothing.
+//
+// NearestOwned deliberately records nothing: it only reads the net's OWN
+// cells, and during the commit phase no other unit writes this net (units
+// sharing a net name are forced onto the serial path by the pads pass),
+// so the answer a speculative clone computes is the answer the serial
+// order would have computed.
 func (r *Router) NearestOwned(net string, p geom.Point) (geom.Point, bool) {
+	id, ok := r.ids[net]
+	if !ok || id == freeCell {
+		return geom.Point{}, false
+	}
 	best := geom.Point{}
 	bestD := geom.Coord(-1)
 	for cy := 0; cy < r.ny; cy++ {
 		for cx := 0; cx < r.nx; cx++ {
-			if r.owner[r.idx(cx, cy)] != net {
+			if r.owner[r.idx(cx, cy)] != id {
 				continue
 			}
 			c := r.center(cx, cy)
@@ -269,7 +422,7 @@ func (r *Router) DumpOwners() {
 	for cy := r.ny - 1; cy >= 0; cy -= 2 {
 		row := make([]byte, 0, r.nx)
 		for cx := 0; cx < r.nx; cx++ {
-			o := r.owner[r.idx(cx, cy)]
+			o := r.names[r.owner[r.idx(cx, cy)]]
 			switch {
 			case o == "":
 				row = append(row, '.')

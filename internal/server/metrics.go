@@ -47,6 +47,14 @@ type metrics struct {
 	passUSCore    *expvar.Int
 	passUSControl *expvar.Int
 	passUSPads    *expvar.Int
+	// Pass 3 routing counters, accumulated over cold compiles: how hard the
+	// pad router worked, not just how long. routeFrontierPeak is a
+	// high-water gauge (widest search frontier any compile reached).
+	routeNets         *expvar.Int
+	routeConflicts    *expvar.Int
+	routeRetries      *expvar.Int
+	routeCells        *expvar.Int
+	routeFrontierPeak *expvar.Int
 
 	passCore    *histogram
 	passControl *histogram
@@ -57,29 +65,34 @@ type metrics struct {
 
 func newMetrics(s *Server) *metrics {
 	m := &metrics{
-		vars:            new(expvar.Map).Init(),
-		requests:        new(expvar.Int),
-		inFlight:        new(expvar.Int),
-		compiles:        new(expvar.Int),
-		cacheServed:     new(expvar.Int),
-		rejected:        new(expvar.Int),
-		timeouts:        new(expvar.Int),
-		badSpecs:        new(expvar.Int),
-		compileErrors:   new(expvar.Int),
-		coreCells:       new(expvar.Int),
-		coreStretches:   new(expvar.Int),
-		coreStretchDist: new(expvar.Int),
-		coreBusBreaks:   new(expvar.Int),
-		plaTermsLast:    new(expvar.Int),
-		pitchLast:       new(expvar.Float),
-		passUSCore:      new(expvar.Int),
-		passUSControl:   new(expvar.Int),
-		passUSPads:      new(expvar.Int),
-		passCore:        newHistogram(),
-		passControl:     newHistogram(),
-		passPads:        newHistogram(),
-		genElement:      newHistogram(),
-		request:         newHistogram(),
+		vars:              new(expvar.Map).Init(),
+		requests:          new(expvar.Int),
+		inFlight:          new(expvar.Int),
+		compiles:          new(expvar.Int),
+		cacheServed:       new(expvar.Int),
+		rejected:          new(expvar.Int),
+		timeouts:          new(expvar.Int),
+		badSpecs:          new(expvar.Int),
+		compileErrors:     new(expvar.Int),
+		coreCells:         new(expvar.Int),
+		coreStretches:     new(expvar.Int),
+		coreStretchDist:   new(expvar.Int),
+		coreBusBreaks:     new(expvar.Int),
+		plaTermsLast:      new(expvar.Int),
+		pitchLast:         new(expvar.Float),
+		passUSCore:        new(expvar.Int),
+		passUSControl:     new(expvar.Int),
+		passUSPads:        new(expvar.Int),
+		routeNets:         new(expvar.Int),
+		routeConflicts:    new(expvar.Int),
+		routeRetries:      new(expvar.Int),
+		routeCells:        new(expvar.Int),
+		routeFrontierPeak: new(expvar.Int),
+		passCore:          newHistogram(),
+		passControl:       newHistogram(),
+		passPads:          newHistogram(),
+		genElement:        newHistogram(),
+		request:           newHistogram(),
 	}
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("in_flight", m.inFlight)
@@ -98,6 +111,11 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("pass_us_core", m.passUSCore)
 	m.vars.Set("pass_us_control", m.passUSControl)
 	m.vars.Set("pass_us_pads", m.passUSPads)
+	m.vars.Set("route_nets", m.routeNets)
+	m.vars.Set("route_conflicts", m.routeConflicts)
+	m.vars.Set("route_retries", m.routeRetries)
+	m.vars.Set("route_cells_expanded", m.routeCells)
+	m.vars.Set("route_frontier_peak", m.routeFrontierPeak)
 	m.vars.Set("queue_depth", expvar.Func(func() any { return len(s.jobs) }))
 	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(s.jobs) }))
 	m.vars.Set("workers", expvar.Func(func() any { return s.cfg.Workers }))
@@ -152,6 +170,13 @@ func (m *metrics) observeStats(st core.Stats) {
 	m.coreBusBreaks.Add(int64(st.BusBreaks))
 	m.plaTermsLast.Set(int64(st.PLATerms))
 	m.pitchLast.Set(geom.InLambda(st.Pitch))
+	m.routeNets.Add(st.RouteNets)
+	m.routeConflicts.Add(st.RouteConflicts)
+	m.routeRetries.Add(st.RouteRetries)
+	m.routeCells.Add(st.RouteCellsExpanded)
+	if st.RouteFrontierPeak > m.routeFrontierPeak.Value() {
+		m.routeFrontierPeak.Set(st.RouteFrontierPeak)
+	}
 }
 
 // observeRequest records end-to-end request latency. Every terminal path
@@ -196,6 +221,13 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 	p.Counter("bbd_core_bus_breaks_total", "Bus isolation columns inserted across cold compiles.", float64(m.coreBusBreaks.Value()))
 	p.Gauge("bbd_core_pla_terms", "PLA terms of the most recent cold compile.", float64(m.plaTermsLast.Value()))
 	p.Gauge("bbd_core_pitch_lambda", "Row pitch (lambda) of the most recent cold compile.", m.pitchLast.Value())
+
+	// Pass 3 routing counters: the speculative pad router's work.
+	p.Counter("bbd_route_nets_total", "Routing units committed by Pass 3 across cold compiles (all rip-up attempts).", float64(m.routeNets.Value()))
+	p.Counter("bbd_route_conflicts_total", "Speculative routes invalidated by an earlier commit across cold compiles.", float64(m.routeConflicts.Value()))
+	p.Counter("bbd_route_retries_total", "Serial re-routes that repaired discarded speculation across cold compiles.", float64(m.routeRetries.Value()))
+	p.Counter("bbd_route_cells_expanded_total", "Grid cells the committed searches expanded across cold compiles.", float64(m.routeCells.Value()))
+	p.Gauge("bbd_route_frontier_peak", "Widest search frontier any cold compile's router reached.", float64(m.routeFrontierPeak.Value()))
 
 	// Per-pass span rollups: cumulative seconds of compile time per pass.
 	p.CounterVec("bbd_pass_seconds_total", "Cumulative wall-clock spent per compiler pass.", "pass", map[string]float64{

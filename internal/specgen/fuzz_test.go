@@ -56,8 +56,49 @@ func FuzzGenerate(f *testing.F) {
 		}
 		// The compile stays off the pad pass even for ForPads specs: the
 		// fuzz budget buys breadth, and Pass 3 dominates the runtime.
+		// FuzzGeneratePads covers the pad pass.
 		if _, err := core.Compile(spec, &core.Options{SkipPads: true, SkipExtraReps: true}); err != nil {
 			t.Fatalf("seed %d (%s): %v\n%s", seed, spec.Name, err, txt)
+		}
+	})
+}
+
+// FuzzGeneratePads drives the whole pipeline INCLUDING Pass 3: every
+// ForPads spec the generator emits must place a pad ring and route every
+// net — a routing failure here is a real congestion bug in the pad pass
+// (or a generator spec the router legitimately cannot satisfy, which the
+// generator contract forbids). The A* fan-out rework made pads-enabled
+// compiles cheap enough to fuzz (a few ms per spec).
+//
+// Seed corpus: testdata/corpus/specgen-pads/*, one seed per file.
+func FuzzGeneratePads(f *testing.F) {
+	dir := filepath.Join("..", "..", "testdata", "corpus", "specgen-pads")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("seed corpus missing: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		seed, err := strconv.ParseInt(strings.TrimSpace(string(data)), 10, 64)
+		if err != nil {
+			f.Fatalf("corpus entry %s: %v", e.Name(), err)
+		}
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		spec := FromSeed(seed, &Config{ForPads: true})
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid spec: %v", seed, err)
+		}
+		chip, err := core.Compile(spec, &core.Options{SkipExtraReps: true})
+		if err != nil {
+			t.Fatalf("seed %d (%s): pad pass failed: %v", seed, spec.Name, err)
+		}
+		if chip.Stats.RouteNets == 0 {
+			t.Fatalf("seed %d (%s): pad pass routed no nets", seed, spec.Name)
 		}
 	})
 }

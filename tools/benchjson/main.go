@@ -1,14 +1,14 @@
 // Benchjson runs the repo's headline benchmarks through testing.Benchmark
 // and writes the results as one JSON document, so a PR can commit a
-// machine-readable performance snapshot (BENCH_PR4.json) instead of pasting
-// `go test -bench` output into a description. The numbers answer three
-// questions about the serving story: how long a compile takes cold (small
-// and large), how much faster the warm cache path is, and what the Pass 1
-// fan-out buys over serial.
+// machine-readable performance snapshot (BENCH_PR5.json) instead of pasting
+// `go test -bench` output into a description. The numbers answer four
+// questions: how long a compile takes cold (small and large), how much
+// faster the warm cache path is, what the Pass 1 fan-out buys over serial,
+// and what the Pass 3 A* rework buys over the seed Lee router.
 //
 // Usage:
 //
-//	go run ./tools/benchjson                # write BENCH_PR4.json
+//	go run ./tools/benchjson                # write BENCH_PR5.json
 //	go run ./tools/benchjson -o bench.json  # choose the output path
 //	go run ./tools/benchjson -benchtime 2s  # run each arm longer
 package main
@@ -19,13 +19,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
 
 	"bristleblocks/internal/cache"
 	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
 	"bristleblocks/internal/experiments"
+	"bristleblocks/internal/pads"
 )
 
 // result is one benchmark arm's summary.
@@ -39,6 +42,10 @@ type result struct {
 	// AllocsPerOp and BytesPerOp are the allocation profile.
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	BytesPerOp  int64 `json:"bytes_per_op"`
+	// PadsMSPerOp is Pass 3 wall-clock per iteration in milliseconds,
+	// reported only by the route_pass_* arms (their time/op includes
+	// Passes 1-2, so this is the number their ratios compare).
+	PadsMSPerOp float64 `json:"pads_ms_per_op,omitempty"`
 }
 
 // report is the whole document.
@@ -61,13 +68,21 @@ type report struct {
 	// CorePassParallelSpeedup is core_pass_serial / core_pass_parallel:
 	// what the Pass 1 fan-out buys on this machine.
 	CorePassParallelSpeedup float64 `json:"core_pass_parallel_speedup"`
+	// PadPassSpeedupJ8 is route_pass_seed / route_pass_parallel_j8 on
+	// pad-pass wall-clock: what the A* router and speculative fan-out buy
+	// over the seed Lee router across examples/chips at -j 8.
+	PadPassSpeedupJ8 float64 `json:"pad_pass_speedup_j8"`
+	// PadPassSpeedupSerial is route_pass_seed / route_pass_serial: the
+	// algorithmic share of that win (A* + flood cache + router reuse with
+	// the speculative pipeline drained by one worker).
+	PadPassSpeedupSerial float64 `json:"pad_pass_speedup_serial"`
 }
 
 func main() {
 	// testing.Benchmark reads the test.benchtime flag, which only exists
 	// after testing.Init registers the testing flag set.
 	testing.Init()
-	out := flag.String("o", "BENCH_PR4.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR5.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark arm")
 	flag.Parse()
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -95,6 +110,7 @@ func main() {
 			MSPerOp:     float64(r.NsPerOp()) / 1e6,
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			PadsMSPerOp: r.Extra["pads-ms"],
 		}
 		rep.Benchmarks[name] = res
 		return res
@@ -157,12 +173,53 @@ func main() {
 	serial := run("core_pass_serial", corePass(1))
 	par := run("core_pass_parallel", corePass(0))
 
+	// Pass 3 over every example chip: the seed router (Lee wavefront,
+	// pure serial commit) against the A* speculative pipeline at -j 1 and
+	// -j 8. time/op includes Passes 1-2; the comparison lives in the
+	// pads-ms metric (summed Pass 3 wall-clock per iteration).
+	chips, err := chipsSpecs()
+	if err != nil {
+		fatal(err)
+	}
+	routePass := func(parallelism int, seed bool) func(b *testing.B) {
+		opts := &core.Options{Parallelism: parallelism, SkipExtraReps: true}
+		return func(b *testing.B) {
+			if seed {
+				pads.SetSeedMode(true)
+				defer pads.SetSeedMode(false)
+			}
+			b.ReportAllocs()
+			var padsUS int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				padsUS = 0
+				for _, spec := range chips {
+					chip, err := core.Compile(spec, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					padsUS += chip.Times.Pads.Microseconds()
+				}
+			}
+			b.ReportMetric(float64(padsUS)/1e3, "pads-ms")
+		}
+	}
+	routeSeed := run("route_pass_seed", routePass(1, true))
+	routeSerial := run("route_pass_serial", routePass(1, false))
+	routeJ8 := run("route_pass_parallel_j8", routePass(8, false))
+
 	if hit.NSPerOp > 0 {
 		rep.CachedHitSpeedup = float64(cold.NSPerOp) / float64(hit.NSPerOp)
 		rep.CachedHitPerSec = 1e9 / float64(hit.NSPerOp)
 	}
 	if par.NSPerOp > 0 {
 		rep.CorePassParallelSpeedup = float64(serial.NSPerOp) / float64(par.NSPerOp)
+	}
+	if routeJ8.PadsMSPerOp > 0 {
+		rep.PadPassSpeedupJ8 = routeSeed.PadsMSPerOp / routeJ8.PadsMSPerOp
+	}
+	if routeSerial.PadsMSPerOp > 0 {
+		rep.PadPassSpeedupSerial = routeSeed.PadsMSPerOp / routeSerial.PadsMSPerOp
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -173,8 +230,30 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx -> %s\n",
-		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, *out)
+	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx, pad-pass speedup %.2fx (j8) -> %s\n",
+		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, rep.PadPassSpeedupJ8, *out)
+}
+
+// chipsSpecs parses every description under examples/chips — the same
+// corpus the in-repo BenchmarkRoute* arms compile.
+func chipsSpecs() ([]*core.Spec, error) {
+	paths, err := filepath.Glob("examples/chips/*.bb")
+	if err != nil || len(paths) == 0 {
+		return nil, fmt.Errorf("no chip descriptions under examples/chips (run from the repo root): %v", err)
+	}
+	specs := make([]*core.Spec, 0, len(paths))
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := desc.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p, err)
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
 }
 
 func fatal(err error) {
