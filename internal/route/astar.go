@@ -157,12 +157,19 @@ func (r *Router) search(id netID, sx, sy, tx, ty int) ([]int32, bool) {
 	// seed's cost behavior (one full flood per failed probe) so benchmarks
 	// measure the rework against what it replaced.
 	if r.alg == AStar && sc.floodOK && sc.floodID == id && sc.floodStart == start {
-		// The previous search from this start flooded everything reachable
-		// and never discovered the goal (it would have stopped there), and
-		// nothing has changed since — the goal is still unreachable.
-		r.stats.Searches++
-		r.stats.Failures++
-		return nil, false
+		if sc.stamp[goal] != sc.epoch {
+			// The previous search from this start flooded everything
+			// reachable and never stamped this goal, and nothing has
+			// changed since (owner writes clear floodOK) — the goal is
+			// still unreachable.
+			r.stats.Searches++
+			r.stats.Failures++
+			return nil, false
+		}
+		// The flood stamped the goal: it IS reachable. Fall through to a
+		// full search rather than walking the flood's prev tree — that
+		// tree was shaped by a different goal's heuristic, and re-running
+		// keeps the returned path byte-identical to the cache-free search.
 	}
 	sc.floodOK = false
 	sc.nextEpoch()

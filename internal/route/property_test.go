@@ -147,6 +147,108 @@ func TestLeeAlgorithmMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestFloodCacheMixedGoals exercises the failed-flood cache the way Pass
+// 3's approach-point scan does: many Route calls for the SAME net from the
+// SAME start, mixing goals inside a walled-off pocket (unreachable) with
+// open goals (reachable). A failed probe floods the start's whole
+// reachable component and caches it; the cache must answer per-goal from
+// the flood's stamps — unstamped goals fail fast, but a stamped goal after
+// a failed probe must still route (regression: the cache once returned
+// failure for ANY goal once one probe from the start had failed).
+func TestFloodCacheMixedGoals(t *testing.T) {
+	const p = geom.Coord(32)
+	r := mustRouter(t, geom.R(0, 0, 24*p, 24*p), p)
+	// A closed "obs" ring: interior cells [10,13]×[10,13] are free but
+	// unreachable from outside.
+	r.Block(geom.R(9*p, 9*p, 15*p, 10*p), "obs")
+	r.Block(geom.R(9*p, 14*p, 15*p, 15*p), "obs")
+	r.Block(geom.R(9*p, 10*p, 10*p, 14*p), "obs")
+	r.Block(geom.R(14*p, 10*p, 15*p, 14*p), "obs")
+
+	const net = "n"
+	sx, sy := 2, 2
+	from := r.center(sx, sy)
+	goals := []struct {
+		cx, cy    int
+		reachable bool
+	}{
+		{11, 11, false}, // fresh flood of the outside component, cached
+		{12, 12, false}, // cache hit, goal unstamped: fast fail
+		{20, 20, true},  // cache hit, goal stamped: must still route
+		{13, 13, false}, // the route's owner writes cleared the cache: fresh flood
+		{2, 20, true},   // cache hit, goal stamped: must still route
+	}
+	for i, g := range goals {
+		to := r.center(g.cx, g.cy)
+		optimal, reachable := leeOracle(r, net, sx, sy, g.cx, g.cy)
+		if reachable != g.reachable {
+			t.Fatalf("goal %d: oracle reachable=%v, fixture expects %v", i, reachable, g.reachable)
+		}
+		pts, err := r.Route(net, from, to)
+		if !reachable {
+			if err == nil {
+				t.Fatalf("goal %d: oracle says unreachable, Route found %v", i, pts)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("goal %d: oracle says reachable in %d steps, Route failed: %v", i, optimal, err)
+		}
+		checkManhattan(t, pts, from, to)
+		if got, want := PathLength(pts), geom.Coord(optimal)*p; got != want {
+			t.Fatalf("goal %d: path length %d, Lee-optimal is %d", i, got, want)
+		}
+	}
+
+	// The same property over random fields: one net, one fixed start, many
+	// random goals, each independently oracle-checked. Unreachable and
+	// blocked goals hit the cache's fail-fast arm; reachable ones after a
+	// failure hit the stamped fall-through arm.
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("random-seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			r := mustRouter(t, geom.R(0, 0, 24*p, 24*p), p)
+			for i := 0; i < 14; i++ {
+				x := geom.Coord(rng.Intn(22)) * p
+				y := geom.Coord(rng.Intn(22)) * p
+				w := geom.Coord(1+rng.Intn(6)) * p
+				h := geom.Coord(1+rng.Intn(6)) * p
+				r.Block(geom.R(x, y, x+w, y+h), "obs")
+			}
+			sx, sy := -1, -1
+			for cy := 0; cy < 24 && sx < 0; cy++ {
+				for cx := 0; cx < 24; cx++ {
+					if r.Owner(r.center(cx, cy)) == "" {
+						sx, sy = cx, cy
+						break
+					}
+				}
+			}
+			if sx < 0 {
+				t.Skip("field fully blocked")
+			}
+			from := r.center(sx, sy)
+			for probe := 0; probe < 40; probe++ {
+				gx, gy := rng.Intn(24), rng.Intn(24)
+				to := r.center(gx, gy)
+				optimal, reachable := leeOracle(r, "n", sx, sy, gx, gy)
+				pts, err := r.Route("n", from, to)
+				if reachable != (err == nil) {
+					t.Fatalf("probe %d (%d,%d): oracle reachable=%v, Route err=%v", probe, gx, gy, reachable, err)
+				}
+				if err != nil {
+					continue
+				}
+				checkManhattan(t, pts, from, to)
+				if got, want := PathLength(pts), geom.Coord(optimal)*p; got != want {
+					t.Fatalf("probe %d: path length %d, Lee-optimal is %d", probe, got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestOwnerSemantics pins the ownership contract the speculative commit
 // protocol depends on: the empty net is the free cell and never an owner
 // (Block("") and Claim("") are no-ops), nets that share a name prefix are

@@ -49,12 +49,14 @@ type metrics struct {
 	passUSPads    *expvar.Int
 	// Pass 3 routing counters, accumulated over cold compiles: how hard the
 	// pad router worked, not just how long. routeFrontierPeak is a
-	// high-water gauge (widest search frontier any compile reached).
+	// high-water gauge (widest search frontier any compile reached); the
+	// max update is a CAS loop because parallel compile workers report
+	// concurrently.
 	routeNets         *expvar.Int
 	routeConflicts    *expvar.Int
 	routeRetries      *expvar.Int
 	routeCells        *expvar.Int
-	routeFrontierPeak *expvar.Int
+	routeFrontierPeak atomic.Int64
 
 	passCore    *histogram
 	passControl *histogram
@@ -65,34 +67,33 @@ type metrics struct {
 
 func newMetrics(s *Server) *metrics {
 	m := &metrics{
-		vars:              new(expvar.Map).Init(),
-		requests:          new(expvar.Int),
-		inFlight:          new(expvar.Int),
-		compiles:          new(expvar.Int),
-		cacheServed:       new(expvar.Int),
-		rejected:          new(expvar.Int),
-		timeouts:          new(expvar.Int),
-		badSpecs:          new(expvar.Int),
-		compileErrors:     new(expvar.Int),
-		coreCells:         new(expvar.Int),
-		coreStretches:     new(expvar.Int),
-		coreStretchDist:   new(expvar.Int),
-		coreBusBreaks:     new(expvar.Int),
-		plaTermsLast:      new(expvar.Int),
-		pitchLast:         new(expvar.Float),
-		passUSCore:        new(expvar.Int),
-		passUSControl:     new(expvar.Int),
-		passUSPads:        new(expvar.Int),
-		routeNets:         new(expvar.Int),
-		routeConflicts:    new(expvar.Int),
-		routeRetries:      new(expvar.Int),
-		routeCells:        new(expvar.Int),
-		routeFrontierPeak: new(expvar.Int),
-		passCore:          newHistogram(),
-		passControl:       newHistogram(),
-		passPads:          newHistogram(),
-		genElement:        newHistogram(),
-		request:           newHistogram(),
+		vars:            new(expvar.Map).Init(),
+		requests:        new(expvar.Int),
+		inFlight:        new(expvar.Int),
+		compiles:        new(expvar.Int),
+		cacheServed:     new(expvar.Int),
+		rejected:        new(expvar.Int),
+		timeouts:        new(expvar.Int),
+		badSpecs:        new(expvar.Int),
+		compileErrors:   new(expvar.Int),
+		coreCells:       new(expvar.Int),
+		coreStretches:   new(expvar.Int),
+		coreStretchDist: new(expvar.Int),
+		coreBusBreaks:   new(expvar.Int),
+		plaTermsLast:    new(expvar.Int),
+		pitchLast:       new(expvar.Float),
+		passUSCore:      new(expvar.Int),
+		passUSControl:   new(expvar.Int),
+		passUSPads:      new(expvar.Int),
+		routeNets:       new(expvar.Int),
+		routeConflicts:  new(expvar.Int),
+		routeRetries:    new(expvar.Int),
+		routeCells:      new(expvar.Int),
+		passCore:        newHistogram(),
+		passControl:     newHistogram(),
+		passPads:        newHistogram(),
+		genElement:      newHistogram(),
+		request:         newHistogram(),
 	}
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("in_flight", m.inFlight)
@@ -115,7 +116,7 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("route_conflicts", m.routeConflicts)
 	m.vars.Set("route_retries", m.routeRetries)
 	m.vars.Set("route_cells_expanded", m.routeCells)
-	m.vars.Set("route_frontier_peak", m.routeFrontierPeak)
+	m.vars.Set("route_frontier_peak", expvar.Func(func() any { return m.routeFrontierPeak.Load() }))
 	m.vars.Set("queue_depth", expvar.Func(func() any { return len(s.jobs) }))
 	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(s.jobs) }))
 	m.vars.Set("workers", expvar.Func(func() any { return s.cfg.Workers }))
@@ -174,8 +175,11 @@ func (m *metrics) observeStats(st core.Stats) {
 	m.routeConflicts.Add(st.RouteConflicts)
 	m.routeRetries.Add(st.RouteRetries)
 	m.routeCells.Add(st.RouteCellsExpanded)
-	if st.RouteFrontierPeak > m.routeFrontierPeak.Value() {
-		m.routeFrontierPeak.Set(st.RouteFrontierPeak)
+	for {
+		cur := m.routeFrontierPeak.Load()
+		if st.RouteFrontierPeak <= cur || m.routeFrontierPeak.CompareAndSwap(cur, st.RouteFrontierPeak) {
+			break
+		}
 	}
 }
 
@@ -227,7 +231,7 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 	p.Counter("bbd_route_conflicts_total", "Speculative routes invalidated by an earlier commit across cold compiles.", float64(m.routeConflicts.Value()))
 	p.Counter("bbd_route_retries_total", "Serial re-routes that repaired discarded speculation across cold compiles.", float64(m.routeRetries.Value()))
 	p.Counter("bbd_route_cells_expanded_total", "Grid cells the committed searches expanded across cold compiles.", float64(m.routeCells.Value()))
-	p.Gauge("bbd_route_frontier_peak", "Widest search frontier any cold compile's router reached.", float64(m.routeFrontierPeak.Value()))
+	p.Gauge("bbd_route_frontier_peak", "Widest search frontier any cold compile's router reached.", float64(m.routeFrontierPeak.Load()))
 
 	// Per-pass span rollups: cumulative seconds of compile time per pass.
 	p.CounterVec("bbd_pass_seconds_total", "Cumulative wall-clock spent per compiler pass.", "pass", map[string]float64{
