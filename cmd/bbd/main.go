@@ -13,10 +13,14 @@
 //	bbd -admin-addr :8724                # operator surface on its own port
 //	bbd -log-level debug -log-json       # structured log stream as JSON
 //	bbd -flight-n 512                    # flight recorder keeps 512 compiles
+//	bbd -max-sessions 32 -session-ttl 5m # edit-session table sizing
 //
 // Endpoints:
 //
 //	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skiproto=1&evenpads=1&skipreps=1][&trace=1|chrome]
+//	POST /session                  open an edit session (warm per-client artifact store)
+//	POST /session/{id}/compile     incremental compile (same query options as /compile)
+//	DELETE /session/{id}           close a session
 //	GET  /healthz
 //	GET  /metrics                  Prometheus text format
 //	GET  /debug/vars               expvar JSON (histograms carry p50/p95/p99)
@@ -69,6 +73,9 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit the log stream as JSON lines instead of logfmt-style text")
 	flightN := flag.Int("flight-n", 0, "flight recorder size: last N compiles kept with span trees (0 = 128)")
+	maxSessions := flag.Int("max-sessions", 0, "concurrently live edit sessions; at capacity the LRU session is retired (0 = 16)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle deadline after which an edit session expires (0 = 15m)")
+	sessionCacheMB := flag.Int("session-cache-mb", 0, "per-session artifact store budget in MiB (0 = 64)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: bbd [flags]")
@@ -95,6 +102,9 @@ func main() {
 		Parallelism:        *jobs,
 		Logger:             logger,
 		FlightRecorderSize: *flightN,
+		MaxSessions:        *maxSessions,
+		SessionTTL:         *sessionTTL,
+		SessionCacheMB:     *sessionCacheMB,
 	})
 	if err != nil {
 		logger.Error("server init failed", "err", err)

@@ -20,18 +20,30 @@
 //	bristlec -trace-out trace.json ... # write the compile trace as Chrome
 //	                                   # trace_event JSON (open in Perfetto
 //	                                   # or chrome://tracing)
+//	bristlec -watch chip.bb            # recompile on every edit, reusing
+//	                                   # unchanged cells from a warm
+//	                                   # artifact store
+//
+// Watch mode is the paper's edit-compile design cycle as a loop: the spec
+// file is polled for changes and each save recompiles incrementally,
+// printing the latency and artifact-store hit ratio. Watch mode writes
+// the CIF on every compile but skips the one-shot extras (-check, -run,
+// -plot, -reps, -trace).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"bristleblocks"
+	"bristleblocks/internal/incr"
 	"bristleblocks/internal/trace"
 )
 
@@ -47,6 +59,9 @@ func main() {
 	jobs := flag.Int("j", 0, "worker pool size for Pass 1's element fan-out and Pass 3's speculative routing (0 = GOMAXPROCS, 1 = serial; output is identical at every width)")
 	showTrace := flag.Bool("trace", false, "print the compile trace (per-pass and per-element spans)")
 	traceOut := flag.String("trace-out", "", "write the compile trace as Chrome trace_event JSON to this path")
+	watch := flag.Bool("watch", false, "poll the spec file and recompile on every change, reusing unchanged cells from a warm artifact store")
+	watchInterval := flag.Duration("watch-interval", 250*time.Millisecond, "poll interval for -watch")
+	watchMax := flag.Int("watch-max", 0, "with -watch, exit after this many successful compiles (0 = until interrupted)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -55,6 +70,17 @@ func main() {
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
+	if *watch {
+		cifPath := *out
+		if cifPath == "" {
+			cifPath = strings.TrimSuffix(in, filepath.Ext(in)) + ".cif"
+		}
+		opts := &bristleblocks.Options{SkipPads: *noPads, Parallelism: *jobs}
+		if err := runWatch(os.Stdout, in, cifPath, opts, *watchInterval, *watchMax); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	src, err := os.ReadFile(in)
 	if err != nil {
 		fatal(err)
@@ -164,6 +190,86 @@ func main() {
 	if *run != "" {
 		if err := runProgram(chip, spec, *run, *padsIn); err != nil {
 			fatal(err)
+		}
+	}
+}
+
+// runWatch is the edit-compile loop: poll the spec file's mtime and
+// recompile on every change against a warm artifact store, so each save
+// regenerates only the cells the edit touched. Parse and compile errors
+// are reported and the loop keeps watching; maxCompiles bounds the loop
+// for tests (0 = run until interrupted).
+func runWatch(w io.Writer, in, cifPath string, opts *bristleblocks.Options, interval time.Duration, maxCompiles int) error {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	store, err := incr.New(0, "")
+	if err != nil {
+		return err
+	}
+	ctx := incr.WithStore(context.Background(), store)
+	fmt.Fprintf(w, "watching %s (every %s; ^C to stop)\n", in, interval)
+	var lastMod time.Time
+	var lastSize int64
+	compiles := 0
+	for first := true; ; first = false {
+		if !first {
+			time.Sleep(interval)
+		}
+		fi, err := os.Stat(in)
+		if err != nil {
+			if first {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "bristlec:", err)
+			continue
+		}
+		if fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+			continue
+		}
+		lastMod, lastSize = fi.ModTime(), fi.Size()
+		src, err := os.ReadFile(in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bristlec:", err)
+			continue
+		}
+		spec, err := bristleblocks.ParseSpec(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bristlec: %s: %v\n", in, err)
+			continue
+		}
+		before := store.Counters()
+		start := time.Now()
+		chip, err := bristleblocks.CompileCtx(ctx, spec, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bristlec: compile %s: %v\n", spec.Name, err)
+			continue
+		}
+		elapsed := time.Since(start)
+		f, err := os.Create(cifPath)
+		if err != nil {
+			return err
+		}
+		if err := bristleblocks.WriteCIF(f, chip); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		after := store.Counters()
+		hits := after.Hits - before.Hits
+		misses := after.Misses - before.Misses
+		var ratio float64
+		if hits+misses > 0 {
+			ratio = float64(hits) / float64(hits+misses)
+		}
+		compiles++
+		fmt.Fprintf(w, "%s: %d transistors, %d columns, %d pads -> %s (%s, %d/%d artifact hits, ratio %.2f)\n",
+			spec.Name, chip.Stats.Transistors, chip.Stats.Columns, chip.Stats.PadCount,
+			cifPath, elapsed.Round(time.Microsecond), hits, hits+misses, ratio)
+		if maxCompiles > 0 && compiles >= maxCompiles {
+			return nil
 		}
 	}
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bristleblocks"
+)
+
+// TestWatchRecompilesOnEdit drives the -watch loop end to end: the first
+// compile is cold, an edit to the spec file triggers a warm recompile
+// that reuses unchanged cells, and the CIF on disk afterwards is
+// byte-identical to a scratch compile of the edited spec.
+func TestWatchRecompilesOnEdit(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "chips", "adder4.bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "chip.bb")
+	cifPath := filepath.Join(dir, "chip.cif")
+	if err := os.WriteFile(specPath, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := &bristleblocks.Options{Parallelism: 1}
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runWatch(&buf, specPath, cifPath, opts, 5*time.Millisecond, 2)
+	}()
+
+	// Wait for the first compile (it writes the CIF), then edit the spec.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(cifPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch loop never wrote the CIF")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	edited := strings.Replace(string(src), "value=1", "value=13", 1)
+	if edited == string(src) {
+		t.Fatal("example spec carries no const to edit")
+	}
+	if err := os.WriteFile(specPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("runWatch: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("watch loop never saw the edit")
+	}
+
+	// Two summary lines; the second (warm) compile must have reused
+	// artifacts from the first.
+	out := buf.String()
+	lines := regexp.MustCompile(`(\d+)/(\d+) artifact hits`).FindAllStringSubmatch(out, -1)
+	if len(lines) != 2 {
+		t.Fatalf("want 2 compile summaries, got %d in:\n%s", len(lines), out)
+	}
+	if cold, _ := strconv.Atoi(lines[0][1]); cold != 0 {
+		t.Errorf("cold compile reported %s hits, want 0", lines[0][1])
+	}
+	if warm, _ := strconv.Atoi(lines[1][1]); warm == 0 {
+		t.Errorf("warm compile reported 0 artifact hits in:\n%s", out)
+	}
+
+	// The watched CIF must match a scratch compile of the edited spec.
+	spec, err := bristleblocks.ParseSpec(edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := bristleblocks.Compile(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := bristleblocks.WriteCIF(&want, chip); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(cifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Error("watched CIF differs from a scratch compile of the edited spec")
+	}
+}

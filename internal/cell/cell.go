@@ -182,7 +182,13 @@ func (c *Cell) AddBristle(b Bristle) {
 // BristlesBy returns the cell's bristles with the given flavor, in edge
 // order (sorted by side then offset).
 func (c *Cell) BristlesBy(f Flavor) []Bristle {
-	var out []Bristle
+	n := 0
+	for _, b := range c.Bristles {
+		if b.Flavor == f {
+			n++
+		}
+	}
+	out := make([]Bristle, 0, n)
 	for _, b := range c.Bristles {
 		if b.Flavor == f {
 			out = append(out, b)

@@ -15,6 +15,7 @@ import (
 	"bristleblocks/internal/celllib"
 	"bristleblocks/internal/decoder"
 	"bristleblocks/internal/geom"
+	"bristleblocks/internal/incr"
 	"bristleblocks/internal/layer"
 	"bristleblocks/internal/logic"
 	"bristleblocks/internal/mask"
@@ -187,7 +188,7 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	}
 	t1 := time.Now()
 	ctlSpan := tr.StartSpan(root, "pass.control", trace.PassControl, trace.Coordinator)
-	err = chip.controlPass(ctx)
+	err = chip.controlPass(trace.WithSpan(ctx, ctlSpan))
 	ctlSpan.Attr("pla_terms", strconv.Itoa(chip.Stats.PLATerms))
 	ctlSpan.End()
 	if err != nil {
@@ -317,15 +318,34 @@ func (c *Chip) corePass(ctx context.Context) error {
 
 	// ---- Fan-out: generate every element's columns concurrently. Each
 	// task owns slot i of perElem, so the barrier can concatenate in
-	// element order and reproduce the serial column sequence exactly.
+	// element order and reproduce the serial column sequence exactly. With
+	// an artifact store on the context, each task first consults the store
+	// under the element's content address and reuses the cached columns
+	// (cloned: private column structs and models over shared immutable
+	// cells) instead of regenerating.
+	store := incr.FromContext(ctx)
 	workers := poolSize(c.Options.Parallelism, len(elems))
 	perElem := make([][]*column, len(elems))
+	perElemKey := make([]string, len(elems))
 	err = runIndexed(ctx, workers, len(elems), func(worker, i int) error {
 		e := elems[i]
 		sp := tr.StartSpan(passSpan, "gen."+e.Name, trace.PassCore, worker).
 			Attr("kind", e.Kind)
 		defer sp.End()
 		busA, busB := busNamesAt(plan, i)
+		if store != nil {
+			var prevA, prevB string
+			if i > 0 {
+				prevA, prevB = busNamesAt(plan, i-1)
+			}
+			perElemKey[i] = genKeyFor(spec, &e, i, len(elems), busA, busB, prevA, prevB, preByElem[i])
+			if v, ok := store.Get(perElemKey[i]); ok {
+				perElem[i] = cloneColumns(v.(*genArtifact).cols)
+				sp.Attr("cache", "hit")
+				return nil
+			}
+			sp.Attr("cache", "miss")
+		}
 		gctx := &genCtx{
 			width: spec.DataWidth, busA: busA, busB: busB,
 			elemIdx: i, first: i == 0, last: i == len(elems)-1,
@@ -361,11 +381,33 @@ func (c *Chip) corePass(ctx context.Context) error {
 			}
 			ecols = append(ecols, pc)
 		}
+		if store != nil {
+			// The stored artifact gets its own pristine clone: corePass
+			// mutates the live columns (x assignment, stretched-cell
+			// substitution) and those mutations must never reach the cache.
+			art := &genArtifact{cols: cloneColumns(ecols)}
+			store.Put(genGroup(spec, i, e.Name), perElemKey[i], art, columnsCost(art.cols))
+		}
 		perElem[i] = ecols
 		return nil
 	})
 	if err != nil {
 		return err
+	}
+	// cellID names every distinct unstretched cell by its owning gen key,
+	// the identity the stretch artifacts key on.
+	var cellID map[*cell.Cell]string
+	if store != nil {
+		cellID = make(map[*cell.Cell]string)
+		for i, ecols := range perElem {
+			for _, col := range ecols {
+				for _, cc := range col.cells {
+					if _, ok := cellID[cc]; !ok {
+						cellID[cc] = perElemKey[i] + "/" + cc.Name
+					}
+				}
+			}
+		}
 	}
 	var cols []*column
 	for _, ecols := range perElem {
@@ -427,6 +469,22 @@ func (c *Chip) corePass(ctx context.Context) error {
 		u := uniq[i]
 		sp := tr.StartSpan(passSpan, "stretch."+u.cc.Name, trace.PassCore, worker)
 		defer sp.End()
+		var stKey, stGroup string
+		if store != nil {
+			// The stretch key folds in every voted global: a power-vote shift
+			// re-keys all stretch artifacts (the gen artifacts stay valid).
+			stKey = stretchKeyFor(cellID[u.cc], dRail, pitch, busATarget, busBTarget)
+			stGroup = "st:" + cellID[u.cc]
+			if v, ok := store.GetDurable(stGroup, stKey, decodeCell); ok {
+				sc := v.(*cell.Cell)
+				deltas[i] = sc.Size.H() - u.cc.Size.H()
+				sp.Attr("cache", "hit").
+					Attr("delta_lambda", strconv.FormatFloat(geom.InLambda(deltas[i]), 'g', -1, 64))
+				stretchedOf[i] = sc
+				return nil
+			}
+			sp.Attr("cache", "miss")
+		}
 		sc := u.cc.Copy()
 		if dRail > 0 {
 			if err := stretch.WidenRail(sc, "gnd", dRail); err != nil {
@@ -444,6 +502,12 @@ func (c *Chip) corePass(ctx context.Context) error {
 		}
 		deltas[i] = sc.Size.H() - u.cc.Size.H()
 		sp.Attr("delta_lambda", strconv.FormatFloat(geom.InLambda(deltas[i]), 'g', -1, 64))
+		if store != nil {
+			// Stretched cells are read-only from here on (assembly reads the
+			// layout, pad collection reads the bristles), so the cached copy
+			// is handed to later compiles directly.
+			store.PutDurable(stGroup, stKey, sc, cellCost(sc), encodeCell)
+		}
 		stretchedOf[i] = sc
 		return nil
 	})
@@ -488,7 +552,7 @@ func (c *Chip) corePass(ctx context.Context) error {
 		}
 		col.x = x
 		for r, cc := range col.cells {
-			coreMask.PlaceNamed(fmt.Sprintf("%s.%d", col.name, r), cc.Layout,
+			coreMask.PlaceNamed(col.name+"."+strconv.Itoa(r), cc.Layout,
 				geom.Translate(x-cc.Size.MinX, geom.Coord(r)*pitch-cc.Size.MinY))
 		}
 		x += w
@@ -575,8 +639,8 @@ func sortedKeys[V any](m map[string]V) []string {
 // busNamesAt resolves the bus nets at an element position; unused slots get
 // a floating placeholder net.
 func busNamesAt(plan *bus.Plan, i int) (string, string) {
-	busA := fmt.Sprintf("ncA%d", i)
-	busB := fmt.Sprintf("ncB%d", i)
+	busA := "ncA" + strconv.Itoa(i)
+	busB := "ncB" + strconv.Itoa(i)
 	if s := plan.AtElement[i][bus.Upper]; s != nil {
 		busA = s.Name
 	}
@@ -607,13 +671,36 @@ func (c *Chip) controlPass(ctx context.Context) error {
 	}
 	sort.SliceStable(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
 
-	res, err := decoder.Build(spec.Microcode, specs, &decoder.Options{
-		SkipOptimize: c.Options.SkipOptimize,
-		CtlX:         ctlX,
-		ClockX:       clockX,
-	})
-	if err != nil {
-		return err
+	// With an artifact store attached, the whole decoder build is one
+	// memoizable unit keyed by its full input (microcode, sorted control
+	// specs, drop offsets). The cached Result is read-only downstream —
+	// assembly places its layout, NewSim shares its Decode closure — so it
+	// is served without cloning.
+	store := incr.FromContext(ctx)
+	var p2Key string
+	var res *decoder.Result
+	if store != nil {
+		p2Key = p2KeyFor(spec, specs, ctlX, clockX, c.Options.SkipOptimize)
+		if v, ok := store.Get(p2Key); ok {
+			res = v.(*decoder.Result)
+			trace.SpanFromContext(ctx).Attr("cache", "hit")
+		} else {
+			trace.SpanFromContext(ctx).Attr("cache", "miss")
+		}
+	}
+	if res == nil {
+		var err error
+		res, err = decoder.Build(spec.Microcode, specs, &decoder.Options{
+			SkipOptimize: c.Options.SkipOptimize,
+			CtlX:         ctlX,
+			ClockX:       clockX,
+		})
+		if err != nil {
+			return err
+		}
+		if store != nil {
+			store.Put("p2:"+spec.Name, p2Key, res, decoderCost(res))
+		}
 	}
 	c.Decoder = res
 
@@ -685,14 +772,37 @@ func (c *Chip) padPass(ctx context.Context) error {
 			}
 		}
 	}
-	ring, err := pads.BuildCtx(ctx, bounds, reqs, &pads.Options{
-		SkipRotoRouter: c.Options.SkipRotoRouter,
-		EvenSpacing:    c.Options.EvenPads || c.Spec.EvenPads,
-		Obstacles:      []geom.Rect{bounds},
-		Parallelism:    c.Options.Parallelism,
-	})
-	if err != nil {
-		return err
+	// Like the decoder, the pad ring is one memoizable unit: same bounds
+	// and request list mean a byte-identical ring (Parallelism changes only
+	// speculation, never the committed routes). The cached Ring is read-only
+	// downstream, so it is served without cloning.
+	store := incr.FromContext(ctx)
+	evenPads := c.Options.EvenPads || c.Spec.EvenPads
+	var p3Key string
+	var ring *pads.Ring
+	if store != nil {
+		p3Key = p3KeyFor(bounds, reqs, c.Options.SkipRotoRouter, evenPads)
+		if v, ok := store.Get(p3Key); ok {
+			ring = v.(*pads.Ring)
+			trace.SpanFromContext(ctx).Attr("cache", "hit")
+		} else {
+			trace.SpanFromContext(ctx).Attr("cache", "miss")
+		}
+	}
+	if ring == nil {
+		var err error
+		ring, err = pads.BuildCtx(ctx, bounds, reqs, &pads.Options{
+			SkipRotoRouter: c.Options.SkipRotoRouter,
+			EvenSpacing:    evenPads,
+			Obstacles:      []geom.Rect{bounds},
+			Parallelism:    c.Options.Parallelism,
+		})
+		if err != nil {
+			return err
+		}
+		if store != nil {
+			store.Put("p3:"+c.Spec.Name, p3Key, ring, ringCost(ring))
+		}
 	}
 	c.Ring = ring
 	c.Mask.PlaceNamed("pads", ring.Cell, geom.Identity)

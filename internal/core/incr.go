@@ -1,0 +1,303 @@
+package core
+
+// This file is the compiler's seam onto internal/incr: what each pass
+// emits as a cacheable artifact, how the artifact is keyed, and how a
+// cached artifact is rehydrated into a running compile. A nil store (the
+// default — no incr.WithStore on the context) takes none of these paths
+// and reproduces the uncached compiler exactly.
+//
+// Four artifact kinds, by pass unit:
+//
+//   - gen: one element's fan-out product ([]*column with unstretched
+//     cells and zero-state models), keyed by everything generation reads:
+//     kind, parameters, data width, bus context (including the abutting
+//     segment names that decide break columns), end flags, element index
+//     (cell names embed it), and the precharge sites charged to the
+//     element. Memory-only: simulation models carry unexported state.
+//   - stretch: one distinct cell's pitch fit, keyed by the owning gen key,
+//     the cell name, and the voted globals that parameterize stretching
+//     (rail widening, pitch, bus targets). This is the artifact that goes
+//     to the disk layer — a stretched cell is an all-exported leaf that
+//     survives the gob round trip byte-identically.
+//   - p2: the decoder build, keyed by the microcode format, the sorted
+//     control specs, and the core's control/clock drop offsets.
+//   - p3: the pad ring, keyed by the blocked bounds and the full pad
+//     request list. Parallelism is excluded from every key for the same
+//     reason internal/cache excludes it: output is byte-identical at
+//     every pool width.
+//
+// Keying by group ("gen:<chip>:<idx>:<elem>", "st:<cell-id>", ...) lets
+// the store count exactly which artifacts a spec edit invalidated.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strconv"
+
+	"bristleblocks/internal/bus"
+	"bristleblocks/internal/cell"
+	"bristleblocks/internal/decoder"
+	"bristleblocks/internal/geom"
+	"bristleblocks/internal/incr"
+	"bristleblocks/internal/pads"
+	"bristleblocks/internal/sim"
+)
+
+// genArtifact is one element's cached fan-out product. The columns inside
+// are pristine: unstretched cells, zero-state models, no x assignment.
+// They are never handed to a compile directly — cloneColumns gives each
+// compile private column structs and models while sharing the immutable
+// cells.
+type genArtifact struct {
+	cols []*column
+}
+
+// modelCloner is implemented by every element model: clone returns a
+// fresh zero-state model with the same configuration, so a cached column
+// never leaks simulation state between compiles.
+type modelCloner interface {
+	cloneModel() sim.Element
+}
+
+func (m *regModel) cloneModel() sim.Element {
+	return &regModel{name: m.name, busNet: m.busNet, ldName: m.ldName, rdName: m.rdName, mask: m.mask}
+}
+
+func (m *dualRegModel) cloneModel() sim.Element {
+	return &dualRegModel{name: m.name, busANet: m.busANet, busBNet: m.busBNet, ldName: m.ldName, rdName: m.rdName, mask: m.mask}
+}
+
+func (m *aluModel) cloneModel() sim.Element {
+	return &aluModel{name: m.name, busANet: m.busANet, busBNet: m.busBNet,
+		ldaName: m.ldaName, ldbName: m.ldbName, rdName: m.rdName, op: m.op, mask: m.mask}
+}
+
+func (m *shiftModel) cloneModel() sim.Element {
+	return &shiftModel{name: m.name, busANet: m.busANet, busBNet: m.busBNet, ldName: m.ldName, rdName: m.rdName, mask: m.mask}
+}
+
+func (m *constModel) cloneModel() sim.Element {
+	return &constModel{name: m.name, busNet: m.busNet, rdName: m.rdName, value: m.value}
+}
+
+func (m *ioModel) cloneModel() sim.Element {
+	return &ioModel{name: m.name, busNet: m.busNet, ioName: m.ioName, class: m.class, mask: m.mask}
+}
+
+func (m *xferModel) cloneModel() sim.Element {
+	return &xferModel{name: m.name, busANet: m.busANet, busBNet: m.busBNet, xName: m.xName}
+}
+
+// cloneColumns returns compile-private copies of cached columns: fresh
+// column structs (the core pass assigns x and substitutes stretched cells
+// into the slice), a copied cells slice sharing the immutable unstretched
+// cell pointers, the shared controls slice (read-only), and a fresh
+// zero-state model.
+func cloneColumns(cols []*column) []*column {
+	out := make([]*column, len(cols))
+	for i, c := range cols {
+		nc := &column{
+			name:     c.name,
+			elemIdx:  c.elemIdx,
+			cells:    append([]*cell.Cell(nil), c.cells...),
+			controls: c.controls,
+		}
+		if c.model != nil {
+			nc.model = c.model.(modelCloner).cloneModel()
+		}
+		out[i] = nc
+	}
+	return out
+}
+
+// coordStr renders a coordinate for key material.
+func coordStr(c geom.Coord) string { return strconv.FormatInt(int64(c), 10) }
+
+// genKeyFor builds the content address of one element's fan-out product.
+// prevA/prevB are the bus names at the previous element position ("" at
+// the west end): they decide whether a break column heads the product, so
+// they are key material even though the element itself never sees them.
+func genKeyFor(spec *Spec, e *ElementSpec, i, n int, busA, busB, prevA, prevB string, pres []bus.Segment) string {
+	parts := []string{
+		Version, "gen",
+		e.Kind, e.Name,
+		strconv.Itoa(spec.DataWidth),
+		busA, busB, prevA, prevB,
+		strconv.Itoa(i),
+		strconv.FormatBool(i == 0),
+		strconv.FormatBool(i == n-1),
+	}
+	for _, k := range sortedKeys(e.Params) {
+		parts = append(parts, k+"="+e.Params[k])
+	}
+	for _, seg := range pres {
+		parts = append(parts, "pre:"+seg.Name+":"+strconv.Itoa(int(seg.Slot)))
+	}
+	return incr.Key(parts...)
+}
+
+// genGroup is the stable identity of an element slot, so an edited
+// element's new artifact invalidates exactly its predecessor.
+func genGroup(spec *Spec, i int, name string) string {
+	return "gen:" + spec.Name + ":" + strconv.Itoa(i) + ":" + name
+}
+
+// stretchKeyFor keys one distinct cell's pitch fit by the cell's identity
+// (owning gen key + cell name) and every voted global that parameterizes
+// the stretch. A power-vote shift that changes the rail widening or pitch
+// re-keys every stretch artifact while leaving the gen artifacts valid —
+// the "reuse stays sound when globals shift" half of the design.
+func stretchKeyFor(cellID string, dRail, pitch, busATarget, busBTarget geom.Coord) string {
+	return incr.Key(Version, "stretch", cellID,
+		coordStr(dRail), coordStr(pitch), coordStr(busATarget), coordStr(busBTarget))
+}
+
+// p2KeyFor keys the decoder build by everything decoder.Build reads.
+func p2KeyFor(spec *Spec, specs []decoder.ControlSpec, ctlX map[string]geom.Coord, clockX map[string][]geom.Coord, skipOptimize bool) string {
+	parts := []string{
+		Version, "p2",
+		"w" + strconv.Itoa(spec.Microcode.Width),
+		strconv.FormatBool(skipOptimize),
+	}
+	for _, fd := range spec.Microcode.Fields {
+		parts = append(parts, "f:"+fd.Name+":"+strconv.Itoa(fd.Lo)+":"+strconv.Itoa(fd.Width))
+	}
+	for _, cs := range specs {
+		parts = append(parts, "c:"+cs.Name+":"+cs.Guard+":"+strconv.Itoa(cs.Phase))
+	}
+	for _, k := range sortedKeys(ctlX) {
+		parts = append(parts, "x:"+k+"="+coordStr(ctlX[k]))
+	}
+	for _, k := range sortedKeys(clockX) {
+		p := "k:" + k + "="
+		for _, x := range clockX[k] {
+			p += coordStr(x) + ","
+		}
+		parts = append(parts, p)
+	}
+	return incr.Key(parts...)
+}
+
+// p3KeyFor keys the pad ring by the blocked bounds, the full request
+// list, and the pad-pass option switches (Parallelism excluded: output is
+// byte-identical at every pool width).
+func p3KeyFor(bounds geom.Rect, reqs []pads.Request, skipRoto, evenPads bool) string {
+	parts := []string{
+		Version, "p3",
+		rectStr(bounds),
+		strconv.FormatBool(skipRoto),
+		strconv.FormatBool(evenPads),
+	}
+	for _, rq := range reqs {
+		parts = append(parts, "r:"+rq.Net+":"+rq.Class+
+			":"+pointStr(rq.At)+":"+strconv.Itoa(int(rq.Layer))+":"+pointStr(rq.Outward))
+	}
+	return incr.Key(parts...)
+}
+
+// pointStr and rectStr are allocation-light formatters for key material:
+// the request list is hashed on every compile, and fmt's reflection is
+// measurable against a warm store.
+func pointStr(p geom.Point) string { return coordStr(p.X) + "," + coordStr(p.Y) }
+
+func rectStr(r geom.Rect) string {
+	return coordStr(r.MinX) + "," + coordStr(r.MinY) + "," + coordStr(r.MaxX) + "," + coordStr(r.MaxY)
+}
+
+// ---- cost estimates -----------------------------------------------------
+//
+// The store's LRU charges approximate sizes; exact accounting would cost
+// more than it saves. Estimates only need to be proportional so the byte
+// budget evicts the right order of magnitude.
+
+func cellCost(c *cell.Cell) int64 {
+	if c == nil {
+		return 0
+	}
+	n := int64(512) // struct + name + rails + stretch lines
+	if c.Layout != nil {
+		n += int64(len(c.Layout.Boxes)) * 40
+		for _, w := range c.Layout.Wires {
+			n += int64(len(w.Path))*32 + 24
+		}
+		for _, p := range c.Layout.Polys {
+			n += int64(len(p.Pts))*32 + 24
+		}
+		n += int64(len(c.Layout.Labels)) * 48
+	}
+	n += int64(len(c.Bristles)) * 96
+	if c.Sticks != nil {
+		n += int64(len(c.Sticks.Segs))*40 + int64(len(c.Sticks.Dots))*24 + int64(len(c.Sticks.Pins))*32
+	}
+	if c.Netlist != nil {
+		n += int64(len(c.Netlist.Txs)) * 96
+	}
+	if c.Logic != nil {
+		n += 1 << 10
+	}
+	return n
+}
+
+func columnsCost(cols []*column) int64 {
+	n := int64(0)
+	seen := make(map[*cell.Cell]bool)
+	for _, col := range cols {
+		n += 256 + int64(len(col.controls))*64
+		for _, cc := range col.cells {
+			if !seen[cc] {
+				seen[cc] = true
+				n += cellCost(cc)
+			}
+		}
+	}
+	return n
+}
+
+func decoderCost(res *decoder.Result) int64 {
+	n := int64(4 << 10)
+	if res.Layout != nil {
+		n += cellCost(res.Layout.Cell)
+	}
+	if res.Array != nil {
+		n += int64(len(res.Array.Terms)) * 256
+	}
+	return n
+}
+
+func ringCost(r *pads.Ring) int64 {
+	n := int64(4 << 10)
+	for _, w := range r.Wires {
+		n += int64(len(w.Path))*32 + 64
+	}
+	if r.Cell != nil {
+		n += int64(len(r.Cell.Boxes))*40 + int64(len(r.Cell.Insts))*96
+		for _, w := range r.Cell.Wires {
+			n += int64(len(w.Path))*32 + 24
+		}
+	}
+	return n
+}
+
+// ---- disk codec for stretched cells -------------------------------------
+
+// encodeCell renders a stretched cell for the disk layer. Stretched cells
+// are leaves with all-exported fields end to end (mask, sticks, netlist,
+// logic), so gob reproduces them byte-identically — pinned by the incr
+// round-trip test.
+func encodeCell(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v.(*cell.Cell)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeCell rehydrates a disk blob into a cell and reports its memory
+// cost for the LRU.
+func decodeCell(blob []byte) (any, int64, error) {
+	var c cell.Cell
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&c); err != nil {
+		return nil, 0, err
+	}
+	return &c, cellCost(&c), nil
+}

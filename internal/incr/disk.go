@@ -1,0 +1,89 @@
+package incr
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// diskStore is the persistent artifact layer: one blob file per key,
+// written atomically (temp file + rename) so a crashed daemon never leaves
+// a half-written artifact that a restart would decode. The layout mirrors
+// internal/cache's disk layer — flat directory, hex-key filenames — with a
+// small self-identifying header instead of a JSON key field (the payload
+// is an opaque gob blob, not JSON).
+type diskStore struct {
+	dir string
+}
+
+// magic heads every blob file; the key after it ties the payload to its
+// content address so a renamed or corrupted file cannot be served.
+const magic = "incr1\n"
+
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("incr dir: %w", err)
+	}
+	return &diskStore{dir: dir}, nil
+}
+
+func (d *diskStore) path(key string) (string, bool) {
+	// Keys are hex SHA-256; anything else is refused rather than used as a
+	// path component.
+	if len(key) != 64 || strings.IndexFunc(key, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) >= 0 {
+		return "", false
+	}
+	return filepath.Join(d.dir, key+".bin"), true
+}
+
+func (d *diskStore) get(key string) ([]byte, bool) {
+	p, ok := d.path(key)
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	want := []byte(magic + key + "\n")
+	if !bytes.HasPrefix(data, want) {
+		// Corrupt or mismatched entry: drop it so it cannot be served again.
+		os.Remove(p)
+		return nil, false
+	}
+	return data[len(want):], true
+}
+
+func (d *diskStore) put(key string, blob []byte) error {
+	p, ok := d.path(key)
+	if !ok {
+		return fmt.Errorf("incr: invalid key %q", key)
+	}
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write([]byte(magic + key + "\n")); err == nil {
+		_, err = tmp.Write(blob)
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}
+
+func (d *diskStore) remove(key string) {
+	if p, ok := d.path(key); ok {
+		os.Remove(p)
+	}
+}

@@ -3,6 +3,7 @@ package invariant
 import (
 	"encoding/json"
 	"flag"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -21,10 +22,12 @@ import (
 // `go test` fast. A failure names the generator seed, which reproduces the
 // spec exactly (specgen.FromSeed).
 var (
-	flagN     = flag.Int("invariant.n", 25, "generated specs per harness test")
-	flagPadsN = flag.Int("invariant.padsn", 10, "generated specs for the pads-enabled differential")
-	flagJobs  = flag.String("invariant.jobs", "1,4", "comma-separated pool sizes to diff (Passes 1 and 3)")
-	flagSeed  = flag.Int64("invariant.seed", 1979, "first generator seed")
+	flagN        = flag.Int("invariant.n", 25, "generated specs per harness test")
+	flagPadsN    = flag.Int("invariant.padsn", 10, "generated specs for the pads-enabled differential")
+	flagJobs     = flag.String("invariant.jobs", "1,4", "comma-separated pool sizes to diff (Passes 1 and 3)")
+	flagSeed     = flag.Int64("invariant.seed", 1979, "first generator seed")
+	flagEditSeqs = flag.Int("invariant.editseqs", 8, "edit sequences for the incremental differential")
+	flagEdits    = flag.Int("invariant.edits", 3, "edits per incremental sequence")
 )
 
 func harnessJobs(t *testing.T) []int {
@@ -101,6 +104,31 @@ func TestHarnessPadsDifferential(t *testing.T) {
 		}
 	}
 	t.Logf("pads differential: %d specs diffed at jobs=%v (first seed %d), %d with diffs", *flagPadsN, jobs, *flagSeed, bad)
+}
+
+// TestHarnessIncrementalDifferential is the incremental-compiler leg:
+// random edit sequences compiled through a warm artifact store must be
+// byte-identical to scratch compiles at every pool size. CI runs it wide
+// (-invariant.editseqs=100 -invariant.jobs=1,4,8); a failure names the
+// generator seed, which reproduces the base spec and the whole edit
+// sequence (specgen.FromSeed + specgen.MutateN with seed+1).
+func TestHarnessIncrementalDifferential(t *testing.T) {
+	jobs := harnessJobs(t)
+	bad := 0
+	for i := 0; i < *flagEditSeqs; i++ {
+		seed := *flagSeed + int64(i)
+		base := specgen.FromSeed(seed, nil)
+		seq := append([]*core.Spec{base},
+			specgen.MutateN(rand.New(rand.NewSource(seed+1)), base, *flagEdits)...)
+		if vs := DifferentialIncremental(seq, &core.Options{SkipPads: true}, jobs); len(vs) > 0 {
+			bad++
+			for _, v := range vs {
+				t.Errorf("seed %d (%s): %s", seed, base.Name, v)
+			}
+		}
+	}
+	t.Logf("incremental differential: %d sequences × %d edits at jobs=%v (first seed %d), %d with diffs",
+		*flagEditSeqs, *flagEdits, jobs, *flagSeed, bad)
 }
 
 // TestHarnessDaemon is the bristlec-vs-bbd leg: the daemon's HTTP answer

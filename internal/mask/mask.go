@@ -8,6 +8,7 @@ package mask
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"bristleblocks/internal/geom"
 	"bristleblocks/internal/layer"
@@ -57,6 +58,16 @@ type Cell struct {
 	Polys  []Poly
 	Labels []Label
 	Insts  []Inst
+
+	// bboxMemo caches BBox across calls: cells served from the artifact
+	// store (stretched leaves, the decoder layout, the pad ring) are
+	// measured by every compile that reuses them, and re-flattening their
+	// wires dominates an otherwise-warm compile. Every mutator method
+	// clears the memo; code that writes the exported slices directly (the
+	// stretch engine, celllib constructors) only touches cells that have
+	// never been measured. Atomic because cached cells are shared across
+	// concurrent compiles — racing writers store equal values.
+	bboxMemo atomic.Pointer[geom.Rect]
 }
 
 // NewCell returns an empty cell with the given name.
@@ -67,6 +78,7 @@ func (c *Cell) AddBox(l layer.Layer, r geom.Rect) {
 	if r.Empty() {
 		return
 	}
+	c.bboxMemo.Store(nil)
 	c.Boxes = append(c.Boxes, Box{l, r})
 }
 
@@ -77,6 +89,7 @@ func (c *Cell) AddWire(l layer.Layer, width geom.Coord, path ...geom.Point) {
 	}
 	cp := make([]geom.Point, len(path))
 	copy(cp, path)
+	c.bboxMemo.Store(nil)
 	c.Wires = append(c.Wires, Wire{l, width, cp})
 }
 
@@ -87,6 +100,7 @@ func (c *Cell) AddPoly(l layer.Layer, pts geom.Polygon) error {
 	}
 	cp := make(geom.Polygon, len(pts))
 	copy(cp, pts)
+	c.bboxMemo.Store(nil)
 	c.Polys = append(c.Polys, Poly{l, cp})
 	return nil
 }
@@ -98,12 +112,14 @@ func (c *Cell) AddLabel(text string, at geom.Point, l layer.Layer) {
 
 // Place adds an instance of sub at the given transform.
 func (c *Cell) Place(sub *Cell, t geom.Transform) *Inst {
+	c.bboxMemo.Store(nil)
 	c.Insts = append(c.Insts, Inst{Cell: sub, T: t})
 	return &c.Insts[len(c.Insts)-1]
 }
 
 // PlaceNamed adds a named instance of sub at the given transform.
 func (c *Cell) PlaceNamed(name string, sub *Cell, t geom.Transform) *Inst {
+	c.bboxMemo.Store(nil)
 	c.Insts = append(c.Insts, Inst{Cell: sub, T: t, Name: name})
 	return &c.Insts[len(c.Insts)-1]
 }
@@ -176,12 +192,26 @@ func (c *Cell) FlatRects() []LBox {
 	return out
 }
 
-// BBox returns the bounding box of all geometry under c.
+// BBox returns the bounding box of all geometry under c. Each cell's
+// local-frame bbox is memoized (see Cell.bboxMemo) and mapped through the
+// instance transform — exact because every transform is Manhattan
+// (ApplyRect is a bijection on rects that preserves unions) — so a cell
+// placed once per row, or reused from the artifact store by a later
+// compile, costs O(1) after its first measurement.
 func (c *Cell) BBox() geom.Rect {
+	if p := c.bboxMemo.Load(); p != nil {
+		return *p
+	}
 	var bb geom.Rect
-	c.Flatten(func(_ layer.Layer, r geom.Rect) {
+	c.localRects(geom.Identity, func(_ layer.Layer, r geom.Rect) {
 		bb = bb.Union(r)
 	})
+	for _, in := range c.Insts {
+		if sub := in.Cell.BBox(); !sub.Empty() {
+			bb = bb.Union(in.T.ApplyRect(sub))
+		}
+	}
+	c.bboxMemo.Store(&bb)
 	return bb
 }
 

@@ -58,6 +58,33 @@ func TestQuickBBoxTransformCommutes(t *testing.T) {
 	}
 }
 
+// TestQuickBBoxMatchesFlatten: the memoized BBox walk (shared subcells
+// measured once, instance transforms applied to cached local bboxes)
+// returns exactly the bbox of the flattened geometry, over random
+// hierarchies with a shared leaf placed at several orientations.
+func TestQuickBBoxMatchesFlatten(t *testing.T) {
+	f := func(orients [3]uint8, offs [3]int16, w, h uint8) bool {
+		leaf := NewCell("leaf")
+		leaf.AddBox(layer.Poly, geom.R(0, 0, geom.Coord(w%40)+4, geom.Coord(h%40)+4))
+		leaf.AddWire(layer.Metal, 4, geom.Point{X: 2, Y: 2}, geom.Point{X: 30, Y: 2})
+		mid := NewCell("mid")
+		mid.PlaceNamed("a", leaf, geom.At(geom.Orient(orients[0]%8), geom.Coord(offs[0]), 0))
+		mid.PlaceNamed("b", leaf, geom.At(geom.Orient(orients[1]%8), 0, geom.Coord(offs[1])))
+		top := NewCell("top")
+		top.PlaceNamed("m", mid, geom.At(geom.Orient(orients[2]%8), geom.Coord(offs[2]), geom.Coord(offs[2])))
+		top.PlaceNamed("l", leaf, geom.Identity)
+
+		var flat geom.Rect
+		top.Flatten(func(_ layer.Layer, r geom.Rect) {
+			flat = flat.Union(r)
+		})
+		return top.BBox() == flat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickDoubleMirrorIsIdentity: placing with MX twice (nested cells)
 // returns geometry to its original location.
 func TestQuickDoubleMirrorIsIdentity(t *testing.T) {

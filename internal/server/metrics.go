@@ -24,14 +24,15 @@ import (
 type metrics struct {
 	vars *expvar.Map
 
-	requests      *expvar.Int
-	inFlight      *expvar.Int
-	compiles      *expvar.Int
-	cacheServed   *expvar.Int
-	rejected      *expvar.Int
-	timeouts      *expvar.Int
-	badSpecs      *expvar.Int
-	compileErrors *expvar.Int
+	requests        *expvar.Int
+	inFlight        *expvar.Int
+	compiles        *expvar.Int
+	cacheServed     *expvar.Int
+	rejected        *expvar.Int
+	timeouts        *expvar.Int
+	badSpecs        *expvar.Int
+	compileErrors   *expvar.Int
+	sessionCompiles *expvar.Int
 
 	// Compiler-core build counters, accumulated over cold compiles: what
 	// the compiler built, not just how long it took.
@@ -76,6 +77,7 @@ func newMetrics(s *Server) *metrics {
 		timeouts:        new(expvar.Int),
 		badSpecs:        new(expvar.Int),
 		compileErrors:   new(expvar.Int),
+		sessionCompiles: new(expvar.Int),
 		coreCells:       new(expvar.Int),
 		coreStretches:   new(expvar.Int),
 		coreStretchDist: new(expvar.Int),
@@ -121,6 +123,21 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(s.jobs) }))
 	m.vars.Set("workers", expvar.Func(func() any { return s.cfg.Workers }))
 	m.vars.Set("flight_recorded", expvar.Func(func() any { return s.flight.Total() }))
+	m.vars.Set("session_compiles", m.sessionCompiles)
+	m.vars.Set("incr", expvar.Func(func() any {
+		c, created, expired, active := s.sessions.totals()
+		return map[string]any{
+			"hits":             c.Hits,
+			"misses":           c.Misses,
+			"evictions":        c.Evictions,
+			"invalidations":    c.Invalidations,
+			"entries":          c.Entries,
+			"bytes":            c.Bytes,
+			"sessions_active":  active,
+			"sessions_created": created,
+			"sessions_expired": expired,
+		}
+	}))
 	m.vars.Set("cache", expvar.Func(func() any {
 		c := s.cache.Counters()
 		return map[string]any{
@@ -217,6 +234,25 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 	p.Gauge("bbd_cache_entries", "Results resident in the in-memory cache layer.", float64(c.Entries))
 	p.Gauge("bbd_cache_bytes", "Bytes charged against the in-memory cache budget.", float64(c.Bytes))
 	p.Gauge("bbd_cache_hit_ratio", "hits/(hits+misses) since start.", s.cache.HitRatio())
+
+	// Incremental artifact stores: every session's store plus retired
+	// sessions' totals, so the counters are monotonic across churn.
+	ic, created, expired, active := s.sessions.totals()
+	p.Counter("bbd_incr_session_compiles_total", "Compiles answered through a session's warm artifact store.", float64(m.sessionCompiles.Value()))
+	p.Counter("bbd_incr_hits_total", "Artifact-store hits across all sessions (live and retired).", float64(ic.Hits))
+	p.Counter("bbd_incr_misses_total", "Artifact-store misses across all sessions (live and retired).", float64(ic.Misses))
+	p.Counter("bbd_incr_evictions_total", "Artifacts dropped by session LRU byte budgets.", float64(ic.Evictions))
+	p.Counter("bbd_incr_invalidations_total", "Artifacts displaced by spec edits (new variant of the same slot).", float64(ic.Invalidations))
+	p.Counter("bbd_incr_sessions_created_total", "Edit sessions ever opened.", float64(created))
+	p.Counter("bbd_incr_sessions_expired_total", "Edit sessions retired by TTL, LRU displacement, or DELETE.", float64(expired))
+	p.Gauge("bbd_incr_sessions_active", "Edit sessions currently live.", float64(active))
+	p.Gauge("bbd_incr_entries", "Artifacts resident across live session stores.", float64(ic.Entries))
+	p.Gauge("bbd_incr_bytes", "Bytes charged across live session store budgets.", float64(ic.Bytes))
+	if ic.Hits+ic.Misses > 0 {
+		p.Gauge("bbd_incr_hit_ratio", "Artifact-store hits/(hits+misses) across all sessions.", float64(ic.Hits)/float64(ic.Hits+ic.Misses))
+	} else {
+		p.Gauge("bbd_incr_hit_ratio", "Artifact-store hits/(hits+misses) across all sessions.", 0)
+	}
 
 	// Compiler-core gauges: what the compiler built.
 	p.Counter("bbd_core_cells_generated_total", "Distinct cell designs generated by Pass 1 across cold compiles.", float64(m.coreCells.Value()))

@@ -59,6 +59,16 @@ type Config struct {
 	// trees for /debug/compiles (<=0 = 128).
 	FlightRecorderSize int
 
+	// MaxSessions bounds concurrently live edit sessions; at capacity the
+	// least recently used session is retired (<=0 = 16).
+	MaxSessions int
+	// SessionTTL retires sessions idle this long (<=0 = 15m). Eviction is
+	// lazy, on the session request path.
+	SessionTTL time.Duration
+	// SessionCacheMB is each session's artifact-store byte budget in MiB
+	// (<=0 = 64).
+	SessionCacheMB int
+
 	// beforeCompile runs in the worker between claiming a job and compiling
 	// it. Tests use it to hold a worker busy deterministically — real specs
 	// compile in milliseconds, far too fast to occupy a pool on cue.
@@ -68,11 +78,12 @@ type Config struct {
 // Server is the compile service. Create with New, serve via Handler, stop
 // with Shutdown.
 type Server struct {
-	cfg    Config
-	cache  *cache.Cache
-	jobs   chan *job
-	logger *slog.Logger
-	flight *flightrec.Recorder
+	cfg      Config
+	cache    *cache.Cache
+	jobs     chan *job
+	logger   *slog.Logger
+	flight   *flightrec.Recorder
+	sessions *sessionTable
 
 	workerWG sync.WaitGroup
 	stateMu  sync.RWMutex // guards closed vs. sends on jobs
@@ -116,11 +127,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.Cache = c
 	}
 	s := &Server{
-		cfg:    cfg,
-		cache:  cfg.Cache,
-		jobs:   make(chan *job, cfg.QueueDepth),
-		logger: cfg.Logger,
-		flight: flightrec.New(cfg.FlightRecorderSize),
+		cfg:      cfg,
+		cache:    cfg.Cache,
+		jobs:     make(chan *job, cfg.QueueDepth),
+		logger:   cfg.Logger,
+		flight:   flightrec.New(cfg.FlightRecorderSize),
+		sessions: newSessionTable(cfg.MaxSessions, cfg.SessionTTL, cfg.SessionCacheMB),
 	}
 	if s.logger == nil {
 		s.logger = obs.NopLogger()
@@ -180,6 +192,8 @@ func (s *Server) worker() {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/session", s.handleSession)
+	mux.HandleFunc("/session/", s.handleSession)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	s.registerAdmin(mux)
 	return mux
@@ -273,6 +287,9 @@ type CompileResponse struct {
 	Logical     string          `json:"logical,omitempty"`
 	Trace       []trace.Span    `json:"trace,omitempty"`
 	TraceEvents json.RawMessage `json:"trace_events,omitempty"`
+	// Incr appears only on session compiles: this request's artifact-store
+	// outcomes and the session store's occupancy.
+	Incr *IncrCounters `json:"incr,omitempty"`
 }
 
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {

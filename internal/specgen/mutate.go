@@ -1,0 +1,154 @@
+package specgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+)
+
+// Mutate returns a copy of spec with one random valid edit applied — the
+// unit of change the incremental compiler is measured against. Edit kinds:
+//
+//   - tweak one element parameter (a const value, a register count, an
+//     ALU operation, a decode guard's opcode);
+//   - add one element to, or remove one from, the middle of the list
+//     (skipped for specs with explicit bus ranges, which index element
+//     positions, and never touching the west-end anchor);
+//   - flip one conditional-assembly global.
+//
+// Like Generate, all randomness comes from r, so a (seed, edit-count)
+// pair fully identifies an edit sequence. The result always differs from
+// the input (compared by desc.Format) and always passes Validate; Mutate
+// retries internally until both hold.
+func Mutate(r *rand.Rand, spec *core.Spec) *core.Spec {
+	g := &gen{r: r, cfg: &Config{}}
+	g.hasEN = hasField(spec, "EN")
+	before := desc.Format(spec)
+	for {
+		m := cloneSpec(spec)
+		g.applyEdit(m)
+		if desc.Format(m) == before {
+			continue // no-op edit (e.g. rerolled the same value); try again
+		}
+		if m.Validate() != nil {
+			continue
+		}
+		return m
+	}
+}
+
+// MutateN applies n successive Mutate edits, returning every intermediate
+// spec (length n, final spec last) — one harness edit sequence.
+func MutateN(r *rand.Rand, spec *core.Spec, n int) []*core.Spec {
+	out := make([]*core.Spec, n)
+	cur := spec
+	for i := range out {
+		cur = Mutate(r, cur)
+		out[i] = cur
+	}
+	return out
+}
+
+func hasField(spec *core.Spec, name string) bool {
+	for _, f := range spec.Microcode.Fields {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// cloneSpec deep-copies the mutable parts of a spec (elements, params,
+// globals); the microcode format and bus ranges are shared read-only.
+func cloneSpec(spec *core.Spec) *core.Spec {
+	m := *spec
+	m.Elements = make([]core.ElementSpec, len(spec.Elements))
+	for i, e := range spec.Elements {
+		m.Elements[i] = e
+		m.Elements[i].Params = make(map[string]string, len(e.Params))
+		for k, v := range e.Params {
+			m.Elements[i].Params[k] = v
+		}
+	}
+	if spec.Globals != nil {
+		m.Globals = make(map[string]bool, len(spec.Globals))
+		for k, v := range spec.Globals {
+			m.Globals[k] = v
+		}
+	}
+	return &m
+}
+
+// applyEdit applies one randomly chosen edit in place. Structural edits
+// (add/remove) are disabled for specs with explicit bus ranges: ranges
+// index the element list, so inserting or deleting would shift every
+// segment boundary rather than model a local edit.
+func (g *gen) applyEdit(spec *core.Spec) {
+	structural := len(spec.Buses) == 0
+	n := 2
+	if structural {
+		n = 4
+	}
+	if len(spec.Globals) > 0 {
+		n++
+	}
+	switch k := g.intn(n); {
+	case k < 2:
+		g.tweakParam(&spec.Elements[g.intn(len(spec.Elements))])
+	case structural && k == 2:
+		// Insert a fresh middle element after the anchor — and before an
+		// east-end I/O port, which the compiler requires to stay last.
+		hi := len(spec.Elements)
+		if spec.Elements[hi-1].Kind == "ioport" && hi > 1 {
+			hi--
+		}
+		at := 1 + g.intn(hi)
+		e := g.middleElement(fmt.Sprintf("m%d", g.intn(1000)), spec)
+		spec.Elements = append(spec.Elements[:at],
+			append([]core.ElementSpec{e}, spec.Elements[at:]...)...)
+	case structural && k == 3:
+		// Remove a non-anchor element (keep at least the anchor).
+		if len(spec.Elements) > 1 {
+			at := 1 + g.intn(len(spec.Elements)-1)
+			spec.Elements = append(spec.Elements[:at], spec.Elements[at+1:]...)
+		}
+	default:
+		for name := range spec.Globals { // single-global maps in practice
+			spec.Globals[name] = !spec.Globals[name]
+			break
+		}
+	}
+}
+
+// tweakParam edits one parameter of one element, staying inside the
+// element kind's vocabulary.
+func (g *gen) tweakParam(e *core.ElementSpec) {
+	switch e.Kind {
+	case "const":
+		e.Params["value"] = fmt.Sprint(g.intn(256))
+	case "alu":
+		if g.chance(1, 2) {
+			ops := []string{"add", "and", "or", "xor", "nand"}
+			e.Params["op"] = ops[g.intn(len(ops))]
+		} else {
+			e.Params["rd"] = g.op()
+		}
+	case "registers", "dualreg":
+		if g.chance(1, 2) {
+			e.Params["ld"] = g.guard()
+		} else {
+			e.Params["rd"] = g.guard()
+		}
+	case "ioport":
+		e.Params["io"] = g.op()
+	default: // shifter, xfer, ...
+		for _, p := range []string{"ld", "rd", "x"} {
+			if _, ok := e.Params[p]; ok {
+				e.Params[p] = g.op()
+				return
+			}
+		}
+	}
+}

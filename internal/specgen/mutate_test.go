@@ -1,0 +1,102 @@
+package specgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+)
+
+// TestMutateDeterministic: a (seed, edit index) pair fully identifies an
+// edit sequence, the property the differential harness reproduces from.
+func TestMutateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		base := FromSeed(seed, nil)
+		a := MutateN(rand.New(rand.NewSource(seed+1000)), base, 4)
+		b := MutateN(rand.New(rand.NewSource(seed+1000)), base, 4)
+		for i := range a {
+			if desc.Format(a[i]) != desc.Format(b[i]) {
+				t.Fatalf("seed %d edit %d: two runs diverge", seed, i)
+			}
+		}
+	}
+}
+
+// TestMutateAlwaysChangesAndValidates: every edit produces a spec that
+// differs from its input and passes Validate — Mutate's two contracts.
+func TestMutateAlwaysChangesAndValidates(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		spec := FromSeed(seed, nil)
+		prev := desc.Format(spec)
+		for i := 0; i < 5; i++ {
+			spec = Mutate(r, spec)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("seed %d edit %d: invalid spec: %v\n%s", seed, i, err, desc.Format(spec))
+			}
+			cur := desc.Format(spec)
+			if cur == prev {
+				t.Fatalf("seed %d edit %d: edit was a no-op", seed, i)
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestMutateDoesNotAliasInput: Mutate must return a deep copy — editing
+// the result never reaches the input spec (the harness compares the two).
+func TestMutateDoesNotAliasInput(t *testing.T) {
+	base := FromSeed(7, nil)
+	before := desc.Format(base)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		Mutate(r, base)
+		if desc.Format(base) != before {
+			t.Fatalf("edit %d mutated the input spec", i)
+		}
+	}
+}
+
+// TestMutatePreservesStructuralInvariants: bus-segmented specs keep their
+// element count (ranges index positions), and every spec keeps its
+// west-end anchor.
+func TestMutatePreservesStructuralInvariants(t *testing.T) {
+	structuralSeen := false
+	for seed := int64(0); seed < 60; seed++ {
+		base := FromSeed(seed, nil)
+		r := rand.New(rand.NewSource(seed))
+		cur := base
+		for i := 0; i < 4; i++ {
+			next := Mutate(r, cur)
+			if len(base.Buses) > 0 && len(next.Elements) != len(cur.Elements) {
+				t.Fatalf("seed %d: structural edit on a bus-segmented spec", seed)
+			}
+			if len(next.Elements) != len(cur.Elements) {
+				structuralSeen = true
+			}
+			if next.Elements[0].Name != base.Elements[0].Name {
+				t.Fatalf("seed %d: west-end anchor edited away", seed)
+			}
+			cur = next
+		}
+	}
+	if !structuralSeen {
+		t.Fatal("no structural edit across 60 seeds: add/remove arm dead")
+	}
+}
+
+// TestMutatedSpecsCompile: the edit vocabulary stays inside what the
+// compiler accepts — every edited spec compiles.
+func TestMutatedSpecsCompile(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		spec := FromSeed(seed, nil)
+		for i := 0; i < 3; i++ {
+			spec = Mutate(r, spec)
+			if _, err := core.Compile(spec, &core.Options{SkipPads: true}); err != nil {
+				t.Fatalf("seed %d edit %d (%s): %v\n%s", seed, i, spec.Name, err, desc.Format(spec))
+			}
+		}
+	}
+}

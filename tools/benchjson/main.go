@@ -1,14 +1,16 @@
 // Benchjson runs the repo's headline benchmarks through testing.Benchmark
 // and writes the results as one JSON document, so a PR can commit a
-// machine-readable performance snapshot (BENCH_PR5.json) instead of pasting
-// `go test -bench` output into a description. The numbers answer four
+// machine-readable performance snapshot (BENCH_PR6.json) instead of pasting
+// `go test -bench` output into a description. The numbers answer five
 // questions: how long a compile takes cold (small and large), how much
-// faster the warm cache path is, what the Pass 1 fan-out buys over serial,
-// and what the Pass 3 A* rework buys over the seed Lee router.
+// faster the warm cache path is, what the Pass 1 fan-out buys over serial
+// (at the host's GOMAXPROCS and pinned to 4), what the Pass 3 A* rework
+// buys over the seed Lee router, and what the per-cell artifact store
+// saves on a one-cell spec edit (the session/watch workload).
 //
 // Usage:
 //
-//	go run ./tools/benchjson                # write BENCH_PR5.json
+//	go run ./tools/benchjson                # write BENCH_PR6.json
 //	go run ./tools/benchjson -o bench.json  # choose the output path
 //	go run ./tools/benchjson -benchtime 2s  # run each arm longer
 package main
@@ -21,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -28,7 +31,9 @@ import (
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/desc"
 	"bristleblocks/internal/experiments"
+	"bristleblocks/internal/incr"
 	"bristleblocks/internal/pads"
+	"bristleblocks/internal/trace"
 )
 
 // result is one benchmark arm's summary.
@@ -68,6 +73,22 @@ type report struct {
 	// CorePassParallelSpeedup is core_pass_serial / core_pass_parallel:
 	// what the Pass 1 fan-out buys on this machine.
 	CorePassParallelSpeedup float64 `json:"core_pass_parallel_speedup"`
+	// CorePassParallelSpeedupG4 is the same ratio with GOMAXPROCS pinned
+	// to 4 — the ROADMAP rerun that asks whether the serial column-order
+	// fan-in caps the fan-out win. On a single-core container the pin only
+	// multiplexes goroutines, so ~1x here is scheduling, not Amdahl.
+	CorePassParallelSpeedupG4 float64 `json:"core_pass_parallel_speedup_g4"`
+	// CorePassSerialShare is the fraction of a serial Pass 1 spent outside
+	// the gen.*/stretch.* pool spans (bus planning, the power vote, and
+	// the column-order assembly fan-in) — the Amdahl ceiling on
+	// core_pass_parallel_speedup regardless of core count.
+	CorePassSerialShare float64 `json:"core_pass_serial_share"`
+	// IncrementalEditSpeedup is incr_cold_edit / incr_warm_edit: what the
+	// per-cell artifact store saves when one element of the large chip is
+	// edited and everything else is reused warm.
+	IncrementalEditSpeedup float64 `json:"incremental_edit_speedup"`
+	// IncrHitRatio is the artifact-store hit ratio over the warm-edit arm.
+	IncrHitRatio float64 `json:"incr_hit_ratio"`
 	// PadPassSpeedupJ8 is route_pass_seed / route_pass_parallel_j8 on
 	// pad-pass wall-clock: what the A* router and speculative fan-out buy
 	// over the seed Lee router across examples/chips at -j 8.
@@ -82,7 +103,7 @@ func main() {
 	// testing.Benchmark reads the test.benchtime flag, which only exists
 	// after testing.Init registers the testing flag set.
 	testing.Init()
-	out := flag.String("o", "BENCH_PR5.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR6.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark arm")
 	flag.Parse()
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -173,6 +194,87 @@ func main() {
 	serial := run("core_pass_serial", corePass(1))
 	par := run("core_pass_parallel", corePass(0))
 
+	// The ROADMAP rerun: the same two arms with GOMAXPROCS pinned to 4,
+	// so the ratio is measured above one scheduler thread even on a
+	// single-core container (where it exercises goroutine multiplexing,
+	// not real cores).
+	prevProcs := runtime.GOMAXPROCS(4)
+	serialG4 := run("core_pass_serial_g4", corePass(1))
+	parG4 := run("core_pass_parallel_g4", corePass(0))
+	runtime.GOMAXPROCS(prevProcs)
+
+	// Serial-share probe for the fan-in finding: one traced serial Pass 1
+	// over the xl chip. Everything inside pass.core but outside the
+	// gen.*/stretch.* pool spans is coordinator work — bus planning, the
+	// power vote, and the column-order assembly fan-in — and bounds the
+	// parallel speedup no matter how many cores the pool gets.
+	for probe := 0; probe < 7; probe++ { // best-of-7 to damp scheduler noise
+		tr := trace.New()
+		if _, err := core.CompileCtx(trace.WithTrace(ctx, tr), xl,
+			&core.Options{Parallelism: 1, SkipPads: true, SkipExtraReps: true}); err != nil {
+			fatal(err)
+		}
+		var coreUS, poolUS int64
+		for _, sp := range tr.Spans() {
+			switch {
+			case sp.Name == "pass.core":
+				coreUS = sp.DurUS
+			case strings.HasPrefix(sp.Name, "gen.") || strings.HasPrefix(sp.Name, "stretch."):
+				poolUS += sp.DurUS
+			}
+		}
+		if coreUS > 0 {
+			if share := 1 - float64(poolUS)/float64(coreUS); probe == 0 || share < rep.CorePassSerialShare {
+				rep.CorePassSerialShare = share
+			}
+		}
+	}
+
+	// Incremental one-cell edit: the session/watch workload's inner loop.
+	// Each iteration moves the large chip's constant to a fresh two-bit
+	// value (same popcount, so the voted globals and chip bounds stay
+	// pinned; top row untouched, so the decoder's drop offsets — and with
+	// them the Pass 2 artifact — stay valid) and recompiles. The cold arm
+	// runs the same edit sequence from scratch; the warm arm compiles
+	// against a per-session artifact store, so only the edited element
+	// regenerates. Both arms skip the extra representations, matching the
+	// watch loop's CIF-only cycle.
+	editSpec := experiments.SpecFor(experiments.Suite[4])
+	editAt := len(editSpec.Elements) - 1 // the const element
+	editOpts := &core.Options{SkipExtraReps: true}
+	setEdit := func(i int) {
+		editSpec.Elements[editAt].Params["value"] = fmt.Sprint(3 << uint(i%(editSpec.DataWidth-2)))
+	}
+	coldEdit := run("incr_cold_edit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			setEdit(i)
+			if _, err := core.CompileCtx(ctx, editSpec, editOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	store, err := incr.New(0, "")
+	if err != nil {
+		fatal(err)
+	}
+	sctx := incr.WithStore(ctx, store)
+	setEdit(0)
+	if _, err := core.CompileCtx(sctx, editSpec, editOpts); err != nil {
+		fatal(err)
+	}
+	incrBefore := store.Counters()
+	warmEdit := run("incr_warm_edit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			setEdit(i + 1)
+			if _, err := core.CompileCtx(sctx, editSpec, editOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	incrAfter := store.Counters()
+
 	// Pass 3 over every example chip: the seed router (Lee wavefront,
 	// pure serial commit) against the A* speculative pipeline at -j 1 and
 	// -j 8. time/op includes Passes 1-2; the comparison lives in the
@@ -215,6 +317,15 @@ func main() {
 	if par.NSPerOp > 0 {
 		rep.CorePassParallelSpeedup = float64(serial.NSPerOp) / float64(par.NSPerOp)
 	}
+	if parG4.NSPerOp > 0 {
+		rep.CorePassParallelSpeedupG4 = float64(serialG4.NSPerOp) / float64(parG4.NSPerOp)
+	}
+	if warmEdit.NSPerOp > 0 {
+		rep.IncrementalEditSpeedup = float64(coldEdit.NSPerOp) / float64(warmEdit.NSPerOp)
+	}
+	if dh, dm := incrAfter.Hits-incrBefore.Hits, incrAfter.Misses-incrBefore.Misses; dh+dm > 0 {
+		rep.IncrHitRatio = float64(dh) / float64(dh+dm)
+	}
 	if routeJ8.PadsMSPerOp > 0 {
 		rep.PadPassSpeedupJ8 = routeSeed.PadsMSPerOp / routeJ8.PadsMSPerOp
 	}
@@ -230,8 +341,9 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx, pad-pass speedup %.2fx (j8) -> %s\n",
-		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, rep.PadPassSpeedupJ8, *out)
+	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f) -> %s\n",
+		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, rep.CorePassParallelSpeedupG4,
+		rep.CorePassSerialShare, rep.PadPassSpeedupJ8, rep.IncrementalEditSpeedup, rep.IncrHitRatio, *out)
 }
 
 // chipsSpecs parses every description under examples/chips — the same

@@ -1,11 +1,12 @@
 // Obssmoke is the observability smoke checker CI runs against a live bbd:
-// it boots the daemon binary, compiles an example chip through it, then
-// scrapes and validates every operator surface — /metrics parses as
-// Prometheus text format with the compiler-core gauges populated,
-// /debug/vars is JSON with percentile fields on the histograms,
-// /debug/compiles holds the compile's flight record with a complete span
-// tree, and /debug/pprof/profile serves a CPU profile. A daemon whose
-// dashboards would be blank fails here, before it ships.
+// it boots the daemon binary, compiles an example chip through it, runs an
+// edit session (open, compile, recompile one edit, close), then scrapes
+// and validates every operator surface — /metrics parses as Prometheus
+// text format with the compiler-core gauges and the bbd_incr_* session
+// counters populated, /debug/vars is JSON with percentile fields on the
+// histograms, /debug/compiles holds the compile's flight record with a
+// complete span tree, and /debug/pprof/profile serves a CPU profile. A
+// daemon whose dashboards would be blank fails here, before it ships.
 //
 // Usage:
 //
@@ -88,8 +89,64 @@ func main() {
 	}
 	step("compiled %s cold (request %s)", compile.Chip, compile.RequestID)
 
+	// An edit session: open, compile the spec twice (the second with one
+	// edited constant), close. The second compile must answer mostly from
+	// the session's warm artifact store — a session that silently recompiles
+	// from scratch would still return correct CIF, so only the incr counters
+	// catch it.
+	sresp, err := http.Post(base+"/session", "", nil)
+	if err != nil {
+		fatal(err)
+	}
+	var sess struct {
+		SessionID string `json:"session_id"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&sess); err != nil {
+		fatal(fmt.Errorf("POST /session: %w", err))
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusCreated || sess.SessionID == "" {
+		fatal(fmt.Errorf("POST /session: status %d, id %q", sresp.StatusCode, sess.SessionID))
+	}
+	sessionCompile := func(text string) (hits, misses int64) {
+		resp, err := http.Post(base+"/session/"+sess.SessionID+"/compile", "text/plain", strings.NewReader(text))
+		if err != nil {
+			fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("session compile: status %d: %s", resp.StatusCode, body))
+		}
+		var sc struct {
+			Incr *struct {
+				Hits   int64 `json:"hits"`
+				Misses int64 `json:"misses"`
+			} `json:"incr"`
+		}
+		if err := json.Unmarshal(body, &sc); err != nil || sc.Incr == nil {
+			fatal(fmt.Errorf("session compile response has no incr counters: %v", err))
+		}
+		return sc.Incr.Hits, sc.Incr.Misses
+	}
+	sessionCompile(string(spec))
+	edited := strings.Replace(string(spec), "value=1", "value=13", 1)
+	if edited == string(spec) {
+		fatal(fmt.Errorf("spec %s has no value=1 constant to edit", *specPath))
+	}
+	hits, misses := sessionCompile(edited)
+	if hits == 0 || hits <= misses {
+		fatal(fmt.Errorf("session one-edit recompile: %d hits, %d misses (want mostly hits)", hits, misses))
+	}
+	dreq, _ := http.NewRequest(http.MethodDelete, base+"/session/"+sess.SessionID, nil)
+	if dresp, err := http.DefaultClient.Do(dreq); err != nil || dresp.StatusCode != http.StatusNoContent {
+		fatal(fmt.Errorf("DELETE /session/%s failed", sess.SessionID))
+	}
+	step("session one-edit recompile: %d artifact hits, %d misses", hits, misses)
+
 	// /metrics parses as Prometheus exposition and the compiler-core
-	// gauges reflect the compile that just ran.
+	// gauges reflect the compiles that just ran — including the session
+	// counters, which must survive the session's retirement.
 	page, err := scrapeProm(base + "/metrics")
 	if err != nil {
 		fatal(err)
@@ -97,9 +154,11 @@ func main() {
 	for _, name := range []string{
 		"bbd_requests_total", "bbd_compiles_total",
 		"bbd_core_cells_generated_total", "bbd_core_pitch_lambda",
+		"bbd_incr_session_compiles_total", "bbd_incr_hits_total",
+		"bbd_incr_sessions_created_total", "bbd_incr_sessions_expired_total",
 	} {
 		if v, ok := page.Get(name); !ok || v <= 0 {
-			fatal(fmt.Errorf("/metrics %s = %v,%v (want > 0 after a cold compile)", name, v, ok))
+			fatal(fmt.Errorf("/metrics %s = %v,%v (want > 0 after a cold compile and a session)", name, v, ok))
 		}
 	}
 	if page.Types["bbd_request_latency_ms"] != "histogram" {
