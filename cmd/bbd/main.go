@@ -17,7 +17,7 @@
 //
 // Endpoints:
 //
-//	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skiproto=1&evenpads=1&skipreps=1][&trace=1|chrome]
+//	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skipmin=1&skiproto=1&evenpads=1&skipreps=1][&trace=1|chrome]
 //	POST /session                  open an edit session (warm per-client artifact store)
 //	POST /session/{id}/compile     incremental compile (same query options as /compile)
 //	DELETE /session/{id}           close a session
@@ -34,6 +34,15 @@
 // trace_event JSON ready for Perfetto. Every response carries an
 // X-Request-Id header that keys into the flight recorder and the log
 // stream.
+//
+// Every cold compile is verified before it is served: the daemon replays
+// the microcode program space against both the decoder's logic
+// representation and the compiled switch-level simulator and pages (via
+// the log stream and the bbd_verify_* metrics) if the two ever disagree.
+// Cache hits skip verification — the stored result already passed.
+// -verify-disable turns the check off for benchmarking. The skipmin=1
+// query option disables the Pass 2 PLA minimizer for one compile (the
+// bbd_pla_* metrics expose what the minimizer saves when it is on).
 //
 // By default the admin endpoints share the serving port; -admin-addr moves
 // them to a second listener so the serving port can face untrusted clients
@@ -76,6 +85,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "concurrently live edit sessions; at capacity the LRU session is retired (0 = 16)")
 	sessionTTL := flag.Duration("session-ttl", 0, "idle deadline after which an edit session expires (0 = 15m)")
 	sessionCacheMB := flag.Int("session-cache-mb", 0, "per-session artifact store budget in MiB (0 = 64)")
+	verifyDisable := flag.Bool("verify-disable", false, "skip the logic-vs-simulation check on cold compiles (benchmarking only)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: bbd [flags]")
@@ -105,6 +115,7 @@ func main() {
 		MaxSessions:        *maxSessions,
 		SessionTTL:         *sessionTTL,
 		SessionCacheMB:     *sessionCacheMB,
+		DisableVerify:      *verifyDisable,
 	})
 	if err != nil {
 		logger.Error("server init failed", "err", err)

@@ -1,0 +1,28 @@
+# A microcoded 4-bit processor slice with vertical microcode: a single OP
+# field names the operation and the decoder PLA derives every control
+# line from it. The guards use the whole decode language — OR
+# alternatives, field equality, negation — and leave real work for the
+# Pass 2 minimizer: the bus bridge runs on every op between HALT (OP=0)
+# and NOP (OP=15), a guard whose sum-of-products form is twelve
+# overlapping terms before minimization.
+chip microproc
+lambda 250
+
+microcode width 7
+field OP  0 4    ; operation code (0 = halt, 15 = nop)
+field SEL 4 2    ; register select
+field EN  6 1    ; execute enable for the constant source
+
+data width 4
+bus A 0 -1
+bus B 0 -1
+
+# op 1: connect the I/O port          op 4, 6: latch ALU operand a
+# op 2, 6: load selected register     op 5: latch ALU operand b
+# op 3: drive selected register       op 6: drive ALU sum
+# op 5 & EN: drive constant 1 (bus B) op != 0, 15: bridge the buses
+element io  ioport    io="OP=1" class=io
+element rf  registers count=3 ld="(OP=2 | OP=6) & SEL={i}" rd="OP=3 & SEL={i}"
+element alu alu       lda="OP=4 | OP=6" ldb="OP=5" rd="OP=6" op=add
+element k1  const     value=1 rd="OP=5 & EN=1" bus=B
+element x   xfer      x="!(OP=0) & !(OP=15)"

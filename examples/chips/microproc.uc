@@ -1,0 +1,13 @@
+; Count to four on the microproc chip. One word is one two-phase cycle;
+; a value must be on a bus in the same word that latches it.
+;
+; OP=6 is a one-word accumulate: the ALU drives a+b onto bus A, register
+; rf0 loads the sum, and the ALU re-latches it as the next operand a.
+
+OP=5 EN=1       ; constant 1 on bus B, bridged to A; ALU latches b=1
+
+.repeat 4
+OP=6 SEL=0      ; ALU drives a+b; rf0 loads it; a latches the new sum
+.end
+
+OP=3 SEL=0      ; rf0 drives the final count (4) onto bus A

@@ -40,8 +40,8 @@ func Key(spec *core.Spec, opts *core.Options) string {
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\x00", core.Version)
-	fmt.Fprintf(h, "opts:%t,%t,%t,%t,%t\x00", opts.SkipOptimize, opts.SkipRotoRouter,
-		opts.EvenPads, opts.SkipPads, opts.SkipExtraReps)
+	fmt.Fprintf(h, "opts:%t,%t,%t,%t,%t,%t\x00", opts.SkipOptimize, opts.SkipMinimize,
+		opts.SkipRotoRouter, opts.EvenPads, opts.SkipPads, opts.SkipExtraReps)
 	h.Write([]byte(desc.Format(spec)))
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -208,23 +208,32 @@ func (c *Cache) HitRatio() float64 {
 // context records the lookup (with its hit/miss outcome) ahead of any
 // compile spans.
 func (c *Cache) Compile(ctx context.Context, spec *core.Spec, opts *core.Options) (*Result, bool, error) {
+	res, _, hit, err := c.CompileChip(ctx, spec, opts)
+	return res, hit, err
+}
+
+// CompileChip is Compile, additionally returning the compiled chip on a
+// cold miss (nil on a hit — cached results don't carry a chip). The
+// daemon's per-compile verifier runs on that chip; plain Compile callers
+// can keep ignoring it.
+func (c *Cache) CompileChip(ctx context.Context, spec *core.Spec, opts *core.Options) (*Result, *core.Chip, bool, error) {
 	tr := trace.FromContext(ctx)
 	key := Key(spec, opts)
 	t0 := time.Now()
 	res, ok := c.Get(key)
 	tr.Lookup(trace.SpanFromContext(ctx), time.Since(t0), ok)
 	if ok {
-		return res, true, nil
+		return res, nil, true, nil
 	}
 	chip, err := core.CompileCtx(ctx, spec, opts)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	res, err = Render(chip)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 	res.Key = key
 	c.Put(key, res)
-	return res, false, nil
+	return res, chip, false, nil
 }

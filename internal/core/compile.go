@@ -32,6 +32,9 @@ import (
 type Options struct {
 	// SkipOptimize disables decoder optimization (A3).
 	SkipOptimize bool
+	// SkipMinimize keeps the seed decoder optimizer but disables the
+	// Espresso-style minimization pass. Ignored when SkipOptimize is set.
+	SkipMinimize bool
 	// SkipRotoRouter pins pad rotation 0 (A2).
 	SkipRotoRouter bool
 	// EvenPads places the pads at the exact even division of the ring
@@ -74,6 +77,13 @@ type Stats struct {
 	WireLen     geom.Coord
 	PowerUA     int
 	DecoderOpt  decoder.OptStats
+
+	// PLA minimization results (Fast Pass 2): term rows before and after
+	// the full Pass 2 optimizer pipeline, and the PLA area (λ²) the shrink
+	// bought. Exported as bbd_pla_* gauges.
+	PlaTermsBefore      int
+	PlaTermsAfter       int
+	PlaAreaSavedLambda2 float64
 
 	// Per-pass build counters: what the compiler actually did, exported as
 	// compiler-core gauges on the daemon's /metrics endpoint. All are
@@ -125,13 +135,17 @@ type Chip struct {
 	columns []*column
 	plan    *bus.Plan
 
+	// p2Key is the decoder build's content address (set by controlPass even
+	// without a store attached); CompiledDecoderLogic keys off it.
+	p2Key string
+
 	gndTrunkAt, vddTrunkAt geom.Point
 }
 
 // Version identifies the compiler for content-addressed caching: any
 // change that can alter the compiled output for the same (spec, options)
 // pair must bump it, or cache layers will serve stale results.
-const Version = "bristleblocks-5"
+const Version = "bristleblocks-6"
 
 // Compile runs the three-pass silicon compiler on the specification.
 func Compile(spec *Spec, opts *Options) (*Chip, error) {
@@ -677,11 +691,12 @@ func (c *Chip) controlPass(ctx context.Context) error {
 	// assembly places its layout, NewSim shares its Decode closure — so it
 	// is served without cloning.
 	store := incr.FromContext(ctx)
-	var p2Key string
+	// The key is computed even without a store: CompiledDecoderLogic keys
+	// its memoized logic program off it.
+	c.p2Key = p2KeyFor(spec, specs, ctlX, clockX, c.Options.SkipOptimize, c.Options.SkipMinimize)
 	var res *decoder.Result
 	if store != nil {
-		p2Key = p2KeyFor(spec, specs, ctlX, clockX, c.Options.SkipOptimize)
-		if v, ok := store.Get(p2Key); ok {
+		if v, ok := store.Get(c.p2Key); ok {
 			res = v.(*decoder.Result)
 			trace.SpanFromContext(ctx).Attr("cache", "hit")
 		} else {
@@ -692,6 +707,8 @@ func (c *Chip) controlPass(ctx context.Context) error {
 		var err error
 		res, err = decoder.Build(spec.Microcode, specs, &decoder.Options{
 			SkipOptimize: c.Options.SkipOptimize,
+			SkipMinimize: c.Options.SkipMinimize,
+			Parallelism:  c.Options.Parallelism,
 			CtlX:         ctlX,
 			ClockX:       clockX,
 		})
@@ -699,7 +716,7 @@ func (c *Chip) controlPass(ctx context.Context) error {
 			return err
 		}
 		if store != nil {
-			store.Put("p2:"+spec.Name, p2Key, res, decoderCost(res))
+			store.Put("p2:"+spec.Name, c.p2Key, res, decoderCost(res))
 		}
 	}
 	c.Decoder = res
@@ -727,6 +744,9 @@ func (c *Chip) controlPass(ctx context.Context) error {
 	c.Stats.Controls = len(specs)
 	c.Stats.PLATerms = len(res.Array.Terms)
 	c.Stats.DecoderOpt = res.Stats
+	c.Stats.PlaTermsBefore = res.Stats.TermsBefore
+	c.Stats.PlaTermsAfter = res.Stats.TermsAfter
+	c.Stats.PlaAreaSavedLambda2 = res.AreaSavedLambda2()
 	c.Stats.ControlJoins = len(ctlX)
 	for _, xs := range clockX {
 		c.Stats.ControlJoins += len(xs)
@@ -910,6 +930,49 @@ func (c *Chip) NewSim() (*sim.Chip, error) {
 		}
 	}
 	return ch, nil
+}
+
+// NewCompiledSim builds the Simulation representation on the compiled
+// stepping backend: same buses and models as NewSim, but decode runs on
+// the mask-form decoder and the phase pipeline on pre-bound closure
+// chains (see sim.Compile). The chip must carry a decoder (i.e. not be a
+// SkipExtraReps compile).
+func (c *Chip) NewCompiledSim() (*sim.Compiled, error) {
+	ch, err := c.NewSim()
+	if err != nil {
+		return nil, err
+	}
+	if c.Decoder == nil || c.Decoder.Compiled == nil {
+		return nil, fmt.Errorf("core: chip %s has no compiled decoder", c.Spec.Name)
+	}
+	return sim.Compile(ch, c.Decoder.Compiled)
+}
+
+// CompiledDecoderLogic returns the decoder's Logic diagram compiled to
+// the slot evaluator, memoized in the artifact store (when one rides the
+// context) under the sim artifact kind keyed by the decoder build's
+// content address — the logic program is a pure function of the decoder,
+// so an unchanged decoder across edits reuses the compiled program.
+func (c *Chip) CompiledDecoderLogic(ctx context.Context) (*logic.Compiled, error) {
+	if c.Decoder == nil {
+		return nil, fmt.Errorf("core: chip %s has no decoder", c.Spec.Name)
+	}
+	store := incr.FromContext(ctx)
+	key := simKeyFor(c.p2Key)
+	if store != nil {
+		if v, ok := store.Get(key); ok {
+			return v.(*logic.Compiled), nil
+		}
+	}
+	d := c.Decoder.Array.Logic()
+	prog, err := logic.Compile(d)
+	if err != nil {
+		return nil, err
+	}
+	if store != nil {
+		store.Put("sim:"+c.Spec.Name, key, prog, logicCost(d))
+	}
+	return prog, nil
 }
 
 // Model returns a column's behavioural model by element name (for test

@@ -89,6 +89,25 @@ func (m *regModel) Sample(ctx *sim.Ctx) {
 	}
 }
 
+// Lower rebinds the control reads to decode-scratch slots for the
+// compiled stepper.
+func (m *regModel) Lower(b *sim.Binder) sim.Lowered {
+	rd, ld := b.Ctl(m.rdName), b.Ctl(m.ldName)
+	bus := b.Bus(m.busNet)
+	return sim.Lowered{
+		Drive: func(ph int) {
+			if ph == 1 && *rd {
+				bus.Write(m.val)
+			}
+		},
+		Sample: func(ph int) {
+			if ph == 1 && *ld {
+				m.val = bus.Read() & m.mask
+			}
+		},
+	}
+}
+
 // Value exposes the stored word for tests and traces.
 func (m *regModel) Value() uint64 { return m.val }
 
@@ -166,6 +185,24 @@ func (m *dualRegModel) Drive(ctx *sim.Ctx) {
 func (m *dualRegModel) Sample(ctx *sim.Ctx) {
 	if ctx.Phase == 1 && ctx.CtlBit(m.ldName) {
 		m.val = ctx.Bus(m.busANet).Read() & m.mask
+	}
+}
+
+// Lower rebinds the control reads for the compiled stepper.
+func (m *dualRegModel) Lower(b *sim.Binder) sim.Lowered {
+	rd, ld := b.Ctl(m.rdName), b.Ctl(m.ldName)
+	busA, busB := b.Bus(m.busANet), b.Bus(m.busBNet)
+	return sim.Lowered{
+		Drive: func(ph int) {
+			if ph == 1 && *rd {
+				busB.Write(m.val)
+			}
+		},
+		Sample: func(ph int) {
+			if ph == 1 && *ld {
+				m.val = busA.Read() & m.mask
+			}
+		},
 	}
 }
 
@@ -272,6 +309,46 @@ func (m *aluModel) Sample(ctx *sim.Ctx) {
 	}
 }
 
+// Lower rebinds the control reads and hoists the op dispatch for the
+// compiled stepper.
+func (m *aluModel) Lower(b *sim.Binder) sim.Lowered {
+	rd, lda, ldb := b.Ctl(m.rdName), b.Ctl(m.ldaName), b.Ctl(m.ldbName)
+	busA, busB := b.Bus(m.busANet), b.Bus(m.busBNet)
+	var op func(a, b uint64) uint64
+	switch m.op {
+	case "and":
+		op = func(a, b uint64) uint64 { return a & b }
+	case "or":
+		op = func(a, b uint64) uint64 { return (a | b) & m.mask }
+	case "xor":
+		op = func(a, b uint64) uint64 { return (a ^ b) & m.mask }
+	case "nand":
+		op = func(a, b uint64) uint64 { return ^(a & b) & m.mask }
+	default: // add
+		op = func(a, b uint64) uint64 { return (a + b) & m.mask }
+	}
+	return sim.Lowered{
+		Drive: func(ph int) {
+			if ph == 1 && *rd {
+				busA.Write(m.result)
+			}
+		},
+		Sample: func(ph int) {
+			switch ph {
+			case 1:
+				if *lda {
+					m.a = busA.Read() & m.mask
+				}
+				if *ldb {
+					m.b = busB.Read() & m.mask
+				}
+			case 2:
+				m.result = op(m.a, m.b)
+			}
+		},
+	}
+}
+
 // Result exposes the function unit's output for tests.
 func (m *aluModel) Result() uint64 { return m.result }
 
@@ -331,6 +408,24 @@ func (m *shiftModel) Sample(ctx *sim.Ctx) {
 	}
 }
 
+// Lower rebinds the control reads for the compiled stepper.
+func (m *shiftModel) Lower(b *sim.Binder) sim.Lowered {
+	rd, ld := b.Ctl(m.rdName), b.Ctl(m.ldName)
+	busA, busB := b.Bus(m.busANet), b.Bus(m.busBNet)
+	return sim.Lowered{
+		Drive: func(ph int) {
+			if ph == 1 && *rd {
+				busB.Write((m.val >> 1) & m.mask)
+			}
+		},
+		Sample: func(ph int) {
+			if ph == 1 && *ld {
+				m.val = busA.Read() & m.mask
+			}
+		},
+	}
+}
+
 // Value exposes the latch for tests.
 func (m *shiftModel) Value() uint64 { return m.val }
 
@@ -380,6 +475,19 @@ func (m *constModel) Drive(ctx *sim.Ctx) {
 	}
 }
 func (m *constModel) Sample(*sim.Ctx) {}
+
+// Lower rebinds the control read for the compiled stepper.
+func (m *constModel) Lower(b *sim.Binder) sim.Lowered {
+	rd := b.Ctl(m.rdName)
+	bus := b.Bus(m.busNet)
+	return sim.Lowered{
+		Drive: func(ph int) {
+			if ph == 1 && *rd {
+				bus.Write(m.value)
+			}
+		},
+	}
+}
 
 // genConst builds a constant source column. Parameters: value (decimal),
 // rd guard. Bit cells pick the minimum-area variant per bit value — the
@@ -460,6 +568,28 @@ func (m *ioModel) Sample(ctx *sim.Ctx) {
 	}
 }
 
+// Lower rebinds the control read and hoists the class check for the
+// compiled stepper.
+func (m *ioModel) Lower(b *sim.Binder) sim.Lowered {
+	io := b.Ctl(m.ioName)
+	bus := b.Bus(m.busNet)
+	low := sim.Lowered{
+		Sample: func(ph int) {
+			if ph == 1 && *io {
+				m.padOut = bus.Read() & m.mask
+			}
+		},
+	}
+	if m.class != "output" {
+		low.Drive = func(ph int) {
+			if ph == 1 && *io {
+				bus.Write(m.padIn & m.mask)
+			}
+		}
+	}
+	return low
+}
+
 // SetPads drives the input pads (test bench side).
 func (m *ioModel) SetPads(v uint64) { m.padIn = v }
 
@@ -523,6 +653,22 @@ func (m *xferModel) Resolve(ctx *sim.Ctx) {
 	and := a.Read() & b.Read()
 	a.Write(and)
 	b.Write(and)
+}
+
+// Lower rebinds the control read for the compiled stepper.
+func (m *xferModel) Lower(b *sim.Binder) sim.Lowered {
+	x := b.Ctl(m.xName)
+	busA, busB := b.Bus(m.busANet), b.Bus(m.busBNet)
+	return sim.Lowered{
+		Resolve: func(ph int) {
+			if ph != 1 || !*x {
+				return
+			}
+			and := busA.Read() & busB.Read()
+			busA.Write(and)
+			busB.Write(and)
+		},
+	}
 }
 
 // genXfer builds a bus bridge column. Parameter: x guard.

@@ -6,7 +6,7 @@ package core
 // default — no incr.WithStore on the context) takes none of these paths
 // and reproduces the uncached compiler exactly.
 //
-// Four artifact kinds, by pass unit:
+// Five artifact kinds, by pass unit:
 //
 //   - gen: one element's fan-out product ([]*column with unstretched
 //     cells and zero-state models), keyed by everything generation reads:
@@ -25,6 +25,11 @@ package core
 //     request list. Parallelism is excluded from every key for the same
 //     reason internal/cache excludes it: output is byte-identical at
 //     every pool width.
+//   - sim: the decoder's logic diagram compiled to the slot evaluator
+//     (logic.Compiled), keyed by the owning p2 key — a pure derivation of
+//     the decoder build, memoized so the per-compile logic-vs-simulator
+//     check pays compilation once per distinct decoder. Memory-only:
+//     closures don't gob.
 //
 // Keying by group ("gen:<chip>:<idx>:<elem>", "st:<cell-id>", ...) lets
 // the store count exactly which artifacts a spec edit invalidated.
@@ -39,6 +44,7 @@ import (
 	"bristleblocks/internal/decoder"
 	"bristleblocks/internal/geom"
 	"bristleblocks/internal/incr"
+	"bristleblocks/internal/logic"
 	"bristleblocks/internal/pads"
 	"bristleblocks/internal/sim"
 )
@@ -153,11 +159,14 @@ func stretchKeyFor(cellID string, dRail, pitch, busATarget, busBTarget geom.Coor
 }
 
 // p2KeyFor keys the decoder build by everything decoder.Build reads.
-func p2KeyFor(spec *Spec, specs []decoder.ControlSpec, ctlX map[string]geom.Coord, clockX map[string][]geom.Coord, skipOptimize bool) string {
+// Parallelism is excluded: the minimizer is byte-identical at every pool
+// width.
+func p2KeyFor(spec *Spec, specs []decoder.ControlSpec, ctlX map[string]geom.Coord, clockX map[string][]geom.Coord, skipOptimize, skipMinimize bool) string {
 	parts := []string{
 		Version, "p2",
 		"w" + strconv.Itoa(spec.Microcode.Width),
 		strconv.FormatBool(skipOptimize),
+		strconv.FormatBool(skipMinimize),
 	}
 	for _, fd := range spec.Microcode.Fields {
 		parts = append(parts, "f:"+fd.Name+":"+strconv.Itoa(fd.Lo)+":"+strconv.Itoa(fd.Width))
@@ -176,6 +185,12 @@ func p2KeyFor(spec *Spec, specs []decoder.ControlSpec, ctlX map[string]geom.Coor
 		parts = append(parts, p)
 	}
 	return incr.Key(parts...)
+}
+
+// simKeyFor keys the compiled decoder logic program by the decoder build
+// it derives from.
+func simKeyFor(p2Key string) string {
+	return incr.Key(Version, "sim", p2Key)
 }
 
 // p3KeyFor keys the pad ring by the blocked bounds, the full request
@@ -260,6 +275,16 @@ func decoderCost(res *decoder.Result) int64 {
 	}
 	if res.Array != nil {
 		n += int64(len(res.Array.Terms)) * 256
+	}
+	return n
+}
+
+// logicCost charges a compiled logic program by its source diagram (the
+// closures are roughly proportional to the gate count).
+func logicCost(d *logic.Diagram) int64 {
+	n := int64(1 << 10)
+	for _, g := range d.Gates {
+		n += 96 + int64(len(g.Inputs))*24
 	}
 	return n
 }

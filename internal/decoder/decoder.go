@@ -17,12 +17,23 @@ type Result struct {
 	// Decode drives simulation: control values per microcode word and
 	// phase (a control is active only in its declared phase).
 	Decode sim.Decoder
+	// Compiled is the mask-form decode backend Decode runs on; sim.Compile
+	// takes it directly for allocation-free stepping.
+	Compiled *Compiled
 }
 
 // Options tunes Pass 2.
 type Options struct {
 	// SkipOptimize leaves the text array unoptimized (the A3 ablation).
 	SkipOptimize bool
+	// SkipMinimize keeps the seed sharing/merge optimizer but disables the
+	// Espresso-style expansion pass (minimize.go). Ignored when
+	// SkipOptimize is set.
+	SkipMinimize bool
+	// Parallelism bounds the minimizer's per-output-group worker pool:
+	// 0 selects GOMAXPROCS, 1 runs serially. The built decoder is
+	// byte-identical at every setting.
+	Parallelism int
 	// CtlX gives the core's desired control-line x offsets on the
 	// decoder's south edge; missing controls drop straight down.
 	CtlX map[string]geom.Coord
@@ -43,15 +54,18 @@ func Build(f *Format, specs []ControlSpec, opts *Options) (*Result, error) {
 		return nil, err
 	}
 	var stats OptStats
-	if opts.SkipOptimize {
+	switch {
+	case opts.SkipOptimize:
 		stats = OptStats{
 			TermsBefore: len(a.Terms), TermsAfter: len(a.Terms),
 			LiteralsBefore: a.literalCount(), LiteralsAfter: a.literalCount(),
 			InputsBefore: len(a.UsedInputs()), InputsAfter: len(a.UsedInputs()),
 		}
 		a.sortTerms()
-	} else {
+	case opts.SkipMinimize:
 		stats = a.Optimize()
+	default:
+		stats = a.MinimizeAndOptimize(opts.Parallelism)
 	}
 
 	ops, err := CompileSilicon(a)
@@ -66,14 +80,8 @@ func Build(f *Format, specs []ControlSpec, opts *Options) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Layout: lay, Array: a, Stats: stats}
-	res.Decode = func(micro uint64, phase int) map[string]bool {
-		out := make(map[string]bool, len(a.Controls))
-		for i, sp := range a.Controls {
-			out[sp.Name] = sp.Phase == phase && a.Eval(i, micro)
-		}
-		return out
-	}
+	res := &Result{Layout: lay, Array: a, Stats: stats, Compiled: a.Compile()}
+	res.Decode = res.Compiled.Decoder()
 	return res, nil
 }
 

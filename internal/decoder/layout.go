@@ -679,3 +679,16 @@ func prefixNetlist(nl *transistor.Netlist, prefix string, rename map[string]stri
 	out.Rename(m)
 	return out
 }
+
+// AreaSavedLambda2 reports the PLA area (λ²) the optimizer won: the
+// footprint a decoder with the pre-optimization term and input counts
+// would have needed, minus the built decoder's footprint. Term rows save
+// plaRowPitch × width each; a folded input column saves two literal lines
+// (2 × andColPitch) across the full height.
+func (r *Result) AreaSavedLambda2() float64 {
+	nOut := len(r.Array.Controls)
+	before := computeGeom(r.Stats.InputsBefore, r.Stats.TermsBefore, nOut, nOut+2)
+	after := computeGeom(r.Stats.InputsAfter, r.Stats.TermsAfter, nOut, nOut+2)
+	return geom.InLambda(before.width)*geom.InLambda(before.height) -
+		geom.InLambda(after.width)*geom.InLambda(after.height)
+}

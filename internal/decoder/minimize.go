@@ -1,0 +1,304 @@
+package decoder
+
+// Espresso-style two-level minimization of the text array. The seed
+// optimizer in array.go only merges cubes at Hamming distance 1 with
+// identical output sets; this pass runs the classic EXPAND / IRREDUNDANT
+// loop per output group, which raises literals to don't-cares whenever the
+// enlarged cube stays inside the function — the move that lets "OP=1 |
+// OP=3" collapse to a single row and lets whole input columns fold away
+// when no surviving term tests them.
+//
+// The structure follows Espresso's single-output specialization:
+//
+//   - each output's cover is minimized independently (the PLA's OR plane
+//     makes outputs independent once rows can be shared, and the sharing
+//     pass in Optimize runs afterwards);
+//   - EXPAND tries to raise every specified literal of every cube, in
+//     canonical order; a raise is kept iff the enlarged cube is still
+//     contained in the cover, decided by a Shannon-cofactor tautology
+//     check;
+//   - IRREDUNDANT drops cubes covered by the rest of the cover, again in
+//     canonical order.
+//
+// Everything is deterministic: groups are minimized on a bounded worker
+// pool with per-slot result writes, cube order inside a group is canonical
+// before and after, and the tautology check's recursion budget is a pure
+// function of its input. The compiled decoder is therefore byte-identical
+// at every Options.Parallelism — pinned by TestMinimizeDeterministic.
+
+import (
+	"context"
+	"sort"
+
+	"bristleblocks/internal/pool"
+)
+
+// tautNodeBudget bounds one containment check's Shannon recursion. An
+// exhausted budget conservatively answers "not contained", so the raise is
+// rejected and the cover stays valid; the bound only costs optimality on
+// pathological guards, never correctness, and it is deterministic because
+// the spend depends only on the cover being checked.
+const tautNodeBudget = 1 << 14
+
+// MinimizeAndOptimize is the full Pass 2 optimizer: the Espresso-style
+// per-output minimization above, followed by the cross-output sharing and
+// distance-1 merging of Optimize. The plain Optimize result is kept as a
+// baseline and wins ties, so enabling the minimizer never produces a
+// larger array than the seed optimizer — the goldens only move where the
+// decoder legitimately shrinks.
+func (a *Array) MinimizeAndOptimize(parallelism int) OptStats {
+	st := OptStats{
+		TermsBefore:    len(a.Terms),
+		LiteralsBefore: a.literalCount(),
+		InputsBefore:   len(a.UsedInputs()),
+	}
+
+	// Baseline: the seed sharing/merge loop alone, on a private copy.
+	plain := &Array{Format: a.Format, Controls: a.Controls, Terms: deepCopyTerms(a.Terms)}
+	plain.Optimize()
+
+	// Espresso pass per output group, then the same sharing/merge loop to
+	// re-share identical rows across outputs.
+	a.expandGroups(parallelism)
+	a.Optimize()
+
+	if plainScore, minScore := arrayScore(plain), arrayScore(a); !minScore.less(plainScore) {
+		a.Terms = plain.Terms
+	}
+	st.TermsAfter = len(a.Terms)
+	st.LiteralsAfter = a.literalCount()
+	st.InputsAfter = len(a.UsedInputs())
+	return st
+}
+
+// score orders candidate arrays by silicon cost: term rows dominate (each
+// costs a full PLA row), then used input columns (each costs two literal
+// lines across every row), then literals (each costs a transistor).
+type score struct{ terms, inputs, literals int }
+
+func arrayScore(a *Array) score {
+	return score{terms: len(a.Terms), inputs: len(a.UsedInputs()), literals: a.literalCount()}
+}
+
+func (s score) less(o score) bool {
+	if s.terms != o.terms {
+		return s.terms < o.terms
+	}
+	if s.inputs != o.inputs {
+		return s.inputs < o.inputs
+	}
+	return s.literals < o.literals
+}
+
+func deepCopyTerms(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = Term{In: append(Cube(nil), t.In...), Outs: append([]bool(nil), t.Outs...)}
+	}
+	return out
+}
+
+// expandGroups rebuilds the array from the per-output minimized covers.
+// Each output group is an independent minimization problem, so the groups
+// run on the bounded worker pool with per-slot writes — the reassembled
+// term list is identical at every pool width.
+func (a *Array) expandGroups(parallelism int) {
+	nOut := len(a.Controls)
+	groups := make([][]Cube, nOut)
+	for _, t := range a.Terms {
+		for i, on := range t.Outs {
+			if on {
+				groups[i] = append(groups[i], append(Cube(nil), t.In...))
+			}
+		}
+	}
+	workers := pool.Size(parallelism, nOut)
+	// The worker fn never errors, and the background context is fine: a
+	// group minimizes in microseconds, far below cancellation granularity.
+	_ = pool.RunIndexed(context.Background(), workers, nOut, func(_, i int) error {
+		groups[i] = minimizeCover(groups[i])
+		return nil
+	})
+	terms := make([]Term, 0, len(a.Terms))
+	for i, cubes := range groups {
+		for _, c := range cubes {
+			outs := make([]bool, nOut)
+			outs[i] = true
+			terms = append(terms, Term{In: c, Outs: outs})
+		}
+	}
+	a.Terms = terms
+}
+
+// minimizeCover runs EXPAND then IRREDUNDANT over one output's cover and
+// returns it in canonical order. The cover's ON-set is exactly the union
+// of its cubes (a PLA has no don't-care input words), so every move is
+// validated by containment in the current cover and the function never
+// changes — pinned exhaustively by TestMinimizedEquivalent.
+func minimizeCover(cover []Cube) []Cube {
+	if len(cover) <= 1 {
+		return cover
+	}
+	sortCubes(cover)
+	cover = removeSingleContained(cover)
+
+	// EXPAND: for each cube in canonical order, try raising each specified
+	// literal in position order. The cube under expansion keeps its
+	// original value inside the cover while its raises are validated, so
+	// each check is against the unchanged function; the expanded cube is
+	// written back before the next cube's turn.
+	for i := range cover {
+		cand := append(Cube(nil), cover[i]...)
+		for pos := range cand {
+			if cand[pos] == '-' {
+				continue
+			}
+			save := cand[pos]
+			cand[pos] = '-'
+			if !coverContains(cover, cand) {
+				cand[pos] = save
+			}
+		}
+		cover[i] = cand
+	}
+	cover = removeSingleContained(cover)
+
+	// IRREDUNDANT: drop cubes covered by the rest, greedily in canonical
+	// order. Greedy is not minimum-cardinality in general, but it is
+	// deterministic and never wrong.
+	for i := 0; i < len(cover); i++ {
+		rest := make([]Cube, 0, len(cover)-1)
+		rest = append(rest, cover[:i]...)
+		rest = append(rest, cover[i+1:]...)
+		if coverContains(rest, cover[i]) {
+			cover = append(cover[:i], cover[i+1:]...)
+			i--
+		}
+	}
+	sortCubes(cover)
+	return cover
+}
+
+func sortCubes(cs []Cube) {
+	sort.SliceStable(cs, func(i, j int) bool { return string(cs[i]) < string(cs[j]) })
+}
+
+// removeSingleContained drops cubes contained in a single other cube
+// (including duplicates, keeping the earlier canonical copy).
+func removeSingleContained(cover []Cube) []Cube {
+	kept := make([]Cube, 0, len(cover))
+	for i, c := range cover {
+		contained := false
+		for j, q := range cover {
+			if i == j {
+				continue
+			}
+			if cubeInCube(c, q) && !(cubeEqual(c, q) && j > i) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// cubeInCube reports c ⊆ q: every word matching c also matches q.
+func cubeInCube(c, q Cube) bool {
+	for i := range q {
+		if q[i] != '-' && q[i] != c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cubeEqual(a, b Cube) bool { return string(a) == string(b) }
+
+// coverContains reports c ⊆ ∪F by checking that the cofactor of F with
+// respect to c is a tautology.
+func coverContains(f []Cube, c Cube) bool {
+	cof := make([]Cube, 0, len(f))
+	for _, q := range f {
+		r, ok := cofactorCube(q, c)
+		if ok {
+			cof = append(cof, r)
+		}
+	}
+	budget := tautNodeBudget
+	return tautology(cof, &budget)
+}
+
+// cofactorCube computes q's cofactor with respect to c: nil/false when the
+// cubes are disjoint, otherwise q with c's specified positions raised.
+func cofactorCube(q, c Cube) (Cube, bool) {
+	var out Cube
+	for i := range q {
+		if c[i] == '-' {
+			continue
+		}
+		if q[i] != '-' && q[i] != c[i] {
+			return nil, false
+		}
+		if q[i] != '-' {
+			if out == nil {
+				out = append(Cube(nil), q...)
+			}
+			out[i] = '-'
+		}
+	}
+	if out == nil {
+		return q, true
+	}
+	return out, true
+}
+
+// tautology decides whether ∪F covers every input word, by Shannon
+// expansion on the lowest specified column. The budget counts recursion
+// nodes; exhaustion answers false (conservative).
+func tautology(f []Cube, budget *int) bool {
+	*budget--
+	if *budget <= 0 {
+		return false
+	}
+	if len(f) == 0 {
+		return false
+	}
+	branch := -1
+	for _, q := range f {
+		allDC := true
+		for i, ch := range q {
+			if ch != '-' {
+				allDC = false
+				if branch == -1 || i < branch {
+					branch = i
+				}
+				break
+			}
+		}
+		if allDC {
+			return true // a universal cube covers everything
+		}
+	}
+	// Every cube is specified somewhere; branch on the lowest such column.
+	// (branch >= 0 because f is non-empty and no cube was universal.)
+	for _, v := range []byte{'0', '1'} {
+		cof := make([]Cube, 0, len(f))
+		for _, q := range f {
+			switch q[branch] {
+			case '-':
+				cof = append(cof, q)
+			case v:
+				r := append(Cube(nil), q...)
+				r[branch] = '-'
+				cof = append(cof, r)
+			}
+		}
+		if !tautology(cof, budget) {
+			return false
+		}
+	}
+	return true
+}

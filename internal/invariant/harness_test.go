@@ -1,4 +1,4 @@
-package invariant
+package invariant_test
 
 import (
 	"encoding/json"
@@ -12,6 +12,7 @@ import (
 
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/desc"
+	"bristleblocks/internal/invariant"
 	"bristleblocks/internal/server"
 	"bristleblocks/internal/specgen"
 )
@@ -56,7 +57,7 @@ func TestHarnessInvariants(t *testing.T) {
 			bad++
 			continue
 		}
-		if vs := Check(chip, &Options{Seed: seed}); len(vs) > 0 {
+		if vs := invariant.Check(chip, &invariant.Options{Seed: seed}); len(vs) > 0 {
 			bad++
 			for _, v := range vs {
 				t.Errorf("seed %d (%s): %s", seed, spec.Name, v)
@@ -75,7 +76,7 @@ func TestHarnessDifferential(t *testing.T) {
 	for i := 0; i < *flagN; i++ {
 		seed := *flagSeed + int64(i)
 		spec := specgen.FromSeed(seed, nil)
-		if vs := Differential(spec, &core.Options{SkipPads: true}, jobs, cacheDir); len(vs) > 0 {
+		if vs := invariant.Differential(spec, &core.Options{SkipPads: true}, jobs, cacheDir); len(vs) > 0 {
 			bad++
 			for _, v := range vs {
 				t.Errorf("seed %d (%s): %s", seed, spec.Name, v)
@@ -96,7 +97,7 @@ func TestHarnessPadsDifferential(t *testing.T) {
 	for i := 0; i < *flagPadsN; i++ {
 		seed := *flagSeed + int64(i)
 		spec := specgen.FromSeed(seed, &specgen.Config{ForPads: true})
-		if vs := Differential(spec, &core.Options{}, jobs, cacheDir); len(vs) > 0 {
+		if vs := invariant.Differential(spec, &core.Options{}, jobs, cacheDir); len(vs) > 0 {
 			bad++
 			for _, v := range vs {
 				t.Errorf("seed %d (%s): %s", seed, spec.Name, v)
@@ -120,7 +121,7 @@ func TestHarnessIncrementalDifferential(t *testing.T) {
 		base := specgen.FromSeed(seed, nil)
 		seq := append([]*core.Spec{base},
 			specgen.MutateN(rand.New(rand.NewSource(seed+1)), base, *flagEdits)...)
-		if vs := DifferentialIncremental(seq, &core.Options{SkipPads: true}, jobs); len(vs) > 0 {
+		if vs := invariant.DifferentialIncremental(seq, &core.Options{SkipPads: true}, jobs); len(vs) > 0 {
 			bad++
 			for _, v := range vs {
 				t.Errorf("seed %d (%s): %s", seed, base.Name, v)
@@ -147,7 +148,7 @@ func TestHarnessDaemon(t *testing.T) {
 		spec := specgen.FromSeed(seed, nil)
 
 		opts := &core.Options{SkipPads: true, Parallelism: 1}
-		chip, want, err := RenderOutputs(spec, opts)
+		chip, want, err := invariant.RenderOutputs(spec, opts)
 		if err != nil {
 			t.Fatalf("seed %d (%s): local compile: %v", seed, spec.Name, err)
 		}

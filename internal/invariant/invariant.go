@@ -24,6 +24,7 @@
 package invariant
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -63,6 +64,13 @@ func (o *Options) seed() int64 {
 // discrepancy found. The chip must come from a full-representation compile
 // (no SkipExtraReps); pads are optional.
 func Check(chip *core.Chip, opts *Options) []string {
+	return CheckCtx(context.Background(), chip, opts)
+}
+
+// CheckCtx is Check with a context: an incr store riding the context lets
+// the logic-vs-simulation check reuse the memoized compiled decoder logic
+// program across runs.
+func CheckCtx(ctx context.Context, chip *core.Chip, opts *Options) []string {
 	var vs []string
 	if chip.Netlist == nil || chip.Sticks == nil || chip.Logic == nil {
 		return []string{"chip was compiled without its extra representations (SkipExtraReps); nothing to cross-check"}
@@ -71,8 +79,16 @@ func Check(chip *core.Chip, opts *Options) []string {
 	vs = append(vs, checkSticks(chip)...)
 	vs = append(vs, checkPower(chip)...)
 	vs = append(vs, checkPitch(chip)...)
-	vs = append(vs, checkLogicSim(chip, opts)...)
+	vs = append(vs, checkLogicSim(ctx, chip, opts)...)
 	return vs
+}
+
+// LogicSim runs only the logic-vs-simulation check — the cheap, compiled
+// subset of Check that bbd runs on every cold compile. Unlike Check it
+// needs no extra representations beyond the decoder, so it works on any
+// full compile.
+func LogicSim(ctx context.Context, chip *core.Chip, opts *Options) []string {
+	return checkLogicSim(ctx, chip, opts)
 }
 
 // checkNetlist re-derives the Transistor representation from the Layout
@@ -249,19 +265,45 @@ func checkPitch(chip *core.Chip) []string {
 // per-phase control trace. Both descend from the same PLA, by different
 // code paths (explicit gates vs. direct term evaluation), so a mismatch
 // means one representation lies about the chip's control behaviour.
-func checkLogicSim(chip *core.Chip, opts *Options) []string {
+//
+// Both sides run compiled (logic.Compiled slot sweeps against the
+// closure-chain sim.Compiled stepper), which is what makes this check
+// cheap enough for bbd to run on every cold compile. The two compiled
+// backends are themselves pinned against their interpreted originals by
+// their packages' equivalence tests.
+func checkLogicSim(ctx context.Context, chip *core.Chip, opts *Options) []string {
 	if chip.Decoder == nil {
 		return []string{"logic-sim: chip has no decoder (core-only compile?)"}
 	}
-	m, err := chip.NewSim()
+	m, err := chip.NewCompiledSim()
 	if err != nil {
 		return []string{fmt.Sprintf("logic-sim: building simulation: %v", err)}
 	}
 	arr := chip.Decoder.Array
-	d := arr.Logic()
-	if err := d.Validate(); err != nil {
+	prog, err := chip.CompiledDecoderLogic(ctx)
+	if err != nil {
 		return []string{fmt.Sprintf("logic-sim: decoder logic diagram invalid: %v", err)}
 	}
+	type inSlot struct {
+		slot int
+		bit  int
+	}
+	var ins []inSlot
+	for _, bit := range arr.UsedInputs() {
+		if s, ok := prog.Slot(fmt.Sprintf("u%d", bit)); ok {
+			ins = append(ins, inSlot{s, bit})
+		}
+	}
+	ctlSlots := make([]int, len(arr.Controls))
+	for i, sp := range arr.Controls {
+		s, ok := prog.Slot(sp.Name)
+		if !ok {
+			return []string{fmt.Sprintf("logic-sim: logic rep drives no net for control %s", sp.Name)}
+		}
+		ctlSlots[i] = s
+	}
+
+	state := prog.NewState()
 	r := rand.New(rand.NewSource(opts.seed()))
 	width := chip.Spec.Microcode.Width
 	var vs []string
@@ -270,22 +312,21 @@ func checkLogicSim(chip *core.Chip, opts *Options) []string {
 		if width < 64 {
 			micro &= 1<<uint(width) - 1
 		}
-		in := make(map[string]bool)
-		for _, bit := range arr.UsedInputs() {
-			in[fmt.Sprintf("u%d", bit)] = micro>>uint(bit)&1 == 1
+		for _, in := range ins {
+			state[in.slot] = micro>>uint(in.bit)&1 == 1
 		}
-		vals, err := d.Eval(in, nil)
-		if err != nil {
-			return append(vs, fmt.Sprintf("logic-sim: evaluating logic rep on %#x: %v", micro, err))
-		}
-		st := m.Step(micro)
-		for _, sp := range arr.Controls {
-			want1 := sp.Phase == 1 && vals[sp.Name]
-			want2 := sp.Phase == 2 && vals[sp.Name]
-			if st.Ctl1[sp.Name] != want1 || st.Ctl2[sp.Name] != want2 {
+		prog.Eval(state)
+		// StepCtl's slices are indexed per the compiled decoder's control
+		// order, which is the array's control order.
+		ctl1, ctl2 := m.StepCtl(micro)
+		for ci, sp := range arr.Controls {
+			v := state[ctlSlots[ci]]
+			want1 := sp.Phase == 1 && v
+			want2 := sp.Phase == 2 && v
+			if ctl1[ci] != want1 || ctl2[ci] != want2 {
 				vs = append(vs, fmt.Sprintf(
 					"logic-sim: micro %#x control %s: logic rep says φ1=%v φ2=%v, simulation says φ1=%v φ2=%v",
-					micro, sp.Name, want1, want2, st.Ctl1[sp.Name], st.Ctl2[sp.Name]))
+					micro, sp.Name, want1, want2, ctl1[ci], ctl2[ci]))
 				if len(vs) >= 5 {
 					return vs
 				}

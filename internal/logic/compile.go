@@ -1,0 +1,225 @@
+package logic
+
+import "fmt"
+
+// Compiled is a Diagram lowered to a slot machine: every net gets an index
+// into a flat []bool state vector and every gate becomes one closure over
+// those indices, emitted in topological order. One Eval is a straight-line
+// sweep over the closures — no maps, no relaxation passes, no allocation —
+// which is what makes the logic-vs-simulator invariant cheap enough to run
+// on every compile.
+//
+// A Compiled is immutable after Compile and safe for concurrent use; each
+// goroutine brings its own state vector from NewState.
+type Compiled struct {
+	nSlots int
+	slot   map[string]int
+	steps  []step
+	// latchSlots lists the state-holding slots (latch outputs). ResetState
+	// clears them so a reused vector matches Eval with prev == nil.
+	latchSlots []int
+	inputs     []string
+	outputs    []string
+}
+
+type step func(v []bool)
+
+// Compile lowers the diagram. It fails where the interpreted Eval would:
+// on undriven nets, bad gate arities, unknown kinds, and combinational
+// cycles (latch outputs do not break cycles here, exactly as in Eval,
+// where a latch's output is computed only once both inputs settle).
+func Compile(d *Diagram) (*Compiled, error) {
+	c := &Compiled{
+		slot:    map[string]int{"0": 0, "1": 1},
+		nSlots:  2,
+		inputs:  append([]string(nil), d.Inputs...),
+		outputs: append([]string(nil), d.Outputs...),
+	}
+	intern := func(net string) int {
+		if s, ok := c.slot[net]; ok {
+			return s
+		}
+		s := c.nSlots
+		c.slot[net] = s
+		c.nSlots++
+		return s
+	}
+	for _, in := range d.Inputs {
+		intern(in)
+	}
+	driven := make(map[string]bool, len(d.Gates))
+	for _, g := range d.Gates {
+		if driven[g.Output] {
+			return nil, fmt.Errorf("logic: net %q driven by multiple gates", g.Output)
+		}
+		driven[g.Output] = true
+		intern(g.Output)
+	}
+	known := make(map[string]bool, c.nSlots)
+	known["0"], known["1"] = true, true
+	for _, in := range d.Inputs {
+		known[in] = true
+	}
+
+	// Kahn-by-sweep: repeatedly emit gates whose inputs are all known, in
+	// declaration order. Deterministic, and a pass that emits nothing with
+	// gates left means a cycle or an undriven input.
+	emitted := make([]bool, len(d.Gates))
+	remaining := len(d.Gates)
+	for remaining > 0 {
+		progress := false
+		for gi := range d.Gates {
+			if emitted[gi] {
+				continue
+			}
+			g := &d.Gates[gi]
+			ready := true
+			for _, in := range g.Inputs {
+				if !known[in] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			st, err := compileGate(g, c.slot, intern)
+			if err != nil {
+				return nil, err
+			}
+			c.steps = append(c.steps, st)
+			if g.Kind == Latch {
+				c.latchSlots = append(c.latchSlots, c.slot[g.Output])
+			}
+			known[g.Output] = true
+			emitted[gi] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			for gi, g := range d.Gates {
+				if !emitted[gi] {
+					for _, in := range g.Inputs {
+						if !driven[in] && !known[in] {
+							return nil, fmt.Errorf("logic: gate %v input %q is undriven", g.Kind, in)
+						}
+					}
+					return nil, fmt.Errorf("logic: net %q never settles (combinational cycle)", g.Output)
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// compileGate emits one gate as a closure over slot indices. Inputs are
+// resolved before the closure is built, so Eval never touches the map.
+func compileGate(g *Gate, slot map[string]int, intern func(string) int) (step, error) {
+	ins := make([]int, len(g.Inputs))
+	for i, in := range g.Inputs {
+		ins[i] = intern(in)
+	}
+	out := slot[g.Output]
+	switch g.Kind {
+	case Inv:
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("logic: INV wants 1 input, got %d", len(ins))
+		}
+		a := ins[0]
+		return func(v []bool) { v[out] = !v[a] }, nil
+	case Buf:
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("logic: BUF wants 1 input, got %d", len(ins))
+		}
+		a := ins[0]
+		return func(v []bool) { v[out] = v[a] }, nil
+	case And, Nand:
+		neg := g.Kind == Nand
+		switch len(ins) {
+		case 2:
+			a, b := ins[0], ins[1]
+			return func(v []bool) { v[out] = (v[a] && v[b]) != neg }, nil
+		default:
+			ins := ins
+			return func(v []bool) {
+				all := true
+				for _, s := range ins {
+					all = all && v[s]
+				}
+				v[out] = all != neg
+			}, nil
+		}
+	case Or, Nor:
+		neg := g.Kind == Nor
+		switch len(ins) {
+		case 2:
+			a, b := ins[0], ins[1]
+			return func(v []bool) { v[out] = (v[a] || v[b]) != neg }, nil
+		default:
+			ins := ins
+			return func(v []bool) {
+				any := false
+				for _, s := range ins {
+					any = any || v[s]
+				}
+				v[out] = any != neg
+			}, nil
+		}
+	case Xor:
+		if len(ins) != 2 {
+			return nil, fmt.Errorf("logic: XOR wants 2 inputs, got %d", len(ins))
+		}
+		a, b := ins[0], ins[1]
+		return func(v []bool) { v[out] = v[a] != v[b] }, nil
+	case Latch:
+		if len(ins) != 2 {
+			return nil, fmt.Errorf("logic: LATCH wants data,enable inputs, got %d", len(ins))
+		}
+		d, en := ins[0], ins[1]
+		// Disabled, the latch holds the slot's current value — the held
+		// state rides in the state vector across Evals; a fresh (or Reset)
+		// vector holds false, matching Eval with prev == nil.
+		return func(v []bool) {
+			if v[en] {
+				v[out] = v[d]
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("logic: unknown gate kind %v", g.Kind)
+	}
+}
+
+// NewState allocates a state vector with the constants preloaded.
+func (c *Compiled) NewState() []bool {
+	v := make([]bool, c.nSlots)
+	v[c.slot["1"]] = true
+	return v
+}
+
+// ResetState clears latch held state in a reused vector (external input
+// slots are overwritten by the caller each Eval anyway).
+func (c *Compiled) ResetState(v []bool) {
+	for _, s := range c.latchSlots {
+		v[s] = false
+	}
+}
+
+// Slot maps a net name to its state-vector index.
+func (c *Compiled) Slot(net string) (int, bool) {
+	s, ok := c.slot[net]
+	return s, ok
+}
+
+// Inputs returns the diagram's declared external inputs.
+func (c *Compiled) Inputs() []string { return c.inputs }
+
+// Outputs returns the diagram's declared external outputs.
+func (c *Compiled) Outputs() []string { return c.outputs }
+
+// Eval sweeps the compiled gates once over the state vector. The caller
+// sets input slots first and reads output slots after.
+func (c *Compiled) Eval(v []bool) {
+	for _, st := range c.steps {
+		st(v)
+	}
+}

@@ -1,0 +1,180 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// evalBoth runs the same input vector through the interpreter and a
+// compiled program and compares every output net.
+func evalBoth(t *testing.T, d *Diagram, p *Compiled, state []bool, in map[string]bool, prev map[string]bool) {
+	t.Helper()
+	want, err := d.Eval(in, prev)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	for name, v := range in {
+		slot, ok := p.Slot(name)
+		if !ok {
+			t.Fatalf("input %q has no slot", name)
+		}
+		state[slot] = v
+	}
+	p.Eval(state)
+	for _, out := range d.Outputs {
+		slot, ok := p.Slot(out)
+		if !ok {
+			t.Fatalf("output %q has no slot", out)
+		}
+		if state[slot] != want[out] {
+			t.Errorf("output %q: compiled=%v interpreted=%v (in=%v)", out, state[slot], want[out], in)
+		}
+	}
+}
+
+// TestCompiledMatchesEval: a combinational diagram (full adder, gates
+// deliberately out of topological order) computes identically compiled
+// and interpreted, over all input vectors.
+func TestCompiledMatchesEval(t *testing.T) {
+	d := &Diagram{Inputs: []string{"a", "b", "cin"}, Outputs: []string{"sum", "cout"}}
+	d.AddGate(Or, "cout", "c1", "c2")
+	d.AddGate(Xor, "sum", "s1", "cin")
+	d.AddGate(And, "c2", "s1", "cin")
+	d.AddGate(Xor, "s1", "a", "b")
+	d.AddGate(And, "c1", "a", "b")
+
+	p, err := Compile(d)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	state := p.NewState()
+	for v := 0; v < 8; v++ {
+		in := map[string]bool{"a": v&1 != 0, "b": v&2 != 0, "cin": v&4 != 0}
+		evalBoth(t, d, p, state, in, nil)
+	}
+}
+
+// TestCompiledAllKinds sweeps every gate kind, including the constant
+// nets, against the interpreter by sampling.
+func TestCompiledAllKinds(t *testing.T) {
+	d := &Diagram{Inputs: []string{"a", "b", "c"}}
+	d.AddGate(Inv, "na", "a")
+	d.AddGate(Buf, "ba", "b")
+	d.AddGate(Nand, "g1", "a", "b", "c")
+	d.AddGate(Nor, "g2", "a", "b", "c")
+	d.AddGate(And, "g3", "a", "b", "c")
+	d.AddGate(Or, "g4", "a", "b", "c")
+	d.AddGate(Xor, "g5", "a", "b")
+	d.AddGate(And, "g6", "a", "1")
+	d.AddGate(Or, "g7", "b", "0")
+	d.Outputs = []string{"na", "ba", "g1", "g2", "g3", "g4", "g5", "g6", "g7"}
+
+	p, err := Compile(d)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	state := p.NewState()
+	f := func(a, b, c bool) bool {
+		evalBoth(t, d, p, state, map[string]bool{"a": a, "b": b, "c": c}, nil)
+		return !t.Failed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompiledLatch: the latch's held state rides in the state vector —
+// transparent while the enable is high, frozen while it is low — and
+// ResetState matches the interpreter's prev=nil convention.
+func TestCompiledLatch(t *testing.T) {
+	d := &Diagram{Inputs: []string{"d", "en"}, Outputs: []string{"q"}}
+	d.AddGate(Latch, "q", "d", "en")
+	p, err := Compile(d)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	state := p.NewState()
+	dSlot, _ := p.Slot("d")
+	enSlot, _ := p.Slot("en")
+	qSlot, _ := p.Slot("q")
+
+	step := func(dv, en bool) bool {
+		state[dSlot], state[enSlot] = dv, en
+		p.Eval(state)
+		return state[qSlot]
+	}
+	if got := step(true, false); got {
+		t.Error("fresh latch with enable low should hold false (the Eval(prev=nil) convention)")
+	}
+	if got := step(true, true); !got {
+		t.Error("transparent latch should follow data high")
+	}
+	if got := step(false, false); !got {
+		t.Error("latch should hold the captured true while enable is low")
+	}
+	if got := step(false, true); got {
+		t.Error("transparent latch should follow data low")
+	}
+	p.ResetState(state)
+	state[dSlot], state[enSlot] = true, false
+	p.Eval(state)
+	if state[qSlot] {
+		t.Error("ResetState should clear the held state")
+	}
+}
+
+// TestCompileErrors: the compiler rejects what the interpreter rejects —
+// combinational cycles, undriven inputs, double-driven nets, bad arities.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		d    func() *Diagram
+	}{
+		{"cycle", "cycle", func() *Diagram {
+			d := &Diagram{Inputs: []string{"a"}}
+			d.AddGate(And, "x", "a", "y")
+			d.AddGate(And, "y", "a", "x")
+			return d
+		}},
+		{"undriven", "undriven", func() *Diagram {
+			d := &Diagram{Inputs: []string{"a"}}
+			d.AddGate(And, "x", "a", "ghost")
+			return d
+		}},
+		{"double-driven", "multiple gates", func() *Diagram {
+			d := &Diagram{Inputs: []string{"a"}}
+			d.AddGate(Buf, "x", "a")
+			d.AddGate(Inv, "x", "a")
+			return d
+		}},
+		{"bad-arity", "input", func() *Diagram {
+			d := &Diagram{Inputs: []string{"a"}}
+			d.AddGate(Xor, "x", "a")
+			return d
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.d()); err == nil {
+			t.Errorf("%s: Compile should fail", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q should mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCompiledLatchCycleAllowed: a latch may close a feedback loop (its
+// held state breaks the combinational cycle), the canonical use being a
+// latched enable feeding itself.
+func TestCompiledLatchCycleAllowed(t *testing.T) {
+	d := &Diagram{Inputs: []string{"set"}, Outputs: []string{"q"}}
+	d.AddGate(Or, "hold", "q", "set")
+	d.AddGate(Latch, "q", "hold", "1")
+	if _, err := Compile(d); err == nil {
+		// A transparent latch with enable tied high is still combinational
+		// feedback; the compiler is allowed to reject it. What it must NOT
+		// do is crash. Either outcome passes; this test documents the edge.
+		t.Log("compiler accepted an always-transparent latch loop")
+	}
+}

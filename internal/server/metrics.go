@@ -43,6 +43,15 @@ type metrics struct {
 	// Last-cold-compile gauges.
 	plaTermsLast *expvar.Int
 	pitchLast    *expvar.Float
+	// PLA minimization: last-compile before/after gauges plus accumulated
+	// terms-merged and area-saved counters across cold compiles.
+	plaTermsBeforeLast *expvar.Int
+	plaTermsAfterLast  *expvar.Int
+	plaTermsMerged     *expvar.Int
+	plaAreaSaved       *expvar.Float
+	// Per-compile verifier (logic-vs-simulation on every cold compile).
+	verifyRuns       *expvar.Int
+	verifyViolations *expvar.Int
 	// Per-pass wall-clock rollups in microseconds (counter semantics: total
 	// compile time spent per pass since start).
 	passUSCore    *expvar.Int
@@ -64,38 +73,46 @@ type metrics struct {
 	passPads    *histogram
 	genElement  *histogram
 	request     *histogram
+	verifyHist  *histogram
 }
 
 func newMetrics(s *Server) *metrics {
 	m := &metrics{
-		vars:            new(expvar.Map).Init(),
-		requests:        new(expvar.Int),
-		inFlight:        new(expvar.Int),
-		compiles:        new(expvar.Int),
-		cacheServed:     new(expvar.Int),
-		rejected:        new(expvar.Int),
-		timeouts:        new(expvar.Int),
-		badSpecs:        new(expvar.Int),
-		compileErrors:   new(expvar.Int),
-		sessionCompiles: new(expvar.Int),
-		coreCells:       new(expvar.Int),
-		coreStretches:   new(expvar.Int),
-		coreStretchDist: new(expvar.Int),
-		coreBusBreaks:   new(expvar.Int),
-		plaTermsLast:    new(expvar.Int),
-		pitchLast:       new(expvar.Float),
-		passUSCore:      new(expvar.Int),
-		passUSControl:   new(expvar.Int),
-		passUSPads:      new(expvar.Int),
-		routeNets:       new(expvar.Int),
-		routeConflicts:  new(expvar.Int),
-		routeRetries:    new(expvar.Int),
-		routeCells:      new(expvar.Int),
-		passCore:        newHistogram(),
-		passControl:     newHistogram(),
-		passPads:        newHistogram(),
-		genElement:      newHistogram(),
-		request:         newHistogram(),
+		vars:               new(expvar.Map).Init(),
+		requests:           new(expvar.Int),
+		inFlight:           new(expvar.Int),
+		compiles:           new(expvar.Int),
+		cacheServed:        new(expvar.Int),
+		rejected:           new(expvar.Int),
+		timeouts:           new(expvar.Int),
+		badSpecs:           new(expvar.Int),
+		compileErrors:      new(expvar.Int),
+		sessionCompiles:    new(expvar.Int),
+		coreCells:          new(expvar.Int),
+		coreStretches:      new(expvar.Int),
+		coreStretchDist:    new(expvar.Int),
+		coreBusBreaks:      new(expvar.Int),
+		plaTermsLast:       new(expvar.Int),
+		pitchLast:          new(expvar.Float),
+		plaTermsBeforeLast: new(expvar.Int),
+		plaTermsAfterLast:  new(expvar.Int),
+		plaTermsMerged:     new(expvar.Int),
+		plaAreaSaved:       new(expvar.Float),
+		verifyRuns:         new(expvar.Int),
+		verifyViolations:   new(expvar.Int),
+		passUSCore:         new(expvar.Int),
+		passUSControl:      new(expvar.Int),
+		passUSPads:         new(expvar.Int),
+		routeNets:          new(expvar.Int),
+		routeConflicts:     new(expvar.Int),
+		routeRetries:       new(expvar.Int),
+		routeCells:         new(expvar.Int),
+		passCore:           newHistogram(),
+		passControl:        newHistogram(),
+		passPads:           newHistogram(),
+		genElement:         newHistogram(),
+		request:            newHistogram(),
+		verifyHist:         newHistogram(),
 	}
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("in_flight", m.inFlight)
@@ -111,6 +128,12 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("core_bus_breaks", m.coreBusBreaks)
 	m.vars.Set("core_pla_terms_last", m.plaTermsLast)
 	m.vars.Set("core_pitch_lambda_last", m.pitchLast)
+	m.vars.Set("pla_terms_before_last", m.plaTermsBeforeLast)
+	m.vars.Set("pla_terms_after_last", m.plaTermsAfterLast)
+	m.vars.Set("pla_terms_merged", m.plaTermsMerged)
+	m.vars.Set("pla_area_saved_lambda2", m.plaAreaSaved)
+	m.vars.Set("verify_runs", m.verifyRuns)
+	m.vars.Set("verify_violations", m.verifyViolations)
 	m.vars.Set("pass_us_core", m.passUSCore)
 	m.vars.Set("pass_us_control", m.passUSControl)
 	m.vars.Set("pass_us_pads", m.passUSPads)
@@ -155,6 +178,7 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("latency_ms_pass_pads", m.passPads)
 	m.vars.Set("latency_ms_gen_element", m.genElement)
 	m.vars.Set("latency_ms_request", m.request)
+	m.vars.Set("latency_ms_verify", m.verifyHist)
 	return m
 }
 
@@ -188,6 +212,10 @@ func (m *metrics) observeStats(st core.Stats) {
 	m.coreBusBreaks.Add(int64(st.BusBreaks))
 	m.plaTermsLast.Set(int64(st.PLATerms))
 	m.pitchLast.Set(geom.InLambda(st.Pitch))
+	m.plaTermsBeforeLast.Set(int64(st.PlaTermsBefore))
+	m.plaTermsAfterLast.Set(int64(st.PlaTermsAfter))
+	m.plaTermsMerged.Add(int64(st.PlaTermsBefore - st.PlaTermsAfter))
+	m.plaAreaSaved.Add(st.PlaAreaSavedLambda2)
 	m.routeNets.Add(st.RouteNets)
 	m.routeConflicts.Add(st.RouteConflicts)
 	m.routeRetries.Add(st.RouteRetries)
@@ -198,6 +226,14 @@ func (m *metrics) observeStats(st core.Stats) {
 			break
 		}
 	}
+}
+
+// observeVerify records one per-compile verifier run: its latency and any
+// violations it surfaced.
+func (m *metrics) observeVerify(d time.Duration, violations int) {
+	m.verifyRuns.Add(1)
+	m.verifyViolations.Add(int64(violations))
+	m.verifyHist.observe(float64(d.Microseconds()) / 1e3)
 }
 
 // observeRequest records end-to-end request latency. Every terminal path
@@ -262,6 +298,16 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 	p.Gauge("bbd_core_pla_terms", "PLA terms of the most recent cold compile.", float64(m.plaTermsLast.Value()))
 	p.Gauge("bbd_core_pitch_lambda", "Row pitch (lambda) of the most recent cold compile.", m.pitchLast.Value())
 
+	// PLA minimization: what Pass 2's Espresso-style pass bought.
+	p.Gauge("bbd_pla_terms_before", "Decoder PLA terms before optimization, most recent cold compile.", float64(m.plaTermsBeforeLast.Value()))
+	p.Gauge("bbd_pla_terms_after", "Decoder PLA terms after optimization, most recent cold compile.", float64(m.plaTermsAfterLast.Value()))
+	p.Counter("bbd_pla_terms_merged_total", "PLA terms eliminated by decoder optimization across cold compiles.", float64(m.plaTermsMerged.Value()))
+	p.Counter("bbd_pla_area_saved_lambda2_total", "PLA area (lambda^2) saved by decoder optimization across cold compiles.", m.plaAreaSaved.Value())
+
+	// Per-compile verifier.
+	p.Counter("bbd_verify_runs_total", "Logic-vs-simulation verifier runs (one per cold compile unless disabled).", float64(m.verifyRuns.Value()))
+	p.Counter("bbd_verify_violations_total", "Invariant violations the per-compile verifier surfaced.", float64(m.verifyViolations.Value()))
+
 	// Pass 3 routing counters: the speculative pad router's work.
 	p.Counter("bbd_route_nets_total", "Routing units committed by Pass 3 across cold compiles (all rip-up attempts).", float64(m.routeNets.Value()))
 	p.Counter("bbd_route_conflicts_total", "Speculative routes invalidated by an earlier commit across cold compiles.", float64(m.routeConflicts.Value()))
@@ -287,6 +333,7 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 		{"bbd_pass_pads_latency_ms", "Pass 3 (pad layout) latency per cold compile.", m.passPads},
 		{"bbd_gen_element_latency_ms", "Per-element generation latency inside Pass 1's fan-out.", m.genElement},
 		{"bbd_request_latency_ms", "End-to-end request latency, every terminal outcome.", m.request},
+		{"bbd_verify_latency_ms", "Per-compile logic-vs-simulation verifier latency.", m.verifyHist},
 	} {
 		counts, _, sumMS := h.h.snapshot()
 		p.Histogram(h.name, h.help, h.h.bounds, counts, sumMS)

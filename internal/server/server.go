@@ -25,6 +25,7 @@ import (
 	"bristleblocks/internal/cache"
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/desc"
+	"bristleblocks/internal/invariant"
 	"bristleblocks/internal/obs"
 	"bristleblocks/internal/obs/flightrec"
 	"bristleblocks/internal/trace"
@@ -68,6 +69,12 @@ type Config struct {
 	// SessionCacheMB is each session's artifact-store byte budget in MiB
 	// (<=0 = 64).
 	SessionCacheMB int
+
+	// DisableVerify turns off the per-compile verifier: by default every
+	// cold compile's logic-vs-simulation invariant is checked in the
+	// worker (compiled logic against the compiled stepper — microseconds
+	// per chip) and violations are logged and counted in bbd_verify_*.
+	DisableVerify bool
 
 	// beforeCompile runs in the worker between claiming a job and compiling
 	// it. Tests use it to hold a worker busy deterministically — real specs
@@ -168,7 +175,7 @@ func (s *Server) worker() {
 			tr = trace.New()
 			ctx = trace.WithTrace(ctx, tr)
 		}
-		res, cached, err := s.cache.Compile(ctx, j.spec, j.opts)
+		res, chip, cached, err := s.cache.CompileChip(ctx, j.spec, j.opts)
 		s.metrics.inFlight.Add(-1)
 		if err == nil {
 			if cached {
@@ -178,9 +185,31 @@ func (s *Server) worker() {
 				s.metrics.observePasses(res.TimesUS)
 				s.metrics.observeSpans(tr.Spans())
 				s.metrics.observeStats(res.Stats)
+				s.verify(ctx, chip)
 			}
 		}
 		j.done <- jobResult{res: res, cached: cached, err: err}
+	}
+}
+
+// verify runs the logic-vs-simulation invariant on a freshly compiled
+// chip: the decoder's gate-level Logic representation, compiled to the
+// slot evaluator, against the compiled switch-level stepper, on random
+// microcode vectors. Both backends are fast enough that the check costs
+// microseconds — noise against a cold compile — so it runs on every cold
+// compile unless Config.DisableVerify. Violations are logged and counted,
+// not failed: the compile already happened, and a lying representation is
+// an operator page, not a client error.
+func (s *Server) verify(ctx context.Context, chip *core.Chip) {
+	if s.cfg.DisableVerify || chip == nil {
+		return
+	}
+	t0 := time.Now()
+	vs := invariant.LogicSim(ctx, chip, nil)
+	s.metrics.observeVerify(time.Since(t0), len(vs))
+	if len(vs) > 0 {
+		s.logger.Error("logic-vs-simulation invariant violated on cold compile",
+			"chip", chip.Spec.Name, "violations", len(vs), "first", vs[0])
 	}
 }
 
@@ -471,6 +500,7 @@ func parseQuery(r *http.Request) (*core.Options, map[string]bool, traceMode, err
 	for name, dst := range map[string]*bool{
 		"nopads":   &opts.SkipPads,
 		"skipopt":  &opts.SkipOptimize,
+		"skipmin":  &opts.SkipMinimize,
 		"skiproto": &opts.SkipRotoRouter,
 		"evenpads": &opts.EvenPads,
 		"skipreps": &opts.SkipExtraReps,

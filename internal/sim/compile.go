@@ -1,0 +1,217 @@
+package sim
+
+import "fmt"
+
+// The compiled simulation backend. Chip.Step pays for its generality on
+// every cycle: a fresh bus map, two fresh decode maps, a type assertion
+// per element to find resolvers, string-keyed control reads inside every
+// model, and a snapshot map — all allocation or hashing. A Compiled chip
+// hoists everything cycle-invariant out at compile time: the bus map is
+// prebuilt, the Resolver assertion is done once, decoding goes through
+// the mask-form CompiledDecoder into reused scratch, and Lowerable
+// elements rebind their control reads to pointers into that scratch so
+// the hot loop never touches a map at all. StepCtl is the
+// allocation-free path the per-compile invariant runs on; Step keeps the
+// trace-exact CycleState contract.
+
+// CompiledDecoder is the mask-form decode backend (implemented by
+// decoder.Compiled; declared here because decoder imports sim). Control
+// values land in a slice indexed per ControlNames instead of a map.
+type CompiledDecoder interface {
+	// ControlNames lists the control lines in DecodeInto's slice order.
+	ControlNames() []string
+	// DecodeInto fills out[i] with control ControlNames()[i] for one phase.
+	DecodeInto(micro uint64, phase int, out []bool)
+}
+
+// Binder is handed to a Lowerable element during Compile. It resolves
+// control names to slots in the compiled stepper's decode scratch and bus
+// names to their Bus, so the lowered closures pay a pointer dereference
+// where the generic path pays a string-map lookup.
+type Binder struct {
+	slot  map[string]int
+	vec   []bool // the per-phase decode scratch; stable backing array
+	buses map[string]*Bus
+	dead  bool // shared false slot for unknown controls
+}
+
+// Ctl returns a pointer to the named control's per-phase value. The
+// pointee is rewritten before each phase runs. An unknown name yields a
+// pointer that always reads false — the same semantics as a CtlBit map
+// miss on the interpreted path.
+func (b *Binder) Ctl(name string) *bool {
+	if i, ok := b.slot[name]; ok {
+		return &b.vec[i]
+	}
+	return &b.dead
+}
+
+// Bus returns the named bus, or nil — mirroring Ctx.Bus.
+func (b *Binder) Bus(name string) *Bus { return b.buses[name] }
+
+// Lowered is a model rebound for the compiled stepper: the same
+// drive/resolve/sample stages, taking only the phase number because
+// controls and buses were captured at lower time. A nil stage is skipped.
+type Lowered struct {
+	Drive, Resolve, Sample func(phase int)
+}
+
+// Lowerable is an optional Element extension: a model that can rebind its
+// control and bus reads through a Binder. Elements without it still run
+// compiled, through their generic methods and a mirrored control map.
+type Lowerable interface {
+	Lower(*Binder) Lowered
+}
+
+// Compiled is a chip lowered for fast stepping. It wraps (and mutates) the
+// underlying Chip — bus state and the cycle counter stay shared, so
+// compiled and interpreted steps can interleave on one chip. Not safe for
+// concurrent use, like Chip itself.
+type Compiled struct {
+	chip *Chip
+	dec  CompiledDecoder
+
+	names []string
+	buses map[string]*Bus
+
+	drives   []func(int)
+	resolves []func(int)
+	samples  []func(int)
+
+	cur        []bool // per-phase decode scratch the lowered closures read
+	ctl1, ctl2 []bool // StepCtl's returned copies, reused every cycle
+
+	// Fallback state for elements that aren't Lowerable: their generic
+	// methods read Ctx.Ctl, so the scratch is mirrored into reused maps.
+	needCtl bool
+	ctlMap1 map[string]bool
+	ctlMap2 map[string]bool
+	ctx     Ctx // persistent, rewritten per phase; avoids an escape per step
+}
+
+// Compile lowers a chip onto its compiled decoder. The decoder's control
+// names define the StepCtl slice order.
+func Compile(ch *Chip, dec CompiledDecoder) (*Compiled, error) {
+	if ch == nil {
+		return nil, fmt.Errorf("sim: compile of nil chip")
+	}
+	if dec == nil {
+		return nil, fmt.Errorf("sim: compile without a decoder")
+	}
+	c := &Compiled{
+		chip:  ch,
+		dec:   dec,
+		names: dec.ControlNames(),
+		buses: ch.busMap(),
+	}
+	c.cur = make([]bool, len(c.names))
+	c.ctl1 = make([]bool, len(c.names))
+	c.ctl2 = make([]bool, len(c.names))
+	b := &Binder{slot: make(map[string]int, len(c.names)), vec: c.cur, buses: c.buses}
+	for i, n := range c.names {
+		b.slot[n] = i
+	}
+	for _, e := range ch.Elements {
+		if l, ok := e.(Lowerable); ok {
+			low := l.Lower(b)
+			if low.Drive != nil {
+				c.drives = append(c.drives, low.Drive)
+			}
+			if low.Resolve != nil {
+				c.resolves = append(c.resolves, low.Resolve)
+			}
+			if low.Sample != nil {
+				c.samples = append(c.samples, low.Sample)
+			}
+			continue
+		}
+		c.needCtl = true
+		e := e
+		c.drives = append(c.drives, func(int) { e.Drive(&c.ctx) })
+		c.samples = append(c.samples, func(int) { e.Sample(&c.ctx) })
+		if r, ok := e.(Resolver); ok {
+			c.resolves = append(c.resolves, func(int) { r.Resolve(&c.ctx) })
+		}
+	}
+	c.ctlMap1 = make(map[string]bool, len(c.names))
+	c.ctlMap2 = make(map[string]bool, len(c.names))
+	return c, nil
+}
+
+// ControlNames returns the decoder's control order — the index contract
+// for StepCtl's result slices.
+func (c *Compiled) ControlNames() []string { return c.names }
+
+// runPhase decodes one phase into the scratch the lowered closures are
+// bound to, copies it into out, and runs precharge (φ1 only), drive,
+// resolve, sample. m is the mirrored control map for non-Lowerable
+// elements; it is only filled when one exists.
+func (c *Compiled) runPhase(micro uint64, ph int, out []bool, m map[string]bool) {
+	c.dec.DecodeInto(micro, ph, c.cur)
+	copy(out, c.cur)
+	if c.needCtl {
+		for i, n := range c.names {
+			m[n] = c.cur[i]
+		}
+		c.ctx = Ctx{Phase: ph, Cycle: c.chip.cycle, Micro: micro, Ctl: m, Buses: c.buses}
+	}
+	if ph == 1 {
+		for _, b := range c.chip.Buses {
+			b.Precharge()
+		}
+	}
+	for _, d := range c.drives {
+		d(ph)
+	}
+	for _, r := range c.resolves {
+		r(ph)
+	}
+	for _, s := range c.samples {
+		s(ph)
+	}
+}
+
+// StepCtl runs one full clock cycle and returns the decoded control lines
+// per phase, indexed per ControlNames. It allocates nothing; the returned
+// slices are scratch, valid only until the next step.
+func (c *Compiled) StepCtl(micro uint64) (ctl1, ctl2 []bool) {
+	c.runPhase(micro, 1, c.ctl1, c.ctlMap1)
+	c.runPhase(micro, 2, c.ctl2, c.ctlMap2)
+	c.chip.cycle++
+	return c.ctl1, c.ctl2
+}
+
+// Step runs one full clock cycle and returns the same trace record the
+// interpreted Chip.Step would — fresh maps, safe to retain — while still
+// stepping through the compiled closure chains.
+func (c *Compiled) Step(micro uint64) CycleState {
+	cycle := c.chip.cycle
+	c.runPhase(micro, 1, c.ctl1, c.ctlMap1)
+	ctl1 := make(map[string]bool, len(c.names))
+	for i, n := range c.names {
+		ctl1[n] = c.ctl1[i]
+	}
+	snapshot := make(map[string]uint64, len(c.chip.Buses))
+	for _, b := range c.chip.Buses {
+		snapshot[b.Name] = b.Read()
+	}
+
+	c.runPhase(micro, 2, c.ctl2, c.ctlMap2)
+	ctl2 := make(map[string]bool, len(c.names))
+	for i, n := range c.names {
+		ctl2[n] = c.ctl2[i]
+	}
+
+	st := CycleState{Cycle: cycle, Micro: micro, BusPhi1: snapshot, Ctl1: ctl1, Ctl2: ctl2}
+	c.chip.cycle++
+	return st
+}
+
+// Run executes a microcode program through the compiled stepper.
+func (c *Compiled) Run(program []uint64) []CycleState {
+	out := make([]CycleState, 0, len(program))
+	for _, w := range program {
+		out = append(out, c.Step(w))
+	}
+	return out
+}

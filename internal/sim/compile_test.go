@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fakeDec decodes control i from bit i of the micro word in φ1 and from
+// bit i+3 in φ2 — enough structure to make the two phases differ. It
+// implements both decode forms so the interpreted and compiled chips see
+// the same function.
+type fakeDec struct{ names []string }
+
+func (d *fakeDec) ControlNames() []string { return d.names }
+func (d *fakeDec) DecodeInto(micro uint64, phase int, out []bool) {
+	for i := range d.names {
+		sh := uint(i)
+		if phase == 2 {
+			sh += 3
+		}
+		out[i] = micro>>sh&1 == 1
+	}
+}
+func (d *fakeDec) mapForm() Decoder {
+	return func(micro uint64, phase int) map[string]bool {
+		out := make([]bool, len(d.names))
+		d.DecodeInto(micro, phase, out)
+		m := make(map[string]bool, len(d.names))
+		for i, n := range d.names {
+			m[n] = out[i]
+		}
+		return m
+	}
+}
+
+// lowReg mirrors the reg test element but also implements Lowerable, so
+// compiled chips run it through bound control slots while interpreted
+// chips use the generic map path — any semantic drift between the two
+// shows up as a trace mismatch.
+type lowReg struct {
+	name string
+	val  uint64
+}
+
+func (r *lowReg) Name() string { return r.name }
+func (r *lowReg) Drive(ctx *Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(r.name+".rd") {
+		ctx.Bus("A").Write(r.val)
+	}
+}
+func (r *lowReg) Sample(ctx *Ctx) {
+	if ctx.Phase == 1 && ctx.CtlBit(r.name+".wr") {
+		r.val = ctx.Bus("A").Read()
+	}
+}
+func (r *lowReg) Lower(b *Binder) Lowered {
+	rd, wr := b.Ctl(r.name+".rd"), b.Ctl(r.name+".wr")
+	bus := b.Bus("A")
+	return Lowered{
+		Drive: func(ph int) {
+			if ph == 1 && *rd {
+				bus.Write(r.val)
+			}
+		},
+		Sample: func(ph int) {
+			if ph == 1 && *wr {
+				r.val = bus.Read()
+			}
+		},
+	}
+}
+
+// testChip builds a fresh chip mixing a Lowerable element with generic
+// ones (the adder has φ2 behavior), so a compiled run exercises both the
+// bound fast path and the mirrored-map fallback in one trace.
+func testChip(dec *fakeDec) (*Chip, *lowReg, *adder) {
+	bus, _ := NewBus("A", 8)
+	r1 := &lowReg{name: "r1", val: 0x5A}
+	acc := &adder{mask: 0xFF}
+	ch := &Chip{Decode: dec.mapForm()}
+	ch.AddBus(bus)
+	ch.AddElement(r1)
+	ch.AddElement(acc)
+	return ch, r1, acc
+}
+
+var testNames = []string{"r1.rd", "r1.wr", "acc.in", "acc.add", "acc.rd"}
+
+// TestCompiledStepMatchesInterpreted: the compiled stepper must produce
+// byte-for-byte the interpreted Step's trace and leave the elements in
+// the same state, over a program that exercises drive, sample, φ2
+// accumulate, and idle words.
+func TestCompiledStepMatchesInterpreted(t *testing.T) {
+	dec := &fakeDec{names: testNames}
+	program := []uint64{0b00101, 0b01000 << 3, 0b00101, 0b11010, 0, 0b10001, 0b11111, 0b00000}
+
+	chI, rI, accI := testChip(dec)
+	chC, rC, accC := testChip(dec)
+	comp, err := Compile(chC, dec)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+
+	for i, w := range program {
+		want := chI.Step(w)
+		got := comp.Step(w)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("word %d (%#x): interpreted %+v, compiled %+v", i, w, want, got)
+		}
+	}
+	if rI.val != rC.val || accI.acc != accC.acc || accI.in != accC.in {
+		t.Errorf("element state diverged: reg %#x vs %#x, acc %#x/%#x vs %#x/%#x",
+			rI.val, rC.val, accI.acc, accI.in, accC.acc, accC.in)
+	}
+}
+
+// TestStepCtlMatchesDecode: StepCtl's slices must agree with the map-form
+// decode per ControlNames, for both phases, and be reused scratch.
+func TestStepCtlMatchesDecode(t *testing.T) {
+	dec := &fakeDec{names: testNames}
+	ch, _, _ := testChip(dec)
+	comp, err := Compile(ch, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapDec := dec.mapForm()
+	for micro := uint64(0); micro < 1<<8; micro++ {
+		ctl1, ctl2 := comp.StepCtl(micro)
+		m1, m2 := mapDec(micro, 1), mapDec(micro, 2)
+		for i, n := range comp.ControlNames() {
+			if ctl1[i] != m1[n] || ctl2[i] != m2[n] {
+				t.Fatalf("micro %#x control %s: slices (%v,%v) maps (%v,%v)",
+					micro, n, ctl1[i], ctl2[i], m1[n], m2[n])
+			}
+		}
+	}
+	a, _ := comp.StepCtl(0b00001)
+	first := a[0]
+	b, _ := comp.StepCtl(0b00000)
+	if &a[0] != &b[0] {
+		t.Error("StepCtl should return reused scratch, not fresh slices")
+	}
+	if first == a[0] {
+		t.Error("scratch should have been overwritten by the second step")
+	}
+}
+
+// TestCompiledSharesChipState: compiled and interpreted steps interleave
+// on one chip — the cycle counter and element state are shared.
+func TestCompiledSharesChipState(t *testing.T) {
+	dec := &fakeDec{names: testNames}
+	ch, r1, _ := testChip(dec)
+	comp, err := Compile(ch, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st0 := comp.Step(0b00001) // r1 drives
+	st1 := ch.Step(0b00010)   // r1 samples the precharged bus (all ones)
+	st2 := comp.Step(0)
+	if st0.Cycle != 0 || st1.Cycle != 1 || st2.Cycle != 2 {
+		t.Errorf("cycle counter not shared: %d, %d, %d", st0.Cycle, st1.Cycle, st2.Cycle)
+	}
+	if r1.val != 0xFF {
+		t.Errorf("interleaved interpreted step did not update shared element state: %#x", r1.val)
+	}
+}
+
+// TestCompileRejectsNil: the constructor errors cleanly.
+func TestCompileRejectsNil(t *testing.T) {
+	if _, err := Compile(nil, &fakeDec{}); err == nil {
+		t.Error("nil chip should fail")
+	}
+	if _, err := Compile(&Chip{}, nil); err == nil {
+		t.Error("nil decoder should fail")
+	}
+}

@@ -1,16 +1,19 @@
 // Benchjson runs the repo's headline benchmarks through testing.Benchmark
 // and writes the results as one JSON document, so a PR can commit a
-// machine-readable performance snapshot (BENCH_PR6.json) instead of pasting
-// `go test -bench` output into a description. The numbers answer five
+// machine-readable performance snapshot (BENCH_PR7.json) instead of pasting
+// `go test -bench` output into a description. The numbers answer seven
 // questions: how long a compile takes cold (small and large), how much
 // faster the warm cache path is, what the Pass 1 fan-out buys over serial
 // (at the host's GOMAXPROCS and pinned to 4), what the Pass 3 A* rework
-// buys over the seed Lee router, and what the per-cell artifact store
-// saves on a one-cell spec edit (the session/watch workload).
+// buys over the seed Lee router, what the per-cell artifact store saves
+// on a one-cell spec edit (the session/watch workload), what the Pass 2
+// Espresso-style minimizer costs and saves (terms and decoder area), and
+// what the compiled switch-level simulator buys over the interpreted one
+// on the invariant checker's control-sweep workload.
 //
 // Usage:
 //
-//	go run ./tools/benchjson                # write BENCH_PR6.json
+//	go run ./tools/benchjson                # write BENCH_PR7.json
 //	go run ./tools/benchjson -o bench.json  # choose the output path
 //	go run ./tools/benchjson -benchtime 2s  # run each arm longer
 package main
@@ -51,6 +54,10 @@ type result struct {
 	// reported only by the route_pass_* arms (their time/op includes
 	// Passes 1-2, so this is the number their ratios compare).
 	PadsMSPerOp float64 `json:"pads_ms_per_op,omitempty"`
+	// PlaMSPerOp is Pass 2 wall-clock per iteration in milliseconds,
+	// reported only by the control_pass_* arms (same framing as pads-ms:
+	// their time/op includes Pass 1, so this isolates the decoder build).
+	PlaMSPerOp float64 `json:"pla_ms_per_op,omitempty"`
 }
 
 // report is the whole document.
@@ -97,13 +104,27 @@ type report struct {
 	// algorithmic share of that win (A* + flood cache + router reuse with
 	// the speculative pipeline drained by one worker).
 	PadPassSpeedupSerial float64 `json:"pad_pass_speedup_serial"`
+	// PlaMinimizeMS is what the Pass 2 minimizer costs across the example
+	// corpus: control_pass_minimized minus control_pass_unminimized on
+	// Pass 2 wall-clock per iteration (clamped at zero — on chips this
+	// size the cost can vanish into scheduler noise).
+	PlaMinimizeMS float64 `json:"pla_minimize_ms"`
+	// PlaTermsMerged and PlaAreaSavedLambda2 are what it buys on the
+	// guard-rich microproc example: product terms removed from the decoder
+	// PLA and the resulting layout area saved in λ².
+	PlaTermsMerged      int     `json:"pla_terms_merged"`
+	PlaAreaSavedLambda2 float64 `json:"pla_area_saved_lambda2"`
+	// SimCompiledSpeedup is sim_interpreted / sim_compiled: what the
+	// compiled switch-level backend buys on the invariant checker's inner
+	// loop (a full 4096-word microcode sweep of the large suite chip).
+	SimCompiledSpeedup float64 `json:"sim_compiled_speedup"`
 }
 
 func main() {
 	// testing.Benchmark reads the test.benchtime flag, which only exists
 	// after testing.Init registers the testing flag set.
 	testing.Init()
-	out := flag.String("o", "BENCH_PR6.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR7.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark arm")
 	flag.Parse()
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -132,6 +153,7 @@ func main() {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			PadsMSPerOp: r.Extra["pads-ms"],
+			PlaMSPerOp:  r.Extra["pla-ms"],
 		}
 		rep.Benchmarks[name] = res
 		return res
@@ -310,6 +332,81 @@ func main() {
 	routeSerial := run("route_pass_serial", routePass(1, false))
 	routeJ8 := run("route_pass_parallel_j8", routePass(8, false))
 
+	// Pass 2 over every example chip, with and without the Espresso-style
+	// minimizer. time/op includes Pass 1 (the decoder needs the core's
+	// drop offsets); the comparison lives in the pla-ms metric, the summed
+	// Pass 2 wall-clock per iteration.
+	controlPass := func(skipMin bool) func(b *testing.B) {
+		opts := &core.Options{SkipMinimize: skipMin, SkipPads: true, SkipExtraReps: true}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var plaUS int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plaUS = 0
+				for _, spec := range chips {
+					chip, err := core.Compile(spec, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					plaUS += chip.Times.Control.Microseconds()
+				}
+			}
+			b.ReportMetric(float64(plaUS)/1e3, "pla-ms")
+		}
+	}
+	plaMin := run("control_pass_minimized", controlPass(false))
+	plaSkip := run("control_pass_unminimized", controlPass(true))
+
+	// What the minimizer buys, read off the guard-rich microproc example
+	// (the suite chips' one-term guards leave it nothing to merge).
+	for _, spec := range chips {
+		if spec.Name != "microproc" {
+			continue
+		}
+		chip, err := core.Compile(spec, &core.Options{SkipPads: true, SkipExtraReps: true})
+		if err != nil {
+			fatal(err)
+		}
+		rep.PlaTermsMerged = chip.Stats.PlaTermsBefore - chip.Stats.PlaTermsAfter
+		rep.PlaAreaSavedLambda2 = chip.Stats.PlaAreaSavedLambda2
+	}
+
+	// The logic-vs-simulation invariant's inner loop, before and after the
+	// compiled backend: sweep all 4096 microcode words of the large suite
+	// chip and read the two-phase control levels. The interpreted arm pays
+	// a fresh CycleState (maps and bus snapshots) per word; the compiled
+	// arm runs pre-bound closures into reused scratch.
+	simChip, err := core.Compile(large, &core.Options{SkipPads: true, SkipExtraReps: true})
+	if err != nil {
+		fatal(err)
+	}
+	nMicro := uint64(1) << simChip.Spec.Microcode.Width
+	simI, err := simChip.NewSim()
+	if err != nil {
+		fatal(err)
+	}
+	simInterp := run("sim_interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for micro := uint64(0); micro < nMicro; micro++ {
+				simI.Step(micro)
+			}
+		}
+	})
+	simC, err := simChip.NewCompiledSim()
+	if err != nil {
+		fatal(err)
+	}
+	simComp := run("sim_compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for micro := uint64(0); micro < nMicro; micro++ {
+				simC.StepCtl(micro)
+			}
+		}
+	})
+
 	if hit.NSPerOp > 0 {
 		rep.CachedHitSpeedup = float64(cold.NSPerOp) / float64(hit.NSPerOp)
 		rep.CachedHitPerSec = 1e9 / float64(hit.NSPerOp)
@@ -332,6 +429,12 @@ func main() {
 	if routeSerial.PadsMSPerOp > 0 {
 		rep.PadPassSpeedupSerial = routeSeed.PadsMSPerOp / routeSerial.PadsMSPerOp
 	}
+	if d := plaMin.PlaMSPerOp - plaSkip.PlaMSPerOp; d > 0 {
+		rep.PlaMinimizeMS = d
+	}
+	if simComp.NSPerOp > 0 {
+		rep.SimCompiledSpeedup = float64(simInterp.NSPerOp) / float64(simComp.NSPerOp)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -341,9 +444,10 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f) -> %s\n",
+	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f), pla %.2fms for %d terms merged (%.0f λ² saved), compiled-sim speedup %.1fx -> %s\n",
 		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, rep.CorePassParallelSpeedupG4,
-		rep.CorePassSerialShare, rep.PadPassSpeedupJ8, rep.IncrementalEditSpeedup, rep.IncrHitRatio, *out)
+		rep.CorePassSerialShare, rep.PadPassSpeedupJ8, rep.IncrementalEditSpeedup, rep.IncrHitRatio,
+		rep.PlaMinimizeMS, rep.PlaTermsMerged, rep.PlaAreaSavedLambda2, rep.SimCompiledSpeedup, *out)
 }
 
 // chipsSpecs parses every description under examples/chips — the same
