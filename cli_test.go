@@ -1,6 +1,7 @@
 package bristleblocks_test
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -88,6 +89,66 @@ func TestBristlecRejectsBadInput(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "unknown directive") {
 		t.Errorf("unhelpful error: %s", out)
+	}
+}
+
+// exitCode runs the binary and returns its exit code with combined output.
+func exitCode(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestBristlecExitCodes pins the CLI's exit-code contract: 1 for a
+// parse/compile error, 3 for a chip that compiled but failed -verify,
+// 0 for a clean graded run — so CI and scripts can tell a broken
+// description from a broken chip.
+func TestBristlecExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "bristlec")
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "bad.bb")
+	if err := os.WriteFile(bad, []byte("chip oops\nnonsense directive\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, bin, bad); code != 1 {
+		t.Errorf("parse error: exit %d, want 1\n%s", code, out)
+	}
+
+	failing := filepath.Join(dir, "fail.sv")
+	if err := os.WriteFile(failing, []byte("scenario wrong\nstep nop | A=0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := exitCode(t, bin,
+		"-o", filepath.Join(dir, "a.cif"), "-verify", failing, "examples/chips/adder4.bb")
+	if code != 3 {
+		t.Errorf("failing scenario: exit %d, want 3\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL 0/1 vectors") {
+		t.Errorf("verdict line missing:\n%s", out)
+	}
+
+	code, out = exitCode(t, bin,
+		"-o", filepath.Join(dir, "b.cif"), "-verify", "examples/scenarios/adder4.sv", "examples/chips/adder4.bb")
+	if code != 0 {
+		t.Errorf("passing scenarios: exit %d, want 0\n%s", code, out)
+	}
+	if !strings.Contains(out, "12/12 vectors (100%)") || !strings.Contains(out, "design score") {
+		t.Errorf("graded output missing:\n%s", out)
+	}
+
+	if code, out = exitCode(t, bin); code != 2 {
+		t.Errorf("usage error: exit %d, want 2\n%s", code, out)
 	}
 }
 

@@ -1,7 +1,10 @@
 // Bbd is the Bristle Blocks compile daemon: the silicon compiler as a
 // service. It answers POST /compile with chip statistics and any requested
 // representations, serving repeated compiles of the same description from
-// a content-addressed cache instead of re-running the three passes.
+// a content-addressed cache instead of re-running the three passes, and
+// POST /verify with graded scenario verdicts: a chip description plus a
+// waveform scenario file in, functional percent-correct per scenario and
+// a design score out (see internal/scenario for the .sv vector format).
 //
 // Usage:
 //
@@ -18,6 +21,7 @@
 // Endpoints:
 //
 //	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skipmin=1&skiproto=1&evenpads=1&skipreps=1][&trace=1|chrome]
+//	POST /verify                   grade {"spec","vectors"} JSON: one verdict per scenario
 //	POST /session                  open an edit session (warm per-client artifact store)
 //	POST /session/{id}/compile     incremental compile (same query options as /compile)
 //	DELETE /session/{id}           close a session

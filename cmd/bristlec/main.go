@@ -15,6 +15,9 @@
 //	                                   # simulation representation, print the
 //	                                   # trace and final register state
 //	bristlec -pads io=0xC8 -run ...    # preset input pads before the run
+//	bristlec -verify chip.sv chip.bb   # grade waveform scenarios (.sv) on
+//	                                   # the compiled simulator; exit 3 if
+//	                                   # any vector fails
 //	bristlec -j 8 chip.bb              # Pass 1 fan-out on 8 workers
 //	bristlec -trace chip.bb            # print per-pass/per-element spans
 //	bristlec -trace-out trace.json ... # write the compile trace as Chrome
@@ -28,7 +31,12 @@
 // file is polled for changes and each save recompiles incrementally,
 // printing the latency and artifact-store hit ratio. Watch mode writes
 // the CIF on every compile but skips the one-shot extras (-check, -run,
-// -plot, -reps, -trace).
+// -plot, -reps, -trace, -verify).
+//
+// Exit codes: 0 success; 1 a parse, compile, or I/O error; 2 bad usage;
+// 3 the chip compiled but failed verification (a -check DRC or netlist
+// mismatch, or a -verify scenario below 100%). Scripts can tell a broken
+// description (1) from a broken chip (3).
 package main
 
 import (
@@ -44,8 +52,16 @@ import (
 
 	"bristleblocks"
 	"bristleblocks/internal/incr"
+	"bristleblocks/internal/scenario"
 	"bristleblocks/internal/trace"
 )
+
+// exitVerifyFailed is the exit code for a chip that compiled cleanly but
+// failed verification: a -check DRC violation or netlist mismatch, or a
+// -verify scenario grading below 100%. Parse/compile/I/O errors exit 1
+// (fatal) and usage errors exit 2, so the three failure classes are
+// distinguishable to scripts and CI.
+const exitVerifyFailed = 3
 
 func main() {
 	out := flag.String("o", "", "output CIF path (default: input with .cif)")
@@ -54,6 +70,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print compilation statistics")
 	noPads := flag.Bool("nopads", false, "stop after Pass 2 (no pad ring)")
 	run := flag.String("run", "", "microcode source file to assemble and simulate")
+	verifySV := flag.String("verify", "", "scenario file (.sv) to grade against the compiled chip; exits 3 if any vector fails")
 	plotPath := flag.String("plot", "", "write a PNG check plot of the chip to this path")
 	padsIn := flag.String("pads", "", "preset I/O element pads before -run, e.g. io=0xC8 (comma separated)")
 	jobs := flag.Int("j", 0, "worker pool size for Pass 1's element fan-out and Pass 3's speculative routing (0 = GOMAXPROCS, 1 = serial; output is identical at every width)")
@@ -153,7 +170,7 @@ func main() {
 			for _, v := range vs {
 				fmt.Fprintln(os.Stderr, " ", v)
 			}
-			os.Exit(1)
+			os.Exit(exitVerifyFailed)
 		}
 		fmt.Println("  DRC clean")
 		ext, err := bristleblocks.ExtractNetlist(chip)
@@ -162,7 +179,7 @@ func main() {
 		}
 		if ext.GlobalSignature(nil) != chip.Netlist.GlobalSignature(nil) {
 			fmt.Fprintln(os.Stderr, "extracted netlist differs from declared netlist")
-			os.Exit(1)
+			os.Exit(exitVerifyFailed)
 		}
 		fmt.Printf("  extraction matches: %d transistors\n", len(ext.Txs))
 	}
@@ -192,6 +209,52 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	if *verifySV != "" {
+		if err := runVerify(chip, *verifySV); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runVerify grades every scenario in a .sv file against the compiled
+// chip and prints one verdict line each. An unreadable or unparsable
+// file is an input error (exit 1 via fatal); a scenario below 100% —
+// failed vectors or a graded setup error — exits with exitVerifyFailed.
+func runVerify(chip *bristleblocks.Chip, path string) error {
+	scs, err := scenario.ParseFile(path)
+	if err != nil {
+		return err
+	}
+	verdicts := scenario.GradeAll(chip, scs)
+	failed := 0
+	fmt.Printf("verify %s: %d scenarios\n", path, len(verdicts))
+	for _, v := range verdicts {
+		if v.Error != "" {
+			failed++
+			fmt.Printf("  %-20s ERROR: %s\n", v.Scenario, v.Error)
+			continue
+		}
+		mark := "ok"
+		if !v.Passed100() {
+			failed++
+			mark = "FAIL"
+		}
+		fmt.Printf("  %-20s %s %d/%d vectors (%d%%)\n", v.Scenario, mark, v.Passed, v.Vectors, v.GradePercent)
+		for _, f := range v.Failures {
+			fmt.Printf("    %s\n", f)
+		}
+	}
+	if len(verdicts) > 0 {
+		d := verdicts[0].Design
+		fmt.Printf("  design score %d (area %dλ², %d PLA terms, %d µA)\n",
+			d.Score, d.AreaLambda2, d.PLATerms, d.PowerUA)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bristlec: %d of %d scenarios failed verification\n", failed, len(verdicts))
+		os.Exit(exitVerifyFailed)
+	}
+	return nil
 }
 
 // runWatch is the edit-compile loop: poll the spec file's mtime and

@@ -1,0 +1,47 @@
+; Waveform scenarios for the adder4 example: the counting program from
+; adder4.uc with its expected bus waveforms, plus carry-chain vectors the
+; hand-written program never exercises. One step is one two-phase clock
+; cycle; bus expectations check the φ1 snapshot (undriven precharged
+; buses read all-ones), phi1./phi2. expectations the decoded control
+; levels, and expect lines the element state after the run.
+chip adder4
+
+; The adder4.uc counting program, graded: acc0 starts at 1 and the
+; ALU increments it four times.
+scenario count
+step K=1 LD=1 SEL=0 | A=1 B=0xF phi1.acc0.ld=1 phi1.acc1.ld=0 phi1.k1.rd=1
+step K=1 X=1 LB=1   | A=1 B=1   phi1.alu.ldb=1 phi1.x.x=1
+step RD=1 SEL=0 LA=1 | A=1 phi1.acc0.rd=1 phi1.alu.lda=1
+step AR=1 LD=1 SEL=0 | A=2 phi1.alu.rd=1
+step RD=1 SEL=0 LA=1 | A=2
+step AR=1 LD=1 SEL=0 | A=3
+step RD=1 SEL=0 LA=1 | A=3
+step AR=1 LD=1 SEL=0 | A=4
+step RD=1 SEL=0 LA=1 | A=4
+step AR=1 LD=1 SEL=0 | A=5
+expect acc0=5 acc1=0
+
+; Carry propagation through the low three bits: 7 + 1 = 8, stored in the
+; second accumulator while the first keeps its operand.
+scenario carry-chain
+set acc0=0x7
+step RD=1 SEL=0 LA=1 | A=0x7 B=0xF
+step K=1 X=1 LB=1    | A=1 B=1
+step AR=1 LD=1 SEL=1 | A=0x8 phi1.acc1.ld=1 phi1.acc0.ld=0
+expect acc1=0x8 acc0=0x7
+
+; Full-width carry out: 0xF + 1 wraps to 0 on the 4-bit datapath.
+scenario carry-wrap
+set acc0=0xF
+step RD=1 SEL=0 LA=1 | A=0xF
+step K=1 X=1 LB=1    | A=1 B=1
+step AR=1 LD=1 SEL=0 | A=0b0000
+expect acc0=0
+
+; The I/O port drives the bus from its input pads and samples the bus
+; onto its output pads whenever IO fires.
+scenario io-load
+pads io=0x9
+step IO=1 LD=1 SEL=0 | A=0x9 phi1.io.io=1
+step RD=1 SEL=0 IO=1 | A=0x9
+expect acc0=0x9 io.pads=0x9

@@ -1,0 +1,43 @@
+; Waveform scenarios for the microproc example: the counting microcode
+; sequence from microproc.uc, a register-file sweep, the conditional
+; constant enable, and the halt/nop idle states. The chip uses vertical
+; microcode — a single OP field the decoder PLA expands — so these
+; scenarios grade the minimized PLA's decode directly.
+chip microproc
+
+; The microproc.uc program: latch b=1, then four one-word accumulates
+; (OP=6 drives a+b, loads rf0, and re-latches operand a in one cycle).
+scenario count-to-four
+step OP=5 EN=1  | A=1 B=1 phi1.k1.rd=1 phi1.alu.ldb=1 phi1.x.x=1
+step OP=6 SEL=0 | A=1 phi1.alu.rd=1 phi1.rf0.ld=1 phi1.alu.lda=1
+step OP=6 SEL=0 | A=2
+step OP=6 SEL=0 | A=3
+step OP=6 SEL=0 | A=4
+step OP=3 SEL=0 | A=4 B=4 phi1.rf0.rd=1
+expect rf0=4
+
+; Read back each register of the file; OP=2 with nothing driving the
+; bus latches the precharged all-ones word.
+scenario register-file
+set rf0=1
+set rf1=2
+set rf2=4
+step OP=3 SEL=0 | A=1 B=1 phi1.rf0.rd=1 phi1.rf1.rd=0 phi1.rf2.rd=0
+step OP=3 SEL=1 | A=2 B=2
+step OP=3 SEL=2 | A=4 B=4
+step OP=2 SEL=2 | A=0xF phi1.rf2.ld=1
+expect rf0=1 rf1=2 rf2=0xF
+
+; The constant source is gated on EN: OP=5 alone leaves both buses
+; precharged; OP=5 EN=1 puts 1 on bus B and the bridge carries it to A.
+scenario enable-gate
+step OP=5 EN=0 | A=0xF B=0xF phi1.k1.rd=0 phi1.alu.ldb=1
+step OP=5 EN=1 | A=1 B=1 phi1.k1.rd=1
+
+; HALT (OP=0) and NOP (OP=15) are the only ops with the bus bridge off;
+; every other op joins the buses. Nothing drives, so everything reads
+; the precharged all-ones.
+scenario halt-nop-idle
+step OP=0  | A=0xF B=0xF phi1.x.x=0
+step OP=15 | A=0xF B=0xF phi1.x.x=0
+step OP=7  | A=0xF B=0xF phi1.x.x=1

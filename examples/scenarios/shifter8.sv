@@ -1,0 +1,38 @@
+; Waveform scenarios for the shifter8 example: the three-shift program
+; from shifter8.uc with its expected waveforms — including the wired-AND
+; readout gotcha the .uc file warns about — plus shift patterns down to
+; zero and an alternating-bit pattern.
+chip shifter8
+
+; 0xC8 shifted right three times is 0x19. Each shift is two cycles:
+; the register drives bus A and the shifter latches; the shifter drives
+; the word>>1 on bus B, the bridge carries it to A, the register loads.
+scenario shift-right-3
+pads io=0xC8
+step IO=1 LD=1   | A=0xC8 phi1.io.io=1 phi1.r.ld=1
+step RD=1 SL=1   | A=0xC8 phi1.sh.ld=1
+step SR=1 X=1 LD=1 | A=0x64 B=0x64 phi1.sh.rd=1 phi1.x.x=1
+step RD=1 SL=1   | A=0x64
+step SR=1 X=1 LD=1 | A=0x32 B=0x32
+step RD=1 SL=1   | A=0x32
+step SR=1 X=1 LD=1 | A=0x19 B=0x19
+; Readout with the input pads still holding 0xC8: the wired-AND bus
+; settles at 0x19 & 0xC8 = 0x08 — the gotcha shifter8.uc documents.
+step RD=1 IO=1   | A=0x08
+expect r=0x19 sh=0x32 io.pads=0x08
+
+; The top row's shift chain is terminated: zeros shift in, so a single
+; set bit shifts out to nothing.
+scenario shift-to-zero
+set r=0x01
+step RD=1 SL=1     | A=0x01
+step SR=1 X=1 LD=1 | A=0 B=0
+expect r=0 sh=1
+
+; Alternating bits: 0xAA >> 1 = 0x55. The shifter drives bus B alone
+; (no bridge), so bus A stays precharged all-ones.
+scenario alternate
+set sh=0xAA
+step SR=1 LD=0 | A=0xFF B=0b01010101
+step SR=1 X=1 LD=1 | A=0x55 B=0x55
+expect r=0x55

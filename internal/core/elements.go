@@ -429,6 +429,9 @@ func (m *shiftModel) Lower(b *sim.Binder) sim.Lowered {
 // Value exposes the latch for tests.
 func (m *shiftModel) Value() uint64 { return m.val }
 
+// Set preloads the latch (test benches initializing machine state).
+func (m *shiftModel) Set(v uint64) { m.val = v & m.mask }
+
 // genShifter builds a one-column shifter. Parameters: ld, rd guards.
 func genShifter(e *ElementSpec, ctx *genCtx) ([]*column, error) {
 	ld, rd := e.Param("ld", ""), e.Param("rd", "")

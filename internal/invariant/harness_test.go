@@ -1,6 +1,7 @@
 package invariant_test
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/desc"
 	"bristleblocks/internal/invariant"
+	"bristleblocks/internal/scenario"
 	"bristleblocks/internal/server"
 	"bristleblocks/internal/specgen"
 )
@@ -130,6 +132,40 @@ func TestHarnessIncrementalDifferential(t *testing.T) {
 	}
 	t.Logf("incremental differential: %d sequences × %d edits at jobs=%v (first seed %d), %d with diffs",
 		*flagEditSeqs, *flagEdits, jobs, *flagSeed, bad)
+}
+
+// TestHarnessScenario is the waveform leg: every generated spec gets a
+// scenario derived from the decoder's logic representation (the oracle
+// the invariant checker trusts) and the compiled switch-level stepper
+// must reproduce every vector — grade 100%, no hand-written
+// expectations. This is the leg that exercises the generator's newest
+// shapes (OP2 second decode fields, two-global conditional assembly,
+// buses-plus-globals specs) end to end through simulation.
+func TestHarnessScenario(t *testing.T) {
+	bad := 0
+	for i := 0; i < *flagN; i++ {
+		seed := *flagSeed + int64(i)
+		spec := specgen.FromSeed(seed, nil)
+		chip, err := core.Compile(spec, &core.Options{SkipPads: true})
+		if err != nil {
+			t.Errorf("seed %d (%s): compile: %v", seed, spec.Name, err)
+			bad++
+			continue
+		}
+		sc, err := scenario.FromLogic(context.Background(), chip, seed, 24)
+		if err != nil {
+			t.Errorf("seed %d (%s): oracle scenario: %v", seed, spec.Name, err)
+			bad++
+			continue
+		}
+		v := scenario.Grade(chip, sc)
+		if !v.Passed100() {
+			bad++
+			t.Errorf("seed %d (%s): graded %d%% (%d/%d vectors): %v",
+				seed, spec.Name, v.GradePercent, v.Passed, v.Vectors, v.Failures)
+		}
+	}
+	t.Logf("scenario: %d specs graded against the logic oracle (first seed %d), %d below 100%%", *flagN, *flagSeed, bad)
 }
 
 // TestHarnessDaemon is the bristlec-vs-bbd leg: the daemon's HTTP answer

@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"fmt"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/ucode"
+)
+
+// Design is the design-score half of a verdict, derived from the compile
+// statistics the way the paper's designer would read them off the plot:
+// how much silicon, how many PLA terms after minimization, how much
+// supply current the columns voted for. Score folds the three into one
+// comparable number (higher is better); all integer arithmetic, so the
+// same chip scores byte-identically on every compile path and pool size.
+type Design struct {
+	AreaLambda2 int64 `json:"area_lambda2"`
+	PLATerms    int   `json:"pla_terms"`
+	PowerUA     int   `json:"power_ua"`
+	Score       int64 `json:"score"`
+}
+
+// DesignScore computes the design half of a verdict from the compile
+// statistics. The weights put the three inputs on comparable footing for
+// paper-scale chips: area in λ² runs 10⁴..10⁶, PLA terms 10..10², power
+// votes 10²..10⁴ µA.
+func DesignScore(st core.Stats) Design {
+	d := Design{
+		AreaLambda2: int64(st.ChipBounds.W()/4) * int64(st.ChipBounds.H()/4),
+		PLATerms:    st.PLATerms,
+		PowerUA:     st.PowerUA,
+	}
+	d.Score = 1_000_000_000 / (d.AreaLambda2 + 1000*int64(d.PLATerms) + 100*int64(d.PowerUA) + 1)
+	return d
+}
+
+// Verdict is one scenario's graded result. GradePercent is functional
+// correctness (passed vectors over total, integer percent); Design the
+// score derived from the chip statistics. Error marks a scenario the
+// grader could not run — an unknown bus or element, a value wider than
+// the data word, a word that doesn't assemble — graded 0, never a panic.
+// The field order is the byte-identity contract: the same chip and
+// scenario marshal to the same JSON on every compile path.
+type Verdict struct {
+	Scenario     string   `json:"scenario"`
+	Chip         string   `json:"chip"`
+	Vectors      int      `json:"vectors"`
+	Passed       int      `json:"passed"`
+	GradePercent int      `json:"grade_percent"`
+	Failures     []string `json:"failures,omitempty"`
+	Design       Design   `json:"design"`
+	Error        string   `json:"error,omitempty"`
+}
+
+// Passed100 reports a fully correct run: every vector passed and the
+// grader hit no setup error.
+func (v *Verdict) Passed100() bool {
+	return v.Error == "" && v.Vectors > 0 && v.Passed == v.Vectors
+}
+
+// maxFailures bounds the failure list a verdict carries; grading keeps
+// counting past it, the report just stops itemizing.
+const maxFailures = 8
+
+// Grade runs one scenario on the chip's compiled simulator and grades it.
+// Each step is one vector (it passes when all its expectations hold on
+// that cycle); each final expect line is one more. Setup problems return
+// an error verdict with grade 0 — the graded analogue of a 400 — so a
+// malformed scenario can never take down a server worker.
+func Grade(chip *core.Chip, sc *Scenario) Verdict {
+	v := Verdict{Scenario: sc.Name, Chip: chip.Spec.Name, Vectors: sc.Vectors()}
+	v.Design = DesignScore(chip.Stats)
+	if sc.Chip != "" && sc.Chip != chip.Spec.Name {
+		return v.fail("scenario targets chip %q, compiled chip is %q", sc.Chip, chip.Spec.Name)
+	}
+	if v.Vectors == 0 {
+		return v.fail("scenario has no vectors")
+	}
+	m, err := chip.NewCompiledSim()
+	if err != nil {
+		return v.fail("building simulation: %v", err)
+	}
+	busMask := uint64(1)<<uint(chip.Spec.DataWidth) - 1
+	if chip.Spec.DataWidth >= 64 {
+		busMask = ^uint64(0)
+	}
+
+	for _, a := range sc.Presets {
+		mdl, ok := chip.Model(a.Name).(interface{ SetPads(uint64) })
+		if !ok {
+			return v.fail("line %d: pads target %q is not an I/O port", a.Line, a.Name)
+		}
+		mdl.SetPads(a.Value)
+	}
+	for _, a := range sc.Sets {
+		mdl, ok := chip.Model(a.Name).(interface{ Set(uint64) })
+		if !ok {
+			return v.fail("line %d: set target %q is not a stateful element", a.Line, a.Name)
+		}
+		mdl.Set(a.Value)
+	}
+
+	fail := func(format string, args ...any) {
+		if len(v.Failures) < maxFailures {
+			v.Failures = append(v.Failures, fmt.Sprintf(format, args...))
+		}
+	}
+
+	for _, st := range sc.Steps {
+		words, err := ucode.Assemble(chip.Spec.Microcode, st.Text)
+		if err != nil {
+			return v.fail("line %d: %v", st.Line, err)
+		}
+		if len(words) != 1 {
+			return v.fail("line %d: step %q assembles to %d words, want 1", st.Line, st.Text, len(words))
+		}
+		cyc := m.Step(words[0])
+		ok := true
+		for _, e := range st.Expects {
+			var got uint64
+			var width string
+			switch {
+			case hasPhase(e.Target, "phi1."):
+				b, found := cyc.Ctl1[e.Target[len("phi1."):]]
+				if !found {
+					return v.fail("line %d: no control line %q", e.Line, e.Target[len("phi1."):])
+				}
+				got, width = boolBit(b), "control"
+			case hasPhase(e.Target, "phi2."):
+				b, found := cyc.Ctl2[e.Target[len("phi2."):]]
+				if !found {
+					return v.fail("line %d: no control line %q", e.Line, e.Target[len("phi2."):])
+				}
+				got, width = boolBit(b), "control"
+			default:
+				g, found := cyc.BusPhi1[e.Target]
+				if !found {
+					return v.fail("line %d: no bus %q", e.Line, e.Target)
+				}
+				if e.Value&^busMask != 0 {
+					return v.fail("line %d: value %#x does not fit the %d-bit bus %s",
+						e.Line, e.Value, chip.Spec.DataWidth, e.Target)
+				}
+				got, width = g&busMask, "bus"
+			}
+			care := e.Care
+			if width == "bus" {
+				care &= busMask
+			} else {
+				care &= 1
+			}
+			if got&care != e.Value&care {
+				ok = false
+				fail("line %d step %q: %s = %#x, want %#x (care %#x)",
+					st.Line, st.Text, e.Target, got, e.Value, care)
+			}
+		}
+		if ok {
+			v.Passed++
+		}
+	}
+
+	for _, e := range sc.Finals {
+		got, err := readFinal(chip, e)
+		if err != nil {
+			return v.fail("line %d: %v", e.Line, err)
+		}
+		if got&e.Care != e.Value&e.Care {
+			fail("line %d expect: %s = %#x, want %#x (care %#x)", e.Line, e.Target, got, e.Value, e.Care)
+			continue
+		}
+		v.Passed++
+	}
+
+	v.GradePercent = 100 * v.Passed / v.Vectors
+	return v
+}
+
+// GradeAll grades every scenario in order. A scenario that errors grades
+// 0 and does not stop the rest.
+func GradeAll(chip *core.Chip, scs []*Scenario) []Verdict {
+	out := make([]Verdict, len(scs))
+	for i, sc := range scs {
+		out[i] = Grade(chip, sc)
+	}
+	return out
+}
+
+// fail finalizes an error verdict: grade 0, the reason in Error.
+func (v Verdict) fail(format string, args ...any) Verdict {
+	v.Error = fmt.Sprintf(format, args...)
+	v.Passed, v.GradePercent, v.Failures = 0, 0, nil
+	return v
+}
+
+func hasPhase(target, prefix string) bool {
+	return len(target) > len(prefix) && target[:len(prefix)] == prefix
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// readFinal resolves one expect-line target against the element models
+// after the run: NAME reads a stored word (Value), NAME.pads an I/O
+// port's sampled pads.
+func readFinal(chip *core.Chip, e Expect) (uint64, error) {
+	name, pads := e.Target, false
+	if n, found := cutSuffix(name, ".pads"); found {
+		name, pads = n, true
+	}
+	mdl := chip.Model(name)
+	if mdl == nil {
+		return 0, fmt.Errorf("no element %q", name)
+	}
+	if pads {
+		p, ok := mdl.(interface{ Pads() uint64 })
+		if !ok {
+			return 0, fmt.Errorf("element %q is not an I/O port", name)
+		}
+		return p.Pads(), nil
+	}
+	val, ok := mdl.(interface{ Value() uint64 })
+	if !ok {
+		return 0, fmt.Errorf("element %q has no readable state", name)
+	}
+	return val.Value(), nil
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) > len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}

@@ -1,0 +1,305 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+)
+
+// testChipText is a minimal 4-bit datapath for the grader tests: a
+// register on bus A, a constant source driving 5 on bus A, and a bus
+// bridge. Undriven precharged buses read all-ones (wired-AND), so a nop
+// cycle shows A=0xF.
+const testChipText = `chip tgrade
+microcode width 6
+field LD 0 1
+field RD 1 1
+field K  2 1
+field X  3 1
+field IO 4 1
+
+data width 4
+
+element io ioport    io="IO" class=io
+element r  registers ld="LD" rd="RD"
+element k1 const     value=5 rd="K"
+element x  xfer      x="X"
+`
+
+func compileTestChip(t *testing.T) *core.Chip {
+	t.Helper()
+	spec, err := desc.Parse(testChipText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := core.Compile(spec, &core.Options{SkipPads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip
+}
+
+func parseOne(t *testing.T, src string) *Scenario {
+	t.Helper()
+	scs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(scs))
+	}
+	return scs[0]
+}
+
+func TestGradePassing(t *testing.T) {
+	chip := compileTestChip(t)
+	v := Grade(chip, parseOne(t, `
+scenario load-const
+step nop | A=0xF B=0xF       ; undriven wired-AND buses read all-ones
+step K=1 LD=1 | A=5          ; constant on bus A, register latches it
+step RD=1 X=1 | A=5 B=5      ; register drives A, bridge carries it to B
+expect r=5
+`))
+	if !v.Passed100() {
+		t.Fatalf("verdict not 100%%: %+v", v)
+	}
+	if v.Vectors != 4 || v.Passed != 4 || v.GradePercent != 100 {
+		t.Errorf("tally: %+v", v)
+	}
+	if v.Design.Score <= 0 || v.Design.AreaLambda2 <= 0 {
+		t.Errorf("design score empty: %+v", v.Design)
+	}
+}
+
+func TestGradePadsPreset(t *testing.T) {
+	chip := compileTestChip(t)
+	v := Grade(chip, parseOne(t, `
+scenario io-path
+pads io=0xC
+step IO=1 LD=1 | A=0xC       ; pads drive the bus; register latches
+expect r=0xC io.pads=0xC
+`))
+	if !v.Passed100() {
+		t.Fatalf("verdict not 100%%: %+v", v)
+	}
+}
+
+// TestGradeEdgeCases is the grader's contract table: every malformed or
+// hostile scenario must come back as a graded verdict — an error string
+// or failed vectors — never a panic.
+func TestGradeEdgeCases(t *testing.T) {
+	chip := compileTestChip(t)
+	cases := []struct {
+		name string
+		sc   *Scenario
+		// wantErr, when non-empty, is a substring of the error verdict.
+		wantErr string
+		// wantGrade applies when wantErr is empty.
+		wantGrade  int
+		wantFails  int
+		wantPassed int
+	}{
+		{
+			name:    "zero vectors",
+			sc:      &Scenario{Name: "empty"},
+			wantErr: "has no vectors",
+		},
+		{
+			name: "all vectors failing",
+			sc: mustParseOne(t, `
+scenario wrong
+step nop | A=0
+step K=1 | A=1 B=2
+expect r=9
+`),
+			// 3 vectors fail; the second step logs one failure per
+			// expectation, so 4 failure strings.
+			wantGrade: 0, wantFails: 4, wantPassed: 0,
+		},
+		{
+			name: "half failing",
+			sc: mustParseOne(t, `
+scenario half
+step nop | A=0xF
+step nop | A=0
+`),
+			wantGrade: 50, wantFails: 1, wantPassed: 1,
+		},
+		{
+			name: "don't-care bits pass",
+			sc: mustParseOne(t, `
+scenario dc
+step K=1 | A=0b01x1          ; bit 1 of the constant 5 is a don't-care
+step nop | A=0bxxxx          ; every bit masked: always passes
+`),
+			wantGrade: 100, wantFails: 0, wantPassed: 2,
+		},
+		{
+			name: "value wider than the bus",
+			sc: mustParseOne(t, `
+scenario wide
+step nop | A=0x1F
+`),
+			wantErr: "does not fit the 4-bit bus",
+		},
+		{
+			name: "unknown bus",
+			sc: mustParseOne(t, `
+scenario nobus
+step nop | Q=1
+`),
+			wantErr: `no bus "Q"`,
+		},
+		{
+			name: "unknown control line",
+			sc: mustParseOne(t, `
+scenario noctl
+step nop | phi1.NOPE=1
+`),
+			wantErr: "no control line",
+		},
+		{
+			name: "unknown element in expect",
+			sc: mustParseOne(t, `
+scenario noelem
+step nop
+expect ghost=1
+`),
+			wantErr: `no element "ghost"`,
+		},
+		{
+			name: "word that does not assemble",
+			sc: mustParseOne(t, `
+scenario badword
+step ZAP=1 | A=1
+`),
+			wantErr: "unknown field",
+		},
+		{
+			name: "step that assembles to no word",
+			sc: mustParseOne(t, `
+scenario multi
+step .repeat 2 | A=1
+`),
+			wantErr: "unclosed .repeat",
+		},
+		{
+			name: "pads preset on a non-port",
+			sc: mustParseOne(t, `
+scenario badpads
+pads r=1
+step nop
+`),
+			wantErr: "not an I/O port",
+		},
+		{
+			name: "set on a stateless element",
+			sc: mustParseOne(t, `
+scenario badset
+set x=1
+step nop
+`),
+			wantErr: "not a stateful element",
+		},
+		{
+			name: "wrong chip binding",
+			sc: mustParseOne(t, `
+chip somethingelse
+scenario wrongchip
+step nop
+`),
+			wantErr: "targets chip",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := Grade(chip, tc.sc) // must not panic
+			if tc.wantErr != "" {
+				if v.Error == "" || !strings.Contains(v.Error, tc.wantErr) {
+					t.Fatalf("error = %q, want substring %q", v.Error, tc.wantErr)
+				}
+				if v.GradePercent != 0 || v.Passed != 0 {
+					t.Errorf("error verdict must grade 0: %+v", v)
+				}
+				return
+			}
+			if v.Error != "" {
+				t.Fatalf("unexpected error verdict: %q", v.Error)
+			}
+			if v.GradePercent != tc.wantGrade || v.Passed != tc.wantPassed {
+				t.Errorf("grade %d%% passed %d, want %d%% passed %d: %+v",
+					v.GradePercent, v.Passed, tc.wantGrade, tc.wantPassed, v)
+			}
+			if len(v.Failures) != tc.wantFails {
+				t.Errorf("failures = %d, want %d: %v", len(v.Failures), tc.wantFails, v.Failures)
+			}
+		})
+	}
+}
+
+// mustParseOne builds scenarios for the edge-case table; zero-vector
+// scenarios are constructed directly since Parse rejects them.
+func mustParseOne(t *testing.T, src string) *Scenario {
+	t.Helper()
+	scs, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("got %d scenarios", len(scs))
+	}
+	return scs[0]
+}
+
+func TestGradeFailureListCapped(t *testing.T) {
+	chip := compileTestChip(t)
+	var sb strings.Builder
+	sb.WriteString("scenario many\n")
+	for i := 0; i < maxFailures+5; i++ {
+		sb.WriteString("step nop | A=0\n")
+	}
+	v := Grade(chip, parseOne(t, sb.String()))
+	if v.Error != "" {
+		t.Fatalf("unexpected error: %q", v.Error)
+	}
+	if len(v.Failures) != maxFailures {
+		t.Errorf("failures = %d, want cap %d", len(v.Failures), maxFailures)
+	}
+	if v.Passed != 0 || v.Vectors != maxFailures+5 {
+		t.Errorf("tally: %+v", v)
+	}
+}
+
+func TestGradeDeterministicAcrossParallelism(t *testing.T) {
+	spec, err := desc.Parse(testChipText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := parseOne(t, `
+scenario det
+step K=1 LD=1 | A=5
+expect r=5
+`)
+	var verdicts [][]byte
+	for _, j := range []int{1, 4, 8} {
+		chip, err := core.Compile(spec, &core.Options{SkipPads: true, Parallelism: j})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := Grade(chip, sc)
+		buf, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts = append(verdicts, buf)
+	}
+	for i := 1; i < len(verdicts); i++ {
+		if !bytes.Equal(verdicts[i], verdicts[0]) {
+			t.Errorf("verdict bytes differ at jobs index %d:\n%s\nvs\n%s", i, verdicts[i], verdicts[0])
+		}
+	}
+}

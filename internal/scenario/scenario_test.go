@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFull(t *testing.T) {
+	src := `
+; a comment
+chip adder4
+
+scenario count
+pads io=0xF
+set acc0=0x3
+step K=1 LD=1 SEL=0 | A=1 B=0b1xx1    # trailing comment
+step nop | phi1.LD=1 phi2.PRE=0
+expect acc0=0x5 io.pads=0xF
+`
+	scs, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(scs))
+	}
+	sc := scs[0]
+	if sc.Name != "count" || sc.Chip != "adder4" {
+		t.Errorf("header: %q chip %q", sc.Name, sc.Chip)
+	}
+	if len(sc.Presets) != 1 || sc.Presets[0].Name != "io" || sc.Presets[0].Value != 0xF {
+		t.Errorf("pads: %+v", sc.Presets)
+	}
+	if len(sc.Sets) != 1 || sc.Sets[0].Name != "acc0" || sc.Sets[0].Value != 3 {
+		t.Errorf("set: %+v", sc.Sets)
+	}
+	if len(sc.Steps) != 2 {
+		t.Fatalf("steps: %d", len(sc.Steps))
+	}
+	if sc.Steps[0].Text != "K=1 LD=1 SEL=0" {
+		t.Errorf("step text %q", sc.Steps[0].Text)
+	}
+	if len(sc.Steps[0].Expects) != 2 {
+		t.Fatalf("step expects: %+v", sc.Steps[0].Expects)
+	}
+	// 0b1xx1: value 0b1001, care masks out bits 1 and 2.
+	e := sc.Steps[0].Expects[1]
+	if e.Target != "B" || e.Value != 0b1001 || e.Care&0xF != 0b1001 {
+		t.Errorf("don't-care expect: %+v", e)
+	}
+	if len(sc.Steps[1].Expects) != 2 || sc.Steps[1].Expects[0].Target != "phi1.LD" {
+		t.Errorf("control expects: %+v", sc.Steps[1].Expects)
+	}
+	if len(sc.Finals) != 2 || sc.Finals[1].Target != "io.pads" {
+		t.Errorf("finals: %+v", sc.Finals)
+	}
+	if sc.Vectors() != 4 {
+		t.Errorf("vectors = %d, want 4 (2 steps + 2 finals)", sc.Vectors())
+	}
+}
+
+func TestParseMultipleScenariosAndChipOverride(t *testing.T) {
+	scs, err := Parse(`
+chip adder4
+scenario a
+step nop | A=1
+scenario b
+chip shifter8
+step nop
+expect r=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[0].Chip != "adder4" || scs[1].Chip != "shifter8" {
+		t.Fatalf("chips: %+v", scs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown directive", "scenario s\nwobble x\nstep nop | A=1", "unknown directive"},
+		{"step before scenario", "step nop", "before any scenario"},
+		{"pads before scenario", "pads io=1", "before any scenario"},
+		{"empty step", "scenario s\nstep | A=1", "no microcode word"},
+		{"bad expectation", "scenario s\nstep nop | A", "not NAME=VALUE"},
+		{"bad value", "scenario s\nstep nop | A=zap", "bad value"},
+		{"bad binary digit", "scenario s\nstep nop | A=0b10z", "binary digits"},
+		{"dont-care in set", "scenario s\nset r=0b1x\nstep nop | A=1", "don't-care"},
+		{"zero vectors", "scenario empty\nscenario ok\nstep nop | A=1", "has no vectors"},
+		{"scenario without name", "scenario\nstep nop | A=1", "wants a name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseValueDontCare(t *testing.T) {
+	v, care, err := parseValue("0bx1x0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0b0100 {
+		t.Errorf("value = %#b", v)
+	}
+	if care&0xF != 0b0101 {
+		t.Errorf("care = %#b", care&0xF)
+	}
+	// Bits above the literal remain compared (and expected 0), matching
+	// the exact semantics of hex and decimal literals.
+	if care>>4 != ^uint64(0)>>4 {
+		t.Errorf("high care bits lost: %#x", care)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/geom"
 	"bristleblocks/internal/obs/prom"
+	"bristleblocks/internal/scenario"
 	"bristleblocks/internal/trace"
 )
 
@@ -52,6 +53,14 @@ type metrics struct {
 	// Per-compile verifier (logic-vs-simulation on every cold compile).
 	verifyRuns       *expvar.Int
 	verifyViolations *expvar.Int
+	// Scenario grading (/verify): request and vector tallies plus the
+	// last request's worst grade.
+	scenarioRequests   *expvar.Int
+	scenarioBadVectors *expvar.Int
+	scenarioGraded     *expvar.Int
+	scenarioVectors    *expvar.Int
+	scenarioFailed     *expvar.Int
+	scenarioGradeLast  *expvar.Int
 	// Per-pass wall-clock rollups in microseconds (counter semantics: total
 	// compile time spent per pass since start).
 	passUSCore    *expvar.Int
@@ -68,12 +77,13 @@ type metrics struct {
 	routeCells        *expvar.Int
 	routeFrontierPeak atomic.Int64
 
-	passCore    *histogram
-	passControl *histogram
-	passPads    *histogram
-	genElement  *histogram
-	request     *histogram
-	verifyHist  *histogram
+	passCore     *histogram
+	passControl  *histogram
+	passPads     *histogram
+	genElement   *histogram
+	request      *histogram
+	verifyHist   *histogram
+	scenarioHist *histogram
 }
 
 func newMetrics(s *Server) *metrics {
@@ -100,6 +110,12 @@ func newMetrics(s *Server) *metrics {
 		plaAreaSaved:       new(expvar.Float),
 		verifyRuns:         new(expvar.Int),
 		verifyViolations:   new(expvar.Int),
+		scenarioRequests:   new(expvar.Int),
+		scenarioBadVectors: new(expvar.Int),
+		scenarioGraded:     new(expvar.Int),
+		scenarioVectors:    new(expvar.Int),
+		scenarioFailed:     new(expvar.Int),
+		scenarioGradeLast:  new(expvar.Int),
 		passUSCore:         new(expvar.Int),
 		passUSControl:      new(expvar.Int),
 		passUSPads:         new(expvar.Int),
@@ -113,6 +129,7 @@ func newMetrics(s *Server) *metrics {
 		genElement:         newHistogram(),
 		request:            newHistogram(),
 		verifyHist:         newHistogram(),
+		scenarioHist:       newHistogram(),
 	}
 	m.vars.Set("requests", m.requests)
 	m.vars.Set("in_flight", m.inFlight)
@@ -134,6 +151,12 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("pla_area_saved_lambda2", m.plaAreaSaved)
 	m.vars.Set("verify_runs", m.verifyRuns)
 	m.vars.Set("verify_violations", m.verifyViolations)
+	m.vars.Set("scenario_requests", m.scenarioRequests)
+	m.vars.Set("scenario_bad_vectors", m.scenarioBadVectors)
+	m.vars.Set("scenario_graded", m.scenarioGraded)
+	m.vars.Set("scenario_vectors", m.scenarioVectors)
+	m.vars.Set("scenario_failed_vectors", m.scenarioFailed)
+	m.vars.Set("scenario_grade_percent_last", m.scenarioGradeLast)
 	m.vars.Set("pass_us_core", m.passUSCore)
 	m.vars.Set("pass_us_control", m.passUSControl)
 	m.vars.Set("pass_us_pads", m.passUSPads)
@@ -179,7 +202,25 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("latency_ms_gen_element", m.genElement)
 	m.vars.Set("latency_ms_request", m.request)
 	m.vars.Set("latency_ms_verify", m.verifyHist)
+	m.vars.Set("latency_ms_scenario_grade", m.scenarioHist)
 	return m
+}
+
+// observeScenarios records one /verify grading pass: its latency, the
+// scenario and vector tallies, and the request's worst grade as a gauge.
+func (m *metrics) observeScenarios(d time.Duration, verdicts []scenario.Verdict) {
+	m.scenarioGraded.Add(int64(len(verdicts)))
+	worst := 100
+	for i := range verdicts {
+		v := &verdicts[i]
+		m.scenarioVectors.Add(int64(v.Vectors))
+		m.scenarioFailed.Add(int64(v.Vectors - v.Passed))
+		if v.GradePercent < worst {
+			worst = v.GradePercent
+		}
+	}
+	m.scenarioGradeLast.Set(int64(worst))
+	m.scenarioHist.observe(float64(d.Microseconds()) / 1e3)
 }
 
 // observeSpans exports a cold compile's trace into the histograms: every
@@ -308,6 +349,14 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 	p.Counter("bbd_verify_runs_total", "Logic-vs-simulation verifier runs (one per cold compile unless disabled).", float64(m.verifyRuns.Value()))
 	p.Counter("bbd_verify_violations_total", "Invariant violations the per-compile verifier surfaced.", float64(m.verifyViolations.Value()))
 
+	// Scenario grading (/verify).
+	p.Counter("bbd_scenario_requests_total", "POST /verify requests received (all terminal outcomes).", float64(m.scenarioRequests.Value()))
+	p.Counter("bbd_scenario_bad_vectors_total", "Verify requests rejected for a malformed body or vector file.", float64(m.scenarioBadVectors.Value()))
+	p.Counter("bbd_scenario_graded_total", "Scenarios graded across verify requests.", float64(m.scenarioGraded.Value()))
+	p.Counter("bbd_scenario_vectors_total", "Vectors graded across verify requests.", float64(m.scenarioVectors.Value()))
+	p.Counter("bbd_scenario_failed_vectors_total", "Vectors that failed their expectations across verify requests.", float64(m.scenarioFailed.Value()))
+	p.Gauge("bbd_scenario_grade_percent_last", "Worst scenario grade of the most recent verify request.", float64(m.scenarioGradeLast.Value()))
+
 	// Pass 3 routing counters: the speculative pad router's work.
 	p.Counter("bbd_route_nets_total", "Routing units committed by Pass 3 across cold compiles (all rip-up attempts).", float64(m.routeNets.Value()))
 	p.Counter("bbd_route_conflicts_total", "Speculative routes invalidated by an earlier commit across cold compiles.", float64(m.routeConflicts.Value()))
@@ -334,6 +383,7 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 		{"bbd_gen_element_latency_ms", "Per-element generation latency inside Pass 1's fan-out.", m.genElement},
 		{"bbd_request_latency_ms", "End-to-end request latency, every terminal outcome.", m.request},
 		{"bbd_verify_latency_ms", "Per-compile logic-vs-simulation verifier latency.", m.verifyHist},
+		{"bbd_scenario_grade_latency_ms", "Scenario grading latency per verify request (grading only, compile excluded).", m.scenarioHist},
 	} {
 		counts, _, sumMS := h.h.snapshot()
 		p.Histogram(h.name, h.help, h.h.bounds, counts, sumMS)

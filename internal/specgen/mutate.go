@@ -3,6 +3,7 @@ package specgen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/desc"
@@ -25,6 +26,7 @@ import (
 func Mutate(r *rand.Rand, spec *core.Spec) *core.Spec {
 	g := &gen{r: r, cfg: &Config{}}
 	g.hasEN = hasField(spec, "EN")
+	g.hasOP2 = hasField(spec, "OP2")
 	before := desc.Format(spec)
 	for {
 		m := cloneSpec(spec)
@@ -83,15 +85,19 @@ func cloneSpec(spec *core.Spec) *core.Spec {
 
 // applyEdit applies one randomly chosen edit in place. Structural edits
 // (add/remove) are disabled for specs with explicit bus ranges: ranges
-// index the element list, so inserting or deleting would shift every
-// segment boundary rather than model a local edit.
+// index the post-assembly element list, so inserting or deleting would
+// shift every segment boundary rather than model a local edit. For the
+// same reason a global flip is only offered when no element carries an
+// OnlyIf guard or the spec has no explicit buses — flipping a global a
+// guard references changes the enabled-element count under fixed ranges.
 func (g *gen) applyEdit(spec *core.Spec) {
 	structural := len(spec.Buses) == 0
 	n := 2
 	if structural {
 		n = 4
 	}
-	if len(spec.Globals) > 0 {
+	flippable := len(spec.Globals) > 0 && (structural || !anyGuarded(spec))
+	if flippable {
 		n++
 	}
 	switch k := g.intn(n); {
@@ -115,11 +121,27 @@ func (g *gen) applyEdit(spec *core.Spec) {
 			spec.Elements = append(spec.Elements[:at], spec.Elements[at+1:]...)
 		}
 	default:
-		for name := range spec.Globals { // single-global maps in practice
-			spec.Globals[name] = !spec.Globals[name]
-			break
+		// Flip one global, picked from the sorted name list: map iteration
+		// order would break the (seed, edit-count) determinism contract.
+		names := make([]string, 0, len(spec.Globals))
+		for name := range spec.Globals {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		name := names[g.intn(len(names))]
+		spec.Globals[name] = !spec.Globals[name]
+	}
+}
+
+// anyGuarded reports whether any element carries a conditional-assembly
+// guard.
+func anyGuarded(spec *core.Spec) bool {
+	for _, e := range spec.Elements {
+		if e.OnlyIf != "" {
+			return true
 		}
 	}
+	return false
 }
 
 // tweakParam edits one parameter of one element, staying inside the

@@ -32,7 +32,10 @@ type Config struct {
 	// are placed only at the west end (an east-side port requires the core
 	// to be at least as wide as the decoder, which a random spec cannot
 	// promise). Without it, specs target SkipPads compiles and may place a
-	// mirrored I/O port at the east end too.
+	// mirrored I/O port at the east end too. ForPads specs also stress the
+	// pad ring itself: some draw the pathological shapes (a single-port
+	// core much narrower than its decoder, a core at the extra-element
+	// ceiling) and some select the paper's evenly-spaced pad mode.
 	ForPads bool
 }
 
@@ -63,11 +66,15 @@ type gen struct {
 	// hasEN records whether the microcode format carries the optional EN
 	// field, so guards may reference it.
 	hasEN bool
-	// explicitBuses commits this spec to a generated bus segmentation. Bus
-	// ranges index the post-conditional-assembly element list, so such
-	// specs must not carry assembly guards (a disabled element would shift
-	// every range); the generator picks one axis of variation per spec.
+	// hasOP2 records whether the format carries the second decode field
+	// OP2, so guards may mix terms from two opcode groups.
+	hasOP2 bool
+	// explicitBuses commits this spec to a generated bus segmentation.
 	explicitBuses bool
+	// globalNames is the ordered list of conditional-assembly globals the
+	// spec declares; onlyIf draws from it by index so generation stays
+	// deterministic (Go map iteration order is not).
+	globalNames []string
 }
 
 func (g *gen) intn(n int) int { return g.r.Intn(n) }
@@ -88,11 +95,25 @@ func (g *gen) spec() *core.Spec {
 		spec.LambdaCentimicrons = []int{100, 200, 300}[g.intn(3)]
 	}
 	g.explicitBuses = g.chance(1, 2)
-	// Conditional assembly: a PROTO global plus guarded elements. The first
-	// element is always unguarded so assembly never empties the core, and
-	// specs with explicit buses stay guard-free (see explicitBuses).
-	if !g.explicitBuses && g.chance(3, 10) {
+	// Conditional assembly: a PROTO global — sometimes joined by the
+	// paper's PROTOTYPE — plus guarded elements. The first element is
+	// always unguarded so assembly never empties the core. Explicit buses
+	// and globals now coexist: bus ranges index the post-assembly element
+	// list, and the globals' values are known here, so buses() partitions
+	// over the enabled-element count.
+	if g.chance(3, 10) {
 		spec.Globals = map[string]bool{"PROTO": g.chance(1, 2)}
+		g.globalNames = []string{"PROTO"}
+		if g.chance(1, 3) {
+			spec.Globals["PROTOTYPE"] = g.chance(1, 2)
+			g.globalNames = append(g.globalNames, "PROTOTYPE")
+		}
+	}
+	// Pad placement mode: some chips space their pads evenly around the
+	// ring (the paper's alternative to pulling pads toward their
+	// connection points).
+	if g.chance(1, 5) {
+		spec.EvenPads = true
 	}
 	g.elements(spec)
 	g.buses(spec)
@@ -100,19 +121,30 @@ func (g *gen) spec() *core.Spec {
 }
 
 // microcode builds the instruction format: OP and SEL always (the guard
-// vocabulary), EN sometimes, inside a word of random width.
+// vocabulary), EN sometimes, and sometimes a second decode field OP2 —
+// the multi-decoder shape, where guards mix terms from two opcode
+// groups — inside a word wide enough for the fields plus random slack.
 func (g *gen) microcode() *decoder.Format {
 	f := &decoder.Format{
-		Width: 10 + g.intn(7), // 10..16
 		Fields: []decoder.Field{
 			{Name: "OP", Lo: 0, Width: 4},
 			{Name: "SEL", Lo: 4, Width: 2 + g.intn(2)}, // 2 or 3 bits
 		},
 	}
 	if g.chance(1, 2) {
-		lo := f.Fields[1].Lo + f.Fields[1].Width
+		lo := f.Fields[len(f.Fields)-1].Lo + f.Fields[len(f.Fields)-1].Width
 		f.Fields = append(f.Fields, decoder.Field{Name: "EN", Lo: lo, Width: 1})
 		g.hasEN = true
+	}
+	if g.chance(1, 3) {
+		lo := f.Fields[len(f.Fields)-1].Lo + f.Fields[len(f.Fields)-1].Width
+		f.Fields = append(f.Fields, decoder.Field{Name: "OP2", Lo: lo, Width: 3})
+		g.hasOP2 = true
+	}
+	end := f.Fields[len(f.Fields)-1].Lo + f.Fields[len(f.Fields)-1].Width
+	f.Width = end + g.intn(6) // fields + 0..5 bits of slack
+	if f.Width < 10 {
+		f.Width = 10
 	}
 	return f
 }
@@ -125,43 +157,73 @@ func (g *gen) dataWidth() int {
 // op returns a single-field guard term.
 func (g *gen) op() string { return fmt.Sprintf("OP=%d", 1+g.intn(14)) }
 
+// op2 returns a single-field guard term over the second decode field.
+func (g *gen) op2() string { return fmt.Sprintf("OP2=%d", 1+g.intn(7)) }
+
 // guard returns a random decode expression over the microcode fields.
 func (g *gen) guard() string {
 	n := 5
 	if g.hasEN {
-		n = 6
+		n++
 	}
-	switch g.intn(n) {
-	case 0:
+	if g.hasOP2 {
+		n += 2
+	}
+	switch k := g.intn(n); {
+	case k == 0:
 		return g.op()
-	case 1:
+	case k == 1:
 		return "(" + g.op() + " | " + g.op() + ")"
-	case 2:
+	case k == 2:
 		return g.op() + " & SEL={i}"
-	case 3:
+	case k == 3:
 		return "!" + g.op() + " & " + g.op()
-	case 4:
+	case k == 4:
 		return fmt.Sprintf("OP=%d & SEL=%d", 1+g.intn(14), g.intn(4))
-	default:
+	case g.hasEN && k == 5:
 		return g.op() + " & EN=1"
+	case g.chance(1, 2):
+		// Cross-decoder product: a term from each opcode group.
+		return g.op() + " & " + g.op2()
+	default:
+		return "(" + g.op() + " | " + g.op2() + ")"
 	}
 }
 
 // onlyIf returns a conditional-assembly guard (or "" when the spec carries
-// no globals). Applied only to non-first elements.
+// no globals). Applied only to non-first elements. The global is drawn
+// from the ordered globalNames list, never the map, so generation stays
+// deterministic.
 func (g *gen) onlyIf(spec *core.Spec) string {
 	if len(spec.Globals) == 0 || !g.chance(1, 4) {
 		return ""
 	}
+	name := g.globalNames[g.intn(len(g.globalNames))]
 	if g.chance(1, 2) {
-		return "PROTO"
+		return name
 	}
-	return "!PROTO"
+	return "!" + name
 }
 
 // elements fills the element list: a west-end anchor (registers or an I/O
 // port), a random middle mix, and sometimes an east-end mirrored I/O port.
+// ForPads specs occasionally take a pathological pad-ring shape instead:
+// a lone I/O port (the ring around a core far narrower than its decoder)
+// or a core pinned at the extra-element ceiling (maximum ring perimeter
+// and net fan-out).
 func (g *gen) elements(spec *core.Spec) {
+	extras := g.intn(g.cfg.maxExtra() + 1)
+	if g.cfg.forPads() {
+		switch g.intn(8) {
+		case 0:
+			// Minimal ring: one port, nothing else. The decoder dominates
+			// the floorplan and every pad crowds the west edge.
+			spec.Elements = append(spec.Elements, g.ioport("io"))
+			return
+		case 1:
+			extras = g.cfg.maxExtra()
+		}
+	}
 	// West end: an I/O port one time in five, a register bank otherwise.
 	if g.chance(1, 5) {
 		spec.Elements = append(spec.Elements, g.ioport("io"))
@@ -174,7 +236,7 @@ func (g *gen) elements(spec *core.Spec) {
 			},
 		})
 	}
-	for i, n := 0, g.intn(g.cfg.maxExtra()+1); i < n; i++ {
+	for i := 0; i < extras; i++ {
 		e := g.middleElement(fmt.Sprintf("e%d", i), spec)
 		e.OnlyIf = g.onlyIf(spec)
 		spec.Elements = append(spec.Elements, e)
@@ -254,11 +316,19 @@ func (g *gen) middleElement(name string, spec *core.Spec) core.ElementSpec {
 // intervals with unique names, so every element still sees two buses (the
 // simulation models require their bus nets to exist) while the planner's
 // slot assignment, precharge insertion, and segment naming all vary.
+// Ranges index the post-conditional-assembly element list, so the
+// partition covers the enabled-element count — computable here because
+// the globals' values are fixed at generation time.
 func (g *gen) buses(spec *core.Spec) {
 	if !g.explicitBuses {
 		return // default buses A and B
 	}
-	n := len(spec.Elements)
+	n := 0
+	for _, e := range spec.Elements {
+		if elementEnabled(&e, spec.Globals) {
+			n++
+		}
+	}
 	names := []string{"A", "B", "C", "D", "E", "F"}
 	next := 0
 	addPartition := func(parts int) {
@@ -300,4 +370,18 @@ func (g *gen) buses(spec *core.Spec) {
 	}
 	addPartition(1 + g.intn(2)) // slot one: 1..2 segments
 	addPartition(1 + g.intn(3)) // slot two: 1..3 segments
+}
+
+// elementEnabled mirrors the compiler's conditional-assembly evaluation:
+// an element with an OnlyIf guard is assembled only when the named global
+// has the wanted value.
+func elementEnabled(e *core.ElementSpec, globals map[string]bool) bool {
+	if e.OnlyIf == "" {
+		return true
+	}
+	name, want := e.OnlyIf, true
+	if name[0] == '!' {
+		name, want = name[1:], false
+	}
+	return globals[name] == want
 }

@@ -75,6 +75,7 @@ func TestGeneratedSpecsCompileWithPads(t *testing.T) {
 func TestVariety(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	var buses, ioports, globals, lambdas int
+	var op2, twoGlobals, busesAndGlobals, evenPads int
 	widths := map[int]bool{}
 	kinds := map[string]bool{}
 	for i := 0; i < 300; i++ {
@@ -84,6 +85,18 @@ func TestVariety(t *testing.T) {
 		}
 		if len(spec.Globals) > 0 {
 			globals++
+			if len(spec.Buses) > 0 {
+				busesAndGlobals++
+			}
+		}
+		if len(spec.Globals) > 1 {
+			twoGlobals++
+		}
+		if _, ok := spec.Microcode.FieldByName("OP2"); ok {
+			op2++
+		}
+		if spec.EvenPads {
+			evenPads++
 		}
 		if spec.LambdaCentimicrons > 0 {
 			lambdas++
@@ -100,12 +113,45 @@ func TestVariety(t *testing.T) {
 		t.Fatalf("variety collapsed: buses=%d ioports=%d globals=%d lambdas=%d",
 			buses, ioports, globals, lambdas)
 	}
+	if op2 < 30 || twoGlobals < 5 || busesAndGlobals < 10 || evenPads < 20 {
+		t.Fatalf("new shapes collapsed: op2=%d twoGlobals=%d busesAndGlobals=%d evenPads=%d",
+			op2, twoGlobals, busesAndGlobals, evenPads)
+	}
 	if len(widths) < 5 {
 		t.Fatalf("only %d distinct data widths generated", len(widths))
 	}
 	for _, k := range []string{"registers", "dualreg", "alu", "shifter", "const", "ioport", "xfer"} {
 		if !kinds[k] {
 			t.Fatalf("element kind %q never generated", k)
+		}
+	}
+}
+
+// TestPathologicalPadShapes: the ForPads generator must still emit the
+// stress shapes — a lone-port core and a core at the extra-element
+// ceiling — and both must survive the full three-pass compile.
+func TestPathologicalPadShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pad routing is slow")
+	}
+	r := rand.New(rand.NewSource(7))
+	var lone, ceiling *core.Spec
+	for i := 0; i < 400 && (lone == nil || ceiling == nil); i++ {
+		spec := Generate(r, &Config{ForPads: true})
+		if len(spec.Elements) == 1 && spec.Elements[0].Kind == "ioport" && lone == nil {
+			lone = spec
+		}
+		if len(spec.Elements) >= 5 && ceiling == nil {
+			ceiling = spec
+		}
+	}
+	if lone == nil || ceiling == nil {
+		t.Fatalf("stress shapes never generated: lone=%v ceiling=%v", lone != nil, ceiling != nil)
+	}
+	for _, spec := range []*core.Spec{lone, ceiling} {
+		if _, err := core.Compile(spec, nil); err != nil {
+			t.Errorf("%s (%d elements): %v\n%s",
+				spec.Name, len(spec.Elements), err, desc.Format(spec))
 		}
 	}
 }

@@ -1,19 +1,21 @@
 // Benchjson runs the repo's headline benchmarks through testing.Benchmark
 // and writes the results as one JSON document, so a PR can commit a
-// machine-readable performance snapshot (BENCH_PR7.json) instead of pasting
-// `go test -bench` output into a description. The numbers answer seven
+// machine-readable performance snapshot (BENCH_PR8.json) instead of pasting
+// `go test -bench` output into a description. The numbers answer eight
 // questions: how long a compile takes cold (small and large), how much
 // faster the warm cache path is, what the Pass 1 fan-out buys over serial
 // (at the host's GOMAXPROCS and pinned to 4), what the Pass 3 A* rework
 // buys over the seed Lee router, what the per-cell artifact store saves
 // on a one-cell spec edit (the session/watch workload), what the Pass 2
-// Espresso-style minimizer costs and saves (terms and decoder area), and
-// what the compiled switch-level simulator buys over the interpreted one
-// on the invariant checker's control-sweep workload.
+// Espresso-style minimizer costs and saves (terms and decoder area), what
+// the compiled switch-level simulator buys over the interpreted one on
+// the invariant checker's control-sweep workload, and how fast the
+// scenario grader burns through waveform vectors (the /verify and
+// bristlec -verify serving cost, compile excluded).
 //
 // Usage:
 //
-//	go run ./tools/benchjson                # write BENCH_PR7.json
+//	go run ./tools/benchjson                # write BENCH_PR8.json
 //	go run ./tools/benchjson -o bench.json  # choose the output path
 //	go run ./tools/benchjson -benchtime 2s  # run each arm longer
 package main
@@ -36,6 +38,7 @@ import (
 	"bristleblocks/internal/experiments"
 	"bristleblocks/internal/incr"
 	"bristleblocks/internal/pads"
+	"bristleblocks/internal/scenario"
 	"bristleblocks/internal/trace"
 )
 
@@ -118,13 +121,18 @@ type report struct {
 	// compiled switch-level backend buys on the invariant checker's inner
 	// loop (a full 4096-word microcode sweep of the large suite chip).
 	SimCompiledSpeedup float64 `json:"sim_compiled_speedup"`
+	// ScenarioVectorsPerSec is grading throughput over the checked-in
+	// example scenarios (compile excluded): graded vectors per second on
+	// one goroutine — the marginal serving cost of a /verify request
+	// whose compile is already paid.
+	ScenarioVectorsPerSec float64 `json:"scenario_vectors_per_sec"`
 }
 
 func main() {
 	// testing.Benchmark reads the test.benchtime flag, which only exists
 	// after testing.Init registers the testing flag set.
 	testing.Init()
-	out := flag.String("o", "BENCH_PR7.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR8.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark arm")
 	flag.Parse()
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -407,6 +415,26 @@ func main() {
 		}
 	})
 
+	// Scenario grading throughput: every checked-in example scenario
+	// graded against its pre-compiled chip. The compile happens once
+	// outside the loop — the arm measures what a warm /verify request or
+	// a bristlec -verify rerun pays per graded vector.
+	scs, scChips, nVectors, err := scenarioCorpus()
+	if err != nil {
+		fatal(err)
+	}
+	grade := run("scenario_grade", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, sc := range scs {
+				v := scenario.Grade(scChips[j], sc)
+				if !v.Passed100() {
+					b.Fatalf("scenario %s graded %d%%", sc.Name, v.GradePercent)
+				}
+			}
+		}
+	})
+
 	if hit.NSPerOp > 0 {
 		rep.CachedHitSpeedup = float64(cold.NSPerOp) / float64(hit.NSPerOp)
 		rep.CachedHitPerSec = 1e9 / float64(hit.NSPerOp)
@@ -435,6 +463,9 @@ func main() {
 	if simComp.NSPerOp > 0 {
 		rep.SimCompiledSpeedup = float64(simInterp.NSPerOp) / float64(simComp.NSPerOp)
 	}
+	if grade.NSPerOp > 0 {
+		rep.ScenarioVectorsPerSec = float64(nVectors) * 1e9 / float64(grade.NSPerOp)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -444,10 +475,52 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f), pla %.2fms for %d terms merged (%.0f λ² saved), compiled-sim speedup %.1fx -> %s\n",
+	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f), pla %.2fms for %d terms merged (%.0f λ² saved), compiled-sim speedup %.1fx, scenario grading %.0f vectors/s -> %s\n",
 		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, rep.CorePassParallelSpeedupG4,
 		rep.CorePassSerialShare, rep.PadPassSpeedupJ8, rep.IncrementalEditSpeedup, rep.IncrHitRatio,
-		rep.PlaMinimizeMS, rep.PlaTermsMerged, rep.PlaAreaSavedLambda2, rep.SimCompiledSpeedup, *out)
+		rep.PlaMinimizeMS, rep.PlaTermsMerged, rep.PlaAreaSavedLambda2, rep.SimCompiledSpeedup,
+		rep.ScenarioVectorsPerSec, *out)
+}
+
+// scenarioCorpus loads every scenario under examples/scenarios with a
+// compiled chip per scenario (index-aligned) and the total graded vector
+// count per grading sweep.
+func scenarioCorpus() ([]*scenario.Scenario, []*core.Chip, int, error) {
+	paths, err := filepath.Glob("examples/scenarios/*.sv")
+	if err != nil || len(paths) == 0 {
+		return nil, nil, 0, fmt.Errorf("no scenarios under examples/scenarios (run from the repo root): %v", err)
+	}
+	chips := map[string]*core.Chip{}
+	var scs []*scenario.Scenario
+	var scChips []*core.Chip
+	nVectors := 0
+	for _, p := range paths {
+		parsed, err := scenario.ParseFile(p)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		for _, sc := range parsed {
+			chip := chips[sc.Chip]
+			if chip == nil {
+				src, err := os.ReadFile(filepath.Join("examples", "chips", sc.Chip+".bb"))
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				spec, err := desc.Parse(string(src))
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				if chip, err = core.Compile(spec, &core.Options{SkipExtraReps: true}); err != nil {
+					return nil, nil, 0, err
+				}
+				chips[sc.Chip] = chip
+			}
+			scs = append(scs, sc)
+			scChips = append(scChips, chip)
+			nVectors += sc.Vectors()
+		}
+	}
+	return scs, scChips, nVectors, nil
 }
 
 // chipsSpecs parses every description under examples/chips — the same
