@@ -17,6 +17,9 @@
 //	bbd -log-level debug -log-json       # structured log stream as JSON
 //	bbd -flight-n 512                    # flight recorder keeps 512 compiles
 //	bbd -max-sessions 32 -session-ttl 5m # edit-session table sizing
+//	bbd -trace-export traces.jsonl       # OTLP/JSON span export, one line per compile
+//	bbd -profile-interval 1m             # continuous CPU+heap profile ring
+//	bbd -slo-window 1h -slo-availability 0.999  # error-budget objectives
 //
 // Endpoints:
 //
@@ -30,7 +33,15 @@
 //	GET  /debug/vars               expvar JSON (histograms carry p50/p95/p99)
 //	GET  /debug/compiles           flight recorder: last N compiles, newest first
 //	GET  /debug/compiles/{id}      one compile's full span tree (?format=chrome)
+//	GET  /debug/slo                error-budget burn-rate report (JSON)
+//	GET  /debug/profiles           continuous-profiling ring index (404 unless -profile-interval)
+//	GET  /debug/profiles/{id}      one captured pprof profile
 //	GET  /debug/pprof/             net/http/pprof profiler
+//
+// The compile endpoints accept a W3C traceparent header: the compile's
+// spans join the caller's distributed trace (the trace id echoes back in
+// the response's "trace_id" and in the flight record), and -trace-export
+// appends each compile's tree as one OTLP/JSON line.
 //
 // With trace=1 the response carries a "trace" array: one span per pass,
 // per element generation, and per cell stretch (a cache hit is a single
@@ -61,6 +72,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -70,6 +82,7 @@ import (
 	"time"
 
 	"bristleblocks/internal/cache"
+	"bristleblocks/internal/obs/slo"
 	"bristleblocks/internal/server"
 )
 
@@ -90,6 +103,14 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 0, "idle deadline after which an edit session expires (0 = 15m)")
 	sessionCacheMB := flag.Int("session-cache-mb", 0, "per-session artifact store budget in MiB (0 = 64)")
 	verifyDisable := flag.Bool("verify-disable", false, "skip the logic-vs-simulation check on cold compiles (benchmarking only)")
+	traceExport := flag.String("trace-export", "", "append one OTLP/JSON line per compile trace to this file (empty = off)")
+	profileInterval := flag.Duration("profile-interval", 0, "continuous-profiling ring: capture a CPU+heap profile pair this often, served at /debug/profiles (0 = off)")
+	profileKeep := flag.Int("profile-keep", 0, "profiles retained per kind in the ring (0 = 16)")
+	profileDir := flag.String("profile-dir", "", "directory for the profile ring (empty = a fresh temp dir)")
+	sloWindow := flag.Duration("slo-window", 0, "error-budget rolling window behind bbd_slo_* and /debug/slo (0 = 1h)")
+	sloAvail := flag.Float64("slo-availability", 0, "availability objective as a fraction of eligible requests (0 = 0.999)")
+	sloLatency := flag.Float64("slo-latency", 0, "latency objective: fraction of good requests under -slo-latency-ms (0 = 0.99)")
+	sloLatencyMS := flag.Duration("slo-latency-threshold", 0, "latency threshold the objective counts against (0 = 500ms)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: bbd [flags]")
@@ -108,6 +129,16 @@ func main() {
 		logger.Error("cache init failed", "err", err)
 		os.Exit(1)
 	}
+	var exportW io.Writer
+	if *traceExport != "" {
+		f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("trace export open failed", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		exportW = f
+	}
 	srv, err := server.New(server.Config{
 		Cache:              c,
 		Workers:            *pool,
@@ -120,6 +151,16 @@ func main() {
 		SessionTTL:         *sessionTTL,
 		SessionCacheMB:     *sessionCacheMB,
 		DisableVerify:      *verifyDisable,
+		TraceExport:        exportW,
+		ProfileInterval:    *profileInterval,
+		ProfileDir:         *profileDir,
+		ProfileKeep:        *profileKeep,
+		SLO: slo.Config{
+			Window:             *sloWindow,
+			AvailabilityTarget: *sloAvail,
+			LatencyTarget:      *sloLatency,
+			LatencyThreshold:   *sloLatencyMS,
+		},
 	})
 	if err != nil {
 		logger.Error("server init failed", "err", err)

@@ -26,6 +26,16 @@
 //	bristlec -watch chip.bb            # recompile on every edit, reusing
 //	                                   # unchanged cells from a warm
 //	                                   # artifact store
+//	bristlec -remote http://host:8723 chip.bb
+//	                                   # ship the spec to a bbd daemon
+//	                                   # instead of compiling locally; the
+//	                                   # request carries a W3C traceparent
+//	                                   # so the daemon's spans join this
+//	                                   # invocation's trace
+//
+// Remote mode writes the daemon's CIF to the usual output path and prints
+// the trace id; it honors -nopads but skips the local-only extras
+// (-check, -run, -plot, -reps, -trace, -verify).
 //
 // Watch mode is the paper's edit-compile design cycle as a loop: the spec
 // file is polled for changes and each save recompiles incrementally,
@@ -40,10 +50,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -79,6 +92,7 @@ func main() {
 	watch := flag.Bool("watch", false, "poll the spec file and recompile on every change, reusing unchanged cells from a warm artifact store")
 	watchInterval := flag.Duration("watch-interval", 250*time.Millisecond, "poll interval for -watch")
 	watchMax := flag.Int("watch-max", 0, "with -watch, exit after this many successful compiles (0 = until interrupted)")
+	remote := flag.String("remote", "", "compile via a bbd daemon at this base URL (e.g. http://localhost:8723) instead of locally; injects a traceparent so the daemon joins this invocation's trace")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -87,6 +101,16 @@ func main() {
 		os.Exit(2)
 	}
 	in := flag.Arg(0)
+	if *remote != "" {
+		cifPath := *out
+		if cifPath == "" {
+			cifPath = strings.TrimSuffix(in, filepath.Ext(in)) + ".cif"
+		}
+		if err := runRemote(os.Stdout, http.DefaultClient, *remote, in, cifPath, *noPads); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *watch {
 		cifPath := *out
 		if cifPath == "" {
@@ -215,6 +239,72 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// runRemote is the client half of the compile service: read the spec,
+// POST it to a bbd daemon with a freshly minted W3C traceparent header —
+// so the daemon's pass spans land under this invocation's trace id — and
+// write the returned CIF where a local compile would have. The daemon
+// echoes the trace id back; printing it gives the operator the join key
+// into the daemon's flight recorder and any exported OTLP stream.
+func runRemote(w io.Writer, client *http.Client, base, in, cifPath string, noPads bool) error {
+	src, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	u := strings.TrimRight(base, "/") + "/compile?reps=cif"
+	if noPads {
+		u += "&nopads=1"
+	}
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(src))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	sc := trace.NewSpanContext()
+	req.Header.Set("traceparent", sc.Traceparent())
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote compile: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("remote compile: %s: %s", resp.Status, e.Error)
+	}
+	var cr struct {
+		RequestID string `json:"request_id"`
+		TraceID   string `json:"trace_id"`
+		Chip      string `json:"chip"`
+		Cached    bool   `json:"cached"`
+		CIF       string `json:"cif"`
+		// core.Stats carries no json tags; fields keep their Go names.
+		Stats struct {
+			Transistors int
+			Columns     int
+			PadCount    int
+		} `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return fmt.Errorf("remote compile: decoding response: %w", err)
+	}
+	if cr.CIF == "" {
+		return fmt.Errorf("remote compile: daemon returned no CIF")
+	}
+	if err := os.WriteFile(cifPath, []byte(cr.CIF), 0o644); err != nil {
+		return err
+	}
+	served := "compiled"
+	if cr.Cached {
+		served = "cached"
+	}
+	fmt.Fprintf(w, "%s: %d transistors, %d columns, %d pads -> %s (%s by %s, request %s, trace %s)\n",
+		cr.Chip, cr.Stats.Transistors, cr.Stats.Columns, cr.Stats.PadCount,
+		cifPath, served, strings.TrimRight(base, "/"), cr.RequestID, cr.TraceID)
+	return nil
 }
 
 // runVerify grades every scenario in a .sv file against the compiled

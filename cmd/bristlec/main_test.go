@@ -2,6 +2,10 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -11,7 +15,80 @@ import (
 	"time"
 
 	"bristleblocks"
+	"bristleblocks/internal/server"
 )
+
+// TestRemoteCompile drives -remote end to end against a live daemon: the
+// CIF the daemon returns lands on disk byte-identical to a local compile,
+// and the traceparent bristlec injects is the trace id the daemon's
+// flight recorder filed the compile under.
+func TestRemoteCompile(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 2, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	in := filepath.Join("..", "..", "examples", "chips", "adder4.bb")
+	cifPath := filepath.Join(t.TempDir(), "chip.cif")
+	var buf bytes.Buffer
+	if err := runRemote(&buf, ts.Client(), ts.URL, in, cifPath, false); err != nil {
+		t.Fatalf("runRemote: %v", err)
+	}
+	out := buf.String()
+	m := regexp.MustCompile(`request (\S+), trace ([0-9a-f]{32})\)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("summary line carries no request/trace ids:\n%s", out)
+	}
+	reqID, traceID := m[1], m[2]
+
+	// The daemon filed the compile under the same trace id.
+	fresp, err := http.Get(ts.URL + "/debug/compiles/" + reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	var rec struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.NewDecoder(fresp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceID != traceID {
+		t.Errorf("flight record trace_id = %q, bristlec injected %q", rec.TraceID, traceID)
+	}
+
+	// The remote CIF matches a local compile of the same spec.
+	src, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := bristleblocks.ParseSpec(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := bristleblocks.Compile(spec, &bristleblocks.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := bristleblocks.WriteCIF(&want, chip); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(cifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Error("remote CIF differs from a local compile")
+	}
+}
 
 // TestWatchRecompilesOnEdit drives the -watch loop end to end: the first
 // compile is cold, an edit to the spec file triggers a warm recompile

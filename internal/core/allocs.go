@@ -1,0 +1,52 @@
+package core
+
+// Per-pass allocation attribution: CompileCtx brackets each pass with a
+// read of the runtime's cumulative allocation counters (rtm.ReadAllocs)
+// and records the deltas here. This is the evidence feed for the
+// zero-alloc roadmap item — BENCH_PR5's whole-process "14.7k allocs per
+// large compile" cannot say *which* pass to arena first; these fields
+// can.
+//
+// The counters are process-wide, so a delta includes whatever other
+// goroutines allocated during the pass. Attribution is exact when the
+// process compiles one chip at a time (the benchmark and CLI case) and
+// an upper bound under a concurrent daemon — which is still the right
+// signal for "which pass grew", since the noise spreads across all
+// passes. Allocs live on Chip, not Stats: Stats is byte-compared by the
+// differential harness and cached content-addressed, and allocation
+// counts are legitimately nondeterministic.
+
+// AllocDelta is the allocation appetite of one interval: objects and
+// bytes allocated (cumulative-counter deltas, so frees don't subtract).
+type AllocDelta struct {
+	Objects uint64 `json:"objects"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// Add accumulates another delta (used by metrics aggregation).
+func (d *AllocDelta) Add(o AllocDelta) {
+	d.Objects += o.Objects
+	d.Bytes += o.Bytes
+}
+
+// CompileAllocs attributes one compile's allocations to its passes.
+// Total brackets the whole CompileCtx call (including representation
+// building and inter-pass glue), so Core+Control+Pads+Reps ≤ Total and
+// the gap is the unattributed remainder.
+type CompileAllocs struct {
+	Core    AllocDelta `json:"core"`
+	Control AllocDelta `json:"control"`
+	Pads    AllocDelta `json:"pads"`
+	Reps    AllocDelta `json:"reps"`
+	Total   AllocDelta `json:"total"`
+}
+
+// Attributed sums the per-pass deltas (everything except the glue).
+func (c CompileAllocs) Attributed() AllocDelta {
+	var d AllocDelta
+	d.Add(c.Core)
+	d.Add(c.Control)
+	d.Add(c.Pads)
+	d.Add(c.Reps)
+	return d
+}

@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bristleblocks/internal/core"
+	"bristleblocks/internal/desc"
+)
+
+// TestAllocAttribution compiles the example chips solo and checks that
+// the per-pass deltas account for at least 90% of the whole-compile
+// allocation delta — the ISSUE 9 acceptance bar. Run with no parallel
+// siblings (the counters are process-wide).
+func TestAllocAttribution(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("..", "..", "examples", "chips", "*.bb"))
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no example chips found: %v", err)
+	}
+	for _, path := range specs {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := desc.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			chip, err := core.Compile(spec, &core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := chip.Allocs
+			if a.Total.Objects == 0 || a.Total.Bytes == 0 {
+				t.Fatalf("no total alloc delta recorded: %+v", a)
+			}
+			if a.Core.Objects == 0 {
+				t.Error("core pass recorded zero allocations")
+			}
+			att := a.Attributed()
+			if att.Objects > a.Total.Objects || att.Bytes > a.Total.Bytes {
+				t.Errorf("attributed %+v exceeds total %+v", att, a.Total)
+			}
+			// ≥ 90% of the compile's allocations must land in a named pass.
+			if float64(att.Objects) < 0.9*float64(a.Total.Objects) {
+				t.Errorf("object attribution %.1f%% < 90%% (attributed %d of %d)",
+					100*float64(att.Objects)/float64(a.Total.Objects), att.Objects, a.Total.Objects)
+			}
+			if float64(att.Bytes) < 0.9*float64(a.Total.Bytes) {
+				t.Errorf("byte attribution %.1f%% < 90%% (attributed %d of %d)",
+					100*float64(att.Bytes)/float64(a.Total.Bytes), att.Bytes, a.Total.Bytes)
+			}
+		})
+	}
+}
+
+// TestAllocsExcludedFromStats pins the determinism contract: Stats must
+// not grow allocation fields (it is byte-compared across differential
+// legs), so the measurement lives on Chip.Allocs alongside Times.
+func TestAllocsExcludedFromStats(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "chips", "adder4.bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := desc.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Compile(spec, &core.Options{SkipPads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Compile(spec, &core.Options{SkipPads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("Stats differ across identical compiles:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bristleblocks/internal/obs"
+	"bristleblocks/internal/obs/rtm"
 
 	"bristleblocks/internal/bus"
 	"bristleblocks/internal/cell"
@@ -132,6 +133,11 @@ type Chip struct {
 	Stats Stats
 	Times PassTimes
 
+	// Allocs attributes the compile's allocations to its passes (see
+	// allocs.go). Like Times — and unlike Stats — it is nondeterministic
+	// measurement, excluded from caching and differential comparison.
+	Allocs CompileAllocs
+
 	columns []*column
 	plan    *bus.Plan
 
@@ -171,6 +177,7 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	tr := trace.FromContext(ctx)
 	log := obs.Logger(ctx)
 	t0 := time.Now()
+	allocO0, allocB0 := rtm.ReadAllocs()
 
 	// The root span covers the whole compile; pass spans hang under it so
 	// the exported tree reads compile → pass.core → gen.*/stretch.*. Pass
@@ -178,12 +185,20 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	// record still shows where the time went.
 	root := tr.StartSpan(nil, "compile", trace.PassCompile, trace.Coordinator).
 		Attr("chip", spec.Name)
+	if link, ok := tr.Link(); ok {
+		// The compile joined a distributed trace (a traceparent header
+		// reached the daemon); stamp the id so exported spans correlate.
+		root.Attr("trace_id", link.Self.TraceIDString())
+	}
 	defer root.End()
 
 	// ---- Pass 1: core layout.
 	coreSpan := tr.StartSpan(root, "pass.core", trace.PassCore, trace.Coordinator)
 	err := chip.corePass(trace.WithSpan(ctx, coreSpan))
 	coreSpan.Attr("columns", strconv.Itoa(len(chip.columns)))
+	allocO1, allocB1 := rtm.ReadAllocs()
+	chip.Allocs.Core = AllocDelta{Objects: allocO1 - allocO0, Bytes: allocB1 - allocB0}
+	spanAllocs(coreSpan, chip.Allocs.Core)
 	coreSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core pass: %w", err)
@@ -201,9 +216,13 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	t1 := time.Now()
+	allocO2, allocB2 := rtm.ReadAllocs()
 	ctlSpan := tr.StartSpan(root, "pass.control", trace.PassControl, trace.Coordinator)
 	err = chip.controlPass(trace.WithSpan(ctx, ctlSpan))
 	ctlSpan.Attr("pla_terms", strconv.Itoa(chip.Stats.PLATerms))
+	allocO3, allocB3 := rtm.ReadAllocs()
+	chip.Allocs.Control = AllocDelta{Objects: allocO3 - allocO2, Bytes: allocB3 - allocB2}
+	spanAllocs(ctlSpan, chip.Allocs.Control)
 	ctlSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("control pass: %w", err)
@@ -221,6 +240,7 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 	}
 	t2 := time.Now()
 	if !opts.SkipPads {
+		allocO4, allocB4 := rtm.ReadAllocs()
 		padSpan := tr.StartSpan(root, "pass.pads", trace.PassPads, trace.Coordinator)
 		err = chip.padPass(trace.WithSpan(ctx, padSpan))
 		padSpan.Attr("pad_requests", strconv.Itoa(chip.Stats.PadRequests)).
@@ -228,6 +248,9 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 			Attr("route_conflicts", strconv.FormatInt(chip.Stats.RouteConflicts, 10)).
 			Attr("route_retries", strconv.FormatInt(chip.Stats.RouteRetries, 10)).
 			Attr("route_cells_expanded", strconv.FormatInt(chip.Stats.RouteCellsExpanded, 10))
+		allocO5, allocB5 := rtm.ReadAllocs()
+		chip.Allocs.Pads = AllocDelta{Objects: allocO5 - allocO4, Bytes: allocB5 - allocB4}
+		spanAllocs(padSpan, chip.Allocs.Pads)
 		padSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("pad pass: %w", err)
@@ -245,13 +268,27 @@ func CompileCtx(ctx context.Context, spec *Spec, opts *Options) (*Chip, error) {
 		return nil, fmt.Errorf("compile: %w", err)
 	}
 	if !opts.SkipExtraReps {
+		allocO6, allocB6 := rtm.ReadAllocs()
 		repsSpan := tr.StartSpan(root, "pass.representations", trace.PassReps, trace.Coordinator)
 		chip.buildRepresentations()
+		allocO7, allocB7 := rtm.ReadAllocs()
+		chip.Allocs.Reps = AllocDelta{Objects: allocO7 - allocO6, Bytes: allocB7 - allocB6}
+		spanAllocs(repsSpan, chip.Allocs.Reps)
 		repsSpan.End()
 	}
 	chip.Times.Total = time.Since(t0)
 	chip.fillStats()
+	allocOEnd, allocBEnd := rtm.ReadAllocs()
+	chip.Allocs.Total = AllocDelta{Objects: allocOEnd - allocO0, Bytes: allocBEnd - allocB0}
+	spanAllocs(root, chip.Allocs.Total)
 	return chip, nil
+}
+
+// spanAllocs tags a pass span with its allocation delta, mirroring the
+// Chip.Allocs fields into the exported trace.
+func spanAllocs(a *trace.Active, d AllocDelta) {
+	a.Attr("allocs", strconv.FormatUint(d.Objects, 10)).
+		Attr("alloc_bytes", strconv.FormatUint(d.Bytes, 10))
 }
 
 // CoreOnly runs Pass 1 alone and returns the chip with its core layout,

@@ -17,6 +17,7 @@ import (
 	"bristleblocks/internal/scenario"
 	"bristleblocks/internal/server"
 	"bristleblocks/internal/specgen"
+	"bristleblocks/internal/trace"
 )
 
 // The property-based harness: generate specs, cross-check every chip's
@@ -189,8 +190,17 @@ func TestHarnessDaemon(t *testing.T) {
 			t.Fatalf("seed %d (%s): local compile: %v", seed, spec.Name, err)
 		}
 
-		resp, err := http.Post(ts.URL+"/compile?nopads=1&reps=all", "text/plain",
+		// The HTTP arm injects a traceparent like any farm client would;
+		// the daemon must join that trace, not mint its own.
+		sc := trace.NewSpanContext()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/compile?nopads=1&reps=all",
 			strings.NewReader(desc.Format(spec)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		req.Header.Set("traceparent", sc.Traceparent())
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -220,6 +230,9 @@ func TestHarnessDaemon(t *testing.T) {
 		}
 		if cr.Chip != spec.Name {
 			t.Errorf("seed %d: daemon says chip %q, spec says %q", seed, cr.Chip, spec.Name)
+		}
+		if cr.TraceID != sc.TraceIDString() {
+			t.Errorf("seed %d: daemon compiled under trace %q, client injected %q", seed, cr.TraceID, sc.TraceIDString())
 		}
 	}
 	t.Logf("daemon: %d specs compared over HTTP (first seed %d)", n, *flagSeed)

@@ -25,6 +25,23 @@ const (
 	OutcomeCanceled = "canceled"
 )
 
+// AllocDelta mirrors core.AllocDelta (objects and bytes allocated in an
+// interval) without importing the compiler: the recorder is a leaf
+// package the compiler itself must stay free to import.
+type AllocDelta struct {
+	Objects uint64 `json:"objects"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// Allocs is a compile's per-pass allocation attribution as recorded.
+type Allocs struct {
+	Core    AllocDelta `json:"core"`
+	Control AllocDelta `json:"control"`
+	Pads    AllocDelta `json:"pads"`
+	Reps    AllocDelta `json:"reps"`
+	Total   AllocDelta `json:"total"`
+}
+
 // Record is one compile's post-hoc evidence.
 type Record struct {
 	// ID is the request ID the daemon minted for the compile (unique
@@ -49,6 +66,13 @@ type Record struct {
 	Error string `json:"error,omitempty"`
 	// DurUS is the compile's wall clock in microseconds.
 	DurUS int64 `json:"dur_us"`
+	// TraceID is the compile's distributed trace id (32 hex digits) —
+	// inherited from the client's traceparent header or minted by the
+	// daemon — so one flight record joins up with external tracing.
+	TraceID string `json:"trace_id,omitempty"`
+	// Allocs is the per-pass allocation attribution (nil when the
+	// compile never produced a chip).
+	Allocs *Allocs `json:"allocs,omitempty"`
 	// Spans is the compile's full span tree.
 	Spans []trace.Span `json:"spans,omitempty"`
 }

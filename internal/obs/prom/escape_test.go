@@ -1,0 +1,130 @@
+package prom
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`quo"te`, `quo\"te`},
+		{"new\nline", `new\nline`},
+		{`\`, `\\`},
+		{`"`, `\"`},
+		// The format escapes nothing else: tabs and non-ASCII pass raw.
+		{"tab\there", "tab\there"},
+		{"héllo", "héllo"},
+	} {
+		if got := escapeLabel(tc.in); got != tc.want {
+			t.Errorf("escapeLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestUnquoteLabel(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+		ok       bool
+	}{
+		{`"plain"`, "plain", true},
+		{`"a\\b"`, `a\b`, true},
+		{`"a\"b"`, `a"b`, true},
+		{`"a\nb"`, "a\nb", true},
+		{`"a\\"`, `a\`, true},
+		{`"tab	raw"`, "tab\traw", true},
+		{`"héllo"`, "héllo", true},
+		{`unquoted`, "", false},
+		{`"trailing\"`, "", false}, // the \" escapes the closer: unterminated
+		{`"bad\tescape"`, "", false},
+		{`"`, "", false},
+	} {
+		got, err := unquoteLabel(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("unquoteLabel(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("unquoteLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestLabelRoundTrip is the satellite's contract: any label value the
+// writer emits, the parser reads back byte-identical — including the
+// three escaped characters and the `\\"` sequence the old quote-tracking
+// split got wrong.
+func TestLabelRoundTrip(t *testing.T) {
+	values := map[string]float64{
+		"plain":          1,
+		`with"quote`:     2,
+		`with\backslash`: 3,
+		"with\nnewline":  4,
+		`ends with \`:    5,
+		`\" both`:        6,
+		"tab\tand é":     7,
+		"":               8,
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.GaugeVec("bb_test_escape", "label escaping round trip", "v", values)
+	w.CounterVec("bb_test_escape_ctr", "counter flavor", "v", values)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	page, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("parse emitted page: %v\npage:\n%s", err, buf.String())
+	}
+	seen := map[string]map[string]float64{}
+	for _, s := range page.Samples {
+		if seen[s.Name] == nil {
+			seen[s.Name] = map[string]float64{}
+		}
+		seen[s.Name][s.Labels["v"]] = s.Value
+	}
+	for name := range map[string]bool{"bb_test_escape": true, "bb_test_escape_ctr": true} {
+		got := seen[name]
+		if len(got) != len(values) {
+			t.Errorf("%s: %d samples back, want %d: %v", name, len(got), len(values), got)
+		}
+		for k, v := range values {
+			if got[k] != v {
+				t.Errorf("%s{v=%q} = %v, want %v", name, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestLabelValueWithComma pins the splitter on commas inside quotes.
+func TestLabelValueWithComma(t *testing.T) {
+	page, err := Parse(strings.NewReader(
+		"# HELP m h\n# TYPE m gauge\n" +
+			`m{a="x,y",b="z"} 1` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := page.Samples[0]
+	if s.Labels["a"] != "x,y" || s.Labels["b"] != "z" {
+		t.Errorf("labels = %v", s.Labels)
+	}
+}
+
+// TestEscapedBackslashBeforeQuote is the exact case the old lookbehind
+// mis-split: `a="x\\",b="y"` — the backslash is escaped, the quote after
+// it closes the value.
+func TestEscapedBackslashBeforeQuote(t *testing.T) {
+	page, err := Parse(strings.NewReader(
+		"# HELP m h\n# TYPE m gauge\n" +
+			`m{a="x\\",b="y,z"} 7` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := page.Samples[0]
+	if s.Labels["a"] != `x\` || s.Labels["b"] != "y,z" {
+		t.Errorf("labels = %v", s.Labels)
+	}
+}

@@ -99,9 +99,9 @@ func parseSample(line string) (Sample, error) {
 			if !ok {
 				return s, fmt.Errorf("bad label %q", pair)
 			}
-			uq, err := strconv.Unquote(strings.TrimSpace(v))
+			uq, err := unquoteLabel(strings.TrimSpace(v))
 			if err != nil {
-				return s, fmt.Errorf("label %s value %q is not quoted: %v", k, v, err)
+				return s, fmt.Errorf("label %s value %q: %v", k, v, err)
 			}
 			s.Labels[strings.TrimSpace(k)] = uq
 		}
@@ -126,17 +126,22 @@ func parseSample(line string) (Sample, error) {
 	return s, nil
 }
 
-// splitLabels splits `a="x",b="y"` on commas outside quotes.
+// splitLabels splits `a="x",b="y"` on commas outside quotes, tracking
+// escape state so an escaped backslash before a closing quote (`"x\\"`)
+// doesn't read as an escaped quote (the `s[i-1] != '\\'` lookbehind this
+// replaces got exactly that case wrong).
 func splitLabels(s string) []string {
 	var out []string
 	inQ := false
 	last := 0
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
-		case '"':
-			if i == 0 || s[i-1] != '\\' {
-				inQ = !inQ
+		case '\\':
+			if inQ {
+				i++ // the escaped byte can't open, close, or split
 			}
+		case '"':
+			inQ = !inQ
 		case ',':
 			if !inQ {
 				out = append(out, s[last:i])
@@ -148,6 +153,44 @@ func splitLabels(s string) []string {
 		out = append(out, t)
 	}
 	return out
+}
+
+// unquoteLabel undoes the exposition format's label quoting: the value
+// must be double-quoted, and the only recognized escapes are \\, \",
+// and \n — strconv.Unquote is close but wrong (it rejects raw tabs and
+// accepts \t, \x41, é, none of which the format defines).
+func unquoteLabel(v string) (string, error) {
+	if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+		return "", fmt.Errorf("not quoted")
+	}
+	body := v[1 : len(v)-1]
+	if !strings.ContainsRune(body, '\\') {
+		return body, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch body[i] {
+		case '\\':
+			sb.WriteByte('\\')
+		case '"':
+			sb.WriteByte('"')
+		case 'n':
+			sb.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return sb.String(), nil
 }
 
 func parseValue(s string) (float64, error) {

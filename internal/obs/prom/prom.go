@@ -65,7 +65,7 @@ func (p *Writer) GaugeVec(name, help, label string, values map[string]float64) {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		p.printf("%s{%s=%q} %s\n", name, label, k, formatValue(values[k]))
+		p.printf("%s{%s=\"%s\"} %s\n", name, label, escapeLabel(k), formatValue(values[k]))
 	}
 }
 
@@ -78,7 +78,7 @@ func (p *Writer) CounterVec(name, help, label string, values map[string]float64)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		p.printf("%s{%s=%q} %s\n", name, label, k, formatValue(values[k]))
+		p.printf("%s{%s=\"%s\"} %s\n", name, label, escapeLabel(k), formatValue(values[k]))
 	}
 }
 
@@ -122,4 +122,32 @@ func formatValue(v float64) string {
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
 	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format: exactly
+// backslash, double-quote, and newline — and nothing else. Go's %q is
+// close but wrong here: it also escapes tabs, control bytes, and
+// non-ASCII, which a format-conformant scraper would read back
+// literally (the format's only escapes inside label quotes are \\, \",
+// and \n).
+func escapeLabel(s string) string {
+	// Fast path: most label values (pass names, chip names) need nothing.
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+	return sb.String()
 }

@@ -1,0 +1,130 @@
+package rtm
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReadPopulatesGauges(t *testing.T) {
+	runtime.GC() // ensure at least one cycle and some pause samples exist
+	s := Read()
+	if s.When.IsZero() {
+		t.Error("When is zero")
+	}
+	if s.HeapBytes == 0 {
+		t.Error("HeapBytes = 0")
+	}
+	if s.TotalBytes < s.HeapBytes {
+		t.Errorf("TotalBytes %d < HeapBytes %d", s.TotalBytes, s.HeapBytes)
+	}
+	if s.Goroutines == 0 {
+		t.Error("Goroutines = 0")
+	}
+	if s.GCCycles == 0 {
+		t.Error("GCCycles = 0 after runtime.GC()")
+	}
+	if s.AllocObjects == 0 || s.AllocBytes == 0 {
+		t.Errorf("cumulative allocs = %d objects / %d bytes", s.AllocObjects, s.AllocBytes)
+	}
+	if len(s.GCPause.Bounds) != len(histBounds) || len(s.GCPause.Counts) != len(histBounds)+1 {
+		t.Errorf("GCPause shape: %d bounds / %d counts", len(s.GCPause.Bounds), len(s.GCPause.Counts))
+	}
+	if s.GCPause.Total == 0 {
+		t.Error("GCPause.Total = 0 after runtime.GC()")
+	}
+	var counted uint64
+	for _, c := range s.GCPause.Counts {
+		counted += c
+	}
+	if counted != s.GCPause.Total {
+		t.Errorf("GCPause counts sum %d != Total %d", counted, s.GCPause.Total)
+	}
+}
+
+func TestReadAllocsMonotonic(t *testing.T) {
+	o1, b1 := ReadAllocs()
+	if o1 == 0 || b1 == 0 {
+		t.Fatalf("ReadAllocs = %d, %d", o1, b1)
+	}
+	sink := make([][]byte, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		sink = append(sink, make([]byte, 100))
+	}
+	o2, b2 := ReadAllocs()
+	if o2 <= o1 || b2 <= b1 {
+		t.Errorf("counters did not advance: objects %d->%d bytes %d->%d", o1, o2, b1, b2)
+	}
+	if b2-b1 < 100*1000 {
+		t.Errorf("byte delta %d smaller than the %d bytes just allocated", b2-b1, 100*1000)
+	}
+	_ = sink
+}
+
+func TestSamplerThrottles(t *testing.T) {
+	s := NewSampler(time.Hour)
+	fake := time.Unix(1000, 0)
+	s.now = func() time.Time { return fake }
+
+	a := s.Snapshot()
+	b := s.Snapshot() // inside the interval: must be the cached read
+	if a.When != b.When {
+		t.Error("second Snapshot inside the interval re-read the runtime")
+	}
+	fake = fake.Add(2 * time.Hour)
+	c := s.Snapshot()
+	if c.When == a.When {
+		t.Error("Snapshot after the interval did not re-read")
+	}
+}
+
+func TestSamplerUnthrottled(t *testing.T) {
+	s := NewSampler(0)
+	a := s.Snapshot()
+	b := s.Snapshot()
+	// AllocObjects is cumulative and this test allocates, so a fresh read
+	// can only move forward; equality would mean a stale cache.
+	if b.AllocObjects < a.AllocObjects {
+		t.Errorf("alloc counter went backwards: %d -> %d", a.AllocObjects, b.AllocObjects)
+	}
+}
+
+func TestSamplerConcurrent(t *testing.T) {
+	s := NewSampler(time.Millisecond)
+	stop := s.Start(time.Millisecond)
+	defer stop()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				snap := s.Snapshot()
+				if snap.When.IsZero() {
+					t.Error("zero snapshot under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stop() // idempotent
+}
+
+func TestRebucketEdges(t *testing.T) {
+	h := Hist{}
+	_ = h
+	// pickMid handles the runtime's infinite edge buckets without NaN/Inf
+	// escaping into Sum.
+	for _, tc := range []struct{ lo, hi float64 }{
+		{-1e300, 1e-7},
+		{1, 1e300},
+		{1e-6, 1e-5},
+	} {
+		mid := pickMid(tc.lo, tc.hi)
+		if mid != mid || mid < 0 {
+			t.Errorf("pickMid(%g,%g) = %g", tc.lo, tc.hi, mid)
+		}
+	}
+}

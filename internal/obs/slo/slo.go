@@ -1,0 +1,219 @@
+// Package slo tracks service-level-objective error budgets over compile
+// outcomes: an availability objective (fraction of well-formed requests
+// answered without server error) and a latency objective (fraction
+// answered under a threshold), each measured over a rolling window and
+// expressed as a burn rate — how fast the error budget is being spent
+// relative to the rate that would exactly exhaust it at the window's
+// end. Burn rate 1.0 means on track to spend the whole budget; 14.4
+// (Google's classic page threshold for a 1h window on a 30d budget)
+// means wake someone up. The daemon exports the numbers as bbd_slo_*
+// gauges and a /debug/slo JSON view.
+//
+// Mechanics: outcomes land in per-second buckets on a ring sized to the
+// window, so Record is O(1), memory is bounded by the window, and a
+// report is one pass over the ring. Two horizons are reported — a short
+// 5-minute window for fast burn and the full window for slow burn — the
+// standard multi-window alerting pair.
+package slo
+
+import (
+	"sync"
+	"time"
+)
+
+// Outcome classifies one finished request for SLO accounting.
+type Outcome int
+
+const (
+	// Good is a successful response within the server's control.
+	Good Outcome = iota
+	// ServerError is a failure charged to the service (5xx: timeouts,
+	// queue sheds, internal errors).
+	ServerError
+	// ClientError is a malformed or oversized request (4xx). It counts
+	// toward neither objective: the service cannot compile a spec the
+	// client never validly sent, so charging it would let abusive
+	// traffic burn the budget.
+	ClientError
+)
+
+// ShortWindow is the fast-burn horizon reported alongside the full
+// window.
+const ShortWindow = 5 * time.Minute
+
+// bucket accumulates one second of outcomes.
+type bucket struct {
+	sec    int64 // unix second this bucket currently represents
+	good   uint64
+	errs   uint64 // server errors
+	client uint64
+	slow   uint64 // good-or-error responses over the latency threshold
+}
+
+// Config sets the tracker's objectives.
+type Config struct {
+	// Window is the full budget horizon (default 1h).
+	Window time.Duration
+	// AvailabilityTarget is the fraction of eligible requests that must
+	// not be server errors (default 0.999).
+	AvailabilityTarget float64
+	// LatencyTarget is the fraction of eligible requests that must
+	// finish under LatencyThreshold (default 0.99).
+	LatencyTarget float64
+	// LatencyThreshold is the "fast enough" bound (default 500ms).
+	LatencyThreshold time.Duration
+}
+
+func (c *Config) fill() {
+	if c.Window <= 0 {
+		c.Window = time.Hour
+	}
+	if c.AvailabilityTarget <= 0 || c.AvailabilityTarget >= 1 {
+		c.AvailabilityTarget = 0.999
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.99
+	}
+	if c.LatencyThreshold <= 0 {
+		c.LatencyThreshold = 500 * time.Millisecond
+	}
+}
+
+// Tracker accumulates outcomes and reports budget burn. Safe for
+// concurrent use. The zero value is not usable; call New.
+type Tracker struct {
+	cfg Config
+	now func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets []bucket
+}
+
+// New builds a tracker with cfg's objectives (zero fields defaulted).
+func New(cfg Config) *Tracker {
+	cfg.fill()
+	n := int(cfg.Window / time.Second)
+	if n < 1 {
+		n = 1
+	}
+	return &Tracker{cfg: cfg, now: time.Now, buckets: make([]bucket, n)}
+}
+
+// Config returns the tracker's filled configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Record lands one finished request. latency matters only for Good and
+// ServerError outcomes (a latency objective over requests the service
+// actually worked on).
+func (t *Tracker) Record(o Outcome, latency time.Duration) {
+	sec := t.now().Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buckets[sec%int64(len(t.buckets))]
+	if b.sec != sec {
+		// The ring lapped this slot (or it's untouched): reset for the
+		// current second.
+		*b = bucket{sec: sec}
+	}
+	switch o {
+	case Good:
+		b.good++
+	case ServerError:
+		b.errs++
+	case ClientError:
+		b.client++
+		return
+	}
+	if latency > t.cfg.LatencyThreshold {
+		b.slow++
+	}
+}
+
+// WindowReport is one horizon's budget accounting.
+type WindowReport struct {
+	// WindowSeconds is the horizon length.
+	WindowSeconds int64 `json:"window_seconds"`
+	// Eligible is good + server-error requests (the SLO denominator).
+	Eligible uint64 `json:"eligible"`
+	// ClientErrors is the excluded 4xx count (visibility only).
+	ClientErrors uint64 `json:"client_errors"`
+
+	// Availability is good / eligible (1 when idle: an idle service has
+	// broken no promise).
+	Availability float64 `json:"availability"`
+	// AvailabilityBurnRate is the error rate over the budget rate: >1
+	// burns faster than the window can absorb.
+	AvailabilityBurnRate float64 `json:"availability_burn_rate"`
+
+	// LatencyCompliance is the fraction of eligible requests under the
+	// threshold.
+	LatencyCompliance float64 `json:"latency_compliance"`
+	// LatencyBurnRate is the slow rate over the latency budget rate.
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+}
+
+// Report is the full /debug/slo document.
+type Report struct {
+	AvailabilityTarget float64      `json:"availability_target"`
+	LatencyTarget      float64      `json:"latency_target"`
+	LatencyThresholdMS int64        `json:"latency_threshold_ms"`
+	Short              WindowReport `json:"short"`
+	Full               WindowReport `json:"full"`
+}
+
+// Snapshot reports both horizons as of now.
+func (t *Tracker) Snapshot() Report {
+	nowSec := t.now().Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	short := int64(ShortWindow / time.Second)
+	full := int64(len(t.buckets))
+	if short > full {
+		short = full
+	}
+	var s, f bucket
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		age := nowSec - b.sec
+		if age < 0 || age >= full {
+			continue // future clock skew, lapped slot, or untouched (sec 0)
+		}
+		f.good += b.good
+		f.errs += b.errs
+		f.client += b.client
+		f.slow += b.slow
+		if age < short {
+			s.good += b.good
+			s.errs += b.errs
+			s.client += b.client
+			s.slow += b.slow
+		}
+	}
+	return Report{
+		AvailabilityTarget: t.cfg.AvailabilityTarget,
+		LatencyTarget:      t.cfg.LatencyTarget,
+		LatencyThresholdMS: t.cfg.LatencyThreshold.Milliseconds(),
+		Short:              t.windowReport(s, short),
+		Full:               t.windowReport(f, full),
+	}
+}
+
+func (t *Tracker) windowReport(b bucket, secs int64) WindowReport {
+	r := WindowReport{
+		WindowSeconds: secs,
+		Eligible:      b.good + b.errs,
+		ClientErrors:  b.client,
+		Availability:  1, LatencyCompliance: 1,
+	}
+	if r.Eligible == 0 {
+		return r
+	}
+	n := float64(r.Eligible)
+	r.Availability = float64(b.good) / n
+	r.LatencyCompliance = float64(r.Eligible-b.slow) / n
+	// Burn rate: observed bad fraction over the budgeted bad fraction.
+	r.AvailabilityBurnRate = (float64(b.errs) / n) / (1 - t.cfg.AvailabilityTarget)
+	r.LatencyBurnRate = (float64(b.slow) / n) / (1 - t.cfg.LatencyTarget)
+	return r
+}

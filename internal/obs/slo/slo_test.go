@@ -1,0 +1,171 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a Tracker deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newFakeTracker(cfg Config) (*Tracker, *fakeClock) {
+	tr := New(cfg)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	tr.now = clk.now
+	return tr, clk
+}
+
+func TestIdleReportsFullBudget(t *testing.T) {
+	tr, _ := newFakeTracker(Config{})
+	r := tr.Snapshot()
+	if r.Full.Availability != 1 || r.Full.LatencyCompliance != 1 {
+		t.Errorf("idle availability/latency = %v/%v, want 1/1", r.Full.Availability, r.Full.LatencyCompliance)
+	}
+	if r.Full.AvailabilityBurnRate != 0 || r.Full.LatencyBurnRate != 0 {
+		t.Errorf("idle burn rates = %v/%v, want 0/0", r.Full.AvailabilityBurnRate, r.Full.LatencyBurnRate)
+	}
+	if r.AvailabilityTarget != 0.999 || r.LatencyTarget != 0.99 || r.LatencyThresholdMS != 500 {
+		t.Errorf("defaults not filled: %+v", r)
+	}
+}
+
+func TestAvailabilityBurn(t *testing.T) {
+	tr, _ := newFakeTracker(Config{AvailabilityTarget: 0.99})
+	// 1000 requests, 20 server errors: error rate 2%, budget 1% → burn 2.
+	for i := 0; i < 980; i++ {
+		tr.Record(Good, time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Record(ServerError, time.Millisecond)
+	}
+	r := tr.Snapshot()
+	if r.Full.Eligible != 1000 {
+		t.Fatalf("eligible = %d", r.Full.Eligible)
+	}
+	if got, want := r.Full.Availability, 0.98; got != want {
+		t.Errorf("availability = %v, want %v", got, want)
+	}
+	if got, want := r.Full.AvailabilityBurnRate, 2.0; !close(got, want) {
+		t.Errorf("burn rate = %v, want %v", got, want)
+	}
+}
+
+func TestLatencyBurn(t *testing.T) {
+	tr, _ := newFakeTracker(Config{LatencyTarget: 0.9, LatencyThreshold: 100 * time.Millisecond})
+	// 100 requests, 20 slow: slow rate 20%, budget 10% → burn 2.
+	for i := 0; i < 80; i++ {
+		tr.Record(Good, 10*time.Millisecond)
+	}
+	for i := 0; i < 20; i++ {
+		tr.Record(Good, 200*time.Millisecond)
+	}
+	r := tr.Snapshot()
+	if got, want := r.Full.LatencyCompliance, 0.8; !close(got, want) {
+		t.Errorf("latency compliance = %v, want %v", got, want)
+	}
+	if got, want := r.Full.LatencyBurnRate, 2.0; !close(got, want) {
+		t.Errorf("latency burn = %v, want %v", got, want)
+	}
+}
+
+func TestClientErrorsExcluded(t *testing.T) {
+	tr, _ := newFakeTracker(Config{})
+	tr.Record(Good, time.Millisecond)
+	for i := 0; i < 50; i++ {
+		tr.Record(ClientError, time.Second) // latency of a 4xx never counts
+	}
+	r := tr.Snapshot()
+	if r.Full.Eligible != 1 {
+		t.Errorf("eligible = %d, want 1 (client errors excluded)", r.Full.Eligible)
+	}
+	if r.Full.ClientErrors != 50 {
+		t.Errorf("client errors = %d, want 50", r.Full.ClientErrors)
+	}
+	if r.Full.Availability != 1 || r.Full.LatencyBurnRate != 0 {
+		t.Errorf("client errors leaked into objectives: %+v", r.Full)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	tr, clk := newFakeTracker(Config{Window: time.Hour})
+	for i := 0; i < 10; i++ {
+		tr.Record(ServerError, time.Millisecond)
+	}
+	if r := tr.Snapshot(); r.Full.Eligible != 10 {
+		t.Fatalf("eligible = %d", r.Full.Eligible)
+	}
+	clk.advance(time.Hour + time.Second)
+	if r := tr.Snapshot(); r.Full.Eligible != 0 {
+		t.Errorf("eligible after window expiry = %d, want 0", r.Full.Eligible)
+	}
+}
+
+func TestShortVsFullWindow(t *testing.T) {
+	tr, clk := newFakeTracker(Config{Window: time.Hour})
+	// Old errors: outside the 5m short window, inside the full hour.
+	for i := 0; i < 10; i++ {
+		tr.Record(ServerError, time.Millisecond)
+	}
+	clk.advance(10 * time.Minute)
+	for i := 0; i < 10; i++ {
+		tr.Record(Good, time.Millisecond)
+	}
+	r := tr.Snapshot()
+	if r.Short.Eligible != 10 || r.Short.Availability != 1 {
+		t.Errorf("short window = %+v, want only the 10 recent good", r.Short)
+	}
+	if r.Full.Eligible != 20 || r.Full.Availability != 0.5 {
+		t.Errorf("full window = %+v, want 20 eligible at 0.5", r.Full)
+	}
+}
+
+func TestRingLapResets(t *testing.T) {
+	tr, clk := newFakeTracker(Config{Window: 2 * time.Second})
+	tr.Record(ServerError, time.Millisecond)
+	clk.advance(2 * time.Second) // same ring slot, new second
+	tr.Record(Good, time.Millisecond)
+	r := tr.Snapshot()
+	if r.Full.Eligible != 1 || r.Full.Availability != 1 {
+		t.Errorf("lapped slot leaked old outcomes: %+v", r.Full)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(Config{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tr.Record(Good, time.Millisecond)
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r := tr.Snapshot(); r.Full.Eligible != 8*500 {
+		t.Errorf("eligible = %d, want %d", r.Full.Eligible, 8*500)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -12,6 +12,7 @@ import (
 	"bristleblocks/internal/core"
 	"bristleblocks/internal/geom"
 	"bristleblocks/internal/obs/prom"
+	"bristleblocks/internal/obs/rtm"
 	"bristleblocks/internal/scenario"
 	"bristleblocks/internal/trace"
 )
@@ -76,6 +77,23 @@ type metrics struct {
 	routeRetries      *expvar.Int
 	routeCells        *expvar.Int
 	routeFrontierPeak atomic.Int64
+	// Per-pass allocation attribution, accumulated over cold compiles:
+	// objects and bytes each pass allocated, from the runtime's cumulative
+	// allocation counters bracketing each pass (see core.CompileAllocs).
+	allocsCore     *expvar.Int
+	allocsControl  *expvar.Int
+	allocsPads     *expvar.Int
+	allocsReps     *expvar.Int
+	allocBCore     *expvar.Int
+	allocBControl  *expvar.Int
+	allocBPads     *expvar.Int
+	allocBReps     *expvar.Int
+	allocsCompiles *expvar.Int // whole-compile totals, for attribution ratio
+	allocBCompiles *expvar.Int
+
+	// rt throttles runtime/metrics reads behind the scrape path: however
+	// hot the scraper runs, the runtime is read at most once per second.
+	rt *rtm.Sampler
 
 	passCore     *histogram
 	passControl  *histogram
@@ -123,6 +141,17 @@ func newMetrics(s *Server) *metrics {
 		routeConflicts:     new(expvar.Int),
 		routeRetries:       new(expvar.Int),
 		routeCells:         new(expvar.Int),
+		allocsCore:         new(expvar.Int),
+		allocsControl:      new(expvar.Int),
+		allocsPads:         new(expvar.Int),
+		allocsReps:         new(expvar.Int),
+		allocBCore:         new(expvar.Int),
+		allocBControl:      new(expvar.Int),
+		allocBPads:         new(expvar.Int),
+		allocBReps:         new(expvar.Int),
+		allocsCompiles:     new(expvar.Int),
+		allocBCompiles:     new(expvar.Int),
+		rt:                 rtm.NewSampler(time.Second),
 		passCore:           newHistogram(),
 		passControl:        newHistogram(),
 		passPads:           newHistogram(),
@@ -164,6 +193,16 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("route_conflicts", m.routeConflicts)
 	m.vars.Set("route_retries", m.routeRetries)
 	m.vars.Set("route_cells_expanded", m.routeCells)
+	m.vars.Set("pass_allocs_core", m.allocsCore)
+	m.vars.Set("pass_allocs_control", m.allocsControl)
+	m.vars.Set("pass_allocs_pads", m.allocsPads)
+	m.vars.Set("pass_allocs_reps", m.allocsReps)
+	m.vars.Set("pass_alloc_bytes_core", m.allocBCore)
+	m.vars.Set("pass_alloc_bytes_control", m.allocBControl)
+	m.vars.Set("pass_alloc_bytes_pads", m.allocBPads)
+	m.vars.Set("pass_alloc_bytes_reps", m.allocBReps)
+	m.vars.Set("compile_allocs_total", m.allocsCompiles)
+	m.vars.Set("compile_alloc_bytes_total", m.allocBCompiles)
 	m.vars.Set("route_frontier_peak", expvar.Func(func() any { return m.routeFrontierPeak.Load() }))
 	m.vars.Set("queue_depth", expvar.Func(func() any { return len(s.jobs) }))
 	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(s.jobs) }))
@@ -269,6 +308,24 @@ func (m *metrics) observeStats(st core.Stats) {
 	}
 }
 
+// observeAllocs accumulates a cold compile's per-pass allocation
+// attribution. Counts are process-cumulative runtime counters bracketing
+// each pass, so concurrent compiles bleed into each other's buckets —
+// the totals stay honest in aggregate, which is what a rate() over these
+// families answers.
+func (m *metrics) observeAllocs(a core.CompileAllocs) {
+	m.allocsCore.Add(int64(a.Core.Objects))
+	m.allocsControl.Add(int64(a.Control.Objects))
+	m.allocsPads.Add(int64(a.Pads.Objects))
+	m.allocsReps.Add(int64(a.Reps.Objects))
+	m.allocBCore.Add(int64(a.Core.Bytes))
+	m.allocBControl.Add(int64(a.Control.Bytes))
+	m.allocBPads.Add(int64(a.Pads.Bytes))
+	m.allocBReps.Add(int64(a.Reps.Bytes))
+	m.allocsCompiles.Add(int64(a.Total.Objects))
+	m.allocBCompiles.Add(int64(a.Total.Bytes))
+}
+
 // observeVerify records one per-compile verifier run: its latency and any
 // violations it surfaced.
 func (m *metrics) observeVerify(d time.Duration, violations int) {
@@ -370,6 +427,76 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 		"control": float64(m.passUSControl.Value()) / 1e6,
 		"pads":    float64(m.passUSPads.Value()) / 1e6,
 	})
+
+	// Per-pass allocation attribution: where the compiler's allocations
+	// come from, pass by pass, across cold compiles.
+	p.CounterVec("bbd_pass_allocs_total", "Objects allocated per compiler pass across cold compiles.", "pass", map[string]float64{
+		"core":    float64(m.allocsCore.Value()),
+		"control": float64(m.allocsControl.Value()),
+		"pads":    float64(m.allocsPads.Value()),
+		"reps":    float64(m.allocsReps.Value()),
+	})
+	p.CounterVec("bbd_pass_alloc_bytes_total", "Bytes allocated per compiler pass across cold compiles.", "pass", map[string]float64{
+		"core":    float64(m.allocBCore.Value()),
+		"control": float64(m.allocBControl.Value()),
+		"pads":    float64(m.allocBPads.Value()),
+		"reps":    float64(m.allocBReps.Value()),
+	})
+	p.Counter("bbd_compile_allocs_total", "Objects allocated across whole cold compiles (attribution denominator).", float64(m.allocsCompiles.Value()))
+	p.Counter("bbd_compile_alloc_bytes_total", "Bytes allocated across whole cold compiles (attribution denominator).", float64(m.allocBCompiles.Value()))
+
+	// Go runtime telemetry, sampled at most once per second however hot
+	// the scraper runs.
+	rt := m.rt.Snapshot()
+	p.Gauge("bbd_runtime_heap_bytes", "Bytes occupied by live and unswept heap objects.", float64(rt.HeapBytes))
+	p.Gauge("bbd_runtime_total_bytes", "All memory mapped by the Go runtime.", float64(rt.TotalBytes))
+	p.Gauge("bbd_runtime_heap_objects", "Live and unswept heap object count.", float64(rt.HeapObjects))
+	p.Gauge("bbd_runtime_heap_goal_bytes", "GC pacer's current heap-size goal.", float64(rt.HeapGoal))
+	p.Gauge("bbd_runtime_goroutines", "Live goroutine count.", float64(rt.Goroutines))
+	p.Counter("bbd_runtime_gc_cycles_total", "Completed GC cycles since process start.", float64(rt.GCCycles))
+	p.Counter("bbd_runtime_alloc_objects_total", "Objects allocated since process start (process-wide).", float64(rt.AllocObjects))
+	p.Counter("bbd_runtime_alloc_bytes_total", "Bytes allocated since process start (process-wide).", float64(rt.AllocBytes))
+	for _, rh := range []struct {
+		name, help string
+		h          rtm.Hist
+	}{
+		{"bbd_runtime_gc_pause_seconds", "Stop-the-world GC pause durations.", rt.GCPause},
+		{"bbd_runtime_sched_latency_seconds", "Time goroutines spend runnable before running.", rt.SchedLatency},
+	} {
+		counts := make([]int64, len(rh.h.Counts))
+		for i, c := range rh.h.Counts {
+			counts[i] = int64(c)
+		}
+		if len(counts) == 0 {
+			// The toolchain didn't export the histogram; emit an empty one
+			// so the family is always present for scrapers.
+			counts = make([]int64, len(rh.h.Bounds)+1)
+		}
+		bounds := rh.h.Bounds
+		if bounds == nil {
+			bounds = []float64{}
+		}
+		p.Histogram(rh.name, rh.help, bounds, counts, rh.h.Sum)
+	}
+
+	// SLO error budget over compile-path outcomes, two burn-rate horizons.
+	slo := s.slo.Snapshot()
+	p.Gauge("bbd_slo_availability_target", "Configured availability objective (fraction of eligible requests).", slo.AvailabilityTarget)
+	p.Gauge("bbd_slo_latency_target", "Configured latency objective (fraction of good requests under threshold).", slo.LatencyTarget)
+	p.Gauge("bbd_slo_latency_threshold_ms", "Latency threshold the objective counts against.", float64(slo.LatencyThresholdMS))
+	sh, fu := slo.Short, slo.Full
+	p.GaugeVec("bbd_slo_availability", "Observed availability over the window (1.0 when idle).", "window",
+		map[string]float64{"short": sh.Availability, "full": fu.Availability})
+	p.GaugeVec("bbd_slo_availability_burn_rate", "Error-budget burn rate for availability (1.0 = burning exactly the budget).", "window",
+		map[string]float64{"short": sh.AvailabilityBurnRate, "full": fu.AvailabilityBurnRate})
+	p.GaugeVec("bbd_slo_latency_compliance", "Fraction of good requests under the latency threshold over the window.", "window",
+		map[string]float64{"short": sh.LatencyCompliance, "full": fu.LatencyCompliance})
+	p.GaugeVec("bbd_slo_latency_burn_rate", "Error-budget burn rate for latency.", "window",
+		map[string]float64{"short": sh.LatencyBurnRate, "full": fu.LatencyBurnRate})
+	p.GaugeVec("bbd_slo_eligible_requests", "Requests counted against the objectives over the window (client errors excluded).", "window",
+		map[string]float64{"short": float64(sh.Eligible), "full": float64(fu.Eligible)})
+	p.GaugeVec("bbd_slo_window_seconds", "Window length per horizon.", "window",
+		map[string]float64{"short": float64(sh.WindowSeconds), "full": float64(fu.WindowSeconds)})
 
 	p.Gauge("bbd_flight_recorded_total", "Compiles recorded by the flight recorder (including overwritten).", float64(s.flight.Total()))
 

@@ -17,6 +17,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -28,6 +29,8 @@ import (
 	"bristleblocks/internal/invariant"
 	"bristleblocks/internal/obs"
 	"bristleblocks/internal/obs/flightrec"
+	"bristleblocks/internal/obs/profring"
+	"bristleblocks/internal/obs/slo"
 	"bristleblocks/internal/trace"
 )
 
@@ -76,6 +79,27 @@ type Config struct {
 	// per chip) and violations are logged and counted in bbd_verify_*.
 	DisableVerify bool
 
+	// SLO configures the error-budget tracker behind bbd_slo_* and
+	// /debug/slo (zero fields take slo.Config defaults: 1h window,
+	// 99.9% availability, 99% under 500ms).
+	SLO slo.Config
+
+	// TraceExport, when non-nil, receives one OTLP/JSON line per
+	// flight-recorded compile (cold, verify, session) — the bbd
+	// -trace-export flag. Writes are serialized; the writer must be safe
+	// to call from request handlers (a file is fine).
+	TraceExport io.Writer
+
+	// ProfileInterval enables the continuous-profiling ring: every
+	// interval the daemon captures a CPU+heap profile pair into
+	// ProfileDir, keeping the last ProfileKeep of each kind, served at
+	// /debug/profiles. 0 disables the ring (the endpoint answers 404).
+	ProfileInterval time.Duration
+	// ProfileDir is the ring's directory ("" = a fresh temp dir).
+	ProfileDir string
+	// ProfileKeep bounds retained profiles per kind (<=0 = 16).
+	ProfileKeep int
+
 	// beforeCompile runs in the worker between claiming a job and compiling
 	// it. Tests use it to hold a worker busy deterministically — real specs
 	// compile in milliseconds, far too fast to occupy a pool on cue.
@@ -97,6 +121,15 @@ type Server struct {
 	closed   bool
 
 	metrics *metrics
+	slo     *slo.Tracker
+
+	// profiles is the continuous-profiling ring (nil unless
+	// Config.ProfileInterval > 0); stopProfiles stops its ticker.
+	profiles     *profring.Ring
+	stopProfiles func()
+
+	// exportMu serializes OTLP lines onto Config.TraceExport.
+	exportMu sync.Mutex
 }
 
 type job struct {
@@ -115,6 +148,9 @@ type jobResult struct {
 	chip   *core.Chip // verify jobs only
 	cached bool
 	err    error
+	// allocs is the cold compile's per-pass allocation attribution (nil
+	// for cache hits and failed compiles).
+	allocs *core.CompileAllocs
 }
 
 // New builds the server and starts its worker pool.
@@ -145,11 +181,34 @@ func New(cfg Config) (*Server, error) {
 		logger:   cfg.Logger,
 		flight:   flightrec.New(cfg.FlightRecorderSize),
 		sessions: newSessionTable(cfg.MaxSessions, cfg.SessionTTL, cfg.SessionCacheMB),
+		slo:      slo.New(cfg.SLO),
 	}
 	if s.logger == nil {
 		s.logger = obs.NopLogger()
 	}
 	s.metrics = newMetrics(s)
+	if cfg.ProfileInterval > 0 {
+		dir := cfg.ProfileDir
+		if dir == "" {
+			var err error
+			if dir, err = os.MkdirTemp("", "bbd-profring-"); err != nil {
+				return nil, fmt.Errorf("profile ring: %w", err)
+			}
+		}
+		// Cap each CPU capture at half the rotation interval so the
+		// process-wide CPU profiler is free between ticks — ad-hoc
+		// /debug/pprof/profile sessions still get a window.
+		cpuDur := time.Second
+		if half := cfg.ProfileInterval / 2; half < cpuDur {
+			cpuDur = half
+		}
+		ring, err := profring.New(dir, cfg.ProfileKeep, cpuDur)
+		if err != nil {
+			return nil, err
+		}
+		s.profiles = ring
+		s.stopProfiles = ring.Start(cfg.ProfileInterval)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -188,17 +247,21 @@ func (s *Server) worker() {
 			// this or any other pool size served the request.
 			chip, err := core.CompileCtx(ctx, j.spec, j.opts)
 			s.metrics.inFlight.Add(-1)
+			out := jobResult{chip: chip, err: err}
 			if err == nil {
 				s.metrics.compiles.Add(1)
 				s.metrics.observeSpans(tr.Spans())
 				s.metrics.observeStats(chip.Stats)
+				s.metrics.observeAllocs(chip.Allocs)
+				out.allocs = &chip.Allocs
 				s.verify(ctx, chip)
 			}
-			j.done <- jobResult{chip: chip, err: err}
+			j.done <- out
 			continue
 		}
 		res, chip, cached, err := s.cache.CompileChip(ctx, j.spec, j.opts)
 		s.metrics.inFlight.Add(-1)
+		out := jobResult{res: res, cached: cached, err: err}
 		if err == nil {
 			if cached {
 				s.metrics.cacheServed.Add(1)
@@ -207,10 +270,14 @@ func (s *Server) worker() {
 				s.metrics.observePasses(res.TimesUS)
 				s.metrics.observeSpans(tr.Spans())
 				s.metrics.observeStats(res.Stats)
+				if chip != nil {
+					s.metrics.observeAllocs(chip.Allocs)
+					out.allocs = &chip.Allocs
+				}
 				s.verify(ctx, chip)
 			}
 		}
-		j.done <- jobResult{res: res, cached: cached, err: err}
+		j.done <- out
 	}
 }
 
@@ -266,6 +333,9 @@ func (s *Server) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	mux.HandleFunc("/debug/compiles", s.handleFlightList)
 	mux.HandleFunc("/debug/compiles/", s.handleFlightGet)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
+	mux.HandleFunc("/debug/profiles", s.handleProfiles)
+	mux.HandleFunc("/debug/profiles/", s.handleProfiles)
 	// The pprof handlers are registered explicitly rather than through the
 	// package's init-time DefaultServeMux wiring, so they exist only on
 	// muxes that asked for them.
@@ -283,6 +353,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.jobs)
+		if s.stopProfiles != nil {
+			s.stopProfiles()
+		}
 	}
 	s.stateMu.Unlock()
 
@@ -327,7 +400,12 @@ var (
 // TraceEvents appears only with ?trace=chrome and is the same tree in
 // Chrome trace_event format, ready to save and open in Perfetto.
 type CompileResponse struct {
-	RequestID   string          `json:"request_id"`
+	RequestID string `json:"request_id"`
+	// TraceID is the compile's distributed trace id — the caller's, when
+	// the request carried a W3C traceparent header, else freshly minted —
+	// the join key between this response, the flight record, and any
+	// exported spans.
+	TraceID     string          `json:"trace_id,omitempty"`
 	Chip        string          `json:"chip"`
 	Key         string          `json:"key"`
 	Cached      bool            `json:"cached"`
@@ -351,9 +429,15 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a chip description to /compile")
 		return
 	}
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
 	// Every terminal outcome below — bad spec, shed, timeout, error,
-	// served — reports into the request latency histogram.
-	defer func() { s.metrics.observeRequest(time.Since(start)) }()
+	// served — reports into the request latency histogram and the SLO
+	// error budget.
+	defer func() {
+		s.metrics.observeRequest(time.Since(start))
+		s.observeSLO(sw, start)
+	}()
 
 	reqID := obs.NewRequestID()
 	w.Header().Set("X-Request-Id", reqID)
@@ -390,8 +474,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// Every request that reaches the compiler is traced — not just the
 	// ones that asked — because the flight recorder keeps the span tree
 	// for post-hoc debugging of requests nobody knew would be interesting.
+	// An inbound W3C traceparent joins the compile onto the caller's
+	// distributed trace; otherwise the daemon mints a fresh one.
 	tr := trace.New()
 	ctx = trace.WithTrace(ctx, tr)
+	link := tr.LinkFromHeader(r.Header.Get("traceparent"))
 
 	// Cache hits are answered on the handler goroutine: a lookup does not
 	// deserve a worker slot, a place in the queue, or a flight record.
@@ -425,8 +512,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 			SpecHash: key,
 			Options:  fmt.Sprintf("%+v", *opts),
 			DurUS:    time.Since(start).Microseconds(),
+			TraceID:  link.TraceIDString(),
+			Allocs:   flightAllocs(out.allocs),
 			Spans:    tr.Spans(),
 		}, out.err, ctx, r)
+		s.exportTrace(tr)
 	}
 	if out.err != nil {
 		switch {
@@ -448,6 +538,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	resp := &CompileResponse{
 		RequestID: reqID,
+		TraceID:   link.TraceIDString(),
 		Chip:      out.res.Chip,
 		Key:       out.res.Key,
 		Cached:    out.cached,
@@ -642,6 +733,113 @@ func (s *Server) handleFlightGet(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(rec)
+}
+
+// statusWriter captures the response status so the deferred SLO
+// accounting can classify the outcome without threading a code through
+// every error branch.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// sloOutcome classifies a terminal HTTP status for the error budget:
+// 5xx is the service breaking its promise (shed, timeout, internal),
+// everything else in 4xx is the client's spec or request (excluded from
+// the denominator so abusive traffic can't burn the budget), 2xx is
+// good.
+func sloOutcome(status int) slo.Outcome {
+	switch {
+	case status >= 500:
+		return slo.ServerError
+	case status >= 400:
+		return slo.ClientError
+	default:
+		return slo.Good
+	}
+}
+
+// observeSLO lands one compile-path outcome on the burn-rate tracker
+// (called from the handlers' deferred accounting).
+func (s *Server) observeSLO(sw *statusWriter, start time.Time) {
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	s.slo.Record(sloOutcome(status), time.Since(start))
+}
+
+// flightAllocs converts the compiler's attribution for the recorder
+// (which must not import the compiler).
+func flightAllocs(a *core.CompileAllocs) *flightrec.Allocs {
+	if a == nil {
+		return nil
+	}
+	conv := func(d core.AllocDelta) flightrec.AllocDelta {
+		return flightrec.AllocDelta{Objects: d.Objects, Bytes: d.Bytes}
+	}
+	return &flightrec.Allocs{
+		Core: conv(a.Core), Control: conv(a.Control), Pads: conv(a.Pads),
+		Reps: conv(a.Reps), Total: conv(a.Total),
+	}
+}
+
+// exportTrace appends one OTLP/JSON line for the compile's trace when
+// the daemon was started with -trace-export. Buffered first so each
+// compile lands as a single Write on the shared file.
+func (s *Server) exportTrace(tr *trace.Trace) {
+	if s.cfg.TraceExport == nil || tr == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteOTLP(&buf, "bbd", tr); err != nil || buf.Len() == 0 {
+		return
+	}
+	s.exportMu.Lock()
+	_, err := s.cfg.TraceExport.Write(buf.Bytes())
+	s.exportMu.Unlock()
+	if err != nil {
+		s.logger.Warn("trace export write failed", "err", err)
+	}
+}
+
+// handleSLO serves GET /debug/slo: the burn-rate report as JSON.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.slo.Snapshot())
+}
+
+// handleProfiles serves the continuous-profiling ring: GET
+// /debug/profiles (index) and /debug/profiles/{id} (raw pprof bytes).
+// Without -profile-interval the ring doesn't exist and the route 404s.
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	if s.profiles == nil {
+		httpError(w, http.StatusNotFound, "profiling ring disabled (start bbd with -profile-interval)")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/debug/profiles")
+	id = strings.TrimPrefix(id, "/")
+	if id == "" {
+		s.profiles.ServeIndex(w, r)
+		return
+	}
+	s.profiles.ServeProfile(w, r, id)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {

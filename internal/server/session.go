@@ -253,7 +253,12 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionCompile(w http.ResponseWriter, r *http.Request, sess *session) {
 	start := time.Now()
 	s.metrics.requests.Add(1)
-	defer func() { s.metrics.observeRequest(time.Since(start)) }()
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+	defer func() {
+		s.metrics.observeRequest(time.Since(start))
+		s.observeSLO(sw, start)
+	}()
 
 	reqID := obs.NewRequestID()
 	w.Header().Set("X-Request-Id", reqID)
@@ -289,6 +294,7 @@ func (s *Server) handleSessionCompile(w http.ResponseWriter, r *http.Request, se
 	ctx = obs.WithLogger(ctx, log)
 	tr := trace.New()
 	ctx = trace.WithTrace(ctx, tr)
+	link := tr.LinkFromHeader(r.Header.Get("traceparent"))
 	ctx = incr.WithStore(ctx, sess.store)
 
 	before := sess.store.Counters()
@@ -300,6 +306,11 @@ func (s *Server) handleSessionCompile(w http.ResponseWriter, r *http.Request, se
 	after := sess.store.Counters()
 	sess.touch(time.Now())
 	s.metrics.sessionCompiles.Add(1)
+	var allocs *core.CompileAllocs
+	if chip != nil && err == nil {
+		s.metrics.observeAllocs(chip.Allocs)
+		allocs = &chip.Allocs
+	}
 	s.recordFlight(flightrec.Record{
 		ID:       reqID,
 		Start:    start,
@@ -307,8 +318,11 @@ func (s *Server) handleSessionCompile(w http.ResponseWriter, r *http.Request, se
 		SpecHash: cache.Key(spec, opts),
 		Options:  fmt.Sprintf("session=%s %+v", sess.id, *opts),
 		DurUS:    time.Since(start).Microseconds(),
+		TraceID:  link.TraceIDString(),
+		Allocs:   flightAllocs(allocs),
 		Spans:    tr.Spans(),
 	}, err, ctx, r)
+	s.exportTrace(tr)
 	if err != nil {
 		switch {
 		case ctx.Err() != nil && r.Context().Err() == nil:
@@ -328,6 +342,7 @@ func (s *Server) handleSessionCompile(w http.ResponseWriter, r *http.Request, se
 
 	resp := &CompileResponse{
 		RequestID: reqID,
+		TraceID:   link.TraceIDString(),
 		Chip:      res.Chip,
 		Key:       cache.Key(spec, opts),
 		Stats:     res.Stats,

@@ -31,7 +31,10 @@ type VerifyRequest struct {
 // verdict list is byte-identical for the same spec and vectors whether
 // graded here or in process, at any worker-pool size.
 type VerifyResponse struct {
-	RequestID string             `json:"request_id"`
+	RequestID string `json:"request_id"`
+	// TraceID joins this grading run onto the caller's distributed trace
+	// (or the daemon's freshly minted one).
+	TraceID   string             `json:"trace_id,omitempty"`
 	Chip      string             `json:"chip"`
 	Key       string             `json:"key"`
 	Passed    bool               `json:"passed"`
@@ -54,7 +57,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST a {spec, vectors} JSON body to /verify")
 		return
 	}
-	defer func() { s.metrics.observeRequest(time.Since(start)) }()
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+	defer func() {
+		s.metrics.observeRequest(time.Since(start))
+		s.observeSLO(sw, start)
+	}()
 
 	reqID := obs.NewRequestID()
 	w.Header().Set("X-Request-Id", reqID)
@@ -112,6 +120,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	ctx = obs.WithLogger(ctx, log)
 	tr := trace.New()
 	ctx = trace.WithTrace(ctx, tr)
+	link := tr.LinkFromHeader(r.Header.Get("traceparent"))
 
 	key := cache.Key(spec, opts)
 	j := &job{ctx: ctx, spec: spec, opts: opts, verify: true, done: make(chan jobResult, 1)}
@@ -134,8 +143,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		SpecHash: key,
 		Options:  fmt.Sprintf("verify scenarios=%d %+v", len(scs), *opts),
 		DurUS:    time.Since(start).Microseconds(),
+		TraceID:  link.TraceIDString(),
+		Allocs:   flightAllocs(out.allocs),
 		Spans:    tr.Spans(),
 	}, out.err, ctx, r)
+	s.exportTrace(tr)
 	if out.err != nil {
 		switch {
 		case ctx.Err() != nil && r.Context().Err() == nil:
@@ -168,6 +180,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(&VerifyResponse{
 		RequestID: reqID,
+		TraceID:   link.TraceIDString(),
 		Chip:      spec.Name,
 		Key:       key,
 		Passed:    passed,

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// OTLP/JSON export: the OpenTelemetry Protocol's JSON encoding of a trace
+// export request (resourceSpans → scopeSpans → spans), hand-rolled over
+// encoding/json in the same stdlib-only spirit as internal/obs/prom. One
+// WriteOTLP call emits one single-line ExportTraceServiceRequest object,
+// so `bbd -trace-export file` accumulates a JSON-lines log that an OTLP
+// collector (or jq) ingests record by record.
+//
+// Local span IDs are trace-scoped small integers; OTLP wants 8-byte IDs
+// unique within the (propagated) trace. The compile root span keeps the
+// span id minted for this hop's SpanContext — the id a downstream peer
+// would name as its parent — and every other span gets a deterministic id
+// derived from sha256(trace id ‖ local id), so re-exporting the same
+// compile yields the same ids.
+
+// otlpSpan is one span of an OTLP/JSON export. Unix-nano timestamps are
+// decimal strings, matching OTLP's JSON mapping of 64-bit integers.
+type otlpSpan struct {
+	TraceID      string     `json:"traceId"`
+	SpanID       string     `json:"spanId"`
+	ParentSpanID string     `json:"parentSpanId,omitempty"`
+	Name         string     `json:"name"`
+	Kind         int        `json:"kind"`
+	StartNano    string     `json:"startTimeUnixNano"`
+	EndNano      string     `json:"endTimeUnixNano"`
+	Attributes   []otlpAttr `json:"attributes,omitempty"`
+}
+
+type otlpAttr struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+// otlpValue is OTLP's AnyValue; only the variants we emit are declared.
+type otlpValue struct {
+	StringValue *string `json:"stringValue,omitempty"`
+	IntValue    *string `json:"intValue,omitempty"`
+	BoolValue   *bool   `json:"boolValue,omitempty"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpAttr `json:"attributes"`
+}
+
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+func strAttr(key, val string) otlpAttr {
+	return otlpAttr{Key: key, Value: otlpValue{StringValue: &val}}
+}
+
+func intAttr(key string, val int64) otlpAttr {
+	s := strconv.FormatInt(val, 10)
+	return otlpAttr{Key: key, Value: otlpValue{IntValue: &s}}
+}
+
+func boolAttr(key string, val bool) otlpAttr {
+	return otlpAttr{Key: key, Value: otlpValue{BoolValue: &val}}
+}
+
+// derivedSpanID maps a local span ID into the propagated trace's 8-byte
+// id space, deterministically, with no collision with the root span's
+// minted id (the sha256 image of a distinct input; an accidental match is
+// 2^-64 and harmless — a viewer would merge two spans of one compile).
+func derivedSpanID(traceID [16]byte, localID int64) string {
+	var buf [24]byte
+	copy(buf[:16], traceID[:])
+	binary.BigEndian.PutUint64(buf[16:], uint64(localID))
+	sum := sha256.Sum256(buf[:])
+	if [8]byte(sum[:8]) == [8]byte{} {
+		sum[7] = 1
+	}
+	return hex.EncodeToString(sum[:8])
+}
+
+// WriteOTLP renders the trace as one single-line OTLP/JSON
+// ExportTraceServiceRequest followed by a newline. serviceName becomes
+// the resource's service.name (OTLP's one required resource attribute);
+// empty defaults to "bbd". When the trace was never linked into a
+// distributed trace, an ephemeral trace id is minted so the export is
+// still valid OTLP. Nil-safe: a nil or empty trace writes nothing.
+func WriteOTLP(w io.Writer, serviceName string, t *Trace) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	if serviceName == "" {
+		serviceName = "bbd"
+	}
+	link, ok := t.Link()
+	if !ok {
+		link = Link{Self: NewSpanContext()}
+	}
+	traceHex := link.Self.TraceIDString()
+
+	// Find the compile root's local ID so children parent onto the minted
+	// span id rather than a derived one.
+	var rootLocal int64
+	for _, s := range spans {
+		if s.Parent == 0 && s.Pass == PassCompile {
+			rootLocal = s.ID
+			break
+		}
+	}
+
+	idOf := func(local int64) string {
+		if local == rootLocal && rootLocal != 0 {
+			return link.Self.SpanIDString()
+		}
+		return derivedSpanID(link.Self.TraceID, local)
+	}
+
+	origin := t.Origin().UnixNano()
+	out := make([]otlpSpan, 0, len(spans))
+	for _, s := range spans {
+		os := otlpSpan{
+			TraceID:   traceHex,
+			SpanID:    idOf(s.ID),
+			Name:      s.Name,
+			Kind:      1, // SPAN_KIND_INTERNAL
+			StartNano: strconv.FormatInt(origin+s.StartUS*1000, 10),
+			EndNano:   strconv.FormatInt(origin+(s.StartUS+s.DurUS)*1000, 10),
+		}
+		switch {
+		case s.Parent != 0:
+			os.ParentSpanID = idOf(s.Parent)
+		case s.ID == rootLocal && link.HasRemote:
+			// The compile root continues the caller's trace: its parent is
+			// the span id the client sent in traceparent.
+			os.ParentSpanID = link.Remote.SpanIDString()
+		}
+		os.Attributes = append(os.Attributes, strAttr("bb.pass", s.Pass))
+		if s.Worker != Coordinator {
+			os.Attributes = append(os.Attributes, intAttr("bb.worker", int64(s.Worker)))
+		}
+		if s.Pass == PassCache {
+			os.Attributes = append(os.Attributes, boolAttr("bb.cache_hit", s.Hit))
+		}
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			os.Attributes = append(os.Attributes, strAttr(k, s.Attrs[k]))
+		}
+		out = append(out, os)
+	}
+
+	return json.NewEncoder(w).Encode(otlpExport{
+		ResourceSpans: []otlpResourceSpans{{
+			Resource: otlpResource{Attributes: []otlpAttr{strAttr("service.name", serviceName)}},
+			ScopeSpans: []otlpScopeSpans{{
+				Scope: otlpScope{Name: "bristleblocks/internal/trace"},
+				Spans: out,
+			}},
+		}},
+	})
+}

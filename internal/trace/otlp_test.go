@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// otlpDecode pulls the flat span list back out of a WriteOTLP export.
+func otlpDecode(t *testing.T, data []byte) []otlpSpan {
+	t.Helper()
+	var ex otlpExport
+	if err := json.Unmarshal(data, &ex); err != nil {
+		t.Fatalf("unmarshal OTLP export: %v", err)
+	}
+	if len(ex.ResourceSpans) != 1 || len(ex.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("export shape: %d resourceSpans", len(ex.ResourceSpans))
+	}
+	return ex.ResourceSpans[0].ScopeSpans[0].Spans
+}
+
+func buildTestTrace() *Trace {
+	tr := New()
+	root := tr.StartSpan(nil, "compile", PassCompile, Coordinator)
+	core := tr.StartSpan(root, "pass.core", PassCore, Coordinator)
+	gen := tr.StartSpan(core, "gen.acc", PassCore, 0)
+	gen.Attr("kind", "acc").End()
+	core.End()
+	tr.Lookup(root, time.Millisecond, true)
+	root.End()
+	return tr
+}
+
+func TestWriteOTLPLinked(t *testing.T) {
+	tr := buildTestTrace()
+	remote, _ := ParseTraceparent(tpSampled)
+	self := tr.LinkRemote(remote)
+
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, "bbd-test", tr); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if strings.Count(line, "\n") != 1 || !strings.HasSuffix(line, "\n") {
+		t.Errorf("export is not a single JSON line: %q", line)
+	}
+	spans := otlpDecode(t, buf.Bytes())
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+
+	var root *otlpSpan
+	ids := map[string]bool{}
+	for i := range spans {
+		s := &spans[i]
+		if s.TraceID != remote.TraceIDString() {
+			t.Errorf("span %q trace id = %q, want inherited %q", s.Name, s.TraceID, remote.TraceIDString())
+		}
+		if len(s.SpanID) != 16 {
+			t.Errorf("span %q id %q not 8 bytes hex", s.Name, s.SpanID)
+		}
+		if ids[s.SpanID] {
+			t.Errorf("duplicate span id %q", s.SpanID)
+		}
+		ids[s.SpanID] = true
+		if s.Name == "compile" {
+			root = s
+		}
+	}
+	if root == nil {
+		t.Fatal("no compile root span in export")
+	}
+	if root.SpanID != self.SpanIDString() {
+		t.Errorf("root span id = %q, want the minted self id %q", root.SpanID, self.SpanIDString())
+	}
+	if root.ParentSpanID != remote.SpanIDString() {
+		t.Errorf("root parent = %q, want the remote span id %q", root.ParentSpanID, remote.SpanIDString())
+	}
+
+	// Every non-root parent id must reference an exported span.
+	for _, s := range spans {
+		if s.Name == "compile" {
+			continue
+		}
+		if s.ParentSpanID == "" || !ids[s.ParentSpanID] {
+			t.Errorf("span %q parent %q does not resolve", s.Name, s.ParentSpanID)
+		}
+	}
+
+	// Timestamps are absolute nanos at/after the trace origin.
+	originNano := tr.Origin().UnixNano()
+	for _, s := range spans {
+		var start, end int64
+		if err := json.Unmarshal([]byte(s.StartNano), &start); err != nil {
+			t.Fatalf("parse start %q: %v", s.StartNano, err)
+		}
+		if err := json.Unmarshal([]byte(s.EndNano), &end); err != nil {
+			t.Fatalf("parse end %q: %v", s.EndNano, err)
+		}
+		// Lookup spans backdate their start by the probe duration, so
+		// allow starts slightly before the origin; ends never precede
+		// starts and everything stays within a second of the origin.
+		if end < start || start < originNano-int64(time.Second) || end > originNano+int64(time.Hour) {
+			t.Errorf("span %q time range [%d,%d] vs origin %d", s.Name, start, end, originNano)
+		}
+	}
+}
+
+func TestWriteOTLPUnlinked(t *testing.T) {
+	tr := buildTestTrace()
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, "", tr); err != nil {
+		t.Fatal(err)
+	}
+	spans := otlpDecode(t, buf.Bytes())
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	for _, s := range spans {
+		if len(s.TraceID) != 32 || s.TraceID == strings.Repeat("0", 32) {
+			t.Errorf("span %q minted trace id = %q", s.Name, s.TraceID)
+		}
+		if s.Name == "compile" && s.ParentSpanID != "" {
+			t.Errorf("unlinked root has parent %q", s.ParentSpanID)
+		}
+	}
+	if !strings.Contains(buf.String(), `"service.name"`) {
+		t.Error("export missing service.name resource attribute")
+	}
+	if !strings.Contains(buf.String(), `"stringValue":"bbd"`) {
+		t.Error("empty serviceName did not default to bbd")
+	}
+}
+
+func TestWriteOTLPDeterministicDerivedIDs(t *testing.T) {
+	tr := buildTestTrace()
+	tr.LinkRemote(SpanContext{TraceID: [16]byte{1}, SpanID: [8]byte{2}, Sampled: true})
+	var a, b bytes.Buffer
+	if err := WriteOTLP(&a, "x", tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteOTLP(&b, "x", tr); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("re-exporting the same trace produced different bytes")
+	}
+}
+
+func TestWriteOTLPNilAndEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteOTLP(&buf, "x", nil); err != nil || buf.Len() != 0 {
+		t.Errorf("nil trace wrote %d bytes, err %v", buf.Len(), err)
+	}
+	if err := WriteOTLP(&buf, "x", New()); err != nil || buf.Len() != 0 {
+		t.Errorf("empty trace wrote %d bytes, err %v", buf.Len(), err)
+	}
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Trace propagation: the W3C Trace Context `traceparent` header, so one
+// compile that hops processes — bristlec -remote into a bbd, a future farm
+// coordinator into a worker — renders as one distributed trace instead of
+// disconnected fragments. The header is four dash-joined fields:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ version (00)                     ^^ parent span id  ^^ flags (01 = sampled)
+//	   ^^ 16-byte trace id, lowercase hex
+//
+// ParseTraceparent is deliberately forgiving in the direction the spec
+// demands: a malformed, truncated, or all-zero header is *ignored* (the
+// receiver starts a fresh trace) rather than failing the request, and an
+// unknown future version is accepted as long as the first four fields
+// parse. Only the restart decision is local; the header itself is never
+// mutated in place — a hop mints its own span id under the inherited
+// trace id (Child) and forwards that.
+
+// SpanContext is one hop's identity inside a distributed trace: which
+// trace it belongs to, which span represents this hop, and whether the
+// originator asked for the trace to be kept (sampled).
+type SpanContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+	Sampled bool
+}
+
+// Valid reports whether both IDs are non-zero, the W3C condition for a
+// usable context (all-zero IDs are the spec's "null" values).
+func (sc SpanContext) Valid() bool {
+	return sc.TraceID != [16]byte{} && sc.SpanID != [8]byte{}
+}
+
+// TraceIDString renders the trace id as 32 lowercase hex digits.
+func (sc SpanContext) TraceIDString() string { return hex.EncodeToString(sc.TraceID[:]) }
+
+// SpanIDString renders the span id as 16 lowercase hex digits.
+func (sc SpanContext) SpanIDString() string { return hex.EncodeToString(sc.SpanID[:]) }
+
+// Traceparent renders the context as a version-00 traceparent header
+// value, ready for http.Header.Set("traceparent", ...).
+func (sc SpanContext) Traceparent() string {
+	// 2 + 1 + 32 + 1 + 16 + 1 + 2 bytes, assembled without fmt.
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], sc.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sc.SpanID[:])
+	b[52] = '-'
+	flags := byte(0)
+	if sc.Sampled {
+		flags = 1
+	}
+	hex.Encode(b[53:55], []byte{flags})
+	return string(b[:])
+}
+
+// Child mints a new span id under the same trace id and flags: the
+// context this hop forwards downstream (or stamps on its own root span)
+// while remembering the inbound one as the parent.
+func (sc SpanContext) Child() SpanContext {
+	out := sc
+	out.SpanID = newSpanID()
+	return out
+}
+
+// NewSpanContext mints a fresh sampled context with random IDs — the
+// start of a new trace at whichever process had no inbound header.
+func NewSpanContext() SpanContext {
+	var sc SpanContext
+	if _, err := rand.Read(sc.TraceID[:]); err != nil {
+		// The fallback keeps IDs unique within the process; crypto/rand
+		// failing is a broken host, not a reason to drop telemetry.
+		binary.BigEndian.PutUint64(sc.TraceID[:8], idFallback.Add(1))
+		binary.BigEndian.PutUint64(sc.TraceID[8:], idFallback.Add(1))
+	}
+	sc.SpanID = newSpanID()
+	sc.Sampled = true
+	return sc
+}
+
+func newSpanID() [8]byte {
+	var id [8]byte
+	if _, err := rand.Read(id[:]); err != nil {
+		binary.BigEndian.PutUint64(id[:], idFallback.Add(1))
+	}
+	if id == [8]byte{} { // the all-zero id is the spec's null value
+		id[7] = 1
+	}
+	return id
+}
+
+var idFallback atomic.Uint64
+
+// ParseTraceparent reads a traceparent header value. ok is false — and
+// the caller should start a fresh trace — when the header is absent,
+// malformed, carries all-zero IDs, or uses the reserved version ff.
+// Future versions (01..fe) are accepted if their leading fields parse,
+// per the spec's forward-compatibility rule; extra fields they may append
+// after the flags are ignored.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	var sc SpanContext
+	// version "00" is exactly 55 bytes; future versions may be longer but
+	// never shorter, and the four leading fields keep their positions.
+	if len(h) < 55 {
+		return sc, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, false
+	}
+	var version [1]byte
+	if _, err := hex.Decode(version[:], []byte(h[0:2])); err != nil {
+		return sc, false
+	}
+	if version[0] == 0xff {
+		return sc, false
+	}
+	if version[0] == 0 && len(h) != 55 {
+		// Version 00 defines no trailing fields; trailing junk is malformed.
+		return sc, false
+	}
+	if version[0] != 0 && len(h) > 55 && h[55] != '-' {
+		// A future version may append fields, but only dash-separated.
+		return sc, false
+	}
+	if !isLowerHex(h[3:35]) || !isLowerHex(h[36:52]) || !isLowerHex(h[53:55]) {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(h[3:35])); err != nil {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(h[36:52])); err != nil {
+		return sc, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(h[53:55])); err != nil {
+		return sc, false
+	}
+	sc.Sampled = flags[0]&1 != 0
+	if !sc.Valid() {
+		return sc, false
+	}
+	return sc, true
+}
+
+// isLowerHex enforces the spec's lowercase-hex requirement (an uppercase
+// header is invalid per W3C Trace Context and must be ignored).
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Linking a collector into a distributed trace.
+
+// Link is a Trace's position in a distributed trace: Self identifies this
+// process's compile root span; Remote, when HasRemote, is the inbound
+// parent extracted from the client's traceparent header.
+type Link struct {
+	Self      SpanContext
+	Remote    SpanContext
+	HasRemote bool
+}
+
+// LinkRemote joins the trace to an inbound context: Self becomes a child
+// of remote (same trace id, fresh span id), and exporters emit remote's
+// span id as the root span's parent. Returns the minted Self. Nil-safe.
+func (t *Trace) LinkRemote(remote SpanContext) SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	self := remote.Child()
+	t.linkMu.Lock()
+	t.link = Link{Self: self, Remote: remote, HasRemote: true}
+	t.linkMu.Unlock()
+	return self
+}
+
+// LinkNew starts a fresh distributed trace rooted at this process (no
+// inbound header) and returns the minted Self. Nil-safe.
+func (t *Trace) LinkNew() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	self := NewSpanContext()
+	t.linkMu.Lock()
+	t.link = Link{Self: self}
+	t.linkMu.Unlock()
+	return self
+}
+
+// LinkFromHeader links the trace from a traceparent header value:
+// LinkRemote when it parses, LinkNew otherwise — the receive-side idiom
+// in one call. Nil-safe.
+func (t *Trace) LinkFromHeader(h string) SpanContext {
+	if remote, ok := ParseTraceparent(h); ok {
+		return t.LinkRemote(remote)
+	}
+	return t.LinkNew()
+}
+
+// Link returns the trace's distributed-trace position. ok is false when
+// the trace was never linked (a purely local compile). Nil-safe.
+func (t *Trace) Link() (Link, bool) {
+	if t == nil {
+		return Link{}, false
+	}
+	t.linkMu.Lock()
+	l := t.link
+	t.linkMu.Unlock()
+	return l, l.Self.Valid()
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const (
+	tpSampled   = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tpUnsampled = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00"
+)
+
+func TestParseTraceparentValid(t *testing.T) {
+	sc, ok := ParseTraceparent(tpSampled)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) not ok", tpSampled)
+	}
+	if got := sc.TraceIDString(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %q", got)
+	}
+	if got := sc.SpanIDString(); got != "00f067aa0ba902b7" {
+		t.Errorf("span id = %q", got)
+	}
+	if !sc.Sampled {
+		t.Error("sampled flag lost")
+	}
+	if !sc.Valid() {
+		t.Error("Valid() = false on parsed context")
+	}
+}
+
+func TestParseTraceparentSampledFlagPreserved(t *testing.T) {
+	for _, tc := range []struct {
+		header  string
+		sampled bool
+	}{
+		{tpSampled, true},
+		{tpUnsampled, false},
+		// Unknown flag bits set alongside sampled: bit 0 still governs.
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-03", true},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-02", false},
+	} {
+		sc, ok := ParseTraceparent(tc.header)
+		if !ok {
+			t.Errorf("ParseTraceparent(%q) not ok", tc.header)
+			continue
+		}
+		if sc.Sampled != tc.sampled {
+			t.Errorf("ParseTraceparent(%q).Sampled = %v, want %v", tc.header, sc.Sampled, tc.sampled)
+		}
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []struct {
+		name, header string
+	}{
+		{"empty", ""},
+		{"short", "00-abc-def-01"},
+		{"truncated", tpSampled[:54]},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"all-zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"uppercase hex", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01"},
+		{"non-hex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"reserved version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"wrong separators", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01"},
+		{"trailing junk on v00", tpSampled + "x"},
+		{"trailing dash junk on v00", tpSampled + "-extra"},
+		{"spaces", "00 4bf92f3577b34da6a3ce929d0e0e4736 00f067aa0ba902b7 01"},
+	}
+	for _, tc := range bad {
+		if sc, ok := ParseTraceparent(tc.header); ok {
+			t.Errorf("%s: ParseTraceparent(%q) ok = true (got %+v), want rejected", tc.name, tc.header, sc)
+		}
+	}
+}
+
+func TestParseTraceparentFutureVersion(t *testing.T) {
+	// A future version with extra dash-separated fields parses its
+	// leading fields per the spec's forward-compat rule.
+	h := strings.Replace(tpSampled, "00-", "01-", 1) + "-futurefield"
+	sc, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("future-version header %q rejected", h)
+	}
+	if sc.TraceIDString() != "4bf92f3577b34da6a3ce929d0e0e4736" || !sc.Sampled {
+		t.Errorf("future-version parse got %+v", sc)
+	}
+	// But un-separated trailing bytes are still malformed.
+	if _, ok := ParseTraceparent(strings.Replace(tpSampled, "00-", "01-", 1) + "x"); ok {
+		t.Error("future-version header with unseparated trailer accepted")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	for _, h := range []string{tpSampled, tpUnsampled} {
+		sc, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("parse %q", h)
+		}
+		if got := sc.Traceparent(); got != h {
+			t.Errorf("round trip %q -> %q", h, got)
+		}
+	}
+	// And a freshly minted context round-trips through its own header.
+	sc := NewSpanContext()
+	back, ok := ParseTraceparent(sc.Traceparent())
+	if !ok || back != sc {
+		t.Errorf("minted context %+v -> %q -> %+v (ok=%v)", sc, sc.Traceparent(), back, ok)
+	}
+}
+
+func TestNewSpanContextAndChild(t *testing.T) {
+	a := NewSpanContext()
+	if !a.Valid() || !a.Sampled {
+		t.Fatalf("NewSpanContext() = %+v, want valid and sampled", a)
+	}
+	b := NewSpanContext()
+	if a.TraceID == b.TraceID {
+		t.Error("two minted contexts share a trace id")
+	}
+	c := a.Child()
+	if c.TraceID != a.TraceID {
+		t.Error("Child changed the trace id")
+	}
+	if c.SpanID == a.SpanID {
+		t.Error("Child kept the parent's span id")
+	}
+	if c.Sampled != a.Sampled {
+		t.Error("Child changed the sampled flag")
+	}
+}
+
+func TestTraceLink(t *testing.T) {
+	var nilTrace *Trace
+	if sc := nilTrace.LinkFromHeader(tpSampled); sc.Valid() {
+		t.Errorf("nil trace LinkFromHeader = %+v, want zero", sc)
+	}
+	if _, ok := nilTrace.Link(); ok {
+		t.Error("nil trace Link ok = true")
+	}
+
+	tr := New()
+	if _, ok := tr.Link(); ok {
+		t.Error("unlinked trace Link ok = true")
+	}
+
+	remote, _ := ParseTraceparent(tpSampled)
+	self := tr.LinkRemote(remote)
+	if self.TraceID != remote.TraceID {
+		t.Error("LinkRemote did not inherit the trace id")
+	}
+	if self.SpanID == remote.SpanID {
+		t.Error("LinkRemote reused the remote span id")
+	}
+	link, ok := tr.Link()
+	if !ok || !link.HasRemote || link.Remote != remote || link.Self != self {
+		t.Errorf("Link() = %+v, %v", link, ok)
+	}
+
+	tr2 := New()
+	self2 := tr2.LinkFromHeader("garbage")
+	if !self2.Valid() {
+		t.Error("LinkFromHeader on garbage did not mint a fresh context")
+	}
+	link2, ok := tr2.Link()
+	if !ok || link2.HasRemote {
+		t.Errorf("garbage header produced remote link %+v, %v", link2, ok)
+	}
+}

@@ -78,11 +78,26 @@ type Trace struct {
 
 	mu    sync.Mutex
 	spans []Span
+
+	// linkMu guards link, the trace's position in a distributed trace
+	// (set by LinkRemote/LinkNew/LinkFromHeader in propagate.go).
+	linkMu sync.Mutex
+	link   Link
 }
 
 // New starts an empty trace with its origin at now.
 func New() *Trace {
 	return &Trace{t0: time.Now()}
+}
+
+// Origin returns the wall-clock instant all span offsets are relative to
+// (the zero time on a nil receiver). Exporters that need absolute
+// timestamps — OTLP's unix-nano fields — anchor on it.
+func (t *Trace) Origin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.t0
 }
 
 // Active is an open span: StartSpan opened it, End closes and records it.

@@ -1,7 +1,7 @@
 // Benchjson runs the repo's headline benchmarks through testing.Benchmark
 // and writes the results as one JSON document, so a PR can commit a
-// machine-readable performance snapshot (BENCH_PR8.json) instead of pasting
-// `go test -bench` output into a description. The numbers answer eight
+// machine-readable performance snapshot (BENCH_PR9.json) instead of pasting
+// `go test -bench` output into a description. The numbers answer ten
 // questions: how long a compile takes cold (small and large), how much
 // faster the warm cache path is, what the Pass 1 fan-out buys over serial
 // (at the host's GOMAXPROCS and pinned to 4), what the Pass 3 A* rework
@@ -9,13 +9,17 @@
 // on a one-cell spec edit (the session/watch workload), what the Pass 2
 // Espresso-style minimizer costs and saves (terms and decoder area), what
 // the compiled switch-level simulator buys over the interpreted one on
-// the invariant checker's control-sweep workload, and how fast the
+// the invariant checker's control-sweep workload, how fast the
 // scenario grader burns through waveform vectors (the /verify and
-// bristlec -verify serving cost, compile excluded).
+// bristlec -verify serving cost, compile excluded), what the telemetry
+// tier costs on the large-chip cold compile (runtime sampler plus
+// per-pass allocation attribution, on vs off), and how much of a
+// compile's allocation delta the per-pass attribution explains across
+// examples/chips.
 //
 // Usage:
 //
-//	go run ./tools/benchjson                # write BENCH_PR8.json
+//	go run ./tools/benchjson                # write BENCH_PR9.json
 //	go run ./tools/benchjson -o bench.json  # choose the output path
 //	go run ./tools/benchjson -benchtime 2s  # run each arm longer
 package main
@@ -37,6 +41,7 @@ import (
 	"bristleblocks/internal/desc"
 	"bristleblocks/internal/experiments"
 	"bristleblocks/internal/incr"
+	"bristleblocks/internal/obs/rtm"
 	"bristleblocks/internal/pads"
 	"bristleblocks/internal/scenario"
 	"bristleblocks/internal/trace"
@@ -126,13 +131,28 @@ type report struct {
 	// one goroutine — the marginal serving cost of a /verify request
 	// whose compile is already paid.
 	ScenarioVectorsPerSec float64 `json:"scenario_vectors_per_sec"`
+	// TelemetryOverheadPct is what the telemetry tier costs on the
+	// large-chip cold compile: (telemetry_on - telemetry_off) /
+	// telemetry_off as a percentage, where the on arm runs a live
+	// runtime sampler ticking every second plus the per-pass allocation
+	// attribution probes, and the off arm disables the probes and runs
+	// no sampler. The acceptance bar is ≤ 2%; negative values are
+	// scheduler noise and mean the cost is unmeasurably small.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	// AllocAttributionRatio is the fraction of the whole-compile
+	// allocation delta the per-pass attribution explains, summed across
+	// full compiles of every chip under examples/chips:
+	// Σ attributed / Σ total. The gap is inter-pass glue (spec
+	// validation, stats fill, trace assembly). The acceptance bar is
+	// ≥ 0.90.
+	AllocAttributionRatio float64 `json:"alloc_attribution_ratio"`
 }
 
 func main() {
 	// testing.Benchmark reads the test.benchtime flag, which only exists
 	// after testing.Init registers the testing flag set.
 	testing.Init()
-	out := flag.String("o", "BENCH_PR8.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR9.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark arm")
 	flag.Parse()
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -184,6 +204,35 @@ func main() {
 			}
 		}
 	})
+
+	// Telemetry overhead, the PR 9 acceptance arm: the same large-chip
+	// cold compile with the telemetry tier fully on (a background runtime
+	// sampler ticking every second — the daemon's scrape-path cost — plus
+	// the pass-boundary allocation probes CompileCtx always runs) against
+	// the compile with the probes disabled and no sampler. compile_large
+	// above already runs with probes on; this pair isolates the delta
+	// under identical conditions back to back.
+	telemSampler := rtm.NewSampler(0)
+	stopSampler := telemSampler.Start(time.Second)
+	telemOn := run("compile_large_telemetry_on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compile(large, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	stopSampler()
+	rtm.SetAllocProbe(false)
+	telemOff := run("compile_large_telemetry_off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compile(large, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rtm.SetAllocProbe(true)
 
 	// Warm cache path: the same large spec re-requested through a primed
 	// content-addressed cache.
@@ -312,6 +361,24 @@ func main() {
 	chips, err := chipsSpecs()
 	if err != nil {
 		fatal(err)
+	}
+
+	// Attribution coverage, the other PR 9 acceptance number: over a full
+	// compile of every example chip, how much of the whole-compile
+	// allocation delta lands in a named pass (the rest is inter-pass
+	// glue). Compiled solo, so the process-wide counters attribute
+	// exactly.
+	var attributed, totalAllocs core.AllocDelta
+	for _, spec := range chips {
+		chip, err := core.Compile(spec, nil)
+		if err != nil {
+			fatal(err)
+		}
+		attributed.Add(chip.Allocs.Attributed())
+		totalAllocs.Add(chip.Allocs.Total)
+	}
+	if totalAllocs.Objects > 0 {
+		rep.AllocAttributionRatio = float64(attributed.Objects) / float64(totalAllocs.Objects)
 	}
 	routePass := func(parallelism int, seed bool) func(b *testing.B) {
 		opts := &core.Options{Parallelism: parallelism, SkipExtraReps: true}
@@ -466,6 +533,9 @@ func main() {
 	if grade.NSPerOp > 0 {
 		rep.ScenarioVectorsPerSec = float64(nVectors) * 1e9 / float64(grade.NSPerOp)
 	}
+	if telemOff.NSPerOp > 0 {
+		rep.TelemetryOverheadPct = 100 * float64(telemOn.NSPerOp-telemOff.NSPerOp) / float64(telemOff.NSPerOp)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -475,11 +545,11 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f), pla %.2fms for %d terms merged (%.0f λ² saved), compiled-sim speedup %.1fx, scenario grading %.0f vectors/s -> %s\n",
+	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f), pla %.2fms for %d terms merged (%.0f λ² saved), compiled-sim speedup %.1fx, scenario grading %.0f vectors/s, telemetry overhead %.2f%%, alloc attribution %.2f -> %s\n",
 		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, rep.CorePassParallelSpeedupG4,
 		rep.CorePassSerialShare, rep.PadPassSpeedupJ8, rep.IncrementalEditSpeedup, rep.IncrHitRatio,
 		rep.PlaMinimizeMS, rep.PlaTermsMerged, rep.PlaAreaSavedLambda2, rep.SimCompiledSpeedup,
-		rep.ScenarioVectorsPerSec, *out)
+		rep.ScenarioVectorsPerSec, rep.TelemetryOverheadPct, rep.AllocAttributionRatio, *out)
 }
 
 // scenarioCorpus loads every scenario under examples/scenarios with a

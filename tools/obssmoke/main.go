@@ -8,6 +8,13 @@
 // complete span tree, and /debug/pprof/profile serves a CPU profile. A
 // daemon whose dashboards would be blank fails here, before it ships.
 //
+// The PR 9 telemetry tier is covered too: the cold compile carries a W3C
+// traceparent that must echo back in the response and the flight record,
+// the per-pass allocation and runtime families must populate, the SLO
+// burn-rate gauges and /debug/slo must answer, the continuous-profiling
+// ring must serve a captured profile, and the -trace-export file must
+// hold the compile's OTLP/JSON line.
+//
 // Usage:
 //
 //	go build -o /tmp/bbd ./cmd/bbd
@@ -23,6 +30,7 @@ import (
 	"os"
 	"os/exec"
 	"strings"
+	"syscall"
 	"time"
 
 	"bristleblocks/internal/obs/flightrec"
@@ -44,12 +52,21 @@ func main() {
 		fatal(err)
 	}
 
-	cmd := exec.Command(*bbd, "-addr", *addr, "-log-level", "debug", "-log-json")
+	tmpDir, err := os.MkdirTemp("", "obssmoke-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(tmpDir)
+	exportPath := tmpDir + "/traces.jsonl"
+	cmd := exec.Command(*bbd, "-addr", *addr, "-log-level", "debug", "-log-json",
+		"-trace-export", exportPath,
+		"-profile-interval", "500ms", "-profile-keep", "4", "-profile-dir", tmpDir+"/profiles")
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		fatal(fmt.Errorf("starting %s: %w", *bbd, err))
 	}
+	daemon = cmd
 	defer func() {
 		cmd.Process.Signal(os.Interrupt)
 		cmd.Wait()
@@ -59,11 +76,25 @@ func main() {
 	if err := waitHealthy(base, *wait); err != nil {
 		fatal(err)
 	}
+	// Healthy must mean OUR daemon: if the child died (say the port was
+	// already bound by a stale daemon), /healthz answers from the wrong
+	// process and every later check lies.
+	if err := cmd.Process.Signal(syscall.Signal(0)); err != nil {
+		fatal(fmt.Errorf("daemon exited early (is %s already bound?): %w", *addr, err))
+	}
 	step("daemon healthy at %s", base)
 
-	// Compile the example chip cold; the response must carry a request ID
-	// that keys into the flight recorder.
-	resp, err := http.Post(base+"/compile?trace=chrome", "text/plain", strings.NewReader(string(spec)))
+	// Compile the example chip cold with an injected traceparent; the
+	// response must carry a request ID that keys into the flight recorder
+	// and must echo the injected trace id (the round-trip check).
+	sc := trace.NewSpanContext()
+	creq, err := http.NewRequest(http.MethodPost, base+"/compile?trace=chrome", strings.NewReader(string(spec)))
+	if err != nil {
+		fatal(err)
+	}
+	creq.Header.Set("Content-Type", "text/plain")
+	creq.Header.Set("traceparent", sc.Traceparent())
+	resp, err := http.DefaultClient.Do(creq)
 	if err != nil {
 		fatal(err)
 	}
@@ -74,6 +105,7 @@ func main() {
 	}
 	var compile struct {
 		RequestID   string          `json:"request_id"`
+		TraceID     string          `json:"trace_id"`
 		Chip        string          `json:"chip"`
 		Cached      bool            `json:"cached"`
 		TraceEvents json.RawMessage `json:"trace_events"`
@@ -87,7 +119,10 @@ func main() {
 	if len(compile.TraceEvents) == 0 {
 		fatal(fmt.Errorf("trace=chrome response has no trace_events"))
 	}
-	step("compiled %s cold (request %s)", compile.Chip, compile.RequestID)
+	if compile.TraceID != sc.TraceIDString() {
+		fatal(fmt.Errorf("traceparent round-trip: daemon answered trace %q, client injected %q", compile.TraceID, sc.TraceIDString()))
+	}
+	step("compiled %s cold (request %s, trace %s joined)", compile.Chip, compile.RequestID, compile.TraceID)
 
 	// An edit session: open, compile the spec twice (the second with one
 	// edited constant), close. The second compile must answer mostly from
@@ -164,7 +199,41 @@ func main() {
 	if page.Types["bbd_request_latency_ms"] != "histogram" {
 		fatal(fmt.Errorf("/metrics bbd_request_latency_ms type = %q", page.Types["bbd_request_latency_ms"]))
 	}
-	step("/metrics parses: %d samples, %d families", len(page.Samples), len(page.Types))
+	// The PR 9 families: per-pass allocation attribution, runtime
+	// telemetry, and SLO burn-rate gauges.
+	labeled := func(name, labelK, labelV string) (float64, bool) {
+		for _, s := range page.Samples {
+			if s.Name == name && s.Labels[labelK] == labelV {
+				return s.Value, true
+			}
+		}
+		return 0, false
+	}
+	for _, pass := range []string{"core", "control", "pads", "reps"} {
+		if _, ok := labeled("bbd_pass_allocs_total", "pass", pass); !ok {
+			fatal(fmt.Errorf("/metrics bbd_pass_allocs_total{pass=%q} missing", pass))
+		}
+		if _, ok := labeled("bbd_pass_alloc_bytes_total", "pass", pass); !ok {
+			fatal(fmt.Errorf("/metrics bbd_pass_alloc_bytes_total{pass=%q} missing", pass))
+		}
+	}
+	if v, ok := labeled("bbd_pass_allocs_total", "pass", "core"); !ok || v <= 0 {
+		fatal(fmt.Errorf("/metrics bbd_pass_allocs_total{pass=core} = %v after a cold compile", v))
+	}
+	for _, name := range []string{"bbd_runtime_goroutines", "bbd_runtime_heap_bytes", "bbd_runtime_alloc_objects_total"} {
+		if v, ok := page.Get(name); !ok || v <= 0 {
+			fatal(fmt.Errorf("/metrics %s = %v,%v (want > 0)", name, v, ok))
+		}
+	}
+	if page.Types["bbd_runtime_gc_pause_seconds"] != "histogram" {
+		fatal(fmt.Errorf("/metrics bbd_runtime_gc_pause_seconds type = %q", page.Types["bbd_runtime_gc_pause_seconds"]))
+	}
+	for _, win := range []string{"short", "full"} {
+		if v, ok := labeled("bbd_slo_availability", "window", win); !ok || v != 1.0 {
+			fatal(fmt.Errorf("/metrics bbd_slo_availability{window=%q} = %v,%v (want 1.0 after good requests)", win, v, ok))
+		}
+	}
+	step("/metrics parses: %d samples, %d families (alloc, runtime, slo present)", len(page.Samples), len(page.Types))
 
 	// /debug/vars is JSON and its histograms carry percentile summaries.
 	vars, err := getJSON[map[string]any](base + "/debug/vars")
@@ -197,17 +266,107 @@ func main() {
 	if err := checkSpanTree(rec.Spans); err != nil {
 		fatal(fmt.Errorf("flight record %s: %w", compile.RequestID, err))
 	}
-	step("flight record has a complete span tree (%d spans)", len(rec.Spans))
+	if rec.TraceID != sc.TraceIDString() {
+		fatal(fmt.Errorf("flight record trace_id = %q, client injected %q", rec.TraceID, sc.TraceIDString()))
+	}
+	if rec.Allocs == nil || rec.Allocs.Total.Objects == 0 || rec.Allocs.Core.Objects == 0 {
+		fatal(fmt.Errorf("flight record has no per-pass alloc attribution: %+v", rec.Allocs))
+	}
+	step("flight record has a complete span tree (%d spans), trace id, and alloc attribution", len(rec.Spans))
 
-	// The profiler answers with an actual CPU profile.
-	presp, err := http.Get(base + "/debug/pprof/profile?seconds=1")
+	// /debug/slo answers the burn-rate report.
+	slo, err := getJSON[map[string]any](base + "/debug/slo")
 	if err != nil {
 		fatal(err)
 	}
-	profile, _ := io.ReadAll(presp.Body)
-	presp.Body.Close()
-	if presp.StatusCode != http.StatusOK || len(profile) == 0 {
-		fatal(fmt.Errorf("/debug/pprof/profile: status %d, %d bytes", presp.StatusCode, len(profile)))
+	for _, key := range []string{"availability_target", "short", "full"} {
+		if _, ok := slo[key]; !ok {
+			fatal(fmt.Errorf("/debug/slo missing %q: %v", key, slo))
+		}
+	}
+	step("/debug/slo serves the burn-rate report")
+
+	// The continuous-profiling ring must capture and serve a profile; the
+	// first CPU capture takes ~1s, so poll briefly.
+	var ringIdx struct {
+		Profiles []struct {
+			ID   string `json:"id"`
+			Kind string `json:"kind"`
+		} `json:"profiles"`
+	}
+	ringDeadline := time.Now().Add(*wait)
+	for {
+		ringIdx, err = getJSON[struct {
+			Profiles []struct {
+				ID   string `json:"id"`
+				Kind string `json:"kind"`
+			} `json:"profiles"`
+		}](base + "/debug/profiles")
+		if err == nil && len(ringIdx.Profiles) > 0 {
+			break
+		}
+		if time.Now().After(ringDeadline) {
+			fatal(fmt.Errorf("profile ring captured nothing within %v (err=%v)", *wait, err))
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	rresp, err := http.Get(base + "/debug/profiles/" + ringIdx.Profiles[0].ID)
+	if err != nil {
+		fatal(err)
+	}
+	ringProfile, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK || len(ringProfile) == 0 {
+		fatal(fmt.Errorf("/debug/profiles/%s: status %d, %d bytes", ringIdx.Profiles[0].ID, rresp.StatusCode, len(ringProfile)))
+	}
+	step("profile ring served %s (%d bytes, %d profiles indexed)", ringIdx.Profiles[0].ID, len(ringProfile), len(ringIdx.Profiles))
+
+	// The -trace-export file holds the compile's OTLP/JSON line under the
+	// injected trace id.
+	exported, err := os.ReadFile(exportPath)
+	if err != nil {
+		fatal(fmt.Errorf("-trace-export wrote nothing: %w", err))
+	}
+	foundTrace := false
+	for _, line := range strings.Split(strings.TrimSpace(string(exported)), "\n") {
+		if line == "" {
+			continue
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			fatal(fmt.Errorf("-trace-export line is not JSON: %w", err))
+		}
+		if _, ok := doc["resourceSpans"]; !ok {
+			fatal(fmt.Errorf("-trace-export line has no resourceSpans"))
+		}
+		if strings.Contains(line, sc.TraceIDString()) {
+			foundTrace = true
+		}
+	}
+	if !foundTrace {
+		fatal(fmt.Errorf("-trace-export holds no line under the injected trace %s", sc.TraceIDString()))
+	}
+	step("-trace-export holds OTLP/JSON under the injected trace id")
+
+	// The profiler answers with an actual CPU profile. Only one CPU
+	// profile can run process-wide and the continuous ring periodically
+	// holds it, so retry until a gap opens.
+	var profile []byte
+	pprofDeadline := time.Now().Add(*wait)
+	for {
+		presp, err := http.Get(base + "/debug/pprof/profile?seconds=1")
+		if err != nil {
+			fatal(err)
+		}
+		profile, _ = io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if presp.StatusCode == http.StatusOK && len(profile) > 0 {
+			break
+		}
+		if time.Now().After(pprofDeadline) {
+			fatal(fmt.Errorf("/debug/pprof/profile: status %d, %d bytes", presp.StatusCode, len(profile)))
+		}
+		time.Sleep(200 * time.Millisecond)
 	}
 	step("/debug/pprof/profile served %d bytes", len(profile))
 
@@ -310,7 +469,15 @@ func step(format string, args ...any) {
 	fmt.Printf("obssmoke: "+format+"\n", args...)
 }
 
+// daemon is the spawned bbd, killed on fatal so a failed run never
+// leaves a stale daemon squatting on the port for the next run.
+var daemon *exec.Cmd
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "obssmoke: FAIL:", err)
+	if daemon != nil && daemon.Process != nil {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}
 	os.Exit(1)
 }
