@@ -20,10 +20,14 @@
 //	bbd -trace-export traces.jsonl       # OTLP/JSON span export, one line per compile
 //	bbd -profile-interval 1m             # continuous CPU+heap profile ring
 //	bbd -slo-window 1h -slo-availability 0.999  # error-budget objectives
+//	bbd -peers http://a:8723,http://b:8723 -self http://a:8723   # join a cache-peering farm
+//	bbd -peers ... -self http://c:8723 -coordinator              # front the farm, routing cold compiles
+//	bbd -peer-timeout 150ms              # per-peer fetch/put budget
 //
 // Endpoints:
 //
-//	POST /compile[?reps=cif,text,block,logical|all][&nopads=1&skipopt=1&skipmin=1&skiproto=1&evenpads=1&skipreps=1][&trace=1|chrome]
+//	POST /compile[?reps=cif,text,block,logical,sticks|all][&nopads=1&skipopt=1&skipmin=1&skiproto=1&evenpads=1&skipreps=1][&trace=1|chrome]
+//	POST /compile/batch            {"specs":[...]} in, NDJSON stream of per-spec results out (same query options)
 //	POST /verify                   grade {"spec","vectors"} JSON: one verdict per scenario
 //	POST /session                  open an edit session (warm per-client artifact store)
 //	POST /session/{id}/compile     incremental compile (same query options as /compile)
@@ -37,6 +41,16 @@
 //	GET  /debug/profiles           continuous-profiling ring index (404 unless -profile-interval)
 //	GET  /debug/profiles/{id}      one captured pprof profile
 //	GET  /debug/pprof/             net/http/pprof profiler
+//	GET  /cache/{key}              peer shard protocol: fetch a cached result (farm-internal)
+//	PUT  /cache/{key}              peer shard protocol: store a result (farm-internal)
+//
+// With -peers, the daemons listed form a farm: each compile result is
+// stored on the node that owns its cache key under a consistent-hash
+// ring, and a miss consults the owner before compiling. Every node
+// passes the same -peers list (order doesn't matter) and names itself
+// with -self; a dead, slow, or corrupt peer degrades to a local compile,
+// never an error (see docs/FARM.md). -coordinator makes this node route
+// cold compiles to the least-loaded worker instead of compiling locally.
 //
 // The compile endpoints accept a W3C traceparent header: the compile's
 // spans join the caller's distributed trace (the trace id echoes back in
@@ -111,6 +125,10 @@ func main() {
 	sloAvail := flag.Float64("slo-availability", 0, "availability objective as a fraction of eligible requests (0 = 0.999)")
 	sloLatency := flag.Float64("slo-latency", 0, "latency objective: fraction of good requests under -slo-latency-ms (0 = 0.99)")
 	sloLatencyMS := flag.Duration("slo-latency-threshold", 0, "latency threshold the objective counts against (0 = 500ms)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every farm node including this one (empty = standalone)")
+	self := flag.String("self", "", "this node's base URL as it appears in -peers (required with -peers)")
+	coordinator := flag.Bool("coordinator", false, "route cold compiles to the least-loaded -peers worker instead of compiling locally")
+	peerTimeout := flag.Duration("peer-timeout", 0, "per-peer cache fetch/put and load-poll budget (0 = 150ms)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: bbd [flags]")
@@ -139,8 +157,20 @@ func main() {
 		defer f.Close()
 		exportW = f
 	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
 	srv, err := server.New(server.Config{
 		Cache:              c,
+		Peers:              peerList,
+		SelfURL:            *self,
+		Coordinator:        *coordinator,
+		PeerTimeout:        *peerTimeout,
 		Workers:            *pool,
 		QueueDepth:         *queue,
 		Timeout:            *timeout,
@@ -178,7 +208,8 @@ func main() {
 	logger.Info("serving",
 		"addr", *addr, "admin_addr", *adminAddr,
 		"pool", srv.Workers(), "cache_mb", *cacheMB, "cache_dir", *cacheDir,
-		"timeout", *timeout, "log_level", *logLevel)
+		"timeout", *timeout, "log_level", *logLevel,
+		"peers", len(peerList), "coordinator", *coordinator)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

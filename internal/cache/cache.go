@@ -10,6 +10,12 @@
 // The cache is two layers: a size-bounded in-memory LRU (hit/miss/eviction
 // counters for the serving metrics) over an optional on-disk layer that
 // survives daemon restarts. A disk hit is promoted into memory.
+//
+// A third, optional tier makes the cache horizontal: SetPeers attaches a
+// consistent-hash shard ring over a farm's node list (see PeerTier), and
+// a key that misses both local layers is fetched from its owning peer —
+// one node's cold compile warms the whole farm. Peer failures degrade to
+// a local miss, never an error.
 package cache
 
 import (
@@ -56,6 +62,7 @@ type Result struct {
 	Stats   core.Stats `json:"stats"`
 	TimesUS TimesUS    `json:"times_us"`
 	CIF     []byte     `json:"cif,omitempty"`
+	Sticks  string     `json:"sticks,omitempty"`
 	Text    string     `json:"text,omitempty"`
 	Block   string     `json:"block,omitempty"`
 	Logical string     `json:"logical,omitempty"`
@@ -69,15 +76,18 @@ type TimesUS struct {
 
 // cost is the entry's size charge against the LRU byte budget.
 func (r *Result) cost() int64 {
-	return int64(len(r.CIF) + len(r.Text) + len(r.Block) + len(r.Logical) + len(r.Chip) + len(r.Key) + 256)
+	return int64(len(r.CIF) + len(r.Sticks) + len(r.Text) + len(r.Block) + len(r.Logical) + len(r.Chip) + len(r.Key) + 256)
 }
 
 // Counters is a snapshot of the cache's activity.
 type Counters struct {
 	Hits, Misses, Evictions int64
 	DiskHits                int64
-	Entries                 int
-	Bytes                   int64
+	// PeerHits counts lookups answered by another node's shard (a subset
+	// of Hits).
+	PeerHits int64
+	Entries  int
+	Bytes    int64
 }
 
 // Cache is the two-layer compile cache. The zero value is not usable; use
@@ -91,7 +101,11 @@ type Cache struct {
 
 	disk *diskStore // nil when no directory is configured
 
-	hits, misses, evictions, diskHits atomic.Int64
+	// peers is the farm shard tier (nil outside a farm). Set once via
+	// SetPeers before serving; read without synchronization afterwards.
+	peers *PeerTier
+
+	hits, misses, evictions, diskHits, peerHits atomic.Int64
 }
 
 type entry struct {
@@ -121,24 +135,31 @@ func New(maxBytes int64, dir string) (*Cache, error) {
 	return c, nil
 }
 
-// Get looks the key up in memory, then on disk. A disk hit is promoted
-// into the memory layer. The returned Result is shared — callers must not
-// mutate it.
+// SetPeers attaches the farm shard tier. Call once, before serving; the
+// field is read lock-free on every lookup afterwards.
+func (c *Cache) SetPeers(p *PeerTier) { c.peers = p }
+
+// Peers returns the attached shard tier (nil outside a farm).
+func (c *Cache) Peers() *PeerTier { return c.peers }
+
+// Get looks the key up in memory, then on disk, then — in a farm — on the
+// key's owning peer. A disk or peer hit is promoted into the memory
+// layer. The returned Result is shared — callers must not mutate it.
 func (c *Cache) Get(key string) (*Result, bool) {
-	c.mu.Lock()
-	if el, ok := c.byKey[key]; ok {
-		c.lru.MoveToFront(el)
-		res := el.Value.(*entry).res
-		c.mu.Unlock()
+	return c.GetCtx(context.Background(), key)
+}
+
+// GetCtx is Get bounded by ctx; only the peer hop observes the context
+// (local layers are synchronous memory and disk reads).
+func (c *Cache) GetCtx(ctx context.Context, key string) (*Result, bool) {
+	if res, ok := c.GetLocal(key); ok {
 		c.hits.Add(1)
 		return res, true
 	}
-	c.mu.Unlock()
-
-	if c.disk != nil {
-		if res, ok := c.disk.get(key); ok {
+	if c.peers != nil {
+		if res, ok := c.peers.Fetch(ctx, key); ok {
 			c.hits.Add(1)
-			c.diskHits.Add(1)
+			c.peerHits.Add(1)
 			c.insert(key, res)
 			return res, true
 		}
@@ -147,8 +168,44 @@ func (c *Cache) Get(key string) (*Result, bool) {
 	return nil, false
 }
 
-// Put stores a result under key in both layers.
+// GetLocal looks the key up in the local layers only — memory, then disk
+// — without touching hit/miss accounting or the peer tier. It is the
+// lookup the peer-protocol serving side runs: a peer asking this node for
+// a shard entry must never trigger a recursive peer fetch.
+func (c *Cache) GetLocal(key string) (*Result, bool) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		res := el.Value.(*entry).res
+		c.mu.Unlock()
+		return res, true
+	}
+	c.mu.Unlock()
+
+	if c.disk != nil {
+		if res, ok := c.disk.get(key); ok {
+			c.diskHits.Add(1)
+			c.insert(key, res)
+			return res, true
+		}
+	}
+	return nil, false
+}
+
+// Put stores a result under key in both local layers and — in a farm —
+// pushes it to the key's owning peer so the whole ring warms from one
+// compile. The peer push is bounded and best effort.
 func (c *Cache) Put(key string, res *Result) {
+	c.PutLocal(key, res)
+	if c.peers != nil {
+		c.peers.Store(context.Background(), key, res)
+	}
+}
+
+// PutLocal stores a result in the local layers only — the write the
+// peer-protocol serving side applies when another node pushes a shard
+// entry here (pushing it onward would bounce it around the ring).
+func (c *Cache) PutLocal(key string, res *Result) {
 	c.insert(key, res)
 	if c.disk != nil {
 		c.disk.put(key, res) // best effort; disk errors don't fail the compile
@@ -187,6 +244,7 @@ func (c *Cache) Counters() Counters {
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
 		DiskHits:  c.diskHits.Load(),
+		PeerHits:  c.peerHits.Load(),
 		Entries:   entries,
 		Bytes:     bytes,
 	}
@@ -220,7 +278,7 @@ func (c *Cache) CompileChip(ctx context.Context, spec *core.Spec, opts *core.Opt
 	tr := trace.FromContext(ctx)
 	key := Key(spec, opts)
 	t0 := time.Now()
-	res, ok := c.Get(key)
+	res, ok := c.GetCtx(ctx, key)
 	tr.Lookup(trace.SpanFromContext(ctx), time.Since(t0), ok)
 	if ok {
 		return res, nil, true, nil

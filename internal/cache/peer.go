@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The peer tier makes the content-addressed cache horizontal: every key
+// has exactly one owning node on the consistent-hash ring, a node that
+// misses locally asks the owner over HTTP before compiling, and a node
+// that compiles cold pushes the result to the owner so the whole farm
+// warms from one compile. The protocol is two verbs on the owner:
+//
+//	GET /cache/{key}  -> 200 + the cache.Result JSON, or 404
+//	PUT /cache/{key}  <- the cache.Result JSON, answered 204
+//
+// Failure is always degradation, never an error: a dead, slow, or
+// partitioned peer means the local node compiles (or keeps its result to
+// itself) and a counter increments. Every peer call carries a bounded
+// timeout so a sick peer costs at most PeerTimeout, not a hung request.
+
+// DefaultPeerTimeout bounds one peer fetch or put when the caller passes
+// no budget. Peers are LAN neighbors serving memory reads; anything
+// slower than this is cheaper to recompile than to wait for.
+const DefaultPeerTimeout = 150 * time.Millisecond
+
+// maxPeerResultBytes bounds a fetched result's JSON; a Result is a mask
+// set plus text representations, far under this.
+const maxPeerResultBytes = 256 << 20
+
+// PeerCounters is a snapshot of the peer tier's activity.
+type PeerCounters struct {
+	// Fetches counts owner lookups sent to other nodes; Hits/Misses split
+	// their outcomes, Errors and Timeouts the failures (a timeout is not
+	// double-counted as an error).
+	Fetches, Hits, Misses int64
+	Errors, Timeouts      int64
+	// Puts counts results pushed to their owning node; PutErrors the
+	// pushes that failed (timeouts included).
+	Puts, PutErrors int64
+	// Nodes is the ring size, self included.
+	Nodes int
+}
+
+// PeerTier is one node's view of the farm's shared cache shard ring.
+// All methods are safe for concurrent use.
+type PeerTier struct {
+	ring    *Ring
+	self    string
+	client  *http.Client
+	timeout time.Duration
+
+	fetches, hits, misses atomic.Int64
+	errs, timeouts        atomic.Int64
+	puts, putErrs         atomic.Int64
+}
+
+// NewPeerTier builds the tier from the farm's full peer list (self
+// included — every node must agree on the ring). self must appear in
+// peers; timeout <= 0 selects DefaultPeerTimeout.
+func NewPeerTier(peers []string, self string, timeout time.Duration) (*PeerTier, error) {
+	if timeout <= 0 {
+		timeout = DefaultPeerTimeout
+	}
+	ring := NewRing(peers)
+	found := false
+	for _, n := range ring.Nodes() {
+		if n == self {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("peer tier: self %q is not in the peer list %v", self, ring.Nodes())
+	}
+	return &PeerTier{
+		ring:    ring,
+		self:    self,
+		timeout: timeout,
+		client: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 4,
+				IdleConnTimeout:     30 * time.Second,
+			},
+		},
+	}, nil
+}
+
+// Owner reports the node owning key on the ring.
+func (p *PeerTier) Owner(key string) string { return p.ring.Owner(key) }
+
+// Self reports this node's own ring name.
+func (p *PeerTier) Self() string { return p.self }
+
+// Nodes reports the ring's member names, sorted, self included.
+func (p *PeerTier) Nodes() []string { return p.ring.Nodes() }
+
+// Fetch asks the key's owning peer for a result. It returns (nil, false)
+// when this node owns the key itself (the local layers were already
+// consulted), on a clean peer miss, and on any peer failure — the caller
+// compiles locally in every case.
+func (p *PeerTier) Fetch(ctx context.Context, key string) (*Result, bool) {
+	owner := p.ring.Owner(key)
+	if owner == "" || owner == p.self {
+		return nil, false
+	}
+	p.fetches.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/cache/"+key, nil)
+	if err != nil {
+		p.errs.Add(1)
+		return nil, false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.countFailure(err)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		p.misses.Add(1)
+		return nil, false
+	default:
+		p.errs.Add(1)
+		return nil, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResultBytes))
+	if err != nil {
+		p.countFailure(err)
+		return nil, false
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil || res.Key != key {
+		// A peer serving bytes that don't parse — or a result under the
+		// wrong key — is corruption, and corruption degrades like death.
+		p.errs.Add(1)
+		return nil, false
+	}
+	p.hits.Add(1)
+	return &res, true
+}
+
+// Store pushes a result to its owning peer, best effort: a failure
+// increments a counter and the result stays local-only. No-op when this
+// node owns the key (Put already stored it locally).
+func (p *PeerTier) Store(ctx context.Context, key string, res *Result) {
+	owner := p.ring.Owner(key)
+	if owner == "" || owner == p.self {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		p.putErrs.Add(1)
+		return
+	}
+	p.puts.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, owner+"/cache/"+key, bytes.NewReader(data))
+	if err != nil {
+		p.putErrs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.putErrs.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		p.putErrs.Add(1)
+	}
+}
+
+// countFailure classifies one failed fetch: deadline-shaped failures land
+// in Timeouts, everything else (refused, reset, DNS, bad bytes) in Errors.
+func (p *PeerTier) countFailure(err error) {
+	var ne net.Error
+	if errors.Is(err, context.DeadlineExceeded) ||
+		(errors.As(err, &ne) && ne.Timeout()) ||
+		strings.Contains(err.Error(), "Client.Timeout") {
+		p.timeouts.Add(1)
+		return
+	}
+	p.errs.Add(1)
+}
+
+// Counters snapshots the tier's activity.
+func (p *PeerTier) Counters() PeerCounters {
+	return PeerCounters{
+		Fetches:   p.fetches.Load(),
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Errors:    p.errs.Load(),
+		Timeouts:  p.timeouts.Load(),
+		Puts:      p.puts.Load(),
+		PutErrors: p.putErrs.Load(),
+		Nodes:     len(p.ring.Nodes()),
+	}
+}

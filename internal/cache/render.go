@@ -8,9 +8,11 @@ import (
 )
 
 // Render turns a compiled chip into the storable Result: CIF at the spec's
-// physical lambda plus the text, block, and logical representations. The
-// mask hierarchy itself is not stored — CIF is the canonical serialized
-// form of the Layout representation.
+// physical lambda plus the sticks, text, block, and logical
+// representations. The mask hierarchy itself is not stored — CIF is the
+// canonical serialized form of the Layout representation; the sticks
+// diagram is rendered at the invariant harness's 16λ scale so daemon
+// responses and differential baselines are comparable bytes.
 func Render(chip *core.Chip) (*Result, error) {
 	lambda := chip.Spec.LambdaCentimicrons
 	if lambda <= 0 {
@@ -20,9 +22,14 @@ func Render(chip *core.Chip) (*Result, error) {
 	if err := cif.Write(&buf, chip.Mask, lambda); err != nil {
 		return nil, err
 	}
+	sticks := ""
+	if chip.Sticks != nil {
+		sticks = chip.Sticks.Render(16)
+	}
 	return &Result{
-		Chip:  chip.Spec.Name,
-		Stats: chip.Stats,
+		Chip:   chip.Spec.Name,
+		Sticks: sticks,
+		Stats:  chip.Stats,
 		TimesUS: TimesUS{
 			Core:    chip.Times.Core.Microseconds(),
 			Control: chip.Times.Control.Microseconds(),

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+)
+
+// The consistent-hash ring shards cache keys across a static peer list.
+// Each node is hashed onto the ring at ringReplicas virtual points; a key
+// belongs to the first point clockwise from its own hash. The properties
+// the farm relies on (pinned by the ring property tests):
+//
+//   - placement is a pure function of (node names, key) — every node in
+//     the farm computes the same owner for every key, regardless of the
+//     order its -peers flag listed the nodes in;
+//   - keys spread evenly enough that no node carries a hot shard
+//     (128 virtual points keeps the max/fair ratio under ~1.4 for the
+//     node counts a farm plausibly runs);
+//   - membership change moves the minimum: adding a node steals keys only
+//     for itself, removing one reassigns only the keys it owned.
+//
+// Hashes are the first 8 bytes of SHA-256 — the same family as the cache
+// key itself, so placement quality never depends on the key's own format.
+
+// ringReplicas is each node's virtual-point count. More points flatten
+// the shard sizes at the cost of a bigger sorted array; 128 is the
+// conventional sweet spot for single-digit node counts.
+const ringReplicas = 128
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (the farm uses peer base URLs). Build with NewRing; a membership change
+// means building a new Ring.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+// NewRing builds the ring. Duplicate node names collapse to one; an empty
+// list yields a ring whose Owner always answers "".
+func NewRing(nodes []string) *Ring {
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+	}
+	sort.Strings(r.nodes)
+	r.points = make([]ringPoint, 0, len(r.nodes)*ringReplicas)
+	var buf [8]byte
+	for _, n := range r.nodes {
+		for i := 0; i < ringReplicas; i++ {
+			binary.BigEndian.PutUint64(buf[:], uint64(i))
+			h := sha256.New()
+			h.Write([]byte(n))
+			h.Write([]byte{'#'})
+			h.Write(buf[:])
+			r.points = append(r.points, ringPoint{hash: sum64(h.Sum(nil)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between virtual points is vanishingly rare but
+		// must still break deterministically, independent of input order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner maps a key to the node that owns it ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's member names, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return sum64(sum[:])
+}
+
+func sum64(sum []byte) uint64 {
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The ring's three load-bearing properties, each pinned directly: the
+// farm's correctness (every node computes the same owner), its capacity
+// planning (no hot shard), and its operational cost (membership change
+// moves only what it must).
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Key-shaped strings: the real keys are hex SHA-256, but the ring
+		// must balance any string, so plain synthetic names are the harder
+		// test.
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return nodes
+}
+
+// TestRingBalance places 1000 synthetic keys on farms of 2..8 nodes and
+// bounds every shard against its fair share.
+func TestRingBalance(t *testing.T) {
+	keys := ringKeys(1000)
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		nodes := ringNodes(n)
+		ring := NewRing(nodes)
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d nodes: only %d received keys", n, len(counts))
+		}
+		fair := float64(len(keys)) / float64(n)
+		for _, node := range nodes {
+			got := float64(counts[node])
+			if got > 1.6*fair || got < 0.4*fair {
+				t.Errorf("%d nodes: %s owns %.0f keys, fair share %.0f (ratio %.2f)",
+					n, node, got, fair, got/fair)
+			}
+		}
+		t.Logf("%d nodes: shard sizes %v (fair %.0f)", n, counts, fair)
+	}
+}
+
+// TestRingPlacementOrderIndependent pins the property the -peers flag
+// relies on: every farm node computes identical placement however its
+// flag happened to order the list.
+func TestRingPlacementOrderIndependent(t *testing.T) {
+	nodes := ringNodes(5)
+	reversed := make([]string, len(nodes))
+	for i, n := range nodes {
+		reversed[len(nodes)-1-i] = n
+	}
+	shuffled := []string{nodes[2], nodes[0], nodes[4], nodes[1], nodes[3]}
+	a, b, c := NewRing(nodes), NewRing(reversed), NewRing(shuffled)
+	for _, k := range ringKeys(1000) {
+		if a.Owner(k) != b.Owner(k) || a.Owner(k) != c.Owner(k) {
+			t.Fatalf("key %q owned by %q/%q/%q depending on list order", k, a.Owner(k), b.Owner(k), c.Owner(k))
+		}
+	}
+}
+
+// TestRingJoinMovesMinimum asserts that adding a node steals keys only
+// for itself: every key that moves, moves to the new node.
+func TestRingJoinMovesMinimum(t *testing.T) {
+	keys := ringKeys(1000)
+	before := NewRing(ringNodes(4))
+	joined := append(ringNodes(4), "http://10.0.0.9:8080")
+	after := NewRing(joined)
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "http://10.0.0.9:8080" {
+			t.Fatalf("key %q moved %q → %q on join; only moves to the new node are minimal", k, was, is)
+		}
+	}
+	// The new node's expected share is 1/5; allow generous slack both ways
+	// (zero movement would mean the join did nothing).
+	if moved == 0 || moved > 400 {
+		t.Errorf("join moved %d of 1000 keys; expected roughly the new node's fair share (200)", moved)
+	}
+	t.Logf("join moved %d of 1000 keys (fair share 200)", moved)
+}
+
+// TestRingLeaveMovesMinimum asserts the inverse: removing a node
+// reassigns only the keys it owned.
+func TestRingLeaveMovesMinimum(t *testing.T) {
+	keys := ringKeys(1000)
+	nodes := ringNodes(5)
+	before := NewRing(nodes)
+	after := NewRing(nodes[:4]) // nodes[4] leaves
+	moved := 0
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if was != nodes[4] {
+			t.Fatalf("key %q moved %q → %q on leave; only the departed node's keys may move", k, was, is)
+		}
+	}
+	if moved == 0 || moved > 400 {
+		t.Errorf("leave moved %d of 1000 keys; expected roughly the departed node's share (200)", moved)
+	}
+}
+
+// TestRingEdgeCases covers the degenerate rings the constructors allow.
+func TestRingEdgeCases(t *testing.T) {
+	if owner := NewRing(nil).Owner("k"); owner != "" {
+		t.Errorf("empty ring owns %q, want \"\"", owner)
+	}
+	one := NewRing([]string{"solo"})
+	for _, k := range ringKeys(10) {
+		if one.Owner(k) != "solo" {
+			t.Fatalf("single-node ring sent %q elsewhere", k)
+		}
+	}
+	dup := NewRing([]string{"a", "b", "a", "", "b"})
+	if got := dup.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("duplicate/empty names not collapsed: %v", got)
+	}
+}

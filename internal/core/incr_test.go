@@ -158,10 +158,10 @@ func TestGenKeySensitivity(t *testing.T) {
 	edited := testSpecEdit(4, "2")
 	variants := []string{
 		genKeyFor(edited, &edited.Elements[4], 4, 5, "busA", "busB", "busA", "busB", nil),
-		genKeyFor(spec, e, 3, 5, "busA", "busB", "busA", "busB", nil),   // position
-		genKeyFor(spec, e, 4, 6, "busA", "busB", "busA", "busB", nil),   // no longer last
-		genKeyFor(spec, e, 4, 5, "busX", "busB", "busA", "busB", nil),   // bus context
-		genKeyFor(spec, e, 4, 5, "busA", "busB", "busX", "busB", nil),   // break decision
+		genKeyFor(spec, e, 3, 5, "busA", "busB", "busA", "busB", nil), // position
+		genKeyFor(spec, e, 4, 6, "busA", "busB", "busA", "busB", nil), // no longer last
+		genKeyFor(spec, e, 4, 5, "busX", "busB", "busA", "busB", nil), // bus context
+		genKeyFor(spec, e, 4, 5, "busA", "busB", "busX", "busB", nil), // break decision
 	}
 	wider := testSpec(8)
 	variants = append(variants, genKeyFor(wider, &wider.Elements[4], 4, 5, "busA", "busB", "busA", "busB", nil))

@@ -1,12 +1,16 @@
 package invariant_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,6 +20,7 @@ import (
 	"bristleblocks/internal/invariant"
 	"bristleblocks/internal/scenario"
 	"bristleblocks/internal/server"
+	"bristleblocks/internal/server/farmtest"
 	"bristleblocks/internal/specgen"
 	"bristleblocks/internal/trace"
 )
@@ -32,6 +37,7 @@ var (
 	flagSeed     = flag.Int64("invariant.seed", 1979, "first generator seed")
 	flagEditSeqs = flag.Int("invariant.editseqs", 8, "edit sequences for the incremental differential")
 	flagEdits    = flag.Int("invariant.edits", 3, "edits per incremental sequence")
+	flagFarmN    = flag.Int("invariant.farmn", 10, "generated specs for the farm differential")
 )
 
 func harnessJobs(t *testing.T) []int {
@@ -236,4 +242,220 @@ func TestHarnessDaemon(t *testing.T) {
 		}
 	}
 	t.Logf("daemon: %d specs compared over HTTP (first seed %d)", n, *flagSeed)
+}
+
+// TestHarnessFarmDifferential is the horizontal-scaling leg: a 3-worker
+// farm behind a coordinator, compiling a batch of generated specs over
+// the streaming endpoint, must be byte-identical — CIF, sticks, every
+// text representation, and the statistics — to a single-node daemon AND
+// to a direct in-process compile, at every pool size. Three more arms
+// ride the same farm: a warm-hit arm re-requesting specs from a
+// non-coordinator worker (the answer arrives through the peer cache
+// tier and must still match), a verdict arm grading the example
+// scenario suite on a farm node vs the single node, and the coordinator
+// metrics sanity check. CI runs it wide (-invariant.farmn=200
+// -invariant.jobs=1,4,8); a failure names the generator seed.
+func TestHarnessFarmDifferential(t *testing.T) {
+	n := *flagFarmN
+	for _, j := range harnessJobs(t) {
+		j := j
+		t.Run(fmt.Sprintf("jobs=%d", j), func(t *testing.T) {
+			farm, err := farmtest.New(farmtest.Config{
+				Workers:     3,
+				Coordinator: true,
+				Node:        server.Config{Workers: 2, QueueDepth: 64, Parallelism: j},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer farm.Close()
+			single, err := server.New(server.Config{Workers: 2, QueueDepth: 64, Parallelism: j})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(single.Handler())
+			defer ts.Close()
+
+			// Local references: the same compiles the other harness legs
+			// trust, at Parallelism 1 so the farm arm also re-proves
+			// pool-size invariance against the serial compiler.
+			specs := make([]*core.Spec, n)
+			texts := make([]string, n)
+			chips := make([]*core.Chip, n)
+			wants := make([]invariant.Outputs, n)
+			for i := 0; i < n; i++ {
+				seed := *flagSeed + int64(i)
+				specs[i] = specgen.FromSeed(seed, nil)
+				texts[i] = desc.Format(specs[i])
+				chip, want, err := invariant.RenderOutputs(specs[i], &core.Options{SkipPads: true, Parallelism: 1})
+				if err != nil {
+					t.Fatalf("seed %d (%s): local compile: %v", seed, specs[i].Name, err)
+				}
+				chips[i], wants[i] = chip, want
+			}
+
+			// Arm 1: the whole corpus as one streaming batch through the
+			// coordinator — cold compiles routed across the workers.
+			body, err := json.Marshal(server.BatchRequest{Specs: texts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(farm.Coordinator().URL+"/compile/batch?nopads=1&reps=all",
+				"application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("batch returned %d", resp.StatusCode)
+			}
+			items := make([]*server.BatchItem, n)
+			dec := json.NewDecoder(resp.Body)
+			for dec.More() {
+				var item server.BatchItem
+				if err := dec.Decode(&item); err != nil {
+					t.Fatalf("batch stream: %v", err)
+				}
+				if item.Index < 0 || item.Index >= n {
+					t.Fatalf("batch stream: index %d out of range", item.Index)
+				}
+				if items[item.Index] != nil {
+					t.Fatalf("batch stream: index %d delivered twice", item.Index)
+				}
+				it := item
+				items[item.Index] = &it
+			}
+			resp.Body.Close()
+
+			// Arm 2: every spec against the single-node daemon and the local
+			// reference, field by field.
+			for i := 0; i < n; i++ {
+				seed := *flagSeed + int64(i)
+				name := specs[i].Name
+				if items[i] == nil {
+					t.Fatalf("seed %d (%s): batch never delivered index %d", seed, name, i)
+				}
+				if items[i].Error != "" || items[i].Result == nil {
+					t.Fatalf("seed %d (%s): batch item failed: %q", seed, name, items[i].Error)
+				}
+				fr := items[i].Result
+
+				sresp, err := http.Post(ts.URL+"/compile?nopads=1&reps=all", "text/plain",
+					strings.NewReader(texts[i]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sresp.StatusCode != http.StatusOK {
+					t.Fatalf("seed %d (%s): single node returned %d", seed, name, sresp.StatusCode)
+				}
+				var sr server.CompileResponse
+				if err := json.NewDecoder(sresp.Body).Decode(&sr); err != nil {
+					t.Fatal(err)
+				}
+				sresp.Body.Close()
+
+				for _, d := range []struct{ what, farm, single, local string }{
+					{"CIF", fr.CIF, sr.CIF, wants[i].CIF},
+					{"sticks", fr.Sticks, sr.Sticks, wants[i].Sticks},
+					{"text", fr.Text, sr.Text, chips[i].Text},
+					{"block", fr.Block, sr.Block, chips[i].Block},
+					{"logical", fr.Logical, sr.Logical, chips[i].Logical},
+				} {
+					if d.farm != d.single {
+						t.Errorf("seed %d (%s): farm %s differs from single-node", seed, name, d.what)
+					}
+					if d.farm != d.local {
+						t.Errorf("seed %d (%s): farm %s differs from local compile", seed, name, d.what)
+					}
+				}
+				if fr.Stats != sr.Stats || fr.Stats != chips[i].Stats {
+					t.Errorf("seed %d (%s): stats differ: farm %+v single %+v local %+v",
+						seed, name, fr.Stats, sr.Stats, chips[i].Stats)
+				}
+				if fr.Chip != name || sr.Chip != name {
+					t.Errorf("seed %d: chip named %q/%q, spec says %q", seed, fr.Chip, sr.Chip, name)
+				}
+			}
+
+			// Arm 3: warm hits through the peer tier. The batch populated the
+			// shard owners; a worker that didn't compile a spec must answer
+			// from the shared tier — cached, and still byte-identical.
+			warm := farm.Workers()[0]
+			for i := 0; i < n; i += 3 {
+				seed := *flagSeed + int64(i)
+				wresp, err := http.Post(warm.URL+"/compile?nopads=1&reps=all", "text/plain",
+					strings.NewReader(texts[i]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wresp.StatusCode != http.StatusOK {
+					t.Fatalf("seed %d: warm worker returned %d", seed, wresp.StatusCode)
+				}
+				var wr server.CompileResponse
+				if err := json.NewDecoder(wresp.Body).Decode(&wr); err != nil {
+					t.Fatal(err)
+				}
+				wresp.Body.Close()
+				if !wr.Cached {
+					t.Errorf("seed %d (%s): warm request recompiled; the batch should have warmed the tier", seed, specs[i].Name)
+				}
+				if wr.CIF != wants[i].CIF || wr.Sticks != wants[i].Sticks || wr.Stats != chips[i].Stats {
+					t.Errorf("seed %d (%s): warm peer-tier answer differs from the local compile", seed, specs[i].Name)
+				}
+			}
+
+			// Arm 4: the example scenario suite graded on a farm worker vs the
+			// single node — verdict lists must match byte for byte.
+			chipsDir := filepath.Join("..", "..", "examples", "chips")
+			bbs, err := filepath.Glob(filepath.Join(chipsDir, "*.bb"))
+			if err != nil || len(bbs) == 0 {
+				t.Fatalf("no example chips found: %v", err)
+			}
+			for _, bb := range bbs {
+				name := strings.TrimSuffix(filepath.Base(bb), ".bb")
+				sv := filepath.Join("..", "..", "examples", "scenarios", name+".sv")
+				specSrc, err := os.ReadFile(bb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vectors, err := os.ReadFile(sv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				req := server.VerifyRequest{Spec: string(specSrc), Vectors: string(vectors)}
+				fv := postVerifyJSON(t, farm.Workers()[1].URL+"/verify", req)
+				sv2 := postVerifyJSON(t, ts.URL+"/verify", req)
+				if fv.Chip != sv2.Chip || fv.Passed != sv2.Passed || fv.Key != sv2.Key || fv.Stats != sv2.Stats {
+					t.Errorf("%s: farm verdict header differs: %+v vs %+v", name, fv, sv2)
+				}
+				fb, _ := json.Marshal(fv.Verdicts)
+				sb, _ := json.Marshal(sv2.Verdicts)
+				if !bytes.Equal(fb, sb) {
+					t.Errorf("%s: farm verdict list differs from single-node:\nfarm:   %s\nsingle: %s", name, fb, sb)
+				}
+			}
+		})
+	}
+	t.Logf("farm differential: %d specs batched through a 3-worker farm at jobs=%v (first seed %d)",
+		n, harnessJobs(t), *flagSeed)
+}
+
+func postVerifyJSON(t *testing.T, url string, req server.VerifyRequest) *server.VerifyResponse {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s returned %d", url, resp.StatusCode)
+	}
+	var vr server.VerifyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vr); err != nil {
+		t.Fatal(err)
+	}
+	return &vr
 }

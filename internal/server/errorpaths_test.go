@@ -77,7 +77,7 @@ func TestErrorPathQueueFullCounter(t *testing.T) {
 	release := make(chan struct{})
 	s, ts := newTestServer(t, Config{
 		Workers: 1, QueueDepth: 1, Timeout: time.Minute,
-		beforeCompile: func(ctx context.Context) {
+		BeforeCompile: func(ctx context.Context) {
 			select {
 			case <-release:
 			case <-ctx.Done():
@@ -139,7 +139,7 @@ func TestErrorPathClientCancelMidCompile(t *testing.T) {
 	hold <- struct{}{} // only the first compile is held; later ones run free
 	s, ts := newTestServer(t, Config{
 		Workers: 1, Timeout: time.Minute,
-		beforeCompile: func(ctx context.Context) {
+		BeforeCompile: func(ctx context.Context) {
 			select {
 			case <-hold:
 				entered <- struct{}{}

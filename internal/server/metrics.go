@@ -36,6 +36,25 @@ type metrics struct {
 	compileErrors   *expvar.Int
 	sessionCompiles *expvar.Int
 
+	// Batch endpoint (/compile/batch): requests, specs received, per-item
+	// errors streamed, and items the coordinator routed to a worker.
+	batchRequests *expvar.Int
+	batchSpecs    *expvar.Int
+	batchErrors   *expvar.Int
+	batchRemote   *expvar.Int
+	// Coordinator routing: compiles forwarded to a worker, re-route hops
+	// after a worker failed or shed, compiles that fell back to this node,
+	// and load polls that failed.
+	coordRouted     *expvar.Int
+	coordReroutes   *expvar.Int
+	coordFallbacks  *expvar.Int
+	coordPollErrors *expvar.Int
+	// Shard protocol serving side (/cache/): peer lookups answered, peer
+	// results stored, and malformed or mis-keyed PUTs rejected.
+	shardServed  *expvar.Int
+	shardStored  *expvar.Int
+	shardBadPuts *expvar.Int
+
 	// Compiler-core build counters, accumulated over cold compiles: what
 	// the compiler built, not just how long it took.
 	coreCells       *expvar.Int
@@ -116,6 +135,17 @@ func newMetrics(s *Server) *metrics {
 		badSpecs:           new(expvar.Int),
 		compileErrors:      new(expvar.Int),
 		sessionCompiles:    new(expvar.Int),
+		batchRequests:      new(expvar.Int),
+		batchSpecs:         new(expvar.Int),
+		batchErrors:        new(expvar.Int),
+		batchRemote:        new(expvar.Int),
+		coordRouted:        new(expvar.Int),
+		coordReroutes:      new(expvar.Int),
+		coordFallbacks:     new(expvar.Int),
+		coordPollErrors:    new(expvar.Int),
+		shardServed:        new(expvar.Int),
+		shardStored:        new(expvar.Int),
+		shardBadPuts:       new(expvar.Int),
 		coreCells:          new(expvar.Int),
 		coreStretches:      new(expvar.Int),
 		coreStretchDist:    new(expvar.Int),
@@ -168,6 +198,34 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("timeouts", m.timeouts)
 	m.vars.Set("bad_specs", m.badSpecs)
 	m.vars.Set("compile_errors", m.compileErrors)
+	m.vars.Set("batch_requests", m.batchRequests)
+	m.vars.Set("batch_specs", m.batchSpecs)
+	m.vars.Set("batch_errors", m.batchErrors)
+	m.vars.Set("batch_remote", m.batchRemote)
+	m.vars.Set("coord_routed", m.coordRouted)
+	m.vars.Set("coord_reroutes", m.coordReroutes)
+	m.vars.Set("coord_local_fallbacks", m.coordFallbacks)
+	m.vars.Set("coord_poll_errors", m.coordPollErrors)
+	m.vars.Set("shard_served", m.shardServed)
+	m.vars.Set("shard_stored", m.shardStored)
+	m.vars.Set("shard_bad_puts", m.shardBadPuts)
+	m.vars.Set("peer", expvar.Func(func() any {
+		pt := s.cache.Peers()
+		if pt == nil {
+			return map[string]any{"nodes": 0}
+		}
+		pc := pt.Counters()
+		return map[string]any{
+			"nodes":      pc.Nodes,
+			"fetches":    pc.Fetches,
+			"hits":       pc.Hits,
+			"misses":     pc.Misses,
+			"errors":     pc.Errors,
+			"timeouts":   pc.Timeouts,
+			"puts":       pc.Puts,
+			"put_errors": pc.PutErrors,
+		}
+	}))
 	m.vars.Set("core_cells_generated", m.coreCells)
 	m.vars.Set("core_stretches_applied", m.coreStretches)
 	m.vars.Set("core_stretch_distance_lambda", m.coreStretchDist)
@@ -230,6 +288,7 @@ func newMetrics(s *Server) *metrics {
 			"misses":    c.Misses,
 			"evictions": c.Evictions,
 			"disk_hits": c.DiskHits,
+			"peer_hits": c.PeerHits,
 			"entries":   c.Entries,
 			"bytes":     c.Bytes,
 			"hit_ratio": s.cache.HitRatio(),
@@ -361,13 +420,50 @@ func (m *metrics) writeProm(w io.Writer, s *Server) error {
 	p.Gauge("bbd_workers", "Worker pool size.", float64(s.cfg.Workers))
 
 	c := s.cache.Counters()
-	p.Counter("bbd_cache_hits_total", "Compile cache hits (memory or disk).", float64(c.Hits))
+	p.Counter("bbd_cache_hits_total", "Compile cache hits (memory, disk, or peer).", float64(c.Hits))
 	p.Counter("bbd_cache_misses_total", "Compile cache misses.", float64(c.Misses))
 	p.Counter("bbd_cache_evictions_total", "Results evicted from the in-memory cache layer.", float64(c.Evictions))
 	p.Counter("bbd_cache_disk_hits_total", "Lookups answered by the disk layer.", float64(c.DiskHits))
+	p.Counter("bbd_cache_peer_hits_total", "Lookups answered by another node's cache shard.", float64(c.PeerHits))
 	p.Gauge("bbd_cache_entries", "Results resident in the in-memory cache layer.", float64(c.Entries))
 	p.Gauge("bbd_cache_bytes", "Bytes charged against the in-memory cache budget.", float64(c.Bytes))
 	p.Gauge("bbd_cache_hit_ratio", "hits/(hits+misses) since start.", s.cache.HitRatio())
+
+	// Farm peer tier (client side of the shard protocol). The families are
+	// always present — zero outside a farm — so dashboards and the smoke
+	// checks never see a missing series.
+	var pc cache.PeerCounters
+	if pt := s.cache.Peers(); pt != nil {
+		pc = pt.Counters()
+	}
+	p.Gauge("bbd_peer_nodes", "Cache shard ring size, self included (0 = single-node).", float64(pc.Nodes))
+	p.Counter("bbd_peer_fetches_total", "Cache lookups sent to a key's owning peer.", float64(pc.Fetches))
+	p.Counter("bbd_peer_hits_total", "Peer fetches answered with a result.", float64(pc.Hits))
+	p.Counter("bbd_peer_misses_total", "Peer fetches answered with a clean 404.", float64(pc.Misses))
+	p.Counter("bbd_peer_errors_total", "Peer fetches that failed (unreachable, bad status, corrupt body).", float64(pc.Errors))
+	p.Counter("bbd_peer_timeouts_total", "Peer fetches that exceeded the per-peer timeout.", float64(pc.Timeouts))
+	p.Counter("bbd_peer_puts_total", "Results pushed to their owning peer.", float64(pc.Puts))
+	p.Counter("bbd_peer_put_errors_total", "Peer pushes that failed (result stayed local-only).", float64(pc.PutErrors))
+	// Serving side of the shard protocol (/cache/ on this node).
+	p.Counter("bbd_peer_shard_served_total", "Peer lookups this node answered from its local layers.", float64(m.shardServed.Value()))
+	p.Counter("bbd_peer_shard_stored_total", "Peer results this node stored into its local layers.", float64(m.shardStored.Value()))
+	p.Counter("bbd_peer_shard_bad_puts_total", "Peer PUTs rejected as malformed or mis-keyed.", float64(m.shardBadPuts.Value()))
+
+	// Batch endpoint.
+	p.Counter("bbd_batch_requests_total", "POST /compile/batch requests received.", float64(m.batchRequests.Value()))
+	p.Counter("bbd_batch_specs_total", "Specs received across batch requests.", float64(m.batchSpecs.Value()))
+	p.Counter("bbd_batch_errors_total", "Batch items that streamed an error line.", float64(m.batchErrors.Value()))
+	p.Counter("bbd_batch_remote_total", "Batch items the coordinator routed to a worker.", float64(m.batchRemote.Value()))
+
+	// Coordinator routing.
+	p.Counter("bbd_coord_routed_total", "Cold compiles forwarded to a worker.", float64(m.coordRouted.Value()))
+	p.Counter("bbd_coord_reroutes_total", "Re-route hops after a worker failed or shed.", float64(m.coordReroutes.Value()))
+	p.Counter("bbd_coord_local_fallbacks_total", "Cold compiles answered locally because no worker was reachable.", float64(m.coordFallbacks.Value()))
+	p.Counter("bbd_coord_poll_errors_total", "Worker load polls that failed (worker marked dead briefly).", float64(m.coordPollErrors.Value()))
+	if s.coord != nil {
+		p.Gauge("bbd_coord_workers", "Workers this coordinator routes across.", float64(len(s.coord.workers)))
+		p.Gauge("bbd_coord_dead_workers", "Workers currently sitting out after a failure.", float64(s.coord.deadWorkers()))
+	}
 
 	// Incremental artifact stores: every session's store plus retired
 	// sessions' totals, so the counters are monotonic across churn.

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+
+	"bristleblocks/internal/cache"
+)
+
+// The /cache/ routes are the serving side of the farm's shard protocol
+// (the client side lives in cache.PeerTier): GET answers a peer's lookup
+// from this node's local layers only, PUT lands a peer's freshly compiled
+// result here. Both verbs are strictly local — a GET that misses answers
+// 404 rather than asking the ring, and a PUT is not pushed onward —
+// because this node is the key's owner; forwarding either would bounce
+// traffic around the ring forever.
+
+// maxShardPutBytes bounds a peer's PUT body. Matches the peer tier's
+// fetch bound: a Result is one chip's mask set plus text representations.
+const maxShardPutBytes = 256 << 20
+
+// validShardKey mirrors the disk layer's key check: cache keys are
+// lowercase hex SHA-256, and anything else is rejected before it can
+// reach a lookup (or, on the disk layer, a path).
+func validShardKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleCacheShard(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/cache/")
+	if !validShardKey(key) {
+		httpError(w, http.StatusBadRequest, "cache key must be 64 lowercase hex digits")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		res, ok := s.cache.GetLocal(key)
+		if !ok {
+			httpError(w, http.StatusNotFound, "no cached result for %s", key)
+			return
+		}
+		s.metrics.shardServed.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(res)
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxShardPutBytes+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		if len(body) > maxShardPutBytes {
+			httpError(w, http.StatusRequestEntityTooLarge, "result exceeds %d bytes", maxShardPutBytes)
+			return
+		}
+		var res cache.Result
+		if err := json.Unmarshal(body, &res); err != nil {
+			s.metrics.shardBadPuts.Add(1)
+			httpError(w, http.StatusBadRequest, "parse result: %v", err)
+			return
+		}
+		if res.Key != key {
+			// A result filed under the wrong content address would poison
+			// every future hit on this key.
+			s.metrics.shardBadPuts.Add(1)
+			httpError(w, http.StatusBadRequest, "result key %q does not match URL key", res.Key)
+			return
+		}
+		s.cache.PutLocal(key, &res)
+		s.metrics.shardStored.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or PUT a cache shard entry")
+	}
+}

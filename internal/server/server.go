@@ -100,10 +100,29 @@ type Config struct {
 	// ProfileKeep bounds retained profiles per kind (<=0 = 16).
 	ProfileKeep int
 
-	// beforeCompile runs in the worker between claiming a job and compiling
+	// Peers is the farm's full node list — every member's base URL, this
+	// node's own included — for the consistent-hash cache shard ring (the
+	// bbd -peers flag). Every node must receive the same set (order is
+	// irrelevant; the ring sorts). Empty means single-node: no peer tier,
+	// no /cache/ shard traffic.
+	Peers []string
+	// SelfURL is this node's own base URL exactly as it appears in Peers.
+	// Required when Peers is set — the ring must know which shard is local.
+	SelfURL string
+	// Coordinator makes this node route cold compiles to the least-loaded
+	// peer (load read from each worker's /metrics inflight and queue
+	// gauges) instead of compiling them locally; warm hits are still
+	// answered here from the shared cache tier. Requires Peers with at
+	// least one node besides SelfURL.
+	Coordinator bool
+	// PeerTimeout bounds each peer cache fetch/put and each coordinator
+	// load poll (<=0 = cache.DefaultPeerTimeout).
+	PeerTimeout time.Duration
+
+	// BeforeCompile runs in the worker between claiming a job and compiling
 	// it. Tests use it to hold a worker busy deterministically — real specs
 	// compile in milliseconds, far too fast to occupy a pool on cue.
-	beforeCompile func(context.Context)
+	BeforeCompile func(context.Context)
 }
 
 // Server is the compile service. Create with New, serve via Handler, stop
@@ -122,6 +141,10 @@ type Server struct {
 
 	metrics *metrics
 	slo     *slo.Tracker
+
+	// coord routes cold compiles across the farm (nil unless
+	// Config.Coordinator).
+	coord *coordinator
 
 	// profiles is the continuous-profiling ring (nil unless
 	// Config.ProfileInterval > 0); stopProfiles stops its ticker.
@@ -174,6 +197,15 @@ func New(cfg Config) (*Server, error) {
 		}
 		cfg.Cache = c
 	}
+	if len(cfg.Peers) > 0 {
+		pt, err := cache.NewPeerTier(cfg.Peers, cfg.SelfURL, cfg.PeerTimeout)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cache.SetPeers(pt)
+	} else if cfg.Coordinator {
+		return nil, fmt.Errorf("coordinator mode requires a peer list (-peers)")
+	}
 	s := &Server{
 		cfg:      cfg,
 		cache:    cfg.Cache,
@@ -187,6 +219,13 @@ func New(cfg Config) (*Server, error) {
 		s.logger = obs.NopLogger()
 	}
 	s.metrics = newMetrics(s)
+	if cfg.Coordinator {
+		coord, err := newCoordinator(s)
+		if err != nil {
+			return nil, err
+		}
+		s.coord = coord
+	}
 	if cfg.ProfileInterval > 0 {
 		dir := cfg.ProfileDir
 		if dir == "" {
@@ -226,8 +265,8 @@ func (s *Server) worker() {
 			continue
 		}
 		s.metrics.inFlight.Add(1)
-		if s.cfg.beforeCompile != nil {
-			s.cfg.beforeCompile(j.ctx)
+		if s.cfg.BeforeCompile != nil {
+			s.cfg.BeforeCompile(j.ctx)
 		}
 		// Every cold compile is traced — the spans feed the per-element
 		// histogram whether or not the client asked to see them. The
@@ -302,7 +341,8 @@ func (s *Server) verify(ctx context.Context, chip *core.Chip) {
 	}
 }
 
-// Handler returns the daemon's HTTP routes: POST /compile, POST /verify,
+// Handler returns the daemon's HTTP routes: POST /compile, POST
+// /compile/batch, POST /verify, the farm shard protocol under /cache/,
 // and GET /healthz for the serving path, plus every admin route (metrics,
 // flight recorder, pprof) so a single-port deployment exposes everything.
 // Deployments that want the admin surface on a separate, firewalled
@@ -310,6 +350,8 @@ func (s *Server) verify(ctx context.Context, chip *core.Chip) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/compile/batch", s.handleBatch)
+	mux.HandleFunc("/cache/", s.handleCacheShard)
 	mux.HandleFunc("/verify", s.handleVerify)
 	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/session/", s.handleSession)
@@ -412,6 +454,7 @@ type CompileResponse struct {
 	Stats       core.Stats      `json:"stats"`
 	TimesUS     cache.TimesUS   `json:"times_us"`
 	CIF         string          `json:"cif,omitempty"`
+	Sticks      string          `json:"sticks,omitempty"`
 	Text        string          `json:"text,omitempty"`
 	Block       string          `json:"block,omitempty"`
 	Logical     string          `json:"logical,omitempty"`
@@ -491,6 +534,12 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		out = jobResult{res: res, cached: true}
 		log.Debug("served from cache", "key", key, "dur", time.Since(start))
 	} else {
+		// A coordinator sends the cold compile to the least-loaded worker
+		// and relays the reply; it compiles locally only when every worker
+		// is unreachable or shedding (routeCompile reports false).
+		if s.coord != nil && s.coord.routeCompile(ctx, w, r, body, log, link) {
+			return
+		}
 		j := &job{ctx: ctx, spec: spec, opts: opts, done: make(chan jobResult, 1)}
 		if err := s.submit(j); err != nil {
 			s.metrics.rejected.Add(1)
@@ -545,18 +594,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		Stats:     out.res.Stats,
 		TimesUS:   out.res.TimesUS,
 	}
-	if reps["cif"] {
-		resp.CIF = string(out.res.CIF)
-	}
-	if reps["text"] {
-		resp.Text = out.res.Text
-	}
-	if reps["block"] {
-		resp.Block = out.res.Block
-	}
-	if reps["logical"] {
-		resp.Logical = out.res.Logical
-	}
+	fillReps(resp, out.res, reps)
 	switch traceMode {
 	case traceSpans:
 		resp.Trace = tr.Spans()
@@ -641,12 +679,14 @@ func parseQuery(r *http.Request) (*core.Options, map[string]bool, traceMode, err
 	if rq := q.Get("reps"); rq != "" {
 		for _, name := range strings.Split(rq, ",") {
 			switch name {
-			case "cif", "text", "block", "logical":
+			case "cif", "sticks", "text", "block", "logical":
 				reps[name] = true
 			case "all":
-				reps["cif"], reps["text"], reps["block"], reps["logical"] = true, true, true, true
+				for _, n := range []string{"cif", "sticks", "text", "block", "logical"} {
+					reps[n] = true
+				}
 			default:
-				return nil, nil, traceOff, fmt.Errorf("unknown representation %q (want cif, text, block, logical, all)", name)
+				return nil, nil, traceOff, fmt.Errorf("unknown representation %q (want cif, sticks, text, block, logical, all)", name)
 			}
 		}
 	}
@@ -755,6 +795,34 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.status = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the wrapped writer so the NDJSON batch stream can push
+// each result line onto the wire as it lands.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// fillReps copies the representations the request asked for (?reps=) from
+// the cached result into the response.
+func fillReps(resp *CompileResponse, res *cache.Result, reps map[string]bool) {
+	if reps["cif"] {
+		resp.CIF = string(res.CIF)
+	}
+	if reps["sticks"] {
+		resp.Sticks = res.Sticks
+	}
+	if reps["text"] {
+		resp.Text = res.Text
+	}
+	if reps["block"] {
+		resp.Block = res.Block
+	}
+	if reps["logical"] {
+		resp.Logical = res.Logical
+	}
 }
 
 // sloOutcome classifies a terminal HTTP status for the error budget:

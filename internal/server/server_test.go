@@ -185,7 +185,7 @@ func TestTimeoutReturnsPromptly(t *testing.T) {
 	// dead context to CompileCtx, which must refuse to run the passes.
 	s, ts := newTestServer(t, Config{
 		Timeout:       10 * time.Millisecond,
-		beforeCompile: func(ctx context.Context) { <-ctx.Done() },
+		BeforeCompile: func(ctx context.Context) { <-ctx.Done() },
 	})
 	start := time.Now()
 	resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(specText(5)))
@@ -211,7 +211,7 @@ func TestQueueFullSheds(t *testing.T) {
 	release := make(chan struct{})
 	s, ts := newTestServer(t, Config{
 		Workers: 1, QueueDepth: 1, Timeout: time.Minute,
-		beforeCompile: func(ctx context.Context) {
+		BeforeCompile: func(ctx context.Context) {
 			select {
 			case <-release:
 			case <-ctx.Done():
@@ -219,7 +219,7 @@ func TestQueueFullSheds(t *testing.T) {
 		},
 	})
 
-	// Occupy the single worker; it blocks in beforeCompile until released.
+	// Occupy the single worker; it blocks in BeforeCompile until released.
 	slow := make(chan int, 1)
 	go func() {
 		resp, err := http.Post(ts.URL+"/compile", "text/plain", strings.NewReader(specText(5)))
@@ -270,7 +270,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	release := make(chan struct{})
 	s, ts := newTestServer(t, Config{
 		Workers: 1, Timeout: time.Minute,
-		beforeCompile: func(ctx context.Context) {
+		BeforeCompile: func(ctx context.Context) {
 			select {
 			case <-release:
 			case <-ctx.Done():

@@ -34,12 +34,12 @@ type VerifyResponse struct {
 	RequestID string `json:"request_id"`
 	// TraceID joins this grading run onto the caller's distributed trace
 	// (or the daemon's freshly minted one).
-	TraceID   string             `json:"trace_id,omitempty"`
-	Chip      string             `json:"chip"`
-	Key       string             `json:"key"`
-	Passed    bool               `json:"passed"`
-	Verdicts  []scenario.Verdict `json:"verdicts"`
-	Stats     core.Stats         `json:"stats"`
+	TraceID  string             `json:"trace_id,omitempty"`
+	Chip     string             `json:"chip"`
+	Key      string             `json:"key"`
+	Passed   bool               `json:"passed"`
+	Verdicts []scenario.Verdict `json:"verdicts"`
+	Stats    core.Stats         `json:"stats"`
 }
 
 // handleVerify serves POST /verify: spec and vectors in, graded verdicts

@@ -209,7 +209,7 @@ func TestVerifyErrorPathQueueFull(t *testing.T) {
 	release := make(chan struct{})
 	s, ts := newTestServer(t, Config{
 		Workers: 1, QueueDepth: 1, Timeout: time.Minute,
-		beforeCompile: func(ctx context.Context) {
+		BeforeCompile: func(ctx context.Context) {
 			select {
 			case <-release:
 			case <-ctx.Done():
@@ -257,7 +257,7 @@ func TestVerifyErrorPathClientCancel(t *testing.T) {
 	hold <- struct{}{} // only the first compile is held
 	s, ts := newTestServer(t, Config{
 		Workers: 1, Timeout: time.Minute,
-		beforeCompile: func(ctx context.Context) {
+		BeforeCompile: func(ctx context.Context) {
 			select {
 			case <-hold:
 				entered <- struct{}{}

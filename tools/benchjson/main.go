@@ -1,6 +1,6 @@
 // Benchjson runs the repo's headline benchmarks through testing.Benchmark
 // and writes the results as one JSON document, so a PR can commit a
-// machine-readable performance snapshot (BENCH_PR9.json) instead of pasting
+// machine-readable performance snapshot (BENCH_PR10.json) instead of pasting
 // `go test -bench` output into a description. The numbers answer ten
 // questions: how long a compile takes cold (small and large), how much
 // faster the warm cache path is, what the Pass 1 fan-out buys over serial
@@ -17,9 +17,17 @@
 // compile's allocation delta the per-pass attribution explains across
 // examples/chips.
 //
+// The PR 10 arms measure the horizontal path: a cold corpus streamed
+// through POST /compile/batch on a 3-worker farm behind a coordinator
+// versus the same corpus on a single-node daemon — batch throughput in
+// specs/sec and the p99 per-spec completion latency off the NDJSON
+// stream. On a single-core container the farm multiplexes goroutines
+// rather than machines, so parity (not speedup) is the honest reading;
+// the arms exist so a multi-core runner has the trajectory.
+//
 // Usage:
 //
-//	go run ./tools/benchjson                # write BENCH_PR9.json
+//	go run ./tools/benchjson                # write BENCH_PR10.json
 //	go run ./tools/benchjson -o bench.json  # choose the output path
 //	go run ./tools/benchjson -benchtime 2s  # run each arm longer
 package main
@@ -29,9 +37,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -44,6 +55,9 @@ import (
 	"bristleblocks/internal/obs/rtm"
 	"bristleblocks/internal/pads"
 	"bristleblocks/internal/scenario"
+	"bristleblocks/internal/server"
+	"bristleblocks/internal/server/farmtest"
+	"bristleblocks/internal/specgen"
 	"bristleblocks/internal/trace"
 )
 
@@ -146,13 +160,28 @@ type report struct {
 	// validation, stats fill, trace assembly). The acceptance bar is
 	// ≥ 0.90.
 	AllocAttributionRatio float64 `json:"alloc_attribution_ratio"`
+
+	// The PR 10 horizontal-serving arms: a cold generated corpus streamed
+	// through POST /compile/batch. BatchFarmQPS/P99MS come from a 3-worker
+	// farm behind a coordinator (farmtest, in-process); BatchSingleQPS/
+	// P99MS from one daemon with the same per-node pool. QPS counts specs
+	// completed per second over the whole stream; p99 is the per-spec
+	// completion latency read off the NDJSON line arrivals.
+	BatchFarmQPS     float64 `json:"batch_farm_qps"`
+	BatchFarmP99MS   float64 `json:"batch_farm_p99_ms"`
+	BatchSingleQPS   float64 `json:"batch_single_qps"`
+	BatchSingleP99MS float64 `json:"batch_single_p99_ms"`
+	// FarmBatchSpeedup is batch_farm_qps / batch_single_qps — the
+	// horizontal win (~1x on a single-core container; the farm only
+	// multiplexes goroutines there).
+	FarmBatchSpeedup float64 `json:"farm_batch_speedup"`
 }
 
 func main() {
 	// testing.Benchmark reads the test.benchtime flag, which only exists
 	// after testing.Init registers the testing flag set.
 	testing.Init()
-	out := flag.String("o", "BENCH_PR9.json", "output path for the JSON report")
+	out := flag.String("o", "BENCH_PR10.json", "output path for the JSON report")
 	benchtime := flag.Duration("benchtime", time.Second, "target run time per benchmark arm")
 	flag.Parse()
 	if err := flag.CommandLine.Lookup("test.benchtime").Value.Set(benchtime.String()); err != nil {
@@ -502,6 +531,24 @@ func main() {
 		}
 	})
 
+	// The horizontal arms: the same size of cold generated corpus batched
+	// through a farm and through a single daemon. Distinct seed ranges
+	// keep both arms cold (nothing crosses between them; each spec
+	// compiles exactly once).
+	fmt.Fprintln(os.Stderr, "benchjson: batch_farm...")
+	rep.BatchFarmQPS, rep.BatchFarmP99MS, err = benchBatch(true, 32, 86101)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: batch_single...")
+	rep.BatchSingleQPS, rep.BatchSingleP99MS, err = benchBatch(false, 32, 87101)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.BatchSingleQPS > 0 {
+		rep.FarmBatchSpeedup = rep.BatchFarmQPS / rep.BatchSingleQPS
+	}
+
 	if hit.NSPerOp > 0 {
 		rep.CachedHitSpeedup = float64(cold.NSPerOp) / float64(hit.NSPerOp)
 		rep.CachedHitPerSec = 1e9 / float64(hit.NSPerOp)
@@ -545,11 +592,83 @@ func main() {
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f), pla %.2fms for %d terms merged (%.0f λ² saved), compiled-sim speedup %.1fx, scenario grading %.0f vectors/s, telemetry overhead %.2f%%, alloc attribution %.2f -> %s\n",
+	fmt.Fprintf(os.Stderr, "benchjson: cached-hit speedup %.0fx, core-pass parallel speedup %.2fx (%.2fx @g4, serial share %.2f), pad-pass speedup %.2fx (j8), incremental edit speedup %.1fx (hit ratio %.2f), pla %.2fms for %d terms merged (%.0f λ² saved), compiled-sim speedup %.1fx, scenario grading %.0f vectors/s, telemetry overhead %.2f%%, alloc attribution %.2f, batch %.1f qps farm / %.1f qps single (p99 %.0f/%.0f ms, %.2fx) -> %s\n",
 		rep.CachedHitSpeedup, rep.CorePassParallelSpeedup, rep.CorePassParallelSpeedupG4,
 		rep.CorePassSerialShare, rep.PadPassSpeedupJ8, rep.IncrementalEditSpeedup, rep.IncrHitRatio,
 		rep.PlaMinimizeMS, rep.PlaTermsMerged, rep.PlaAreaSavedLambda2, rep.SimCompiledSpeedup,
-		rep.ScenarioVectorsPerSec, rep.TelemetryOverheadPct, rep.AllocAttributionRatio, *out)
+		rep.ScenarioVectorsPerSec, rep.TelemetryOverheadPct, rep.AllocAttributionRatio,
+		rep.BatchFarmQPS, rep.BatchSingleQPS, rep.BatchFarmP99MS, rep.BatchSingleP99MS,
+		rep.FarmBatchSpeedup, *out)
+}
+
+// benchBatch streams one cold batch of n generated specs through either a
+// 3-worker farm behind a coordinator or a single daemon, and reports
+// specs/sec over the whole stream plus the p99 per-spec completion
+// latency (time from POST to that spec's NDJSON line). Each arm uses its
+// own seed range so every compile is cold exactly once.
+func benchBatch(farm bool, n int, firstSeed int64) (qps, p99ms float64, err error) {
+	node := server.Config{Workers: 2, QueueDepth: 64, Parallelism: 1}
+	var target string
+	if farm {
+		f, err := farmtest.New(farmtest.Config{Workers: 3, Coordinator: true, Node: node})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer f.Close()
+		target = f.Coordinator().URL
+	} else {
+		srv, err := server.New(node)
+		if err != nil {
+			return 0, 0, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		target = ts.URL
+	}
+	texts := make([]string, n)
+	for i := range texts {
+		texts[i] = desc.Format(specgen.FromSeed(firstSeed+int64(i), nil))
+	}
+	body, err := json.Marshal(server.BatchRequest{Specs: texts})
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	resp, err := http.Post(target+"/compile/batch?nopads=1", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return 0, 0, fmt.Errorf("/compile/batch: status %d", resp.StatusCode)
+	}
+	var latencies []time.Duration
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var item struct {
+			Index int
+			Error string
+		}
+		if err := dec.Decode(&item); err != nil {
+			return 0, 0, fmt.Errorf("batch stream: %w", err)
+		}
+		if item.Error != "" {
+			return 0, 0, fmt.Errorf("batch item %d: %s", item.Index, item.Error)
+		}
+		latencies = append(latencies, time.Since(start))
+	}
+	wall := time.Since(start)
+	if len(latencies) != n {
+		return 0, 0, fmt.Errorf("batch streamed %d of %d items", len(latencies), n)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[(99*len(latencies)-1)/100]
+	return float64(n) / wall.Seconds(), float64(p99.Microseconds()) / 1e3, nil
 }
 
 // scenarioCorpus loads every scenario under examples/scenarios with a

@@ -15,6 +15,11 @@
 // ring must serve a captured profile, and the -trace-export file must
 // hold the compile's OTLP/JSON line.
 //
+// The farm leg boots two more daemons peered over -peers, streams a
+// batch through one, warm-hits the other across the cache tier, and
+// asserts the bbd_peer_* and bbd_batch_* families moved — the counters
+// a standalone daemon never touches.
+//
 // Usage:
 //
 //	go build -o /tmp/bbd ./cmd/bbd
@@ -42,6 +47,8 @@ func main() {
 	bbd := flag.String("bbd", "", "path to the built bbd binary (required)")
 	specPath := flag.String("spec", "examples/chips/adder4.bb", "chip description to compile through the daemon")
 	addr := flag.String("addr", "127.0.0.1:8729", "address the daemon listens on for the check")
+	farmAddrA := flag.String("farm-addr-a", "127.0.0.1:8731", "address of the first farm-leg daemon")
+	farmAddrB := flag.String("farm-addr-b", "127.0.0.1:8732", "address of the second farm-leg daemon")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon to become healthy")
 	flag.Parse()
 	if *bbd == "" {
@@ -66,7 +73,7 @@ func main() {
 	if err := cmd.Start(); err != nil {
 		fatal(fmt.Errorf("starting %s: %w", *bbd, err))
 	}
-	daemon = cmd
+	daemons = append(daemons, cmd)
 	defer func() {
 		cmd.Process.Signal(os.Interrupt)
 		cmd.Wait()
@@ -370,6 +377,142 @@ func main() {
 	}
 	step("/debug/pprof/profile served %d bytes", len(profile))
 
+	// The farm leg: two more daemons peered over the consistent-hash ring.
+	// A batch streamed through node A and a warm cross-node hit from node B
+	// must move the bbd_batch_* and bbd_peer_* families — counters a
+	// standalone daemon never touches. Whichever node the ring makes the
+	// key's owner, exactly one peer interaction happens: either A PUTs the
+	// result to B at compile time, or B fetches it from A at request time.
+	baseA, baseB := "http://"+*farmAddrA, "http://"+*farmAddrB
+	peersFlag := baseA + "," + baseB
+	for _, node := range []struct{ addr, self string }{
+		{*farmAddrA, baseA},
+		{*farmAddrB, baseB},
+	} {
+		fc := exec.Command(*bbd, "-addr", node.addr, "-peers", peersFlag, "-self", node.self,
+			"-log-level", "warn", "-log-json")
+		fc.Stdout = os.Stderr
+		fc.Stderr = os.Stderr
+		if err := fc.Start(); err != nil {
+			fatal(fmt.Errorf("starting farm node %s: %w", node.addr, err))
+		}
+		daemons = append(daemons, fc)
+		defer func() {
+			fc.Process.Signal(os.Interrupt)
+			fc.Wait()
+		}()
+	}
+	for _, b := range []string{baseA, baseB} {
+		if err := waitHealthy(b, *wait); err != nil {
+			fatal(err)
+		}
+	}
+	step("farm leg healthy: %s + %s peered", baseA, baseB)
+
+	// Stream a two-spec batch through node A and check every NDJSON line.
+	batchBody, err := json.Marshal(map[string][]string{"specs": {string(spec), edited}})
+	if err != nil {
+		fatal(err)
+	}
+	bresp, err := http.Post(baseA+"/compile/batch", "application/json", strings.NewReader(string(batchBody)))
+	if err != nil {
+		fatal(err)
+	}
+	if bresp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("/compile/batch: status %d", bresp.StatusCode))
+	}
+	if ct := bresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		fatal(fmt.Errorf("/compile/batch content type %q", ct))
+	}
+	var batchItems int
+	bdec := json.NewDecoder(bresp.Body)
+	for bdec.More() {
+		var item struct {
+			Index  int
+			Error  string
+			Result *struct {
+				Chip string `json:"chip"`
+			}
+		}
+		if err := bdec.Decode(&item); err != nil {
+			fatal(fmt.Errorf("/compile/batch stream: %w", err))
+		}
+		if item.Error != "" || item.Result == nil {
+			fatal(fmt.Errorf("/compile/batch item %d failed: %q", item.Index, item.Error))
+		}
+		batchItems++
+	}
+	bresp.Body.Close()
+	if batchItems != 2 {
+		fatal(fmt.Errorf("/compile/batch streamed %d items, want 2", batchItems))
+	}
+	step("batch streamed %d NDJSON results through %s", batchItems, baseA)
+
+	// The same spec from node B must answer warm through the shared tier.
+	wresp, err := http.Post(baseB+"/compile", "text/plain", strings.NewReader(string(spec)))
+	if err != nil {
+		fatal(err)
+	}
+	wbody, _ := io.ReadAll(wresp.Body)
+	wresp.Body.Close()
+	if wresp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("farm warm compile: status %d: %s", wresp.StatusCode, wbody))
+	}
+	var warm struct {
+		Chip   string `json:"chip"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.Unmarshal(wbody, &warm); err != nil {
+		fatal(err)
+	}
+	if !warm.Cached {
+		fatal(fmt.Errorf("farm warm compile of %s recompiled; the batch on %s should have warmed the tier", warm.Chip, baseA))
+	}
+	step("cross-node request answered warm (chip %s, cached)", warm.Chip)
+
+	// Both nodes' /metrics must carry the farm families with the expected
+	// movement: ring size 2 everywhere, the batch counters on A, at least
+	// one peer interaction somewhere, and zero degradations on a healthy
+	// farm.
+	pageA, err := scrapeProm(baseA + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	pageB, err := scrapeProm(baseB + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	farmGet := func(page *prom.Page, name string) float64 {
+		v, ok := page.Get(name)
+		if !ok {
+			fatal(fmt.Errorf("farm /metrics missing %s", name))
+		}
+		return v
+	}
+	for _, page := range []*prom.Page{pageA, pageB} {
+		if v := farmGet(page, "bbd_peer_nodes"); v != 2 {
+			fatal(fmt.Errorf("bbd_peer_nodes = %v, want 2", v))
+		}
+		if v := farmGet(page, "bbd_peer_errors_total") + farmGet(page, "bbd_peer_timeouts_total"); v != 0 {
+			fatal(fmt.Errorf("healthy farm degraded: %v peer errors+timeouts", v))
+		}
+	}
+	if v := farmGet(pageA, "bbd_batch_requests_total"); v < 1 {
+		fatal(fmt.Errorf("bbd_batch_requests_total = %v after a batch", v))
+	}
+	if v := farmGet(pageA, "bbd_batch_specs_total"); v < 2 {
+		fatal(fmt.Errorf("bbd_batch_specs_total = %v after a 2-spec batch", v))
+	}
+	if v := farmGet(pageA, "bbd_batch_errors_total"); v != 0 {
+		fatal(fmt.Errorf("bbd_batch_errors_total = %v", v))
+	}
+	traffic := farmGet(pageA, "bbd_peer_fetches_total") + farmGet(pageB, "bbd_peer_fetches_total") +
+		farmGet(pageA, "bbd_peer_puts_total") + farmGet(pageB, "bbd_peer_puts_total")
+	if traffic < 1 {
+		fatal(fmt.Errorf("no peer traffic crossed the farm (fetches+puts = %v)", traffic))
+	}
+	step("farm families populated: ring=2 on both nodes, batch counters on A, %v peer interactions", traffic)
+
 	fmt.Println("obssmoke: ok")
 }
 
@@ -469,15 +612,17 @@ func step(format string, args ...any) {
 	fmt.Printf("obssmoke: "+format+"\n", args...)
 }
 
-// daemon is the spawned bbd, killed on fatal so a failed run never
-// leaves a stale daemon squatting on the port for the next run.
-var daemon *exec.Cmd
+// daemons are the spawned bbds, killed on fatal so a failed run never
+// leaves a stale daemon squatting on a port for the next run.
+var daemons []*exec.Cmd
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "obssmoke: FAIL:", err)
-	if daemon != nil && daemon.Process != nil {
-		daemon.Process.Kill()
-		daemon.Wait()
+	for _, d := range daemons {
+		if d != nil && d.Process != nil {
+			d.Process.Kill()
+			d.Wait()
+		}
 	}
 	os.Exit(1)
 }
